@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * grouped witness search (the §4.2 observation-file grouping) versus a
+//!   linear scan over every serial history;
+//! * preemption-bound sweep: how many schedules phase 2 explores at
+//!   PB = 0, 1, 2, ∞ (the run *counts*, measured through wall time of the
+//!   full exploration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lineup::doc_support::CounterTarget;
+use lineup::{
+    find_witness, is_witness, synthesize_spec, CheckOptions, Invocation, TestMatrix,
+    WitnessQuery,
+};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+
+    // Witness search: grouped index vs. linear scan, on a real 3x3 spec.
+    let col = vec![
+        Invocation::new("inc"),
+        Invocation::new("get"),
+        Invocation::new("inc"),
+    ];
+    let m = TestMatrix::from_columns(vec![col.clone(), col.clone(), col]);
+    let (spec, _, _) = synthesize_spec(&CounterTarget, &m);
+    assert_eq!(spec.len(), 1680);
+    // A query whose witness exists (serial-order history).
+    let q = {
+        use lineup::History;
+        let mut h = History::new(3);
+        for (t, inv) in [(0, "inc"), (1, "inc"), (2, "inc")] {
+            let id = h.push_call(t, Invocation::new(inv));
+            h.push_return(id, lineup::Value::Unit);
+        }
+        for (t, v) in [(0usize, 3i64), (1, 3), (2, 3)] {
+            let id = h.push_call(t, Invocation::new("get"));
+            h.push_return(id, lineup::Value::Int(v));
+        }
+        for t in 0..3usize {
+            let id = h.push_call(t, Invocation::new("inc"));
+            h.push_return(id, lineup::Value::Unit);
+        }
+        WitnessQuery::for_full(&h)
+    };
+    let idx = spec.index();
+    group.bench_function("witness_grouped_index", |b| {
+        b.iter(|| find_witness(&idx, &q).is_some())
+    });
+    group.bench_function("witness_linear_scan", |b| {
+        b.iter(|| spec.iter().any(|s| is_witness(s, &q)))
+    });
+
+    // Preemption-bound sweep on a 2x2 counter test (exploration size).
+    let m2 = TestMatrix::from_columns(vec![
+        vec![Invocation::new("inc"), Invocation::new("get")],
+        vec![Invocation::new("inc"), Invocation::new("get")],
+    ]);
+    for (label, bound) in [("pb0", Some(0)), ("pb1", Some(1)), ("pb2", Some(2)), ("unbounded", None)]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("phase2_bound", label),
+            &bound,
+            |b, bound| {
+                let opts = CheckOptions::new().with_preemption_bound(*bound);
+                b.iter(|| lineup::check(&CounterTarget, &m2, &opts));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for **phase 1** (serial-specification synthesis) —
+//! backing the paper's claim that "the automatic enumeration of a
+//! sequential specification is very cheap, which is a key fact exploited
+//! by the Line-Up algorithm" (§5.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lineup::doc_support::CounterTarget;
+use lineup::{synthesize_spec, Invocation, TestMatrix};
+use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+use lineup_collections::Variant;
+
+fn counter_matrix(rows: usize, cols: usize) -> TestMatrix {
+    let ops = [Invocation::new("inc"), Invocation::new("get")];
+    let col: Vec<Invocation> = (0..rows).map(|i| ops[i % 2].clone()).collect();
+    TestMatrix::from_columns(vec![col; cols])
+}
+
+fn queue_matrix(rows: usize, cols: usize) -> TestMatrix {
+    let ops = [
+        Invocation::with_int("Enqueue", 10),
+        Invocation::new("TryDequeue"),
+        Invocation::new("TryPeek"),
+    ];
+    let col: Vec<Invocation> = (0..rows).map(|i| ops[i % 3].clone()).collect();
+    TestMatrix::from_columns(vec![col; cols])
+}
+
+fn bench_phase1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1");
+    for (rows, cols) in [(1, 2), (2, 2), (2, 3), (3, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("counter", format!("{rows}x{cols}")),
+            &(rows, cols),
+            |b, &(rows, cols)| {
+                let m = counter_matrix(rows, cols);
+                b.iter(|| synthesize_spec(&CounterTarget, &m));
+            },
+        );
+    }
+    for (rows, cols) in [(1, 2), (2, 2), (2, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("queue", format!("{rows}x{cols}")),
+            &(rows, cols),
+            |b, &(rows, cols)| {
+                let target = ConcurrentQueueTarget {
+                    variant: Variant::Fixed,
+                };
+                let m = queue_matrix(rows, cols);
+                b.iter(|| synthesize_spec(&target, &m));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_phase1
+}
+criterion_main!(benches);

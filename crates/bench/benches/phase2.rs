@@ -1,0 +1,74 @@
+//! Criterion bench for **phase 2** (concurrent exploration) across
+//! preemption bounds — the PB column of Table 2 and the reason the paper
+//! "found it necessary to use the preemption bounding heuristic" (§4.3):
+//! exploration cost grows steeply with the bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lineup::doc_support::CounterTarget;
+use lineup::{check_against_spec, synthesize_spec, CheckOptions, Invocation, TestMatrix};
+use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+use lineup_collections::Variant;
+
+fn bench_phase2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2");
+    group.sample_size(10);
+
+    // Counter 2x2 across preemption bounds 0..=2.
+    let m = TestMatrix::from_columns(vec![
+        vec![Invocation::new("inc"), Invocation::new("get")],
+        vec![Invocation::new("inc"), Invocation::new("get")],
+    ]);
+    let (spec, _, _) = synthesize_spec(&CounterTarget, &m);
+    for pb in 0..=2usize {
+        group.bench_with_input(BenchmarkId::new("counter_2x2", pb), &pb, |b, &pb| {
+            let opts = CheckOptions::new().with_preemption_bound(Some(pb));
+            b.iter(|| check_against_spec(&CounterTarget, &m, &spec, &opts));
+        });
+    }
+
+    // Queue 2x2 at the paper's default bound.
+    let qm = TestMatrix::from_columns(vec![
+        vec![
+            Invocation::with_int("Enqueue", 10),
+            Invocation::new("TryDequeue"),
+        ],
+        vec![
+            Invocation::with_int("Enqueue", 20),
+            Invocation::new("TryDequeue"),
+        ],
+    ]);
+    let target = ConcurrentQueueTarget {
+        variant: Variant::Fixed,
+    };
+    let (qspec, _, _) = synthesize_spec(&target, &qm);
+    for pb in 0..=2usize {
+        group.bench_with_input(BenchmarkId::new("queue_2x2", pb), &pb, |b, &pb| {
+            let opts = CheckOptions::new().with_preemption_bound(Some(pb));
+            b.iter(|| check_against_spec(&target, &qm, &qspec, &opts));
+        });
+    }
+
+    // A failing check stops at the first violation: "testcases fail much
+    // quicker than they pass" (§5.4).
+    let pre = ConcurrentQueueTarget {
+        variant: Variant::Pre,
+    };
+    group.bench_function("queue_2x2_failing", |b| {
+        let m = lineup_collections::concurrent_queue::fig1_matrix();
+        let opts = CheckOptions::new();
+        b.iter(|| {
+            let report = lineup::check(&pre, &m, &opts);
+            assert!(!report.passed());
+            report
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_phase2
+}
+criterion_main!(benches);

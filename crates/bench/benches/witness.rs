@@ -1,0 +1,104 @@
+//! Criterion bench for the serial-witness search: cost as a function of
+//! specification size, with the grouped index of §4.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lineup::{
+    find_witness, History, Invocation, ObservationSet, Outcome, SerialHistory, SpecOp, Value,
+    WitnessQuery,
+};
+
+/// A spec with `n` serial histories over `threads` threads (all orders of
+/// one op per thread, results made distinct per history block so several
+/// groups exist).
+fn synthetic_spec(n: usize, threads: usize) -> ObservationSet {
+    let mut spec = ObservationSet::new();
+    let mut produced = 0usize;
+    let mut perm: Vec<usize> = (0..threads).collect();
+    'outer: loop {
+        for block in 0.. {
+            let ops: Vec<SpecOp> = perm
+                .iter()
+                .map(|&t| SpecOp {
+                    thread: t,
+                    invocation: Invocation::new("op"),
+                    outcome: Outcome::Returned(Value::Int(block)),
+                })
+                .collect();
+            spec.insert(SerialHistory {
+                thread_count: threads,
+                ops,
+            });
+            produced += 1;
+            if produced >= n {
+                break 'outer;
+            }
+            if block >= n as i64 / 6 {
+                break;
+            }
+        }
+        if !next_permutation(&mut perm) {
+            perm = (0..threads).collect();
+        }
+    }
+    spec
+}
+
+fn next_permutation(p: &mut [usize]) -> bool {
+    let n = p.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+fn query(threads: usize) -> WitnessQuery {
+    // A fully-overlapping concurrent history: all calls, then all returns.
+    let mut h = History::new(threads);
+    let ids: Vec<usize> = (0..threads)
+        .map(|t| h.push_call(t, Invocation::new("op")))
+        .collect();
+    for id in ids {
+        h.push_return(id, Value::Int(0));
+    }
+    WitnessQuery::for_full(&h)
+}
+
+fn bench_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("witness");
+    for n in [10usize, 100, 1000] {
+        let spec = synthetic_spec(n, 3);
+        let q = query(3);
+        group.bench_with_input(BenchmarkId::new("indexed_search", n), &n, |b, _| {
+            let idx = spec.index();
+            b.iter(|| find_witness(&idx, &q));
+        });
+        group.bench_with_input(BenchmarkId::new("index_build_plus_search", n), &n, |b, _| {
+            b.iter(|| {
+                let idx = spec.index();
+                find_witness(&idx, &q)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_witness
+}
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Reproduces the **§5.6 comparison**: Line-Up versus happens-before data
+//! race detection and conflict-serializability (atomicity) checking, on
+//! the fixed (correct) collections.
+//!
+//! Expected shape, as in the paper:
+//! * race detection finds **no harmful data races** — the collections use
+//!   volatiles and interlocked operations with discipline;
+//! * conflict-serializability checking produces **many warnings on
+//!   correct code** (the four benign patterns of §5.6: failed-CAS
+//!   retries, double-checked timing optimizations, `==` state tests, lazy
+//!   initialization under a global lock);
+//! * Line-Up passes the same executions.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin comparison [--cap RUNS]
+//! ```
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use lineup::{explore_matrix, Invocation, TestMatrix};
+use lineup_bench::{arg_num, TextTable};
+use lineup_checkers::{check_serializability, detect_races};
+use lineup_collections::cancellation_token_source::CancellationTokenSourceTarget;
+use lineup_collections::concurrent_bag::ConcurrentBagTarget;
+use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+use lineup_collections::concurrent_stack::ConcurrentStackTarget;
+use lineup_collections::semaphore_slim::SemaphoreSlimTarget;
+use lineup_collections::Variant;
+use lineup_sched::Config;
+
+struct Case {
+    name: &'static str,
+    pattern: &'static str,
+    run: fn(cap: u64) -> (u64, usize, usize, bool),
+}
+
+/// Explores a matrix with access logging; returns (runs, race pairs,
+/// serializability warnings, lineup_passes).
+fn analyze<T: lineup::TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    cap: u64,
+) -> (u64, usize, usize, bool) {
+    let config = Config::preemption_bounded(2)
+        .with_access_log(true)
+        .with_max_runs(cap);
+    let mut races = 0usize;
+    let mut warnings = 0usize;
+    let mut seen_cycles: BTreeSet<Vec<(usize, usize)>> = BTreeSet::new();
+    let stats = explore_matrix(target, matrix, &config, |run| {
+        races += detect_races(&run.access_log).len();
+        if let Err(v) = check_serializability(&run.access_log) {
+            let mut cycle = v.cycle.clone();
+            cycle.sort();
+            if seen_cycles.insert(cycle) {
+                warnings += 1;
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    let passed = {
+        let opts = lineup::CheckOptions::new().with_max_phase2_runs(cap);
+        lineup::check(target, matrix, &opts).passed()
+    };
+    (stats.runs, races, warnings, passed)
+}
+
+fn main() {
+    let cap: u64 = arg_num("--cap", 20_000);
+
+    let cases: Vec<Case> = vec![
+        Case {
+            name: "ConcurrentStack",
+            pattern: "failed CAS leads to a retry (benign pattern 1)",
+            run: |cap| {
+                let t = ConcurrentStackTarget {
+                    variant: Variant::Fixed,
+                };
+                let m = TestMatrix::from_columns(vec![
+                    vec![Invocation::with_int("Push", 10), Invocation::new("TryPop")],
+                    vec![Invocation::with_int("Push", 20), Invocation::new("TryPop")],
+                ]);
+                analyze(&t, &m, cap)
+            },
+        },
+        Case {
+            name: "ConcurrentQueue",
+            pattern: "failed CAS leads to a retry (benign pattern 1)",
+            run: |cap| {
+                let t = ConcurrentQueueTarget {
+                    variant: Variant::Fixed,
+                };
+                let m = TestMatrix::from_columns(vec![
+                    vec![
+                        Invocation::with_int("Enqueue", 10),
+                        Invocation::new("TryDequeue"),
+                    ],
+                    vec![
+                        Invocation::with_int("Enqueue", 20),
+                        Invocation::new("TryDequeue"),
+                    ],
+                ]);
+                analyze(&t, &m, cap)
+            },
+        },
+        Case {
+            name: "SemaphoreSlim",
+            pattern: "double-checked timing optimization (benign pattern 2)",
+            run: |cap| {
+                let t = SemaphoreSlimTarget {
+                    variant: Variant::Fixed,
+                    initial: 1,
+                };
+                let m = TestMatrix::from_columns(vec![
+                    vec![
+                        Invocation::with_int("Wait", 0),
+                        Invocation::new("CurrentCount"),
+                    ],
+                    vec![Invocation::new("Release"), Invocation::with_int("Wait", 0)],
+                ]);
+                analyze(&t, &m, cap)
+            },
+        },
+        Case {
+            name: "CancellationTokenSource",
+            pattern: "state compared with == is a right-mover (benign pattern 3)",
+            run: |cap| {
+                let t = CancellationTokenSourceTarget;
+                let m = TestMatrix::from_columns(vec![
+                    vec![
+                        Invocation::new("Increment"),
+                        Invocation::new("IsCancellationRequested"),
+                    ],
+                    vec![Invocation::new("Cancel")],
+                ]);
+                analyze(&t, &m, cap)
+            },
+        },
+        Case {
+            name: "ConcurrentBag",
+            pattern: "lazy initialization under a global lock (benign pattern 4)",
+            run: |cap| {
+                let t = ConcurrentBagTarget {
+                    variant: Variant::Fixed,
+                };
+                // TryTake's steal scan interleaves with the other thread's
+                // lazy slot initialization under the global lock.
+                let m = TestMatrix::from_columns(vec![
+                    vec![Invocation::new("TryTake"), Invocation::new("TryPeek")],
+                    vec![Invocation::with_int("Add", 20), Invocation::new("TryTake")],
+                ]);
+                analyze(&t, &m, cap)
+            },
+        },
+    ];
+
+    println!("§5.6 comparison on correct (fixed) implementations:\n");
+    let mut table = TextTable::new(&[
+        "Class",
+        "Runs",
+        "Data races",
+        "Serializability warnings",
+        "Line-Up",
+    ]);
+    let mut total_warnings = 0usize;
+    let mut total_races = 0usize;
+    for case in &cases {
+        let (runs, races, warnings, passed) = (case.run)(cap);
+        total_warnings += warnings;
+        total_races += races;
+        table.row(vec![
+            case.name.to_string(),
+            runs.to_string(),
+            races.to_string(),
+            warnings.to_string(),
+            if passed { "PASS".into() } else { "FAIL".into() },
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    for case in &cases {
+        println!("  {:<24} {}", case.name, case.pattern);
+    }
+    println!();
+    println!(
+        "Totals: {total_races} data races, {total_warnings} distinct conflict-serializability \
+         warning cycles — all on code Line-Up correctly passes."
+    );
+    println!(
+        "As in the paper: the volatile/interlocked discipline leaves no harmful \
+         data races, while conflict-serializability checking floods the user \
+         with false alarms that are \"labor-intensive to decide\" (§5.6)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Reproduces **Fig. 1** of the paper: the buggy queue whose `TryTake`
+//! fails on a non-empty queue, detected automatically by Line-Up.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin fig1
+//! ```
+
+use lineup::report::render_report;
+use lineup::{CheckOptions, ErasedTarget};
+use lineup_collections::concurrent_queue::{fig1_matrix, ConcurrentQueueTarget};
+use lineup_collections::Variant;
+
+fn main() {
+    println!("Fig. 1: {{Add(200), Add(400)}} ∥ {{TryTake, TryTake}} on the preview queue\n");
+    let matrix = fig1_matrix();
+    println!("Test matrix:\n{matrix}");
+
+    // The fixed queue passes.
+    let fixed = ConcurrentQueueTarget {
+        variant: Variant::Fixed,
+    };
+    let report = fixed.check(&matrix, &CheckOptions::new());
+    println!("ConcurrentQueue (fixed):   {}", verdict(&report));
+
+    // The preview queue fails with the Fig. 1 violation.
+    let pre = ConcurrentQueueTarget {
+        variant: Variant::Pre,
+    };
+    let report = pre.check(&matrix, &CheckOptions::new());
+    println!("ConcurrentQueue (preview): {}\n", verdict(&report));
+    print!("{}", render_report(&report));
+
+    // Shrink to the minimal failing test, as §5.1 does manually.
+    let (small, checks) = pre.shrink_failing_test(&matrix, &CheckOptions::new());
+    let (r, c) = small.dimension();
+    println!("\nMinimal failing test after shrinking ({checks} checks): {r}x{c}");
+    println!("{small}");
+}
+
+fn verdict(report: &lineup::CheckReport) -> &'static str {
+    if report.passed() {
+        "PASS"
+    } else {
+        "FAIL (violation of deterministic linearizability)"
+    }
+}
+

@@ -1,0 +1,124 @@
+//! Search-strategy ablation: how many phase-2 executions each strategy
+//! needs to find a known violation.
+//!
+//! Compares exhaustive DFS (the paper's configuration), a uniform random
+//! walk, and PCT (probabilistic concurrency testing — the Line-Up
+//! authors' follow-up, ASPLOS 2010) on the Fig. 1 queue bug and the
+//! Fig. 9 ManualResetEvent bug.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin strategies [--trials N]
+//! ```
+
+use std::ops::ControlFlow;
+
+use lineup::{explore_matrix, find_witness, synthesize_spec, TestMatrix, WitnessQuery};
+use lineup_bench::{arg_num, TextTable};
+use lineup_collections::manual_reset_event::{fig9_matrix, ManualResetEventTarget};
+use lineup_collections::concurrent_queue::{fig1_matrix, ConcurrentQueueTarget};
+use lineup_collections::Variant;
+use lineup_sched::{Config, RunOutcome};
+
+/// Explores `matrix` with the given scheduler config and returns the
+/// number of runs until the first linearizability violation (checked
+/// against the synthesized spec), or None if the budget ran out.
+fn runs_to_violation<T: lineup::TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    config: &Config,
+) -> Option<u64> {
+    let (spec, _, _) = synthesize_spec(target, matrix);
+    let index = spec.index();
+    let mut found_at = None;
+    let stats = explore_matrix(target, matrix, config, |run| {
+        let violated = match run.outcome {
+            RunOutcome::Complete => {
+                let q = WitnessQuery::for_full(&run.history);
+                find_witness(&index, &q).is_none()
+            }
+            RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial => run
+                .history
+                .pending_ops()
+                .into_iter()
+                .any(|e| {
+                    let q = WitnessQuery::for_stuck(&run.history, e);
+                    find_witness(&index, &q).is_none()
+                }),
+            _ => true,
+        };
+        if violated {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    if stats.stopped_early {
+        found_at = Some(stats.runs);
+    }
+    found_at
+}
+
+type Case = (&'static str, Box<dyn Fn(&Config) -> Option<u64>>);
+
+fn main() {
+    let trials: u64 = arg_num("--trials", 5);
+    let budget: u64 = arg_num("--budget", 200_000);
+
+    let cases: Vec<Case> = vec![
+        (
+            "Fig. 1 (queue TryTake timeout)",
+            Box::new(move |cfg: &Config| {
+                let t = ConcurrentQueueTarget {
+                    variant: Variant::Pre,
+                };
+                runs_to_violation(&t, &fig1_matrix(), cfg)
+            }),
+        ),
+        (
+            "Fig. 9 (MRE lost wakeup)",
+            Box::new(move |cfg: &Config| {
+                let t = ManualResetEventTarget {
+                    variant: Variant::Pre,
+                };
+                runs_to_violation(&t, &fig9_matrix(), cfg)
+            }),
+        ),
+    ];
+
+    println!(
+        "Runs until the violation is found (median of {trials} trials, budget {budget} runs):\n"
+    );
+    let mut table = TextTable::new(&["Bug", "DFS (PB=2)", "Random walk", "PCT d=5"]);
+    for (name, run_case) in &cases {
+        let mut cells = vec![name.to_string()];
+        for strat in 0..3 {
+            let mut results = Vec::new();
+            for trial in 0..trials {
+                let mut cfg = match strat {
+                    0 => Config::preemption_bounded(2),
+                    1 => Config::random(100 + trial, budget),
+                    _ => Config::pct(100 + trial, 5, budget),
+                };
+                cfg.max_runs = Some(budget);
+                results.push(run_case(&cfg));
+            }
+            results.sort();
+            let median = results[results.len() / 2];
+            cells.push(match median {
+                Some(n) => n.to_string(),
+                None => format!(">{budget}"),
+            });
+            if strat == 0 {
+                // DFS is deterministic: one trial describes it.
+            }
+        }
+        table.row(cells);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nDFS is deterministic (the count is where the bug sits in the search \
+         order); Random and PCT are medians over seeds. PCT's priority-change \
+         points target bugs of small depth, the regime of all Table 2 root \
+         causes (small scope hypothesis)."
+    );
+}

@@ -1,0 +1,20 @@
+//! The comparison checkers of the paper's §5.6: a happens-before data
+//! race detector and a conflict-serializability (atomicity) monitor, both
+//! running over the access log recorded by `lineup-sched`.
+//!
+//! The paper used these to test whether linearizability was the right
+//! notion of thread safety for the .NET collections, and found that it
+//! was: "data-race detection was ineffective because the code contained
+//! only benign data races (due to a disciplined use of volatile qualifiers
+//! and interlocked operations), while conflict-serializability checking
+//! produced a discouraging number of false alarms." The
+//! `lineup-bench` `comparison` binary reproduces those findings.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod race;
+pub mod serializability;
+
+pub use race::{detect_races, RaceReport};
+pub use serializability::{check_serializability, ConflictEdge, SerializabilityViolation};

@@ -1,0 +1,269 @@
+//! Conflict-serializability (atomicity) monitoring, after Farzan &
+//! Madhusudan (CAV 2008) as used in the paper's §5.6 comparison: each
+//! operation of the test is a transaction; an execution is conflict-
+//! serializable iff its transaction conflict graph is acyclic.
+//!
+//! The paper implemented this to compare against Line-Up and "abandoned
+//! the effort of classifying [the hundreds of] warnings" because correct
+//! lock-free code routinely violates conflict serializability (failed-CAS
+//! retries, double-checked timing optimizations, `==` state tests, lazy
+//! initialization) — see the four benign patterns listed in §5.6.
+
+use std::collections::{HashMap, HashSet};
+
+use lineup_sched::{AccessEvent, ObjId};
+
+/// A transaction id: one operation of one thread.
+pub type TxId = (usize, usize); // (thread, op_index)
+
+/// One edge of the conflict graph, with a witnessing access pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictEdge {
+    /// Source transaction (performed the earlier conflicting access).
+    pub from: TxId,
+    /// Target transaction.
+    pub to: TxId,
+    /// The object both accesses touch.
+    pub obj: ObjId,
+    /// The earlier access.
+    pub first: AccessEvent,
+    /// The later access.
+    pub second: AccessEvent,
+}
+
+/// The result of a serializability check: a cycle in the conflict graph,
+/// reported as the list of transactions along it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializabilityViolation {
+    /// The transactions forming the cycle, in order.
+    pub cycle: Vec<TxId>,
+    /// All conflict edges of the execution (for diagnosis).
+    pub edges: Vec<ConflictEdge>,
+}
+
+/// Checks one execution's access log for conflict serializability.
+///
+/// Every access is considered — including synchronizing ones (lock and
+/// interlocked operations conflict like writes), which is exactly why the
+/// monitor flags correct lock-free code: a failed CAS is a read the
+/// serialization must order, even though the algorithm retried precisely
+/// because the order did not matter.
+///
+/// Returns `Ok(edge_count)` when serializable, or the violation.
+///
+/// # Example
+///
+/// ```
+/// use lineup_checkers::check_serializability;
+/// assert_eq!(check_serializability(&[]), Ok(0));
+/// ```
+pub fn check_serializability(
+    log: &[AccessEvent],
+) -> Result<usize, Box<SerializabilityViolation>> {
+    // Gather conflicting pairs in execution order.
+    let mut edges: Vec<ConflictEdge> = Vec::new();
+    let mut seen_edges: HashSet<(TxId, TxId, ObjId)> = HashSet::new();
+    // Last readers/writer per object, with their transactions.
+    struct ObjState {
+        last_accesses: Vec<AccessEvent>,
+    }
+    let mut objects: HashMap<ObjId, ObjState> = HashMap::new();
+
+    let relevant = |e: &AccessEvent| e.kind.is_read() || e.kind.is_write() || e.kind.is_sync();
+    let tx = |e: &AccessEvent| (e.thread.index(), e.op_index);
+    // Lock/monitor operations act like writes on the lock object.
+    let writes = |e: &AccessEvent| e.kind.is_write() || (e.kind.is_sync() && !e.kind.is_read());
+
+    for ev in log.iter().filter(|e| relevant(e)) {
+        let state = objects.entry(ev.obj).or_insert(ObjState {
+            last_accesses: Vec::new(),
+        });
+        for prev in &state.last_accesses {
+            if tx(prev) == tx(ev) {
+                continue;
+            }
+            // Conflict: same object, at least one side writes.
+            if writes(prev) || writes(ev) {
+                let key = (tx(prev), tx(ev), ev.obj);
+                if seen_edges.insert(key) {
+                    edges.push(ConflictEdge {
+                        from: tx(prev),
+                        to: tx(ev),
+                        obj: ev.obj,
+                        first: *prev,
+                        second: *ev,
+                    });
+                }
+            }
+        }
+        state.last_accesses.push(*ev);
+    }
+
+    // Cycle detection over the transaction graph.
+    let mut adj: HashMap<TxId, Vec<TxId>> = HashMap::new();
+    let mut nodes: HashSet<TxId> = HashSet::new();
+    for e in &edges {
+        adj.entry(e.from).or_default().push(e.to);
+        nodes.insert(e.from);
+        nodes.insert(e.to);
+    }
+    // Iterative DFS with colors.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<TxId, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut sorted_nodes: Vec<TxId> = nodes.iter().copied().collect();
+    sorted_nodes.sort();
+
+    for &start in &sorted_nodes {
+        if color[&start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index), tracking the gray path.
+        let mut stack: Vec<(TxId, usize)> = vec![(start, 0)];
+        color.insert(start, Color::Gray);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match color[&child] {
+                    Color::White => {
+                        color.insert(child, Color::Gray);
+                        stack.push((child, 0));
+                    }
+                    Color::Gray => {
+                        // Found a cycle: extract the gray path from child.
+                        let pos = stack
+                            .iter()
+                            .position(|&(n, _)| n == child)
+                            .expect("gray node on stack");
+                        let cycle: Vec<TxId> = stack[pos..].iter().map(|&(n, _)| n).collect();
+                        return Err(Box::new(SerializabilityViolation { cycle, edges }));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    Ok(edges.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::race::event;
+    use lineup_sched::AccessKind::*;
+
+    #[test]
+    fn serial_transactions_are_serializable() {
+        // T(0,0) fully before T(1,0).
+        let log = vec![
+            event(0, 0, 1, AtomicLoad, 0),
+            event(1, 0, 1, AtomicStore, 0),
+            event(2, 1, 1, AtomicLoad, 0),
+            event(3, 1, 1, AtomicStore, 0),
+        ];
+        let r = check_serializability(&log);
+        assert!(r.is_ok());
+        assert!(r.unwrap() >= 1, "edges exist, but no cycle");
+    }
+
+    /// The classic non-serializable interleaving: T0 reads, T1 writes,
+    /// T0 writes — T0 must be both before and after T1.
+    #[test]
+    fn interleaved_rmw_is_not_serializable() {
+        let log = vec![
+            event(0, 0, 1, AtomicLoad, 0),
+            event(1, 1, 1, AtomicStore, 0),
+            event(2, 0, 1, AtomicStore, 0),
+        ];
+        let v = check_serializability(&log).unwrap_err();
+        assert_eq!(v.cycle.len(), 2);
+        assert!(v.cycle.contains(&(0, 0)));
+        assert!(v.cycle.contains(&(1, 0)));
+    }
+
+    /// The §5.6 pattern 1: a failed CAS inside a retry loop creates the
+    /// same cycle even though the retried algorithm is correct.
+    #[test]
+    fn failed_cas_retry_is_flagged() {
+        let log = vec![
+            event(0, 0, 1, AtomicLoad, 0),               // T0 reads top
+            event(1, 1, 1, AtomicRmw { success: true }, 0), // T1 pushes
+            event(2, 0, 1, AtomicRmw { success: false }, 0), // T0 CAS fails
+            event(3, 0, 1, AtomicLoad, 0),               // T0 retries: reads
+            event(4, 0, 1, AtomicRmw { success: true }, 0), // T0 succeeds
+        ];
+        assert!(check_serializability(&log).is_err());
+    }
+
+    /// Reads of different transactions do not conflict.
+    #[test]
+    fn read_only_transactions_are_serializable() {
+        let log = vec![
+            event(0, 0, 1, AtomicLoad, 0),
+            event(1, 1, 1, AtomicLoad, 0),
+            event(2, 0, 1, AtomicLoad, 1),
+        ];
+        assert_eq!(check_serializability(&log), Ok(0));
+    }
+
+    /// Different objects never conflict.
+    #[test]
+    fn disjoint_objects_are_serializable() {
+        let log = vec![
+            event(0, 0, 1, AtomicStore, 0),
+            event(1, 1, 2, AtomicStore, 0),
+            event(2, 0, 2, AtomicLoad, 0),
+        ];
+        assert!(check_serializability(&log).is_ok());
+    }
+
+    /// Three-transaction cycle.
+    #[test]
+    fn three_way_cycle_detected() {
+        let log = vec![
+            event(0, 0, 1, AtomicStore, 0), // T0 → others on obj 1
+            event(1, 1, 1, AtomicStore, 0), // T0→T1
+            event(2, 1, 2, AtomicStore, 0),
+            event(3, 2, 2, AtomicStore, 0), // T1→T2
+            event(4, 2, 3, AtomicStore, 0),
+            event(5, 0, 3, AtomicStore, 0), // T2→T0: cycle
+        ];
+        let v = check_serializability(&log).unwrap_err();
+        assert_eq!(v.cycle.len(), 3);
+    }
+
+    /// Same thread, different operations: distinct transactions, ordered
+    /// by program order via their conflicts — no false cycle.
+    #[test]
+    fn successive_ops_of_one_thread_are_fine() {
+        let log = vec![
+            event(0, 0, 1, AtomicStore, 0),
+            event(1, 0, 1, AtomicStore, 1),
+            event(2, 0, 1, AtomicLoad, 2),
+        ];
+        assert!(check_serializability(&log).is_ok());
+    }
+
+    /// Lock operations conflict like writes on the lock object (the
+    /// source of many of the paper's false alarms).
+    #[test]
+    fn lock_handoff_creates_edges() {
+        let log = vec![
+            event(0, 0, 9, LockAcquire, 0),
+            event(1, 0, 9, LockRelease, 0),
+            event(2, 1, 9, LockAcquire, 0),
+            event(3, 1, 9, LockRelease, 0),
+        ];
+        let edges = check_serializability(&log).unwrap();
+        assert!(edges >= 1);
+    }
+}

@@ -1,0 +1,224 @@
+#![allow(clippy::result_unit_err)] // modelled .NET exceptions are `Err(())` responses
+
+//! `Barrier`: a phase barrier — "a classic example of a nonlinearizable
+//! class" (root cause **L**, paper §5.3).
+//!
+//! `SignalAndWait` blocks each thread until all participants have entered
+//! the barrier, "a behavior that is not equivalent to any serial
+//! execution": serially, the first `SignalAndWait` can only block, so no
+//! serial witness exists for the concurrent histories in which all
+//! participants pass through. Line-Up reports the violation; the
+//! classification as *intentional nonlinearizability* is the human step.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{DataCell, Monitor};
+
+
+/// A reusable phase barrier in the style of .NET's `Barrier`.
+#[derive(Debug)]
+pub struct Barrier {
+    monitor: Monitor,
+    participants: DataCell<i64>,
+    arrived: DataCell<i64>,
+    phase: DataCell<i64>,
+}
+
+impl Barrier {
+    /// Creates a barrier for `participants` threads.
+    pub fn new(participants: i64) -> Self {
+        assert!(participants > 0, "participants must be positive");
+        Barrier {
+            monitor: Monitor::new(),
+            participants: DataCell::new(participants),
+            arrived: DataCell::new(0),
+            phase: DataCell::new(0),
+        }
+    }
+
+    /// Signals arrival and blocks until every participant of the current
+    /// phase has arrived; returns the phase number that completed.
+    pub fn signal_and_wait(&self) -> i64 {
+        self.monitor.enter();
+        let my_phase = self.phase.get();
+        self.arrived.set(self.arrived.get() + 1);
+        if self.arrived.get() == self.participants.get() {
+            // Last arriver: release the phase.
+            self.arrived.set(0);
+            self.phase.set(my_phase + 1);
+            self.monitor.pulse_all();
+        } else {
+            while self.phase.get() == my_phase {
+                self.monitor.wait();
+            }
+        }
+        self.monitor.exit();
+        my_phase
+    }
+
+    /// The current phase number.
+    pub fn current_phase_number(&self) -> i64 {
+        self.monitor.enter();
+        let p = self.phase.get();
+        self.monitor.exit();
+        p
+    }
+
+    /// The number of participants.
+    pub fn participant_count(&self) -> i64 {
+        self.monitor.enter();
+        let p = self.participants.get();
+        self.monitor.exit();
+        p
+    }
+
+    /// Participants that still have to arrive in the current phase.
+    pub fn participants_remaining(&self) -> i64 {
+        self.monitor.enter();
+        let r = self.participants.get() - self.arrived.get();
+        self.monitor.exit();
+        r
+    }
+
+    /// Adds a participant; returns the current phase.
+    pub fn add_participant(&self) -> i64 {
+        self.monitor.enter();
+        self.participants.set(self.participants.get() + 1);
+        let p = self.phase.get();
+        self.monitor.exit();
+        p
+    }
+
+    /// Removes a participant; releases the phase if the removal satisfies
+    /// it. Returns `Err(())` when no participant can be removed.
+    pub fn remove_participant(&self) -> Result<(), ()> {
+        self.monitor.enter();
+        let result = if self.participants.get() <= 1 {
+            Err(())
+        } else {
+            self.participants.set(self.participants.get() - 1);
+            if self.arrived.get() == self.participants.get() && self.arrived.get() > 0 {
+                self.arrived.set(0);
+                self.phase.set(self.phase.get() + 1);
+                self.monitor.pulse_all();
+            }
+            Ok(())
+        };
+        self.monitor.exit();
+        result
+    }
+}
+
+/// Line-Up target for [`Barrier`]. Invocations follow Table 1:
+/// `SignalAndWait`, `ParticipantsRemaining`, `RemoveParticipant`,
+/// `CurrentPhaseNumber`, `ParticipantCount`, `AddParticipant`.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierTarget {
+    /// Number of participants of fresh instances.
+    pub participants: i64,
+}
+
+impl TestInstance for Barrier {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "SignalAndWait" => Value::Int(self.signal_and_wait()),
+            "CurrentPhaseNumber" => Value::Int(self.current_phase_number()),
+            "ParticipantCount" => Value::Int(self.participant_count()),
+            "ParticipantsRemaining" => Value::Int(self.participants_remaining()),
+            "AddParticipant" => Value::Int(self.add_participant()),
+            "RemoveParticipant" => match self.remove_participant() {
+                Ok(()) => Value::Unit,
+                Err(()) => Value::Str("InvalidOperationException".into()),
+            },
+            other => panic!("Barrier: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for BarrierTarget {
+    type Instance = Barrier;
+
+    fn name(&self) -> &str {
+        "Barrier"
+    }
+
+    fn create(&self) -> Barrier {
+        Barrier::new(self.participants)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::new("SignalAndWait"),
+            Invocation::new("ParticipantsRemaining"),
+            Invocation::new("CurrentPhaseNumber"),
+            Invocation::new("ParticipantCount"),
+            Invocation::new("AddParticipant"),
+            Invocation::new("RemoveParticipant"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_observers() {
+        let b = Barrier::new(2);
+        assert_eq!(b.participant_count(), 2);
+        assert_eq!(b.participants_remaining(), 2);
+        assert_eq!(b.current_phase_number(), 0);
+        assert_eq!(b.add_participant(), 0);
+        assert_eq!(b.participant_count(), 3);
+        assert_eq!(b.remove_participant(), Ok(()));
+        assert_eq!(b.participant_count(), 2);
+    }
+
+    #[test]
+    fn single_participant_barrier_never_blocks() {
+        let b = Barrier::new(1);
+        assert_eq!(b.signal_and_wait(), 0);
+        assert_eq!(b.signal_and_wait(), 1);
+        assert_eq!(b.current_phase_number(), 2);
+    }
+
+    /// Root cause L: two participants passing the barrier together is not
+    /// equivalent to any serial execution — serially, the first
+    /// SignalAndWait can only block.
+    #[test]
+    fn barrier_is_not_linearizable() {
+        let t = BarrierTarget { participants: 2 };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("SignalAndWait")],
+            vec![Invocation::new("SignalAndWait")],
+        ]);
+        let report = check(&t, &m, &CheckOptions::new());
+        assert!(!report.passed(), "root cause L must be flagged");
+        // Phase 1's serial runs all get stuck on the first SignalAndWait.
+        assert_eq!(report.spec.full_count(), 0);
+        assert!(report.spec.stuck_count() > 0);
+        // The violating concurrent history completes in full.
+        assert!(matches!(
+            report.first_violation(),
+            Some(lineup::Violation::NoWitness { .. })
+        ));
+    }
+
+    /// Observers alone are perfectly linearizable.
+    #[test]
+    fn observers_pass() {
+        let t = BarrierTarget { participants: 2 };
+        let m = TestMatrix::from_columns(vec![
+            vec![
+                Invocation::new("AddParticipant"),
+                Invocation::new("ParticipantCount"),
+            ],
+            vec![
+                Invocation::new("RemoveParticipant"),
+                Invocation::new("ParticipantsRemaining"),
+            ],
+        ]);
+        let report = check(&t, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

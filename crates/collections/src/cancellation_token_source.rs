@@ -1,0 +1,173 @@
+//! `CancellationTokenSource`: a cooperative cancellation state machine.
+//!
+//! `Cancel` transitions `NotCanceled → Notifying → Canceled` (running the
+//! registered callbacks while `Notifying`); observers poll the state with
+//! plain equality comparisons — the §5.6 benign pattern #3: "the current
+//! state is read and compared using a `==` operator. At an abstract level,
+//! this comparison is a right-mover, but a simple serializability detector
+//! does not know that." (No seeded defect; the paper found none here
+//! either, only serializability false alarms.)
+//!
+//! The Table 1 entry lists `Increment, Cancel` — `Increment` models the
+//! internal user-token registration counter of the preview sources.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::Atomic;
+
+/// Cancellation states.
+const NOT_CANCELED: i64 = 0;
+const NOTIFYING: i64 = 1;
+const CANCELED: i64 = 2;
+
+/// A cancellation source in the style of .NET's
+/// `CancellationTokenSource`.
+#[derive(Debug)]
+pub struct CancellationTokenSource {
+    state: Atomic<i64>,
+    /// Internal registration counter (`Increment` in the paper's method
+    /// list): counts token registrations while not canceled.
+    registrations: Atomic<i64>,
+}
+
+impl CancellationTokenSource {
+    /// Creates an uncancelled source.
+    pub fn new() -> Self {
+        CancellationTokenSource {
+            state: Atomic::new(NOT_CANCELED),
+            registrations: Atomic::new(0),
+        }
+    }
+
+    /// Requests cancellation; idempotent. Returns whether this call won
+    /// the transition.
+    pub fn cancel(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(NOT_CANCELED, NOTIFYING)
+            .is_err()
+        {
+            return false;
+        }
+        // Callback notification would run here, while `Notifying`.
+        self.state.store(CANCELED);
+        true
+    }
+
+    /// Whether cancellation has been requested (`Notifying` counts, as in
+    /// the original). The `==`-style state comparison is the §5.6 benign
+    /// right-mover pattern.
+    pub fn is_cancellation_requested(&self) -> bool {
+        self.state.load() != NOT_CANCELED
+    }
+
+    /// Whether cancellation has fully completed.
+    pub fn is_canceled(&self) -> bool {
+        self.state.load() == CANCELED
+    }
+
+    /// Registers a token user; fails once cancellation has been requested.
+    pub fn increment(&self) -> bool {
+        loop {
+            if self.state.load() != NOT_CANCELED {
+                return false;
+            }
+            let n = self.registrations.load();
+            if self.registrations.compare_exchange(n, n + 1).is_ok() {
+                // Re-check: a cancel may have slipped in; back out then.
+                if self.state.load() != NOT_CANCELED {
+                    self.registrations.fetch_sub(1);
+                    return false;
+                }
+                return true;
+            }
+        }
+    }
+
+    /// The number of live registrations.
+    pub fn registrations(&self) -> i64 {
+        self.registrations.load()
+    }
+}
+
+impl Default for CancellationTokenSource {
+    fn default() -> Self {
+        CancellationTokenSource::new()
+    }
+}
+
+/// Line-Up target for [`CancellationTokenSource`]. Invocations follow
+/// Table 1: `Increment`, `Cancel` (plus the observer
+/// `IsCancellationRequested`).
+#[derive(Debug, Clone, Copy)]
+pub struct CancellationTokenSourceTarget;
+
+impl TestInstance for CancellationTokenSource {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Cancel" => Value::Bool(self.cancel()),
+            "Increment" => Value::Bool(self.increment()),
+            "IsCancellationRequested" => Value::Bool(self.is_cancellation_requested()),
+            other => panic!("CancellationTokenSource: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for CancellationTokenSourceTarget {
+    type Instance = CancellationTokenSource;
+
+    fn name(&self) -> &str {
+        "CancellationTokenSource"
+    }
+
+    fn create(&self) -> CancellationTokenSource {
+        CancellationTokenSource::new()
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::new("Increment"),
+            Invocation::new("Cancel"),
+            Invocation::new("IsCancellationRequested"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_cancel_semantics() {
+        let c = CancellationTokenSource::new();
+        assert!(!c.is_cancellation_requested());
+        assert!(c.increment());
+        assert_eq!(c.registrations(), 1);
+        assert!(c.cancel());
+        assert!(!c.cancel(), "second cancel loses");
+        assert!(c.is_cancellation_requested());
+        assert!(c.is_canceled());
+        assert!(!c.increment(), "no registration after cancel");
+    }
+
+    #[test]
+    fn cancel_race_passes_check() {
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Cancel")],
+            vec![Invocation::new("Cancel")],
+            vec![Invocation::new("IsCancellationRequested")],
+        ]);
+        let report = check(&CancellationTokenSourceTarget, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn increment_vs_cancel_passes_check() {
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Increment"), Invocation::new("Increment")],
+            vec![Invocation::new("Cancel")],
+        ]);
+        let report = check(&CancellationTokenSourceTarget, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,343 @@
+//! `ConcurrentBag`: an unordered collection with per-thread storage and
+//! work stealing.
+//!
+//! Each thread owns a local list (created lazily under a global lock —
+//! the benign serializability violation #4 of §5.6); `Add` pushes to the
+//! caller's list, `TryTake` pops the caller's list LIFO and *steals* from
+//! another thread's list FIFO when the local list is empty.
+//!
+//! Root cause **H** is *intentional nondeterminism*: "a ConcurrentBag
+//! represents an unordered collection of items and the implementation is
+//! allowed to remove any one of the elements during a TryTake" (§5.2.2).
+//! Which element `TryTake` returns depends on which thread runs it and on
+//! the interleaving, so concurrent histories arise that match no serial
+//! witness; Line-Up reports the violation, and the human classifies it as
+//! intended behaviour — exactly what happened in the paper, where the
+//! developers updated the documentation instead of the code.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{DataCell, Mutex, VolatileCell};
+
+use crate::support::{int_arg, try_result, Variant};
+
+const MAX_THREADS: usize = 16;
+
+/// One thread-local list with its own lock (stealers contend on it).
+#[derive(Debug)]
+struct LocalList {
+    lock: Mutex,
+    items: DataCell<Vec<i64>>,
+}
+
+/// One lazily-created slot, published double-checked-style: the data cell
+/// is written under the global lock, then the volatile flag is set, so
+/// lock-free readers of `published` never race on `list`.
+#[derive(Debug)]
+struct Slot {
+    published: VolatileCell<bool>,
+    list: DataCell<Option<std::sync::Arc<LocalList>>>,
+}
+
+/// An unordered bag with per-thread lists and stealing.
+#[derive(Debug)]
+pub struct ConcurrentBag {
+    /// Guards lazy creation of the per-thread lists (§5.6 pattern 4: the
+    /// lazy initialization takes a global lock, which is benign but
+    /// breaks conflict serializability).
+    global_lock: Mutex,
+    slots: Vec<Slot>,
+}
+
+impl ConcurrentBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        ConcurrentBag {
+            global_lock: Mutex::new(),
+            slots: (0..MAX_THREADS)
+                .map(|_| Slot {
+                    published: VolatileCell::new(false),
+                    list: DataCell::new(None),
+                })
+                .collect(),
+        }
+    }
+
+    fn slot_of(thread: lineup_sched::ThreadId) -> usize {
+        thread.index() % MAX_THREADS
+    }
+
+    /// The caller's local list, created lazily under the global lock.
+    fn my_list(&self) -> std::sync::Arc<LocalList> {
+        let slot = &self.slots[Self::slot_of(lineup_sched::current_thread())];
+        if slot.published.read() {
+            return slot.list.get_clone().expect("published slot has a list");
+        }
+        // Lazy initialization, global lock held (benign serializability
+        // violation: this work "does not affect the current operation in
+        // any way").
+        self.global_lock.acquire();
+        if !slot.published.read() {
+            slot.list.set(Some(std::sync::Arc::new(LocalList {
+                lock: Mutex::new(),
+                items: DataCell::new(Vec::new()),
+            })));
+            slot.published.write(true);
+        }
+        let list = slot.list.get_clone().expect("just created");
+        self.global_lock.release();
+        list
+    }
+
+    /// All currently existing lists, in slot order.
+    fn all_lists(&self) -> Vec<std::sync::Arc<LocalList>> {
+        self.slots
+            .iter()
+            .filter(|s| s.published.read())
+            .map(|s| s.list.get_clone().expect("published slot has a list"))
+            .collect()
+    }
+
+    /// Adds an element to the caller's local list.
+    pub fn add(&self, value: i64) {
+        let list = self.my_list();
+        list.lock.acquire();
+        list.items.with_mut(|v| v.push(value));
+        list.lock.release();
+    }
+
+    /// Takes some element: LIFO from the local list, else FIFO-steals from
+    /// the first non-empty other list. Which element is removed is
+    /// unspecified (root cause H).
+    pub fn try_take(&self) -> Option<i64> {
+        let mine = self.my_list();
+        mine.lock.acquire();
+        let local = mine.items.with_mut(|v| v.pop());
+        mine.lock.release();
+        if local.is_some() {
+            return local;
+        }
+        // Steal.
+        for list in self.all_lists() {
+            list.lock.acquire();
+            let stolen = list.items.with_mut(|v| {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.remove(0))
+                }
+            });
+            list.lock.release();
+            if stolen.is_some() {
+                return stolen;
+            }
+        }
+        None
+    }
+
+    /// Observes some element without removing it.
+    pub fn try_peek(&self) -> Option<i64> {
+        let mine = self.my_list();
+        mine.lock.acquire();
+        let local = mine.items.with(|v| v.last().copied());
+        mine.lock.release();
+        if local.is_some() {
+            return local;
+        }
+        for list in self.all_lists() {
+            list.lock.acquire();
+            let seen = list.items.with(|v| v.first().copied());
+            list.lock.release();
+            if seen.is_some() {
+                return seen;
+            }
+        }
+        None
+    }
+
+    /// Total number of elements (locks all lists, so the snapshot is
+    /// consistent).
+    pub fn count(&self) -> usize {
+        let lists = self.all_lists();
+        for l in &lists {
+            l.lock.acquire();
+        }
+        let n = lists.iter().map(|l| l.items.with(Vec::len)).sum();
+        for l in lists.iter().rev() {
+            l.lock.release();
+        }
+        n
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Snapshot of all elements (sorted, since the bag is unordered and a
+    /// deterministic rendering keeps serial specifications deterministic).
+    pub fn to_vec(&self) -> Vec<i64> {
+        let lists = self.all_lists();
+        for l in &lists {
+            l.lock.acquire();
+        }
+        let mut out: Vec<i64> = lists
+            .iter()
+            .flat_map(|l| l.items.with(|v| v.clone()))
+            .collect();
+        for l in lists.iter().rev() {
+            l.lock.release();
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Default for ConcurrentBag {
+    fn default() -> Self {
+        ConcurrentBag::new()
+    }
+}
+
+/// Line-Up target for [`ConcurrentBag`]. Invocations follow Table 1:
+/// `Count`, `Add(10)`, `Add(20)`, `TryTake`, `IsEmpty`, `TryPeek`,
+/// `ToArray`. (The bag has no pre/fixed split: root cause H is inherent.)
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentBagTarget {
+    /// Kept for registry symmetry; both variants are the same code.
+    pub variant: Variant,
+}
+
+impl TestInstance for ConcurrentBag {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Add" => {
+                self.add(int_arg(inv));
+                Value::Unit
+            }
+            "TryTake" => try_result(self.try_take()),
+            "TryPeek" => try_result(self.try_peek()),
+            "Count" => Value::Int(self.count() as i64),
+            "IsEmpty" => Value::Bool(self.is_empty()),
+            "ToArray" => Value::int_seq(self.to_vec()),
+            other => panic!("ConcurrentBag: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for ConcurrentBagTarget {
+    type Instance = ConcurrentBag;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "ConcurrentBag",
+            Variant::Pre => "ConcurrentBag (Pre)",
+        }
+    }
+
+    fn create(&self) -> ConcurrentBag {
+        ConcurrentBag::new()
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::with_int("Add", 10),
+            Invocation::with_int("Add", 20),
+            Invocation::new("TryTake"),
+            Invocation::new("TryPeek"),
+            Invocation::new("Count"),
+            Invocation::new("IsEmpty"),
+            Invocation::new("ToArray"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn unmodelled_bag_basics() {
+        let b = ConcurrentBag::new();
+        assert!(b.is_empty());
+        assert_eq!(b.try_take(), None);
+        b.add(1);
+        b.add(2);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.to_vec(), vec![1, 2]);
+        // Single-threaded: LIFO from the local list.
+        assert_eq!(b.try_take(), Some(2));
+        assert_eq!(b.try_peek(), Some(1));
+        assert_eq!(b.try_take(), Some(1));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn model_steal_takes_other_threads_elements() {
+        // Thread 0 adds; thread 1 takes — only stealing can succeed.
+        let mut took = std::collections::BTreeSet::new();
+        let probe = lineup_sched::Probe::new();
+        let setup_probe = probe.clone();
+        lineup_sched::explore(
+            &lineup_sched::Config::preemption_bounded(2),
+            move |ex| {
+                let bag = std::sync::Arc::new(ConcurrentBag::new());
+                let got = std::sync::Arc::new(DataCell::new(None));
+                setup_probe.put(std::sync::Arc::clone(&got));
+                let b2 = std::sync::Arc::clone(&bag);
+                ex.spawn(move || bag.add(7));
+                ex.spawn(move || {
+                    let v = b2.try_take();
+                    got.set(v);
+                });
+            },
+            |_| {
+                took.insert(probe.take().get());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(took.contains(&Some(7)), "steal succeeds in some schedule");
+        assert!(took.contains(&None), "take-before-add fails in some schedule");
+    }
+
+    /// Root cause H: the multi-list steal scan is not atomic, so a
+    /// TryTake can miss *every* element — passing thread 0's slot before
+    /// Add(10) lands there, and reaching thread 2's list after its owner
+    /// took the 30 — and fail although the bag is non-empty at every
+    /// possible linearization point. Line-Up flags the violation; the
+    /// paper's developers classified this class of bag behaviour as
+    /// intended ("the implementation is allowed to remove any one of the
+    /// elements") and documented it instead of fixing it.
+    #[test]
+    fn bag_scan_miss_violates_deterministic_linearizability() {
+        let target = ConcurrentBagTarget {
+            variant: Variant::Pre,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("Add", 10)],
+            vec![Invocation::new("TryTake")],
+            vec![Invocation::with_int("Add", 30), Invocation::new("TryTake")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(
+            !report.passed(),
+            "root cause H (intentional nondeterminism) must be flagged"
+        );
+    }
+
+    #[test]
+    fn single_thread_column_passes() {
+        // With one thread everything is deterministic.
+        let target = ConcurrentBagTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![vec![
+            Invocation::with_int("Add", 10),
+            Invocation::new("TryTake"),
+            Invocation::new("Count"),
+        ]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

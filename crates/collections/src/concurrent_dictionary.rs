@@ -1,0 +1,412 @@
+//! `ConcurrentDictionary`: a striped-lock hash map.
+//!
+//! Buckets are guarded by a small set of stripe locks; `Count` and `Clear`
+//! acquire *all* stripes (as the .NET original does) so they observe a
+//! consistent snapshot.
+//!
+//! The **pre** variant carries root cause **F**: the element count is
+//! maintained with a plain read-modify-write *outside* the bucket lock, so
+//! concurrent `TryAdd`/`TryRemove` lose count updates and `Count` reports
+//! values impossible under any serialization.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{DataCell, Mutex};
+
+use crate::support::{int_arg, try_result, Variant};
+
+const STRIPES: usize = 2;
+
+/// A striped-lock hash map from `i64` keys to `i64` values.
+#[derive(Debug)]
+pub struct ConcurrentDictionary {
+    locks: Vec<Mutex>,
+    buckets: Vec<DataCell<Vec<(i64, i64)>>>,
+    /// Fixed: one counter per stripe, updated under the stripe lock and
+    /// summed by `Count` while holding all stripes (the .NET scheme).
+    stripe_counts: Vec<DataCell<i64>>,
+    /// Pre: a single counter updated with an unlocked read-modify-write
+    /// (root cause F).
+    shared_count: DataCell<i64>,
+    variant: Variant,
+}
+
+impl ConcurrentDictionary {
+    /// Creates an empty dictionary (fixed variant).
+    pub fn new() -> Self {
+        ConcurrentDictionary::with_variant(Variant::Fixed)
+    }
+
+    /// Creates an empty dictionary of the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        ConcurrentDictionary {
+            locks: (0..STRIPES).map(|_| Mutex::new()).collect(),
+            buckets: (0..STRIPES).map(|_| DataCell::new(Vec::new())).collect(),
+            stripe_counts: (0..STRIPES).map(|_| DataCell::new(0)).collect(),
+            shared_count: DataCell::new(0),
+            variant,
+        }
+    }
+
+    fn stripe(&self, key: i64) -> usize {
+        (key.unsigned_abs() as usize) % STRIPES
+    }
+
+    /// Applies a count delta. In the fixed variant the caller holds the
+    /// stripe lock and the delta lands on that stripe's counter; in the
+    /// pre variant the unlocked read-modify-write on the shared counter
+    /// races (root cause F).
+    fn bump_count(&self, stripe: usize, delta: i64) {
+        match self.variant {
+            Variant::Fixed => self.stripe_counts[stripe].with_mut(|c| *c += delta),
+            Variant::Pre => {
+                let c = self.shared_count.get();
+                self.shared_count.set(c + delta);
+            }
+        }
+    }
+
+    /// Inserts `key → value` if absent; returns whether it was inserted.
+    pub fn try_add(&self, key: i64, value: i64) -> bool {
+        let s = self.stripe(key);
+        self.locks[s].acquire();
+        let added = self.buckets[s].with_mut(|b| {
+            if b.iter().any(|&(k, _)| k == key) {
+                false
+            } else {
+                b.push((key, value));
+                true
+            }
+        });
+        match self.variant {
+            Variant::Fixed => {
+                if added {
+                    self.bump_count(s, 1);
+                }
+                self.locks[s].release();
+            }
+            Variant::Pre => {
+                // The count update escapes the critical section.
+                self.locks[s].release();
+                if added {
+                    self.bump_count(s, 1);
+                }
+            }
+        }
+        added
+    }
+
+    /// Removes `key`; returns the removed value.
+    pub fn try_remove(&self, key: i64) -> Option<i64> {
+        let s = self.stripe(key);
+        self.locks[s].acquire();
+        let removed = self.buckets[s].with_mut(|b| {
+            let pos = b.iter().position(|&(k, _)| k == key)?;
+            Some(b.remove(pos).1)
+        });
+        match self.variant {
+            Variant::Fixed => {
+                if removed.is_some() {
+                    self.bump_count(s, -1);
+                }
+                self.locks[s].release();
+            }
+            Variant::Pre => {
+                self.locks[s].release();
+                if removed.is_some() {
+                    self.bump_count(s, -1);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Looks up `key`.
+    pub fn try_get(&self, key: i64) -> Option<i64> {
+        let s = self.stripe(key);
+        self.locks[s].acquire();
+        let v = self.buckets[s].with(|b| b.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v));
+        self.locks[s].release();
+        v
+    }
+
+    /// Indexer read (`dict[key]`); `None` models the .NET
+    /// `KeyNotFoundException`.
+    pub fn get_index(&self, key: i64) -> Option<i64> {
+        self.try_get(key)
+    }
+
+    /// Indexer write (`dict[key] = value`): insert or overwrite.
+    pub fn set_index(&self, key: i64, value: i64) {
+        let s = self.stripe(key);
+        self.locks[s].acquire();
+        let added = self.buckets[s].with_mut(|b| {
+            if let Some(slot) = b.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+                false
+            } else {
+                b.push((key, value));
+                true
+            }
+        });
+        match self.variant {
+            Variant::Fixed => {
+                if added {
+                    self.bump_count(s, 1);
+                }
+                self.locks[s].release();
+            }
+            Variant::Pre => {
+                self.locks[s].release();
+                if added {
+                    self.bump_count(s, 1);
+                }
+            }
+        }
+    }
+
+    /// Updates `key` to `new` only when present with value `expected`.
+    pub fn try_update(&self, key: i64, new: i64, expected: i64) -> bool {
+        let s = self.stripe(key);
+        self.locks[s].acquire();
+        let updated = self.buckets[s].with_mut(|b| {
+            if let Some(slot) = b.iter_mut().find(|(k, v)| *k == key && *v == expected) {
+                slot.1 = new;
+                true
+            } else {
+                false
+            }
+        });
+        self.locks[s].release();
+        updated
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: i64) -> bool {
+        self.try_get(key).is_some()
+    }
+
+    /// The number of entries. Takes all stripe locks (as the .NET original
+    /// does) and reads the maintained count.
+    pub fn count(&self) -> i64 {
+        for l in &self.locks {
+            l.acquire();
+        }
+        let c = match self.variant {
+            Variant::Fixed => self.stripe_counts.iter().map(DataCell::get).sum(),
+            Variant::Pre => self.shared_count.get(),
+        };
+        for l in self.locks.iter().rev() {
+            l.release();
+        }
+        c
+    }
+
+    /// Whether the dictionary is empty (same locking as `Count`).
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Removes all entries (takes all stripe locks).
+    pub fn clear(&self) {
+        for l in &self.locks {
+            l.acquire();
+        }
+        for b in &self.buckets {
+            b.with_mut(Vec::clear);
+        }
+        for c in &self.stripe_counts {
+            c.set(0);
+        }
+        self.shared_count.set(0);
+        for l in self.locks.iter().rev() {
+            l.release();
+        }
+    }
+}
+
+impl Default for ConcurrentDictionary {
+    fn default() -> Self {
+        ConcurrentDictionary::new()
+    }
+}
+
+/// Line-Up target for [`ConcurrentDictionary`]. Invocations follow
+/// Table 1: for x ∈ {10, 20}: `TryAdd(x)`, `TryRemove(x)`, `TryGet(x)`,
+/// `get[x]`, `set[x]`, `TryUpdate(x)`, `ContainsKey(x)`; plus `Count`,
+/// `IsEmpty`, `Clear`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentDictionaryTarget {
+    /// Fixed or pre (root cause F).
+    pub variant: Variant,
+}
+
+impl TestInstance for ConcurrentDictionary {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        let key = || int_arg(inv);
+        match inv.name.as_str() {
+            "TryAdd" => Value::Bool(self.try_add(key(), key() * 100)),
+            "TryRemove" => try_result(self.try_remove(key())),
+            "TryGet" => try_result(self.try_get(key())),
+            "get" => try_result(self.get_index(key())),
+            "set" => {
+                self.set_index(key(), key() * 100 + 1);
+                Value::Unit
+            }
+            "TryUpdate" => Value::Bool(self.try_update(key(), key() * 100 + 2, key() * 100)),
+            "ContainsKey" => Value::Bool(self.contains_key(key())),
+            "Count" => Value::Int(self.count()),
+            "IsEmpty" => Value::Bool(self.is_empty()),
+            "Clear" => {
+                self.clear();
+                Value::Unit
+            }
+            other => panic!("ConcurrentDictionary: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for ConcurrentDictionaryTarget {
+    type Instance = ConcurrentDictionary;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "ConcurrentDictionary",
+            Variant::Pre => "ConcurrentDictionary (Pre)",
+        }
+    }
+
+    fn create(&self) -> ConcurrentDictionary {
+        ConcurrentDictionary::with_variant(self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        let mut invs = Vec::new();
+        for x in [10, 20] {
+            for name in [
+                "TryAdd",
+                "TryRemove",
+                "TryGet",
+                "get",
+                "set",
+                "TryUpdate",
+                "ContainsKey",
+            ] {
+                invs.push(Invocation::with_int(name, x));
+            }
+        }
+        invs.push(Invocation::new("Count"));
+        invs.push(Invocation::new("IsEmpty"));
+        invs.push(Invocation::new("Clear"));
+        invs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_dictionary_basics() {
+        let d = ConcurrentDictionary::new();
+        assert!(d.is_empty());
+        assert!(d.try_add(10, 1000));
+        assert!(!d.try_add(10, 9));
+        assert_eq!(d.try_get(10), Some(1000));
+        assert!(d.contains_key(10));
+        assert!(!d.contains_key(20));
+        assert!(d.try_update(10, 7, 1000));
+        assert_eq!(d.try_get(10), Some(7));
+        assert!(!d.try_update(10, 8, 1000));
+        d.set_index(20, 5);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.try_remove(10), Some(7));
+        assert_eq!(d.try_remove(10), None);
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn fixed_passes_add_remove_count() {
+        let target = ConcurrentDictionaryTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("TryAdd", 10)],
+            vec![Invocation::with_int("TryAdd", 20)],
+        ])
+        .with_finally(vec![Invocation::new("Count")]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_fails_count_after_concurrent_adds() {
+        // Root cause F: both adds succeed but a count update is lost; the
+        // final Count of 1 matches no serialization.
+        let target = ConcurrentDictionaryTarget {
+            variant: Variant::Pre,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("TryAdd", 10)],
+            vec![Invocation::with_int("TryAdd", 20)],
+        ])
+        .with_finally(vec![Invocation::new("Count")]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed(), "root cause F must be detected");
+        assert!(matches!(
+            report.first_violation(),
+            Some(lineup::Violation::NoWitness { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_passes_same_key_contention() {
+        let target = ConcurrentDictionaryTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![
+                Invocation::with_int("TryAdd", 10),
+                Invocation::with_int("TryRemove", 10),
+            ],
+            vec![
+                Invocation::with_int("TryAdd", 10),
+                Invocation::with_int("ContainsKey", 10),
+            ],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn fixed_passes_clear_vs_add() {
+        let target = ConcurrentDictionaryTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Clear"), Invocation::new("IsEmpty")],
+            vec![Invocation::with_int("set", 20)],
+        ])
+        .with_init(vec![Invocation::with_int("TryAdd", 10)]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn fixed_passes_update_vs_get() {
+        let target = ConcurrentDictionaryTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("TryUpdate", 10)],
+            vec![
+                Invocation::with_int("TryGet", 10),
+                Invocation::with_int("get", 10),
+            ],
+        ])
+        .with_init(vec![Invocation::with_int("TryAdd", 10)]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,245 @@
+#![allow(clippy::result_unit_err)] // modelled .NET exceptions are `Err(())` responses
+
+//! `ConcurrentLinkedList`: a lock-based deque (the unreleased internal
+//! class of the paper's Table 1).
+//!
+//! The **pre** variant carries root cause **G**: `RemoveFirst` checks for
+//! emptiness *before* acquiring the lock (a time-of-check/time-of-use
+//! flaw in the algorithm's logic). When another thread drains the list in
+//! between, the unconditional removal inside the critical section fires on
+//! an empty list and the operation crashes — Line-Up reports the panic as
+//! a violation.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{DataCell, Mutex};
+
+use crate::support::{int_arg, try_result, Variant};
+
+/// A doubly-ended list guarded by one lock.
+#[derive(Debug)]
+pub struct ConcurrentLinkedList {
+    lock: Mutex,
+    items: DataCell<std::collections::VecDeque<i64>>,
+    variant: Variant,
+}
+
+impl ConcurrentLinkedList {
+    /// Creates an empty list (fixed variant).
+    pub fn new() -> Self {
+        ConcurrentLinkedList::with_variant(Variant::Fixed)
+    }
+
+    /// Creates an empty list of the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        ConcurrentLinkedList {
+            lock: Mutex::new(),
+            items: DataCell::new(std::collections::VecDeque::new()),
+            variant,
+        }
+    }
+
+    /// Prepends an element.
+    pub fn add_first(&self, value: i64) {
+        self.lock.acquire();
+        self.items.with_mut(|l| l.push_front(value));
+        self.lock.release();
+    }
+
+    /// Appends an element.
+    pub fn add_last(&self, value: i64) {
+        self.lock.acquire();
+        self.items.with_mut(|l| l.push_back(value));
+        self.lock.release();
+    }
+
+    /// Removes and returns the first element, or `None` when empty.
+    pub fn remove_first(&self) -> Option<i64> {
+        match self.variant {
+            Variant::Fixed => {
+                self.lock.acquire();
+                let v = self.items.with_mut(|l| l.pop_front());
+                self.lock.release();
+                v
+            }
+            Variant::Pre => {
+                // Root cause G: the emptiness check happens before the
+                // lock is taken; the removal inside the critical section
+                // assumes it still holds.
+                if self.items.with(|l| l.is_empty()) {
+                    return None;
+                }
+                self.lock.acquire();
+                let v = self
+                    .items
+                    .with_mut(|l| l.pop_front())
+                    .expect("ConcurrentLinkedList: removal from emptied list");
+                self.lock.release();
+                Some(v)
+            }
+        }
+    }
+
+    /// Removes and returns the last element, or `None` when empty.
+    pub fn remove_last(&self) -> Option<i64> {
+        self.lock.acquire();
+        let v = self.items.with_mut(|l| l.pop_back());
+        self.lock.release();
+        v
+    }
+
+    /// Removes every element, returning how many were removed
+    /// (the original's `RemoveList`).
+    pub fn remove_list(&self) -> usize {
+        self.lock.acquire();
+        let n = self.items.with_mut(|l| {
+            let n = l.len();
+            l.clear();
+            n
+        });
+        self.lock.release();
+        n
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.lock.acquire();
+        let n = self.items.with(|l| l.len());
+        self.lock.release();
+        n
+    }
+}
+
+impl Default for ConcurrentLinkedList {
+    fn default() -> Self {
+        ConcurrentLinkedList::new()
+    }
+}
+
+/// Line-Up target for [`ConcurrentLinkedList`]. Invocations follow
+/// Table 1: `Count`, `AddFirst`, `AddLast`, `RemoveFirst`, `RemoveList`,
+/// `RemoveLast`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentLinkedListTarget {
+    /// Fixed or pre (root cause G).
+    pub variant: Variant,
+}
+
+impl TestInstance for ConcurrentLinkedList {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "AddFirst" => {
+                self.add_first(int_arg(inv));
+                Value::Unit
+            }
+            "AddLast" => {
+                self.add_last(int_arg(inv));
+                Value::Unit
+            }
+            "RemoveFirst" => try_result(self.remove_first()),
+            "RemoveLast" => try_result(self.remove_last()),
+            "RemoveList" => Value::Int(self.remove_list() as i64),
+            "Count" => Value::Int(self.count() as i64),
+            other => panic!("ConcurrentLinkedList: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for ConcurrentLinkedListTarget {
+    type Instance = ConcurrentLinkedList;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "ConcurrentLinkedList",
+            Variant::Pre => "ConcurrentLinkedList (Pre)",
+        }
+    }
+
+    fn create(&self) -> ConcurrentLinkedList {
+        ConcurrentLinkedList::with_variant(self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::with_int("AddFirst", 10),
+            Invocation::with_int("AddLast", 20),
+            Invocation::new("RemoveFirst"),
+            Invocation::new("RemoveLast"),
+            Invocation::new("RemoveList"),
+            Invocation::new("Count"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_deque_basics() {
+        let l = ConcurrentLinkedList::new();
+        assert_eq!(l.remove_first(), None);
+        l.add_first(2);
+        l.add_first(1);
+        l.add_last(3);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.remove_first(), Some(1));
+        assert_eq!(l.remove_last(), Some(3));
+        assert_eq!(l.remove_list(), 1);
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn fixed_passes_remove_race() {
+        let target = ConcurrentLinkedListTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("RemoveFirst")],
+            vec![Invocation::new("RemoveList")],
+        ])
+        .with_init(vec![Invocation::with_int("AddLast", 10)]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_crashes_on_remove_race() {
+        // Root cause G: RemoveFirst sees one element, RemoveList drains
+        // the list before the lock is taken, the unconditional pop fires
+        // on an empty list.
+        let target = ConcurrentLinkedListTarget {
+            variant: Variant::Pre,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("RemoveFirst")],
+            vec![Invocation::new("RemoveList")],
+        ])
+        .with_init(vec![Invocation::with_int("AddLast", 10)]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed(), "root cause G must be detected");
+        assert!(matches!(
+            report.first_violation(),
+            Some(lineup::Violation::Panic { serial: false, .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_passes_add_remove_ends() {
+        let target = ConcurrentLinkedListTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![
+                Invocation::with_int("AddFirst", 10),
+                Invocation::new("RemoveLast"),
+            ],
+            vec![
+                Invocation::with_int("AddLast", 20),
+                Invocation::new("Count"),
+            ],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,434 @@
+//! `ConcurrentQueue`: a FIFO queue.
+//!
+//! The **fixed** variant is a lock-free Michael–Scott queue: nodes live in
+//! an append-only arena and links are atomic indexes, so compare-and-swap
+//! works on plain integers and indexes are never reused (no ABA).
+//!
+//! The **pre** variant carries root cause **B**, the paper's flagship
+//! Fig. 1 bug: a coarse-lock queue whose `TryDequeue`/`TryTake` guards the
+//! queue with a *timed* lock acquire (`Monitor.TryEnter(lock, timeout)`).
+//! Under contention the timeout can fire, and the operation reports
+//! failure *as if the queue were empty* — "caused by accidentally allowing
+//! a lock acquire in TryTake to time out". A client then observes
+//! `TryTake` failing on a queue that provably contains elements, which is
+//! not linearizable with respect to any deterministic specification.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{Atomic, DataCell, Mutex};
+
+use crate::support::{int_arg, try_result, Variant};
+
+const NIL: usize = usize::MAX;
+
+/// One node of the Michael–Scott queue. Nodes are arena-allocated and
+/// never freed during an execution, so indexes stay valid.
+#[derive(Debug)]
+struct Node {
+    value: i64,
+    next: Atomic<usize>,
+}
+
+/// The lock-free (fixed) queue.
+#[derive(Debug)]
+struct MsQueue {
+    /// Append-only node arena. Pushing is not a schedule point (it models
+    /// memory allocation, which is invisible to other threads until the
+    /// node is linked with a CAS).
+    arena: std::sync::Mutex<Vec<std::sync::Arc<Node>>>,
+    head: Atomic<usize>,
+    tail: Atomic<usize>,
+}
+
+impl MsQueue {
+    fn new() -> Self {
+        // Sentinel dummy node at index 0.
+        let sentinel = std::sync::Arc::new(Node {
+            value: 0,
+            next: Atomic::new(NIL),
+        });
+        MsQueue {
+            arena: std::sync::Mutex::new(vec![sentinel]),
+            head: Atomic::new(0),
+            tail: Atomic::new(0),
+        }
+    }
+
+    fn node(&self, idx: usize) -> std::sync::Arc<Node> {
+        std::sync::Arc::clone(&self.arena.lock().unwrap()[idx])
+    }
+
+    fn alloc(&self, value: i64) -> usize {
+        let mut arena = self.arena.lock().unwrap();
+        arena.push(std::sync::Arc::new(Node {
+            value,
+            next: Atomic::new(NIL),
+        }));
+        arena.len() - 1
+    }
+
+    fn enqueue(&self, value: i64) {
+        let new = self.alloc(value);
+        loop {
+            let tail = self.tail.load();
+            let tail_node = self.node(tail);
+            let next = tail_node.next.load();
+            if next != NIL {
+                // Tail lagging: help advance it.
+                let _ = self.tail.compare_exchange(tail, next);
+                continue;
+            }
+            if tail_node.next.compare_exchange(NIL, new).is_ok() {
+                let _ = self.tail.compare_exchange(tail, new);
+                return;
+            }
+        }
+    }
+
+    fn try_dequeue(&self) -> Option<i64> {
+        loop {
+            let head = self.head.load();
+            let tail = self.tail.load();
+            let next = self.node(head).next.load();
+            if next == NIL {
+                return None;
+            }
+            if head == tail {
+                // Tail lagging behind a non-empty queue: help.
+                let _ = self.tail.compare_exchange(tail, next);
+                continue;
+            }
+            let value = self.node(next).value;
+            if self.head.compare_exchange(head, next).is_ok() {
+                return Some(value);
+            }
+        }
+    }
+
+    fn try_peek(&self) -> Option<i64> {
+        let head = self.head.load();
+        let next = self.node(head).next.load();
+        if next == NIL {
+            None
+        } else {
+            Some(self.node(next).value)
+        }
+    }
+
+    /// Snapshot of the queue contents (head to tail). Like the .NET
+    /// original, `ToArray` takes a consistent snapshot; here we freeze the
+    /// traversal against a head re-read loop.
+    fn to_vec(&self) -> Vec<i64> {
+        loop {
+            let head = self.head.load();
+            let mut out = Vec::new();
+            let mut cur = self.node(head).next.load();
+            while cur != NIL {
+                let n = self.node(cur);
+                out.push(n.value);
+                cur = n.next.load();
+            }
+            // Retry if a dequeue moved the head mid-traversal.
+            if self.head.load() == head {
+                return out;
+            }
+        }
+    }
+}
+
+/// The coarse-lock (pre) queue with the timed-acquire defect.
+#[derive(Debug)]
+struct LockedQueue {
+    lock: Mutex,
+    items: DataCell<std::collections::VecDeque<i64>>,
+}
+
+impl LockedQueue {
+    fn new() -> Self {
+        LockedQueue {
+            lock: Mutex::new(),
+            items: DataCell::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    fn enqueue(&self, value: i64) {
+        self.lock.acquire();
+        self.items.with_mut(|q| q.push_back(value));
+        self.lock.release();
+    }
+
+    fn try_dequeue(&self) -> Option<i64> {
+        // Root cause B (Fig. 1): the lock acquire may time out under
+        // contention, and the timeout is (wrongly) reported as "queue
+        // empty". The fix in the shipped release takes the lock
+        // unconditionally.
+        if !self.lock.acquire_timed() {
+            return None;
+        }
+        let v = self.items.with_mut(|q| q.pop_front());
+        self.lock.release();
+        v
+    }
+
+    fn try_peek(&self) -> Option<i64> {
+        self.lock.acquire();
+        let v = self.items.with(|q| q.front().copied());
+        self.lock.release();
+        v
+    }
+
+    fn to_vec(&self) -> Vec<i64> {
+        self.lock.acquire();
+        let v = self.items.with(|q| q.iter().copied().collect());
+        self.lock.release();
+        v
+    }
+}
+
+/// A FIFO queue with the .NET `ConcurrentQueue` surface (plus the
+/// `Add`/`TryTake` aliases the paper's Fig. 1/Fig. 7 examples use).
+#[derive(Debug)]
+pub struct ConcurrentQueue {
+    inner: QueueImpl,
+}
+
+#[derive(Debug)]
+enum QueueImpl {
+    Fixed(MsQueue),
+    Pre(LockedQueue),
+}
+
+impl ConcurrentQueue {
+    /// Creates an empty queue (fixed variant).
+    pub fn new() -> Self {
+        ConcurrentQueue::with_variant(Variant::Fixed)
+    }
+
+    /// Creates an empty queue of the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        let inner = match variant {
+            Variant::Fixed => QueueImpl::Fixed(MsQueue::new()),
+            Variant::Pre => QueueImpl::Pre(LockedQueue::new()),
+        };
+        ConcurrentQueue { inner }
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, value: i64) {
+        match &self.inner {
+            QueueImpl::Fixed(q) => q.enqueue(value),
+            QueueImpl::Pre(q) => q.enqueue(value),
+        }
+    }
+
+    /// Removes and returns the head element, or `None` when the queue is
+    /// (observed as) empty.
+    pub fn try_dequeue(&self) -> Option<i64> {
+        match &self.inner {
+            QueueImpl::Fixed(q) => q.try_dequeue(),
+            QueueImpl::Pre(q) => q.try_dequeue(),
+        }
+    }
+
+    /// Returns the head element without removing it.
+    pub fn try_peek(&self) -> Option<i64> {
+        match &self.inner {
+            QueueImpl::Fixed(q) => q.try_peek(),
+            QueueImpl::Pre(q) => q.try_peek(),
+        }
+    }
+
+    /// Snapshot of the contents, head first.
+    pub fn to_vec(&self) -> Vec<i64> {
+        match &self.inner {
+            QueueImpl::Fixed(q) => q.to_vec(),
+            QueueImpl::Pre(q) => q.to_vec(),
+        }
+    }
+
+    /// Number of elements (derived from the snapshot, as in the .NET
+    /// original where `Count` walks the segments).
+    pub fn count(&self) -> usize {
+        self.to_vec().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.try_peek().is_none()
+    }
+}
+
+impl Default for ConcurrentQueue {
+    fn default() -> Self {
+        ConcurrentQueue::new()
+    }
+}
+
+/// Line-Up target for [`ConcurrentQueue`]. Invocations follow Table 1
+/// (`Count`, `IsEmpty`, `Enqueue`, `ToArray`, `TryDequeue`, `TryPeek`)
+/// plus the Fig. 1 aliases `Add`/`TryTake`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentQueueTarget {
+    /// Fixed or pre (root cause B).
+    pub variant: Variant,
+}
+
+impl TestInstance for ConcurrentQueue {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Enqueue" | "Add" => {
+                self.enqueue(int_arg(inv));
+                Value::Unit
+            }
+            "TryDequeue" | "TryTake" => try_result(self.try_dequeue()),
+            "TryPeek" => try_result(self.try_peek()),
+            "ToArray" => Value::int_seq(self.to_vec()),
+            "Count" => Value::Int(self.count() as i64),
+            "IsEmpty" => Value::Bool(self.is_empty()),
+            other => panic!("ConcurrentQueue: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for ConcurrentQueueTarget {
+    type Instance = ConcurrentQueue;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "ConcurrentQueue",
+            Variant::Pre => "ConcurrentQueue (Pre)",
+        }
+    }
+
+    fn create(&self) -> ConcurrentQueue {
+        ConcurrentQueue::with_variant(self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::with_int("Enqueue", 10),
+            Invocation::with_int("Enqueue", 20),
+            Invocation::new("TryDequeue"),
+            Invocation::new("TryPeek"),
+            Invocation::new("Count"),
+            Invocation::new("IsEmpty"),
+            Invocation::new("ToArray"),
+        ]
+    }
+}
+
+/// The paper's Fig. 1 test: Thread 1 `Add(200); Add(400)`, Thread 2
+/// `TryTake; TryTake`.
+pub fn fig1_matrix() -> lineup::TestMatrix {
+    lineup::TestMatrix::from_columns(vec![
+        vec![
+            Invocation::with_int("Add", 200),
+            Invocation::with_int("Add", 400),
+        ],
+        vec![Invocation::new("TryTake"), Invocation::new("TryTake")],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_fifo_order() {
+        for variant in [Variant::Fixed, Variant::Pre] {
+            let q = ConcurrentQueue::with_variant(variant);
+            assert!(q.is_empty());
+            assert_eq!(q.try_dequeue(), None);
+            q.enqueue(1);
+            q.enqueue(2);
+            q.enqueue(3);
+            assert_eq!(q.count(), 3);
+            assert_eq!(q.try_peek(), Some(1));
+            assert_eq!(q.to_vec(), vec![1, 2, 3]);
+            assert_eq!(q.try_dequeue(), Some(1));
+            assert_eq!(q.try_dequeue(), Some(2));
+            assert_eq!(q.try_dequeue(), Some(3));
+            assert_eq!(q.try_dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn fixed_passes_fig1() {
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Fixed,
+        };
+        let report = check(&target, &fig1_matrix(), &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_fails_fig1_with_spurious_fail() {
+        // The Fig. 1 violation: TryTake fails although the queue is
+        // non-empty in every consistent serialization.
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Pre,
+        };
+        let report = check(&target, &fig1_matrix(), &CheckOptions::new());
+        assert!(!report.passed(), "root cause B must be detected");
+        let v = report.first_violation().unwrap();
+        match v {
+            lineup::Violation::NoWitness { history, .. } => {
+                // Some TryTake returned Fail in the violating history.
+                assert!(history
+                    .ops
+                    .iter()
+                    .any(|op| op.invocation.name == "TryTake"
+                        && op.response == Some(Value::Fail)));
+            }
+            other => panic!("expected NoWitness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_passes_enqueue_dequeue_race() {
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![
+                Invocation::with_int("Enqueue", 10),
+                Invocation::new("TryDequeue"),
+            ],
+            vec![
+                Invocation::with_int("Enqueue", 20),
+                Invocation::new("TryDequeue"),
+            ],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn fixed_passes_observers() {
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("Enqueue", 10), Invocation::new("Count")],
+            vec![Invocation::new("ToArray"), Invocation::new("IsEmpty")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_passes_without_contention_on_take() {
+        // A single-threaded column cannot trigger the timeout: serial
+        // executions are deterministic (the completeness prerequisite).
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Pre,
+        };
+        let m = TestMatrix::from_columns(vec![vec![
+            Invocation::with_int("Add", 200),
+            Invocation::new("TryTake"),
+            Invocation::new("TryTake"),
+        ]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

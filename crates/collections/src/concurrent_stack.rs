@@ -1,0 +1,361 @@
+//! `ConcurrentStack`: a Treiber stack with atomic range operations.
+//!
+//! `PushRange` links the new nodes privately and publishes them with a
+//! single CAS; `TryPopRange` unlinks a whole chain with a single CAS —
+//! both atomic, as in the shipped .NET implementation.
+//!
+//! The **pre** variant carries root cause **D**: `TryPopRange` pops
+//! elements *one at a time* in a loop. A concurrent pop can interleave
+//! between two iterations, so the returned "range" is not a contiguous
+//! stack segment in any serialization.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::Atomic;
+
+use crate::support::{int_arg, try_result, Variant};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    value: i64,
+    next: Atomic<usize>,
+}
+
+/// A Treiber stack over an append-only arena (indexes are never reused,
+/// so integer CAS is ABA-free).
+#[derive(Debug)]
+pub struct ConcurrentStack {
+    arena: std::sync::Mutex<Vec<std::sync::Arc<Node>>>,
+    top: Atomic<usize>,
+    variant: Variant,
+}
+
+impl ConcurrentStack {
+    /// Creates an empty stack (fixed variant).
+    pub fn new() -> Self {
+        ConcurrentStack::with_variant(Variant::Fixed)
+    }
+
+    /// Creates an empty stack of the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        ConcurrentStack {
+            arena: std::sync::Mutex::new(Vec::new()),
+            top: Atomic::new(NIL),
+            variant,
+        }
+    }
+
+    fn node(&self, idx: usize) -> std::sync::Arc<Node> {
+        std::sync::Arc::clone(&self.arena.lock().unwrap()[idx])
+    }
+
+    fn alloc(&self, value: i64) -> usize {
+        let mut arena = self.arena.lock().unwrap();
+        arena.push(std::sync::Arc::new(Node {
+            value,
+            next: Atomic::new(NIL),
+        }));
+        arena.len() - 1
+    }
+
+    /// Pushes one element.
+    pub fn push(&self, value: i64) {
+        let new = self.alloc(value);
+        loop {
+            let top = self.top.load();
+            // Linking the private node is not an interleaving point: the
+            // node is unpublished. Write through the atomic anyway for a
+            // uniform representation.
+            self.node(new).next.store(top);
+            if self.top.compare_exchange(top, new).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Pushes several elements as one atomic operation: `values[0]` ends
+    /// up on top, matching .NET's `PushRange`.
+    pub fn push_range(&self, values: &[i64]) {
+        if values.is_empty() {
+            return;
+        }
+        // Build the private chain: values[0] -> values[1] -> ...
+        let nodes: Vec<usize> = values.iter().map(|&v| self.alloc(v)).collect();
+        for w in nodes.windows(2) {
+            self.node(w[0]).next.store(w[1]);
+        }
+        let head = nodes[0];
+        let tail = *nodes.last().expect("nonempty");
+        loop {
+            let top = self.top.load();
+            self.node(tail).next.store(top);
+            if self.top.compare_exchange(top, head).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Pops one element.
+    pub fn try_pop(&self) -> Option<i64> {
+        loop {
+            let top = self.top.load();
+            if top == NIL {
+                return None;
+            }
+            let node = self.node(top);
+            let next = node.next.load();
+            if self.top.compare_exchange(top, next).is_ok() {
+                return Some(node.value);
+            }
+        }
+    }
+
+    /// Pops up to `n` elements, topmost first.
+    ///
+    /// Fixed: unlinks the whole chain with one CAS (atomic). Pre (root
+    /// cause D): pops one element at a time — concurrent operations can
+    /// interleave between iterations.
+    pub fn try_pop_range(&self, n: usize) -> Vec<i64> {
+        match self.variant {
+            Variant::Fixed => loop {
+                let top = self.top.load();
+                if top == NIL || n == 0 {
+                    return Vec::new();
+                }
+                // Walk up to n nodes privately (published nodes' links are
+                // immutable and indexes are never reused, so the walk is
+                // consistent as long as `top` has not moved — which the
+                // CAS verifies).
+                let mut out = Vec::with_capacity(n);
+                let mut cur = top;
+                for _ in 0..n {
+                    if cur == NIL {
+                        break;
+                    }
+                    let node = self.node(cur);
+                    out.push(node.value);
+                    cur = node.next.load();
+                }
+                if self.top.compare_exchange(top, cur).is_ok() {
+                    return out;
+                }
+            },
+            Variant::Pre => {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match self.try_pop() {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Returns the top element without removing it.
+    pub fn try_peek(&self) -> Option<i64> {
+        let top = self.top.load();
+        if top == NIL {
+            None
+        } else {
+            Some(self.node(top).value)
+        }
+    }
+
+    /// Snapshot of the stack, top first.
+    pub fn to_vec(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut cur = self.top.load();
+        while cur != NIL {
+            let node = self.node(cur);
+            out.push(node.value);
+            cur = node.next.load();
+        }
+        out
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.to_vec().len()
+    }
+
+    /// Removes all elements (a single swap of the top pointer, atomic as
+    /// in the original).
+    pub fn clear(&self) {
+        self.top.swap(NIL);
+    }
+}
+
+impl Default for ConcurrentStack {
+    fn default() -> Self {
+        ConcurrentStack::new()
+    }
+}
+
+/// Line-Up target for [`ConcurrentStack`]. Invocations follow Table 1:
+/// `Clear`, `Count`, `Push`, `PushRangeTen` (a two-element range here),
+/// `TryPop`, `TryPopRangeOne/Two/Four`, `TryPeek`, `ToArray`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentStackTarget {
+    /// Fixed or pre (root cause D).
+    pub variant: Variant,
+}
+
+impl TestInstance for ConcurrentStack {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Push" => {
+                self.push(int_arg(inv));
+                Value::Unit
+            }
+            "PushRangeTen" => {
+                // The paper's harness pushes a fixed range; two elements
+                // keep state spaces small while exercising the same path.
+                self.push_range(&[int_arg(inv), int_arg(inv) + 1]);
+                Value::Unit
+            }
+            "TryPop" => try_result(self.try_pop()),
+            "TryPopRangeOne" => Value::int_seq(self.try_pop_range(1)),
+            "TryPopRangeTwo" => Value::int_seq(self.try_pop_range(2)),
+            "TryPopRangeFour" => Value::int_seq(self.try_pop_range(4)),
+            "TryPeek" => try_result(self.try_peek()),
+            "ToArray" | "ToArrayOrderBy" => Value::int_seq(self.to_vec()),
+            "Count" => Value::Int(self.count() as i64),
+            "Clear" => {
+                self.clear();
+                Value::Unit
+            }
+            other => panic!("ConcurrentStack: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for ConcurrentStackTarget {
+    type Instance = ConcurrentStack;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "ConcurrentStack",
+            Variant::Pre => "ConcurrentStack (Pre)",
+        }
+    }
+
+    fn create(&self) -> ConcurrentStack {
+        ConcurrentStack::with_variant(self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::with_int("Push", 10),
+            Invocation::with_int("Push", 20),
+            Invocation::with_int("PushRangeTen", 30),
+            Invocation::new("TryPop"),
+            Invocation::new("TryPopRangeTwo"),
+            Invocation::new("TryPeek"),
+            Invocation::new("Count"),
+            Invocation::new("Clear"),
+            Invocation::new("ToArray"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_lifo_order() {
+        for variant in [Variant::Fixed, Variant::Pre] {
+            let s = ConcurrentStack::with_variant(variant);
+            assert_eq!(s.try_pop(), None);
+            s.push(1);
+            s.push(2);
+            assert_eq!(s.try_peek(), Some(2));
+            assert_eq!(s.to_vec(), vec![2, 1]);
+            assert_eq!(s.try_pop(), Some(2));
+            assert_eq!(s.try_pop(), Some(1));
+            assert_eq!(s.try_pop(), None);
+        }
+    }
+
+    #[test]
+    fn unmodelled_ranges() {
+        let s = ConcurrentStack::new();
+        s.push_range(&[1, 2, 3]); // 1 on top
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+        assert_eq!(s.try_pop_range(2), vec![1, 2]);
+        assert_eq!(s.try_pop_range(5), vec![3]);
+        assert_eq!(s.try_pop_range(1), Vec::<i64>::new());
+        s.push(9);
+        s.clear();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn fixed_passes_pop_range_race() {
+        let target = ConcurrentStackTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("TryPopRangeTwo")],
+            vec![Invocation::new("TryPop")],
+        ])
+        .with_init(vec![
+            Invocation::with_int("Push", 1),
+            Invocation::with_int("Push", 2),
+            Invocation::with_int("Push", 3),
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_fails_pop_range_race() {
+        // Root cause D: stack [3,2,1] (3 on top). TryPopRangeTwo pops 3,
+        // a concurrent TryPop takes 2, the range continues with 1:
+        // [3, 1] is not a contiguous segment in any serialization.
+        let target = ConcurrentStackTarget {
+            variant: Variant::Pre,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("TryPopRangeTwo")],
+            vec![Invocation::new("TryPop")],
+        ])
+        .with_init(vec![
+            Invocation::with_int("Push", 1),
+            Invocation::with_int("Push", 2),
+            Invocation::with_int("Push", 3),
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed(), "root cause D must be detected");
+    }
+
+    #[test]
+    fn fixed_passes_push_race() {
+        let target = ConcurrentStackTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("Push", 10), Invocation::new("TryPop")],
+            vec![Invocation::with_int("PushRangeTen", 30)],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn fixed_passes_clear_race() {
+        let target = ConcurrentStackTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Clear"), Invocation::new("Count")],
+            vec![Invocation::with_int("Push", 10), Invocation::new("TryPeek")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,286 @@
+#![allow(clippy::result_unit_err)] // modelled .NET exceptions are `Err(())` responses
+
+//! `CountdownEvent`: a synchronization primitive that becomes *set* once
+//! it has been signalled an initial number of times. `Wait` blocks until
+//! the count reaches zero; `AddCount`/`TryAddCount` increase the count
+//! (only while not yet set).
+//!
+//! The **pre** variant carries root cause **E**: `Signal` decrements the
+//! count with a plain load/store pair instead of an interlocked
+//! decrement, so concurrent signals can be lost — the event never becomes
+//! set, `Wait` sleeps forever, and `CurrentCount` misreports.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{Atomic, Monitor};
+
+use crate::support::{int_arg, Variant};
+
+/// A countdown event in the style of .NET's `CountdownEvent`.
+#[derive(Debug)]
+pub struct CountdownEvent {
+    count: Atomic<i64>,
+    monitor: Monitor,
+    variant: Variant,
+}
+
+impl CountdownEvent {
+    /// Creates an event requiring `initial` signals.
+    pub fn new(initial: i64) -> Self {
+        CountdownEvent::with_variant(initial, Variant::Fixed)
+    }
+
+    /// Creates an event of the given variant.
+    pub fn with_variant(initial: i64, variant: Variant) -> Self {
+        assert!(initial >= 0, "initial count must be non-negative");
+        CountdownEvent {
+            count: Atomic::new(initial),
+            monitor: Monitor::new(),
+            variant,
+        }
+    }
+
+    /// The number of outstanding signals.
+    pub fn current_count(&self) -> i64 {
+        self.count.load()
+    }
+
+    /// Whether the event is set (count has reached zero).
+    pub fn is_set(&self) -> bool {
+        self.count.load() == 0
+    }
+
+    /// Registers `n` signals. Returns `Ok(true)` when this call set the
+    /// event, `Ok(false)` when signals remain outstanding, and `Err(())`
+    /// when signalling more than the outstanding count (where the .NET
+    /// original throws `InvalidOperationException` — modelled as an error
+    /// response so Line-Up can treat the exception as an observable
+    /// outcome).
+    pub fn signal(&self, n: i64) -> Result<bool, ()> {
+        assert!(n > 0, "signal requires a positive count");
+        match self.variant {
+            Variant::Fixed => loop {
+                let c = self.count.load();
+                if c < n {
+                    return Err(());
+                }
+                if self.count.compare_exchange(c, c - n).is_ok() {
+                    if c - n == 0 {
+                        self.monitor.enter();
+                        self.monitor.pulse_all();
+                        self.monitor.exit();
+                        return Ok(true);
+                    }
+                    return Ok(false);
+                }
+            },
+            // Root cause E: a plain read-modify-write. Two concurrent
+            // signals can observe the same value and both store count-n,
+            // losing a decrement: the event never sets.
+            Variant::Pre => {
+                let c = self.count.load();
+                if c < n {
+                    return Err(());
+                }
+                self.count.store(c - n);
+                if c - n == 0 {
+                    self.monitor.enter();
+                    self.monitor.pulse_all();
+                    self.monitor.exit();
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Increases the outstanding count by `n` unless the event is already
+    /// set; returns whether the count was increased.
+    pub fn try_add_count(&self, n: i64) -> bool {
+        assert!(n > 0, "add requires a positive count");
+        loop {
+            let c = self.count.load();
+            if c == 0 {
+                return false;
+            }
+            if self.count.compare_exchange(c, c + n).is_ok() {
+                return true;
+            }
+        }
+    }
+
+    /// Blocks until the event is set.
+    pub fn wait(&self) {
+        if self.is_set() {
+            return;
+        }
+        self.monitor.enter();
+        while self.count.load() != 0 {
+            self.monitor.wait();
+        }
+        self.monitor.exit();
+    }
+
+    /// Non-blocking poll (`Wait(0)` in .NET): whether the event is set.
+    pub fn try_wait(&self) -> bool {
+        self.is_set()
+    }
+}
+
+/// Line-Up target for [`CountdownEvent`]. Invocations follow Table 1:
+/// `Signal(x)`, `AddCount(x)`, `TryAddCount(x)` for x ∈ {1, 2}, plus
+/// `IsSet`, `Wait`, `Wait(0)`, `CurrentCount`.
+#[derive(Debug, Clone, Copy)]
+pub struct CountdownEventTarget {
+    /// Fixed or pre (root cause E).
+    pub variant: Variant,
+    /// Initial signal count for fresh instances.
+    pub initial: i64,
+}
+
+impl TestInstance for CountdownEvent {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match (inv.name.as_str(), inv.args.len()) {
+            ("Signal", 0) => match self.signal(1) {
+                Ok(set) => Value::Bool(set),
+                Err(()) => Value::Str("InvalidOperationException".into()),
+            },
+            ("Signal", 1) => match self.signal(int_arg(inv)) {
+                Ok(set) => Value::Bool(set),
+                Err(()) => Value::Str("InvalidOperationException".into()),
+            },
+            ("AddCount", 0) => Value::Bool(self.try_add_count(1)),
+            ("AddCount", 1) => Value::Bool(self.try_add_count(int_arg(inv))),
+            ("TryAddCount", 0) => Value::Bool(self.try_add_count(1)),
+            ("TryAddCount", 1) => Value::Bool(self.try_add_count(int_arg(inv))),
+            ("IsSet", _) => Value::Bool(self.is_set()),
+            ("Wait", 0) => {
+                self.wait();
+                Value::Unit
+            }
+            ("Wait", 1) if int_arg(inv) == 0 => Value::Bool(self.try_wait()),
+            ("CurrentCount", _) => Value::Int(self.current_count()),
+            (other, _) => panic!("CountdownEvent: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for CountdownEventTarget {
+    type Instance = CountdownEvent;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "CountdownEvent",
+            Variant::Pre => "CountdownEvent (Pre)",
+        }
+    }
+
+    fn create(&self) -> CountdownEvent {
+        CountdownEvent::with_variant(self.initial, self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::new("Signal"),
+            Invocation::with_int("Signal", 2),
+            Invocation::with_int("AddCount", 1),
+            Invocation::with_int("TryAddCount", 1),
+            Invocation::new("IsSet"),
+            Invocation::new("Wait"),
+            Invocation::with_int("Wait", 0),
+            Invocation::new("CurrentCount"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    fn signal() -> Invocation {
+        Invocation::new("Signal")
+    }
+
+    #[test]
+    fn unmodelled_countdown_basics() {
+        let e = CountdownEvent::new(2);
+        assert_eq!(e.current_count(), 2);
+        assert!(!e.is_set());
+        assert_eq!(e.signal(1), Ok(false));
+        assert_eq!(e.signal(1), Ok(true));
+        assert!(e.is_set());
+        assert!(e.try_wait());
+        assert!(!e.try_add_count(1), "cannot add once set");
+    }
+
+    #[test]
+    fn signal_below_zero_is_an_error() {
+        assert_eq!(CountdownEvent::new(0).signal(1), Err(()));
+    }
+
+    #[test]
+    fn fixed_passes_two_signals_and_wait() {
+        let target = CountdownEventTarget {
+            variant: Variant::Fixed,
+            initial: 2,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![signal()],
+            vec![signal()],
+            vec![Invocation::new("Wait")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.spec.stuck_count() > 0, "Wait-first serial runs block");
+    }
+
+    #[test]
+    fn pre_fails_with_lost_signal() {
+        // Root cause E: two concurrent non-atomic signals lose one
+        // decrement; either Wait hangs or CurrentCount/IsSet misreport.
+        let target = CountdownEventTarget {
+            variant: Variant::Pre,
+            initial: 2,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![signal()],
+            vec![signal()],
+            vec![Invocation::new("Wait")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn pre_fails_even_without_blocking_ops() {
+        // The lost decrement is also a safety violation visible through
+        // CurrentCount: after both signals return, the count must be 0 in
+        // every serialization, but a run observes 1.
+        let target = CountdownEventTarget {
+            variant: Variant::Pre,
+            initial: 2,
+        };
+        let m = TestMatrix::from_columns(vec![vec![signal()], vec![signal()]])
+            .with_finally(vec![Invocation::new("CurrentCount")]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed());
+        assert!(matches!(
+            report.first_violation(),
+            Some(lineup::Violation::NoWitness { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_passes_add_count_race() {
+        let target = CountdownEventTarget {
+            variant: Variant::Fixed,
+            initial: 1,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("TryAddCount", 1), signal()],
+            vec![signal(), Invocation::new("IsSet")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,349 @@
+//! The paper's pedagogical counters: a correct monitor-based counter
+//! (whose specification automaton is the paper's Fig. 3), the buggy
+//! `Counter1` of §2.2.1 (unsynchronized increment), and the buggy
+//! `Counter2` of §2.2.2 (`get` never releases the lock, producing stuck
+//! histories — Fig. 4).
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{Atomic, DataCell, Monitor, Mutex};
+
+use crate::support::int_arg;
+
+/// A correct concurrent counter with the semantics of the paper's Fig. 3
+/// specification automaton: `inc`, `get`, `set(x)` always proceed, and
+/// `dec` blocks while the count is zero (like a semaphore).
+#[derive(Debug)]
+pub struct Counter {
+    monitor: Monitor,
+    count: DataCell<i64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter {
+            monitor: Monitor::new(),
+            count: DataCell::new(0),
+        }
+    }
+
+    /// Increments the count.
+    pub fn inc(&self) {
+        self.monitor.enter();
+        self.count.set(self.count.get() + 1);
+        self.monitor.pulse_all();
+        self.monitor.exit();
+    }
+
+    /// Decrements the count, blocking while it is zero.
+    pub fn dec(&self) {
+        self.monitor.enter();
+        while self.count.get() == 0 {
+            self.monitor.wait();
+        }
+        self.count.set(self.count.get() - 1);
+        self.monitor.exit();
+    }
+
+    /// Returns the current count.
+    pub fn get(&self) -> i64 {
+        self.monitor.enter();
+        let v = self.count.get();
+        self.monitor.exit();
+        v
+    }
+
+    /// Sets the count.
+    pub fn set(&self, v: i64) {
+        self.monitor.enter();
+        self.count.set(v);
+        self.monitor.pulse_all();
+        self.monitor.exit();
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// The buggy counter of §2.2.1: `inc` performs an unsynchronized
+/// read-modify-write (`count = count + 1` with no lock), so concurrent
+/// increments can be lost. Linearizability (even the classic Def. 1)
+/// detects this.
+#[derive(Debug)]
+pub struct Counter1 {
+    count: Atomic<i64>,
+}
+
+impl Counter1 {
+    /// Creates the buggy counter at zero.
+    pub fn new() -> Self {
+        Counter1 {
+            count: Atomic::new(0),
+        }
+    }
+
+    /// The buggy increment: a non-atomic load/store pair.
+    pub fn inc(&self) {
+        let v = self.count.load();
+        self.count.store(v + 1);
+    }
+
+    /// Reads the count.
+    pub fn get(&self) -> i64 {
+        self.count.load()
+    }
+}
+
+impl Default for Counter1 {
+    fn default() -> Self {
+        Counter1::new()
+    }
+}
+
+/// The buggy counter of §2.2.2 (Fig. 4): `get` acquires the lock and
+/// **never releases it**, so any later operation blocks forever. The
+/// resulting stuck histories are perfectly linearizable under the classic
+/// Def. 1 — only the generalized (blocking-aware) definition of §2.3 even
+/// represents them. (Note, as the paper's formalism implies, `Counter2`
+/// *is* deterministically linearizable — with respect to a specification
+/// in which `get` poisons the counter — so `lineup::check` passes it; the
+/// defect is exposed by *differential* checking against the correct
+/// counter's specification, or by simply looking at the stuck histories.)
+#[derive(Debug)]
+pub struct Counter2 {
+    lock: Mutex,
+    count: DataCell<i64>,
+}
+
+impl Counter2 {
+    /// Creates the buggy counter at zero.
+    pub fn new() -> Self {
+        Counter2 {
+            lock: Mutex::new(),
+            count: DataCell::new(0),
+        }
+    }
+
+    /// Increments under the lock (correct).
+    pub fn inc(&self) {
+        self.lock.acquire();
+        self.count.set(self.count.get() + 1);
+        self.lock.release();
+    }
+
+    /// The bug: acquires the lock and returns without releasing it.
+    pub fn get(&self) -> i64 {
+        self.lock.acquire();
+        self.count.get()
+        // missing: self.lock.release()
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Self {
+        Counter2::new()
+    }
+}
+
+/// Which counter implementation a [`CounterTarget`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// The correct [`Counter`].
+    Correct,
+    /// The lost-update [`Counter1`] (§2.2.1).
+    LostUpdate,
+    /// The stuck-lock [`Counter2`] (§2.2.2, Fig. 4).
+    StuckLock,
+}
+
+/// Line-Up target over the three counters. Invocations: `inc`, `get`,
+/// `set(x)`, `dec` (the latter only for the correct counter, whose `dec`
+/// blocks at zero per Fig. 3).
+#[derive(Debug, Clone, Copy)]
+pub struct CounterTarget {
+    /// Which implementation to test.
+    pub kind: CounterKind,
+}
+
+/// Instance of [`CounterTarget`].
+#[derive(Debug)]
+pub enum CounterInstance {
+    /// Correct counter instance.
+    Correct(Counter),
+    /// `Counter1` instance.
+    LostUpdate(Counter1),
+    /// `Counter2` instance.
+    StuckLock(Counter2),
+}
+
+impl TestInstance for CounterInstance {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match (self, inv.name.as_str()) {
+            (CounterInstance::Correct(c), "inc") => {
+                c.inc();
+                Value::Unit
+            }
+            (CounterInstance::Correct(c), "dec") => {
+                c.dec();
+                Value::Unit
+            }
+            (CounterInstance::Correct(c), "get") => Value::Int(c.get()),
+            (CounterInstance::Correct(c), "set") => {
+                c.set(int_arg(inv));
+                Value::Unit
+            }
+            (CounterInstance::LostUpdate(c), "inc") => {
+                c.inc();
+                Value::Unit
+            }
+            (CounterInstance::LostUpdate(c), "get") => Value::Int(c.get()),
+            (CounterInstance::StuckLock(c), "inc") => {
+                c.inc();
+                Value::Unit
+            }
+            (CounterInstance::StuckLock(c), "get") => Value::Int(c.get()),
+            (_, other) => panic!("Counter: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for CounterTarget {
+    type Instance = CounterInstance;
+
+    fn name(&self) -> &str {
+        match self.kind {
+            CounterKind::Correct => "Counter",
+            CounterKind::LostUpdate => "Counter1",
+            CounterKind::StuckLock => "Counter2",
+        }
+    }
+
+    fn create(&self) -> CounterInstance {
+        match self.kind {
+            CounterKind::Correct => CounterInstance::Correct(Counter::new()),
+            CounterKind::LostUpdate => CounterInstance::LostUpdate(Counter1::new()),
+            CounterKind::StuckLock => CounterInstance::StuckLock(Counter2::new()),
+        }
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        match self.kind {
+            CounterKind::Correct => vec![
+                Invocation::new("inc"),
+                Invocation::new("get"),
+                Invocation::new("dec"),
+                Invocation::with_int("set", 0),
+            ],
+            _ => vec![Invocation::new("inc"), Invocation::new("get")],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, check_against_spec, synthesize_spec, CheckOptions, TestMatrix};
+
+    fn inc() -> Invocation {
+        Invocation::new("inc")
+    }
+    fn get() -> Invocation {
+        Invocation::new("get")
+    }
+    fn dec() -> Invocation {
+        Invocation::new("dec")
+    }
+
+    #[test]
+    fn unmodelled_counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.inc();
+        assert_eq!(c.get(), 2);
+        c.dec();
+        assert_eq!(c.get(), 1);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn correct_counter_passes_check() {
+        let target = CounterTarget {
+            kind: CounterKind::Correct,
+        };
+        let m = TestMatrix::from_columns(vec![vec![inc(), get()], vec![inc()]]);
+        assert!(check(&target, &m, &CheckOptions::new()).passed());
+    }
+
+    #[test]
+    fn correct_counter_dec_blocks_at_zero() {
+        // dec ∥ inc: dec may block serially (stuck serial history) and the
+        // concurrent behaviors must match — the check passes.
+        let target = CounterTarget {
+            kind: CounterKind::Correct,
+        };
+        let m = TestMatrix::from_columns(vec![vec![dec()], vec![inc()]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(
+            report.spec.stuck_count() > 0,
+            "serial dec-first histories are stuck"
+        );
+    }
+
+    #[test]
+    fn counter1_fails_check() {
+        // The §2.2.1 scenario.
+        let target = CounterTarget {
+            kind: CounterKind::LostUpdate,
+        };
+        let m = TestMatrix::from_columns(vec![vec![inc(), get()], vec![inc()]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed());
+        assert!(matches!(
+            report.first_violation(),
+            Some(lineup::Violation::NoWitness { .. })
+        ));
+    }
+
+    #[test]
+    fn counter2_passes_check_but_produces_stuck_histories() {
+        // As §2.2.2's formalism implies: Counter2 is deterministically
+        // linearizable (its serial behavior blocks the same way), so the
+        // self-synthesized check passes — but its spec contains stuck
+        // histories where none are expected of a counter.
+        let target = CounterTarget {
+            kind: CounterKind::StuckLock,
+        };
+        let m = TestMatrix::from_columns(vec![vec![inc(), get()], vec![inc()]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.spec.stuck_count() > 0, "get poisons the counter");
+    }
+
+    #[test]
+    fn counter2_fails_differential_check_against_correct_counter() {
+        // Differential checking exposes Counter2: synthesize the spec from
+        // the correct counter, then check Counter2's concurrent behavior
+        // against it. The stuck histories have no witness.
+        let correct = CounterTarget {
+            kind: CounterKind::Correct,
+        };
+        let buggy = CounterTarget {
+            kind: CounterKind::StuckLock,
+        };
+        let m = TestMatrix::from_columns(vec![vec![inc(), get()], vec![inc()]]);
+        let (spec, _, none) = synthesize_spec(&correct, &m);
+        assert!(none.is_none());
+        let (violations, _) = check_against_spec(&buggy, &m, &spec, &CheckOptions::new());
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, lineup::Violation::StuckNoWitness { .. })),
+            "{violations:?}"
+        );
+    }
+}

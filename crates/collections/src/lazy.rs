@@ -1,0 +1,165 @@
+//! `Lazy`: lazily-initialized value with double-checked locking
+//! (`LazyInitialization` in the paper's Table 1; no seeded defect).
+//!
+//! The double-checked fast path (volatile flag read before the lock) is
+//! another §5.6-style pattern that is correct but not conflict-
+//! serializable.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{DataCell, Mutex, VolatileCell};
+
+/// A lazily-initialized `i64` whose factory runs at most once.
+#[derive(Debug)]
+pub struct Lazy {
+    /// Volatile "created" flag for the lock-free fast path.
+    created: VolatileCell<bool>,
+    lock: Mutex,
+    value: DataCell<i64>,
+    /// What the factory produces (fixed at construction so the synthesized
+    /// specification stays deterministic).
+    factory_value: i64,
+    /// How many times the factory ran — must end up ≤ 1.
+    factory_runs: DataCell<i64>,
+}
+
+impl Lazy {
+    /// Creates a lazy cell whose factory produces `factory_value`.
+    pub fn new(factory_value: i64) -> Self {
+        Lazy {
+            created: VolatileCell::new(false),
+            lock: Mutex::new(),
+            value: DataCell::new(0),
+            factory_value,
+            factory_runs: DataCell::new(0),
+        }
+    }
+
+    /// Forces initialization and returns the value (.NET `Lazy<T>.Value`).
+    pub fn value(&self) -> i64 {
+        // Double-checked locking: racy volatile read, then lock + re-check.
+        if self.created.read() {
+            return self.value.get();
+        }
+        self.lock.acquire();
+        if !self.created.read() {
+            // Run the factory.
+            self.factory_runs.with_mut(|n| *n += 1);
+            self.value.set(self.factory_value);
+            self.created.write(true);
+        }
+        let v = self.value.get();
+        self.lock.release();
+        v
+    }
+
+    /// Whether the value has been created (.NET `IsValueCreated`).
+    pub fn is_value_created(&self) -> bool {
+        self.created.read()
+    }
+
+    /// Renders the value if created (.NET `ToString`).
+    pub fn to_display(&self) -> String {
+        if self.created.read() {
+            self.value.get().to_string()
+        } else {
+            "ValueNotCreated".to_string()
+        }
+    }
+
+    /// How many times the factory ran (test hook; must never exceed 1).
+    pub fn factory_runs(&self) -> i64 {
+        self.factory_runs.get()
+    }
+}
+
+/// Line-Up target for [`Lazy`]. Invocations follow Table 1: `Value`,
+/// `ToString`, `IsValueCreated`.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyTarget;
+
+impl TestInstance for Lazy {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Value" => Value::Int(self.value()),
+            "IsValueCreated" => Value::Bool(self.is_value_created()),
+            "ToString" => Value::Str(self.to_display()),
+            other => panic!("Lazy: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for LazyTarget {
+    type Instance = Lazy;
+
+    fn name(&self) -> &str {
+        "Lazy Initialization"
+    }
+
+    fn create(&self) -> Lazy {
+        Lazy::new(42)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::new("Value"),
+            Invocation::new("ToString"),
+            Invocation::new("IsValueCreated"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn unmodelled_lazy_basics() {
+        let l = Lazy::new(7);
+        assert!(!l.is_value_created());
+        assert_eq!(l.to_display(), "ValueNotCreated");
+        assert_eq!(l.value(), 7);
+        assert!(l.is_value_created());
+        assert_eq!(l.to_display(), "7");
+        assert_eq!(l.value(), 7);
+        assert_eq!(l.factory_runs(), 1);
+    }
+
+    #[test]
+    fn lazy_passes_check() {
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Value"), Invocation::new("IsValueCreated")],
+            vec![Invocation::new("Value"), Invocation::new("ToString")],
+        ]);
+        let report = check(&LazyTarget, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    /// The factory runs at most once in every schedule.
+    #[test]
+    fn factory_runs_at_most_once_under_contention() {
+        let slot: std::rc::Rc<std::cell::RefCell<Option<std::sync::Arc<Lazy>>>> =
+            Default::default();
+        let slot2 = std::rc::Rc::clone(&slot);
+        lineup_sched::explore(
+            &lineup_sched::Config::exhaustive(),
+            move |ex| {
+                let l = std::sync::Arc::new(Lazy::new(5));
+                *slot2.borrow_mut() = Some(std::sync::Arc::clone(&l));
+                for _ in 0..2 {
+                    let l = std::sync::Arc::clone(&l);
+                    ex.spawn(move || {
+                        assert_eq!(l.value(), 5);
+                    });
+                }
+            },
+            |run| {
+                assert_eq!(run.outcome, lineup_sched::RunOutcome::Complete);
+                let l = slot.borrow().clone().unwrap();
+                assert_eq!(l.factory_runs(), 1);
+                ControlFlow::Continue(())
+            },
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The thirteen .NET-Framework-4.0-style concurrent classes used as
+//! Line-Up's evaluation subjects (paper Table 1), re-implemented in Rust
+//! against the instrumented `lineup-sync` primitives — each in a **fixed**
+//! variant (modelled on the Beta 2 behaviour) and, where the paper found a
+//! root cause, a **pre** variant (modelled on the CTP "Parallel
+//! Extensions preview") seeded with the same class of defect:
+//!
+//! | Class | Pre root cause (paper §5.2) |
+//! |---|---|
+//! | [`manual_reset_event`] | **A** — CAS computes the new state from a re-read of the shared state → lost wakeup (Fig. 9) |
+//! | [`concurrent_queue`] | **B** — timed lock acquire can time out → `TryTake` fails on a non-empty queue (Fig. 1) |
+//! | [`semaphore_slim`] | **C** — `Release(n)` pulses a single waiter → other waiters sleep forever |
+//! | [`concurrent_stack`] | **D** — `TryPopRange` pops one-at-a-time → non-contiguous ranges |
+//! | [`countdown_event`] | **E** — `Signal` decrements with a non-atomic read-modify-write → lost signal |
+//! | [`concurrent_dictionary`] | **F** — count maintained outside the bucket lock → `Count` misreports |
+//! | [`concurrent_linked_list`] | **G** — `RemoveFirst` checks emptiness before locking → crash on the race |
+//! | [`concurrent_bag`] | **H** — *intentional*: `TryTake` may take any element |
+//! | [`blocking_collection`] | **I, J** — *intentional*: `Count`/`TryTake` may observe an inconsistent snapshot; **K** — *intentional*: `CompleteAdding` takes effect late |
+//! | [`barrier`] | **L** — *intentional*: `SignalAndWait` is inherently nonlinearizable |
+//! | [`lazy`], [`task_completion_source`], [`cancellation_token_source`] | — (no seeded defect) |
+//!
+//! Every class module exposes the data structure itself plus a
+//! [`lineup::TestTarget`] adapter; the [`registry`] enumerates all class/
+//! variant pairs for the Table 1 / Table 2 reproduction binaries.
+//!
+//! The [`counter`] module additionally contains the paper's pedagogical
+//! `Counter1` (§2.2.1) and `Counter2` (§2.2.2) examples.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod barrier;
+pub mod blocking_collection;
+pub mod cancellation_token_source;
+pub mod concurrent_bag;
+pub mod concurrent_dictionary;
+pub mod concurrent_linked_list;
+pub mod concurrent_queue;
+pub mod concurrent_stack;
+pub mod countdown_event;
+pub mod counter;
+pub mod lazy;
+pub mod manual_reset_event;
+pub mod registry;
+pub mod semaphore_slim;
+pub mod support;
+pub mod task_completion_source;
+
+pub use registry::{all_classes, ClassEntry, RootCause, RootCauseKind, Variant};

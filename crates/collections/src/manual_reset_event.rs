@@ -1,0 +1,293 @@
+//! `ManualResetEvent` (modelled on .NET's `ManualResetEventSlim`): a
+//! manually-reset signal. `Wait` blocks until the event is set; `Set`
+//! wakes all waiters; `Reset` clears the signal.
+//!
+//! The **pre** variant carries root cause **A** of the paper (§5.2.1):
+//! the waiter-registration compare-and-swap computes its new state from a
+//! *re-read* of the shared state instead of the local copy — "a pernicious
+//! typographical error". Under the Fig. 9 schedule
+//! (`Wait ∥ Set; Reset; Set`) the registration writes a corrupted state
+//! with the signaled bit set but a waiter count of zero, the final `Set`
+//! therefore pulses nobody, and the waiter sleeps forever. "Even when the
+//! bug is known, it is very hard to design a test harness that exposes
+//! it: the value of state needs to change between the two reads but
+//! needs to be set to the first value before the CAS operation."
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{Atomic, Monitor};
+
+use crate::support::Variant;
+
+/// Combined-state encoding: bit 0 = signaled, bits 1.. = waiter count.
+const SIGNALED: i64 = 1;
+const WAITER_UNIT: i64 = 2;
+
+fn is_signaled(state: i64) -> bool {
+    state & SIGNALED != 0
+}
+
+fn waiters(state: i64) -> i64 {
+    state / WAITER_UNIT
+}
+
+/// A manual-reset event with a combined atomic state word plus a monitor
+/// for sleeping waiters.
+#[derive(Debug)]
+pub struct ManualResetEvent {
+    state: Atomic<i64>,
+    monitor: Monitor,
+    variant: Variant,
+}
+
+impl ManualResetEvent {
+    /// Creates an unset event (fixed variant).
+    pub fn new() -> Self {
+        ManualResetEvent::with_variant(Variant::Fixed)
+    }
+
+    /// Creates an unset event of the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        ManualResetEvent {
+            state: Atomic::new(0),
+            monitor: Monitor::new(),
+            variant,
+        }
+    }
+
+    /// Whether the event is currently set.
+    pub fn is_set(&self) -> bool {
+        is_signaled(self.state.load())
+    }
+
+    /// Sets the event, waking all registered waiters.
+    pub fn set(&self) {
+        loop {
+            let s = self.state.load();
+            if self.state.compare_exchange(s, s | SIGNALED).is_ok() {
+                // Wake sleepers only when the snapshot says some exist —
+                // the optimization that makes a corrupted waiter count
+                // fatal in the pre variant.
+                if waiters(s) > 0 {
+                    self.monitor.enter();
+                    self.monitor.pulse_all();
+                    self.monitor.exit();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Resets (clears) the event.
+    pub fn reset(&self) {
+        loop {
+            let s = self.state.load();
+            if self.state.compare_exchange(s, s & !SIGNALED).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Blocks until the event is set. (`WaitOne` in the .NET API is an
+    /// alias.)
+    pub fn wait(&self) {
+        // Lock-free fast path.
+        if is_signaled(self.state.load()) {
+            return;
+        }
+        self.monitor.enter();
+        loop {
+            let local = self.state.load();
+            if is_signaled(local) {
+                break;
+            }
+            // Register as a waiter in the combined state, so Set knows to
+            // pulse. The two variants differ *only* in how the new value
+            // is computed:
+            let newstate = match self.variant {
+                // Correct: compute the new value from the local copy.
+                Variant::Fixed => local + WAITER_UNIT,
+                // Root cause A (§5.2.1): "the shared variable state is
+                // read the second time when computing the new value". If
+                // a Set lands between the two reads and a Reset restores
+                // the first value before the CAS, the CAS succeeds but
+                // writes SIGNALED-with-zero-waiters instead of
+                // unsignaled-with-one-waiter: the sleeper below is
+                // invisible to every future Set.
+                Variant::Pre => {
+                    let fresh = self.state.load();
+                    if is_signaled(fresh) {
+                        fresh // "already signaled: nothing to register"
+                    } else {
+                        fresh + WAITER_UNIT
+                    }
+                }
+            };
+            if self.state.compare_exchange(local, newstate).is_err() {
+                continue;
+            }
+            // Sleep until pulsed (holding the monitor across registration
+            // makes the pulse un-losable), then deregister and re-check.
+            self.monitor.wait();
+            self.state
+                .fetch_update(|s| if waiters(s) > 0 { s - WAITER_UNIT } else { s });
+        }
+        self.monitor.exit();
+    }
+}
+
+impl Default for ManualResetEvent {
+    fn default() -> Self {
+        ManualResetEvent::new()
+    }
+}
+
+/// Line-Up target for [`ManualResetEvent`]. Invocations follow Table 1:
+/// `Set`, `Wait`, `Reset`, `IsSet`, `WaitOne`.
+#[derive(Debug, Clone, Copy)]
+pub struct ManualResetEventTarget {
+    /// Fixed or pre (root cause A).
+    pub variant: Variant,
+}
+
+impl TestInstance for ManualResetEvent {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Set" => {
+                self.set();
+                Value::Unit
+            }
+            "Reset" => {
+                self.reset();
+                Value::Unit
+            }
+            "IsSet" => Value::Bool(self.is_set()),
+            "Wait" | "WaitOne" => {
+                self.wait();
+                Value::Unit
+            }
+            other => panic!("ManualResetEvent: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for ManualResetEventTarget {
+    type Instance = ManualResetEvent;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "ManualResetEvent",
+            Variant::Pre => "ManualResetEvent (Pre)",
+        }
+    }
+
+    fn create(&self) -> ManualResetEvent {
+        ManualResetEvent::with_variant(self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::new("Set"),
+            Invocation::new("Wait"),
+            Invocation::new("Reset"),
+            Invocation::new("IsSet"),
+            Invocation::new("WaitOne"),
+        ]
+    }
+}
+
+/// The Fig. 9 test: Thread 1 `Wait`s while Thread 2 performs
+/// `Set; Reset; Set`. "Irrespective of the interleaving between the two
+/// threads, one expects Thread 1 to be eventually unblocked."
+pub fn fig9_matrix() -> lineup::TestMatrix {
+    lineup::TestMatrix::from_columns(vec![
+        vec![Invocation::new("Wait")],
+        vec![
+            Invocation::new("Set"),
+            Invocation::new("Reset"),
+            Invocation::new("Set"),
+        ],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_set_reset() {
+        let e = ManualResetEvent::new();
+        assert!(!e.is_set());
+        e.set();
+        assert!(e.is_set());
+        e.wait(); // already set: returns immediately
+        e.reset();
+        assert!(!e.is_set());
+    }
+
+    #[test]
+    fn fixed_passes_fig9() {
+        let target = ManualResetEventTarget {
+            variant: Variant::Fixed,
+        };
+        let report = check(&target, &fig9_matrix(), &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_fails_fig9_with_stuck_wait() {
+        let target = ManualResetEventTarget {
+            variant: Variant::Pre,
+        };
+        let report = check(&target, &fig9_matrix(), &CheckOptions::new());
+        assert!(!report.passed(), "root cause A must be detected");
+        let v = report.first_violation().unwrap();
+        match v {
+            lineup::Violation::StuckNoWitness { history, pending, .. } => {
+                assert_eq!(history.ops[*pending].invocation.name, "Wait");
+            }
+            other => panic!("expected a stuck-history violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_passes_waiter_vs_setter() {
+        let target = ManualResetEventTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Wait")],
+            vec![Invocation::new("Set")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        // Serial Wait-first blocks: the spec has stuck histories.
+        assert!(report.spec.stuck_count() > 0);
+    }
+
+    #[test]
+    fn fixed_passes_two_waiters() {
+        let target = ManualResetEventTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("Wait")],
+            vec![Invocation::new("Wait")],
+            vec![Invocation::new("Set")],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn is_set_observes_reset() {
+        let target = ManualResetEventTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("IsSet")],
+            vec![Invocation::new("Set"), Invocation::new("Reset")],
+        ]);
+        assert!(check(&target, &m, &CheckOptions::new()).passed());
+    }
+}

@@ -1,0 +1,241 @@
+//! `SemaphoreSlim`: a counting semaphore. `Wait` blocks while the count is
+//! zero; `Release(n)` returns permits and wakes sleepers; `Wait(0)` is a
+//! non-blocking try-acquire.
+//!
+//! The fixed variant includes the **timing optimization** the paper calls
+//! out in §5.6 (pattern 2): `Wait(0)` and `CurrentCount` read the count
+//! with a volatile load *before* taking the lock (double-checked-locking
+//! style). This "does not affect correctness, but breaks serializability"
+//! — the conflict-serializability comparison checker flags it while
+//! Line-Up correctly passes it.
+//!
+//! The **pre** variant carries root cause **C**: `Release(n)` wakes
+//! sleepers with a single `Pulse` regardless of `n`, so when two waiters
+//! sleep and both permits arrive at once, one waiter sleeps forever — a
+//! liveness bug only the generalized (blocking-aware) linearizability of
+//! §2.3 can detect.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{Monitor, VolatileCell};
+
+use crate::support::{int_arg, Variant};
+
+/// A counting semaphore in the style of .NET's `SemaphoreSlim`.
+#[derive(Debug)]
+pub struct SemaphoreSlim {
+    monitor: Monitor,
+    /// The permit count. Volatile so the lock-free fast paths are
+    /// well-defined reads (no data race), as in the original.
+    count: VolatileCell<i64>,
+    variant: Variant,
+}
+
+impl SemaphoreSlim {
+    /// Creates a semaphore with the given initial permit count.
+    pub fn new(initial: i64) -> Self {
+        SemaphoreSlim::with_variant(initial, Variant::Fixed)
+    }
+
+    /// Creates a semaphore of the given variant.
+    pub fn with_variant(initial: i64, variant: Variant) -> Self {
+        SemaphoreSlim {
+            monitor: Monitor::new(),
+            count: VolatileCell::new(initial),
+            variant,
+        }
+    }
+
+    /// The current permit count (lock-free volatile read — the §5.6
+    /// pattern-2 optimization).
+    pub fn current_count(&self) -> i64 {
+        self.count.read()
+    }
+
+    /// Acquires one permit, blocking while none are available.
+    pub fn wait(&self) {
+        self.monitor.enter();
+        while self.count.read() == 0 {
+            self.monitor.wait();
+        }
+        self.count.write(self.count.read() - 1);
+        self.monitor.exit();
+    }
+
+    /// Tries to acquire one permit without blocking (`Wait(0)` in .NET);
+    /// returns whether a permit was taken.
+    pub fn try_wait(&self) -> bool {
+        // Timing optimization (§5.6 pattern 2): check the count before
+        // taking the lock; bail out without synchronizing when empty.
+        if self.count.read() == 0 {
+            return false;
+        }
+        self.monitor.enter();
+        let ok = self.count.read() > 0;
+        if ok {
+            self.count.write(self.count.read() - 1);
+        }
+        self.monitor.exit();
+        ok
+    }
+
+    /// Releases `n` permits, waking sleepers.
+    pub fn release(&self, n: i64) {
+        assert!(n > 0, "release requires a positive permit count");
+        self.monitor.enter();
+        self.count.write(self.count.read() + n);
+        match self.variant {
+            // Correct: wake everyone; woken threads re-check the count.
+            Variant::Fixed => self.monitor.pulse_all(),
+            // Root cause C: a single pulse regardless of n. With two
+            // sleepers and Release(2), one waiter is never woken.
+            Variant::Pre => self.monitor.pulse(),
+        }
+        self.monitor.exit();
+    }
+}
+
+/// Line-Up target for [`SemaphoreSlim`]. Invocations follow Table 1:
+/// `CurrentCount`, `Release`, `Release(2)`, `Wait`, `Wait(0)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SemaphoreSlimTarget {
+    /// Fixed or pre (root cause C).
+    pub variant: Variant,
+    /// Initial permit count for fresh instances.
+    pub initial: i64,
+}
+
+impl TestInstance for SemaphoreSlim {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match (inv.name.as_str(), inv.args.len()) {
+            ("CurrentCount", _) => Value::Int(self.current_count()),
+            ("Wait", 0) => {
+                self.wait();
+                Value::Unit
+            }
+            // Wait(0): the non-blocking variant.
+            ("Wait", 1) if int_arg(inv) == 0 => Value::Bool(self.try_wait()),
+            ("Release", 0) => {
+                self.release(1);
+                Value::Unit
+            }
+            ("Release", 1) => {
+                self.release(int_arg(inv));
+                Value::Unit
+            }
+            (other, _) => panic!("SemaphoreSlim: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for SemaphoreSlimTarget {
+    type Instance = SemaphoreSlim;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "SemaphoreSlim",
+            Variant::Pre => "SemaphoreSlim (Pre)",
+        }
+    }
+
+    fn create(&self) -> SemaphoreSlim {
+        SemaphoreSlim::with_variant(self.initial, self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::new("CurrentCount"),
+            Invocation::new("Release"),
+            Invocation::with_int("Release", 2),
+            Invocation::new("Wait"),
+            Invocation::with_int("Wait", 0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    fn wait() -> Invocation {
+        Invocation::new("Wait")
+    }
+    fn release2() -> Invocation {
+        Invocation::with_int("Release", 2)
+    }
+
+    #[test]
+    fn unmodelled_semaphore_basics() {
+        let s = SemaphoreSlim::new(1);
+        assert_eq!(s.current_count(), 1);
+        s.wait();
+        assert_eq!(s.current_count(), 0);
+        assert!(!s.try_wait());
+        s.release(2);
+        assert!(s.try_wait());
+        assert_eq!(s.current_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive permit count")]
+    fn release_zero_rejected() {
+        SemaphoreSlim::new(0).release(0);
+    }
+
+    #[test]
+    fn fixed_passes_two_waiters_release2() {
+        let target = SemaphoreSlimTarget {
+            variant: Variant::Fixed,
+            initial: 0,
+        };
+        let m = TestMatrix::from_columns(vec![vec![wait()], vec![wait()], vec![release2()]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        // Serial schedules where a Wait runs first get stuck.
+        assert!(report.spec.stuck_count() > 0);
+    }
+
+    #[test]
+    fn pre_fails_two_waiters_release2() {
+        // Root cause C: Release(2) pulses once; the second sleeper never
+        // wakes even though a permit is available.
+        let target = SemaphoreSlimTarget {
+            variant: Variant::Pre,
+            initial: 0,
+        };
+        let m = TestMatrix::from_columns(vec![vec![wait()], vec![wait()], vec![release2()]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(!report.passed());
+        assert!(matches!(
+            report.first_violation(),
+            Some(lineup::Violation::StuckNoWitness { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_fast_path_try_wait_passes() {
+        let target = SemaphoreSlimTarget {
+            variant: Variant::Fixed,
+            initial: 1,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("Wait", 0), Invocation::new("CurrentCount")],
+            vec![Invocation::new("Release"), Invocation::with_int("Wait", 0)],
+        ]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_passes_single_waiter() {
+        // With one waiter, a single pulse suffices: the pre bug needs two
+        // sleepers to manifest (min dimension > 1x2).
+        let target = SemaphoreSlimTarget {
+            variant: Variant::Pre,
+            initial: 0,
+        };
+        let m = TestMatrix::from_columns(vec![vec![wait()], vec![Invocation::new("Release")]]);
+        let report = check(&target, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,78 @@
+//! Small shared helpers for the target adapters.
+
+use lineup::{Invocation, Value};
+
+/// Extracts the single integer argument of an invocation.
+///
+/// # Panics
+///
+/// Panics (caught by Line-Up and reported) when the argument is missing or
+/// not an integer — adapters are exercised only with their own catalogs.
+pub fn int_arg(inv: &Invocation) -> i64 {
+    match inv.args.first() {
+        Some(Value::Int(v)) => *v,
+        other => panic!("{}: expected integer argument, got {other:?}", inv.name),
+    }
+}
+
+/// `Some(v)` on success, [`Value::Fail`] on failure — the shape of the
+/// .NET `bool TryX(out T value)` methods.
+pub fn try_result(v: Option<i64>) -> Value {
+    match v {
+        Some(v) => Value::some(Value::Int(v)),
+        None => Value::Fail,
+    }
+}
+
+/// Renders a `bool` as a [`Value`].
+pub fn bool_value(b: bool) -> Value {
+    Value::Bool(b)
+}
+
+/// The variant of a class implementation under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The corrected implementation (models the Beta 2 release).
+    Fixed,
+    /// The preview implementation with the seeded root cause (models the
+    /// CTP release; Table 2 marks these classes "(Pre)").
+    Pre,
+}
+
+impl Variant {
+    /// Suffix used in class names, matching Table 2 ("(Pre)" markers).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Variant::Fixed => "",
+            Variant::Pre => " (Pre)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arg_reads_first_int() {
+        assert_eq!(int_arg(&Invocation::with_int("Add", 200)), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer argument")]
+    fn int_arg_panics_without_arg() {
+        int_arg(&Invocation::new("Add"));
+    }
+
+    #[test]
+    fn try_result_shapes() {
+        assert_eq!(try_result(Some(5)), Value::some(Value::Int(5)));
+        assert_eq!(try_result(None), Value::Fail);
+    }
+
+    #[test]
+    fn variant_suffixes() {
+        assert_eq!(Variant::Fixed.suffix(), "");
+        assert_eq!(Variant::Pre.suffix(), " (Pre)");
+    }
+}

@@ -1,0 +1,272 @@
+#![allow(clippy::result_unit_err)] // modelled .NET exceptions are `Err(())` responses
+
+//! `TaskCompletionSource`: a one-shot completion cell — exactly one of
+//! result / cancellation / exception wins; `Wait` blocks until completion.
+//! (No seeded defect; Table 1 lists it in the Beta 2 set.)
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{spin, Atomic, DataCell, Monitor};
+
+use crate::support::int_arg;
+
+/// Completion states.
+const PENDING: i64 = 0;
+const RESULT: i64 = 1;
+const CANCELED: i64 = 2;
+const FAULTED: i64 = 3;
+/// A completer won the pending→X race and is publishing its payload;
+/// readers treat this as still pending.
+const COMMITTING: i64 = 4;
+
+/// A one-shot completion source in the style of .NET's
+/// `TaskCompletionSource<int>`.
+#[derive(Debug)]
+pub struct TaskCompletionSource {
+    state: Atomic<i64>,
+    result: DataCell<i64>,
+    monitor: Monitor,
+}
+
+impl TaskCompletionSource {
+    /// Creates a pending source.
+    pub fn new() -> Self {
+        TaskCompletionSource {
+            state: Atomic::new(PENDING),
+            result: DataCell::new(0),
+            monitor: Monitor::new(),
+        }
+    }
+
+    /// Waits out a concurrent completer's publication window and returns
+    /// the settled state. Reporting "already completed" (or reading the
+    /// result) *before* the winner's effect is visible would not be
+    /// linearizable: a caller could observe `TrySetCanceled == false`
+    /// followed by `TryResult == Fail`, which matches no serialization.
+    fn settled_state(&self) -> i64 {
+        let mut s = self.state.load();
+        spin::spin_until(|| {
+            s = self.state.load();
+            s != COMMITTING
+        });
+        s
+    }
+
+    fn complete(&self, state: i64, result: Option<i64>) -> bool {
+        // Win the one-shot race first (pending → committing), then publish
+        // the payload, then the final state: losers can never clobber the
+        // winner's payload, and readers only observe the payload after the
+        // final state is visible.
+        if self.state.compare_exchange(PENDING, COMMITTING).is_err() {
+            // Lost the race: wait until the winner's effect is visible
+            // before reporting completion (linearize after the winner).
+            self.settled_state();
+            return false;
+        }
+        if let Some(r) = result {
+            self.result.set(r);
+        }
+        self.state.store(state);
+        self.monitor.enter();
+        self.monitor.pulse_all();
+        self.monitor.exit();
+        true
+    }
+
+    /// Attempts to complete with a result; `false` if already completed.
+    pub fn try_set_result(&self, value: i64) -> bool {
+        self.complete(RESULT, Some(value))
+    }
+
+    /// Attempts to cancel; `false` if already completed.
+    pub fn try_set_canceled(&self) -> bool {
+        self.complete(CANCELED, None)
+    }
+
+    /// Attempts to fault; `false` if already completed.
+    pub fn try_set_exception(&self) -> bool {
+        self.complete(FAULTED, None)
+    }
+
+    /// Completes with a result. Returns `Err(())` when already completed
+    /// (the .NET original throws).
+    pub fn set_result(&self, value: i64) -> Result<(), ()> {
+        if self.try_set_result(value) {
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    /// Cancels. Returns `Err(())` when already completed.
+    pub fn set_canceled(&self) -> Result<(), ()> {
+        if self.try_set_canceled() {
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    /// Faults. Returns `Err(())` when already completed.
+    pub fn set_exception(&self) -> Result<(), ()> {
+        if self.try_set_exception() {
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    /// Blocks until completed; returns the final state and result.
+    pub fn wait(&self) -> (i64, i64) {
+        self.monitor.enter();
+        while matches!(self.state.load(), PENDING | COMMITTING) {
+            self.monitor.wait();
+        }
+        self.monitor.exit();
+        let s = self.state.load();
+        let r = if s == RESULT { self.result.get() } else { 0 };
+        (s, r)
+    }
+
+    /// Non-blocking result query: the result when completed with one.
+    pub fn try_result(&self) -> Option<i64> {
+        if self.settled_state() == RESULT {
+            Some(self.result.get())
+        } else {
+            None
+        }
+    }
+
+    /// The observed exception state (None while pending / non-faulted).
+    pub fn exception(&self) -> Option<&'static str> {
+        match self.settled_state() {
+            FAULTED => Some("Exception"),
+            CANCELED => Some("TaskCanceledException"),
+            _ => None,
+        }
+    }
+}
+
+impl Default for TaskCompletionSource {
+    fn default() -> Self {
+        TaskCompletionSource::new()
+    }
+}
+
+/// Line-Up target for [`TaskCompletionSource`]. Invocations follow
+/// Table 1: `Exception`, `TrySetCanceled`, `TrySetException`,
+/// `TrySetResult`, `SetCanceled`, `SetException`, `SetResult`, `Wait`,
+/// `TryResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCompletionSourceTarget;
+
+impl TestInstance for TaskCompletionSource {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        let err = || Value::Str("InvalidOperationException".into());
+        match inv.name.as_str() {
+            "TrySetResult" => Value::Bool(self.try_set_result(int_arg(inv))),
+            "TrySetCanceled" => Value::Bool(self.try_set_canceled()),
+            "TrySetException" => Value::Bool(self.try_set_exception()),
+            "SetResult" => match self.set_result(int_arg(inv)) {
+                Ok(()) => Value::Unit,
+                Err(()) => err(),
+            },
+            "SetCanceled" => match self.set_canceled() {
+                Ok(()) => Value::Unit,
+                Err(()) => err(),
+            },
+            "SetException" => match self.set_exception() {
+                Ok(()) => Value::Unit,
+                Err(()) => err(),
+            },
+            "Wait" => {
+                let (s, r) = self.wait();
+                Value::Seq(vec![Value::Int(s), Value::Int(r)])
+            }
+            "TryResult" => match self.try_result() {
+                Some(v) => Value::some(Value::Int(v)),
+                None => Value::Fail,
+            },
+            "Exception" => match self.exception() {
+                Some(e) => Value::Str(e.into()),
+                None => Value::Fail,
+            },
+            other => panic!("TaskCompletionSource: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for TaskCompletionSourceTarget {
+    type Instance = TaskCompletionSource;
+
+    fn name(&self) -> &str {
+        "TaskCompletionSource"
+    }
+
+    fn create(&self) -> TaskCompletionSource {
+        TaskCompletionSource::new()
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::with_int("TrySetResult", 10),
+            Invocation::new("TrySetCanceled"),
+            Invocation::new("TrySetException"),
+            Invocation::with_int("SetResult", 20),
+            Invocation::new("Wait"),
+            Invocation::new("TryResult"),
+            Invocation::new("Exception"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_one_shot_semantics() {
+        let t = TaskCompletionSource::new();
+        assert_eq!(t.try_result(), None);
+        assert_eq!(t.exception(), None);
+        assert!(t.try_set_result(5));
+        assert!(!t.try_set_result(6));
+        assert!(!t.try_set_canceled());
+        assert_eq!(t.try_result(), Some(5));
+        assert_eq!(t.wait(), (RESULT, 5));
+        assert_eq!(t.set_result(9), Err(()));
+    }
+
+    #[test]
+    fn unmodelled_cancellation() {
+        let t = TaskCompletionSource::new();
+        assert_eq!(t.set_canceled(), Ok(()));
+        assert_eq!(t.exception(), Some("TaskCanceledException"));
+        assert_eq!(t.try_result(), None);
+    }
+
+    #[test]
+    fn racing_completers_pass_check() {
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("TrySetResult", 10)],
+            vec![Invocation::new("TrySetCanceled")],
+            vec![Invocation::new("Wait")],
+        ]);
+        let report = check(&TaskCompletionSourceTarget, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.spec.stuck_count() > 0, "Wait-first blocks serially");
+    }
+
+    #[test]
+    fn observers_pass_check() {
+        let m = TestMatrix::from_columns(vec![
+            vec![
+                Invocation::with_int("TrySetResult", 10),
+                Invocation::new("TryResult"),
+            ],
+            vec![Invocation::new("Exception"), Invocation::new("TryResult")],
+        ]);
+        let report = check(&TaskCompletionSourceTarget, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,386 @@
+//! Automatic test generation: `AutoCheck` (paper Fig. 6) and
+//! `RandomCheck` (paper Fig. 8, §4.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::check::{check, CheckOptions, CheckReport};
+use crate::matrix::TestMatrix;
+use crate::target::{Invocation, TestTarget};
+
+/// Bounds for [`auto_check`]. The paper's `AutoCheck` loops forever on a
+/// correct implementation (footnote 3: no algorithm for an undecidable
+/// problem can be sound, complete, and terminating); the limits make it a
+/// practical procedure.
+#[derive(Debug, Clone)]
+pub struct AutoCheckLimits {
+    /// Largest `n` to try: tests are drawn from `M(I_n, n×n)` for
+    /// `n = 1, 2, …, max_n`, where `I_n` is the first `n` invocations of
+    /// the target's catalog.
+    pub max_n: usize,
+    /// Upper bound on the total number of tests checked.
+    pub max_tests: u64,
+    /// Options passed to every [`check`].
+    pub options: CheckOptions,
+}
+
+impl Default for AutoCheckLimits {
+    fn default() -> Self {
+        AutoCheckLimits {
+            max_n: 2,
+            max_tests: 1_000,
+            options: CheckOptions::new(),
+        }
+    }
+}
+
+/// The algorithm `AutoCheck(X)` of Fig. 6, bounded: for `n = 1, 2, …`,
+/// checks every test in `M(I_n, n×n)` and returns the first failing
+/// report. Returns `Ok(tests_run)` if every test within the limits
+/// passed.
+///
+/// Completeness carries over from [`check`] (Theorem 5); soundness
+/// (Theorem 7) holds in the limit `max_n, max_tests → ∞`.
+///
+/// # Example
+///
+/// ```
+/// use lineup::auto::{auto_check, AutoCheckLimits};
+/// use lineup::doc_support::BuggyCounterTarget;
+///
+/// let failure = auto_check(&BuggyCounterTarget, &AutoCheckLimits::default());
+/// assert!(failure.is_err(), "the buggy counter is caught automatically");
+/// ```
+pub fn auto_check<T: TestTarget>(
+    target: &T,
+    limits: &AutoCheckLimits,
+) -> Result<u64, Box<CheckReport>> {
+    let catalog = target.invocations();
+    let mut tests_run = 0u64;
+    for n in 1..=limits.max_n {
+        let i_n: Vec<Invocation> = catalog.iter().take(n).cloned().collect();
+        for m in TestMatrix::enumerate(&i_n, n, n) {
+            if tests_run >= limits.max_tests {
+                return Ok(tests_run);
+            }
+            tests_run += 1;
+            let report = check(target, &m, &limits.options);
+            if !report.passed() {
+                return Err(Box::new(report));
+            }
+        }
+    }
+    Ok(tests_run)
+}
+
+/// Configuration for [`random_check`] (the paper's Fig. 8 plus the §4.3
+/// extensions: caller-provided invocation lists and init/final sequences).
+#[derive(Debug, Clone)]
+pub struct RandomCheckConfig {
+    /// Matrix rows (invocations per thread). The paper's evaluation uses 3.
+    pub rows: usize,
+    /// Matrix columns (threads). The paper's evaluation uses 3.
+    pub cols: usize,
+    /// Sample size `k`: number of random tests drawn uniformly from
+    /// `M(I, rows×cols)`. The paper's evaluation uses 100 per class.
+    pub samples: usize,
+    /// RNG seed, so runs are reproducible.
+    pub seed: u64,
+    /// Representative invocations `I` to draw from; `None` uses the
+    /// target's full catalog.
+    pub invocations: Option<Vec<Invocation>>,
+    /// Init sequence prepended to every test (state preparation, §4.3).
+    pub init: Vec<Invocation>,
+    /// Final sequence appended to every test (§4.3).
+    pub finally: Vec<Invocation>,
+    /// Stop at the first failing test (the literal Fig. 8 behaviour) or
+    /// check the whole sample (useful for statistics like Table 2).
+    pub stop_at_first_failure: bool,
+    /// Options passed to every [`check`].
+    pub options: CheckOptions,
+}
+
+impl RandomCheckConfig {
+    /// The paper's evaluation setup: 100 random 3×3 tests (§5.1).
+    pub fn paper_defaults(seed: u64) -> Self {
+        RandomCheckConfig {
+            rows: 3,
+            cols: 3,
+            samples: 100,
+            seed,
+            invocations: None,
+            init: Vec::new(),
+            finally: Vec::new(),
+            stop_at_first_failure: false,
+            options: CheckOptions::new(),
+        }
+    }
+
+    /// A quick configuration with a smaller sample.
+    pub fn quick(seed: u64, samples: usize) -> Self {
+        RandomCheckConfig {
+            samples,
+            stop_at_first_failure: true,
+            ..RandomCheckConfig::paper_defaults(seed)
+        }
+    }
+}
+
+/// Lightweight summary of one checked test within a random sample.
+#[derive(Debug, Clone)]
+pub struct TestSummary {
+    /// The test matrix.
+    pub matrix: TestMatrix,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// The first violation, when the test failed.
+    pub violation: Option<crate::check::Violation>,
+    /// Phase-1 statistics.
+    pub phase1: crate::check::PhaseStats,
+    /// Phase-2 statistics.
+    pub phase2: crate::check::PhaseStats,
+}
+
+/// The result of a [`random_check`] sample.
+#[derive(Debug, Clone)]
+pub struct RandomCheckResult {
+    /// Per-test summaries, in sample order (possibly truncated when
+    /// stopping at the first failure).
+    pub summaries: Vec<TestSummary>,
+    /// The first failing report, if any test failed.
+    pub first_failure: Option<Box<CheckReport>>,
+}
+
+impl RandomCheckResult {
+    /// Whether every checked test passed (the PASS of Fig. 8).
+    pub fn passed(&self) -> bool {
+        self.first_failure.is_none()
+    }
+
+    /// Number of tests that passed / failed.
+    pub fn counts(&self) -> (usize, usize) {
+        let failed = self.summaries.iter().filter(|s| !s.passed).count();
+        (self.summaries.len() - failed, failed)
+    }
+}
+
+/// The algorithm `RandomCheck(X, I, i, j, n)` of Fig. 8: draws a uniform
+/// random sample of tests from `M(I, rows×cols)` and checks each one.
+/// Like `Check`, it is complete (any failure is conclusive) but sampling
+/// forfeits the soundness guarantee (§4.3) — and gains embarrassing
+/// parallelism and practicality in exchange.
+pub fn random_check<T: TestTarget>(target: &T, config: &RandomCheckConfig) -> RandomCheckResult {
+    let invocations = config
+        .invocations
+        .clone()
+        .unwrap_or_else(|| target.invocations());
+    assert!(
+        !invocations.is_empty(),
+        "random_check needs at least one invocation"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut summaries = Vec::with_capacity(config.samples);
+    let mut first_failure = None;
+
+    for _ in 0..config.samples {
+        let mut columns = vec![Vec::with_capacity(config.rows); config.cols];
+        for col in &mut columns {
+            for _ in 0..config.rows {
+                col.push(invocations[rng.gen_range(0..invocations.len())].clone());
+            }
+        }
+        let matrix = TestMatrix::from_columns(columns)
+            .with_init(config.init.clone())
+            .with_finally(config.finally.clone());
+        let report = check(target, &matrix, &config.options);
+        let passed = report.passed();
+        summaries.push(TestSummary {
+            matrix,
+            passed,
+            violation: report.first_violation().cloned(),
+            phase1: report.phase1.clone(),
+            phase2: report.phase2.clone(),
+        });
+        if !passed && first_failure.is_none() {
+            first_failure = Some(Box::new(report));
+            if config.stop_at_first_failure {
+                break;
+            }
+        }
+    }
+    RandomCheckResult {
+        summaries,
+        first_failure,
+    }
+}
+
+/// Parallel [`random_check`]: "another big practical benefit of random
+/// sampling is that it is embarrassingly parallel: it is very easy to
+/// distribute the various tests and let each core run Check independently"
+/// (paper §4.3).
+///
+/// The sample is split into `workers` chunks, each checked on its own OS
+/// thread with a seed derived from `config.seed` and the chunk index —
+/// so the *set* of tests differs from the sequential run with the same
+/// seed, but is itself reproducible. Summaries are returned in chunk
+/// order; `first_failure` is the first failure of the earliest failing
+/// chunk.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn random_check_parallel<T: TestTarget>(
+    target: &T,
+    config: &RandomCheckConfig,
+    workers: usize,
+) -> RandomCheckResult {
+    assert!(workers > 0, "need at least one worker");
+    let workers = workers.min(config.samples.max(1));
+    let chunk = config.samples.div_ceil(workers);
+    let results: Vec<RandomCheckResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mut cfg = config.clone();
+                cfg.samples = chunk.min(config.samples.saturating_sub(w * chunk));
+                cfg.seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                scope.spawn(move || random_check(target, &cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    let mut summaries = Vec::new();
+    let mut first_failure = None;
+    for r in results {
+        summaries.extend(r.summaries);
+        if first_failure.is_none() {
+            first_failure = r.first_failure;
+        }
+    }
+    RandomCheckResult {
+        summaries,
+        first_failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc_support::{BuggyCounterTarget, CounterTarget};
+
+    #[test]
+    fn auto_check_passes_correct_counter() {
+        let limits = AutoCheckLimits {
+            max_n: 2,
+            max_tests: 50,
+            options: CheckOptions::new(),
+        };
+        let r = auto_check(&CounterTarget, &limits);
+        assert!(r.is_ok());
+        assert!(r.unwrap() > 0);
+    }
+
+    #[test]
+    fn auto_check_catches_buggy_counter() {
+        let r = auto_check(&BuggyCounterTarget, &AutoCheckLimits::default());
+        let report = r.expect_err("buggy counter must fail");
+        assert!(!report.passed());
+        // The failing test is small (small scope hypothesis: n = 2).
+        assert!(report.matrix.operation_count() <= 4);
+    }
+
+    #[test]
+    fn random_check_catches_buggy_counter() {
+        let cfg = RandomCheckConfig {
+            rows: 2,
+            cols: 2,
+            samples: 20,
+            seed: 1,
+            stop_at_first_failure: true,
+            ..RandomCheckConfig::paper_defaults(1)
+        };
+        let r = random_check(&BuggyCounterTarget, &cfg);
+        assert!(!r.passed());
+        let (passed, failed) = r.counts();
+        assert_eq!(failed, 1, "stops at first failure");
+        let _ = passed;
+    }
+
+    #[test]
+    fn random_check_passes_correct_counter() {
+        let cfg = RandomCheckConfig {
+            rows: 2,
+            cols: 2,
+            samples: 10,
+            seed: 42,
+            ..RandomCheckConfig::paper_defaults(42)
+        };
+        let r = random_check(&CounterTarget, &cfg);
+        assert!(r.passed());
+        assert_eq!(r.summaries.len(), 10);
+    }
+
+    #[test]
+    fn parallel_random_check_covers_the_sample() {
+        for (samples, workers) in [(9, 4), (5, 4), (1, 8), (8, 3)] {
+            let cfg = RandomCheckConfig {
+                rows: 2,
+                cols: 2,
+                samples,
+                seed: 11,
+                ..RandomCheckConfig::paper_defaults(11)
+            };
+            let r = random_check_parallel(&CounterTarget, &cfg, workers);
+            assert!(r.passed());
+            assert_eq!(
+                r.summaries.len(),
+                samples,
+                "all samples checked across {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_random_check_finds_bugs() {
+        let cfg = RandomCheckConfig {
+            rows: 2,
+            cols: 2,
+            samples: 16,
+            seed: 5,
+            ..RandomCheckConfig::paper_defaults(5)
+        };
+        let r = random_check_parallel(&BuggyCounterTarget, &cfg, 4);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn parallel_random_check_is_reproducible() {
+        let cfg = RandomCheckConfig {
+            rows: 2,
+            cols: 2,
+            samples: 8,
+            seed: 3,
+            ..RandomCheckConfig::paper_defaults(3)
+        };
+        let a = random_check_parallel(&CounterTarget, &cfg, 3);
+        let b = random_check_parallel(&CounterTarget, &cfg, 3);
+        let ms: Vec<_> = a.summaries.iter().map(|s| s.matrix.clone()).collect();
+        let ns: Vec<_> = b.summaries.iter().map(|s| s.matrix.clone()).collect();
+        assert_eq!(ms, ns);
+    }
+
+    #[test]
+    fn random_check_is_reproducible() {
+        let cfg = RandomCheckConfig {
+            rows: 2,
+            cols: 2,
+            samples: 5,
+            seed: 7,
+            ..RandomCheckConfig::paper_defaults(7)
+        };
+        let a = random_check(&CounterTarget, &cfg);
+        let b = random_check(&CounterTarget, &cfg);
+        let ms: Vec<_> = a.summaries.iter().map(|s| s.matrix.clone()).collect();
+        let ns: Vec<_> = b.summaries.iter().map(|s| s.matrix.clone()).collect();
+        assert_eq!(ms, ns);
+    }
+}

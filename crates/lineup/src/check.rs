@@ -1,0 +1,677 @@
+//! The two-phase Line-Up check (paper Fig. 5): synthesize the sequential
+//! specification from serial executions, then verify every concurrent
+//! execution against it.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::time::Duration;
+
+use lineup_sched::{Config, RunOutcome};
+
+use crate::harness::explore_matrix;
+use crate::history::{History, OpIndex};
+use crate::matrix::TestMatrix;
+use crate::spec::{Nondeterminism, ObservationSet, SerialHistory};
+use crate::target::TestTarget;
+use crate::witness::{find_witness, WitnessQuery};
+
+/// Options controlling one [`check`] call.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Preemption bound for phase 2 (the paper uses the CHESS default of 2
+    /// "except where it performed unacceptably slow", §5.4). Phase 1 is
+    /// never bounded, preserving the completeness guarantee of Theorem 5.
+    /// `None` explores phase 2 exhaustively.
+    pub preemption_bound: Option<usize>,
+    /// Optional cap on phase-2 runs (a soundness/time trade-off on top of
+    /// preemption bounding; violations found remain conclusive).
+    pub max_phase2_runs: Option<u64>,
+    /// Stop at the first violation (default) or keep exploring and report
+    /// all distinct violations.
+    pub stop_at_first_violation: bool,
+    /// Iterative context bounding (Musuvathi & Qadeer, PLDI 2007 — the
+    /// search order CHESS itself uses): run phase 2 at preemption bounds
+    /// 0, 1, …, [`preemption_bound`](CheckOptions::preemption_bound) in
+    /// sequence, stopping at the first violation. Shallow bugs are found
+    /// with the fewest preemptions (smallest counterexamples) and with
+    /// less exploration; the final iteration gives the same coverage as a
+    /// direct bounded search.
+    pub iterative_bounding: bool,
+    /// Methods declared *asynchronous*: their effects may linearize after
+    /// the method has returned (the paper's §6 future-work item on
+    /// "asynchronous methods, such as the cancel method", and the shape of
+    /// root cause K — `CompleteAdding`'s effects land "well after the
+    /// method has returned"). Precedence constraints from these methods to
+    /// later operations are dropped during witness search. Use sparingly:
+    /// it weakens the check for the listed methods.
+    pub async_methods: Vec<String>,
+    /// Methods declared as *nondeterministic under interference*: a
+    /// [`Value::Fail`](crate::Value) response from one of these methods is
+    /// accepted whenever the operation overlaps another operation, by
+    /// deleting it from the history before witness search. This implements
+    /// the paper's future-work item on "nondeterministic methods, such as
+    /// methods that may fail on interference", and encodes the
+    /// documentation fix the .NET developers chose for root causes I and J
+    /// (§5.2.2) — e.g. declaring `TryTake` spurious makes the
+    /// BlockingCollection's intentional behaviour pass. Use sparingly: it
+    /// weakens the check for the listed methods.
+    pub spurious_failures: Vec<String>,
+}
+
+impl CheckOptions {
+    /// The paper's defaults: preemption bound 2, stop at first violation.
+    pub fn new() -> Self {
+        CheckOptions {
+            preemption_bound: Some(2),
+            max_phase2_runs: None,
+            stop_at_first_violation: true,
+            iterative_bounding: false,
+            async_methods: Vec::new(),
+            spurious_failures: Vec::new(),
+        }
+    }
+
+    /// Sets the preemption bound, builder style (`None` = unbounded).
+    pub fn with_preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps phase-2 runs, builder style.
+    pub fn with_max_phase2_runs(mut self, runs: u64) -> Self {
+        self.max_phase2_runs = Some(runs);
+        self
+    }
+
+    /// Collect all violations instead of stopping at the first.
+    pub fn collect_all_violations(mut self) -> Self {
+        self.stop_at_first_violation = false;
+        self
+    }
+
+    /// Enables iterative context bounding (see
+    /// [`CheckOptions::iterative_bounding`]).
+    pub fn with_iterative_bounding(mut self) -> Self {
+        self.iterative_bounding = true;
+        self
+    }
+
+    /// Declares methods whose effects may land after they return (see
+    /// [`CheckOptions::async_methods`]).
+    pub fn with_async_methods<I, S>(mut self, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.async_methods = methods.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declares methods whose failed responses may occur spuriously under
+    /// interference (see [`CheckOptions::spurious_failures`]).
+    pub fn with_spurious_failures<I, S>(mut self, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spurious_failures = methods.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions::new()
+    }
+}
+
+/// A violation of deterministic linearizability. By Theorem 5 any reported
+/// violation proves the implementation is not linearizable with respect to
+/// *any* deterministic sequential specification — there are no false
+/// alarms.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// Phase 1 found two serial histories diverging at a call: the
+    /// component itself is nondeterministic (Fig. 5 line 4).
+    Nondeterminism(Nondeterminism),
+    /// A complete concurrent history has no serial witness in the
+    /// synthesized specification `A` (Fig. 5 line 8 / Definition 1).
+    NoWitness {
+        /// The violating history.
+        history: History,
+        /// Scheduler decisions reproducing the execution (see
+        /// [`crate::replay_matrix`]).
+        decisions: Vec<usize>,
+    },
+    /// A stuck concurrent history has a pending operation `e` such that
+    /// `H[e]` has no stuck serial witness in `B` (Fig. 5 line 13 /
+    /// Definition 2): the operation blocked although the specification
+    /// never blocks it there.
+    StuckNoWitness {
+        /// The violating stuck history.
+        history: History,
+        /// The pending operation without justification.
+        pending: OpIndex,
+        /// Scheduler decisions reproducing the execution.
+        decisions: Vec<usize>,
+    },
+    /// The component panicked during the phase indicated (assertion
+    /// failure, index out of bounds, …) — also a real defect.
+    Panic {
+        /// Rendered panic message.
+        message: String,
+        /// The (partial) history up to the panic.
+        history: History,
+        /// `true` when the panic occurred during serial (phase 1)
+        /// execution.
+        serial: bool,
+        /// Scheduler decisions reproducing the execution.
+        decisions: Vec<usize>,
+    },
+}
+
+/// Statistics of one phase of a check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of executions explored.
+    pub runs: u64,
+    /// Distinct complete ("full") histories observed.
+    pub full_histories: usize,
+    /// Distinct stuck histories observed.
+    pub stuck_histories: usize,
+    /// Wall-clock time spent.
+    pub duration: Duration,
+}
+
+/// The result of checking one test matrix.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Name of the checked component.
+    pub target_name: String,
+    /// The test matrix.
+    pub matrix: TestMatrix,
+    /// Violations found (empty = PASS).
+    pub violations: Vec<Violation>,
+    /// The synthesized sequential specification (the observation set of
+    /// §4.2, persistable via [`crate::observation`]).
+    pub spec: ObservationSet,
+    /// Phase-1 statistics (serial enumeration).
+    pub phase1: PhaseStats,
+    /// Phase-2 statistics (concurrent enumeration).
+    pub phase2: PhaseStats,
+}
+
+impl CheckReport {
+    /// Whether the check passed (no violation found on the explored
+    /// executions; like all dynamic tools, sound only for the inputs and
+    /// executions tested — Theorem 6 discussion).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+}
+
+/// Runs phase 1 only: enumerates all serial executions of the test and
+/// returns the synthesized specification (the sets `A ∪ B`), plus stats
+/// and any panic violation.
+pub fn synthesize_spec<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+) -> (ObservationSet, PhaseStats, Option<Violation>) {
+    let start = std::time::Instant::now();
+    let mut spec = ObservationSet::new();
+    let mut panic_violation = None;
+    let stats = explore_matrix(target, matrix, &Config::serial(), |run| {
+        match &run.outcome {
+            RunOutcome::Complete | RunOutcome::StuckSerial => {
+                spec.insert(SerialHistory::from_history(&run.history));
+                ControlFlow::Continue(())
+            }
+            RunOutcome::Panicked { message, .. } => {
+                panic_violation = Some(Violation::Panic {
+                    message: message.clone(),
+                    history: run.history,
+                    serial: true,
+                    decisions: run.decisions,
+                });
+                ControlFlow::Break(())
+            }
+            RunOutcome::Deadlock | RunOutcome::Livelock => {
+                unreachable!("serial mode reports blocking as StuckSerial")
+            }
+            RunOutcome::StepLimit => {
+                panic_violation = Some(Violation::Panic {
+                    message: "step limit exceeded in serial execution".into(),
+                    history: run.history,
+                    serial: true,
+                    decisions: run.decisions,
+                });
+                ControlFlow::Break(())
+            }
+        }
+    });
+    let phase = PhaseStats {
+        runs: stats.runs,
+        full_histories: spec.full_count(),
+        stuck_histories: spec.stuck_count(),
+        duration: start.elapsed(),
+    };
+    (spec, phase, panic_violation)
+}
+
+/// Runs phase 2 only, against a given specification: explores the
+/// concurrent executions of the test and checks every history (full or
+/// stuck) for a serial witness.
+///
+/// Exposed separately so a specification synthesized from one
+/// implementation can be checked against another (differential checking —
+/// e.g. validating a "fixed" version against the behaviors of a reference
+/// implementation). [`check`] composes [`synthesize_spec`] with this.
+/// Removes spuriously-failed operations (declared methods, Fail response,
+/// overlapping some other operation) from a history before witness search.
+/// Returns the reduced history and the removed ops as `(thread, position
+/// within thread)` pairs — which identify the matrix cells to drop from
+/// the sub-test whose specification the reduced history is checked
+/// against.
+fn reduce_spurious(
+    history: &History,
+    spurious: &[String],
+) -> (History, Vec<(usize, usize)>) {
+    if spurious.is_empty() {
+        return (history.clone(), Vec::new());
+    }
+    let mut remove = std::collections::BTreeSet::new();
+    for (i, op) in history.ops.iter().enumerate() {
+        if op.response == Some(crate::value::Value::Fail)
+            && spurious.contains(&op.invocation.name)
+            && (0..history.ops.len()).any(|j| j != i && history.overlapping(i, j))
+        {
+            remove.insert(i);
+        }
+    }
+    if remove.is_empty() {
+        return (history.clone(), Vec::new());
+    }
+    let mut removed_cells = Vec::new();
+    for t in 0..history.thread_count {
+        for (pos, op_idx) in history.thread_ops(t).into_iter().enumerate() {
+            if remove.contains(&op_idx) {
+                removed_cells.push((t, pos));
+            }
+        }
+    }
+    (history.without_ops(&remove).0, removed_cells)
+}
+
+/// Builds the sub-test obtained by dropping the given `(thread, position)`
+/// cells from a matrix (finals-thread ops live past the last column).
+fn reduced_matrix(matrix: &TestMatrix, removed: &[(usize, usize)]) -> TestMatrix {
+    let mut m = matrix.clone();
+    let ncols = m.columns.len();
+    let mut by_thread: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for &(t, pos) in removed {
+        by_thread.entry(t).or_default().push(pos);
+    }
+    for (t, mut positions) in by_thread {
+        positions.sort_unstable_by(|a, b| b.cmp(a)); // remove back-to-front
+        let column = if t < ncols {
+            &mut m.columns[t]
+        } else {
+            &mut m.finally
+        };
+        for pos in positions {
+            column.remove(pos);
+        }
+    }
+    m
+}
+
+/// Runs phase 2 only, against a given specification: explores the
+/// concurrent executions of the test and checks every history (full or
+/// stuck) for a serial witness.
+///
+/// Exposed separately so a specification synthesized from one
+/// implementation can be checked against another (differential checking).
+/// Operations listed in [`CheckOptions::spurious_failures`] whose failed
+/// responses overlap other operations are removed before witness search
+/// and the remainder is checked against the sub-test's own synthesized
+/// specification.
+pub fn check_against_spec<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    spec: &ObservationSet,
+    options: &CheckOptions,
+) -> (Vec<Violation>, PhaseStats) {
+    if !options.iterative_bounding {
+        return check_against_spec_at(target, matrix, spec, options, options.preemption_bound);
+    }
+    // Iterative context bounding: bounds 0, 1, …, preemption_bound (or an
+    // unbounded final iteration when no bound is set).
+    let final_bound = options.preemption_bound;
+    let mut bounds: Vec<Option<usize>> = match final_bound {
+        Some(b) => (0..=b).map(Some).collect(),
+        None => vec![Some(0), Some(1), Some(2), None],
+    };
+    let mut total = PhaseStats::default();
+    let mut violations = Vec::new();
+    for bound in bounds.drain(..) {
+        let (vs, stats) = check_against_spec_at(target, matrix, spec, options, bound);
+        total.runs += stats.runs;
+        total.full_histories += stats.full_histories;
+        total.stuck_histories += stats.stuck_histories;
+        total.duration += stats.duration;
+        if !vs.is_empty() {
+            violations = vs;
+            if options.stop_at_first_violation {
+                break;
+            }
+        }
+    }
+    (violations, total)
+}
+
+fn check_against_spec_at<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    spec: &ObservationSet,
+    options: &CheckOptions,
+    preemption_bound: Option<usize>,
+) -> (Vec<Violation>, PhaseStats) {
+    let start = std::time::Instant::now();
+    let index = spec.index();
+    let mut violations = Vec::new();
+    // Verdict cache: phase 2 visits the same history through many
+    // schedules; each distinct history needs only one witness search.
+    let mut seen: HashMap<History, bool> = HashMap::new();
+    // Specifications of the sub-tests obtained by dropping spuriously-
+    // failed operations, synthesized on demand (phase 1 is cheap, §5.4)
+    // and cached per removal set.
+    let mut sub_specs: std::collections::BTreeMap<Vec<(usize, usize)>, ObservationSet> =
+        Default::default();
+    let mut full = 0usize;
+    let mut stuck = 0usize;
+
+    let mut config = Config::exhaustive();
+    config.preemption_bound = preemption_bound;
+    config.max_runs = options.max_phase2_runs;
+
+    let stats = explore_matrix(target, matrix, &config, |run| {
+        let mut ok = true;
+        match &run.outcome {
+            RunOutcome::Panicked { message, .. } => {
+                violations.push(Violation::Panic {
+                    message: message.clone(),
+                    history: run.history.clone(),
+                    serial: false,
+                    decisions: run.decisions.clone(),
+                });
+                ok = false;
+            }
+            RunOutcome::StepLimit => {
+                violations.push(Violation::Panic {
+                    message: "step limit exceeded in concurrent execution".into(),
+                    history: run.history.clone(),
+                    serial: false,
+                    decisions: run.decisions.clone(),
+                });
+                ok = false;
+            }
+            RunOutcome::Complete => {
+                // A history already seen (through another schedule) was
+                // already checked — and reported, if it was a violation.
+                if !seen.contains_key(&run.history) {
+                    full += 1;
+                    let (reduced, removed) =
+                        reduce_spurious(&run.history, &options.spurious_failures);
+                    let q = WitnessQuery::for_full_relaxed(&reduced, &options.async_methods);
+                    let found = if removed.is_empty() {
+                        find_witness(&index, &q).is_some()
+                    } else {
+                        // Check the reduced history against the sub-test's
+                        // own synthesized specification.
+                        let sub = sub_specs.entry(removed).or_insert_with_key(|cells| {
+                            crate::check::synthesize_spec(
+                                target,
+                                &reduced_matrix(matrix, cells),
+                            )
+                            .0
+                        });
+                        find_witness(&sub.index(), &q).is_some()
+                    };
+                    seen.insert(run.history.clone(), found);
+                    if !found {
+                        violations.push(Violation::NoWitness {
+                            history: run.history.clone(),
+                            decisions: run.decisions.clone(),
+                        });
+                        ok = false;
+                    }
+                }
+            }
+            RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial => {
+                if !seen.contains_key(&run.history) {
+                    stuck += 1;
+                    let (reduced, removed) =
+                        reduce_spurious(&run.history, &options.spurious_failures);
+                    let sub_index_spec: Option<&ObservationSet> = if removed.is_empty() {
+                        None
+                    } else {
+                        Some(sub_specs.entry(removed).or_insert_with_key(|cells| {
+                            crate::check::synthesize_spec(
+                                target,
+                                &reduced_matrix(matrix, cells),
+                            )
+                            .0
+                        }))
+                    };
+                    let sub_index = sub_index_spec.map(|s| s.index());
+                    let mut verdict = true;
+                    for e in reduced.pending_ops() {
+                        let q =
+                            WitnessQuery::for_stuck_relaxed(&reduced, e, &options.async_methods);
+                        let missing = match &sub_index {
+                            Some(idx) => find_witness(idx, &q).is_none(),
+                            None => find_witness(&index, &q).is_none(),
+                        };
+                        if missing {
+                            // Report the reduced history so the pending
+                            // index refers to the checked history.
+                            violations.push(Violation::StuckNoWitness {
+                                history: reduced.clone(),
+                                pending: e,
+                                decisions: run.decisions.clone(),
+                            });
+                            verdict = false;
+                            ok = false;
+                            break;
+                        }
+                    }
+                    seen.insert(run.history.clone(), verdict);
+                }
+            }
+        }
+        if !ok && options.stop_at_first_violation {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+
+    let phase = PhaseStats {
+        runs: stats.runs,
+        full_histories: full,
+        stuck_histories: stuck,
+        duration: start.elapsed(),
+    };
+    (violations, phase)
+}
+
+/// The function `Check(X, m)` of the paper's Fig. 5: phase 1 enumerates
+/// the serial executions of the finite test `m` to synthesize the
+/// sequential specification; the determinism check rejects components
+/// whose serial behavior diverges at a call; phase 2 enumerates the
+/// concurrent executions and requires a serial witness for every complete
+/// history (in `A`) and for every pending operation of every stuck
+/// history (in `B`).
+///
+/// Completeness (Theorem 5): a FAIL result (non-empty
+/// [`CheckReport::violations`]) proves the component is not
+/// deterministically linearizable. Restricted soundness (Theorem 6): if a
+/// component is not deterministically linearizable, *some* finite test
+/// fails — though not necessarily this one.
+///
+/// # Example
+///
+/// ```
+/// use lineup::{check, CheckOptions, Invocation, TestMatrix};
+/// use lineup::doc_support::CounterTarget;
+///
+/// let m = TestMatrix::from_columns(vec![
+///     vec![Invocation::new("inc")],
+///     vec![Invocation::new("inc"), Invocation::new("get")],
+/// ]);
+/// let report = check(&CounterTarget, &m, &CheckOptions::new());
+/// assert!(report.passed());
+/// ```
+pub fn check<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    options: &CheckOptions,
+) -> CheckReport {
+    // Phase 1.
+    let (spec, phase1, phase1_violation) = synthesize_spec(target, matrix);
+    if let Some(v) = phase1_violation {
+        return CheckReport {
+            target_name: target.name().to_string(),
+            matrix: matrix.clone(),
+            violations: vec![v],
+            spec,
+            phase1,
+            phase2: PhaseStats::default(),
+        };
+    }
+    if let Some(nd) = spec.check_determinism() {
+        return CheckReport {
+            target_name: target.name().to_string(),
+            matrix: matrix.clone(),
+            violations: vec![Violation::Nondeterminism(nd)],
+            spec,
+            phase1,
+            phase2: PhaseStats::default(),
+        };
+    }
+    // Phase 2.
+    let (violations, phase2) = check_against_spec(target, matrix, &spec, options);
+    CheckReport {
+        target_name: target.name().to_string(),
+        matrix: matrix.clone(),
+        violations,
+        spec,
+        phase1,
+        phase2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc_support::{BuggyCounterTarget, CounterTarget};
+    use crate::target::Invocation;
+
+    fn buggy_matrix() -> TestMatrix {
+        TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc"), Invocation::new("get")],
+            vec![Invocation::new("inc")],
+        ])
+    }
+
+    #[test]
+    fn stop_at_first_violation_reports_exactly_one() {
+        let report = check(&BuggyCounterTarget, &buggy_matrix(), &CheckOptions::new());
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn collect_all_reports_every_distinct_violation() {
+        let opts = CheckOptions::new().collect_all_violations();
+        let report = check(&BuggyCounterTarget, &buggy_matrix(), &opts);
+        assert!(
+            report.violations.len() > 1,
+            "several distinct violating histories exist"
+        );
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for v in &report.violations {
+            if let Violation::NoWitness { history, .. } = v {
+                assert!(seen.insert(history.clone()), "violations deduplicate");
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_run_cap_is_respected() {
+        let opts = CheckOptions::new()
+            .with_preemption_bound(None)
+            .with_max_phase2_runs(10);
+        let report = check(&CounterTarget, &buggy_matrix(), &opts);
+        assert!(report.phase2.runs <= 10);
+        assert!(report.passed(), "a cap cannot introduce violations");
+    }
+
+    #[test]
+    fn tighter_preemption_bounds_explore_fewer_runs() {
+        let m = buggy_matrix();
+        let runs_at = |bound: Option<usize>| {
+            let opts = CheckOptions::new().with_preemption_bound(bound);
+            check(&CounterTarget, &m, &opts).phase2.runs
+        };
+        let (pb0, pb1, unbounded) = (runs_at(Some(0)), runs_at(Some(1)), runs_at(None));
+        assert!(pb0 < pb1, "{pb0} < {pb1}");
+        assert!(pb1 < unbounded, "{pb1} < {unbounded}");
+    }
+
+    #[test]
+    fn iterative_bounding_agrees_on_verdicts() {
+        let m = buggy_matrix();
+        for (target_passes, iterate) in [(false, true), (false, false)] {
+            let mut opts = CheckOptions::new();
+            if iterate {
+                opts = opts.with_iterative_bounding();
+            }
+            let report = check(&BuggyCounterTarget, &m, &opts);
+            assert_eq!(report.passed(), target_passes);
+        }
+        let opts = CheckOptions::new().with_iterative_bounding();
+        assert!(check(&CounterTarget, &m, &opts).passed());
+    }
+
+    #[test]
+    fn iterative_bounding_finds_shallow_bugs_with_few_preemptions() {
+        // The buggy counter's lost update needs a single preemption, so
+        // the iterative search stops during the bound-1 iteration —
+        // strictly before a full bound-2 exploration would.
+        let m = buggy_matrix();
+        let iterative = CheckOptions::new().with_iterative_bounding();
+        let direct = CheckOptions::new();
+        let r_iter = check(&BuggyCounterTarget, &m, &iterative);
+        let r_direct = check(&BuggyCounterTarget, &m, &direct);
+        assert!(!r_iter.passed() && !r_direct.passed());
+        // Both stop at their first violation; the iterative one never
+        // spends more runs than bound-0 exhausted plus the bound-1 prefix.
+        assert!(r_iter.phase2.runs > 0);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = check(&CounterTarget, &buggy_matrix(), &CheckOptions::new());
+        assert!(report.passed());
+        assert!(report.first_violation().is_none());
+        assert_eq!(report.target_name, "Counter");
+        assert!(report.phase1.runs > 0);
+        assert!(!report.spec.is_empty());
+    }
+}

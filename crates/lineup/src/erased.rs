@@ -1,0 +1,117 @@
+//! Object-safe access to targets, for registries and drivers that handle
+//! many component classes uniformly (like the paper's Table 1/Table 2
+//! evaluation harness).
+//!
+//! [`TestTarget`] has an associated instance type and therefore cannot be
+//! a trait object; [`ErasedTarget`] wraps the crate's entry points behind
+//! a blanket impl, so `Box<dyn ErasedTarget>` works for any target.
+
+use crate::auto::{random_check, random_check_parallel, RandomCheckConfig, RandomCheckResult};
+use crate::check::{check, synthesize_spec, CheckOptions, CheckReport, PhaseStats, Violation};
+use crate::matrix::TestMatrix;
+use crate::shrink::shrink_failing_test;
+use crate::spec::ObservationSet;
+use crate::target::{Invocation, TestTarget};
+
+/// An object-safe facade over [`TestTarget`] plus the crate's checking
+/// entry points. Implemented for every `TestTarget` via a blanket impl.
+pub trait ErasedTarget: Sync {
+    /// See [`TestTarget::name`].
+    fn name(&self) -> &str;
+    /// See [`TestTarget::invocations`].
+    fn invocations(&self) -> Vec<Invocation>;
+    /// Runs [`check`] on this target.
+    fn check(&self, matrix: &TestMatrix, options: &CheckOptions) -> CheckReport;
+    /// Runs [`random_check`] on this target.
+    fn random_check(&self, config: &RandomCheckConfig) -> RandomCheckResult;
+    /// Runs [`random_check_parallel`] on this target.
+    fn random_check_parallel(&self, config: &RandomCheckConfig, workers: usize)
+        -> RandomCheckResult;
+    /// Runs [`synthesize_spec`] (phase 1 only) on this target.
+    fn synthesize_spec(
+        &self,
+        matrix: &TestMatrix,
+    ) -> (ObservationSet, PhaseStats, Option<Violation>);
+    /// Runs [`shrink_failing_test`] on this target.
+    fn shrink_failing_test(
+        &self,
+        matrix: &TestMatrix,
+        options: &CheckOptions,
+    ) -> (TestMatrix, u64);
+}
+
+impl<T: TestTarget> ErasedTarget for T {
+    fn name(&self) -> &str {
+        TestTarget::name(self)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        TestTarget::invocations(self)
+    }
+
+    fn check(&self, matrix: &TestMatrix, options: &CheckOptions) -> CheckReport {
+        check(self, matrix, options)
+    }
+
+    fn random_check(&self, config: &RandomCheckConfig) -> RandomCheckResult {
+        random_check(self, config)
+    }
+
+    fn random_check_parallel(
+        &self,
+        config: &RandomCheckConfig,
+        workers: usize,
+    ) -> RandomCheckResult {
+        random_check_parallel(self, config, workers)
+    }
+
+    fn synthesize_spec(
+        &self,
+        matrix: &TestMatrix,
+    ) -> (ObservationSet, PhaseStats, Option<Violation>) {
+        synthesize_spec(self, matrix)
+    }
+
+    fn shrink_failing_test(
+        &self,
+        matrix: &TestMatrix,
+        options: &CheckOptions,
+    ) -> (TestMatrix, u64) {
+        shrink_failing_test(self, matrix, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc_support::{BuggyCounterTarget, CounterTarget};
+
+    #[test]
+    fn erased_targets_are_objects() {
+        let targets: Vec<Box<dyn ErasedTarget>> =
+            vec![Box::new(CounterTarget), Box::new(BuggyCounterTarget)];
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc"), Invocation::new("get")],
+            vec![Invocation::new("inc")],
+        ]);
+        let opts = CheckOptions::new();
+        let results: Vec<bool> = targets
+            .iter()
+            .map(|t| t.check(&m, &opts).passed())
+            .collect();
+        assert_eq!(results, vec![true, false]);
+        assert_eq!(targets[0].name(), "Counter");
+        assert_eq!(targets[0].invocations().len(), 2);
+    }
+
+    #[test]
+    fn erased_shrink_works() {
+        let t: Box<dyn ErasedTarget> = Box::new(BuggyCounterTarget);
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc"), Invocation::new("get")],
+            vec![Invocation::new("inc"), Invocation::new("inc")],
+        ]);
+        let (small, _) = t.shrink_failing_test(&m, &CheckOptions::new());
+        assert!(small.operation_count() <= m.operation_count());
+    }
+}

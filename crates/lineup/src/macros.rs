@@ -1,0 +1,148 @@
+//! The [`define_target!`](crate::define_target) convenience macro.
+
+/// Declares a [`TestTarget`](crate::TestTarget) (and the matching
+/// [`TestInstance`](crate::TestInstance) impl) for a component type,
+/// replacing the dispatch boilerplate of hand-written adapters.
+///
+/// The syntax mirrors the expanded items: a struct declaration, the
+/// constructor expression, the invocation catalog, and a `match`-style
+/// dispatch over `(name, args)` pairs.
+///
+/// ```
+/// use lineup::{check, define_target, CheckOptions, Invocation, TestMatrix, Value};
+/// use lineup_sync::Atomic;
+///
+/// pub struct Register {
+///     cell: Atomic<i64>,
+/// }
+///
+/// define_target! {
+///     /// A test target over `Register`.
+///     pub struct RegisterTarget("Register") for Register {
+///         create: Register { cell: Atomic::new(0) },
+///         catalog: [
+///             Invocation::with_int("write", 7),
+///             Invocation::new("read"),
+///         ],
+///         invoke(this, name, args) {
+///             ("write", [Value::Int(x)]) => {
+///                 this.cell.store(*x);
+///                 Value::Unit
+///             },
+///             ("read", _) => Value::Int(this.cell.load()),
+///         }
+///     }
+/// }
+///
+/// let m = TestMatrix::from_columns(vec![
+///     vec![Invocation::with_int("write", 7)],
+///     vec![Invocation::new("read")],
+/// ]);
+/// assert!(check(&RegisterTarget, &m, &CheckOptions::new()).passed());
+/// ```
+///
+/// Unknown operations panic (and are reported by Line-Up as violations),
+/// matching the behaviour of hand-written adapters.
+#[macro_export]
+macro_rules! define_target {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $target:ident ( $display_name:expr ) for $instance:ty {
+            create: $create:expr,
+            catalog: [ $( $inv:expr ),* $(,)? ],
+            invoke($self_:ident, $name:ident, $args:ident) {
+                $( ($op:pat, $argpat:pat) => $body:expr ),+ $(,)?
+            }
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy)]
+        $vis struct $target;
+
+        impl $crate::TestInstance for $instance {
+            fn invoke(&self, invocation: &$crate::Invocation) -> $crate::Value {
+                let $self_ = self;
+                let $name = invocation.name.as_str();
+                let $args = invocation.args.as_slice();
+                match ($name, $args) {
+                    $( ($op, $argpat) => $body, )+
+                    (other, _) => panic!(
+                        "{}: unknown operation {other}",
+                        $display_name
+                    ),
+                }
+            }
+        }
+
+        impl $crate::TestTarget for $target {
+            type Instance = $instance;
+
+            fn name(&self) -> &str {
+                $display_name
+            }
+
+            fn create(&self) -> $instance {
+                $create
+            }
+
+            fn invocations(&self) -> Vec<$crate::Invocation> {
+                vec![ $( $inv ),* ]
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{check, CheckOptions, Invocation, TestMatrix, TestTarget, Value};
+    use lineup_sync::Atomic;
+
+    struct MacroCounter {
+        count: Atomic<i64>,
+    }
+
+    define_target! {
+        // Declared entirely through the macro.
+        struct MacroCounterTarget("MacroCounter") for MacroCounter {
+            create: MacroCounter { count: Atomic::new(0) },
+            catalog: [Invocation::new("inc"), Invocation::new("get")],
+            invoke(this, name, args) {
+                ("inc", _) => {
+                    this.count.fetch_add(1);
+                    Value::Unit
+                },
+                ("get", []) => Value::Int(this.count.load()),
+            }
+        }
+    }
+
+    #[test]
+    fn macro_target_is_checkable() {
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc"), Invocation::new("get")],
+            vec![Invocation::new("inc")],
+        ]);
+        let report = check(&MacroCounterTarget, &m, &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(MacroCounterTarget.name(), "MacroCounter");
+        assert_eq!(MacroCounterTarget.invocations().len(), 2);
+    }
+
+    #[test]
+    fn macro_works_in_function_scope() {
+        struct Local {
+            v: Atomic<i64>,
+        }
+        define_target! {
+            struct LocalTarget("Local") for Local {
+                create: Local { v: Atomic::new(1) },
+                catalog: [Invocation::new("get")],
+                invoke(this, name, args) {
+                    ("get", _) => Value::Int(this.v.load()),
+                }
+            }
+        }
+        let m = TestMatrix::from_columns(vec![vec![Invocation::new("get")]]);
+        assert!(check(&LocalTarget, &m, &CheckOptions::new()).passed());
+    }
+}

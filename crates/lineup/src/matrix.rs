@@ -1,0 +1,265 @@
+//! Finite tests, represented as matrices of invocations (paper §3.1).
+
+use crate::target::Invocation;
+use std::fmt;
+
+/// A finite test: a map from threads to invocation sequences, thought of
+/// as a matrix whose columns are threads (paper §3.1).
+///
+/// Optionally carries an *init sequence* — operations performed on the
+/// fresh instance before the concurrent part, to prepare its state — and a
+/// *final sequence* — operations performed by a dedicated thread after all
+/// test threads have finished, to observe the final state (paper §4.3:
+/// "initial and final sequences of operations to perform before and after
+/// each test").
+///
+/// # Example
+///
+/// ```
+/// use lineup::{Invocation, TestMatrix};
+///
+/// // The Fig. 1 test of the paper:
+/// //   Thread 1: Add(200); Add(400)     Thread 2: TryTake; TryTake
+/// let m = TestMatrix::from_rows(vec![
+///     vec![Invocation::with_int("Add", 200), Invocation::new("TryTake")],
+///     vec![Invocation::with_int("Add", 400), Invocation::new("TryTake")],
+/// ]);
+/// assert_eq!(m.thread_count(), 2);
+/// assert_eq!(m.operation_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TestMatrix {
+    /// One invocation sequence per thread (matrix columns).
+    pub columns: Vec<Vec<Invocation>>,
+    /// Operations run before the concurrent part (not part of histories).
+    pub init: Vec<Invocation>,
+    /// Operations run by an extra thread after all columns finish
+    /// (recorded in histories, totally ordered after everything).
+    pub finally: Vec<Invocation>,
+}
+
+impl TestMatrix {
+    /// Creates a test from its columns (one invocation sequence per
+    /// thread).
+    pub fn from_columns(columns: Vec<Vec<Invocation>>) -> Self {
+        TestMatrix {
+            columns,
+            init: Vec::new(),
+            finally: Vec::new(),
+        }
+    }
+
+    /// Creates a test from its rows: `rows[r][c]` is the `r`-th invocation
+    /// of thread `c`. All rows must have the same length. This matches the
+    /// matrix notation of §3.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<Invocation>>) -> Self {
+        if rows.is_empty() {
+            return TestMatrix::default();
+        }
+        let width = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == width),
+            "ragged rows in test matrix"
+        );
+        let mut columns = vec![Vec::with_capacity(rows.len()); width];
+        for row in rows {
+            for (c, inv) in row.into_iter().enumerate() {
+                columns[c].push(inv);
+            }
+        }
+        TestMatrix::from_columns(columns)
+    }
+
+    /// Sets the init sequence, builder style.
+    pub fn with_init(mut self, init: Vec<Invocation>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the final sequence, builder style.
+    pub fn with_finally(mut self, finally: Vec<Invocation>) -> Self {
+        self.finally = finally;
+        self
+    }
+
+    /// Number of threads (columns).
+    pub fn thread_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total number of operations in the concurrent part.
+    pub fn operation_count(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// The dimension `rows × columns` as reported in the paper's Table 2
+    /// (maximum column length × number of columns).
+    pub fn dimension(&self) -> (usize, usize) {
+        (
+            self.columns.iter().map(Vec::len).max().unwrap_or(0),
+            self.columns.len(),
+        )
+    }
+
+    /// Whether `self` is a prefix of `other`: every thread's sequence in
+    /// `self` is a prefix of the same thread's sequence in `other`
+    /// (paper §3.1). Init/final sequences must match exactly.
+    pub fn is_prefix_of(&self, other: &TestMatrix) -> bool {
+        if self.init != other.init || self.finally != other.finally {
+            return false;
+        }
+        if self.columns.len() > other.columns.len() {
+            return false;
+        }
+        self.columns
+            .iter()
+            .enumerate()
+            .all(|(i, col)| other.columns[i].starts_with(col))
+    }
+
+    /// Enumerates all `rows × cols` matrices with entries drawn from
+    /// `invocations` — the set `M(I, p×q)` of §3.1, used by `AutoCheck`.
+    /// The result has `|I|^(rows*cols)` elements; keep the inputs small.
+    pub fn enumerate(invocations: &[Invocation], rows: usize, cols: usize) -> Vec<TestMatrix> {
+        let cells = rows * cols;
+        if invocations.is_empty() || cells == 0 {
+            return vec![TestMatrix::from_columns(vec![Vec::new(); cols])];
+        }
+        let mut out = Vec::new();
+        let mut indexes = vec![0usize; cells];
+        loop {
+            let mut columns = vec![Vec::with_capacity(rows); cols];
+            for (cell, &inv_idx) in indexes.iter().enumerate() {
+                columns[cell % cols].push(invocations[inv_idx].clone());
+            }
+            out.push(TestMatrix::from_columns(columns));
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == cells {
+                    return out;
+                }
+                indexes[i] += 1;
+                if indexes[i] < invocations.len() {
+                    break;
+                }
+                indexes[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for TestMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.init.is_empty() {
+            write!(f, "init:")?;
+            for inv in &self.init {
+                write!(f, " {inv}")?;
+            }
+            writeln!(f)?;
+        }
+        let (rows, cols) = self.dimension();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c > 0 {
+                    write!(f, " | ")?;
+                }
+                match self.columns[c].get(r) {
+                    Some(inv) => write!(f, "{inv:<16}")?,
+                    None => write!(f, "{:<16}", "")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        if !self.finally.is_empty() {
+            write!(f, "finally:")?;
+            for inv in &self.finally {
+                write!(f, " {inv}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(name: &str) -> Invocation {
+        Invocation::new(name)
+    }
+
+    #[test]
+    fn from_rows_transposes() {
+        let m = TestMatrix::from_rows(vec![
+            vec![inv("a"), inv("b")],
+            vec![inv("c"), inv("d")],
+        ]);
+        assert_eq!(m.columns[0], vec![inv("a"), inv("c")]);
+        assert_eq!(m.columns[1], vec![inv("b"), inv("d")]);
+        assert_eq!(m.dimension(), (2, 2));
+        assert_eq!(m.operation_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        TestMatrix::from_rows(vec![vec![inv("a")], vec![inv("b"), inv("c")]]);
+    }
+
+    #[test]
+    fn prefix_order() {
+        let small = TestMatrix::from_columns(vec![vec![inv("a")], vec![]]);
+        let big = TestMatrix::from_columns(vec![vec![inv("a"), inv("b")], vec![inv("c")]]);
+        assert!(small.is_prefix_of(&big));
+        assert!(!big.is_prefix_of(&small));
+        assert!(small.is_prefix_of(&small));
+        // Fewer columns is fine (missing columns are empty sequences).
+        let one_col = TestMatrix::from_columns(vec![vec![inv("a")]]);
+        assert!(one_col.is_prefix_of(&big));
+    }
+
+    #[test]
+    fn prefix_requires_matching_init() {
+        let a = TestMatrix::from_columns(vec![vec![inv("a")]]);
+        let b = a.clone().with_init(vec![inv("i")]);
+        assert!(!a.is_prefix_of(&b));
+        assert!(b.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        let invs = vec![inv("x"), inv("y")];
+        // 2 invocations, 2x2 matrix: 2^4 = 16 tests.
+        assert_eq!(TestMatrix::enumerate(&invs, 2, 2).len(), 16);
+        // 3 invocations, 1x1: 3 tests.
+        assert_eq!(TestMatrix::enumerate(&[inv("a"), inv("b"), inv("c")], 1, 1).len(), 3);
+    }
+
+    #[test]
+    fn enumerate_shapes() {
+        let invs = vec![inv("x")];
+        let ms = TestMatrix::enumerate(&invs, 3, 2);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].dimension(), (3, 2));
+        assert_eq!(ms[0].operation_count(), 6);
+    }
+
+    #[test]
+    fn display_is_tabular() {
+        let m = TestMatrix::from_rows(vec![vec![
+            Invocation::with_int("Add", 200),
+            Invocation::new("TryTake"),
+        ]]);
+        let s = m.to_string();
+        assert!(s.contains("Add(200)"));
+        assert!(s.contains(" | "));
+        assert!(s.contains("TryTake()"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Violation reports, rendered in the style of the paper's Fig. 7
+//! (bottom): the per-thread operation table plus the precise interleaving
+//! that has no serial witness.
+
+use crate::check::{CheckReport, Violation};
+use crate::history::History;
+use crate::spec::Outcome;
+
+/// Renders one history as the `<thread>`/`<op>`/`<history>` block of a
+/// Fig. 7 report.
+fn render_history_block(h: &History) -> String {
+    let numbers = h.fig7_numbers();
+    let mut out = String::new();
+    for t in 0..h.thread_count {
+        let ids: Vec<String> = h
+            .thread_ops(t)
+            .into_iter()
+            .map(|i| {
+                if h.ops[i].is_complete() {
+                    numbers[i].to_string()
+                } else {
+                    format!("{}B", numbers[i])
+                }
+            })
+            .collect();
+        out.push_str(&format!(
+            "<thread id=\"{}\">{}</thread>\n",
+            History::thread_label(t),
+            ids.join(" ")
+        ));
+    }
+    let mut order: Vec<usize> = (0..h.ops.len()).collect();
+    order.sort_by_key(|&i| numbers[i]);
+    for i in order {
+        let op = &h.ops[i];
+        match &op.response {
+            Some(v) => out.push_str(&format!(
+                "<op id=\"{}\" name=\"{}\" args=\"{}\" result=\"{}\"/>\n",
+                numbers[i],
+                op.invocation.name,
+                crate::value::Value::Seq(op.invocation.args.clone()),
+                v
+            )),
+            None => out.push_str(&format!(
+                "<op id=\"{}\" name=\"{}\" args=\"{}\"/>\n",
+                numbers[i],
+                op.invocation.name,
+                crate::value::Value::Seq(op.invocation.args.clone())
+            )),
+        }
+    }
+    out.push_str(&format!("<history>{}</history>\n", h.interleaving_string()));
+    out
+}
+
+/// Renders a violation as a human-readable report.
+///
+/// # Example
+///
+/// ```
+/// use lineup::{check, CheckOptions, Invocation, TestMatrix};
+/// use lineup::doc_support::BuggyCounterTarget;
+///
+/// let m = TestMatrix::from_columns(vec![
+///     vec![Invocation::new("inc"), Invocation::new("get")],
+///     vec![Invocation::new("inc")],
+/// ]);
+/// let report = check(&BuggyCounterTarget, &m, &CheckOptions::new());
+/// let text = lineup::render_violation(report.first_violation().unwrap());
+/// assert!(text.contains("non-linearizable history"));
+/// ```
+pub fn render_violation(v: &Violation) -> String {
+    match v {
+        Violation::Nondeterminism(nd) => {
+            let mut out = String::from(
+                "Line-Up detected nondeterministic sequential behavior \
+                 (two serial histories diverge at a call):\n",
+            );
+            out.push_str(&format!("  first:  {}\n", nd.first));
+            out.push_str(&format!("  second: {}\n", nd.second));
+            let op = &nd.second.ops[nd.diverge_at];
+            out.push_str(&format!(
+                "  diverging call: {} by thread {}",
+                op.invocation,
+                History::thread_label(op.thread)
+            ));
+            match (&nd.first.ops[nd.diverge_at].outcome, &op.outcome) {
+                (Outcome::Returned(a), Outcome::Returned(b)) => {
+                    out.push_str(&format!(" (returns {a} vs {b})\n"))
+                }
+                _ => out.push_str(" (returns vs blocks)\n"),
+            }
+            out
+        }
+        Violation::NoWitness { history, decisions } => {
+            let mut out =
+                String::from("Line-Up encountered a non-linearizable history:\n");
+            out.push_str(&render_history_block(history));
+            out.push_str(
+                "No serial witness exists for this history in the observed \
+                 sequential behaviors.\n",
+            );
+            out.push_str(&format!(
+                "(Replayable schedule: {} decisions; see lineup::replay_matrix.)\n",
+                decisions.len()
+            ));
+            out
+        }
+        Violation::StuckNoWitness {
+            history,
+            pending,
+            ..
+        } => {
+            let numbers = history.fig7_numbers();
+            let op = &history.ops[*pending];
+            let mut out = String::from(
+                "Line-Up encountered a non-linearizable *stuck* history:\n",
+            );
+            out.push_str(&render_history_block(history));
+            out.push_str(&format!(
+                "Operation {} ({} by thread {}) is blocked, but no serial \
+                 execution blocks it there.\n",
+                numbers[*pending],
+                op.invocation,
+                History::thread_label(op.thread)
+            ));
+            out
+        }
+        Violation::Panic {
+            message,
+            history,
+            serial,
+            ..
+        } => {
+            let phase = if *serial { "serial (phase 1)" } else { "concurrent (phase 2)" };
+            let mut out = format!(
+                "The implementation panicked during {phase} execution: {message}\n"
+            );
+            if !history.ops.is_empty() {
+                out.push_str("Partial history up to the panic:\n");
+                out.push_str(&render_history_block(history));
+            }
+            out
+        }
+    }
+}
+
+impl CheckReport {
+    /// Renders this report: PASS/FAIL, the test matrix, statistics, and
+    /// every violation. Equivalent to [`render_report`].
+    pub fn render(&self) -> String {
+        render_report(self)
+    }
+}
+
+/// Renders a full check report: PASS/FAIL, the test matrix, statistics,
+/// and every violation.
+pub fn render_report(report: &CheckReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Line-Up check: {} — {} ===\n",
+        report.target_name,
+        if report.passed() { "PASS" } else { "FAIL" }
+    ));
+    out.push_str(&format!("Test matrix:\n{}", report.matrix));
+    out.push_str(&format!(
+        "Phase 1: {} serial runs, {} full + {} stuck serial histories, {:?}\n",
+        report.phase1.runs,
+        report.phase1.full_histories,
+        report.phase1.stuck_histories,
+        report.phase1.duration
+    ));
+    out.push_str(&format!(
+        "Phase 2: {} concurrent runs, {} full + {} stuck distinct histories, {:?}\n",
+        report.phase2.runs,
+        report.phase2.full_histories,
+        report.phase2.stuck_histories,
+        report.phase2.duration
+    ));
+    for v in &report.violations {
+        out.push('\n');
+        out.push_str(&render_violation(v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check, CheckOptions};
+    use crate::doc_support::BuggyCounterTarget;
+    use crate::matrix::TestMatrix;
+    use crate::target::Invocation;
+
+    #[test]
+    fn buggy_counter_report_is_readable() {
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc"), Invocation::new("get")],
+            vec![Invocation::new("inc")],
+        ]);
+        let report = check(&BuggyCounterTarget, &m, &CheckOptions::new());
+        assert!(!report.passed());
+        let text = render_report(&report);
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("non-linearizable history"));
+        assert!(text.contains("<history>"));
+        assert!(text.contains("inc"));
+    }
+
+    #[test]
+    fn render_method_matches_free_function() {
+        let m = TestMatrix::from_columns(vec![vec![Invocation::new("inc")]]);
+        let report = check(&crate::doc_support::CounterTarget, &m, &CheckOptions::new());
+        assert_eq!(report.render(), render_report(&report));
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn nondeterminism_violation_renders() {
+        use crate::spec::{Nondeterminism, Outcome, SerialHistory, SpecOp};
+        use crate::value::Value;
+        let mk = |v: i64| SerialHistory {
+            thread_count: 1,
+            ops: vec![SpecOp {
+                thread: 0,
+                invocation: Invocation::new("roll"),
+                outcome: Outcome::Returned(Value::Int(v)),
+            }],
+        };
+        let v = crate::check::Violation::Nondeterminism(Nondeterminism {
+            first: mk(1),
+            second: mk(2),
+            diverge_at: 0,
+        });
+        let text = render_violation(&v);
+        assert!(text.contains("nondeterministic sequential behavior"));
+        assert!(text.contains("returns 1 vs 2"));
+    }
+
+    #[test]
+    fn history_block_marks_pending_ops() {
+        let mut h = History::new(2);
+        let a = h.push_call(0, Invocation::new("Wait"));
+        let b = h.push_call(1, Invocation::new("Set"));
+        h.push_return(b, crate::value::Value::Unit);
+        h.stuck = true;
+        let _ = a;
+        let block = render_history_block(&h);
+        assert!(block.contains("<thread id=\"A\">1B</thread>"), "{block}");
+        assert!(block.contains("result=\"ok\""));
+        assert!(block.contains('#'));
+    }
+}

@@ -1,0 +1,114 @@
+//! Automatic minimization of failing tests.
+//!
+//! The paper's evaluation (§5.1) manually removed operations from failing
+//! 3×3 matrices "to obtain a failing test of minimal dimension, for the
+//! sake of easier reasoning and regression testing" — the *Min dimension*
+//! column of Table 2. This module automates that step with a greedy
+//! delta-debugging loop: repeatedly drop one operation (or an emptied
+//! column) as long as the reduced test still fails.
+
+use crate::check::{check, CheckOptions};
+use crate::matrix::TestMatrix;
+use crate::target::TestTarget;
+
+/// Greedily shrinks a failing test to a locally-minimal failing test:
+/// no single operation can be removed without the check passing.
+///
+/// Returns the shrunk matrix and the number of `check` calls spent.
+/// If `matrix` does not actually fail, it is returned unchanged.
+///
+/// Because every intermediate test is verified with a full [`check`],
+/// completeness is preserved: the result is a genuine failing test.
+///
+/// # Example
+///
+/// ```
+/// use lineup::{shrink_failing_test, CheckOptions, Invocation, TestMatrix};
+/// use lineup::doc_support::BuggyCounterTarget;
+///
+/// let inc = || Invocation::new("inc");
+/// let get = || Invocation::new("get");
+/// let big = TestMatrix::from_columns(vec![
+///     vec![inc(), get(), inc()],
+///     vec![inc(), inc(), get()],
+/// ]);
+/// let (small, _checks) = shrink_failing_test(&BuggyCounterTarget, &big, &CheckOptions::new());
+/// assert!(small.operation_count() < big.operation_count());
+/// ```
+pub fn shrink_failing_test<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    options: &CheckOptions,
+) -> (TestMatrix, u64) {
+    let mut checks = 0u64;
+    let mut fails = |m: &TestMatrix| {
+        checks += 1;
+        !check(target, m, options).passed()
+    };
+    if !fails(matrix) {
+        return (matrix.clone(), checks);
+    }
+    let mut current = matrix.clone();
+    'outer: loop {
+        // Try removing each operation, last-to-first within each column
+        // (later ops depend on earlier state, so trailing removals are
+        // likelier to keep failing).
+        for c in 0..current.columns.len() {
+            for r in (0..current.columns[c].len()).rev() {
+                let mut candidate = current.clone();
+                candidate.columns[c].remove(r);
+                candidate.columns.retain(|col| !col.is_empty());
+                if candidate.operation_count() == 0 {
+                    continue;
+                }
+                if fails(&candidate) {
+                    current = candidate;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    (current, checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc_support::{BuggyCounterTarget, CounterTarget};
+    use crate::target::Invocation;
+
+    fn inc() -> Invocation {
+        Invocation::new("inc")
+    }
+    fn get() -> Invocation {
+        Invocation::new("get")
+    }
+
+    #[test]
+    fn shrinks_buggy_counter_to_minimal() {
+        // The minimal failing test for Counter1 is inc ∥ inc plus an
+        // observation of the count: 3 operations (§2.2.1 uses exactly
+        // inc, inc, get).
+        let big = TestMatrix::from_columns(vec![
+            vec![inc(), get(), inc()],
+            vec![inc(), inc(), get()],
+        ]);
+        let (small, checks) = shrink_failing_test(&BuggyCounterTarget, &big, &CheckOptions::new());
+        assert!(checks > 1);
+        assert!(
+            small.operation_count() <= 3,
+            "expected ≤3 ops, got:\n{small}"
+        );
+        assert!(small.thread_count() == 2);
+        assert!(!check(&BuggyCounterTarget, &small, &CheckOptions::new()).passed());
+    }
+
+    #[test]
+    fn passing_test_returned_unchanged() {
+        let m = TestMatrix::from_columns(vec![vec![inc()], vec![get()]]);
+        let (same, checks) = shrink_failing_test(&CounterTarget, &m, &CheckOptions::new());
+        assert_eq!(same, m);
+        assert_eq!(checks, 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! Synthesized sequential specifications: sets of serial histories
+//! (paper §2.1.2), recorded in phase 1 and consulted in phase 2.
+
+use crate::history::History;
+use crate::target::Invocation;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The outcome of one operation of a serial history.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Outcome {
+    /// The operation returned this value.
+    Returned(Value),
+    /// The operation blocked: this is the trailing pending call of a
+    /// stuck serial history `H (o i t) #` (the set `Y∥` of §2.3).
+    Pending,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Returned(v) => write!(f, "{v}"),
+            Outcome::Pending => write!(f, "⊥ (blocked)"),
+        }
+    }
+}
+
+/// One operation of a serial history.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecOp {
+    /// The thread performing the operation.
+    pub thread: usize,
+    /// The invocation.
+    pub invocation: Invocation,
+    /// The outcome ([`Outcome::Pending`] only for the final operation of a
+    /// stuck history).
+    pub outcome: Outcome,
+}
+
+/// A serial history: a total order of operations, the last of which may be
+/// pending (then the history is stuck).
+///
+/// Phase 1 of the Line-Up check records the serial histories of a test;
+/// together they form the synthesized sequential specification (the sets
+/// `A` and `B` of Fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SerialHistory {
+    /// Number of threads of the originating test.
+    pub thread_count: usize,
+    /// The operations, in serial order.
+    pub ops: Vec<SpecOp>,
+}
+
+impl SerialHistory {
+    /// Whether this serial history is stuck (its last operation is
+    /// pending).
+    pub fn is_stuck(&self) -> bool {
+        self.ops.last().is_some_and(|op| op.outcome == Outcome::Pending)
+    }
+
+    /// Converts a serial [`History`] (as produced by a phase-1 run) into
+    /// its canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is not serial, or has a pending operation
+    /// that is not last.
+    pub fn from_history(h: &History) -> Self {
+        assert!(h.is_serial(), "phase 1 must produce serial histories");
+        let ops = h
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let outcome = match &op.response {
+                    Some(v) => Outcome::Returned(v.clone()),
+                    None => {
+                        assert_eq!(
+                            i,
+                            h.ops.len() - 1,
+                            "pending op of a serial history must be last"
+                        );
+                        assert!(h.stuck, "pending op requires a stuck history");
+                        Outcome::Pending
+                    }
+                };
+                SpecOp {
+                    thread: op.thread,
+                    invocation: op.invocation.clone(),
+                    outcome,
+                }
+            })
+            .collect();
+        SerialHistory {
+            thread_count: h.thread_count,
+            ops,
+        }
+    }
+
+    /// The per-thread operation sequences (the thread subhistories `S|t`),
+    /// used as the grouping key for witness search: any serial witness of
+    /// a history must perform the same operations with the same outcomes
+    /// in each thread (paper §4.2).
+    pub fn thread_key(&self) -> ThreadKey {
+        let mut key = vec![Vec::new(); self.thread_count];
+        for op in &self.ops {
+            key[op.thread].push((op.invocation.clone(), op.outcome.clone()));
+        }
+        key
+    }
+}
+
+impl fmt::Display for SerialHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(
+                f,
+                "{}:{}",
+                History::thread_label(op.thread),
+                op.invocation
+            )?;
+            match &op.outcome {
+                Outcome::Returned(v) => write!(f, "={v}")?,
+                Outcome::Pending => write!(f, " #")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-thread operation sequences with outcomes: the grouping key of the
+/// observation file (each `<observation>` section of Fig. 7 is one key).
+pub type ThreadKey = Vec<Vec<(Invocation, Outcome)>>;
+
+/// A nondeterminism witness: two serial histories whose longest common
+/// prefix ends in a call (same serial prefix, same next invocation by the
+/// same thread, different outcome) — the FAIL of Fig. 5 line 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nondeterminism {
+    /// One history.
+    pub first: SerialHistory,
+    /// The other.
+    pub second: SerialHistory,
+    /// Index of the diverging operation (same in both).
+    pub diverge_at: usize,
+}
+
+/// The set of serial histories recorded in phase 1: the synthesized
+/// sequential specification (sets `A` — full — and `B` — stuck — of the
+/// paper's Fig. 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservationSet {
+    histories: BTreeSet<SerialHistory>,
+}
+
+impl ObservationSet {
+    /// Creates an empty observation set.
+    pub fn new() -> Self {
+        ObservationSet::default()
+    }
+
+    /// Inserts a serial history; returns whether it was new.
+    pub fn insert(&mut self, h: SerialHistory) -> bool {
+        self.histories.insert(h)
+    }
+
+    /// All recorded serial histories, in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &SerialHistory> {
+        self.histories.iter()
+    }
+
+    /// Number of recorded serial histories (full + stuck).
+    pub fn len(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.histories.is_empty()
+    }
+
+    /// Number of full (complete) serial histories — the set `A`.
+    pub fn full_count(&self) -> usize {
+        self.histories.iter().filter(|h| !h.is_stuck()).count()
+    }
+
+    /// Number of stuck serial histories — the set `B`.
+    pub fn stuck_count(&self) -> usize {
+        self.histories.iter().filter(|h| h.is_stuck()).count()
+    }
+
+    /// The determinism check of Fig. 5 line 4: searches `A ∪ B` for two
+    /// histories whose longest common prefix ends in a call. Returns the
+    /// first such pair found, or `None` if the specification is
+    /// deterministic.
+    ///
+    /// Two serial histories diverge "at a call" exactly when they agree on
+    /// a prefix of operations (thread, invocation, outcome), then perform
+    /// the *same* invocation on the *same* thread with *different*
+    /// outcomes (different return values, or returning vs blocking).
+    pub fn check_determinism(&self) -> Option<Nondeterminism> {
+        // Key: (serial prefix, thread, invocation) → (outcome, history).
+        type Key = (Vec<SpecOp>, usize, Invocation);
+        let mut seen: BTreeMap<Key, (&Outcome, &SerialHistory)> = BTreeMap::new();
+        for h in &self.histories {
+            for (i, op) in h.ops.iter().enumerate() {
+                let key = (h.ops[..i].to_vec(), op.thread, op.invocation.clone());
+                match seen.get(&key) {
+                    Some((outcome, other)) if *outcome != &op.outcome => {
+                        return Some(Nondeterminism {
+                            first: (*other).clone(),
+                            second: h.clone(),
+                            diverge_at: i,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        seen.insert(key, (&op.outcome, h));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Compares two observation sets, returning the serial histories only
+    /// in `self` and only in `other`.
+    ///
+    /// Useful for diffing the synthesized specifications of two versions
+    /// of a component (e.g. a preview and a release): behavioral changes —
+    /// intended or not — show up as serial histories gained or lost, even
+    /// when both versions pass their own self-checks.
+    pub fn diff<'a>(
+        &'a self,
+        other: &'a ObservationSet,
+    ) -> (Vec<&'a SerialHistory>, Vec<&'a SerialHistory>) {
+        let only_self = self
+            .histories
+            .iter()
+            .filter(|h| !other.histories.contains(h))
+            .collect();
+        let only_other = other
+            .histories
+            .iter()
+            .filter(|h| !self.histories.contains(h))
+            .collect();
+        (only_self, only_other)
+    }
+
+    /// Builds the grouped index used for witness search in phase 2.
+    pub fn index(&self) -> SpecIndex<'_> {
+        let mut groups: BTreeMap<ThreadKey, Vec<&SerialHistory>> = BTreeMap::new();
+        for h in &self.histories {
+            groups.entry(h.thread_key()).or_default().push(h);
+        }
+        SpecIndex { groups }
+    }
+}
+
+impl FromIterator<SerialHistory> for ObservationSet {
+    fn from_iter<I: IntoIterator<Item = SerialHistory>>(iter: I) -> Self {
+        ObservationSet {
+            histories: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<SerialHistory> for ObservationSet {
+    fn extend<I: IntoIterator<Item = SerialHistory>>(&mut self, iter: I) {
+        self.histories.extend(iter);
+    }
+}
+
+/// The observation set grouped by per-thread operation sequences, so that
+/// a witness search only scans one group (paper §4.2: "when our algorithm
+/// is looking for a serial witness in the observation set, it is enough to
+/// search one group").
+#[derive(Debug, Clone)]
+pub struct SpecIndex<'a> {
+    groups: BTreeMap<ThreadKey, Vec<&'a SerialHistory>>,
+}
+
+impl<'a> SpecIndex<'a> {
+    /// The candidate serial histories sharing the given per-thread key.
+    pub fn candidates(&self, key: &ThreadKey) -> &[&'a SerialHistory] {
+        self.groups.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of groups (the `<observation>` sections of Fig. 7).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterates over groups in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ThreadKey, &[&'a SerialHistory])> {
+        self.groups.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(thread: usize, name: &str, outcome: Outcome) -> SpecOp {
+        SpecOp {
+            thread,
+            invocation: Invocation::new(name),
+            outcome,
+        }
+    }
+
+    fn ret(v: i64) -> Outcome {
+        Outcome::Returned(Value::Int(v))
+    }
+
+    fn serial(thread_count: usize, ops: Vec<SpecOp>) -> SerialHistory {
+        SerialHistory { thread_count, ops }
+    }
+
+    #[test]
+    fn stuck_detection() {
+        let full = serial(1, vec![op(0, "inc", Outcome::Returned(Value::Unit))]);
+        let stuck = serial(1, vec![op(0, "dec", Outcome::Pending)]);
+        assert!(!full.is_stuck());
+        assert!(stuck.is_stuck());
+    }
+
+    #[test]
+    fn deterministic_set_passes() {
+        let mut set = ObservationSet::new();
+        // Two different interleavings of a counter: different op orders are
+        // scheduling choices, not nondeterminism.
+        set.insert(serial(2, vec![op(0, "inc", ret(1)), op(1, "get", ret(1))]));
+        set.insert(serial(2, vec![op(1, "get", ret(0)), op(0, "inc", ret(1))]));
+        assert!(set.check_determinism().is_none());
+        assert_eq!(set.full_count(), 2);
+        assert_eq!(set.stuck_count(), 0);
+    }
+
+    #[test]
+    fn same_call_different_value_is_nondeterministic() {
+        let mut set = ObservationSet::new();
+        set.insert(serial(1, vec![op(0, "take", ret(1))]));
+        set.insert(serial(1, vec![op(0, "take", ret(2))]));
+        let nd = set.check_determinism().expect("nondeterministic");
+        assert_eq!(nd.diverge_at, 0);
+    }
+
+    #[test]
+    fn return_vs_blocking_is_nondeterministic() {
+        // The same call either returns or blocks: per §2.3 the stuck set
+        // Y∥ only contains H(oit)# when *no* response continues H(oit), so
+        // observing both is nondeterminism.
+        let mut set = ObservationSet::new();
+        set.insert(serial(1, vec![op(0, "take", ret(7))]));
+        set.insert(serial(1, vec![op(0, "take", Outcome::Pending)]));
+        assert!(set.check_determinism().is_some());
+    }
+
+    #[test]
+    fn different_threads_same_call_are_distinct() {
+        // inc by thread A and inc by thread B are different events; the
+        // common prefix ends before the calls, at a return — deterministic.
+        let mut set = ObservationSet::new();
+        set.insert(serial(2, vec![op(0, "inc", ret(1))]));
+        set.insert(serial(2, vec![op(1, "inc", ret(1))]));
+        assert!(set.check_determinism().is_none());
+    }
+
+    #[test]
+    fn divergence_after_common_prefix() {
+        let mut set = ObservationSet::new();
+        set.insert(serial(2, vec![op(0, "a", ret(0)), op(1, "b", ret(1))]));
+        set.insert(serial(2, vec![op(0, "a", ret(0)), op(1, "b", ret(2))]));
+        let nd = set.check_determinism().unwrap();
+        assert_eq!(nd.diverge_at, 1);
+    }
+
+    #[test]
+    fn dedup_via_insert() {
+        let mut set = ObservationSet::new();
+        let h = serial(1, vec![op(0, "x", ret(0))]);
+        assert!(set.insert(h.clone()));
+        assert!(!set.insert(h));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn diff_finds_gained_and_lost_histories() {
+        let a: ObservationSet = [
+            serial(1, vec![op(0, "x", ret(0))]),
+            serial(1, vec![op(0, "y", ret(1))]),
+        ]
+        .into_iter()
+        .collect();
+        let b: ObservationSet = [
+            serial(1, vec![op(0, "x", ret(0))]),
+            serial(1, vec![op(0, "z", ret(2))]),
+        ]
+        .into_iter()
+        .collect();
+        let (only_a, only_b) = a.diff(&b);
+        assert_eq!(only_a.len(), 1);
+        assert_eq!(only_a[0].ops[0].invocation.name, "y");
+        assert_eq!(only_b.len(), 1);
+        assert_eq!(only_b[0].ops[0].invocation.name, "z");
+        let (same_a, same_b) = a.diff(&a);
+        assert!(same_a.is_empty() && same_b.is_empty());
+    }
+
+    #[test]
+    fn index_groups_by_thread_key() {
+        let mut set = ObservationSet::new();
+        // Same per-thread sequences, different interleavings → same group.
+        set.insert(serial(2, vec![op(0, "a", ret(0)), op(1, "b", ret(1))]));
+        set.insert(serial(2, vec![op(1, "b", ret(1)), op(0, "a", ret(0))]));
+        // Different outcome → different group.
+        set.insert(serial(2, vec![op(0, "a", ret(9)), op(1, "b", ret(1))]));
+        let idx = set.index();
+        assert_eq!(idx.group_count(), 2);
+        let key = serial(2, vec![op(0, "a", ret(0)), op(1, "b", ret(1))]).thread_key();
+        assert_eq!(idx.candidates(&key).len(), 2);
+    }
+
+    #[test]
+    fn from_history_roundtrip() {
+        let mut h = History::new(2);
+        let a = h.push_call(0, Invocation::new("inc"));
+        h.push_return(a, Value::Unit);
+        let b = h.push_call(1, Invocation::new("get"));
+        h.push_return(b, Value::Int(1));
+        let s = SerialHistory::from_history(&h);
+        assert_eq!(s.ops.len(), 2);
+        assert_eq!(s.ops[0].outcome, Outcome::Returned(Value::Unit));
+        assert!(!s.is_stuck());
+    }
+
+    #[test]
+    fn from_history_stuck() {
+        let mut h = History::new(1);
+        h.push_call(0, Invocation::new("dec"));
+        h.stuck = true;
+        let s = SerialHistory::from_history(&h);
+        assert!(s.is_stuck());
+    }
+
+    #[test]
+    #[should_panic(expected = "must produce serial")]
+    fn from_history_rejects_nonserial() {
+        let mut h = History::new(2);
+        h.push_call(0, Invocation::new("a"));
+        h.push_call(1, Invocation::new("b"));
+        h.stuck = true;
+        // Two pending calls: not serial.
+        SerialHistory::from_history(&h);
+    }
+
+    #[test]
+    fn display_shows_threads_and_outcomes() {
+        let s = serial(2, vec![op(0, "inc", ret(1)), op(1, "dec", Outcome::Pending)]);
+        let text = s.to_string();
+        assert!(text.contains("A:inc()=1"));
+        assert!(text.contains("B:dec() #"));
+    }
+}

@@ -1,0 +1,161 @@
+//! The black-box interface between Line-Up and the component under test.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An invocation: an operation name plus argument values.
+///
+/// This is all Line-Up knows about what a test *does* — it needs "no
+/// manual abstraction, no manual specification of semantics or commit
+/// points, no manually written test suites, no access to source code"
+/// (paper abstract); the user only lists which invocations to exercise.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Invocation {
+    /// The operation name, e.g. `"Add"`.
+    pub name: String,
+    /// Argument values, e.g. `[200]`.
+    pub args: Vec<Value>,
+}
+
+impl Invocation {
+    /// An invocation with no arguments.
+    pub fn new(name: impl Into<String>) -> Self {
+        Invocation {
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// An invocation with arguments.
+    pub fn with_args(name: impl Into<String>, args: impl IntoIterator<Item = Value>) -> Self {
+        Invocation {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// An invocation with a single integer argument, the most common case
+    /// in the paper's tests (`Add(200)`, `TryAdd(10)`, …).
+    pub fn with_int(name: impl Into<String>, arg: i64) -> Self {
+        Invocation::with_args(name, [Value::Int(arg)])
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One live instance of the component under test, created fresh for every
+/// execution by [`TestTarget::create`] and shared by the test's threads.
+///
+/// The implementation must be written against the `lineup-sync` primitives
+/// (or otherwise call into `lineup-sched` at its synchronization points);
+/// plain `std::sync` operations are invisible to the model checker and
+/// would not be interleaved.
+pub trait TestInstance: Send + Sync + 'static {
+    /// Performs one operation and returns its response value.
+    ///
+    /// Blocking operations may block (under the model scheduler); Line-Up
+    /// then observes the blocking behaviour through stuck histories.
+    ///
+    /// # Panics
+    ///
+    /// May panic on invocations not in the target's catalog; panics are
+    /// captured and reported as violations.
+    fn invoke(&self, invocation: &Invocation) -> Value;
+}
+
+impl TestInstance for Box<dyn TestInstance> {
+    fn invoke(&self, invocation: &Invocation) -> Value {
+        (**self).invoke(invocation)
+    }
+}
+
+/// A component under test: a factory of instances plus a catalog of
+/// interesting invocations.
+///
+/// # Example
+///
+/// ```
+/// use lineup::{Invocation, TestInstance, TestTarget, Value};
+/// use lineup_sync::Atomic;
+///
+/// /// A correct concurrent counter.
+/// struct CounterTarget;
+///
+/// struct Counter(Atomic<i64>);
+///
+/// impl TestInstance for Counter {
+///     fn invoke(&self, inv: &Invocation) -> Value {
+///         match inv.name.as_str() {
+///             "inc" => {
+///                 self.0.fetch_add(1);
+///                 Value::Unit
+///             }
+///             "get" => Value::Int(self.0.load()),
+///             other => panic!("unknown operation {other}"),
+///         }
+///     }
+/// }
+///
+/// impl TestTarget for CounterTarget {
+///     type Instance = Counter;
+///     fn name(&self) -> &str { "Counter" }
+///     fn create(&self) -> Counter { Counter(Atomic::new(0)) }
+///     fn invocations(&self) -> Vec<Invocation> {
+///         vec![Invocation::new("inc"), Invocation::new("get")]
+///     }
+/// }
+/// ```
+pub trait TestTarget: Sync {
+    /// The instance type produced by [`create`](TestTarget::create).
+    type Instance: TestInstance;
+
+    /// A human-readable name for reports (e.g. `"ConcurrentQueue"`).
+    fn name(&self) -> &str;
+
+    /// Creates a fresh instance. Called once per execution, in the model's
+    /// setup context: primitives may be constructed, but operations must
+    /// not block.
+    fn create(&self) -> Self::Instance;
+
+    /// The catalog of invocations used by the automatic test generators
+    /// ([`auto_check`](crate::auto::auto_check) enumerates prefixes of
+    /// this list as its sets `I_n`; [`random_check`](crate::auto::random_check)
+    /// samples from it uniformly).
+    fn invocations(&self) -> Vec<Invocation>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invocation_display() {
+        assert_eq!(Invocation::new("TryTake").to_string(), "TryTake()");
+        assert_eq!(Invocation::with_int("Add", 200).to_string(), "Add(200)");
+        assert_eq!(
+            Invocation::with_args("f", [Value::Int(1), Value::Bool(true)]).to_string(),
+            "f(1, true)"
+        );
+    }
+
+    #[test]
+    fn invocation_ordering_groups_by_name_then_args() {
+        let a = Invocation::with_int("Add", 1);
+        let b = Invocation::with_int("Add", 2);
+        let c = Invocation::new("Take");
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Argument and response values of operations.
+
+use std::fmt;
+
+/// A value passed to or returned from an operation of the component under
+/// test.
+///
+/// Line-Up treats the component as a black box (§1): all it ever sees of
+/// an operation is its name, argument values, and response value. `Value`
+/// is the closed universe of such data, with total ordering and hashing so
+/// histories can be grouped, deduplicated, and compared.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// No value (a `void` return or an argument-less invocation).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (covers counts, element values, phase numbers, …).
+    Int(i64),
+    /// A string (e.g. rendered exceptions or `ToString` results).
+    Str(String),
+    /// The operation failed in its by-design way (e.g. `TryTake` on an
+    /// empty collection). Distinct from any payload value, matching the
+    /// paper's `result="Fail"` notation in Fig. 7.
+    Fail,
+    /// An ordered sequence (e.g. `ToArray`, `TryPopRange` results).
+    Seq(Vec<Value>),
+    /// An optional payload (e.g. `TryTake` returning the taken element on
+    /// success is written `Opt(Some(...))`, while "succeeded but carries
+    /// nothing" is `Opt(None)`).
+    Opt(Option<Box<Value>>),
+}
+
+impl Value {
+    /// Convenience constructor for an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for a sequence of integers.
+    pub fn int_seq(vs: impl IntoIterator<Item = i64>) -> Self {
+        Value::Seq(vs.into_iter().map(Value::Int).collect())
+    }
+
+    /// Convenience constructor for a successful optional payload.
+    pub fn some(v: Value) -> Self {
+        Value::Opt(Some(Box::new(v)))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "ok"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Fail => write!(f, "Fail"),
+            Value::Seq(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Opt(None) => write!(f, "None"),
+            Value::Opt(Some(v)) => write!(f, "Some({v})"),
+        }
+    }
+}
+
+/// Parses the [`Display`](fmt::Display) form of a [`Value`] back; used by
+/// the observation-file parser ([`crate::observation`]).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_value(s: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.s[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        if self.eat("ok") {
+            return Ok(Value::Unit);
+        }
+        if self.eat("true") {
+            return Ok(Value::Bool(true));
+        }
+        if self.eat("false") {
+            return Ok(Value::Bool(false));
+        }
+        if self.eat("Fail") {
+            return Ok(Value::Fail);
+        }
+        if self.eat("None") {
+            return Ok(Value::Opt(None));
+        }
+        if self.eat("Some(") {
+            let v = self.value()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err("expected ) after Some".into());
+            }
+            return Ok(Value::some(v));
+        }
+        if self.eat("[") {
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.eat("]") {
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                if self.eat("]") {
+                    return Ok(Value::Seq(items));
+                }
+                if !self.eat(",") {
+                    return Err("expected , or ] in sequence".into());
+                }
+            }
+        }
+        if self.pos < self.s.len() && self.s[self.pos] == b'"' {
+            return self.string();
+        }
+        self.int()
+    }
+
+    fn string(&mut self) -> Result<Value, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        while self.pos < self.s.len() {
+            match self.s[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(Value::Str(out));
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let c = *self
+                        .s
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    out.push(match c {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        b'\'' => '\'',
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    });
+                    self.pos += 1;
+                }
+                other => {
+                    out.push(other as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn int(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.pos < self.s.len() && (self.s[self.pos] == b'-' || self.s[self.pos] == b'+') {
+            self.pos += 1;
+        }
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).unwrap();
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad integer {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "ok");
+        assert_eq!(Value::Int(200).to_string(), "200");
+        assert_eq!(Value::Fail.to_string(), "Fail");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::int_seq([1, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::some(Value::Int(5)).to_string(), "Some(5)");
+        assert_eq!(Value::Opt(None).to_string(), "None");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(()), Value::Unit);
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![
+            Value::Fail,
+            Value::Int(1),
+            Value::Unit,
+            Value::Bool(false),
+            Value::Seq(vec![]),
+        ];
+        vs.sort();
+        vs.dedup();
+        assert_eq!(vs.len(), 5);
+    }
+
+    #[test]
+    fn fail_is_distinct_from_payloads() {
+        assert_ne!(Value::Fail, Value::Int(0));
+        assert_ne!(Value::Fail, Value::Unit);
+        assert_ne!(Value::Fail, Value::Opt(None));
+    }
+
+    fn roundtrip(v: Value) {
+        let s = v.to_string();
+        assert_eq!(parse_value(&s), Ok(v), "via {s:?}");
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        roundtrip(Value::Unit);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Int(0));
+        roundtrip(Value::Fail);
+        roundtrip(Value::Opt(None));
+        roundtrip(Value::some(Value::Int(7)));
+        roundtrip(Value::some(Value::Fail));
+        roundtrip(Value::Seq(vec![]));
+        roundtrip(Value::int_seq([1, 2, 3]));
+        roundtrip(Value::Seq(vec![Value::Bool(false), Value::Unit]));
+        roundtrip(Value::Str("plain".into()));
+        roundtrip(Value::Str("with \"quotes\" and \\slash\n".into()));
+        roundtrip(Value::Seq(vec![Value::some(Value::int_seq([9])), Value::Fail]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("okx").is_err());
+        assert!(parse_value("[1, 2").is_err());
+        assert!(parse_value("Some(1").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("12abc").is_err());
+    }
+}

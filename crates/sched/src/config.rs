@@ -1,0 +1,188 @@
+//! Exploration configuration.
+
+/// How context switches are constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full concurrent exploration: the scheduler may switch at every
+    /// schedule point (subject to the preemption bound). Used by Line-Up
+    /// phase 2.
+    Concurrent,
+    /// Serial exploration: context switches are only allowed at operation
+    /// boundaries (and forced when the running thread blocks, which ends
+    /// the run as [`RunOutcome::StuckSerial`](crate::RunOutcome)). Used by
+    /// Line-Up phase 1 to enumerate sequential behaviors.
+    Serial,
+}
+
+/// The search strategy used to enumerate schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Exhaustive depth-first search over all choices (with replay).
+    Dfs,
+    /// Uniform random walk: each run picks every choice uniformly at
+    /// random. Runs are independent; `max_runs` bounds the sample.
+    Random {
+        /// Seed for the pseudo-random choices, so explorations replay.
+        seed: u64,
+    },
+    /// Probabilistic concurrency testing (PCT, Burckhardt et al. ASPLOS
+    /// 2010): random thread priorities with `depth − 1` random priority-
+    /// change points per run. Better bug-finding probability than a
+    /// uniform random walk for bugs of bounded depth; `max_runs` bounds
+    /// the sample.
+    Pct {
+        /// Seed for priorities and change points.
+        seed: u64,
+        /// Bug depth `d` (number of ordering constraints to hit).
+        depth: usize,
+    },
+    /// Replays one recorded run: the decision indexes of a previous
+    /// [`RunResult`](crate::RunResult) (its `decisions` field). Exactly
+    /// one run is executed; because executions are deterministic given
+    /// their decisions, it reproduces the original schedule and history.
+    Replay {
+        /// The recorded decision indexes.
+        decisions: Vec<usize>,
+    },
+}
+
+/// Configuration for one [`explore`](crate::explore) call.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Serial or concurrent exploration.
+    pub mode: Mode,
+    /// Search strategy.
+    pub strategy: StrategyKind,
+    /// CHESS-style preemption bound: maximum number of context switches
+    /// away from an enabled, non-yielding thread per run. `None` means
+    /// unbounded. Switches at yields, blocks and thread completions are
+    /// always free, so spin loops cannot exhaust the budget.
+    pub preemption_bound: Option<usize>,
+    /// Upper bound on the number of runs (safety net; `None` = unbounded).
+    pub max_runs: Option<u64>,
+    /// Upper bound on schedule points in one run; exceeding it aborts the
+    /// exploration with a panic, indicating an unbounded loop that the
+    /// livelock detector did not catch.
+    pub max_steps: usize,
+    /// Number of complete scheduling rounds in which every enabled thread
+    /// only yields (no thread performs a state-changing action) before the
+    /// run is declared a fair livelock.
+    pub livelock_rounds: usize,
+    /// Whether to record the full access log (needed by the §5.6
+    /// comparison checkers; Line-Up itself does not need it).
+    pub record_accesses: bool,
+}
+
+impl Config {
+    /// Exhaustive, unbounded concurrent exploration.
+    pub fn exhaustive() -> Self {
+        Config {
+            mode: Mode::Concurrent,
+            strategy: StrategyKind::Dfs,
+            preemption_bound: None,
+            max_runs: None,
+            max_steps: 20_000,
+            livelock_rounds: 4,
+            record_accesses: false,
+        }
+    }
+
+    /// Concurrent DFS exploration with the given preemption bound
+    /// (the paper uses 2, the CHESS default, for most classes — §5.4).
+    pub fn preemption_bounded(bound: usize) -> Self {
+        Config {
+            preemption_bound: Some(bound),
+            ..Config::exhaustive()
+        }
+    }
+
+    /// Serial exploration (Line-Up phase 1): enumerate all serial
+    /// executions of the test, without preempting threads inside
+    /// operations.
+    pub fn serial() -> Self {
+        Config {
+            mode: Mode::Serial,
+            ..Config::exhaustive()
+        }
+    }
+
+    /// Random-walk exploration with the given seed and number of runs.
+    pub fn random(seed: u64, runs: u64) -> Self {
+        Config {
+            strategy: StrategyKind::Random { seed },
+            max_runs: Some(runs),
+            ..Config::exhaustive()
+        }
+    }
+
+    /// PCT exploration (see [`StrategyKind::Pct`]) with the given seed,
+    /// depth and run budget.
+    pub fn pct(seed: u64, depth: usize, runs: u64) -> Self {
+        Config {
+            strategy: StrategyKind::Pct { seed, depth },
+            max_runs: Some(runs),
+            ..Config::exhaustive()
+        }
+    }
+
+    /// Replays one previously-recorded run (see
+    /// [`StrategyKind::Replay`]). The mode and preemption bound must match
+    /// the original exploration for the decision points to line up.
+    pub fn replay(decisions: Vec<usize>) -> Self {
+        Config {
+            strategy: StrategyKind::Replay { decisions },
+            max_runs: Some(1),
+            ..Config::exhaustive()
+        }
+    }
+
+    /// Sets [`Config::record_accesses`], builder style.
+    pub fn with_access_log(mut self, record: bool) -> Self {
+        self.record_accesses = record;
+        self
+    }
+
+    /// Sets [`Config::max_runs`], builder style.
+    pub fn with_max_runs(mut self, runs: u64) -> Self {
+        self.max_runs = Some(runs);
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_modes() {
+        assert_eq!(Config::exhaustive().mode, Mode::Concurrent);
+        assert_eq!(Config::serial().mode, Mode::Serial);
+        assert_eq!(Config::preemption_bounded(2).preemption_bound, Some(2));
+        assert!(matches!(
+            Config::random(7, 10).strategy,
+            StrategyKind::Random { seed: 7 }
+        ));
+        assert_eq!(Config::random(7, 10).max_runs, Some(10));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::serial().with_access_log(true).with_max_runs(5);
+        assert!(c.record_accesses);
+        assert_eq!(c.max_runs, Some(5));
+        assert_eq!(c.mode, Mode::Serial);
+    }
+
+    #[test]
+    fn default_is_exhaustive() {
+        let c = Config::default();
+        assert_eq!(c.mode, Mode::Concurrent);
+        assert_eq!(c.preemption_bound, None);
+    }
+}

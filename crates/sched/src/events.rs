@@ -1,0 +1,179 @@
+//! The access log: a record of every instrumented action of one execution.
+//!
+//! The log is consumed by the comparison checkers of `lineup-checkers`
+//! (happens-before race detection and conflict serializability, paper §5.6)
+//! and is useful for debugging schedules. Line-Up itself only needs the
+//! call/return events recorded separately by its harness.
+
+use crate::ids::{ObjId, ThreadId};
+
+/// The kind of instrumented action performed at a schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain (non-atomic, data) read. Participates in race detection.
+    ReadData,
+    /// A plain (non-atomic, data) write. Participates in race detection.
+    WriteData,
+    /// A volatile / atomic load (synchronizing read).
+    AtomicLoad,
+    /// A volatile / atomic store (synchronizing write).
+    AtomicStore,
+    /// An atomic read-modify-write (CAS, exchange, fetch-add, …).
+    /// `success` distinguishes failed compare-and-swap attempts, which do
+    /// not write and therefore do not count as progress for livelock
+    /// detection.
+    AtomicRmw {
+        /// Whether the read-modify-write actually wrote.
+        success: bool,
+    },
+    /// A lock acquisition that succeeded.
+    LockAcquire,
+    /// A lock release.
+    LockRelease,
+    /// A monitor wait: the thread released the lock and blocked.
+    MonitorWait,
+    /// A monitor pulse (notify). `all` distinguishes pulse-all.
+    MonitorPulse {
+        /// Whether all waiters were woken rather than one.
+        all: bool,
+    },
+    /// A voluntary yield inside a spin loop.
+    Yield,
+    /// An operation boundary emitted by the Line-Up harness between the
+    /// operations of a test. Serial mode only allows context switches here.
+    OpBoundary,
+    /// Thread start (the first schedule point of every thread).
+    ThreadStart,
+    /// Thread completion.
+    ThreadFinish,
+    /// A nondeterministic boolean choice (e.g. a modelled lock timeout).
+    ChoiceBool {
+        /// The value that was chosen.
+        value: bool,
+    },
+}
+
+impl AccessKind {
+    /// Whether this action changes shared state, for fair-livelock
+    /// detection: a run in which no thread makes progress for a long time
+    /// while every enabled thread spins is declared stuck.
+    pub fn is_progress(self) -> bool {
+        match self {
+            AccessKind::AtomicStore
+            | AccessKind::WriteData
+            | AccessKind::AtomicRmw { success: true }
+            | AccessKind::LockAcquire
+            | AccessKind::LockRelease
+            | AccessKind::MonitorWait
+            | AccessKind::MonitorPulse { .. }
+            | AccessKind::OpBoundary
+            | AccessKind::ThreadStart
+            | AccessKind::ThreadFinish => true,
+            AccessKind::ReadData
+            | AccessKind::AtomicLoad
+            | AccessKind::AtomicRmw { success: false }
+            | AccessKind::Yield
+            | AccessKind::ChoiceBool { .. } => false,
+        }
+    }
+
+    /// Whether this action is a plain data access (subject to data races).
+    pub fn is_data(self) -> bool {
+        matches!(self, AccessKind::ReadData | AccessKind::WriteData)
+    }
+
+    /// Whether this action writes (for conflict detection).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessKind::WriteData | AccessKind::AtomicStore | AccessKind::AtomicRmw { success: true }
+        )
+    }
+
+    /// Whether this action reads (for conflict detection). RMWs both read
+    /// and write; failed RMWs still read.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            AccessKind::ReadData | AccessKind::AtomicLoad | AccessKind::AtomicRmw { .. }
+        )
+    }
+
+    /// Whether this action synchronizes (creates happens-before edges).
+    pub fn is_sync(self) -> bool {
+        matches!(
+            self,
+            AccessKind::AtomicLoad
+                | AccessKind::AtomicStore
+                | AccessKind::AtomicRmw { .. }
+                | AccessKind::LockAcquire
+                | AccessKind::LockRelease
+                | AccessKind::MonitorWait
+                | AccessKind::MonitorPulse { .. }
+        )
+    }
+}
+
+/// One entry of the access log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Global step number (position in the schedule).
+    pub step: usize,
+    /// The thread that performed the action.
+    pub thread: ThreadId,
+    /// The object acted upon. Boundary/start/finish/choice events use the
+    /// pseudo-object [`AccessEvent::NO_OBJ`].
+    pub obj: ObjId,
+    /// What was done.
+    pub kind: AccessKind,
+    /// Index of the operation (as delimited by [`AccessKind::OpBoundary`]
+    /// events) this access belongs to, per thread. The serializability
+    /// checker groups accesses into transactions by this index.
+    pub op_index: usize,
+}
+
+impl AccessEvent {
+    /// Pseudo object id used for events not tied to a model object.
+    pub const NO_OBJ: ObjId = ObjId(u32::MAX);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_classification() {
+        assert!(AccessKind::AtomicStore.is_progress());
+        assert!(AccessKind::AtomicRmw { success: true }.is_progress());
+        assert!(!AccessKind::AtomicRmw { success: false }.is_progress());
+        assert!(!AccessKind::AtomicLoad.is_progress());
+        assert!(!AccessKind::Yield.is_progress());
+        assert!(AccessKind::LockRelease.is_progress());
+        assert!(!AccessKind::ChoiceBool { value: true }.is_progress());
+    }
+
+    #[test]
+    fn read_write_classification() {
+        assert!(AccessKind::WriteData.is_write());
+        assert!(!AccessKind::ReadData.is_write());
+        assert!(AccessKind::ReadData.is_read());
+        assert!(AccessKind::AtomicRmw { success: false }.is_read());
+        assert!(!AccessKind::AtomicRmw { success: false }.is_write());
+        assert!(AccessKind::AtomicRmw { success: true }.is_write());
+    }
+
+    #[test]
+    fn sync_classification() {
+        assert!(AccessKind::LockAcquire.is_sync());
+        assert!(AccessKind::AtomicLoad.is_sync());
+        assert!(!AccessKind::ReadData.is_sync());
+        assert!(!AccessKind::Yield.is_sync());
+    }
+
+    #[test]
+    fn data_classification() {
+        assert!(AccessKind::ReadData.is_data());
+        assert!(AccessKind::WriteData.is_data());
+        assert!(!AccessKind::AtomicLoad.is_data());
+    }
+}

@@ -1,0 +1,63 @@
+//! Identifiers for virtual threads and model objects.
+
+use std::fmt;
+
+/// Identifier of a virtual thread within one exploration.
+///
+/// Thread ids are dense indexes `0..n` assigned in spawn order, so they are
+/// stable across the re-executions performed by the stateless explorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl ThreadId {
+    /// Returns the dense index of this thread.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a model object (an instrumented atomic, mutex, monitor, …).
+///
+/// Object ids are dense indexes assigned in registration order within one
+/// execution; because executions are deterministic given the schedule, the
+/// same object receives the same id in every replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Returns the dense index of this object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_display_and_order() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert!(ThreadId(0) < ThreadId(1));
+        assert_eq!(ThreadId(2).index(), 2);
+    }
+
+    #[test]
+    fn obj_id_display_and_order() {
+        assert_eq!(ObjId(7).to_string(), "o7");
+        assert!(ObjId(0) < ObjId(9));
+        assert_eq!(ObjId(4).index(), 4);
+    }
+}

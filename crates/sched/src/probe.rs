@@ -1,0 +1,133 @@
+//! A side channel between the setup closure and the run visitor.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Carries one per-run value (typically a handle to the state under test)
+/// from the setup closure to the `on_run` visitor of
+/// [`explore`](crate::explore).
+///
+/// Both closures run on the controller thread, so this is a plain
+/// `Rc<RefCell<…>>` without synchronization. Setup stores the fresh run's
+/// handle with [`put`](Probe::put); the visitor retrieves it with
+/// [`take`](Probe::take) once the run has finished (at which point no
+/// virtual thread is running, so inspecting the state race-free is safe).
+///
+/// # Example
+///
+/// ```
+/// use lineup_sched::{explore, Config, Probe};
+/// use std::ops::ControlFlow;
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let probe = Probe::new();
+/// let setup_probe = probe.clone();
+/// explore(
+///     &Config::exhaustive(),
+///     move |ex| {
+///         let counter = Arc::new(AtomicUsize::new(0));
+///         setup_probe.put(Arc::clone(&counter));
+///         ex.spawn(move || {
+///             counter.fetch_add(1, Ordering::SeqCst);
+///         });
+///     },
+///     |_| {
+///         assert_eq!(probe.take().load(Ordering::SeqCst), 1);
+///         ControlFlow::Continue(())
+///     },
+/// );
+/// ```
+#[derive(Debug)]
+pub struct Probe<T> {
+    slot: Rc<RefCell<Option<T>>>,
+}
+
+impl<T> Probe<T> {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        Probe {
+            slot: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Stores this run's value (typically called from setup).
+    pub fn put(&self, value: T) {
+        *self.slot.borrow_mut() = Some(value);
+    }
+
+    /// Removes and returns the stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was stored since the last `take`.
+    pub fn take(&self) -> T {
+        self.slot
+            .borrow_mut()
+            .take()
+            .expect("probe is empty: setup must call put() each run")
+    }
+
+    /// Returns a clone of the stored value without removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is stored.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.slot
+            .borrow()
+            .clone()
+            .expect("probe is empty: setup must call put() each run")
+    }
+}
+
+impl<T> Clone for Probe<T> {
+    fn clone(&self) -> Self {
+        Probe {
+            slot: Rc::clone(&self.slot),
+        }
+    }
+}
+
+impl<T> Default for Probe<T> {
+    fn default() -> Self {
+        Probe::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_roundtrip() {
+        let p = Probe::new();
+        p.put(7);
+        assert_eq!(p.take(), 7);
+    }
+
+    #[test]
+    fn get_leaves_value_in_place() {
+        let p = Probe::new();
+        p.put("x".to_string());
+        assert_eq!(p.get(), "x");
+        assert_eq!(p.take(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "probe is empty")]
+    fn take_on_empty_panics() {
+        Probe::<u8>::new().take();
+    }
+
+    #[test]
+    fn clones_share_the_slot() {
+        let p = Probe::new();
+        let q = p.clone();
+        q.put(1);
+        assert_eq!(p.take(), 1);
+    }
+}

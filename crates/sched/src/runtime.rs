@@ -1,0 +1,320 @@
+//! The cooperative runtime: baton passing between virtual threads and the
+//! instrumentation API used by `lineup-sync` primitives.
+//!
+//! Exactly one virtual thread holds the *baton* at any time. Every
+//! instrumented action calls [`schedule`], which records the access, asks
+//! the scheduling strategy for the next thread, passes the baton, and parks
+//! the caller until it is scheduled again. Because all shared-memory
+//! accesses of the component under test happen between schedule points
+//! while holding the baton, executions are serializable and fully
+//! deterministic given the sequence of scheduling choices — the property
+//! stateless model checking relies on for replay.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::events::AccessKind;
+use crate::ids::{ObjId, ThreadId};
+use crate::state::{BlockKind, RtState, RunOutcome, Status};
+
+/// The state shared between the controller and the virtual threads.
+pub(crate) struct Shared {
+    pub state: Mutex<RtState>,
+    pub cv: Condvar,
+}
+
+impl Shared {
+    pub fn new(state: RtState) -> Self {
+        Shared {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Panic payload used to unwind virtual threads parked when a run ends
+/// early (deadlock, livelock, violation stop). Caught by the worker pool.
+pub(crate) struct Abort;
+
+/// Pseudo thread id of the per-run setup closure (which constructs the
+/// component under test but is not itself scheduled).
+pub(crate) const SETUP_TID: usize = usize::MAX;
+/// Pseudo thread id used when primitives run outside any model execution
+/// (plain, unmodelled use of `lineup-sync` types).
+const OUTSIDE_TID: usize = usize::MAX - 1;
+
+struct TlsCtx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TlsCtx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_tls(shared: Arc<Shared>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(TlsCtx { shared, tid }));
+}
+
+pub(crate) fn clear_tls() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs `f` with the virtual-thread context, or returns `None` when the
+/// caller is the setup closure or outside the model entirely.
+fn with_virtual_ctx<R>(f: impl FnOnce(&Arc<Shared>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some(ctx) if ctx.tid != SETUP_TID => Some(f(&ctx.shared, ctx.tid)),
+            _ => None,
+        }
+    })
+}
+
+/// Runs `f` with any model context (virtual thread or setup closure).
+fn with_any_ctx<R>(f: impl FnOnce(&Arc<Shared>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        borrow.as_ref().map(|ctx| f(&ctx.shared, ctx.tid))
+    })
+}
+
+/// Returns `true` when the calling OS thread is a virtual thread of an
+/// active model execution (schedule points are live). The setup closure
+/// and plain unmodelled code return `false`.
+pub fn is_model_active() -> bool {
+    CURRENT.with(|c| matches!(c.borrow().as_ref(), Some(ctx) if ctx.tid != SETUP_TID))
+}
+
+/// Returns the id of the calling virtual thread. Outside a virtual thread
+/// this returns a reserved pseudo id (stable within the setup closure and
+/// within unmodelled code), so primitives can use it as an ownership key
+/// everywhere.
+pub fn current_thread() -> ThreadId {
+    CURRENT.with(|c| match c.borrow().as_ref() {
+        Some(ctx) => ThreadId(ctx.tid),
+        None => ThreadId(OUTSIDE_TID),
+    })
+}
+
+/// Registers a new model object (called by primitive constructors) and
+/// returns its id. Deterministic across replays because registration order
+/// is determined by the schedule. Outside a model execution returns the
+/// pseudo id [`AccessEvent::NO_OBJ`](crate::AccessEvent::NO_OBJ).
+pub fn register_object() -> ObjId {
+    with_any_ctx(|shared, _| {
+        let mut st = shared.state.lock().unwrap();
+        let id = ObjId(st.next_obj);
+        st.next_obj += 1;
+        id
+    })
+    .unwrap_or(crate::events::AccessEvent::NO_OBJ)
+}
+
+/// Parks the calling thread until it is scheduled again. Must be called
+/// with the state lock held; returns with the lock released.
+fn wait_for_turn(shared: &Arc<Shared>, tid: usize, mut guard: std::sync::MutexGuard<'_, RtState>) {
+    loop {
+        if guard.abort {
+            drop(guard);
+            std::panic::panic_any(Abort);
+        }
+        if guard.current == Some(tid) {
+            return;
+        }
+        guard = shared.cv.wait(guard).unwrap();
+    }
+}
+
+fn schedule_point(kind: Option<AccessKind>) {
+    with_virtual_ctx(|shared, tid| {
+        let mut st = shared.state.lock().unwrap();
+        st.note_point(tid, kind);
+        let after_yield = kind == Some(AccessKind::Yield);
+        let cont = st.pick_next(after_yield);
+        shared.cv.notify_all();
+        if !cont {
+            // Run ended (possibly because of this very thread blocking
+            // serially or exhausting the step budget): unwind.
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        wait_for_turn(shared, tid, st);
+    });
+}
+
+/// A schedule point: lets the scheduler pick the next thread, and parks
+/// the caller until it runs again.
+///
+/// Called by every instrumented primitive operation in `lineup-sync`
+/// *before* the operation's effect, so the enumeration of schedules covers
+/// every interleaving of instrumented actions. The effect itself is
+/// recorded afterwards with [`log_access`]. The `_obj` parameter is kept
+/// for symmetry and debugging hooks.
+///
+/// Outside a virtual thread (in the setup closure, or in plain unmodelled
+/// code) this is a no-op, so instrumented primitives work transparently
+/// everywhere.
+pub fn schedule(_obj: ObjId) {
+    schedule_point(None);
+}
+
+/// Records the effect of an instrumented action in the access log (no
+/// context switch). Called by primitives after their schedule point, while
+/// the action's outcome is known — so the log records, e.g., whether a
+/// compare-and-swap succeeded or a lock acquire was granted. A no-op
+/// outside a virtual thread.
+pub fn log_access(obj: ObjId, kind: AccessKind) {
+    with_virtual_ctx(|shared, tid| {
+        let mut st = shared.state.lock().unwrap();
+        st.note_effect(tid, obj, kind);
+    });
+}
+
+/// A voluntary yield inside a spin loop. The fair scheduler deprioritizes
+/// the caller in favour of other enabled threads; a full round of yields
+/// with no progress is declared a fair livelock (paper §4: "support for
+/// fairness is important because many of the concurrent data types use
+/// spin-loops for synchronization").
+pub fn yield_point() {
+    schedule_point(Some(AccessKind::Yield));
+}
+
+/// An operation boundary, emitted by the Line-Up harness between the
+/// operations of a test. Serial mode only switches threads here; in
+/// concurrent mode switching here is free (it costs no preemption).
+pub fn op_boundary() {
+    schedule_point(Some(AccessKind::OpBoundary));
+}
+
+/// How a blocked thread was resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockResult {
+    /// The thread was explicitly unblocked (lock granted, monitor pulsed).
+    Resumed,
+    /// The modelled timeout fired: the scheduler chose to run the thread
+    /// while it was still blocked on a [`BlockKind::Timed`] wait.
+    TimedOut,
+}
+
+/// Blocks the calling thread until [`unblock`] is called for it (or, for
+/// [`BlockKind::Timed`], until the scheduler fires the modelled timeout).
+///
+/// The caller is responsible for having registered itself in the wait set
+/// of whatever primitive it blocks on *before* calling this, and for
+/// re-checking the wait condition afterwards.
+///
+/// # Panics
+///
+/// Panics when called outside a virtual thread: blocking is only
+/// meaningful under the model scheduler. (Unmodelled use of blocking
+/// operations — e.g. `Take` on an empty collection on a plain thread — is
+/// not supported; use the model checker to explore blocking behavior.)
+pub fn block_current(kind: BlockKind) -> BlockResult {
+    with_virtual_ctx(|shared, tid| {
+        let mut st = shared.state.lock().unwrap();
+        st.threads[tid].timed_fired = false;
+        st.set_status(tid, Status::Blocked(kind));
+        let cont = st.pick_next(false);
+        shared.cv.notify_all();
+        if !cont {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        wait_for_turn(shared, tid, st);
+        let mut st = shared.state.lock().unwrap();
+        if st.threads[tid].timed_fired {
+            st.threads[tid].timed_fired = false;
+            BlockResult::TimedOut
+        } else {
+            BlockResult::Resumed
+        }
+    })
+    .expect("lineup-sched: cannot block outside a model execution")
+}
+
+/// Makes the given thread runnable again. Called by primitives when a lock
+/// is released or a monitor is pulsed. Does not switch threads; the woken
+/// thread re-competes at the caller's next schedule point. A no-op outside
+/// a virtual thread (nothing can be blocked then).
+pub fn unblock(thread: ThreadId) {
+    with_virtual_ctx(|shared, _| {
+        let mut st = shared.state.lock().unwrap();
+        if matches!(st.status(thread.0), Status::Blocked(_)) {
+            st.threads[thread.0].timed_fired = false;
+            st.set_status(thread.0, Status::Runnable);
+            // Unblocking is progress: reset fair-livelock tracking.
+            st.yield_rounds = 0;
+            for t in &mut st.threads {
+                t.yielded_since_progress = false;
+                t.consecutive_yields = 0;
+            }
+        }
+    });
+}
+
+/// Makes a nondeterministic boolean choice, enumerated by the explorer
+/// like a scheduling choice. Useful for modelling environment
+/// nondeterminism beyond scheduling (the timed-lock timeouts use the
+/// dedicated [`BlockKind::Timed`] mechanism instead). Outside a virtual
+/// thread the choice is deterministically `false`.
+pub fn choose_bool() -> bool {
+    with_virtual_ctx(|shared, tid| {
+        let mut st = shared.state.lock().unwrap();
+        st.pick_bool(tid)
+    })
+    .unwrap_or(false)
+}
+
+/// Runs `body` as the virtual thread `tid`: waits to be scheduled, marks
+/// the thread runnable, executes the closure, then marks it finished and
+/// passes the baton. Used by the explorer's worker pool.
+pub(crate) fn run_virtual_thread(shared: &Arc<Shared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    {
+        let mut st = shared.state.lock().unwrap();
+        // Park until the first decision schedules us.
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.current == Some(tid) {
+                break;
+            }
+            st = shared.cv.wait(st).unwrap();
+        }
+        st.set_status(tid, Status::Runnable);
+        st.note_point(tid, Some(AccessKind::ThreadStart));
+        // Keep the baton: the thread proceeds into its closure.
+    }
+    body();
+    let mut st = shared.state.lock().unwrap();
+    st.set_status(tid, Status::Finished);
+    st.note_point(tid, Some(AccessKind::ThreadFinish));
+    st.pick_next(false);
+    shared.cv.notify_all();
+    // Whether or not the run ended, this thread simply returns.
+}
+
+/// Handles a user panic on a virtual thread: records it and aborts the run.
+pub(crate) fn handle_user_panic(shared: &Arc<Shared>, tid: usize, payload: &dyn std::any::Any) {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    };
+    let mut st = shared.state.lock().unwrap();
+    st.set_status(tid, Status::Finished);
+    if st.run_over.is_none() {
+        st.run_over = Some(RunOutcome::Panicked {
+            thread: ThreadId(tid),
+            message,
+        });
+    }
+    st.abort = true;
+    st.current = None;
+    shared.cv.notify_all();
+}

@@ -1,0 +1,436 @@
+//! Shared mutable state of one execution: the virtual thread table, the
+//! scheduling decision logic, and end-of-run detection.
+
+use crate::config::{Config, Mode};
+use crate::events::{AccessEvent, AccessKind};
+use crate::ids::{ObjId, ThreadId};
+use crate::strategy::{Choice, Strategy};
+
+/// Why a virtual thread is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Blocked on a lock or monitor; only an explicit
+    /// [`unblock`](crate::unblock) can make it runnable again.
+    Untimed,
+    /// Blocked on a timed wait (e.g. `Monitor.TryEnter(lock, timeout)`):
+    /// the scheduler may *choose* to run the thread while it is still
+    /// blocked, which models the timeout firing. This is how Line-Up's
+    /// model exposes the spurious-timeout bug of the paper's Fig. 1.
+    Timed,
+}
+
+/// How one run (a single execution of the test program) ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All virtual threads ran to completion.
+    Complete,
+    /// No thread can be scheduled: every unfinished thread is blocked.
+    /// Line-Up turns this run into a *stuck history* (paper §2.3).
+    Deadlock,
+    /// Every enabled thread is spinning (yielding) and no thread has made
+    /// progress for [`Config::livelock_rounds`](crate::Config) scheduling
+    /// rounds: a fair livelock. Also a stuck history.
+    Livelock,
+    /// Serial mode only: the running thread blocked (or diverged) in the
+    /// middle of an operation, so the serial execution cannot continue.
+    /// Line-Up phase 1 records this as a stuck *serial* history
+    /// `H (o i t) #` (the set `Y∥` of paper §2.3).
+    StuckSerial,
+    /// A virtual thread panicked; the message is preserved.
+    Panicked {
+        /// The thread that panicked.
+        thread: ThreadId,
+        /// The panic payload rendered as a string.
+        message: String,
+    },
+    /// The per-run step limit was exceeded (an unbounded loop that the
+    /// livelock detector did not catch; usually a harness bug).
+    StepLimit,
+}
+
+impl RunOutcome {
+    /// Whether this run produced a stuck history in the sense of §2.3:
+    /// at least one pending operation that cannot complete.
+    pub fn is_stuck(&self) -> bool {
+        matches!(
+            self,
+            RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial
+        )
+    }
+}
+
+/// Scheduling status of one virtual thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Spawned but not yet scheduled for the first time.
+    NotStarted,
+    /// Can be scheduled.
+    Runnable,
+    /// Blocked; see [`BlockKind`].
+    Blocked(BlockKind),
+    /// The thread's closure returned (or panicked).
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    pub status: Status,
+    /// True when the thread's most recent schedule point was an operation
+    /// boundary (or it has not started): serial mode allows switching to
+    /// or away from such threads.
+    pub at_boundary: bool,
+    /// Set when the thread yields; cleared when any thread makes progress.
+    /// Used for fair-livelock detection.
+    pub yielded_since_progress: bool,
+    /// Consecutive yields by this thread with no progress by anyone;
+    /// detects serial-mode divergence.
+    pub consecutive_yields: usize,
+    /// Set by the scheduler when it chooses a [`BlockKind::Timed`]-blocked
+    /// thread, which models its timeout firing.
+    pub timed_fired: bool,
+    /// Operation index (incremented at each boundary), for the access log.
+    pub op_index: usize,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            status: Status::NotStarted,
+            at_boundary: true,
+            yielded_since_progress: false,
+            consecutive_yields: 0,
+            timed_fired: false,
+            op_index: 0,
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        matches!(
+            self.status,
+            Status::NotStarted | Status::Runnable | Status::Blocked(BlockKind::Timed)
+        )
+    }
+}
+
+/// The state protected by the runtime mutex.
+pub(crate) struct RtState {
+    pub config: Config,
+    pub threads: Vec<ThreadState>,
+    /// The thread currently holding the baton (`None` before the first
+    /// decision and after the run ends).
+    pub current: Option<usize>,
+    pub step: usize,
+    pub preemptions: usize,
+    /// Completed all-enabled-threads-yielded rounds with no progress.
+    pub yield_rounds: usize,
+    pub run_over: Option<RunOutcome>,
+    /// Set together with `run_over`: parked threads must unwind.
+    pub abort: bool,
+    pub schedule: Vec<Choice>,
+    /// Indexes chosen at strategy-consulted points (decisions with more
+    /// than one alternative, plus boolean choices). Replaying this exact
+    /// sequence with [`StrategyKind::Replay`](crate::StrategyKind)
+    /// reproduces the run deterministically.
+    pub decisions: Vec<usize>,
+    pub access_log: Vec<AccessEvent>,
+    pub next_obj: u32,
+    /// The search strategy, temporarily moved in for the duration of a run.
+    pub strategy: Option<Box<dyn Strategy + Send>>,
+}
+
+impl std::fmt::Debug for RtState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtState")
+            .field("current", &self.current)
+            .field("step", &self.step)
+            .field("run_over", &self.run_over)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RtState {
+    pub fn new(config: Config, nthreads: usize, strategy: Box<dyn Strategy + Send>) -> Self {
+        RtState {
+            config,
+            threads: (0..nthreads).map(|_| ThreadState::new()).collect(),
+            current: None,
+            step: 0,
+            preemptions: 0,
+            yield_rounds: 0,
+            run_over: None,
+            abort: false,
+            schedule: Vec::new(),
+            decisions: Vec::new(),
+            access_log: Vec::new(),
+            next_obj: 0,
+            strategy: Some(strategy),
+        }
+    }
+
+    /// Sets the number of virtual threads, after the setup closure has
+    /// decided how many to spawn (object registration during setup happens
+    /// before the thread table exists).
+    pub fn init_threads(&mut self, n: usize) {
+        debug_assert!(self.threads.is_empty());
+        self.threads = (0..n).map(|_| ThreadState::new()).collect();
+    }
+
+    pub fn enabled_threads(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t].is_enabled())
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    /// Records the *effect* of an instrumented action (performed after its
+    /// schedule point, while holding the baton) in the access log, and
+    /// updates progress tracking.
+    pub fn note_effect(&mut self, me: usize, obj: ObjId, kind: AccessKind) {
+        if self.config.record_accesses {
+            self.access_log.push(AccessEvent {
+                step: self.step,
+                thread: ThreadId(me),
+                obj,
+                kind,
+                op_index: self.threads[me].op_index,
+            });
+        }
+        if kind.is_progress() {
+            self.yield_rounds = 0;
+            for t in &mut self.threads {
+                t.yielded_since_progress = false;
+                t.consecutive_yields = 0;
+            }
+        }
+    }
+
+    /// Updates per-thread flags at a schedule point. `kind` is one of
+    /// `None` (a neutral pre-access point), `Yield`, `OpBoundary`,
+    /// `ThreadStart`, or `ThreadFinish`.
+    pub fn note_point(&mut self, me: usize, kind: Option<AccessKind>) {
+        if let Some(kind) = kind {
+            self.note_effect(me, AccessEvent::NO_OBJ, kind);
+        }
+        let th = &mut self.threads[me];
+        th.at_boundary = matches!(
+            kind,
+            Some(AccessKind::OpBoundary) | Some(AccessKind::ThreadStart)
+        );
+        if kind == Some(AccessKind::OpBoundary) {
+            th.op_index += 1;
+        }
+        if kind == Some(AccessKind::Yield) {
+            th.yielded_since_progress = true;
+            th.consecutive_yields += 1;
+        }
+    }
+
+    fn end_run(&mut self, outcome: RunOutcome) {
+        if self.run_over.is_none() {
+            self.run_over = Some(outcome);
+        }
+        self.abort = true;
+        self.current = None;
+    }
+
+    /// The scheduling decision: chooses the next thread to run, or ends
+    /// the run. `after_yield` is true when the calling thread just
+    /// executed a voluntary yield (it is then descheduled in favour of
+    /// other enabled threads — the fair scheduler of paper §4).
+    ///
+    /// Returns `true` if the run continues (a thread was scheduled).
+    pub fn pick_next(&mut self, after_yield: bool) -> bool {
+        if self.run_over.is_some() {
+            return false;
+        }
+        self.step += 1;
+        if self.step > self.config.max_steps {
+            self.end_run(RunOutcome::StepLimit);
+            return false;
+        }
+
+        let enabled = self.enabled_threads();
+        if enabled.is_empty() {
+            let outcome = if self.all_finished() {
+                RunOutcome::Complete
+            } else if self.config.mode == Mode::Serial {
+                // In serial mode a blocked thread with nobody enabled is
+                // the stuck serial history `H (o i t) #` (only the
+                // current thread can ever be blocked mid-operation).
+                RunOutcome::StuckSerial
+            } else {
+                RunOutcome::Deadlock
+            };
+            self.end_run(outcome);
+            return false;
+        }
+
+        // Fair-livelock detection: a full round in which every enabled
+        // thread yielded without anyone making progress.
+        if after_yield && enabled.iter().all(|&t| self.threads[t].yielded_since_progress) {
+            self.yield_rounds += 1;
+            for &t in &enabled {
+                self.threads[t].yielded_since_progress = false;
+            }
+            if self.yield_rounds >= self.config.livelock_rounds {
+                let outcome = if self.config.mode == Mode::Serial {
+                    RunOutcome::StuckSerial
+                } else {
+                    RunOutcome::Livelock
+                };
+                self.end_run(outcome);
+                return false;
+            }
+        }
+        // Serial-mode divergence: the running thread spins forever and no
+        // other thread is allowed to intervene.
+        if self.config.mode == Mode::Serial {
+            if let Some(cur) = self.current {
+                if self.threads[cur].consecutive_yields > self.config.livelock_rounds {
+                    self.end_run(RunOutcome::StuckSerial);
+                    return false;
+                }
+            }
+        }
+
+        let candidates = match self.config.mode {
+            Mode::Serial => self.serial_candidates(&enabled),
+            Mode::Concurrent => self.concurrent_candidates(&enabled, after_yield),
+        };
+        let mut candidates = match candidates {
+            Some(c) => c,
+            None => return false, // run was ended inside
+        };
+        debug_assert!(!candidates.is_empty());
+        // Explore "continue the current thread" first: DFS then visits
+        // mostly-sequential schedules before heavily-preempted ones, which
+        // keeps the first counterexample found small (CHESS-style search
+        // ordering).
+        if let Some(cur) = self.current {
+            if let Some(pos) = candidates.iter().position(|&t| t == cur) {
+                candidates.remove(pos);
+                candidates.insert(0, cur);
+            }
+        }
+
+        let idx = if candidates.len() == 1 {
+            0
+        } else {
+            let step = self.step;
+            let strategy = self.strategy.as_mut().expect("strategy present during run");
+            let idx = strategy.choose_thread(&candidates, step);
+            debug_assert!(idx < candidates.len());
+            self.decisions.push(idx);
+            idx
+        };
+        let next = candidates[idx];
+
+        // Preemption accounting: switching away from an enabled, runnable,
+        // non-yielding thread that is not at an operation boundary costs
+        // one preemption (CHESS semantics).
+        if let Some(cur) = self.current {
+            let cur_th = &self.threads[cur];
+            if next != cur
+                && cur_th.status == Status::Runnable
+                && !after_yield
+                && !cur_th.at_boundary
+            {
+                self.preemptions += 1;
+            }
+        }
+
+        self.schedule.push(Choice::Thread(ThreadId(next)));
+        // Scheduling a timed-blocked thread fires its timeout.
+        if self.threads[next].status == Status::Blocked(BlockKind::Timed) {
+            self.threads[next].timed_fired = true;
+            self.threads[next].status = Status::Runnable;
+        }
+        self.current = Some(next);
+        true
+    }
+
+    /// Serial mode: context switches happen only at operation boundaries;
+    /// a thread that blocks mid-operation ends the run as stuck-serial.
+    fn serial_candidates(&mut self, enabled: &[usize]) -> Option<Vec<usize>> {
+        if let Some(cur) = self.current {
+            let th = &self.threads[cur];
+            match th.status {
+                Status::Runnable if !th.at_boundary => {
+                    // Mid-operation: must continue the current thread.
+                    return Some(vec![cur]);
+                }
+                Status::Blocked(BlockKind::Timed) => {
+                    // A timed wait with no other thread allowed to
+                    // intervene always times out in a serial execution:
+                    // scheduling the thread fires the modelled timeout,
+                    // keeping serial behavior deterministic.
+                    return Some(vec![cur]);
+                }
+                Status::Blocked(BlockKind::Untimed) if !th.at_boundary => {
+                    // Blocked mid-operation: the serial execution is stuck
+                    // (paper §2.3: the history `H (o i t) #`).
+                    self.end_run(RunOutcome::StuckSerial);
+                    return None;
+                }
+                _ => {}
+            }
+        }
+        // At a boundary (or start/finish): any enabled thread may run next.
+        Some(enabled.to_vec())
+    }
+
+    /// Concurrent mode: all enabled threads are candidates, except that a
+    /// yielding thread is descheduled when others are enabled (fairness)
+    /// and the preemption bound may pin the current thread.
+    fn concurrent_candidates(&mut self, enabled: &[usize], after_yield: bool) -> Option<Vec<usize>> {
+        if let Some(cur) = self.current {
+            if after_yield {
+                let others: Vec<usize> = enabled.iter().copied().filter(|&t| t != cur).collect();
+                if !others.is_empty() {
+                    return Some(others);
+                }
+                return Some(vec![cur]);
+            }
+            // Preemption bound: once the budget is used up, keep running
+            // the current thread as long as it is enabled and mid-stream.
+            if let Some(bound) = self.config.preemption_bound {
+                let th = &self.threads[cur];
+                if self.preemptions >= bound && th.status == Status::Runnable && !th.at_boundary {
+                    return Some(vec![cur]);
+                }
+            }
+        }
+        Some(enabled.to_vec())
+    }
+
+    /// Makes a nondeterministic boolean choice (e.g. for modelled
+    /// timeouts); recorded in the schedule.
+    pub fn pick_bool(&mut self, me: usize) -> bool {
+        let strategy = self.strategy.as_mut().expect("strategy present during run");
+        let idx = strategy.choose(2);
+        self.decisions.push(idx);
+        let value = idx == 1;
+        self.schedule.push(Choice::Bool(value));
+        if self.config.record_accesses {
+            self.access_log.push(AccessEvent {
+                step: self.step,
+                thread: ThreadId(me),
+                obj: AccessEvent::NO_OBJ,
+                kind: AccessKind::ChoiceBool { value },
+                op_index: self.threads[me].op_index,
+            });
+        }
+        value
+    }
+
+    pub fn set_status(&mut self, t: usize, status: Status) {
+        self.threads[t].status = status;
+    }
+
+    pub fn status(&self, t: usize) -> Status {
+        self.threads[t].status
+    }
+}

@@ -1,0 +1,439 @@
+//! Search strategies: exhaustive DFS with replay, random walk, and fixed
+//! replay of a recorded schedule.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::ThreadId;
+
+/// One recorded scheduling decision, for replay and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// The thread scheduled at this point.
+    Thread(ThreadId),
+    /// A nondeterministic boolean choice.
+    Bool(bool),
+}
+
+/// A search strategy enumerates the choice tree of the program: at every
+/// point with more than one alternative, [`Strategy::choose`] picks one.
+///
+/// Strategies must be deterministic functions of the choice history within
+/// a run so that replayed prefixes reproduce identical executions.
+pub trait Strategy {
+    /// Called before each run.
+    fn begin_run(&mut self);
+    /// Picks one of `num_alts >= 2` alternatives (boolean choices use
+    /// `num_alts == 2`).
+    fn choose(&mut self, num_alts: usize) -> usize;
+    /// Picks among candidate *threads*, identified by their ids. The
+    /// default implementation delegates to [`Strategy::choose`];
+    /// priority-based strategies (like [`PctStrategy`]) override it to
+    /// use the identities.
+    fn choose_thread(&mut self, candidates: &[usize], _step: usize) -> usize {
+        self.choose(candidates.len())
+    }
+    /// Called after each run; returns `true` if another run should be
+    /// executed (i.e. unexplored choices remain).
+    fn end_run(&mut self) -> bool;
+}
+
+/// Exhaustive depth-first search over the choice tree.
+///
+/// The strategy keeps the path of decisions of the previous run; each new
+/// run replays the prefix and diverges at the deepest decision that still
+/// has unexplored alternatives. This is the classic stateless
+/// model-checking search of CHESS (without reduction).
+#[derive(Debug, Default)]
+pub struct DfsStrategy {
+    path: Vec<DfsNode>,
+    cursor: usize,
+    /// Largest decision depth seen, for statistics.
+    pub max_depth: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DfsNode {
+    num_alts: usize,
+    chosen: usize,
+}
+
+impl DfsStrategy {
+    /// Creates a fresh DFS over an unexplored tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for DfsStrategy {
+    fn begin_run(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        debug_assert!(num_alts >= 2);
+        if self.cursor < self.path.len() {
+            let node = self.path[self.cursor];
+            assert_eq!(
+                node.num_alts, num_alts,
+                "nondeterministic replay: the program must make the same \
+                 choices given the same schedule prefix"
+            );
+            self.cursor += 1;
+            node.chosen
+        } else {
+            self.path.push(DfsNode { num_alts, chosen: 0 });
+            self.cursor += 1;
+            self.max_depth = self.max_depth.max(self.path.len());
+            0
+        }
+    }
+
+    fn end_run(&mut self) -> bool {
+        debug_assert_eq!(self.cursor, self.path.len(), "run must consume its whole path");
+        while let Some(last) = self.path.last_mut() {
+            if last.chosen + 1 < last.num_alts {
+                last.chosen += 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+/// Uniform random walk: every choice is picked uniformly at random.
+///
+/// Used for quick bug hunting on tests too large for exhaustive search;
+/// Line-Up's completeness guarantee (Theorem 5) is unaffected because any
+/// violation found is still a real violation, but passing loses the
+/// exhaustiveness of phase 2.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    rng: SmallRng,
+    runs_left: u64,
+}
+
+impl RandomStrategy {
+    /// Creates a random walk with the given seed performing `runs` runs.
+    pub fn new(seed: u64, runs: u64) -> Self {
+        RandomStrategy {
+            rng: SmallRng::seed_from_u64(seed),
+            runs_left: runs,
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn begin_run(&mut self) {}
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        self.rng.gen_range(0..num_alts)
+    }
+
+    fn end_run(&mut self) -> bool {
+        self.runs_left = self.runs_left.saturating_sub(1);
+        self.runs_left > 0
+    }
+}
+
+/// Replays a fixed schedule once (e.g. to re-execute a violating run for
+/// debugging). Thread choices are resolved by matching the recorded thread
+/// against the candidate list, so the replay tolerates recorded singleton
+/// decisions that the runtime does not consult the strategy for.
+#[derive(Debug)]
+pub struct ReplayStrategy {
+    choices: Vec<usize>,
+    cursor: usize,
+}
+
+impl ReplayStrategy {
+    /// Creates a replay of raw alternative indexes, in decision order.
+    pub fn from_indexes(choices: Vec<usize>) -> Self {
+        ReplayStrategy { choices, cursor: 0 }
+    }
+}
+
+impl Strategy for ReplayStrategy {
+    fn begin_run(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        let idx = self.choices.get(self.cursor).copied().unwrap_or(0);
+        self.cursor += 1;
+        idx.min(num_alts - 1)
+    }
+
+    fn end_run(&mut self) -> bool {
+        false
+    }
+}
+
+/// Probabilistic concurrency testing (PCT): assigns each thread a random
+/// priority, always runs the highest-priority candidate, and lowers the
+/// running priority at `depth − 1` randomly chosen steps.
+///
+/// PCT (Burckhardt, Kothari, Musuvathi, Nagarakatte, ASPLOS 2010 — by the
+/// Line-Up authors) guarantees that a bug requiring `d` ordering
+/// constraints within `k` steps is found with probability ≥ 1/(n·k^{d−1})
+/// per run, typically far better than uniform random walk. Included here
+/// as an alternative phase-2 search for tests too large to explore
+/// exhaustively.
+#[derive(Debug)]
+pub struct PctStrategy {
+    rng: SmallRng,
+    runs_left: u64,
+    /// Estimated schedule length, used to sample priority-change points;
+    /// adapted to the longest run seen so far.
+    est_steps: usize,
+    depth: usize,
+    priorities: Vec<u64>,
+    change_points: Vec<usize>,
+    next_change: usize,
+    step: usize,
+}
+
+impl PctStrategy {
+    /// Creates a PCT search with the given seed, bug depth (number of
+    /// priority-change points + 1), and run budget.
+    pub fn new(seed: u64, depth: usize, runs: u64) -> Self {
+        let mut s = PctStrategy {
+            rng: SmallRng::seed_from_u64(seed),
+            runs_left: runs,
+            est_steps: 64,
+            depth: depth.max(1),
+            priorities: Vec::new(),
+            change_points: Vec::new(),
+            next_change: 0,
+            step: 0,
+        };
+        s.reseed_run();
+        s
+    }
+
+    fn reseed_run(&mut self) {
+        self.priorities.clear();
+        self.step = 0;
+        self.next_change = 0;
+        self.change_points = (0..self.depth.saturating_sub(1))
+            .map(|_| self.rng.gen_range(0..self.est_steps.max(1)))
+            .collect();
+        self.change_points.sort_unstable();
+    }
+
+    fn priority(&mut self, thread: usize) -> u64 {
+        while self.priorities.len() <= thread {
+            // High random priorities; change points assign low ones.
+            let p = self.rng.gen_range(1_000_000..2_000_000);
+            self.priorities.push(p);
+        }
+        self.priorities[thread]
+    }
+}
+
+impl Strategy for PctStrategy {
+    fn begin_run(&mut self) {
+        self.reseed_run();
+    }
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        // Non-thread (boolean) choices are sampled uniformly.
+        self.rng.gen_range(0..num_alts)
+    }
+
+    fn choose_thread(&mut self, candidates: &[usize], _step: usize) -> usize {
+        self.step += 1;
+        // Pick the highest-priority candidate.
+        let (mut best_idx, mut best_p) = (0, 0u64);
+        for (i, &t) in candidates.iter().enumerate() {
+            let p = self.priority(t);
+            if p > best_p {
+                best_p = p;
+                best_idx = i;
+            }
+        }
+        // At a change point, demote the would-be winner and re-pick.
+        // Successive change points assign *decreasing* priorities, so a
+        // thread demoted later sinks below threads demoted earlier —
+        // enabling alternation patterns (A runs, B runs, A runs, …).
+        while self.next_change < self.change_points.len()
+            && self.step > self.change_points[self.next_change]
+        {
+            let demoted = candidates[best_idx];
+            self.priorities[demoted] = (self.depth - 1 - self.next_change) as u64;
+            self.next_change += 1;
+            let (mut idx, mut p) = (0, 0u64);
+            for (i, &t) in candidates.iter().enumerate() {
+                let pt = self.priority(t);
+                if pt > p {
+                    p = pt;
+                    idx = i;
+                }
+            }
+            best_idx = idx;
+        }
+        best_idx
+    }
+
+    fn end_run(&mut self) -> bool {
+        self.est_steps = self.est_steps.max(self.step);
+        self.runs_left = self.runs_left.saturating_sub(1);
+        self.runs_left > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a DFS strategy through a synthetic choice tree where every
+    /// run makes `depth` binary choices; checks that all 2^depth leaves
+    /// are visited exactly once.
+    #[test]
+    fn dfs_enumerates_binary_tree() {
+        let mut dfs = DfsStrategy::new();
+        let depth = 4;
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            dfs.begin_run();
+            let mut leaf = 0usize;
+            for _ in 0..depth {
+                leaf = (leaf << 1) | dfs.choose(2);
+            }
+            assert!(seen.insert(leaf), "leaf visited twice: {leaf:#b}");
+            if !dfs.end_run() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 1 << depth);
+    }
+
+    /// A tree with varying arity per level.
+    #[test]
+    fn dfs_enumerates_mixed_arity_tree() {
+        let mut dfs = DfsStrategy::new();
+        let arities = [3usize, 2, 4];
+        let mut count = 0;
+        loop {
+            dfs.begin_run();
+            for &a in &arities {
+                let c = dfs.choose(a);
+                assert!(c < a);
+            }
+            count += 1;
+            if !dfs.end_run() {
+                break;
+            }
+        }
+        assert_eq!(count, 3 * 2 * 4);
+    }
+
+    /// The number of choices may depend on earlier choices (like enabled
+    /// sets depend on the schedule); DFS must still visit every leaf.
+    #[test]
+    fn dfs_enumerates_dependent_tree() {
+        let mut dfs = DfsStrategy::new();
+        let mut count = 0;
+        loop {
+            dfs.begin_run();
+            let first = dfs.choose(2);
+            if first == 0 {
+                dfs.choose(3);
+            } else {
+                dfs.choose(2);
+                dfs.choose(2);
+            }
+            count += 1;
+            if !dfs.end_run() {
+                break;
+            }
+        }
+        // 3 leaves under first=0, 4 leaves under first=1.
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn dfs_single_run_when_no_choices() {
+        let mut dfs = DfsStrategy::new();
+        dfs.begin_run();
+        assert!(!dfs.end_run());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic replay")]
+    fn dfs_detects_nondeterministic_replay() {
+        let mut dfs = DfsStrategy::new();
+        dfs.begin_run();
+        dfs.choose(2);
+        dfs.choose(2);
+        assert!(dfs.end_run());
+        dfs.begin_run();
+        dfs.choose(3); // arity changed: the program was not deterministic
+    }
+
+    #[test]
+    fn random_respects_run_budget() {
+        let mut r = RandomStrategy::new(42, 3);
+        r.begin_run();
+        let c = r.choose(5);
+        assert!(c < 5);
+        assert!(r.end_run());
+        assert!(r.end_run());
+        assert!(!r.end_run());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = RandomStrategy::new(7, 100);
+        let mut b = RandomStrategy::new(7, 100);
+        for _ in 0..50 {
+            assert_eq!(a.choose(4), b.choose(4));
+        }
+    }
+
+    #[test]
+    fn pct_always_picks_a_candidate() {
+        let mut pct = PctStrategy::new(9, 3, 10);
+        for _ in 0..3 {
+            pct.begin_run();
+            for step in 0..30 {
+                let cands = [0usize, 1, 2];
+                let idx = pct.choose_thread(&cands, step);
+                assert!(idx < cands.len());
+            }
+            pct.end_run();
+        }
+    }
+
+    #[test]
+    fn pct_respects_run_budget() {
+        let mut pct = PctStrategy::new(1, 2, 2);
+        pct.begin_run();
+        assert!(pct.end_run());
+        assert!(!pct.end_run());
+    }
+
+    #[test]
+    fn pct_is_priority_stable_within_a_run() {
+        // Without change points (depth 1), the same candidate set always
+        // yields the same winner within one run.
+        let mut pct = PctStrategy::new(4, 1, 10);
+        pct.begin_run();
+        let cands = [0usize, 1, 2, 3];
+        let first = pct.choose_thread(&cands, 0);
+        for step in 1..20 {
+            assert_eq!(pct.choose_thread(&cands, step), first);
+        }
+    }
+
+    #[test]
+    fn replay_follows_and_clamps() {
+        let mut r = ReplayStrategy::from_indexes(vec![1, 5]);
+        r.begin_run();
+        assert_eq!(r.choose(2), 1);
+        assert_eq!(r.choose(3), 2); // clamped to num_alts - 1
+        assert_eq!(r.choose(2), 0); // exhausted: defaults to 0
+        assert!(!r.end_run());
+    }
+}

@@ -1,0 +1,238 @@
+//! Interlocked (atomic) cells.
+
+use lineup_sched::{log_access, register_object, schedule, AccessKind, ObjId};
+
+/// An atomic cell supporting interlocked operations, the model counterpart
+/// of .NET's `Interlocked` family (and of `std::sync::atomic`).
+///
+/// Every operation is a schedule point under the model and is recorded in
+/// the access log as a synchronizing access (so the happens-before race
+/// detector of `lineup-checkers` treats it like the paper's interlocked
+/// operations: racy by design, but never a *data* race — §5.6).
+///
+/// # Example
+///
+/// ```
+/// use lineup_sync::Atomic;
+///
+/// let a = Atomic::new(41usize);
+/// assert_eq!(a.fetch_add(1), 41);
+/// assert_eq!(a.load(), 42);
+/// assert_eq!(a.compare_exchange(42, 7), Ok(42));
+/// assert_eq!(a.compare_exchange(42, 9), Err(7));
+/// ```
+#[derive(Debug)]
+pub struct Atomic<T> {
+    id: ObjId,
+    value: std::sync::Mutex<T>,
+}
+
+impl<T: Copy + PartialEq> Atomic<T> {
+    /// Creates a new atomic cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Atomic {
+            id: register_object(),
+            value: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Atomically reads the value.
+    pub fn load(&self) -> T {
+        schedule(self.id);
+        let v = *self.value.lock().unwrap();
+        log_access(self.id, AccessKind::AtomicLoad);
+        v
+    }
+
+    /// Atomically writes the value.
+    pub fn store(&self, value: T) {
+        schedule(self.id);
+        *self.value.lock().unwrap() = value;
+        log_access(self.id, AccessKind::AtomicStore);
+    }
+
+    /// Atomically replaces the value, returning the previous one
+    /// (.NET `Interlocked.Exchange`).
+    pub fn swap(&self, value: T) -> T {
+        schedule(self.id);
+        let old = std::mem::replace(&mut *self.value.lock().unwrap(), value);
+        log_access(self.id, AccessKind::AtomicRmw { success: true });
+        old
+    }
+
+    /// Atomic compare-and-swap (.NET `Interlocked.CompareExchange`):
+    /// if the current value equals `expected`, replaces it with `new` and
+    /// returns `Ok(expected)`; otherwise leaves it unchanged and returns
+    /// `Err(current)`.
+    pub fn compare_exchange(&self, expected: T, new: T) -> Result<T, T> {
+        schedule(self.id);
+        let mut g = self.value.lock().unwrap();
+        if *g == expected {
+            *g = new;
+            drop(g);
+            log_access(self.id, AccessKind::AtomicRmw { success: true });
+            Ok(expected)
+        } else {
+            let cur = *g;
+            drop(g);
+            log_access(self.id, AccessKind::AtomicRmw { success: false });
+            Err(cur)
+        }
+    }
+
+    /// Atomically applies `f` to the value, storing the result and
+    /// returning the previous value. (A convenience not present in
+    /// hardware; equivalent to a CAS loop that always succeeds, used where
+    /// the modelled code would loop until its CAS succeeds and the loop
+    /// body has no other effects.)
+    pub fn fetch_update(&self, f: impl FnOnce(T) -> T) -> T {
+        schedule(self.id);
+        let mut g = self.value.lock().unwrap();
+        let old = *g;
+        *g = f(old);
+        drop(g);
+        log_access(self.id, AccessKind::AtomicRmw { success: true });
+        old
+    }
+}
+
+macro_rules! atomic_int_ops {
+    ($($t:ty),*) => {$(
+        impl Atomic<$t> {
+            /// Atomically adds, returning the previous value
+            /// (.NET `Interlocked.Add` returns the new value; this follows
+            /// the Rust convention of returning the old one).
+            pub fn fetch_add(&self, n: $t) -> $t {
+                self.fetch_update(|v| v.wrapping_add(n))
+            }
+
+            /// Atomically subtracts, returning the previous value.
+            pub fn fetch_sub(&self, n: $t) -> $t {
+                self.fetch_update(|v| v.wrapping_sub(n))
+            }
+        }
+    )*};
+}
+
+atomic_int_ops!(usize, u32, u64, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup_sched::{explore, Config};
+    use std::ops::ControlFlow;
+    use std::sync::Arc;
+
+    #[test]
+    fn unmodelled_basic_ops() {
+        let a = Atomic::new(5i64);
+        assert_eq!(a.load(), 5);
+        a.store(6);
+        assert_eq!(a.swap(7), 6);
+        assert_eq!(a.fetch_add(3), 7);
+        assert_eq!(a.fetch_sub(10), 10);
+        assert_eq!(a.load(), 0);
+        assert_eq!(a.fetch_update(|v| v + 100), 0);
+        assert_eq!(a.load(), 100);
+    }
+
+    #[test]
+    fn unmodelled_bool_cas() {
+        let a = Atomic::new(false);
+        assert_eq!(a.compare_exchange(false, true), Ok(false));
+        assert_eq!(a.compare_exchange(false, true), Err(true));
+    }
+
+    /// Two unsynchronized read-modify-write sequences built from separate
+    /// load and store (i.e. *not* atomic) must lose an update in some
+    /// interleaving, while fetch_add never does.
+    #[test]
+    fn model_finds_lost_update_with_split_rmw() {
+        let results = std::cell::RefCell::new(Vec::new());
+        let cell: std::rc::Rc<std::cell::RefCell<Option<Arc<Atomic<usize>>>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(None));
+        let cell2 = std::rc::Rc::clone(&cell);
+        explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let a = Arc::new(Atomic::new(0usize));
+                *cell2.borrow_mut() = Some(Arc::clone(&a));
+                for _ in 0..2 {
+                    let a = Arc::clone(&a);
+                    ex.spawn(move || {
+                        let v = a.load();
+                        a.store(v + 1);
+                    });
+                }
+            },
+            |_| {
+                let a = cell.borrow().clone().unwrap();
+                results.borrow_mut().push(*a.value.lock().unwrap());
+                ControlFlow::Continue(())
+            },
+        );
+        let results = results.into_inner();
+        assert!(results.contains(&1), "some schedule loses an update");
+        assert!(results.contains(&2), "some schedule keeps both updates");
+    }
+
+    /// fetch_add is atomic: no schedule loses an update.
+    #[test]
+    fn model_fetch_add_never_loses_updates() {
+        let results = std::cell::RefCell::new(Vec::new());
+        let cell: std::rc::Rc<std::cell::RefCell<Option<Arc<Atomic<usize>>>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(None));
+        let cell2 = std::rc::Rc::clone(&cell);
+        explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let a = Arc::new(Atomic::new(0usize));
+                *cell2.borrow_mut() = Some(Arc::clone(&a));
+                for _ in 0..2 {
+                    let a = Arc::clone(&a);
+                    ex.spawn(move || {
+                        a.fetch_add(1);
+                    });
+                }
+            },
+            |_| {
+                let a = cell.borrow().clone().unwrap();
+                results.borrow_mut().push(*a.value.lock().unwrap());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(results.into_inner().iter().all(|&v| v == 2));
+    }
+
+    /// CAS retry loops terminate and are atomic under the model.
+    #[test]
+    fn model_cas_loop_is_atomic() {
+        let results = std::cell::RefCell::new(Vec::new());
+        let cell: std::rc::Rc<std::cell::RefCell<Option<Arc<Atomic<usize>>>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(None));
+        let cell2 = std::rc::Rc::clone(&cell);
+        explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let a = Arc::new(Atomic::new(0usize));
+                *cell2.borrow_mut() = Some(Arc::clone(&a));
+                for _ in 0..2 {
+                    let a = Arc::clone(&a);
+                    ex.spawn(move || loop {
+                        let v = a.load();
+                        if a.compare_exchange(v, v + 1).is_ok() {
+                            break;
+                        }
+                    });
+                }
+            },
+            |run| {
+                assert_eq!(run.outcome, lineup_sched::RunOutcome::Complete);
+                let a = cell.borrow().clone().unwrap();
+                results.borrow_mut().push(*a.value.lock().unwrap());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(results.into_inner().iter().all(|&v| v == 2));
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain (non-volatile) shared fields.
+
+use lineup_sched::{log_access, register_object, schedule, AccessKind, ObjId};
+
+/// A plain shared field: reads and writes are schedule points and are
+/// logged as *data* accesses, so conflicting unordered accesses show up in
+/// the happens-before race detector of `lineup-checkers` (paper §5.6).
+///
+/// Components use `DataCell` for fields that the original .NET code left
+/// non-volatile because every access happens under a lock; accessing one
+/// outside the lock is exactly the kind of mistake race detection exists
+/// to find.
+///
+/// # Example
+///
+/// ```
+/// use lineup_sync::DataCell;
+///
+/// let items = DataCell::new(vec![1, 2, 3]);
+/// items.with_mut(|v| v.push(4));
+/// assert_eq!(items.with(|v| v.len()), 4);
+/// ```
+#[derive(Debug)]
+pub struct DataCell<T> {
+    id: ObjId,
+    value: std::sync::Mutex<T>,
+}
+
+impl<T> DataCell<T> {
+    /// Creates a new cell holding `value`.
+    pub fn new(value: T) -> Self {
+        DataCell {
+            id: register_object(),
+            value: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Reads through a closure (a data read).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        schedule(self.id);
+        let g = self.value.lock().unwrap();
+        let r = f(&g);
+        drop(g);
+        log_access(self.id, AccessKind::ReadData);
+        r
+    }
+
+    /// Writes through a closure (a data write).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        schedule(self.id);
+        let mut g = self.value.lock().unwrap();
+        let r = f(&mut g);
+        drop(g);
+        log_access(self.id, AccessKind::WriteData);
+        r
+    }
+
+    /// Replaces the value, returning the old one (a data write).
+    pub fn replace(&self, value: T) -> T {
+        self.with_mut(|v| std::mem::replace(v, value))
+    }
+
+    /// Stores a new value (a data write).
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+}
+
+impl<T: Copy> DataCell<T> {
+    /// Reads the value (a data read).
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+}
+
+impl<T: Clone> DataCell<T> {
+    /// Clones the value out (a data read).
+    pub fn get_clone(&self) -> T {
+        self.with(|v| v.clone())
+    }
+}
+
+impl<T: Default> DataCell<T> {
+    /// Takes the value, leaving the default (a data write).
+    pub fn take(&self) -> T {
+        self.with_mut(std::mem::take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let c = DataCell::new(1u32);
+        assert_eq!(c.get(), 1);
+        c.set(2);
+        assert_eq!(c.replace(3), 2);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn non_copy_values() {
+        let c = DataCell::new(String::from("a"));
+        c.with_mut(|s| s.push('b'));
+        assert_eq!(c.get_clone(), "ab");
+        assert_eq!(c.take(), "ab");
+        assert_eq!(c.get_clone(), "");
+    }
+}

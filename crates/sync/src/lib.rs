@@ -1,0 +1,45 @@
+//! Instrumented synchronization primitives scheduled by
+//! [`lineup-sched`](lineup_sched).
+//!
+//! The concurrent components under test (the `lineup-collections` crate, or
+//! any user component) are written against these types instead of
+//! `std::sync`. Every operation is a *schedule point*: under a model
+//! execution the scheduler may switch threads there, which is how the
+//! Line-Up checker enumerates all interleavings of a test (paper §3.2).
+//! Outside a model execution the same operations degrade to plain,
+//! unsynchronized accesses so the components remain usable for ordinary
+//! single-threaded work and doc examples (blocking operations are the one
+//! exception: they require the model scheduler).
+//!
+//! The vocabulary mirrors what the paper's .NET 4.0 subjects use:
+//!
+//! * [`Atomic`] — interlocked operations (`Interlocked.CompareExchange`,
+//!   `Interlocked.Increment`, …),
+//! * [`VolatileCell`] — `volatile` fields,
+//! * [`DataCell`] — plain (non-volatile) fields, which participate in data
+//!   race detection,
+//! * [`Mutex`] — a plain lock, including the *timed* acquire
+//!   (`Monitor.TryEnter(lock, timeout)`) whose modelled timeout exposes
+//!   the paper's Fig. 1 bug,
+//! * [`Monitor`] — a .NET-style monitor with `Wait`/`Pulse`/`PulseAll`,
+//! * [`RwLock`] — a writer-preferring reader–writer lock
+//!   (`ReaderWriterLockSlim`),
+//! * [`spin`] — spin-wait helpers that cooperate with the fair scheduler.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atomic;
+pub mod data;
+pub mod monitor;
+pub mod mutex;
+pub mod rwlock;
+pub mod spin;
+pub mod volatile;
+
+pub use atomic::Atomic;
+pub use data::DataCell;
+pub use monitor::Monitor;
+pub use mutex::{Mutex, MutexGuard};
+pub use rwlock::RwLock;
+pub use volatile::VolatileCell;

@@ -1,0 +1,387 @@
+//! .NET-style monitors: a reentrant lock with `Wait`/`Pulse`/`PulseAll`.
+
+use lineup_sched::{
+    block_current, log_access, register_object, schedule, unblock, AccessKind, BlockKind,
+    BlockResult, ObjId, ThreadId,
+};
+
+/// A monitor in the .NET sense: a reentrant lock plus a condition queue.
+///
+/// `Wait` releases the lock and blocks until another thread `Pulse`s the
+/// monitor while holding the lock; the woken thread then re-acquires the
+/// lock before returning (re-entering at its previous recursion depth).
+/// Unlike POSIX condition variables there are no spurious wakeups, which
+/// matters for reproducing lost-pulse bugs faithfully: a waiter that is
+/// never pulsed blocks forever, producing the stuck histories of the
+/// paper's §2.3 instead of silently re-checking.
+///
+/// # Example
+///
+/// ```
+/// use lineup_sync::Monitor;
+///
+/// let m = Monitor::new();
+/// m.enter();
+/// m.pulse_all(); // no waiters: a no-op
+/// m.exit();
+/// ```
+#[derive(Debug)]
+pub struct Monitor {
+    id: ObjId,
+    inner: std::sync::Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    owner: Option<ThreadId>,
+    depth: usize,
+    lock_waiters: Vec<ThreadId>,
+    cond_waiters: Vec<ThreadId>,
+}
+
+impl Monitor {
+    /// Creates a new monitor.
+    pub fn new() -> Self {
+        Monitor {
+            id: register_object(),
+            inner: std::sync::Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Enters (acquires) the monitor, blocking until available.
+    /// Re-entering from the owning thread increases the recursion depth.
+    pub fn enter(&self) {
+        let me = lineup_sched::current_thread();
+        loop {
+            schedule(self.id);
+            {
+                let mut g = self.inner.lock().unwrap();
+                if g.owner == Some(me) {
+                    g.depth += 1;
+                    return;
+                }
+                if g.owner.is_none() {
+                    g.owner = Some(me);
+                    g.depth = 1;
+                    drop(g);
+                    log_access(self.id, AccessKind::LockAcquire);
+                    return;
+                }
+                g.lock_waiters.push(me);
+            }
+            let _ = block_current(BlockKind::Untimed);
+        }
+    }
+
+    /// Exits (releases) the monitor once; the lock is freed when the
+    /// recursion depth reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn exit(&self) {
+        let me = lineup_sched::current_thread();
+        schedule(self.id);
+        let waiters = {
+            let mut g = self.inner.lock().unwrap();
+            assert_eq!(g.owner, Some(me), "exit by non-owner");
+            g.depth -= 1;
+            if g.depth > 0 {
+                return;
+            }
+            g.owner = None;
+            std::mem::take(&mut g.lock_waiters)
+        };
+        for w in waiters {
+            unblock(w);
+        }
+        log_access(self.id, AccessKind::LockRelease);
+    }
+
+    /// Releases the monitor fully and blocks until pulsed, then
+    /// re-acquires at the previous depth. Returns only after being pulsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor, or when
+    /// called outside a model execution.
+    pub fn wait(&self) {
+        assert!(self.wait_inner(false), "untimed wait cannot time out");
+    }
+
+    /// Like [`wait`](Monitor::wait), but with a modelled timeout
+    /// (`Monitor.Wait(obj, timeout)`): the scheduler may run the waiter
+    /// before it is pulsed, in which case this returns `false` (after
+    /// re-acquiring the lock).
+    pub fn wait_timed(&self) -> bool {
+        self.wait_inner(true)
+    }
+
+    fn wait_inner(&self, timed: bool) -> bool {
+        let me = lineup_sched::current_thread();
+        schedule(self.id);
+        let saved_depth;
+        {
+            let mut g = self.inner.lock().unwrap();
+            assert_eq!(g.owner, Some(me), "wait by non-owner");
+            saved_depth = g.depth;
+            g.owner = None;
+            g.depth = 0;
+            g.cond_waiters.push(me);
+            let waiters = std::mem::take(&mut g.lock_waiters);
+            drop(g);
+            for w in waiters {
+                unblock(w);
+            }
+        }
+        log_access(self.id, AccessKind::MonitorWait);
+        let pulsed = match block_current(if timed {
+            BlockKind::Timed
+        } else {
+            BlockKind::Untimed
+        }) {
+            BlockResult::Resumed => true,
+            BlockResult::TimedOut => {
+                let mut g = self.inner.lock().unwrap();
+                g.cond_waiters.retain(|&t| t != me);
+                false
+            }
+        };
+        // Re-acquire at the saved depth.
+        self.enter();
+        {
+            let mut g = self.inner.lock().unwrap();
+            g.depth = saved_depth;
+        }
+        pulsed
+    }
+
+    /// Wakes the longest-waiting thread (if any). The woken thread
+    /// contends for the lock once the pulser exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn pulse(&self) {
+        let me = lineup_sched::current_thread();
+        schedule(self.id);
+        let woken = {
+            let mut g = self.inner.lock().unwrap();
+            assert_eq!(g.owner, Some(me), "pulse by non-owner");
+            if g.cond_waiters.is_empty() {
+                None
+            } else {
+                Some(g.cond_waiters.remove(0))
+            }
+        };
+        if let Some(w) = woken {
+            unblock(w);
+        }
+        log_access(self.id, AccessKind::MonitorPulse { all: false });
+    }
+
+    /// Wakes all waiting threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn pulse_all(&self) {
+        let me = lineup_sched::current_thread();
+        schedule(self.id);
+        let woken = {
+            let mut g = self.inner.lock().unwrap();
+            assert_eq!(g.owner, Some(me), "pulse by non-owner");
+            std::mem::take(&mut g.cond_waiters)
+        };
+        for w in woken {
+            unblock(w);
+        }
+        log_access(self.id, AccessKind::MonitorPulse { all: true });
+    }
+
+    /// Whether the monitor is currently owned. For assertions.
+    pub fn is_held(&self) -> bool {
+        self.inner.lock().unwrap().owner.is_some()
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataCell;
+    use lineup_sched::{explore, Config, RunOutcome};
+    use std::ops::ControlFlow;
+    use std::sync::Arc;
+
+    #[test]
+    fn unmodelled_enter_exit_reentrant() {
+        let m = Monitor::new();
+        m.enter();
+        m.enter();
+        assert!(m.is_held());
+        m.exit();
+        assert!(m.is_held());
+        m.exit();
+        assert!(!m.is_held());
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse by non-owner")]
+    fn pulse_requires_ownership() {
+        Monitor::new().pulse();
+    }
+
+    /// The classic producer/consumer handshake: the consumer waits until
+    /// the producer sets the flag and pulses. All schedules complete.
+    #[test]
+    fn model_wait_pulse_handshake() {
+        let stats = explore(
+            &Config::exhaustive(),
+            |ex| {
+                let m = Arc::new(Monitor::new());
+                let ready = Arc::new(DataCell::new(false));
+                let (m2, r2) = (Arc::clone(&m), Arc::clone(&ready));
+                ex.spawn(move || {
+                    m.enter();
+                    while !ready.get() {
+                        m.wait();
+                    }
+                    m.exit();
+                });
+                ex.spawn(move || {
+                    m2.enter();
+                    r2.set(true);
+                    m2.pulse_all();
+                    m2.exit();
+                });
+            },
+            |run| {
+                assert_eq!(run.outcome, RunOutcome::Complete, "{:?}", run.schedule);
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(stats.complete > 0);
+    }
+
+    /// A waiter that is never pulsed deadlocks — exactly the stuck
+    /// histories Line-Up's generalized linearizability needs (§2.3).
+    #[test]
+    fn model_unpulsed_wait_deadlocks() {
+        let stats = explore(
+            &Config::exhaustive(),
+            |ex| {
+                let m = Arc::new(Monitor::new());
+                ex.spawn(move || {
+                    m.enter();
+                    m.wait();
+                    m.exit();
+                });
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(stats.deadlock, stats.runs);
+    }
+
+    /// Timed wait can fire and return false; the waiter still re-acquires
+    /// the lock and completes.
+    #[test]
+    fn model_timed_wait_can_time_out() {
+        let mut outcomes = std::collections::BTreeSet::new();
+        let probe = lineup_sched::Probe::new();
+        let setup_probe = probe.clone();
+        let stats = explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let m = Arc::new(Monitor::new());
+                let got = Arc::new(DataCell::new(None));
+                setup_probe.put(Arc::clone(&got));
+                let m2 = Arc::clone(&m);
+                ex.spawn(move || {
+                    m.enter();
+                    let pulsed = m.wait_timed();
+                    m.exit();
+                    got.set(Some(pulsed));
+                });
+                ex.spawn(move || {
+                    m2.enter();
+                    m2.pulse();
+                    m2.exit();
+                });
+            },
+            |run| {
+                let got = probe.take();
+                if run.outcome == RunOutcome::Complete {
+                    outcomes.insert(got.get().unwrap());
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(outcomes.contains(&false), "timeout fires in some schedule");
+        assert!(outcomes.contains(&true), "pulse lands in some schedule");
+        // A pulse that finds no waiter plus a wait that times out is fine;
+        // nothing should deadlock here: the waiter can always time out.
+        assert_eq!(stats.deadlock, 0);
+    }
+
+    /// pulse (single) wakes exactly one of two waiters; pulse_all wakes
+    /// both.
+    #[test]
+    fn model_pulse_one_vs_all() {
+        // With a single pulse, one waiter stays blocked: deadlock in all
+        // schedules.
+        let stats_one = explore(
+            &Config::preemption_bounded(2),
+            |ex| {
+                let m = Arc::new(Monitor::new());
+                for _ in 0..2 {
+                    let m = Arc::clone(&m);
+                    ex.spawn(move || {
+                        m.enter();
+                        m.wait();
+                        m.exit();
+                    });
+                }
+                let m3 = Arc::clone(&m);
+                ex.spawn(move || {
+                    m3.enter();
+                    m3.pulse();
+                    m3.exit();
+                });
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert!(stats_one.complete == 0);
+        assert!(stats_one.deadlock > 0);
+
+        // pulse_all after both waits: schedules where the pulser runs last
+        // complete.
+        let stats_all = explore(
+            &Config::preemption_bounded(2),
+            |ex| {
+                let m = Arc::new(Monitor::new());
+                for _ in 0..2 {
+                    let m = Arc::clone(&m);
+                    ex.spawn(move || {
+                        m.enter();
+                        m.wait();
+                        m.exit();
+                    });
+                }
+                let m3 = Arc::clone(&m);
+                ex.spawn(move || {
+                    m3.enter();
+                    m3.pulse_all();
+                    m3.exit();
+                });
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert!(stats_all.complete > 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Locks, including the modelled timed acquire.
+
+use lineup_sched::{
+    block_current, log_access, register_object, schedule, unblock, AccessKind, BlockKind,
+    BlockResult, ObjId, ThreadId,
+};
+
+/// A non-reentrant lock.
+///
+/// Besides plain [`acquire`](Mutex::acquire)/[`release`](Mutex::release)
+/// (usable RAII-style through [`lock`](Mutex::lock)), the type models
+/// .NET's `Monitor.TryEnter(lock, timeout)` as
+/// [`acquire_timed`](Mutex::acquire_timed): when the lock is contended,
+/// the scheduler may *choose* to fire the timeout, making the acquire fail
+/// spuriously. This is the mechanism behind the paper's Fig. 1 bug, where
+/// a `TryTake` was "caused by accidentally allowing a lock acquire ... to
+/// time out". In serial executions the lock is never contended, so timed
+/// acquires are deterministic there — exactly why Line-Up phase 1 still
+/// synthesizes a deterministic specification for such code.
+///
+/// The lock does not protect data by itself; pair it with
+/// [`DataCell`](crate::DataCell) fields, as the .NET originals pair
+/// `object` locks with plain fields.
+///
+/// # Example
+///
+/// ```
+/// use lineup_sync::{DataCell, Mutex};
+///
+/// let lock = Mutex::new();
+/// let count = DataCell::new(0);
+/// {
+///     let _guard = lock.lock();
+///     count.set(count.get() + 1);
+/// }
+/// assert_eq!(count.get(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Mutex {
+    id: ObjId,
+    inner: std::sync::Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    owner: Option<ThreadId>,
+    waiters: Vec<ThreadId>,
+}
+
+impl Mutex {
+    /// Creates a new, unowned lock.
+    pub fn new() -> Self {
+        Mutex {
+            id: register_object(),
+            inner: std::sync::Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread already owns the lock, or when forced
+    /// to block outside a model execution.
+    pub fn acquire(&self) {
+        let me = lineup_sched::current_thread();
+        loop {
+            schedule(self.id);
+            {
+                let mut g = self.inner.lock().unwrap();
+                assert_ne!(g.owner, Some(me), "Mutex is not reentrant");
+                if g.owner.is_none() {
+                    g.owner = Some(me);
+                    drop(g);
+                    log_access(self.id, AccessKind::LockAcquire);
+                    return;
+                }
+                g.waiters.push(me);
+            }
+            let _ = block_current(BlockKind::Untimed);
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking; returns whether it
+    /// was acquired.
+    pub fn try_acquire(&self) -> bool {
+        let me = lineup_sched::current_thread();
+        schedule(self.id);
+        let mut g = self.inner.lock().unwrap();
+        if g.owner.is_none() {
+            g.owner = Some(me);
+            drop(g);
+            log_access(self.id, AccessKind::LockAcquire);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acquires the lock with a modelled timeout: if the lock is held, the
+    /// scheduler nondeterministically either grants the lock once released
+    /// or fires the timeout, in which case this returns `false`.
+    ///
+    /// Models `Monitor.TryEnter(lock, timeout)`. Deterministic (always
+    /// `true`) when uncontended — in particular in serial executions.
+    pub fn acquire_timed(&self) -> bool {
+        let me = lineup_sched::current_thread();
+        loop {
+            schedule(self.id);
+            {
+                let mut g = self.inner.lock().unwrap();
+                assert_ne!(g.owner, Some(me), "Mutex is not reentrant");
+                if g.owner.is_none() {
+                    g.owner = Some(me);
+                    drop(g);
+                    log_access(self.id, AccessKind::LockAcquire);
+                    return true;
+                }
+                g.waiters.push(me);
+            }
+            match block_current(BlockKind::Timed) {
+                BlockResult::Resumed => continue,
+                BlockResult::TimedOut => {
+                    let mut g = self.inner.lock().unwrap();
+                    g.waiters.retain(|&t| t != me);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Releases the lock and wakes all waiters (they re-contend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the lock.
+    pub fn release(&self) {
+        let me = lineup_sched::current_thread();
+        schedule(self.id);
+        let waiters = {
+            let mut g = self.inner.lock().unwrap();
+            assert_eq!(g.owner, Some(me), "release by non-owner");
+            g.owner = None;
+            std::mem::take(&mut g.waiters)
+        };
+        for w in waiters {
+            unblock(w);
+        }
+        log_access(self.id, AccessKind::LockRelease);
+    }
+
+    /// Acquires the lock and returns an RAII guard releasing it on drop.
+    pub fn lock(&self) -> MutexGuard<'_> {
+        self.acquire();
+        MutexGuard { mutex: self }
+    }
+
+    /// Whether the lock is currently held (by anyone). For assertions.
+    pub fn is_held(&self) -> bool {
+        self.inner.lock().unwrap().owner.is_some()
+    }
+}
+
+impl Default for Mutex {
+    fn default() -> Self {
+        Mutex::new()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a> {
+    mutex: &'a Mutex,
+}
+
+impl Drop for MutexGuard<'_> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataCell;
+    use lineup_sched::{explore, Config, RunOutcome};
+    use std::ops::ControlFlow;
+    use std::sync::Arc;
+
+    #[test]
+    fn unmodelled_acquire_release() {
+        let m = Mutex::new();
+        assert!(!m.is_held());
+        m.acquire();
+        assert!(m.is_held());
+        m.release();
+        assert!(!m.is_held());
+        assert!(m.try_acquire());
+        assert!(!m.try_acquire());
+        m.release();
+        assert!(m.acquire_timed());
+        m.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "release by non-owner")]
+    fn release_without_acquire_panics() {
+        Mutex::new().release();
+    }
+
+    /// Mutual exclusion: increments under the lock are never lost.
+    #[test]
+    fn model_mutual_exclusion() {
+        let mut finals = Vec::new();
+        let probe = lineup_sched::Probe::new();
+        let setup_probe = probe.clone();
+        explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let m = Arc::new(Mutex::new());
+                let c = Arc::new(DataCell::new(0u32));
+                setup_probe.put(Arc::clone(&c));
+                for _ in 0..2 {
+                    let m = Arc::clone(&m);
+                    let c = Arc::clone(&c);
+                    ex.spawn(move || {
+                        m.acquire();
+                        let v = c.get();
+                        c.set(v + 1);
+                        m.release();
+                    });
+                }
+            },
+            |run| {
+                assert_eq!(run.outcome, RunOutcome::Complete);
+                finals.push(probe.take().get());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(!finals.is_empty());
+        assert!(finals.iter().all(|&v| v == 2));
+    }
+
+    /// Without the lock, the same increments lose updates somewhere.
+    #[test]
+    fn model_without_lock_loses_updates() {
+        let mut finals = Vec::new();
+        let probe = lineup_sched::Probe::new();
+        let setup_probe = probe.clone();
+        explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let c = Arc::new(DataCell::new(0u32));
+                setup_probe.put(Arc::clone(&c));
+                for _ in 0..2 {
+                    let c = Arc::clone(&c);
+                    ex.spawn(move || {
+                        let v = c.get();
+                        c.set(v + 1);
+                    });
+                }
+            },
+            |_| {
+                finals.push(probe.take().get());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(finals.contains(&1));
+    }
+
+    /// A thread that forgets to release deadlocks the other acquirer.
+    #[test]
+    fn model_missing_release_deadlocks() {
+        let stats = explore(
+            &Config::exhaustive(),
+            |ex| {
+                let m = Arc::new(Mutex::new());
+                let m2 = Arc::clone(&m);
+                ex.spawn(move || {
+                    m.acquire(); // never released
+                });
+                ex.spawn(move || {
+                    m2.acquire();
+                    m2.release();
+                });
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert!(stats.deadlock > 0, "some schedule deadlocks");
+        assert!(stats.complete > 0, "thread 2 first, then thread 1 completes");
+    }
+
+    /// acquire_timed under contention can fail, and can also succeed after
+    /// the holder releases.
+    #[test]
+    fn model_timed_acquire_both_outcomes() {
+        let mut outcomes = std::collections::BTreeSet::new();
+        let probe = lineup_sched::Probe::new();
+        let setup_probe = probe.clone();
+        explore(
+            &Config::exhaustive(),
+            move |ex| {
+                let m = Arc::new(Mutex::new());
+                let got = Arc::new(DataCell::new(None));
+                setup_probe.put(Arc::clone(&got));
+                let m2 = Arc::clone(&m);
+                ex.spawn(move || {
+                    m.acquire();
+                    m.release();
+                });
+                ex.spawn(move || {
+                    let ok = m2.acquire_timed();
+                    if ok {
+                        m2.release();
+                    }
+                    got.set(Some(ok));
+                });
+            },
+            |run| {
+                assert_eq!(run.outcome, RunOutcome::Complete);
+                outcomes.insert(probe.take().get().unwrap());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(outcomes.contains(&true), "uncontended or granted");
+        assert!(outcomes.contains(&false), "timeout fires in some schedule");
+    }
+
+    /// In serial mode acquire_timed never fails (no contention).
+    #[test]
+    fn serial_timed_acquire_is_deterministic() {
+        let stats = explore(
+            &Config::serial(),
+            |ex| {
+                let m = Arc::new(Mutex::new());
+                for _ in 0..2 {
+                    let m = Arc::clone(&m);
+                    ex.spawn(move || {
+                        lineup_sched::op_boundary();
+                        assert!(m.acquire_timed());
+                        m.release();
+                    });
+                }
+            },
+            |run| {
+                assert_eq!(run.outcome, RunOutcome::Complete);
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(stats.complete, stats.runs);
+    }
+
+    /// RAII guard releases on drop, including on unwind-free early return.
+    #[test]
+    fn guard_releases() {
+        let m = Mutex::new();
+        {
+            let _g = m.lock();
+            assert!(m.is_held());
+        }
+        assert!(!m.is_held());
+    }
+}

@@ -1,0 +1,110 @@
+//! Spin-wait helpers that cooperate with the fair scheduler.
+
+use lineup_sched::yield_point;
+
+/// Spins until `cond` returns `true`, yielding to the fair scheduler
+/// between probes.
+///
+/// Under the model, each yield deschedules the spinner in favour of other
+/// enabled threads; if the condition can never become true, the fair
+/// scheduler declares a livelock and the run becomes a stuck history — the
+/// behaviour Line-Up's generalized linearizability inspects (§2.3).
+/// Outside the model this falls back to [`std::thread::yield_now`].
+///
+/// # Example
+///
+/// ```
+/// use lineup_sync::{spin, Atomic};
+///
+/// let flag = Atomic::new(true);
+/// spin::spin_until(|| flag.load()); // already true: returns immediately
+/// ```
+pub fn spin_until(mut cond: impl FnMut() -> bool) {
+    while !cond() {
+        if lineup_sched::is_model_active() {
+            yield_point();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Spins at most `max_probes` times; returns whether the condition became
+/// true. Components use this for bounded "spin then block" fast paths
+/// (like .NET's `SpinWait` before a kernel wait).
+pub fn spin_bounded(max_probes: usize, mut cond: impl FnMut() -> bool) -> bool {
+    for _ in 0..max_probes {
+        if cond() {
+            return true;
+        }
+        if lineup_sched::is_model_active() {
+            yield_point();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    cond()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Atomic;
+    use lineup_sched::{explore, Config, RunOutcome};
+    use std::ops::ControlFlow;
+    use std::sync::Arc;
+
+    #[test]
+    fn unmodelled_spin_until_true() {
+        let mut n = 0;
+        spin_until(|| {
+            n += 1;
+            n >= 3
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn unmodelled_spin_bounded() {
+        assert!(spin_bounded(5, || true));
+        let mut n = 0;
+        assert!(!spin_bounded(3, || {
+            n += 1;
+            false
+        }));
+    }
+
+    /// A spinner waiting on a flag set by another thread always completes
+    /// under the fair scheduler.
+    #[test]
+    fn model_spinner_completes_when_flag_is_set() {
+        let stats = explore(
+            &Config::exhaustive(),
+            |ex| {
+                let flag = Arc::new(Atomic::new(false));
+                let f2 = Arc::clone(&flag);
+                ex.spawn(move || spin_until(|| flag.load()));
+                ex.spawn(move || f2.store(true));
+            },
+            |run| {
+                assert_eq!(run.outcome, RunOutcome::Complete);
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(stats.complete, stats.runs);
+    }
+
+    /// A spinner whose flag is never set is a fair livelock.
+    #[test]
+    fn model_spinner_livelocks_without_setter() {
+        let stats = explore(
+            &Config::exhaustive(),
+            |ex| {
+                let flag = Arc::new(Atomic::new(false));
+                ex.spawn(move || spin_until(|| flag.load()));
+            },
+            |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(stats.livelock, stats.runs);
+    }
+}

@@ -1,0 +1,382 @@
+//! Direct model-checked invariants of the collection classes: instead of
+//! Line-Up's black-box witness checking, these tests assert structural
+//! invariants inside exhaustive (or preemption-bounded) explorations —
+//! complementary evidence that the fixed variants are correct.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use lineup_collections::barrier::Barrier;
+use lineup_collections::blocking_collection::BlockingCollection;
+use lineup_collections::concurrent_dictionary::ConcurrentDictionary;
+use lineup_collections::concurrent_queue::ConcurrentQueue;
+use lineup_collections::concurrent_stack::ConcurrentStack;
+use lineup_collections::countdown_event::CountdownEvent;
+use lineup_collections::semaphore_slim::SemaphoreSlim;
+use lineup_collections::task_completion_source::TaskCompletionSource;
+use lineup_sched::{explore, Config, Probe, RunOutcome};
+
+#[test]
+fn queue_preserves_per_producer_fifo() {
+    // Two producers each enqueue an ascending pair; every schedule must
+    // dequeue each producer's elements in order.
+    let probe: Probe<Arc<ConcurrentQueue>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let q = Arc::new(ConcurrentQueue::new());
+            setup.put(Arc::clone(&q));
+            for base in [10i64, 20] {
+                let q = Arc::clone(&q);
+                ex.spawn(move || {
+                    q.enqueue(base);
+                    q.enqueue(base + 1);
+                });
+            }
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let q = probe.take();
+            let drained: Vec<i64> = std::iter::from_fn(|| q.try_dequeue()).collect();
+            assert_eq!(drained.len(), 4);
+            let tens: Vec<i64> = drained.iter().copied().filter(|v| *v < 20).collect();
+            let twenties: Vec<i64> = drained.iter().copied().filter(|v| *v >= 20).collect();
+            assert_eq!(tens, vec![10, 11], "producer 1 order preserved");
+            assert_eq!(twenties, vec![20, 21], "producer 2 order preserved");
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn stack_pop_range_is_contiguous() {
+    // With [3,2,1] on the stack and a concurrent pop, the fixed
+    // TryPopRange always unlinks a contiguous segment from the top.
+    type StackProbe = Probe<(Arc<ConcurrentStack>, Arc<lineup_sync::DataCell<Vec<i64>>>)>;
+    let probe: StackProbe = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let s = Arc::new(ConcurrentStack::new());
+            s.push(1);
+            s.push(2);
+            s.push(3);
+            let got = Arc::new(lineup_sync::DataCell::new(Vec::new()));
+            setup.put((Arc::clone(&s), Arc::clone(&got)));
+            let s2 = Arc::clone(&s);
+            ex.spawn(move || {
+                let range = s.try_pop_range(2);
+                got.set(range);
+            });
+            ex.spawn(move || {
+                let _ = s2.try_pop();
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let (_, got) = probe.take();
+            let range = got.get_clone();
+            // The only contiguous 2-segments of [3,2,1] are [3,2] and
+            // [2,1]; after a concurrent single pop, [3,2] or [2,1] remain
+            // possible, plus shorter leftovers.
+            assert!(
+                matches!(range.as_slice(), [3, 2] | [2, 1] | [3] | [2] | [1] | []),
+                "non-contiguous range {range:?}"
+            );
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn dictionary_count_matches_contents() {
+    let probe: Probe<Arc<ConcurrentDictionary>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let d = Arc::new(ConcurrentDictionary::new());
+            setup.put(Arc::clone(&d));
+            let d1 = Arc::clone(&d);
+            let d2 = Arc::clone(&d);
+            ex.spawn(move || {
+                d1.try_add(10, 1);
+                d1.try_remove(20);
+            });
+            ex.spawn(move || {
+                d2.try_add(20, 2);
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let d = probe.take();
+            let mut expected = 0;
+            for k in [10, 20] {
+                if d.contains_key(k) {
+                    expected += 1;
+                }
+            }
+            assert_eq!(d.count(), expected, "count matches surviving keys");
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn semaphore_count_is_conserved() {
+    // permits released == permits acquired + current count.
+    let probe: Probe<Arc<SemaphoreSlim>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let s = Arc::new(SemaphoreSlim::new(1));
+            setup.put(Arc::clone(&s));
+            let s1 = Arc::clone(&s);
+            let s2 = Arc::clone(&s);
+            ex.spawn(move || {
+                s1.release(2);
+            });
+            ex.spawn(move || {
+                let _got = s2.try_wait();
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let s = probe.take();
+            let count = s.current_count();
+            assert!(count == 2 || count == 3, "1 + 2 released − (0|1) taken, got {count}");
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn countdown_event_sets_exactly_at_zero() {
+    let probe: Probe<Arc<CountdownEvent>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let e = Arc::new(CountdownEvent::new(2));
+            setup.put(Arc::clone(&e));
+            for _ in 0..2 {
+                let e = Arc::clone(&e);
+                ex.spawn(move || {
+                    let _ = e.signal(1);
+                });
+            }
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let e = probe.take();
+            assert!(e.is_set(), "both signals landed");
+            assert_eq!(e.current_count(), 0);
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn barrier_advances_exactly_one_phase() {
+    let probe: Probe<Arc<Barrier>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let b = Arc::new(Barrier::new(2));
+            setup.put(Arc::clone(&b));
+            for _ in 0..2 {
+                let b = Arc::clone(&b);
+                ex.spawn(move || {
+                    assert_eq!(b.signal_and_wait(), 0, "both pass phase 0");
+                });
+            }
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete, "no schedule hangs");
+            let b = probe.take();
+            assert_eq!(b.current_phase_number(), 1);
+            assert_eq!(b.participants_remaining(), 2);
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn task_completion_has_exactly_one_winner() {
+    let probe: Probe<Arc<TaskCompletionSource>> = Probe::new();
+    let setup = probe.clone();
+    let wins: Probe<Arc<lineup_sync::DataCell<(bool, bool)>>> = Probe::new();
+    let wins_setup = wins.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let t = Arc::new(TaskCompletionSource::new());
+            let w = Arc::new(lineup_sync::DataCell::new((false, false)));
+            setup.put(Arc::clone(&t));
+            wins_setup.put(Arc::clone(&w));
+            let (t1, w1) = (Arc::clone(&t), Arc::clone(&w));
+            let (t2, w2) = (Arc::clone(&t), Arc::clone(&w));
+            ex.spawn(move || {
+                let won = t1.try_set_result(5);
+                w1.with_mut(|v| v.0 = won);
+            });
+            ex.spawn(move || {
+                let won = t2.try_set_canceled();
+                w2.with_mut(|v| v.1 = won);
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let t = probe.take();
+            let (result_won, cancel_won) = wins.take().get();
+            assert!(result_won ^ cancel_won, "exactly one completer wins");
+            if result_won {
+                assert_eq!(t.try_result(), Some(5));
+            } else {
+                assert_eq!(t.exception(), Some("TaskCanceledException"));
+            }
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn blocking_collection_bounded_capacity_is_respected() {
+    let probe: Probe<Arc<BlockingCollection>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let c = Arc::new(BlockingCollection::new(1));
+            setup.put(Arc::clone(&c));
+            let c1 = Arc::clone(&c);
+            let c2 = Arc::clone(&c);
+            ex.spawn(move || {
+                let _ = c1.try_add(1);
+                let _ = c1.try_add(2);
+            });
+            ex.spawn(move || {
+                let _ = c2.try_add(3);
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let c = probe.take();
+            assert!(c.to_vec().len() <= 1, "capacity 1 never exceeded");
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn queue_to_vec_snapshot_is_a_queue_state() {
+    // A snapshot taken during concurrent enqueue/dequeue is always some
+    // contiguous queue state (prefix removed, suffix possibly missing).
+    let probe: Probe<Arc<lineup_sync::DataCell<Vec<i64>>>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let q = Arc::new(ConcurrentQueue::new());
+            q.enqueue(1);
+            q.enqueue(2);
+            let snap = Arc::new(lineup_sync::DataCell::new(Vec::new()));
+            setup.put(Arc::clone(&snap));
+            let q2 = Arc::clone(&q);
+            ex.spawn(move || {
+                let v = q.to_vec();
+                snap.set(v);
+            });
+            ex.spawn(move || {
+                let _ = q2.try_dequeue();
+                q2.enqueue(3);
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let snap = probe.take().get_clone();
+            // Valid snapshots: any state of the queue along the way.
+            let valid: &[&[i64]] = &[&[1, 2], &[2], &[2, 3], &[1, 2, 3], &[]];
+            assert!(
+                valid.contains(&snap.as_slice()),
+                "snapshot {snap:?} is not a reachable queue state"
+            );
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn countdown_add_count_never_resurrects_a_set_event() {
+    // Once the event is set (count 0), TryAddCount must fail in every
+    // schedule — no race may resurrect the event.
+    let probe: Probe<Arc<CountdownEvent>> = Probe::new();
+    let setup = probe.clone();
+    explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let e = Arc::new(CountdownEvent::new(1));
+            setup.put(Arc::clone(&e));
+            let e1 = Arc::clone(&e);
+            let e2 = Arc::clone(&e);
+            ex.spawn(move || {
+                let _ = e1.signal(1);
+            });
+            ex.spawn(move || {
+                let _ = e2.try_add_count(1);
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete);
+            let e = probe.take();
+            // Either the add landed before the signal (count back to 1
+            // then down to... no: add makes 2, signal makes 1) or it
+            // failed after the event set. Never a set event with count>0
+            // or an unset event with count 0 mismatch.
+            assert_eq!(e.is_set(), e.current_count() == 0);
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+#[test]
+fn barrier_add_participant_during_wait_is_consistent() {
+    // AddParticipant racing a SignalAndWait either raises the bar before
+    // the waiters arrive (they block until a third arrival — which never
+    // comes, so those schedules deadlock) or after the phase completed.
+    // Either way the barrier's bookkeeping stays consistent.
+    let probe: Probe<Arc<Barrier>> = Probe::new();
+    let setup = probe.clone();
+    let stats = explore(
+        &Config::preemption_bounded(2),
+        move |ex| {
+            let b = Arc::new(Barrier::new(2));
+            setup.put(Arc::clone(&b));
+            for _ in 0..2 {
+                let b = Arc::clone(&b);
+                ex.spawn(move || {
+                    let _ = b.signal_and_wait();
+                });
+            }
+            let b3 = Arc::clone(&b);
+            ex.spawn(move || {
+                let _ = b3.add_participant();
+            });
+        },
+        |run| {
+            let b = probe.take();
+            assert_eq!(b.participant_count(), 3);
+            if run.outcome == RunOutcome::Complete {
+                // Phase advanced exactly once before the third seat existed.
+                assert_eq!(b.current_phase_number(), 1);
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    assert!(stats.complete > 0, "add-after-phase schedules complete");
+    assert!(stats.deadlock > 0, "add-before-arrival schedules strand the waiters");
+}

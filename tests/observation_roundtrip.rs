@@ -1,0 +1,110 @@
+//! Integration tests for the observation-file format (Fig. 7): the
+//! specifications synthesized from the real collection classes must
+//! round-trip through the file format, and specifications saved from one
+//! process can drive phase-2 checks in another (differential checking).
+
+use lineup::{
+    check_against_spec, parse_observation_file, write_observation_file,
+    CheckOptions, Invocation, TestMatrix,
+};
+use lineup_collections::{all_classes, Variant};
+
+fn small_matrix(entry_name: &str, invocations: &[Invocation]) -> TestMatrix {
+    // Two threads, first two catalog invocations each — enough to produce
+    // groups, blocking (for some classes) and non-trivial interleavings.
+    let a = invocations.first().cloned().unwrap_or_else(|| {
+        panic!("{entry_name} has an empty catalog")
+    });
+    let b = invocations.get(1).cloned().unwrap_or_else(|| a.clone());
+    TestMatrix::from_columns(vec![vec![a], vec![b]])
+}
+
+#[test]
+fn all_class_specs_roundtrip_through_the_file_format() {
+    for entry in all_classes().iter().filter(|e| e.variant == Variant::Fixed) {
+        let m = small_matrix(entry.name, &entry.target().invocations());
+        let (spec, _, panic) = entry.target().synthesize_spec(&m);
+        assert!(panic.is_none(), "{}: phase 1 must not panic", entry.name);
+        let text = write_observation_file(&spec);
+        let parsed = parse_observation_file(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{text}", entry.name));
+        assert_eq!(parsed, spec, "{} round-trips", entry.name);
+    }
+}
+
+#[test]
+fn specs_with_stuck_histories_roundtrip() {
+    // The semaphore's Wait blocks on an empty semaphore: the file gets
+    // blocking markers and '#' terminators.
+    let entry = all_classes()
+        .into_iter()
+        .find(|e| e.name == "SemaphoreSlim")
+        .unwrap();
+    let m = TestMatrix::from_columns(vec![
+        vec![Invocation::new("Wait")],
+        vec![Invocation::new("Release")],
+    ]);
+    let (spec, _, _) = entry.target().synthesize_spec(&m);
+    assert!(spec.stuck_count() > 0, "Wait-first serial runs block");
+    let text = write_observation_file(&spec);
+    assert!(text.contains('#'), "stuck histories are marked");
+    assert!(text.contains('B'), "blocking ops are marked");
+    let parsed = parse_observation_file(&text).unwrap();
+    assert_eq!(parsed, spec);
+}
+
+#[test]
+fn saved_spec_drives_differential_checking() {
+    // Synthesize the fixed queue's spec, save it, reload it, and use it to
+    // check the preview queue: the Fig. 1 bug is found against the
+    // *reference* specification.
+    let classes = all_classes();
+    let fixed = classes
+        .iter()
+        .find(|e| e.name == "ConcurrentQueue")
+        .unwrap();
+    let pre = classes
+        .iter()
+        .find(|e| e.name == "ConcurrentQueue (Pre)")
+        .unwrap();
+    let m = TestMatrix::from_columns(vec![
+        vec![
+            Invocation::with_int("Enqueue", 200),
+            Invocation::with_int("Enqueue", 400),
+        ],
+        vec![Invocation::new("TryDequeue"), Invocation::new("TryDequeue")],
+    ]);
+    let (spec, _, _) = fixed.target().synthesize_spec(&m);
+    let reloaded = parse_observation_file(&write_observation_file(&spec)).unwrap();
+    assert_eq!(reloaded, spec);
+
+    // The fixed queue is consistent with its own (reloaded) spec.
+    // check_against_spec is generic over TestTarget, so go through the
+    // erased facade via a fresh check to keep this test simple: the
+    // reloaded spec equals the original, which `check` re-synthesizes.
+    let report = fixed.target().check(&m, &CheckOptions::new());
+    assert!(report.passed());
+    assert_eq!(report.spec, reloaded, "check() synthesizes the same spec");
+
+    // And the preview queue violates it.
+    use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+    let pre_target = ConcurrentQueueTarget {
+        variant: Variant::Pre,
+    };
+    let (violations, _) = check_against_spec(&pre_target, &m, &reloaded, &CheckOptions::new());
+    assert!(!violations.is_empty(), "Fig. 1 bug found against saved spec");
+    let _ = pre;
+}
+
+#[test]
+fn observation_file_is_stable_across_synthesis_runs() {
+    // Determinism of phase 1: synthesizing twice yields the same file.
+    let entry = all_classes()
+        .into_iter()
+        .find(|e| e.name == "ConcurrentStack")
+        .unwrap();
+    let m = small_matrix(entry.name, &entry.target().invocations());
+    let (a, _, _) = entry.target().synthesize_spec(&m);
+    let (b, _, _) = entry.target().synthesize_spec(&m);
+    assert_eq!(write_observation_file(&a), write_observation_file(&b));
+}

@@ -1,0 +1,297 @@
+//! Property-based tests (proptest) over the core Line-Up data structures
+//! and algorithms: witness-search soundness, value-format round-trips,
+//! matrix algebra, and never-failing checks on a known-correct component.
+
+use proptest::prelude::*;
+
+use lineup::doc_support::CounterTarget;
+use lineup::{
+    check, find_witness, is_witness, CheckOptions, History, Invocation, ObservationSet, Outcome,
+    SerialHistory, SpecOp, TestMatrix, Value, WitnessQuery,
+};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        Just(Value::Fail),
+        Just(Value::Opt(None)),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        "[a-zA-Z0-9 <>&\"\\\\]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            inner.prop_map(Value::some),
+        ]
+    })
+}
+
+/// A random serial history over up to 3 threads and a tiny op alphabet.
+fn serial_history_strategy() -> impl Strategy<Value = SerialHistory> {
+    let op = (0usize..3, 0usize..3, 0i64..4).prop_map(|(thread, name, result)| SpecOp {
+        thread,
+        invocation: Invocation::new(["put", "take", "len"][name]),
+        outcome: Outcome::Returned(Value::Int(result)),
+    });
+    prop::collection::vec(op, 1..7).prop_map(|ops| SerialHistory {
+        thread_count: 3,
+        ops,
+    })
+}
+
+/// Builds a concurrent history from a serial one by optionally overlapping
+/// each adjacent pair of different-thread operations (delaying the first
+/// return past the second call). This keeps `H|t = S|t` and `<H ⊆ <S`, so
+/// `S` remains a witness of the result by construction.
+fn overlap(serial: &SerialHistory, overlaps: &[bool]) -> History {
+    let mut h = History::new(serial.thread_count);
+    let mut i = 0;
+    while i < serial.ops.len() {
+        let a = &serial.ops[i];
+        let overlap_next = overlaps.get(i).copied().unwrap_or(false)
+            && i + 1 < serial.ops.len()
+            && serial.ops[i + 1].thread != a.thread;
+        let va = match &a.outcome {
+            Outcome::Returned(v) => v.clone(),
+            Outcome::Pending => unreachable!("strategy yields complete ops"),
+        };
+        if overlap_next {
+            let b = &serial.ops[i + 1];
+            let vb = match &b.outcome {
+                Outcome::Returned(v) => v.clone(),
+                Outcome::Pending => unreachable!(),
+            };
+            let ia = h.push_call(a.thread, a.invocation.clone());
+            let ib = h.push_call(b.thread, b.invocation.clone());
+            h.push_return(ia, va);
+            h.push_return(ib, vb);
+            i += 2;
+        } else {
+            let ia = h.push_call(a.thread, a.invocation.clone());
+            h.push_return(ia, va);
+            i += 1;
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display → parse round-trips for arbitrary values.
+    #[test]
+    fn value_display_roundtrips(v in value_strategy()) {
+        let text = v.to_string();
+        prop_assert_eq!(lineup::value::parse_value(&text), Ok(v));
+    }
+
+    /// A history built by overlapping a serial history always finds a
+    /// witness when that serial history is in the spec (search soundness
+    /// on positives).
+    #[test]
+    fn overlapped_history_finds_its_witness(
+        s in serial_history_strategy(),
+        overlaps in prop::collection::vec(any::<bool>(), 0..7),
+        extras in prop::collection::vec(serial_history_strategy(), 0..4),
+    ) {
+        let h = overlap(&s, &overlaps);
+        prop_assert!(h.is_well_formed());
+        prop_assert!(h.is_complete());
+        let mut spec = ObservationSet::new();
+        spec.insert(s.clone());
+        for e in extras {
+            spec.insert(e);
+        }
+        let q = WitnessQuery::for_full(&h);
+        let found = find_witness(&spec.index(), &q);
+        prop_assert!(found.is_some(), "S must be a witness of H:\nS = {}\nH =\n{}", s, h);
+        // And whatever was found truly is a witness.
+        prop_assert!(is_witness(found.unwrap(), &q));
+    }
+
+    /// Corrupting one response makes the (singleton-spec) witness search
+    /// fail: the per-thread key no longer matches (search soundness on
+    /// negatives).
+    #[test]
+    fn corrupted_history_has_no_witness(
+        s in serial_history_strategy(),
+        overlaps in prop::collection::vec(any::<bool>(), 0..7),
+        at in 0usize..7,
+    ) {
+        let mut h = overlap(&s, &overlaps);
+        let at = at % h.ops.len();
+        // Corrupt to a value outside the strategy's result range.
+        h.ops[at].response = Some(Value::Int(999));
+        let mut spec = ObservationSet::new();
+        spec.insert(s);
+        let q = WitnessQuery::for_full(&h);
+        prop_assert!(find_witness(&spec.index(), &q).is_none());
+    }
+
+    /// Witness queries are self-consistent: the serial history viewed as a
+    /// (trivially serial) History is its own witness.
+    #[test]
+    fn serial_history_is_its_own_witness(s in serial_history_strategy()) {
+        let h = overlap(&s, &[]);
+        let q = WitnessQuery::for_full(&h);
+        prop_assert!(is_witness(&s, &q));
+    }
+
+    /// Determinism check: a singleton spec is always deterministic; a
+    /// duplicated spec too (sets deduplicate).
+    #[test]
+    fn singleton_specs_are_deterministic(s in serial_history_strategy()) {
+        let mut spec = ObservationSet::new();
+        spec.insert(s.clone());
+        spec.insert(s);
+        prop_assert_eq!(spec.len(), 1);
+        prop_assert!(spec.check_determinism().is_none());
+    }
+
+    /// The observation-file parser never panics on arbitrary input: it
+    /// returns a structured error instead (robustness fuzzing).
+    #[test]
+    fn observation_parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = lineup::parse_observation_file(&text);
+    }
+
+    /// Nor on mutations of a *valid* file.
+    #[test]
+    fn observation_parser_survives_mutations(
+        histories in prop::collection::vec(serial_history_strategy(), 1..4),
+        cut in any::<u16>(),
+        insert in "[ -~]{0,8}",
+    ) {
+        let spec: ObservationSet = histories.into_iter().collect();
+        let mut text = lineup::write_observation_file(&spec);
+        let pos = (cut as usize) % (text.len() + 1);
+        // Insert garbage at a char boundary near pos.
+        let pos = text.floor_char_boundary(pos);
+        text.insert_str(pos, &insert);
+        let _ = lineup::parse_observation_file(&text);
+    }
+
+    /// Observation files round-trip for arbitrary specs.
+    #[test]
+    fn observation_files_roundtrip(
+        histories in prop::collection::vec(serial_history_strategy(), 0..6)
+    ) {
+        let spec: ObservationSet = histories.into_iter().collect();
+        let text = lineup::write_observation_file(&spec);
+        let parsed = lineup::parse_observation_file(&text).unwrap();
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Matrix enumeration has exactly |I|^(rows·cols) elements and every
+    /// element has the right shape.
+    #[test]
+    fn matrix_enumeration_counts(rows in 1usize..3, cols in 1usize..3, n in 1usize..3) {
+        let invs: Vec<Invocation> =
+            (0..n).map(|i| Invocation::with_int("op", i as i64)).collect();
+        let all = TestMatrix::enumerate(&invs, rows, cols);
+        prop_assert_eq!(all.len(), n.pow((rows * cols) as u32));
+        for m in &all {
+            prop_assert_eq!(m.dimension(), (rows, cols));
+            prop_assert_eq!(m.operation_count(), rows * cols);
+        }
+    }
+
+    /// Prefix order: reflexive, and column-truncations are prefixes.
+    #[test]
+    fn matrix_prefix_order(rows in 1usize..4, cols in 1usize..4, cut in 0usize..3) {
+        let col: Vec<Invocation> =
+            (0..rows).map(|i| Invocation::with_int("op", i as i64)).collect();
+        let m = TestMatrix::from_columns(vec![col; cols]);
+        prop_assert!(m.is_prefix_of(&m));
+        let mut small = m.clone();
+        let cut = cut.min(rows);
+        for c in &mut small.columns {
+            c.truncate(rows - cut);
+        }
+        prop_assert!(small.is_prefix_of(&m));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stuck-history witness search: a serial history whose last op is
+    /// made pending is a witness for the overlap-expanded stuck history's
+    /// `H[e]` query.
+    #[test]
+    fn stuck_history_finds_its_witness(
+        s in serial_history_strategy(),
+        overlaps in prop::collection::vec(any::<bool>(), 0..7),
+    ) {
+        // Build the stuck serial spec entry: complete prefix + pending last.
+        let mut stuck = s.clone();
+        let last = stuck.ops.last_mut().unwrap();
+        last.outcome = Outcome::Pending;
+        prop_assert!(stuck.is_stuck());
+
+        // Build the concurrent history: overlap-expand the complete
+        // prefix, then append the pending call (never returned).
+        let prefix = SerialHistory {
+            thread_count: s.thread_count,
+            ops: s.ops[..s.ops.len() - 1].to_vec(),
+        };
+        let mut h = overlap(&prefix, &overlaps);
+        let pending_op = &stuck.ops[stuck.ops.len() - 1];
+        let e = h.push_call(pending_op.thread, pending_op.invocation.clone());
+        h.stuck = true;
+
+        let mut spec = ObservationSet::new();
+        spec.insert(stuck);
+        let q = WitnessQuery::for_stuck(&h, e);
+        prop_assert!(
+            find_witness(&spec.index(), &q).is_some(),
+            "the stuck serial history witnesses its own expansion"
+        );
+    }
+
+    /// Full-history queries never match stuck serial histories and vice
+    /// versa: the Pending outcome keys the groups apart, so the sets A and
+    /// B of Fig. 5 need no explicit separation.
+    #[test]
+    fn full_and_stuck_groups_are_disjoint(s in serial_history_strategy()) {
+        let mut stuck = s.clone();
+        stuck.ops.last_mut().unwrap().outcome = Outcome::Pending;
+        let mut spec = ObservationSet::new();
+        spec.insert(stuck);
+        // The complete history's query cannot find the stuck entry.
+        let h = overlap(&s, &[]);
+        let q = WitnessQuery::for_full(&h);
+        prop_assert!(find_witness(&spec.index(), &q).is_none());
+    }
+}
+
+proptest! {
+    // Model-executing properties are expensive: few cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A known-correct component never fails Check, for random small test
+    /// matrices (no false alarms — the practical face of Theorem 5).
+    #[test]
+    fn correct_counter_never_fails_random_tests(
+        cells in prop::collection::vec(0usize..2, 4)
+    ) {
+        let inv = |i: usize| {
+            if i == 0 { Invocation::new("inc") } else { Invocation::new("get") }
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![inv(cells[0]), inv(cells[1])],
+            vec![inv(cells[2]), inv(cells[3])],
+        ]);
+        let report = check(&CounterTarget, &m, &CheckOptions::new());
+        prop_assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+}
