@@ -63,6 +63,25 @@ fn bench_phase2(c: &mut Criterion) {
             report
         });
     });
+
+    // Serial vs prefix-partitioned parallel phase 2 on the same bounded
+    // exploration (`--bin phase2` measures the exhaustive version and
+    // reports runs/sec and speedup).
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("queue_2x2_workers", workers),
+            &workers,
+            |b, &workers| {
+                let mut opts = CheckOptions::new()
+                    .with_preemption_bound(Some(2))
+                    .collect_all_violations();
+                if workers > 1 {
+                    opts = opts.with_workers(workers);
+                }
+                b.iter(|| check_against_spec(&target, &qm, &qspec, &opts));
+            },
+        );
+    }
     group.finish();
 }
 

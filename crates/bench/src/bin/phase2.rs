@@ -1,0 +1,179 @@
+//! Phase-2 parallel-scaling benchmark: serial depth-first exploration
+//! versus the prefix-partitioned parallel mode
+//! ([`CheckOptions::with_workers`]) on exhaustive 2-thread matrices.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin phase2 [--json] [--out PATH]
+//!     [--workers 1,2,4] [--repeat N] [--depth D]
+//! ```
+//!
+//! Reports, per workload and worker count, the number of executions
+//! explored, the wall time (best of `--repeat` attempts), the throughput
+//! in runs/second, and the speedup over the 1-worker (serial) baseline.
+//! `--json` additionally writes the measurements to `BENCH_phase2.json`
+//! (or `--out PATH`). The JSON records `cpu_cores`: the speedup is bounded
+//! by the physical parallelism of the machine — on a single-core host the
+//! partitioned exploration can only break even.
+
+use std::time::Instant;
+
+use lineup::doc_support::CounterTarget;
+use lineup::{
+    check_against_spec, synthesize_spec, CheckOptions, Invocation, ObservationSet, TestMatrix,
+    TestTarget,
+};
+use lineup_bench::{arg_flag, arg_num, arg_value, fmt_duration, TextTable};
+use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+use lineup_collections::Variant;
+
+struct Sample {
+    workload: &'static str,
+    workers: usize,
+    runs: u64,
+    wall_seconds: f64,
+    runs_per_sec: f64,
+    speedup: f64,
+}
+
+/// One timed phase-2 exploration; exhaustive (no preemption bound, no
+/// stop-at-first) so every worker count explores the same schedule tree.
+fn measure<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    spec: &ObservationSet,
+    workers: usize,
+    split_depth: usize,
+    repeat: usize,
+) -> (u64, f64) {
+    let mut opts = CheckOptions::new()
+        .with_preemption_bound(None)
+        .collect_all_violations();
+    if workers > 1 {
+        opts = opts.with_workers(workers).with_split_depth(split_depth);
+    }
+    let mut best = f64::INFINITY;
+    let mut runs = 0;
+    for _ in 0..repeat.max(1) {
+        let t0 = Instant::now();
+        let (violations, stats) = check_against_spec(target, matrix, spec, &opts);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(violations.is_empty(), "benchmark workloads pass");
+        runs = stats.runs;
+        best = best.min(wall);
+    }
+    (runs, best)
+}
+
+fn main() {
+    let json = arg_flag("--json");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_phase2.json".into());
+    let repeat: usize = arg_num("--repeat", 3);
+    let split_depth: usize = arg_num("--depth", 4);
+    let workers_list: Vec<usize> = arg_value("--workers")
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    let counter_matrix = TestMatrix::from_columns(vec![
+        vec![Invocation::new("inc"), Invocation::new("get")],
+        vec![Invocation::new("inc"), Invocation::new("get")],
+    ]);
+    let queue_matrix = TestMatrix::from_columns(vec![
+        vec![
+            Invocation::with_int("Enqueue", 10),
+            Invocation::new("TryDequeue"),
+        ],
+        vec![
+            Invocation::with_int("Enqueue", 20),
+            Invocation::new("TryDequeue"),
+        ],
+    ]);
+    let queue = ConcurrentQueueTarget {
+        variant: Variant::Fixed,
+    };
+
+    let mut samples: Vec<Sample> = Vec::new();
+    {
+        let (spec, _, _) = synthesize_spec(&CounterTarget, &counter_matrix);
+        let mut baseline = None;
+        for &w in &workers_list {
+            let (runs, wall) =
+                measure(&CounterTarget, &counter_matrix, &spec, w, split_depth, repeat);
+            let base = *baseline.get_or_insert(wall);
+            samples.push(Sample {
+                workload: "counter_2x2_exhaustive",
+                workers: w,
+                runs,
+                wall_seconds: wall,
+                runs_per_sec: runs as f64 / wall,
+                speedup: base / wall,
+            });
+        }
+    }
+    {
+        let (spec, _, _) = synthesize_spec(&queue, &queue_matrix);
+        let mut baseline = None;
+        for &w in &workers_list {
+            let (runs, wall) = measure(&queue, &queue_matrix, &spec, w, split_depth, repeat);
+            let base = *baseline.get_or_insert(wall);
+            samples.push(Sample {
+                workload: "queue_2x2_exhaustive",
+                workers: w,
+                runs,
+                wall_seconds: wall,
+                runs_per_sec: runs as f64 / wall,
+                speedup: base / wall,
+            });
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut table = TextTable::new(&[
+        "workload", "workers", "runs", "wall", "runs/sec", "speedup",
+    ]);
+    for s in &samples {
+        table.row(vec![
+            s.workload.to_string(),
+            s.workers.to_string(),
+            s.runs.to_string(),
+            fmt_duration(std::time::Duration::from_secs_f64(s.wall_seconds)),
+            format!("{:.0}", s.runs_per_sec),
+            format!("{:.2}x", s.speedup),
+        ]);
+    }
+    println!("Phase-2 parallel scaling (best of {repeat}, split depth {split_depth}, {cores} core(s))");
+    println!("{}", table.render());
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"phase2-parallel-scaling\",\n");
+        out.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+        out.push_str(&format!("  \"repeat\": {repeat},\n"));
+        out.push_str(&format!("  \"split_depth\": {split_depth},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"workers\": {}, \"runs\": {}, \
+                 \"wall_seconds\": {:.6}, \"runs_per_sec\": {:.1}, \
+                 \"speedup_vs_1_worker\": {:.3}}}{}\n",
+                s.workload,
+                s.workers,
+                s.runs,
+                s.wall_seconds,
+                s.runs_per_sec,
+                s.speedup,
+                if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&out_path, &out) {
+            Ok(()) => println!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -12,7 +12,10 @@
 
 use std::ops::ControlFlow;
 
-use lineup::{explore_matrix, find_witness, synthesize_spec, TestMatrix, WitnessQuery};
+use lineup::{
+    check_against_spec, explore_matrix, find_witness, synthesize_spec, CheckOptions, TestMatrix,
+    WitnessQuery,
+};
 use lineup_bench::{arg_num, TextTable};
 use lineup_collections::manual_reset_event::{fig9_matrix, ManualResetEventTarget};
 use lineup_collections::concurrent_queue::{fig1_matrix, ConcurrentQueueTarget};
@@ -58,11 +61,40 @@ fn runs_to_violation<T: lineup::TestTarget>(
     found_at
 }
 
-type Case = (&'static str, Box<dyn Fn(&Config) -> Option<u64>>);
+/// Runs until the first violation with the prefix-partitioned parallel
+/// phase 2 ([`CheckOptions::with_workers`]): the reported count includes
+/// the serial frontier enumeration and every worker's runs up to
+/// cancellation, so it measures total work rather than search-order
+/// position.
+fn parallel_runs_to_violation<T: lineup::TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    workers: usize,
+    budget: u64,
+) -> Option<u64> {
+    let (spec, _, _) = synthesize_spec(target, matrix);
+    let opts = CheckOptions::new()
+        .with_preemption_bound(Some(2))
+        .with_max_phase2_runs(budget)
+        .with_workers(workers);
+    let (violations, stats) = check_against_spec(target, matrix, &spec, &opts);
+    if violations.is_empty() {
+        None
+    } else {
+        Some(stats.runs)
+    }
+}
+
+type Case = (
+    &'static str,
+    Box<dyn Fn(&Config) -> Option<u64>>,
+    Box<dyn Fn(usize, u64) -> Option<u64>>,
+);
 
 fn main() {
     let trials: u64 = arg_num("--trials", 5);
     let budget: u64 = arg_num("--budget", 200_000);
+    let workers: usize = arg_num("--workers", 4);
 
     let cases: Vec<Case> = vec![
         (
@@ -73,6 +105,12 @@ fn main() {
                 };
                 runs_to_violation(&t, &fig1_matrix(), cfg)
             }),
+            Box::new(move |w: usize, budget: u64| {
+                let t = ConcurrentQueueTarget {
+                    variant: Variant::Pre,
+                };
+                parallel_runs_to_violation(&t, &fig1_matrix(), w, budget)
+            }),
         ),
         (
             "Fig. 9 (MRE lost wakeup)",
@@ -82,20 +120,41 @@ fn main() {
                 };
                 runs_to_violation(&t, &fig9_matrix(), cfg)
             }),
+            Box::new(move |w: usize, budget: u64| {
+                let t = ManualResetEventTarget {
+                    variant: Variant::Pre,
+                };
+                parallel_runs_to_violation(&t, &fig9_matrix(), w, budget)
+            }),
         ),
     ];
 
     println!(
         "Runs until the violation is found (median of {trials} trials, budget {budget} runs):\n"
     );
-    let mut table = TextTable::new(&["Bug", "DFS (PB=2)", "Random walk", "PCT d=5"]);
-    for (name, run_case) in &cases {
+    let parallel_header = format!("DFS x{workers} workers");
+    let mut table = TextTable::new(&[
+        "Bug",
+        "DFS (PB=2)",
+        &parallel_header,
+        "Random walk",
+        "PCT d=5",
+    ]);
+    let fmt_runs = |r: Option<u64>| match r {
+        Some(n) => n.to_string(),
+        None => format!(">{budget}"),
+    };
+    for (name, run_case, run_parallel) in &cases {
         let mut cells = vec![name.to_string()];
-        for strat in 0..3 {
+        // DFS and its parallel mode are deterministic: one trial each.
+        let mut cfg = Config::preemption_bounded(2);
+        cfg.max_runs = Some(budget);
+        cells.push(fmt_runs(run_case(&cfg)));
+        cells.push(fmt_runs(run_parallel(workers, budget)));
+        for strat in 1..3 {
             let mut results = Vec::new();
             for trial in 0..trials {
                 let mut cfg = match strat {
-                    0 => Config::preemption_bounded(2),
                     1 => Config::random(100 + trial, budget),
                     _ => Config::pct(100 + trial, 5, budget),
                 };
@@ -104,20 +163,16 @@ fn main() {
             }
             results.sort();
             let median = results[results.len() / 2];
-            cells.push(match median {
-                Some(n) => n.to_string(),
-                None => format!(">{budget}"),
-            });
-            if strat == 0 {
-                // DFS is deterministic: one trial describes it.
-            }
+            cells.push(fmt_runs(median));
         }
         table.row(cells);
     }
     print!("{}", table.render());
     println!(
         "\nDFS is deterministic (the count is where the bug sits in the search \
-         order); Random and PCT are medians over seeds. PCT's priority-change \
+         order), as is its parallel mode (whose count adds the frontier \
+         enumeration and the concurrent subtree runs up to cancellation); \
+         Random and PCT are medians over seeds. PCT's priority-change \
          points target bugs of small depth, the regime of all Table 2 root \
          causes (small scope hypothesis)."
     );

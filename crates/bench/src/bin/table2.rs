@@ -7,7 +7,12 @@
 //! ```text
 //! cargo run --release -p lineup-bench --bin table2 [--sample N] [--rows R]
 //!     [--cols C] [--pb B] [--seed S] [--cap RUNS] [--class SUBSTR] [--paper]
+//!     [--workers W]
 //! ```
+//!
+//! `--workers W` (default 1) runs each phase-2 exploration itself in the
+//! prefix-partitioned parallel mode (`CheckOptions::with_workers`), on
+//! top of the existing test-level parallelism of the random-check driver.
 //!
 //! The paper runs 100 random 3×3 tests per class on an 8-core Xeon; the
 //! default here is a smaller sample so the table regenerates in minutes —
@@ -74,10 +79,14 @@ fn main() {
     let seed: u64 = arg_num("--seed", 2010);
     let cap: u64 = arg_num("--cap", if paper { u64::MAX } else { 30_000 });
     let class_filter = arg_value("--class");
+    let phase2_workers: usize = arg_num("--workers", 1);
 
     let mut options = CheckOptions::new().with_preemption_bound(Some(pb));
     if cap != u64::MAX {
         options = options.with_max_phase2_runs(cap);
+    }
+    if phase2_workers > 1 {
+        options = options.with_workers(phase2_workers);
     }
 
     println!(

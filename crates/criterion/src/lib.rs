@@ -1,0 +1,215 @@
+//! A minimal, offline drop-in for the subset of the `criterion` crate API
+//! this workspace's benches use. The build environment cannot fetch
+//! crates.io, so the real `criterion` cannot be resolved; this stub keeps
+//! `cargo bench` runnable and self-contained.
+//!
+//! It measures each benchmark as `sample_size` timed closure invocations
+//! and prints the mean wall time — no warmup, outlier rejection, or
+//! statistical analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// True when the binary was invoked by `cargo test` (which passes
+/// `--test` to `harness = false` bench targets): run each benchmark once
+/// as a smoke test instead of timing it.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed invocations make up one measurement.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: self.sample_size,
+        };
+        group.bench_function(id, f);
+    }
+}
+
+/// A named benchmark identifier, `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.0, &b);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if b.samples == 0 {
+            println!("{full:<48} (no measurement)");
+        } else {
+            let mean = b.total / b.samples as u32;
+            println!("{full:<48} mean {mean:>12.2?}  ({} samples)", b.samples);
+        }
+    }
+}
+
+/// Times closure invocations (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    requested: usize,
+    samples: usize,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(requested: usize) -> Self {
+        Bencher {
+            requested,
+            samples: 0,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Measures `f` over the configured number of invocations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = if test_mode() { 1 } else { self.requested };
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.samples = n;
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_macros_compile_and_run() {
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2);
+            targets = bench_demo
+        }
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -2,16 +2,19 @@
 //! specification from serial executions, then verify every concurrent
 //! execution against it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-use lineup_sched::{Config, RunOutcome};
+use lineup_sched::{explore_parallel, Config, RunOutcome, StrategyKind, SubtreeTask};
 
 use crate::harness::explore_matrix;
 use crate::history::{History, OpIndex};
 use crate::matrix::TestMatrix;
-use crate::spec::{Nondeterminism, ObservationSet, SerialHistory};
+use crate::spec::{Nondeterminism, ObservationSet, SerialHistory, SpecIndex};
 use crate::target::TestTarget;
 use crate::witness::{find_witness, WitnessQuery};
 
@@ -56,6 +59,23 @@ pub struct CheckOptions {
     /// BlockingCollection's intentional behaviour pass. Use sparingly: it
     /// weakens the check for the listed methods.
     pub spurious_failures: Vec<String>,
+    /// Number of OS worker threads for phase-2 exploration. `1` (the
+    /// default) runs the classic serial depth-first search; `n > 1`
+    /// partitions the schedule tree at a decision-prefix frontier and
+    /// explores the disjoint subtrees concurrently, each worker replaying
+    /// its prefix against a freshly-constructed target. The set of
+    /// violation histories is identical to the serial one, and with
+    /// [`stop_at_first_violation`](CheckOptions::stop_at_first_violation)
+    /// the reported violation is the serial one too (the violation in the
+    /// lowest-indexed subtree wins deterministically). Phase 1 always runs
+    /// serially: its observation-set insertion order feeds the determinism
+    /// check and must match the paper's sequential enumeration.
+    pub workers: usize,
+    /// Decision depth of the frontier at which the schedule tree is split
+    /// for parallel exploration (`None` uses
+    /// [`Config::DEFAULT_SPLIT_DEPTH`]). Only read when
+    /// [`workers`](CheckOptions::workers) `> 1`.
+    pub split_depth: Option<usize>,
 }
 
 impl CheckOptions {
@@ -68,6 +88,8 @@ impl CheckOptions {
             iterative_bounding: false,
             async_methods: Vec::new(),
             spurious_failures: Vec::new(),
+            workers: 1,
+            split_depth: None,
         }
     }
 
@@ -115,6 +137,21 @@ impl CheckOptions {
         S: Into<String>,
     {
         self.spurious_failures = methods.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the number of phase-2 worker threads (see
+    /// [`CheckOptions::workers`]), builder style. `n` must be at least 1.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "workers must be at least 1");
+        self.workers = n;
+        self
+    }
+
+    /// Sets the frontier split depth for parallel exploration (see
+    /// [`CheckOptions::split_depth`]), builder style.
+    pub fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = Some(depth);
         self
     }
 }
@@ -381,6 +418,9 @@ fn check_against_spec_at<T: TestTarget>(
     options: &CheckOptions,
     preemption_bound: Option<usize>,
 ) -> (Vec<Violation>, PhaseStats) {
+    if options.workers > 1 {
+        return check_against_spec_at_parallel(target, matrix, spec, options, preemption_bound);
+    }
     let start = std::time::Instant::now();
     let index = spec.index();
     let mut violations = Vec::new();
@@ -505,6 +545,384 @@ fn check_against_spec_at<T: TestTarget>(
         runs: stats.runs,
         full_histories: full,
         stuck_histories: stuck,
+        duration: start.elapsed(),
+    };
+    (violations, phase)
+}
+
+/// Verdict of one witness search, cached per distinct history and shared
+/// by all phase-2 workers: the verdict of a history is a pure function of
+/// the history (and the fixed spec/options), so whichever worker computes
+/// it first can publish it for everyone.
+#[derive(Clone)]
+enum CachedVerdict {
+    /// A serial witness exists.
+    Pass,
+    /// No witness for a complete history (Definition 1).
+    NoWitness,
+    /// Some pending operation of a stuck history has no stuck witness
+    /// (Definition 2). Stores the spurious-reduced history the pending
+    /// index refers to, so cache hits can report the violation without
+    /// redoing the reduction.
+    StuckNoWitness {
+        reduced: History,
+        pending: OpIndex,
+    },
+}
+
+impl CachedVerdict {
+    fn is_violation(&self) -> bool {
+        !matches!(self, CachedVerdict::Pass)
+    }
+}
+
+/// A sharded `History → CachedVerdict` map. Sharding by history hash keeps
+/// lock hold times short: workers computing verdicts for different
+/// histories rarely contend, and the (expensive) witness search always
+/// happens outside any lock.
+struct VerdictCache {
+    shards: Vec<Mutex<HashMap<History, CachedVerdict>>>,
+}
+
+impl VerdictCache {
+    fn new(shards: usize) -> Self {
+        VerdictCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, history: &History) -> &Mutex<HashMap<History, CachedVerdict>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        history.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    fn get(&self, history: &History) -> Option<CachedVerdict> {
+        self.shard(history).lock().unwrap().get(history).cloned()
+    }
+
+    /// Publishes `verdict` for `history` unless another worker won the
+    /// race; returns the verdict now in the cache and whether ours was the
+    /// one inserted (so each distinct history is counted exactly once).
+    fn insert_if_absent(&self, history: &History, verdict: CachedVerdict) -> (CachedVerdict, bool) {
+        use std::collections::hash_map::Entry;
+        let mut map = self.shard(history).lock().unwrap();
+        match map.entry(history.clone()) {
+            Entry::Occupied(e) => (e.get().clone(), false),
+            Entry::Vacant(e) => {
+                e.insert(verdict.clone());
+                (verdict, true)
+            }
+        }
+    }
+}
+
+/// Witness search for a complete history (serial path's `Complete` arm,
+/// factored out for the parallel workers).
+fn full_verdict<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    index: &SpecIndex<'_>,
+    options: &CheckOptions,
+    sub_specs: &mut BTreeMap<Vec<(usize, usize)>, ObservationSet>,
+    history: &History,
+) -> CachedVerdict {
+    let (reduced, removed) = reduce_spurious(history, &options.spurious_failures);
+    let q = WitnessQuery::for_full_relaxed(&reduced, &options.async_methods);
+    let found = if removed.is_empty() {
+        find_witness(index, &q).is_some()
+    } else {
+        let sub = sub_specs.entry(removed).or_insert_with_key(|cells| {
+            synthesize_spec(target, &reduced_matrix(matrix, cells)).0
+        });
+        find_witness(&sub.index(), &q).is_some()
+    };
+    if found {
+        CachedVerdict::Pass
+    } else {
+        CachedVerdict::NoWitness
+    }
+}
+
+/// Witness search for a stuck history (serial path's stuck arm, factored
+/// out for the parallel workers).
+fn stuck_verdict<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    index: &SpecIndex<'_>,
+    options: &CheckOptions,
+    sub_specs: &mut BTreeMap<Vec<(usize, usize)>, ObservationSet>,
+    history: &History,
+) -> CachedVerdict {
+    let (reduced, removed) = reduce_spurious(history, &options.spurious_failures);
+    let sub_spec: Option<&ObservationSet> = if removed.is_empty() {
+        None
+    } else {
+        Some(sub_specs.entry(removed).or_insert_with_key(|cells| {
+            synthesize_spec(target, &reduced_matrix(matrix, cells)).0
+        }))
+    };
+    let sub_index = sub_spec.map(|s| s.index());
+    for e in reduced.pending_ops() {
+        let q = WitnessQuery::for_stuck_relaxed(&reduced, e, &options.async_methods);
+        let missing = match &sub_index {
+            Some(idx) => find_witness(idx, &q).is_none(),
+            None => find_witness(index, &q).is_none(),
+        };
+        if missing {
+            return CachedVerdict::StuckNoWitness {
+                reduced,
+                pending: e,
+            };
+        }
+    }
+    CachedVerdict::Pass
+}
+
+/// A violation claim from one worker, ordered by the position of the
+/// claiming run in the *serial* exploration order: subtrees are numbered
+/// in frontier (= serial DFS) order and `seq` numbers the runs within a
+/// subtree, so sorting claims by `(subtree, seq)` recovers the order in
+/// which a serial exploration would have encountered them.
+struct Claim {
+    subtree: usize,
+    seq: u64,
+    /// History key for deduplication (the raw, unreduced history, matching
+    /// the serial path's `seen` map); `None` for panics, which are
+    /// reported per occurrence like the serial path does.
+    key: Option<History>,
+    violation: Violation,
+}
+
+/// Parallel phase 2: partitions the schedule tree at a decision-prefix
+/// frontier and fans the disjoint subtrees out to
+/// [`CheckOptions::workers`] OS threads. Every subtree exploration replays
+/// its prefix and then runs the same depth-first search the serial
+/// checker would, against a freshly-constructed target per run, so the
+/// union of the subtree runs (in subtree order) is exactly the serial run
+/// sequence. Verdicts are shared through a [`VerdictCache`]; violations
+/// are claimed with their serial-order position and merged
+/// deterministically at the end.
+fn check_against_spec_at_parallel<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    spec: &ObservationSet,
+    options: &CheckOptions,
+    preemption_bound: Option<usize>,
+) -> (Vec<Violation>, PhaseStats) {
+    let start = std::time::Instant::now();
+    let index = spec.index();
+
+    let mut config = Config::exhaustive();
+    config.preemption_bound = preemption_bound;
+    config.workers = options.workers;
+    config.split_depth = options.split_depth;
+    let depth = config.effective_split_depth();
+
+    // Counts every run processed (frontier enumeration + workers) and
+    // enforces the run budget across all workers.
+    let runs_done = AtomicU64::new(0);
+    let process_run = |runs_done: &AtomicU64| -> bool {
+        match options.max_phase2_runs {
+            Some(max) => {
+                if runs_done.fetch_add(1, Ordering::SeqCst) >= max {
+                    runs_done.fetch_sub(1, Ordering::SeqCst);
+                    false
+                } else {
+                    true
+                }
+            }
+            None => {
+                runs_done.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+        }
+    };
+
+    // Serial frontier enumeration: one run per depth-`depth` decision
+    // prefix, in DFS order, so subtree indexes order the subtrees exactly
+    // as a serial exploration would visit them.
+    let mut tasks: Vec<SubtreeTask> = Vec::new();
+    let mut fconfig = config.clone();
+    fconfig.strategy = StrategyKind::Frontier { depth };
+    fconfig.max_runs = None;
+    explore_matrix(target, matrix, &fconfig, |run| {
+        if !process_run(&runs_done) {
+            return ControlFlow::Break(());
+        }
+        let cut = run.decisions.len().min(depth);
+        tasks.push(SubtreeTask {
+            index: tasks.len(),
+            prefix: run.decisions[..cut].to_vec(),
+        });
+        ControlFlow::Continue(())
+    });
+
+    let cache = VerdictCache::new((options.workers * 8).next_power_of_two());
+    let full_count = AtomicUsize::new(0);
+    let stuck_count = AtomicUsize::new(0);
+    let claims: Mutex<Vec<Claim>> = Mutex::new(Vec::new());
+
+    let sched_stats = explore_parallel(options.workers, &tasks, |task, cancel| {
+        let mut sub_config = config.clone();
+        sub_config.strategy = StrategyKind::PrefixDfs {
+            prefix: task.prefix.clone(),
+        };
+        sub_config.max_runs = None;
+        let mut seq: u64 = 0;
+        // Per-subtree dedup of claims: within one subtree the run order is
+        // the serial order, so claiming only the first occurrence of a
+        // violating history mirrors the serial `seen` map. Cross-subtree
+        // duplicates are removed in the deterministic merge below.
+        let mut local_claimed: HashSet<History> = HashSet::new();
+        // Sub-test specifications are cheap to synthesize (phase 1, §5.4),
+        // so each worker task keeps its own cache rather than sharing.
+        let mut sub_specs: BTreeMap<Vec<(usize, usize)>, ObservationSet> = BTreeMap::new();
+        explore_matrix(target, matrix, &sub_config, |run| {
+            // A violation in an earlier subtree supersedes anything this
+            // subtree could find; stop promptly at the run boundary.
+            if cancel.should_skip(task.index) {
+                return ControlFlow::Break(());
+            }
+            if !process_run(&runs_done) {
+                return ControlFlow::Break(());
+            }
+            let this_seq = seq;
+            seq += 1;
+            let mut violating = false;
+            match &run.outcome {
+                RunOutcome::Panicked { message, .. } => {
+                    claims.lock().unwrap().push(Claim {
+                        subtree: task.index,
+                        seq: this_seq,
+                        key: None,
+                        violation: Violation::Panic {
+                            message: message.clone(),
+                            history: run.history.clone(),
+                            serial: false,
+                            decisions: run.decisions.clone(),
+                        },
+                    });
+                    violating = true;
+                }
+                RunOutcome::StepLimit => {
+                    claims.lock().unwrap().push(Claim {
+                        subtree: task.index,
+                        seq: this_seq,
+                        key: None,
+                        violation: Violation::Panic {
+                            message: "step limit exceeded in concurrent execution".into(),
+                            history: run.history.clone(),
+                            serial: false,
+                            decisions: run.decisions.clone(),
+                        },
+                    });
+                    violating = true;
+                }
+                RunOutcome::Complete
+                | RunOutcome::Deadlock
+                | RunOutcome::Livelock
+                | RunOutcome::StuckSerial => {
+                    let verdict = match cache.get(&run.history) {
+                        Some(v) => v,
+                        None => {
+                            // Witness search runs outside any cache lock;
+                            // `insert_if_absent` resolves the (rare) race
+                            // where two workers compute the same history,
+                            // counting it once.
+                            let computed = if run.outcome == RunOutcome::Complete {
+                                full_verdict(
+                                    target,
+                                    matrix,
+                                    &index,
+                                    options,
+                                    &mut sub_specs,
+                                    &run.history,
+                                )
+                            } else {
+                                stuck_verdict(
+                                    target,
+                                    matrix,
+                                    &index,
+                                    options,
+                                    &mut sub_specs,
+                                    &run.history,
+                                )
+                            };
+                            let (v, inserted) = cache.insert_if_absent(&run.history, computed);
+                            if inserted {
+                                if run.outcome == RunOutcome::Complete {
+                                    full_count.fetch_add(1, Ordering::SeqCst);
+                                } else {
+                                    stuck_count.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            v
+                        }
+                    };
+                    if verdict.is_violation() {
+                        violating = true;
+                        if local_claimed.insert(run.history.clone()) {
+                            let violation = match verdict {
+                                CachedVerdict::NoWitness => Violation::NoWitness {
+                                    history: run.history.clone(),
+                                    decisions: run.decisions.clone(),
+                                },
+                                CachedVerdict::StuckNoWitness { reduced, pending } => {
+                                    Violation::StuckNoWitness {
+                                        history: reduced,
+                                        pending,
+                                        decisions: run.decisions.clone(),
+                                    }
+                                }
+                                CachedVerdict::Pass => unreachable!(),
+                            };
+                            claims.lock().unwrap().push(Claim {
+                                subtree: task.index,
+                                seq: this_seq,
+                                key: Some(run.history.clone()),
+                                violation,
+                            });
+                        }
+                    }
+                }
+            }
+            if violating && options.stop_at_first_violation {
+                // Cancel subtrees *after* this one; earlier subtrees keep
+                // exploring, because a violation they find precedes ours
+                // in serial order and must win instead.
+                cancel.report(task.index);
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        })
+    });
+    let _ = sched_stats;
+
+    // Deterministic merge: order claims by serial exploration order,
+    // deduplicate violating histories across subtrees (the serial path's
+    // global `seen` map), and honor stop-at-first by keeping only the
+    // claim the serial exploration would have stopped at.
+    let mut claims = claims.into_inner().unwrap();
+    claims.sort_by_key(|c| (c.subtree, c.seq));
+    let mut violations = Vec::new();
+    let mut reported: HashSet<History> = HashSet::new();
+    for claim in claims {
+        if let Some(key) = &claim.key {
+            if !reported.insert(key.clone()) {
+                continue;
+            }
+        }
+        violations.push(claim.violation);
+        if options.stop_at_first_violation {
+            break;
+        }
+    }
+
+    let phase = PhaseStats {
+        runs: runs_done.load(Ordering::SeqCst),
+        full_histories: full_count.load(Ordering::SeqCst),
+        stuck_histories: stuck_count.load(Ordering::SeqCst),
         duration: start.elapsed(),
     };
     (violations, phase)
@@ -663,6 +1081,89 @@ mod tests {
         // Both stop at their first violation; the iterative one never
         // spends more runs than bound-0 exhausted plus the bound-1 prefix.
         assert!(r_iter.phase2.runs > 0);
+    }
+
+    #[test]
+    fn parallel_stop_at_first_reports_the_serial_violation() {
+        let m = buggy_matrix();
+        let serial = check(&BuggyCounterTarget, &m, &CheckOptions::new());
+        let parallel = check(
+            &BuggyCounterTarget,
+            &m,
+            &CheckOptions::new().with_workers(4),
+        );
+        assert_eq!(serial.violations.len(), 1);
+        assert_eq!(parallel.violations.len(), 1);
+        match (&serial.violations[0], &parallel.violations[0]) {
+            (
+                Violation::NoWitness {
+                    history: h1,
+                    decisions: d1,
+                },
+                Violation::NoWitness {
+                    history: h2,
+                    decisions: d2,
+                },
+            ) => {
+                assert_eq!(h1, h2, "same violating history as serial");
+                assert_eq!(d1, d2, "same reproducing schedule as serial");
+            }
+            (a, b) => panic!("unexpected violation kinds: {a:?} / {b:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_collect_all_matches_serial_violation_list() {
+        let m = buggy_matrix();
+        let serial_opts = CheckOptions::new().collect_all_violations();
+        let serial = check(&BuggyCounterTarget, &m, &serial_opts);
+        let rendered = |vs: &[Violation]| -> Vec<String> {
+            vs.iter().map(|v| format!("{v:?}")).collect()
+        };
+        for workers in [2, 4] {
+            let par = check(
+                &BuggyCounterTarget,
+                &m,
+                &serial_opts.clone().with_workers(workers),
+            );
+            assert_eq!(
+                rendered(&serial.violations),
+                rendered(&par.violations),
+                "workers = {workers}"
+            );
+            assert_eq!(serial.phase2.full_histories, par.phase2.full_histories);
+            assert_eq!(serial.phase2.stuck_histories, par.phase2.stuck_histories);
+        }
+    }
+
+    #[test]
+    fn parallel_passing_target_still_passes() {
+        let m = buggy_matrix();
+        let serial = check(&CounterTarget, &m, &CheckOptions::new());
+        let par = check(&CounterTarget, &m, &CheckOptions::new().with_workers(4));
+        assert!(serial.passed() && par.passed());
+        assert_eq!(serial.phase2.full_histories, par.phase2.full_histories);
+        assert_eq!(serial.phase2.stuck_histories, par.phase2.stuck_histories);
+        // The parallel run count includes the frontier enumeration, so it
+        // is at least the serial count.
+        assert!(par.phase2.runs >= serial.phase2.runs);
+    }
+
+    #[test]
+    fn parallel_respects_run_cap() {
+        let opts = CheckOptions::new()
+            .with_preemption_bound(None)
+            .with_max_phase2_runs(10)
+            .with_workers(4);
+        let report = check(&CounterTarget, &buggy_matrix(), &opts);
+        assert!(report.phase2.runs <= 10);
+        assert!(report.passed(), "a cap cannot introduce violations");
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be at least 1")]
+    fn zero_workers_rejected() {
+        let _ = CheckOptions::new().with_workers(0);
     }
 
     #[test]

@@ -26,11 +26,35 @@ fn xml_escape(s: &str) -> String {
         .replace('"', "&quot;")
 }
 
+/// Undoes [`xml_escape`] in a single left-to-right pass: each `&` begins
+/// at most one entity, decoded once, and the decoded character is never
+/// rescanned. Chained `str::replace` calls get this wrong — a later pass
+/// rescans the output of an earlier one, so text like `&amp;lt;` (the
+/// escape of the literal string `&lt;`) risks being decoded twice.
+/// Unrecognized entities pass through unchanged.
 fn xml_unescape(s: &str) -> String {
-    s.replace("&quot;", "\"")
-        .replace("&gt;", ">")
-        .replace("&lt;", "<")
-        .replace("&amp;", "&")
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        let tail = &rest[pos..];
+        let (decoded, consumed) = if let Some(t) = tail.strip_prefix("&amp;") {
+            ('&', t)
+        } else if let Some(t) = tail.strip_prefix("&lt;") {
+            ('<', t)
+        } else if let Some(t) = tail.strip_prefix("&gt;") {
+            ('>', t)
+        } else if let Some(t) = tail.strip_prefix("&quot;") {
+            ('"', t)
+        } else {
+            // A bare `&` that starts no known entity: keep it verbatim.
+            ('&', &tail[1..])
+        };
+        out.push(decoded);
+        rest = consumed;
+    }
+    out.push_str(rest);
+    out
 }
 
 /// Renders an observation set in the Fig. 7 format.
@@ -488,5 +512,72 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(e.to_string(), "observation file line 3: boom");
+    }
+
+    #[test]
+    fn unescape_decodes_each_entity_once() {
+        // The escape of the literal string `&lt;` must come back as the
+        // literal string, not as `<` (the chained-replace hazard).
+        for literal in ["&lt;", "&gt;", "&quot;", "&amp;", "&amp;lt;"] {
+            assert_eq!(xml_unescape(&xml_escape(literal)), literal);
+        }
+        assert_eq!(xml_unescape("&amp;lt;"), "&lt;");
+        assert_eq!(xml_unescape("&lt;&gt;&quot;&amp;"), "<>\"&");
+    }
+
+    #[test]
+    fn unescape_keeps_bare_ampersands_and_unknown_entities() {
+        assert_eq!(xml_unescape("a & b"), "a & b");
+        assert_eq!(xml_unescape("&bogus;"), "&bogus;");
+        assert_eq!(xml_unescape("tail&"), "tail&");
+    }
+
+    mod escape_properties {
+        use super::super::{xml_escape, xml_unescape};
+        use crate::value::Value;
+        use proptest::prelude::*;
+
+        /// Values whose `Str` leaves are rich in XML metacharacters and
+        /// pre-escaped entity text, the worst case for the unescaper.
+        fn value_strategy() -> impl Strategy<Value = Value> {
+            let leaf = prop_oneof![
+                Just(Value::Unit),
+                Just(Value::Fail),
+                Just(Value::Opt(None)),
+                any::<bool>().prop_map(Value::Bool),
+                (-1000i64..1000).prop_map(Value::Int),
+                "[a-z<>&\"; ]{0,10}".prop_map(Value::Str),
+                prop_oneof![
+                    Just("&amp;lt;".to_string()),
+                    Just("&lt;&gt;".to_string()),
+                    Just("&quot;&amp;".to_string()),
+                ]
+                .prop_map(Value::Str),
+            ];
+            leaf.prop_recursive(3, 16, 4, |inner| {
+                prop_oneof![
+                    prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+                    inner.prop_map(Value::some),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn escape_round_trips_value_renderings(v in value_strategy()) {
+                let rendered = v.to_string();
+                prop_assert_eq!(xml_unescape(&xml_escape(&rendered)), rendered);
+            }
+
+            #[test]
+            fn escaped_text_is_attribute_safe(v in value_strategy()) {
+                let escaped = xml_escape(&v.to_string());
+                prop_assert!(!escaped.contains('"'));
+                prop_assert!(!escaped.contains('<'));
+                prop_assert!(!escaped.contains('>'));
+            }
+        }
     }
 }

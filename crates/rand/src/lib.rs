@@ -1,0 +1,235 @@
+//! A minimal, dependency-free drop-in for the subset of the `rand` 0.8
+//! API this workspace uses (`SmallRng`, `StdRng`, `SeedableRng`,
+//! `Rng::gen_range`, `Rng::gen_bool`, `Rng::gen`).
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched; this stub keeps the workspace
+//! self-contained. Only determinism-per-seed matters for the callers
+//! (search strategies, random test generation) — statistical quality
+//! requirements are modest, so both generators are SplitMix64-seeded
+//! xoshiro256**, the same family the real `SmallRng` uses.
+
+#![warn(missing_docs)]
+
+/// Re-export module mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::{SmallRng, StdRng};
+}
+
+/// A seedable random number generator (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` given a raw `u64` source.
+    fn sample_from(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u128;
+                // Rejection-free modulo is fine for our span sizes.
+                let r = ((rng() as u128) << 64 | rng() as u128) % span;
+                lo.wrapping_add(r as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let r = ((rng() as u128) << 64 | rng() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Generates a value from a raw `u64` source.
+    fn generate(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for bool {
+    fn generate(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn generate(rng: &mut dyn FnMut() -> u64) -> Self {
+                rng() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator interface (mirrors `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample_from(&mut f, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+
+    /// Generates a value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::generate(&mut f)
+    }
+}
+
+/// xoshiro256** core shared by both generator types.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! define_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                $name(Xoshiro256::seed_from_u64(seed))
+            }
+        }
+
+        impl Rng for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+    };
+}
+
+define_rng! {
+    /// A small, fast generator (mirrors `rand::rngs::SmallRng`).
+    SmallRng
+}
+
+define_rng! {
+    /// The default generator (mirrors `rand::rngs::StdRng`). Not
+    /// cryptographically secure — none of our uses need that.
+    StdRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..50).any(|_| r.gen_bool(0.0)));
+        assert!((0..50).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_standard_types() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _: bool = r.gen();
+        let _: u16 = r.gen();
+        let _: i64 = r.gen();
+    }
+}

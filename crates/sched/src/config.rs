@@ -44,6 +44,26 @@ pub enum StrategyKind {
         /// The recorded decision indexes.
         decisions: Vec<usize>,
     },
+    /// Depth-first search restricted to the subtree rooted at a fixed
+    /// decision prefix (see
+    /// [`PrefixDfsStrategy`](crate::strategy::PrefixDfsStrategy)): the
+    /// prefix is replayed at the start of every run and the DFS backtracks
+    /// only beyond it. The unit of work of
+    /// [`explore_parallel`](crate::explorer::explore_parallel).
+    PrefixDfs {
+        /// The decision prefix identifying the subtree.
+        prefix: Vec<usize>,
+    },
+    /// Enumerates the disjoint subtree roots at decision depth `depth`
+    /// (see [`FrontierStrategy`](crate::strategy::FrontierStrategy)): one
+    /// run per depth-`depth` decision prefix, always taking the first
+    /// alternative beyond the frontier. Used by
+    /// [`split_frontier`](crate::explorer::split_frontier) to partition
+    /// the schedule tree for parallel exploration.
+    Frontier {
+        /// The split depth (number of leading decisions to enumerate).
+        depth: usize,
+    },
 }
 
 /// Configuration for one [`explore`](crate::explore) call.
@@ -71,9 +91,28 @@ pub struct Config {
     /// Whether to record the full access log (needed by the §5.6
     /// comparison checkers; Line-Up itself does not need it).
     pub record_accesses: bool,
+    /// Number of OS worker threads used by
+    /// [`explore_parallel`](crate::explorer::explore_parallel) to explore
+    /// disjoint schedule subtrees concurrently. `1` (the default) means
+    /// serial exploration; [`explore`](crate::explore) itself always runs
+    /// serially regardless of this setting.
+    pub workers: usize,
+    /// Decision depth at which [`split_frontier`]
+    /// (crate::explorer::split_frontier) partitions the schedule tree for
+    /// parallel exploration. `None` uses
+    /// [`Config::DEFAULT_SPLIT_DEPTH`]. Deeper splits produce more,
+    /// smaller subtrees (better load balance, more frontier overhead).
+    pub split_depth: Option<usize>,
 }
 
 impl Config {
+    /// Default frontier split depth for parallel exploration (see
+    /// [`Config::split_depth`]): deep enough to yield many more subtrees
+    /// than workers on typical 2–3-thread tests, shallow enough that the
+    /// serial frontier enumeration stays a negligible fraction of the
+    /// exploration.
+    pub const DEFAULT_SPLIT_DEPTH: usize = 4;
+
     /// Exhaustive, unbounded concurrent exploration.
     pub fn exhaustive() -> Self {
         Config {
@@ -84,6 +123,8 @@ impl Config {
             max_steps: 20_000,
             livelock_rounds: 4,
             record_accesses: false,
+            workers: 1,
+            split_depth: None,
         }
     }
 
@@ -147,6 +188,33 @@ impl Config {
         self.max_runs = Some(runs);
         self
     }
+
+    /// Explores the subtree rooted at the given decision prefix with DFS
+    /// (see [`StrategyKind::PrefixDfs`]).
+    pub fn prefix_dfs(prefix: Vec<usize>) -> Self {
+        Config {
+            strategy: StrategyKind::PrefixDfs { prefix },
+            ..Config::exhaustive()
+        }
+    }
+
+    /// Sets [`Config::workers`], builder style. `n` must be at least 1.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "workers must be at least 1");
+        self.workers = n;
+        self
+    }
+
+    /// Sets [`Config::split_depth`], builder style.
+    pub fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = Some(depth);
+        self
+    }
+
+    /// The frontier split depth in effect (see [`Config::split_depth`]).
+    pub fn effective_split_depth(&self) -> usize {
+        self.split_depth.unwrap_or(Self::DEFAULT_SPLIT_DEPTH)
+    }
 }
 
 impl Default for Config {
@@ -184,5 +252,34 @@ mod tests {
         let c = Config::default();
         assert_eq!(c.mode, Mode::Concurrent);
         assert_eq!(c.preemption_bound, None);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.split_depth, None);
+    }
+
+    #[test]
+    fn worker_and_split_builders() {
+        let c = Config::exhaustive().with_workers(4).with_split_depth(6);
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.split_depth, Some(6));
+        assert_eq!(c.effective_split_depth(), 6);
+        assert_eq!(
+            Config::exhaustive().effective_split_depth(),
+            Config::DEFAULT_SPLIT_DEPTH
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be at least 1")]
+    fn zero_workers_rejected() {
+        let _ = Config::exhaustive().with_workers(0);
+    }
+
+    #[test]
+    fn prefix_dfs_constructor() {
+        let c = Config::prefix_dfs(vec![1, 0, 2]);
+        assert!(matches!(
+            c.strategy,
+            StrategyKind::PrefixDfs { ref prefix } if prefix == &[1, 0, 2]
+        ));
     }
 }

@@ -4,6 +4,7 @@
 
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -12,7 +13,10 @@ use crate::config::{Config, StrategyKind};
 use crate::events::AccessEvent;
 use crate::runtime::{clear_tls, handle_user_panic, run_virtual_thread, set_tls, Abort, Shared};
 use crate::state::{RtState, RunOutcome};
-use crate::strategy::{Choice, DfsStrategy, PctStrategy, RandomStrategy, ReplayStrategy, Strategy};
+use crate::strategy::{
+    Choice, DfsStrategy, FrontierStrategy, PctStrategy, PrefixDfsStrategy, RandomStrategy,
+    ReplayStrategy, Strategy,
+};
 
 /// Builder passed to the setup closure of [`explore`]: spawns the virtual
 /// threads of one run.
@@ -89,6 +93,25 @@ pub struct ExploreStats {
 }
 
 impl ExploreStats {
+    /// Folds the statistics of another exploration into this one: counters
+    /// are summed, [`max_schedule_len`](ExploreStats::max_schedule_len) is
+    /// the maximum of the two, and
+    /// [`stopped_early`](ExploreStats::stopped_early) is set if either
+    /// exploration stopped early. Used to aggregate per-subtree results of
+    /// [`explore_parallel`].
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.runs += other.runs;
+        self.complete += other.complete;
+        self.deadlock += other.deadlock;
+        self.livelock += other.livelock;
+        self.stuck_serial += other.stuck_serial;
+        self.panicked += other.panicked;
+        self.step_limit += other.step_limit;
+        self.total_steps += other.total_steps;
+        self.max_schedule_len = self.max_schedule_len.max(other.max_schedule_len);
+        self.stopped_early |= other.stopped_early;
+    }
+
     fn record(&mut self, run: &RunResult) {
         self.runs += 1;
         self.total_steps += run.steps as u64;
@@ -261,6 +284,8 @@ pub fn explore(
         StrategyKind::Replay { decisions } => {
             Box::new(ReplayStrategy::from_indexes(decisions.clone()))
         }
+        StrategyKind::PrefixDfs { prefix } => Box::new(PrefixDfsStrategy::new(prefix.clone())),
+        StrategyKind::Frontier { depth } => Box::new(FrontierStrategy::new(*depth)),
     };
     install_quiet_panic_hook();
     let mut pool = Pool::new();
@@ -337,6 +362,142 @@ pub fn explore(
         }
     }
     stats
+}
+
+/// One disjoint subtree of the schedule tree, identified by its decision
+/// prefix. Produced by [`split_frontier`]; explored with
+/// [`StrategyKind::PrefixDfs`]. `index` is the position of the subtree in
+/// depth-first order — the order a serial DFS would reach it — which
+/// parallel consumers use to pick the deterministic "first" violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeTask {
+    /// Position of the subtree in DFS (serial exploration) order.
+    pub index: usize,
+    /// The decision prefix rooting the subtree.
+    pub prefix: Vec<usize>,
+}
+
+/// Partitions the schedule tree of a program into disjoint subtrees by
+/// enumerating every decision prefix at depth
+/// [`Config::effective_split_depth`] (paths shorter than the depth form
+/// singleton subtrees). The returned tasks are in DFS order and jointly
+/// cover the tree: exploring each with [`StrategyKind::PrefixDfs`] visits
+/// exactly the runs of one serial DFS, each exactly once.
+///
+/// The enumeration itself executes one run per subtree (taking the first
+/// alternative beyond the frontier), so its cost is proportional to the
+/// number of subtrees, not the size of the tree.
+pub fn split_frontier(
+    config: &Config,
+    setup: impl FnMut(&mut Execution),
+) -> Vec<SubtreeTask> {
+    let depth = config.effective_split_depth();
+    let mut frontier_config = config.clone();
+    frontier_config.strategy = StrategyKind::Frontier { depth };
+    frontier_config.max_runs = None;
+    let mut tasks = Vec::new();
+    explore(&frontier_config, setup, |run| {
+        let cut = run.decisions.len().min(depth);
+        tasks.push(SubtreeTask {
+            index: tasks.len(),
+            prefix: run.decisions[..cut].to_vec(),
+        });
+        ControlFlow::Continue(())
+    });
+    tasks
+}
+
+/// Cross-worker coordination for [`explore_parallel`] when the consumer
+/// stops at the first violation: workers report the subtree index at which
+/// they found one, and subtrees *after* the best (lowest) reported index
+/// are skipped or cut short. Subtrees before it keep running — one of them
+/// may still contain an earlier violation — so the winning violation is
+/// always the one a serial DFS would have found first, independent of
+/// worker timing.
+#[derive(Debug)]
+pub struct ParallelCancel {
+    best: AtomicUsize,
+}
+
+impl Default for ParallelCancel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelCancel {
+    /// Creates a token with no reported violation.
+    pub fn new() -> Self {
+        ParallelCancel {
+            best: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Records a violation in the subtree with the given DFS index.
+    pub fn report(&self, subtree_index: usize) {
+        self.best.fetch_min(subtree_index, Ordering::SeqCst);
+    }
+
+    /// Whether work on the subtree with the given DFS index has become
+    /// irrelevant (a violation exists in an earlier subtree). Checked by
+    /// workers at run boundaries to keep stop-at-first-violation prompt.
+    pub fn should_skip(&self, subtree_index: usize) -> bool {
+        self.best.load(Ordering::SeqCst) < subtree_index
+    }
+
+    /// The lowest subtree index reported so far, if any.
+    pub fn winner(&self) -> Option<usize> {
+        match self.best.load(Ordering::SeqCst) {
+            usize::MAX => None,
+            i => Some(i),
+        }
+    }
+}
+
+/// Explores disjoint schedule subtrees on `workers` OS threads.
+///
+/// `tasks` usually comes from [`split_frontier`]. Each worker repeatedly
+/// claims the next unclaimed task from a shared queue and calls
+/// `run_subtree` on it; the callback is expected to run its own
+/// [`explore`] with [`StrategyKind::PrefixDfs`] over the task's prefix
+/// (constructing a fresh instance of the program under test — subtree
+/// explorations share nothing) and return that exploration's statistics.
+/// Tasks whose index lies after a violation reported through
+/// [`ParallelCancel::report`] are skipped without invoking the callback.
+///
+/// Returns the merged statistics of all subtree explorations (see
+/// [`ExploreStats::merge`]). The per-subtree statistics are
+/// order-independent sums, so the merged result is deterministic whenever
+/// no early stop is involved.
+pub fn explore_parallel<F>(workers: usize, tasks: &[SubtreeTask], run_subtree: F) -> ExploreStats
+where
+    F: Fn(&SubtreeTask, &ParallelCancel) -> ExploreStats + Sync,
+{
+    assert!(workers >= 1, "workers must be at least 1");
+    let cancel = ParallelCancel::new();
+    let next = AtomicUsize::new(0);
+    let merged = std::sync::Mutex::new(ExploreStats::default());
+    let threads = workers.min(tasks.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = ExploreStats::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let task = &tasks[i];
+                    if cancel.should_skip(task.index) {
+                        continue;
+                    }
+                    local.merge(&run_subtree(task, &cancel));
+                }
+                merged.lock().unwrap().merge(&local);
+            });
+        }
+    });
+    merged.into_inner().unwrap()
 }
 
 #[cfg(test)]
@@ -647,6 +808,167 @@ mod tests {
         let ids = ids.into_inner().unwrap();
         assert!(ids.len() > 1);
         assert!(ids.iter().all(|&p| p == ids[0]));
+    }
+
+    /// merge() sums counters, maxes `max_schedule_len`, ORs
+    /// `stopped_early`.
+    #[test]
+    fn stats_merge_combines_fields() {
+        let mut a = ExploreStats {
+            runs: 3,
+            complete: 2,
+            deadlock: 1,
+            livelock: 0,
+            stuck_serial: 0,
+            panicked: 0,
+            step_limit: 0,
+            total_steps: 40,
+            max_schedule_len: 9,
+            stopped_early: false,
+        };
+        let b = ExploreStats {
+            runs: 5,
+            complete: 4,
+            deadlock: 0,
+            livelock: 1,
+            stuck_serial: 0,
+            panicked: 0,
+            step_limit: 0,
+            total_steps: 60,
+            max_schedule_len: 14,
+            stopped_early: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.runs, 8);
+        assert_eq!(a.complete, 6);
+        assert_eq!(a.deadlock, 1);
+        assert_eq!(a.livelock, 1);
+        assert_eq!(a.total_steps, 100);
+        assert_eq!(a.max_schedule_len, 14, "merge takes the max, not the sum");
+        assert!(a.stopped_early, "either side stopping early marks the merge");
+        // Merging a default (empty) exploration changes nothing.
+        let snapshot = a.clone();
+        a.merge(&ExploreStats::default());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn merge_keeps_own_larger_schedule_len() {
+        let mut a = ExploreStats {
+            max_schedule_len: 20,
+            ..Default::default()
+        };
+        a.merge(&ExploreStats {
+            max_schedule_len: 5,
+            stopped_early: false,
+            ..Default::default()
+        });
+        assert_eq!(a.max_schedule_len, 20);
+        assert!(!a.stopped_early);
+    }
+
+    fn boundary_setup(threads: usize, boundaries: usize) -> impl FnMut(&mut Execution) {
+        move |ex: &mut Execution| {
+            for _ in 0..threads {
+                ex.spawn(move || {
+                    for _ in 0..boundaries {
+                        op_boundary();
+                    }
+                });
+            }
+        }
+    }
+
+    /// split_frontier covers the tree: per-subtree DFS explorations sum
+    /// to exactly the serial run count, and replaying the subtrees in
+    /// index order reproduces the serial schedule sequence.
+    #[test]
+    fn split_frontier_partitions_runs() {
+        let config = Config::exhaustive().with_split_depth(3);
+        let serial_schedules = {
+            let mut v = Vec::new();
+            explore(&config, boundary_setup(2, 2), |run| {
+                v.push(run.schedule.clone());
+                ControlFlow::Continue(())
+            });
+            v
+        };
+        let tasks = split_frontier(&config, boundary_setup(2, 2));
+        assert!(tasks.len() > 1, "depth 3 must split this tree");
+        let mut combined = Vec::new();
+        for task in &tasks {
+            let mut sub_config = config.clone();
+            sub_config.strategy = StrategyKind::PrefixDfs {
+                prefix: task.prefix.clone(),
+            };
+            explore(&sub_config, boundary_setup(2, 2), |run| {
+                combined.push(run.schedule.clone());
+                ControlFlow::Continue(())
+            });
+        }
+        assert_eq!(combined, serial_schedules);
+    }
+
+    /// Parallel exploration merges per-subtree stats into exactly the
+    /// serial totals, for any worker count.
+    #[test]
+    fn explore_parallel_matches_serial_stats() {
+        let config = Config::exhaustive().with_split_depth(3);
+        let serial = count_runs(&config, boundary_setup(2, 2));
+        let tasks = split_frontier(&config, boundary_setup(2, 2));
+        for workers in [1, 2, 4] {
+            let stats = explore_parallel(workers, &tasks, |task, _cancel| {
+                let mut sub_config = config.clone();
+                sub_config.strategy = StrategyKind::PrefixDfs {
+                    prefix: task.prefix.clone(),
+                };
+                explore(&sub_config, boundary_setup(2, 2), |_| {
+                    ControlFlow::Continue(())
+                })
+            });
+            assert_eq!(stats.runs, serial.runs, "workers = {workers}");
+            assert_eq!(stats.complete, serial.complete);
+            assert_eq!(stats.total_steps, serial.total_steps);
+            assert_eq!(stats.max_schedule_len, serial.max_schedule_len);
+        }
+    }
+
+    /// Cancellation: reporting a violation in subtree k skips every task
+    /// after k but never the tasks before it.
+    #[test]
+    fn parallel_cancel_skips_later_subtrees_only() {
+        let cancel = ParallelCancel::new();
+        assert_eq!(cancel.winner(), None);
+        assert!(!cancel.should_skip(0));
+        cancel.report(5);
+        cancel.report(7); // later report of a later subtree: ignored
+        assert_eq!(cancel.winner(), Some(5));
+        assert!(!cancel.should_skip(4));
+        assert!(!cancel.should_skip(5), "the winner itself keeps running");
+        assert!(cancel.should_skip(6));
+        cancel.report(2); // an earlier subtree wins retroactively
+        assert_eq!(cancel.winner(), Some(2));
+    }
+
+    #[test]
+    fn explore_parallel_skips_tasks_after_reported_violation() {
+        let tasks: Vec<SubtreeTask> = (0..6)
+            .map(|i| SubtreeTask {
+                index: i,
+                prefix: vec![i],
+            })
+            .collect();
+        let visited = std::sync::Mutex::new(Vec::new());
+        // One worker processes tasks in order; a "violation" in subtree 2
+        // must skip 3, 4 and 5.
+        explore_parallel(1, &tasks, |task, cancel| {
+            visited.lock().unwrap().push(task.index);
+            if task.index == 2 {
+                cancel.report(task.index);
+            }
+            ExploreStats::default()
+        });
+        assert_eq!(*visited.lock().unwrap(), vec![0, 1, 2]);
     }
 
     /// Object registration outside any model context yields the pseudo id.

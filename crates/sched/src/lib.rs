@@ -69,7 +69,10 @@ pub mod strategy;
 
 pub use config::{Config, Mode, StrategyKind};
 pub use events::{AccessEvent, AccessKind};
-pub use explorer::{explore, Execution, ExploreStats, RunResult};
+pub use explorer::{
+    explore, explore_parallel, split_frontier, Execution, ExploreStats, ParallelCancel,
+    RunResult, SubtreeTask,
+};
 pub use ids::{ObjId, ThreadId};
 pub use probe::Probe;
 pub use runtime::{

@@ -170,6 +170,134 @@ impl Strategy for ReplayStrategy {
     }
 }
 
+/// Depth-first search restricted to the subtree rooted at a fixed decision
+/// prefix: every run replays the prefix verbatim, and the DFS explores only
+/// the decisions beyond it.
+///
+/// This is the unit of work of the parallel phase-2 exploration: the
+/// schedule tree is partitioned into disjoint subtrees by the frontier
+/// prefixes enumerated by [`FrontierStrategy`], and each worker explores
+/// one subtree with this strategy. The union of the runs over all frontier
+/// prefixes is exactly the set of runs a plain [`DfsStrategy`] performs,
+/// each exactly once.
+#[derive(Debug)]
+pub struct PrefixDfsStrategy {
+    prefix: Vec<usize>,
+    cursor: usize,
+    dfs: DfsStrategy,
+}
+
+impl PrefixDfsStrategy {
+    /// Creates a DFS over the subtree rooted at `prefix` (raw alternative
+    /// indexes, in decision order, as recorded in
+    /// [`RunResult::decisions`](crate::RunResult)).
+    pub fn new(prefix: Vec<usize>) -> Self {
+        PrefixDfsStrategy {
+            prefix,
+            cursor: 0,
+            dfs: DfsStrategy::new(),
+        }
+    }
+
+    /// The fixed decision prefix identifying this subtree.
+    pub fn prefix(&self) -> &[usize] {
+        &self.prefix
+    }
+}
+
+impl Strategy for PrefixDfsStrategy {
+    fn begin_run(&mut self) {
+        self.cursor = 0;
+        self.dfs.begin_run();
+    }
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        if self.cursor < self.prefix.len() {
+            let idx = self.prefix[self.cursor];
+            self.cursor += 1;
+            debug_assert!(
+                idx < num_alts,
+                "prefix decision out of range: the prefix must come from a \
+                 frontier run of the same deterministic program"
+            );
+            idx.min(num_alts - 1)
+        } else {
+            self.dfs.choose(num_alts)
+        }
+    }
+
+    fn end_run(&mut self) -> bool {
+        self.dfs.end_run()
+    }
+}
+
+/// Enumerates the *frontier* of the choice tree: a DFS that backtracks only
+/// within the first `limit` decisions of each run and always takes the
+/// first alternative beyond them.
+///
+/// Each run's first `min(decisions, limit)` decision indexes form one
+/// frontier prefix; across the whole exploration the prefixes are pairwise
+/// disjoint subtree roots that jointly cover the tree. Runs with fewer than
+/// `limit` decisions contribute their full decision list (a singleton
+/// subtree).
+#[derive(Debug)]
+pub struct FrontierStrategy {
+    limit: usize,
+    path: Vec<DfsNode>,
+    cursor: usize,
+}
+
+impl FrontierStrategy {
+    /// Creates a frontier enumeration splitting at depth `limit`.
+    pub fn new(limit: usize) -> Self {
+        FrontierStrategy {
+            limit,
+            path: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl Strategy for FrontierStrategy {
+    fn begin_run(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        debug_assert!(num_alts >= 2);
+        if self.cursor < self.path.len() {
+            let node = self.path[self.cursor];
+            assert_eq!(
+                node.num_alts, num_alts,
+                "nondeterministic replay: the program must make the same \
+                 choices given the same schedule prefix"
+            );
+            self.cursor += 1;
+            node.chosen
+        } else if self.cursor < self.limit {
+            self.path.push(DfsNode { num_alts, chosen: 0 });
+            self.cursor += 1;
+            0
+        } else {
+            // Beyond the frontier: always the first alternative, without
+            // recording a backtrack point.
+            self.cursor += 1;
+            0
+        }
+    }
+
+    fn end_run(&mut self) -> bool {
+        while let Some(last) = self.path.last_mut() {
+            if last.chosen + 1 < last.num_alts {
+                last.chosen += 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
 /// Probabilistic concurrency testing (PCT): assigns each thread a random
 /// priority, always runs the highest-priority candidate, and lowers the
 /// running priority at `depth − 1` randomly chosen steps.
@@ -435,5 +563,117 @@ mod tests {
         assert_eq!(r.choose(3), 2); // clamped to num_alts - 1
         assert_eq!(r.choose(2), 0); // exhausted: defaults to 0
         assert!(!r.end_run());
+    }
+
+    /// Drives a strategy through a synthetic fixed-arity tree and returns
+    /// every visited leaf as its decision path.
+    fn collect_leaves(strategy: &mut dyn Strategy, arities: &[usize]) -> Vec<Vec<usize>> {
+        let mut leaves = Vec::new();
+        loop {
+            strategy.begin_run();
+            let mut path = Vec::new();
+            for &a in arities {
+                path.push(strategy.choose(a));
+            }
+            leaves.push(path);
+            if !strategy.end_run() {
+                break;
+            }
+        }
+        leaves
+    }
+
+    #[test]
+    fn prefix_dfs_explores_exactly_its_subtree() {
+        let arities = [2usize, 3, 2];
+        let mut sub = PrefixDfsStrategy::new(vec![1, 2]);
+        let leaves = collect_leaves(&mut sub, &arities);
+        assert_eq!(leaves, vec![vec![1, 2, 0], vec![1, 2, 1]]);
+    }
+
+    #[test]
+    fn prefix_dfs_with_empty_prefix_equals_plain_dfs() {
+        let arities = [2usize, 2, 3];
+        let dfs_leaves = collect_leaves(&mut DfsStrategy::new(), &arities);
+        let sub_leaves = collect_leaves(&mut PrefixDfsStrategy::new(Vec::new()), &arities);
+        assert_eq!(dfs_leaves, sub_leaves);
+    }
+
+    #[test]
+    fn prefix_dfs_leaf_subtree_runs_once() {
+        // A prefix covering every decision of the run: one run, no more.
+        let mut sub = PrefixDfsStrategy::new(vec![1, 0]);
+        sub.begin_run();
+        assert_eq!(sub.choose(2), 1);
+        assert_eq!(sub.choose(2), 0);
+        assert!(!sub.end_run());
+    }
+
+    #[test]
+    fn frontier_enumerates_disjoint_covering_prefixes() {
+        let arities = [2usize, 3, 2];
+        let mut frontier = FrontierStrategy::new(2);
+        let prefixes: Vec<Vec<usize>> = collect_leaves(&mut frontier, &arities)
+            .into_iter()
+            .map(|leaf| leaf[..2].to_vec())
+            .collect();
+        // All 2×3 depth-2 paths, each exactly once, in DFS order.
+        let expected: Vec<Vec<usize>> = (0..2)
+            .flat_map(|a| (0..3).map(move |b| vec![a, b]))
+            .collect();
+        assert_eq!(prefixes, expected);
+    }
+
+    #[test]
+    fn frontier_deeper_than_tree_yields_full_paths() {
+        let arities = [2usize, 2];
+        let mut frontier = FrontierStrategy::new(10);
+        let leaves = collect_leaves(&mut frontier, &arities);
+        let dfs_leaves = collect_leaves(&mut DfsStrategy::new(), &arities);
+        assert_eq!(leaves, dfs_leaves);
+    }
+
+    /// The partition property the parallel exploration relies on: the
+    /// subtree explorations over all frontier prefixes together visit
+    /// exactly the leaves of the plain DFS, each exactly once, and
+    /// concatenating them in prefix order reproduces the DFS order.
+    #[test]
+    fn frontier_plus_prefix_dfs_partitions_the_tree() {
+        // A dependent tree: later arities depend on earlier choices.
+        fn run(strategy: &mut dyn Strategy) -> Vec<usize> {
+            let mut path = Vec::new();
+            let first = strategy.choose(3);
+            path.push(first);
+            if first == 0 {
+                path.push(strategy.choose(2));
+                path.push(strategy.choose(2));
+            } else {
+                path.push(strategy.choose(4));
+            }
+            path
+        }
+        fn collect(strategy: &mut dyn Strategy) -> Vec<Vec<usize>> {
+            let mut leaves = Vec::new();
+            loop {
+                strategy.begin_run();
+                leaves.push(run(strategy));
+                if !strategy.end_run() {
+                    break;
+                }
+            }
+            leaves
+        }
+        let serial = collect(&mut DfsStrategy::new());
+
+        let depth = 2;
+        let prefixes: Vec<Vec<usize>> = collect(&mut FrontierStrategy::new(depth))
+            .into_iter()
+            .map(|leaf| leaf[..leaf.len().min(depth)].to_vec())
+            .collect();
+        let mut combined = Vec::new();
+        for prefix in prefixes {
+            combined.extend(collect(&mut PrefixDfsStrategy::new(prefix)));
+        }
+        assert_eq!(combined, serial);
     }
 }
