@@ -10,8 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lineup::doc_support::CounterTarget;
 use lineup::{
-    find_witness, is_witness, synthesize_spec, CheckOptions, Invocation, TestMatrix,
-    WitnessQuery,
+    find_witness, is_witness, synthesize_spec, CheckOptions, Invocation, TestMatrix, WitnessQuery,
 };
 
 fn bench_ablation(c: &mut Criterion) {
@@ -57,8 +56,12 @@ fn bench_ablation(c: &mut Criterion) {
         vec![Invocation::new("inc"), Invocation::new("get")],
         vec![Invocation::new("inc"), Invocation::new("get")],
     ]);
-    for (label, bound) in [("pb0", Some(0)), ("pb1", Some(1)), ("pb2", Some(2)), ("unbounded", None)]
-    {
+    for (label, bound) in [
+        ("pb0", Some(0)),
+        ("pb1", Some(1)),
+        ("pb2", Some(2)),
+        ("unbounded", None),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("phase2_bound", label),
             &bound,

@@ -86,12 +86,16 @@ fn bench_witness(c: &mut Criterion) {
             let idx = spec.index();
             b.iter(|| find_witness(&idx, &q));
         });
-        group.bench_with_input(BenchmarkId::new("index_build_plus_search", n), &n, |b, _| {
-            b.iter(|| {
-                let idx = spec.index();
-                find_witness(&idx, &q)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("index_build_plus_search", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let idx = spec.index();
+                    find_witness(&idx, &q)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -44,4 +44,3 @@ fn verdict(report: &lineup::CheckReport) -> &'static str {
         "FAIL (violation of deterministic linearizability)"
     }
 }
-

@@ -46,5 +46,9 @@ fn main() {
     let file = lineup::write_observation_file(&spec);
     let path = std::env::temp_dir().join("lineup_counter_spec.xml");
     std::fs::write(&path, &file).expect("write observation file");
-    println!("\nObservation file written to {} ({} bytes).", path.display(), file.len());
+    println!(
+        "\nObservation file written to {} ({} bytes).",
+        path.display(),
+        file.len()
+    );
 }

@@ -48,12 +48,13 @@ fn main() {
     let (violations, stats) = check_against_spec(&buggy, &m, &spec, &CheckOptions::new());
     println!(
         "\nDifferential check against the correct counter's specification: {}",
-        if violations.is_empty() { "PASS" } else { "FAIL" }
+        if violations.is_empty() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
-    println!(
-        "({} concurrent runs; first violation below)",
-        stats.runs
-    );
+    println!("({} concurrent runs; first violation below)", stats.runs);
     if let Some(v) = violations.first() {
         print!("\n{}", lineup::render_violation(v));
     }

@@ -1,0 +1,164 @@
+//! Monitor-vs-SpecIndex comparison on the Table 2 rows: runs `check`
+//! twice per regression matrix — once with the default pre-enumerated
+//! witness search, once with the `lineup-monitor` backend
+//! ([`CheckOptions::with_monitor_backend`]) — and reports verdict
+//! agreement, wall time, and the monitor's oracle statistics.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin monitorcmp [--json] [--out PATH]
+//! ```
+//!
+//! Fixed classes (no regression matrix of their own) are exercised on
+//! their seeded "(Pre)" sibling's matrices, exactly like the
+//! `monitor_equivalence` integration test.
+
+use std::time::Instant;
+
+use lineup::{CheckOptions, TestMatrix};
+use lineup_bench::{arg_flag, arg_value, fmt_duration, TextTable};
+use lineup_collections::registry::{all_classes, ClassEntry};
+use lineup_monitor::monitor_backend;
+
+struct Sample {
+    class: String,
+    matrices: usize,
+    verdict: &'static str,
+    agree: bool,
+    spec_seconds: f64,
+    monitor_seconds: f64,
+    oracle_steps: u64,
+    memo_hits: u64,
+    cached_sequences: usize,
+}
+
+/// The matrices to compare a class on (own regression matrices, or the
+/// seeded sibling's against the fixed code).
+fn matrices_for(entry: &ClassEntry) -> Vec<TestMatrix> {
+    let own = entry.regression_matrices();
+    if !own.is_empty() {
+        return own;
+    }
+    all_classes()
+        .iter()
+        .find(|e| e.name.trim_end_matches(" (Pre)") == entry.name && e.name != entry.name)
+        .map(|sibling| sibling.regression_matrices())
+        .unwrap_or_default()
+}
+
+fn main() {
+    let json = arg_flag("--json");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_monitorcmp.json".into());
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for entry in all_classes() {
+        let matrices = matrices_for(&entry);
+        if matrices.is_empty() {
+            continue;
+        }
+        let mut spec_seconds = 0.0;
+        let mut monitor_seconds = 0.0;
+        let mut passed = true;
+        let mut agree = true;
+        let mut oracle_steps = 0;
+        let mut memo_hits = 0;
+        let mut cached_sequences = 0;
+        for matrix in &matrices {
+            let opts = CheckOptions::new().collect_all_violations();
+            let t0 = Instant::now();
+            let base = entry.target().check(matrix, &opts);
+            spec_seconds += t0.elapsed().as_secs_f64();
+
+            let backend = monitor_backend(entry.target_arc(), matrix);
+            let mon_opts = opts.with_monitor_backend(backend.clone());
+            let t0 = Instant::now();
+            let mon = entry.target().check(matrix, &mon_opts);
+            monitor_seconds += t0.elapsed().as_secs_f64();
+
+            passed &= base.passed();
+            agree &= base.passed() == mon.passed() && base.violations.len() == mon.violations.len();
+            let stats = backend.stats();
+            oracle_steps += stats.oracle_steps;
+            memo_hits += stats.memo_hits;
+            cached_sequences += backend.oracle().cached_sequences();
+        }
+        samples.push(Sample {
+            class: entry.name.to_string(),
+            matrices: matrices.len(),
+            verdict: if passed { "pass" } else { "fail" },
+            agree,
+            spec_seconds,
+            monitor_seconds,
+            oracle_steps,
+            memo_hits,
+            cached_sequences,
+        });
+    }
+
+    let mut table = TextTable::new(&[
+        "class",
+        "tests",
+        "verdict",
+        "agree",
+        "specindex",
+        "monitor",
+        "oracle steps",
+        "memo hits",
+        "replays",
+    ]);
+    let mut disagreements = 0;
+    for s in &samples {
+        if !s.agree {
+            disagreements += 1;
+        }
+        table.row(vec![
+            s.class.clone(),
+            s.matrices.to_string(),
+            s.verdict.to_string(),
+            if s.agree { "yes" } else { "NO" }.to_string(),
+            fmt_duration(std::time::Duration::from_secs_f64(s.spec_seconds)),
+            fmt_duration(std::time::Duration::from_secs_f64(s.monitor_seconds)),
+            s.oracle_steps.to_string(),
+            s.memo_hits.to_string(),
+            s.cached_sequences.to_string(),
+        ]);
+    }
+    println!("Monitor backend vs SpecIndex witness search (regression matrices)");
+    println!("{}", table.render());
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"monitor-vs-specindex\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"class\": \"{}\", \"tests\": {}, \"verdict\": \"{}\", \
+                 \"agree\": {}, \"specindex_seconds\": {:.6}, \
+                 \"monitor_seconds\": {:.6}, \"oracle_steps\": {}, \
+                 \"memo_hits\": {}, \"cached_sequences\": {}}}{}\n",
+                s.class,
+                s.matrices,
+                s.verdict,
+                s.agree,
+                s.spec_seconds,
+                s.monitor_seconds,
+                s.oracle_steps,
+                s.memo_hits,
+                s.cached_sequences,
+                if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&out_path, &out) {
+            Ok(()) => println!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if disagreements > 0 {
+        eprintln!("{disagreements} class(es) disagreed between the backends");
+        std::process::exit(1);
+    }
+}

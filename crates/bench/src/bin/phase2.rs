@@ -96,8 +96,14 @@ fn main() {
         let (spec, _, _) = synthesize_spec(&CounterTarget, &counter_matrix);
         let mut baseline = None;
         for &w in &workers_list {
-            let (runs, wall) =
-                measure(&CounterTarget, &counter_matrix, &spec, w, split_depth, repeat);
+            let (runs, wall) = measure(
+                &CounterTarget,
+                &counter_matrix,
+                &spec,
+                w,
+                split_depth,
+                repeat,
+            );
             let base = *baseline.get_or_insert(wall);
             samples.push(Sample {
                 workload: "counter_2x2_exhaustive",
@@ -130,9 +136,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let mut table = TextTable::new(&[
-        "workload", "workers", "runs", "wall", "runs/sec", "speedup",
-    ]);
+    let mut table = TextTable::new(&["workload", "workers", "runs", "wall", "runs/sec", "speedup"]);
     for s in &samples {
         table.row(vec![
             s.workload.to_string(),
@@ -143,7 +147,9 @@ fn main() {
             format!("{:.2}x", s.speedup),
         ]);
     }
-    println!("Phase-2 parallel scaling (best of {repeat}, split depth {split_depth}, {cores} core(s))");
+    println!(
+        "Phase-2 parallel scaling (best of {repeat}, split depth {split_depth}, {cores} core(s))"
+    );
     println!("{}", table.render());
 
     if json {

@@ -17,8 +17,8 @@ use lineup::{
     WitnessQuery,
 };
 use lineup_bench::{arg_num, TextTable};
-use lineup_collections::manual_reset_event::{fig9_matrix, ManualResetEventTarget};
 use lineup_collections::concurrent_queue::{fig1_matrix, ConcurrentQueueTarget};
+use lineup_collections::manual_reset_event::{fig9_matrix, ManualResetEventTarget};
 use lineup_collections::Variant;
 use lineup_sched::{Config, RunOutcome};
 
@@ -39,14 +39,12 @@ fn runs_to_violation<T: lineup::TestTarget>(
                 let q = WitnessQuery::for_full(&run.history);
                 find_witness(&index, &q).is_none()
             }
-            RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial => run
-                .history
-                .pending_ops()
-                .into_iter()
-                .any(|e| {
+            RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial => {
+                run.history.pending_ops().into_iter().any(|e| {
                     let q = WitnessQuery::for_stuck(&run.history, e);
                     find_witness(&index, &q).is_none()
-                }),
+                })
+            }
             _ => true,
         };
         if violated {

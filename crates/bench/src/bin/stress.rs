@@ -1,0 +1,251 @@
+//! Native stress benchmark: real-thread execution with online
+//! linearizability monitoring (`lineup-monitor`), on fixed and seeded
+//! collection classes.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin stress [--json] [--out PATH]
+//!     [--runs N] [--threads T] [--seed S]
+//! ```
+//!
+//! Unlike the model-checking benchmarks this samples *real* OS-thread
+//! interleavings (with seeded yield injection): fixed classes must stay
+//! green across every run, and the seeded "(Pre)" dictionary should
+//! trip the monitor within the run budget. Reports, per workload, the
+//! execution rate (runs/second) and the monitor throughput (history
+//! checks/second); `--json` additionally writes `BENCH_stress.json`
+//! (or `--out PATH`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lineup::{Invocation, TestMatrix, TestTarget};
+use lineup_bench::{arg_flag, arg_num, arg_value, fmt_duration, TextTable};
+use lineup_collections::concurrent_dictionary::ConcurrentDictionaryTarget;
+use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+use lineup_collections::Variant;
+use lineup_monitor::{run_stress, Monitor, ReplayOracle, StressOptions};
+
+struct Sample {
+    workload: String,
+    seeded: bool,
+    runs: usize,
+    ops: u64,
+    distinct: usize,
+    stuck_runs: usize,
+    violations: usize,
+    wall_seconds: f64,
+    runs_per_sec: f64,
+    monitor_checks: u64,
+    monitor_wall_seconds: f64,
+    checks_per_sec: f64,
+}
+
+/// `threads` columns of TryAdds on distinct keys, Count at the end: the
+/// final count must equal the number of threads — the seeded variant's
+/// lost update (root cause F) makes it fall short.
+fn dictionary_matrix(threads: usize) -> TestMatrix {
+    TestMatrix::from_columns(
+        (0..threads)
+            .map(|i| vec![Invocation::with_int("TryAdd", 10 * (i as i64 + 1))])
+            .collect(),
+    )
+    .with_finally(vec![Invocation::new("Count")])
+}
+
+/// Producer/consumer columns alternating over `threads` threads.
+fn queue_matrix(threads: usize) -> TestMatrix {
+    TestMatrix::from_columns(
+        (0..threads)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![
+                        Invocation::with_int("Enqueue", 100 * (i as i64 + 1)),
+                        Invocation::with_int("Enqueue", 100 * (i as i64 + 1) + 1),
+                    ]
+                } else {
+                    vec![Invocation::new("TryDequeue"), Invocation::new("TryDequeue")]
+                }
+            })
+            .collect(),
+    )
+}
+
+fn measure<T>(
+    workload: &str,
+    seeded: bool,
+    target: T,
+    matrix: &TestMatrix,
+    runs: usize,
+    seed: u64,
+) -> Sample
+where
+    T: TestTarget + Clone + Send + Sync + 'static,
+    T::Instance: Send + Sync + 'static,
+{
+    let monitor = Monitor::new(ReplayOracle::new(
+        Arc::new(target.clone()),
+        matrix.init.clone(),
+    ));
+    let report = run_stress(
+        &target,
+        matrix,
+        &monitor,
+        &StressOptions {
+            runs,
+            seed,
+            // Seeded bugs are windows to hit, not certainties: stop at the
+            // first detection instead of burning the whole budget.
+            stop_at_first_violation: seeded,
+            run_timeout: Duration::from_secs(5),
+            ..StressOptions::default()
+        },
+    );
+    let wall = report.wall.as_secs_f64();
+    let monitor_wall = report.monitor_wall.as_secs_f64();
+    Sample {
+        workload: workload.to_string(),
+        seeded,
+        runs: report.runs,
+        ops: report.ops,
+        distinct: report.distinct_histories,
+        stuck_runs: report.stuck_runs,
+        violations: report.violations.len(),
+        wall_seconds: wall,
+        runs_per_sec: report.runs as f64 / wall.max(1e-9),
+        monitor_checks: report.monitor_checks,
+        monitor_wall_seconds: monitor_wall,
+        checks_per_sec: report.monitor_checks as f64 / monitor_wall.max(1e-9),
+    }
+}
+
+fn main() {
+    let json = arg_flag("--json");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_stress.json".into());
+    let runs: usize = arg_num("--runs", 2000);
+    let threads: usize = arg_num("--threads", 2);
+    let seed: u64 = arg_num("--seed", 1);
+    assert!(threads >= 1, "--threads must be at least 1");
+
+    let samples = vec![
+        measure(
+            "dictionary_fixed",
+            false,
+            ConcurrentDictionaryTarget {
+                variant: Variant::Fixed,
+            },
+            &dictionary_matrix(threads),
+            runs,
+            seed,
+        ),
+        measure(
+            "queue_fixed",
+            false,
+            ConcurrentQueueTarget {
+                variant: Variant::Fixed,
+            },
+            &queue_matrix(threads),
+            runs,
+            seed,
+        ),
+        measure(
+            "dictionary_pre_seeded",
+            true,
+            ConcurrentDictionaryTarget {
+                variant: Variant::Pre,
+            },
+            &dictionary_matrix(threads.max(2)),
+            // The lost-update window needs luck; give the seeded hunt a
+            // larger budget (it stops at the first detection anyway).
+            runs.saturating_mul(25),
+            seed,
+        ),
+    ];
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut table = TextTable::new(&[
+        "workload",
+        "runs",
+        "histories",
+        "violations",
+        "wall",
+        "runs/sec",
+        "checks/sec",
+        "verdict",
+    ]);
+    let mut failed = false;
+    for s in &samples {
+        let verdict = if s.seeded {
+            if s.violations > 0 {
+                "detected"
+            } else {
+                failed = true;
+                "MISSED"
+            }
+        } else if s.violations == 0 {
+            "green"
+        } else {
+            failed = true;
+            "VIOLATION"
+        };
+        table.row(vec![
+            s.workload.clone(),
+            s.runs.to_string(),
+            s.distinct.to_string(),
+            s.violations.to_string(),
+            fmt_duration(Duration::from_secs_f64(s.wall_seconds)),
+            format!("{:.0}", s.runs_per_sec),
+            format!("{:.0}", s.checks_per_sec),
+            verdict.to_string(),
+        ]);
+    }
+    println!(
+        "Native stress with online monitoring ({threads} thread(s), seed {seed}, {cores} core(s))"
+    );
+    println!("{}", table.render());
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"native-stress\",\n");
+        out.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+        out.push_str(&format!("  \"threads\": {threads},\n"));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"seeded\": {}, \"runs\": {}, \
+                 \"ops\": {}, \"distinct_histories\": {}, \"stuck_runs\": {}, \
+                 \"violations\": {}, \"wall_seconds\": {:.6}, \
+                 \"runs_per_sec\": {:.1}, \"monitor_checks\": {}, \
+                 \"monitor_wall_seconds\": {:.6}, \"monitor_checks_per_sec\": {:.1}}}{}\n",
+                s.workload,
+                s.seeded,
+                s.runs,
+                s.ops,
+                s.distinct,
+                s.stuck_runs,
+                s.violations,
+                s.wall_seconds,
+                s.runs_per_sec,
+                s.monitor_checks,
+                s.monitor_wall_seconds,
+                s.checks_per_sec,
+                if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&out_path, &out) {
+            Ok(()) => println!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -141,8 +141,7 @@ fn main() {
             .iter()
             .map(|s| s.phase1.full_histories + s.phase1.stuck_histories)
             .collect();
-        let p1_times: Vec<Duration> =
-            result.summaries.iter().map(|s| s.phase1.duration).collect();
+        let p1_times: Vec<Duration> = result.summaries.iter().map(|s| s.phase1.duration).collect();
         let pass_times: Vec<Duration> = result
             .summaries
             .iter()
@@ -209,9 +208,7 @@ fn main() {
             Some(matrix) => {
                 let rendered: Vec<String> = found
                     .iter()
-                    .map(|c| {
-                        format!("{c:?}{}", if starred.contains(c) { "*" } else { "" })
-                    })
+                    .map(|c| format!("{c:?}{}", if starred.contains(c) { "*" } else { "" }))
                     .collect();
                 let (small, _) = entry.target().shrink_failing_test(&matrix, &options);
                 let (r, c) = small.dimension();

@@ -174,10 +174,7 @@ mod tests {
 
     #[test]
     fn unsynchronized_write_write_races() {
-        let log = vec![
-            event(0, 0, 1, WriteData, 0),
-            event(1, 1, 1, WriteData, 0),
-        ];
+        let log = vec![event(0, 0, 1, WriteData, 0), event(1, 1, 1, WriteData, 0)];
         let races = detect_races(&log);
         assert_eq!(races.len(), 1);
         assert_eq!(races[0].obj, ObjId(1));
@@ -185,28 +182,19 @@ mod tests {
 
     #[test]
     fn unsynchronized_read_write_races() {
-        let log = vec![
-            event(0, 0, 1, ReadData, 0),
-            event(1, 1, 1, WriteData, 0),
-        ];
+        let log = vec![event(0, 0, 1, ReadData, 0), event(1, 1, 1, WriteData, 0)];
         assert_eq!(detect_races(&log).len(), 1);
     }
 
     #[test]
     fn write_read_races() {
-        let log = vec![
-            event(0, 0, 1, WriteData, 0),
-            event(1, 1, 1, ReadData, 0),
-        ];
+        let log = vec![event(0, 0, 1, WriteData, 0), event(1, 1, 1, ReadData, 0)];
         assert_eq!(detect_races(&log).len(), 1);
     }
 
     #[test]
     fn reads_do_not_race() {
-        let log = vec![
-            event(0, 0, 1, ReadData, 0),
-            event(1, 1, 1, ReadData, 0),
-        ];
+        let log = vec![event(0, 0, 1, ReadData, 0), event(1, 1, 1, ReadData, 0)];
         assert!(detect_races(&log).is_empty());
     }
 
@@ -254,7 +242,7 @@ mod tests {
     #[test]
     fn volatile_flag_publication_is_race_free() {
         let log = vec![
-            event(0, 0, 1, WriteData, 0),  // init data
+            event(0, 0, 1, WriteData, 0),   // init data
             event(1, 0, 2, AtomicStore, 0), // publish flag
             event(2, 1, 2, AtomicLoad, 0),  // consume flag
             event(3, 1, 1, ReadData, 0),    // read data

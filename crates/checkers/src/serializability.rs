@@ -57,9 +57,7 @@ pub struct SerializabilityViolation {
 /// use lineup_checkers::check_serializability;
 /// assert_eq!(check_serializability(&[]), Ok(0));
 /// ```
-pub fn check_serializability(
-    log: &[AccessEvent],
-) -> Result<usize, Box<SerializabilityViolation>> {
+pub fn check_serializability(log: &[AccessEvent]) -> Result<usize, Box<SerializabilityViolation>> {
     // Gather conflicting pairs in execution order.
     let mut edges: Vec<ConflictEdge> = Vec::new();
     let mut seen_edges: HashSet<(TxId, TxId, ObjId)> = HashSet::new();
@@ -195,11 +193,11 @@ mod tests {
     #[test]
     fn failed_cas_retry_is_flagged() {
         let log = vec![
-            event(0, 0, 1, AtomicLoad, 0),               // T0 reads top
-            event(1, 1, 1, AtomicRmw { success: true }, 0), // T1 pushes
+            event(0, 0, 1, AtomicLoad, 0),                   // T0 reads top
+            event(1, 1, 1, AtomicRmw { success: true }, 0),  // T1 pushes
             event(2, 0, 1, AtomicRmw { success: false }, 0), // T0 CAS fails
-            event(3, 0, 1, AtomicLoad, 0),               // T0 retries: reads
-            event(4, 0, 1, AtomicRmw { success: true }, 0), // T0 succeeds
+            event(3, 0, 1, AtomicLoad, 0),                   // T0 retries: reads
+            event(4, 0, 1, AtomicRmw { success: true }, 0),  // T0 succeeds
         ];
         assert!(check_serializability(&log).is_err());
     }

@@ -13,7 +13,6 @@
 use lineup::{Invocation, TestInstance, TestTarget, Value};
 use lineup_sync::{DataCell, Monitor};
 
-
 /// A reusable phase barrier in the style of .NET's `Barrier`.
 #[derive(Debug)]
 pub struct Barrier {

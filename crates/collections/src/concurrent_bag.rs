@@ -298,7 +298,10 @@ mod tests {
             },
         );
         assert!(took.contains(&Some(7)), "steal succeeds in some schedule");
-        assert!(took.contains(&None), "take-before-add fails in some schedule");
+        assert!(
+            took.contains(&None),
+            "take-before-add fails in some schedule"
+        );
     }
 
     /// Root cause H: the multi-list steal scan is not atomic, so a

@@ -377,8 +377,7 @@ mod tests {
                 assert!(history
                     .ops
                     .iter()
-                    .any(|op| op.invocation.name == "TryTake"
-                        && op.response == Some(Value::Fail)));
+                    .any(|op| op.invocation.name == "TryTake" && op.response == Some(Value::Fail)));
             }
             other => panic!("expected NoWitness, got {other:?}"),
         }
@@ -409,7 +408,10 @@ mod tests {
             variant: Variant::Fixed,
         };
         let m = TestMatrix::from_columns(vec![
-            vec![Invocation::with_int("Enqueue", 10), Invocation::new("Count")],
+            vec![
+                Invocation::with_int("Enqueue", 10),
+                Invocation::new("Count"),
+            ],
             vec![Invocation::new("ToArray"), Invocation::new("IsEmpty")],
         ]);
         let report = check(&target, &m, &CheckOptions::new());

@@ -231,7 +231,10 @@ mod tests {
         ]);
         let report = check(&target, &m, &CheckOptions::new());
         assert!(report.passed(), "{:?}", report.violations);
-        assert!(report.spec.stuck_count() > 0, "Wait-first serial runs block");
+        assert!(
+            report.spec.stuck_count() > 0,
+            "Wait-first serial runs block"
+        );
     }
 
     #[test]

@@ -243,7 +243,9 @@ mod tests {
         assert!(!report.passed(), "root cause A must be detected");
         let v = report.first_violation().unwrap();
         match v {
-            lineup::Violation::StuckNoWitness { history, pending, .. } => {
+            lineup::Violation::StuckNoWitness {
+                history, pending, ..
+            } => {
                 assert_eq!(history.ops[*pending].invocation.name, "Wait");
             }
             other => panic!("expected a stuck-history violation, got {other:?}"),

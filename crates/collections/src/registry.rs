@@ -72,9 +72,7 @@ impl RootCause {
             | RootCause::E
             | RootCause::F
             | RootCause::G => RootCauseKind::Bug,
-            RootCause::H | RootCause::I | RootCause::J => {
-                RootCauseKind::IntentionalNondeterminism
-            }
+            RootCause::H | RootCause::I | RootCause::J => RootCauseKind::IntentionalNondeterminism,
             RootCause::K | RootCause::L => RootCauseKind::IntentionalNonlinearizability,
         }
     }
@@ -253,7 +251,13 @@ macro_rules! entry {
 pub fn all_classes() -> Vec<ClassEntry> {
     use RootCause as RC;
     vec![
-        entry!("Lazy Initialization", Variant::Fixed, "lazy.rs", &[], LazyTarget),
+        entry!(
+            "Lazy Initialization",
+            Variant::Fixed,
+            "lazy.rs",
+            &[],
+            LazyTarget
+        ),
         entry!(
             "ManualResetEvent",
             Variant::Fixed,

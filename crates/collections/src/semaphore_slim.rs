@@ -219,7 +219,10 @@ mod tests {
             initial: 1,
         };
         let m = TestMatrix::from_columns(vec![
-            vec![Invocation::with_int("Wait", 0), Invocation::new("CurrentCount")],
+            vec![
+                Invocation::with_int("Wait", 0),
+                Invocation::new("CurrentCount"),
+            ],
             vec![Invocation::new("Release"), Invocation::with_int("Wait", 0)],
         ]);
         let report = check(&target, &m, &CheckOptions::new());

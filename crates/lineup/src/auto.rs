@@ -242,11 +242,16 @@ pub fn random_check_parallel<T: TestTarget>(
             .map(|w| {
                 let mut cfg = config.clone();
                 cfg.samples = chunk.min(config.samples.saturating_sub(w * chunk));
-                cfg.seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                cfg.seed = config
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
                 scope.spawn(move || random_check(target, &cfg))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     let mut summaries = Vec::new();
     let mut first_failure = None;

@@ -3,10 +3,11 @@
 //! execution against it.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use lineup_sched::{explore_parallel, Config, RunOutcome, StrategyKind, SubtreeTask};
@@ -17,6 +18,42 @@ use crate::matrix::TestMatrix;
 use crate::spec::{Nondeterminism, ObservationSet, SerialHistory, SpecIndex};
 use crate::target::TestTarget;
 use crate::witness::{find_witness, WitnessQuery};
+
+/// An alternative witness backend for phase 2: instead of searching the
+/// pre-enumerated observation set ([`find_witness`]), a monitor decides
+/// directly whether a history is linearizable with respect to an
+/// executable sequential oracle (the `lineup-monitor` crate provides the
+/// Wing–Gong-style implementation).
+///
+/// A monitor must agree with the witness search on every history the
+/// model checker can record for a *deterministic* target — phase 2 only
+/// runs after the determinism check, so implementations may assume the
+/// sequential behavior is a function of the invocation sequence.
+pub trait HistoryMonitor: Send + Sync {
+    /// Whether the *complete* history is linearizable: some interleaving
+    /// of the per-thread operation sequences, respecting the history's
+    /// precedence order (relaxed for `async_methods`, see
+    /// [`CheckOptions::async_methods`]), replays against the sequential
+    /// oracle with matching responses (Definition 1).
+    fn check_full(&self, history: &History, async_methods: &[String]) -> bool;
+
+    /// Whether `H[e]` — the complete operations plus the pending operation
+    /// `e` — has a stuck linearization: the complete operations linearize
+    /// as in [`check_full`](HistoryMonitor::check_full) and the oracle
+    /// then *blocks* on `e`'s invocation (Definition 2).
+    fn check_stuck(&self, history: &History, pending: OpIndex, async_methods: &[String]) -> bool;
+}
+
+/// A cloneable handle to a [`HistoryMonitor`], carried inside
+/// [`CheckOptions`].
+#[derive(Clone)]
+pub struct MonitorHandle(pub Arc<dyn HistoryMonitor>);
+
+impl fmt::Debug for MonitorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MonitorHandle(..)")
+    }
+}
 
 /// Options controlling one [`check`] call.
 #[derive(Debug, Clone)]
@@ -76,6 +113,14 @@ pub struct CheckOptions {
     /// [`Config::DEFAULT_SPLIT_DEPTH`]). Only read when
     /// [`workers`](CheckOptions::workers) `> 1`.
     pub split_depth: Option<usize>,
+    /// Alternative witness backend (see [`HistoryMonitor`]). When set,
+    /// phase 2 asks the monitor for every history verdict instead of
+    /// searching the enumerated observation set; spuriously-failed
+    /// operations are still removed first, but no sub-test specification
+    /// is synthesized (the monitor's oracle is test-independent). Phase 1
+    /// still runs: the observation set feeds the determinism check, which
+    /// the monitor's oracle-replay model relies on.
+    pub witness_monitor: Option<MonitorHandle>,
 }
 
 impl CheckOptions {
@@ -90,6 +135,7 @@ impl CheckOptions {
             spurious_failures: Vec::new(),
             workers: 1,
             split_depth: None,
+            witness_monitor: None,
         }
     }
 
@@ -152,6 +198,13 @@ impl CheckOptions {
     /// [`CheckOptions::split_depth`]), builder style.
     pub fn with_split_depth(mut self, depth: usize) -> Self {
         self.split_depth = Some(depth);
+        self
+    }
+
+    /// Uses a [`HistoryMonitor`] as the phase-2 witness backend (see
+    /// [`CheckOptions::witness_monitor`]), builder style.
+    pub fn with_monitor_backend(mut self, monitor: Arc<dyn HistoryMonitor>) -> Self {
+        self.witness_monitor = Some(MonitorHandle(monitor));
         self
     }
 }
@@ -314,10 +367,7 @@ pub fn synthesize_spec<T: TestTarget>(
 /// within thread)` pairs — which identify the matrix cells to drop from
 /// the sub-test whose specification the reduced history is checked
 /// against.
-fn reduce_spurious(
-    history: &History,
-    spurious: &[String],
-) -> (History, Vec<(usize, usize)>) {
+fn reduce_spurious(history: &History, spurious: &[String]) -> (History, Vec<(usize, usize)>) {
     if spurious.is_empty() {
         return (history.clone(), Vec::new());
     }
@@ -397,9 +447,11 @@ pub fn check_against_spec<T: TestTarget>(
     let mut violations = Vec::new();
     for bound in bounds.drain(..) {
         let (vs, stats) = check_against_spec_at(target, matrix, spec, options, bound);
-        total.runs += stats.runs;
-        total.full_histories += stats.full_histories;
-        total.stuck_histories += stats.stuck_histories;
+        // Saturating accumulation: the per-iteration counts are themselves
+        // unbounded sums over exploration, so cap instead of wrapping.
+        total.runs = total.runs.saturating_add(stats.runs);
+        total.full_histories = total.full_histories.saturating_add(stats.full_histories);
+        total.stuck_histories = total.stuck_histories.saturating_add(stats.stuck_histories);
         total.duration += stats.duration;
         if !vs.is_empty() {
             violations = vs;
@@ -464,26 +516,17 @@ fn check_against_spec_at<T: TestTarget>(
                 // A history already seen (through another schedule) was
                 // already checked — and reported, if it was a violation.
                 if !seen.contains_key(&run.history) {
-                    full += 1;
-                    let (reduced, removed) =
-                        reduce_spurious(&run.history, &options.spurious_failures);
-                    let q = WitnessQuery::for_full_relaxed(&reduced, &options.async_methods);
-                    let found = if removed.is_empty() {
-                        find_witness(&index, &q).is_some()
-                    } else {
-                        // Check the reduced history against the sub-test's
-                        // own synthesized specification.
-                        let sub = sub_specs.entry(removed).or_insert_with_key(|cells| {
-                            crate::check::synthesize_spec(
-                                target,
-                                &reduced_matrix(matrix, cells),
-                            )
-                            .0
-                        });
-                        find_witness(&sub.index(), &q).is_some()
-                    };
-                    seen.insert(run.history.clone(), found);
-                    if !found {
+                    full = full.saturating_add(1);
+                    let verdict = full_verdict(
+                        target,
+                        matrix,
+                        &index,
+                        options,
+                        &mut sub_specs,
+                        &run.history,
+                    );
+                    seen.insert(run.history.clone(), !verdict.is_violation());
+                    if verdict.is_violation() {
                         violations.push(Violation::NoWitness {
                             history: run.history.clone(),
                             decisions: run.decisions.clone(),
@@ -494,43 +537,26 @@ fn check_against_spec_at<T: TestTarget>(
             }
             RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial => {
                 if !seen.contains_key(&run.history) {
-                    stuck += 1;
-                    let (reduced, removed) =
-                        reduce_spurious(&run.history, &options.spurious_failures);
-                    let sub_index_spec: Option<&ObservationSet> = if removed.is_empty() {
-                        None
-                    } else {
-                        Some(sub_specs.entry(removed).or_insert_with_key(|cells| {
-                            crate::check::synthesize_spec(
-                                target,
-                                &reduced_matrix(matrix, cells),
-                            )
-                            .0
-                        }))
-                    };
-                    let sub_index = sub_index_spec.map(|s| s.index());
-                    let mut verdict = true;
-                    for e in reduced.pending_ops() {
-                        let q =
-                            WitnessQuery::for_stuck_relaxed(&reduced, e, &options.async_methods);
-                        let missing = match &sub_index {
-                            Some(idx) => find_witness(idx, &q).is_none(),
-                            None => find_witness(&index, &q).is_none(),
-                        };
-                        if missing {
-                            // Report the reduced history so the pending
-                            // index refers to the checked history.
-                            violations.push(Violation::StuckNoWitness {
-                                history: reduced.clone(),
-                                pending: e,
-                                decisions: run.decisions.clone(),
-                            });
-                            verdict = false;
-                            ok = false;
-                            break;
-                        }
+                    stuck = stuck.saturating_add(1);
+                    let verdict = stuck_verdict(
+                        target,
+                        matrix,
+                        &index,
+                        options,
+                        &mut sub_specs,
+                        &run.history,
+                    );
+                    seen.insert(run.history.clone(), !verdict.is_violation());
+                    if let CachedVerdict::StuckNoWitness { reduced, pending } = verdict {
+                        // Report the reduced history so the pending index
+                        // refers to the checked history.
+                        violations.push(Violation::StuckNoWitness {
+                            history: reduced,
+                            pending,
+                            decisions: run.decisions.clone(),
+                        });
+                        ok = false;
                     }
-                    seen.insert(run.history.clone(), verdict);
                 }
             }
         }
@@ -564,10 +590,7 @@ enum CachedVerdict {
     /// (Definition 2). Stores the spurious-reduced history the pending
     /// index refers to, so cache hits can report the violation without
     /// redoing the reduction.
-    StuckNoWitness {
-        reduced: History,
-        pending: OpIndex,
-    },
+    StuckNoWitness { reduced: History, pending: OpIndex },
 }
 
 impl CachedVerdict {
@@ -587,7 +610,9 @@ struct VerdictCache {
 impl VerdictCache {
     fn new(shards: usize) -> Self {
         VerdictCache {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -628,14 +653,20 @@ fn full_verdict<T: TestTarget>(
     history: &History,
 ) -> CachedVerdict {
     let (reduced, removed) = reduce_spurious(history, &options.spurious_failures);
-    let q = WitnessQuery::for_full_relaxed(&reduced, &options.async_methods);
-    let found = if removed.is_empty() {
-        find_witness(index, &q).is_some()
+    let found = if let Some(monitor) = &options.witness_monitor {
+        // Monitor backend: the oracle replays invocation sequences
+        // directly, so the reduced history needs no sub-test spec.
+        monitor.0.check_full(&reduced, &options.async_methods)
     } else {
-        let sub = sub_specs.entry(removed).or_insert_with_key(|cells| {
-            synthesize_spec(target, &reduced_matrix(matrix, cells)).0
-        });
-        find_witness(&sub.index(), &q).is_some()
+        let q = WitnessQuery::for_full_relaxed(&reduced, &options.async_methods);
+        if removed.is_empty() {
+            find_witness(index, &q).is_some()
+        } else {
+            let sub = sub_specs.entry(removed).or_insert_with_key(|cells| {
+                synthesize_spec(target, &reduced_matrix(matrix, cells)).0
+            });
+            find_witness(&sub.index(), &q).is_some()
+        }
     };
     if found {
         CachedVerdict::Pass
@@ -655,13 +686,25 @@ fn stuck_verdict<T: TestTarget>(
     history: &History,
 ) -> CachedVerdict {
     let (reduced, removed) = reduce_spurious(history, &options.spurious_failures);
-    let sub_spec: Option<&ObservationSet> = if removed.is_empty() {
-        None
-    } else {
-        Some(sub_specs.entry(removed).or_insert_with_key(|cells| {
-            synthesize_spec(target, &reduced_matrix(matrix, cells)).0
-        }))
-    };
+    if let Some(monitor) = &options.witness_monitor {
+        for e in reduced.pending_ops() {
+            if !monitor.0.check_stuck(&reduced, e, &options.async_methods) {
+                return CachedVerdict::StuckNoWitness {
+                    reduced,
+                    pending: e,
+                };
+            }
+        }
+        return CachedVerdict::Pass;
+    }
+    let sub_spec: Option<&ObservationSet> =
+        if removed.is_empty() {
+            None
+        } else {
+            Some(sub_specs.entry(removed).or_insert_with_key(|cells| {
+                synthesize_spec(target, &reduced_matrix(matrix, cells)).0
+            }))
+        };
     let sub_index = sub_spec.map(|s| s.index());
     for e in reduced.pending_ops() {
         let q = WitnessQuery::for_stuck_relaxed(&reduced, e, &options.async_methods);
@@ -1117,9 +1160,8 @@ mod tests {
         let m = buggy_matrix();
         let serial_opts = CheckOptions::new().collect_all_violations();
         let serial = check(&BuggyCounterTarget, &m, &serial_opts);
-        let rendered = |vs: &[Violation]| -> Vec<String> {
-            vs.iter().map(|v| format!("{v:?}")).collect()
-        };
+        let rendered =
+            |vs: &[Violation]| -> Vec<String> { vs.iter().map(|v| format!("{v:?}")).collect() };
         for workers in [2, 4] {
             let par = check(
                 &BuggyCounterTarget,

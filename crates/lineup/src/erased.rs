@@ -25,19 +25,19 @@ pub trait ErasedTarget: Sync {
     /// Runs [`random_check`] on this target.
     fn random_check(&self, config: &RandomCheckConfig) -> RandomCheckResult;
     /// Runs [`random_check_parallel`] on this target.
-    fn random_check_parallel(&self, config: &RandomCheckConfig, workers: usize)
-        -> RandomCheckResult;
+    fn random_check_parallel(
+        &self,
+        config: &RandomCheckConfig,
+        workers: usize,
+    ) -> RandomCheckResult;
     /// Runs [`synthesize_spec`] (phase 1 only) on this target.
     fn synthesize_spec(
         &self,
         matrix: &TestMatrix,
     ) -> (ObservationSet, PhaseStats, Option<Violation>);
     /// Runs [`shrink_failing_test`] on this target.
-    fn shrink_failing_test(
-        &self,
-        matrix: &TestMatrix,
-        options: &CheckOptions,
-    ) -> (TestMatrix, u64);
+    fn shrink_failing_test(&self, matrix: &TestMatrix, options: &CheckOptions)
+        -> (TestMatrix, u64);
 }
 
 impl<T: TestTarget> ErasedTarget for T {

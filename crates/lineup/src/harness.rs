@@ -8,8 +8,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use lineup_sched::{
-    block_current, current_thread, explore, op_boundary, unblock, BlockKind, Config,
-    ExploreStats, RunOutcome, ThreadId,
+    block_current, current_thread, explore, op_boundary, unblock, BlockKind, Config, ExploreStats,
+    RunOutcome, ThreadId,
 };
 
 use crate::history::History;
@@ -308,7 +308,14 @@ mod tests {
         assert_eq!(stats.complete, 2);
         let gets: std::collections::BTreeSet<_> = histories
             .iter()
-            .map(|h| h.ops.iter().find(|o| o.invocation.name == "get").unwrap().response.clone())
+            .map(|h| {
+                h.ops
+                    .iter()
+                    .find(|o| o.invocation.name == "get")
+                    .unwrap()
+                    .response
+                    .clone()
+            })
             .collect();
         assert_eq!(gets.len(), 2);
     }
@@ -346,7 +353,11 @@ mod tests {
         let stats = explore_matrix(&CounterTarget, &m, &Config::exhaustive(), |run| {
             assert_eq!(run.outcome, RunOutcome::Complete);
             let h = &run.history;
-            let get = h.ops.iter().position(|o| o.invocation.name == "get").unwrap();
+            let get = h
+                .ops
+                .iter()
+                .position(|o| o.invocation.name == "get")
+                .unwrap();
             // The final get sees both increments in every schedule.
             assert_eq!(h.ops[get].response, Some(Value::Int(2)));
             assert_eq!(h.ops[get].thread, 2);
@@ -374,12 +385,7 @@ mod tests {
             }
         });
         for original in recorded {
-            let replay = replay_matrix(
-                &CounterTarget,
-                &m,
-                original.decisions.clone(),
-                Some(2),
-            );
+            let replay = replay_matrix(&CounterTarget, &m, original.decisions.clone(), Some(2));
             assert_eq!(replay.history, original.history);
             assert_eq!(replay.outcome, original.outcome);
         }

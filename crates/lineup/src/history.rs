@@ -203,7 +203,10 @@ impl History {
     /// linearizability with respect to the specification closed under
     /// such spurious failures (the paper's future-work item on
     /// nondeterministic methods).
-    pub fn without_ops(&self, remove: &std::collections::BTreeSet<OpIndex>) -> (History, Vec<Option<OpIndex>>) {
+    pub fn without_ops(
+        &self,
+        remove: &std::collections::BTreeSet<OpIndex>,
+    ) -> (History, Vec<Option<OpIndex>>) {
         let mut out = History::new(self.thread_count);
         out.stuck = self.stuck;
         let mut map: Vec<Option<OpIndex>> = vec![None; self.ops.len()];

@@ -67,10 +67,11 @@ pub use auto::{
     auto_check, random_check, random_check_parallel, AutoCheckLimits, RandomCheckConfig,
     RandomCheckResult,
 };
-pub use erased::ErasedTarget;
 pub use check::{
-    check, check_against_spec, synthesize_spec, CheckOptions, CheckReport, PhaseStats, Violation,
+    check, check_against_spec, synthesize_spec, CheckOptions, CheckReport, HistoryMonitor,
+    MonitorHandle, PhaseStats, Violation,
 };
+pub use erased::ErasedTarget;
 pub use harness::{explore_matrix, replay_matrix, MatrixRun};
 pub use history::{Event, History, OpIndex, Operation};
 pub use matrix::TestMatrix;

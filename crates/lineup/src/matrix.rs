@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn from_rows_transposes() {
-        let m = TestMatrix::from_rows(vec![
-            vec![inv("a"), inv("b")],
-            vec![inv("c"), inv("d")],
-        ]);
+        let m = TestMatrix::from_rows(vec![vec![inv("a"), inv("b")], vec![inv("c"), inv("d")]]);
         assert_eq!(m.columns[0], vec![inv("a"), inv("c")]);
         assert_eq!(m.columns[1], vec![inv("b"), inv("d")]);
         assert_eq!(m.dimension(), (2, 2));
@@ -239,7 +236,10 @@ mod tests {
         // 2 invocations, 2x2 matrix: 2^4 = 16 tests.
         assert_eq!(TestMatrix::enumerate(&invs, 2, 2).len(), 16);
         // 3 invocations, 1x1: 3 tests.
-        assert_eq!(TestMatrix::enumerate(&[inv("a"), inv("b"), inv("c")], 1, 1).len(), 3);
+        assert_eq!(
+            TestMatrix::enumerate(&[inv("a"), inv("b"), inv("c")], 1, 1).len(),
+            3
+        );
     }
 
     #[test]

@@ -241,12 +241,14 @@ pub fn parse_observation_file(text: &str) -> Result<ObservationSet, ParseObserva
             }
             continue;
         }
-        let s = section
-            .as_mut()
-            .ok_or_else(|| err(lineno, format!("unexpected content outside <observation>: {line}")))?;
+        let s = section.as_mut().ok_or_else(|| {
+            err(
+                lineno,
+                format!("unexpected content outside <observation>: {line}"),
+            )
+        })?;
         if line.starts_with("<thread") {
-            let label = attr(line, "id")
-                .ok_or_else(|| err(lineno, "thread without id".into()))?;
+            let label = attr(line, "id").ok_or_else(|| err(lineno, "thread without id".into()))?;
             let thread = label_to_index(&label)
                 .ok_or_else(|| err(lineno, format!("bad thread label {label:?}")))?;
             s.thread_count = s.thread_count.max(thread + 1);
@@ -277,8 +279,7 @@ pub fn parse_observation_file(text: &str) -> Result<ObservationSet, ParseObserva
             let id: usize = attr(line, "id")
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| err(lineno, "op without numeric id".into()))?;
-            let name = attr(line, "name")
-                .ok_or_else(|| err(lineno, "op without name".into()))?;
+            let name = attr(line, "name").ok_or_else(|| err(lineno, "op without name".into()))?;
             let args = match attr(line, "args") {
                 Some(text) => match parse_value(&text) {
                     Ok(Value::Seq(vs)) => vs,
@@ -288,10 +289,9 @@ pub fn parse_observation_file(text: &str) -> Result<ObservationSet, ParseObserva
                 None => Vec::new(),
             };
             let result = match attr(line, "result") {
-                Some(text) => Some(
-                    parse_value(&text)
-                        .map_err(|e| err(lineno, format!("bad result: {e}")))?,
-                ),
+                Some(text) => {
+                    Some(parse_value(&text).map_err(|e| err(lineno, format!("bad result: {e}")))?)
+                }
                 None => None,
             };
             let entry = s
@@ -346,7 +346,10 @@ pub fn parse_observation_file(text: &str) -> Result<ObservationSet, ParseObserva
         return Err(err(lineno, format!("unrecognized line: {line}")));
     }
     if section.is_some() {
-        return Err(err(text.lines().count(), "unterminated <observation>".into()));
+        return Err(err(
+            text.lines().count(),
+            "unterminated <observation>".into(),
+        ));
     }
     Ok(set)
 }

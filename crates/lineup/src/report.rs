@@ -93,8 +93,7 @@ pub fn render_violation(v: &Violation) -> String {
             out
         }
         Violation::NoWitness { history, decisions } => {
-            let mut out =
-                String::from("Line-Up encountered a non-linearizable history:\n");
+            let mut out = String::from("Line-Up encountered a non-linearizable history:\n");
             out.push_str(&render_history_block(history));
             out.push_str(
                 "No serial witness exists for this history in the observed \
@@ -107,15 +106,11 @@ pub fn render_violation(v: &Violation) -> String {
             out
         }
         Violation::StuckNoWitness {
-            history,
-            pending,
-            ..
+            history, pending, ..
         } => {
             let numbers = history.fig7_numbers();
             let op = &history.ops[*pending];
-            let mut out = String::from(
-                "Line-Up encountered a non-linearizable *stuck* history:\n",
-            );
+            let mut out = String::from("Line-Up encountered a non-linearizable *stuck* history:\n");
             out.push_str(&render_history_block(history));
             out.push_str(&format!(
                 "Operation {} ({} by thread {}) is blocked, but no serial \
@@ -132,10 +127,13 @@ pub fn render_violation(v: &Violation) -> String {
             serial,
             ..
         } => {
-            let phase = if *serial { "serial (phase 1)" } else { "concurrent (phase 2)" };
-            let mut out = format!(
-                "The implementation panicked during {phase} execution: {message}\n"
-            );
+            let phase = if *serial {
+                "serial (phase 1)"
+            } else {
+                "concurrent (phase 2)"
+            };
+            let mut out =
+                format!("The implementation panicked during {phase} execution: {message}\n");
             if !history.ops.is_empty() {
                 out.push_str("Partial history up to the panic:\n");
                 out.push_str(&render_history_block(history));

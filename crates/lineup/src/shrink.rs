@@ -90,10 +90,8 @@ mod tests {
         // The minimal failing test for Counter1 is inc ∥ inc plus an
         // observation of the count: 3 operations (§2.2.1 uses exactly
         // inc, inc, get).
-        let big = TestMatrix::from_columns(vec![
-            vec![inc(), get(), inc()],
-            vec![inc(), inc(), get()],
-        ]);
+        let big =
+            TestMatrix::from_columns(vec![vec![inc(), get(), inc()], vec![inc(), inc(), get()]]);
         let (small, checks) = shrink_failing_test(&BuggyCounterTarget, &big, &CheckOptions::new());
         assert!(checks > 1);
         assert!(

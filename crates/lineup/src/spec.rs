@@ -57,7 +57,9 @@ impl SerialHistory {
     /// Whether this serial history is stuck (its last operation is
     /// pending).
     pub fn is_stuck(&self) -> bool {
-        self.ops.last().is_some_and(|op| op.outcome == Outcome::Pending)
+        self.ops
+            .last()
+            .is_some_and(|op| op.outcome == Outcome::Pending)
     }
 
     /// Converts a serial [`History`] (as produced by a phase-1 run) into
@@ -118,12 +120,7 @@ impl fmt::Display for SerialHistory {
             if i > 0 {
                 write!(f, "; ")?;
             }
-            write!(
-                f,
-                "{}:{}",
-                History::thread_label(op.thread),
-                op.invocation
-            )?;
+            write!(f, "{}:{}", History::thread_label(op.thread), op.invocation)?;
             match &op.outcome {
                 Outcome::Returned(v) => write!(f, "={v}")?,
                 Outcome::Pending => write!(f, " #")?,
@@ -462,7 +459,10 @@ mod tests {
 
     #[test]
     fn display_shows_threads_and_outcomes() {
-        let s = serial(2, vec![op(0, "inc", ret(1)), op(1, "dec", Outcome::Pending)]);
+        let s = serial(
+            2,
+            vec![op(0, "inc", ret(1)), op(1, "dec", Outcome::Pending)],
+        );
         let text = s.to_string();
         assert!(text.contains("A:inc()=1"));
         assert!(text.contains("B:dec() #"));

@@ -300,7 +300,10 @@ mod tests {
         roundtrip(Value::Seq(vec![Value::Bool(false), Value::Unit]));
         roundtrip(Value::Str("plain".into()));
         roundtrip(Value::Str("with \"quotes\" and \\slash\n".into()));
-        roundtrip(Value::Seq(vec![Value::some(Value::int_seq([9])), Value::Fail]));
+        roundtrip(Value::Seq(vec![
+            Value::some(Value::int_seq([9])),
+            Value::Fail,
+        ]));
     }
 
     #[test]

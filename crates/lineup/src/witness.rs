@@ -21,7 +21,9 @@ pub struct WitnessQuery {
     /// Per-thread `(invocation, outcome)` sequences — the grouping key.
     pub key: ThreadKey,
     /// Pairs `(a, b)` with `a <H b`: every witness must order `a` before
-    /// `b`.
+    /// `b`. Deduplicated and transitively reduced — pairs implied by the
+    /// composition of two others are omitted, which shrinks the per-
+    /// candidate work of [`is_witness`] without changing its verdict.
     pub precedence: Vec<(ThreadPos, ThreadPos)>,
 }
 
@@ -48,7 +50,10 @@ impl WitnessQuery {
     ///
     /// Panics if the history has pending operations.
     pub fn for_full_relaxed(h: &History, async_methods: &[String]) -> Self {
-        assert!(h.is_complete(), "use for_stuck on histories with pending ops");
+        assert!(
+            h.is_complete(),
+            "use for_stuck on histories with pending ops"
+        );
         let included: Vec<OpIndex> = (0..h.ops.len()).collect();
         Self::build_relaxed(h, &included, async_methods)
     }
@@ -100,7 +105,8 @@ impl WitnessQuery {
             key[op.thread].push((op.invocation.clone(), outcome));
             by_thread[op.thread].push(i);
         }
-        let mut precedence = Vec::new();
+        let mut edges: std::collections::BTreeSet<(ThreadPos, ThreadPos)> =
+            std::collections::BTreeSet::new();
         for &a in &sorted {
             // Asynchronous operations do not constrain later operations:
             // their effect may linearize past their return.
@@ -109,10 +115,31 @@ impl WitnessQuery {
             }
             for &b in &sorted {
                 if a != b && h.precedes(a, b) {
-                    precedence.push((pos_of[a], pos_of[b]));
+                    edges.insert((pos_of[a], pos_of[b]));
                 }
             }
         }
+        // Transitive reduction: an edge (a, c) implied by (a, b) and
+        // (b, c) is dropped. Any serial order satisfying the reduced set
+        // satisfies the dropped edges too (order is transitive), so
+        // witness verdicts are unchanged while `is_witness` checks fewer
+        // pairs — `<H` is dense for mostly-serial histories, with up to
+        // quadratically many edges for a linear reduction.
+        let mids: Vec<ThreadPos> = edges
+            .iter()
+            .flat_map(|&(x, y)| [x, y])
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let precedence = edges
+            .iter()
+            .copied()
+            .filter(|&(a, c)| {
+                !mids.iter().any(|&b| {
+                    b != a && b != c && edges.contains(&(a, b)) && edges.contains(&(b, c))
+                })
+            })
+            .collect();
         WitnessQuery { key, precedence }
     }
 }
@@ -129,9 +156,9 @@ pub fn is_witness(s: &SerialHistory, q: &WitnessQuery) -> bool {
     for (serial_pos, op) in s.ops.iter().enumerate() {
         pos[op.thread].push(serial_pos);
     }
-    q.precedence.iter().all(|&((ta, ka), (tb, kb))| {
-        pos[ta][ka] < pos[tb][kb]
-    })
+    q.precedence
+        .iter()
+        .all(|&((ta, ka), (tb, kb))| pos[ta][ka] < pos[tb][kb])
 }
 
 /// Searches the indexed observation set for a witness; returns the first
@@ -189,18 +216,30 @@ mod tests {
         let u = || Outcome::Returned(Value::Unit);
         spec.insert(SerialHistory {
             thread_count: 2,
-            ops: vec![sop(0, "inc", u()), sop(1, "inc", u()), sop(0, "get", ret(2))],
+            ops: vec![
+                sop(0, "inc", u()),
+                sop(1, "inc", u()),
+                sop(0, "get", ret(2)),
+            ],
         });
         spec.insert(SerialHistory {
             thread_count: 2,
-            ops: vec![sop(1, "inc", u()), sop(0, "inc", u()), sop(0, "get", ret(2))],
+            ops: vec![
+                sop(1, "inc", u()),
+                sop(0, "inc", u()),
+                sop(0, "get", ret(2)),
+            ],
         });
         // A spurious history where get returns 1 but the per-thread key
         // differs (get=1 key group) must not be found either because of
         // ordering: place inc B after get — but then <H is violated.
         spec.insert(SerialHistory {
             thread_count: 2,
-            ops: vec![sop(0, "inc", u()), sop(0, "get", ret(1)), sop(1, "inc", u())],
+            ops: vec![
+                sop(0, "inc", u()),
+                sop(0, "get", ret(1)),
+                sop(1, "inc", u()),
+            ],
         });
 
         let q = WitnessQuery::for_full(&h);
@@ -334,6 +373,110 @@ mod tests {
         // The other direction is still constrained: set is synchronous, so
         // a witness may not move *set* before an op that precedes it…
         // (covered by `witness_must_respect_precedence`).
+    }
+
+    /// A serial chain a <H b <H c produces only the two adjacent pairs:
+    /// (a, c) is implied and dropped by the transitive reduction.
+    #[test]
+    fn precedence_is_transitively_reduced() {
+        let mut h = History::new(3);
+        for (t, name) in ["a", "b", "c"].iter().enumerate() {
+            let o = h.push_call(t, inv(name));
+            h.push_return(o, Value::Int(0));
+        }
+        let q = WitnessQuery::for_full(&h);
+        assert_eq!(
+            q.precedence,
+            vec![((0, 0), (1, 0)), ((1, 0), (2, 0))],
+            "only adjacent chain edges survive"
+        );
+        // The dropped edge is still enforced through the kept ones: any
+        // witness putting c before a must break an adjacent pair.
+        let bad = SerialHistory {
+            thread_count: 3,
+            ops: vec![
+                sop(2, "c", ret(0)),
+                sop(0, "a", ret(0)),
+                sop(1, "b", ret(0)),
+            ],
+        };
+        assert!(!is_witness(&bad, &q));
+        let good = SerialHistory {
+            thread_count: 3,
+            ops: vec![
+                sop(0, "a", ret(0)),
+                sop(1, "b", ret(0)),
+                sop(2, "c", ret(0)),
+            ],
+        };
+        assert!(is_witness(&good, &q));
+    }
+
+    /// Precedence pairs come out canonically ordered and duplicate-free.
+    #[test]
+    fn precedence_is_deduplicated_and_sorted() {
+        let mut h = History::new(4);
+        // Two sequential "waves" of two parallel ops each: every op of
+        // wave 1 precedes every op of wave 2 (4 cross edges, none
+        // reducible, no duplicates).
+        let w1a = h.push_call(0, inv("a"));
+        let w1b = h.push_call(1, inv("b"));
+        h.push_return(w1a, Value::Int(0));
+        h.push_return(w1b, Value::Int(0));
+        let w2a = h.push_call(2, inv("c"));
+        let w2b = h.push_call(3, inv("d"));
+        h.push_return(w2a, Value::Int(0));
+        h.push_return(w2b, Value::Int(0));
+        let q = WitnessQuery::for_full(&h);
+        let mut sorted = q.precedence.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(q.precedence, sorted);
+        assert_eq!(q.precedence.len(), 4);
+    }
+
+    /// `H[e]` where `e` is the only operation: a one-op query with no
+    /// constraints, matched exactly by the serial history that blocks
+    /// immediately.
+    #[test]
+    fn stuck_query_with_only_the_pending_op() {
+        let mut h = History::new(2);
+        let e = h.push_call(0, inv("Wait"));
+        h.stuck = true;
+        let q = WitnessQuery::for_stuck_relaxed(&h, e, &[]);
+        assert_eq!(q.key[0], vec![(inv("Wait"), Outcome::Pending)]);
+        assert!(q.key[1].is_empty());
+        assert!(q.precedence.is_empty());
+        let s = SerialHistory {
+            thread_count: 2,
+            ops: vec![sop(0, "Wait", Outcome::Pending)],
+        };
+        assert!(is_witness(&s, &q));
+    }
+
+    /// A pending operation whose method is itself asynchronous: `H[e]`
+    /// still records it as pending (asynchrony relaxes *ordering*, not
+    /// the pending outcome), and completed asynchronous ops before it
+    /// impose no precedence on it.
+    #[test]
+    fn stuck_query_with_async_pending_op() {
+        let mut h = History::new(2);
+        let c = h.push_call(1, inv("cancel"));
+        h.push_return(c, Value::Unit);
+        // cancel returned before Wait was called: cancel <H Wait.
+        let e = h.push_call(0, inv("Wait"));
+        h.stuck = true;
+        let asyncs = ["cancel".to_string(), "Wait".to_string()];
+        let q = WitnessQuery::for_stuck_relaxed(&h, e, &asyncs);
+        assert_eq!(q.key[0], vec![(inv("Wait"), Outcome::Pending)]);
+        assert!(
+            q.precedence.is_empty(),
+            "async lhs drops the only edge: {:?}",
+            q.precedence
+        );
+        // Without the relaxation the edge is present.
+        let strict = WitnessQuery::for_stuck_relaxed(&h, e, &[]);
+        assert_eq!(strict.precedence, vec![((1, 0), (0, 0))]);
     }
 
     #[test]

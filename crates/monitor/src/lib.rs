@@ -1,0 +1,92 @@
+//! **lineup-monitor**: a standalone linearizability monitor and a native
+//! stress-test runner for the Line-Up reproduction.
+//!
+//! The core `lineup` crate checks histories by *looking up* serial
+//! witnesses in a pre-enumerated observation set. This crate adds the
+//! complementary, monitor-style backend (Wing & Gong's algorithm with
+//! Lowe's state memoization and Horn & Kroening's P-compositionality):
+//!
+//! * [`SeqOracle`] — an executable deterministic sequential specification,
+//!   stepped on demand. Write one by hand with [`FnOracle`], or let
+//!   [`ReplayOracle`] derive it automatically by replaying the component
+//!   itself serially (Line-Up's "the implementation is its own spec").
+//! * [`Monitor`] — decides whether a recorded [`History`](lineup::History)
+//!   is linearizable against the oracle, including the *stuck* variant for
+//!   blocking operations and the asynchronous relaxation. It implements
+//!   [`lineup::HistoryMonitor`], so it plugs into
+//!   [`lineup::CheckOptions::with_monitor_backend`] as an alternative
+//!   phase-2 witness backend.
+//! * [`run_stress`] — executes a test matrix on real OS threads (the
+//!   instrumented primitives pass through to `std::sync` outside the model
+//!   checker), records call/return histories, and monitors them online.
+//!
+//! # Example: model checking with the monitor backend
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lineup::{check, CheckOptions, Invocation, TestMatrix};
+//! use lineup::doc_support::CounterTarget;
+//! use lineup_monitor::monitor_backend;
+//!
+//! let m = TestMatrix::from_columns(vec![
+//!     vec![Invocation::new("inc")],
+//!     vec![Invocation::new("inc"), Invocation::new("get")],
+//! ]);
+//! let options = CheckOptions::new()
+//!     .with_monitor_backend(monitor_backend(Arc::new(CounterTarget), &m));
+//! assert!(check(&CounterTarget, &m, &options).passed());
+//! ```
+//!
+//! # Example: native stress testing
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lineup::{Invocation, TestMatrix};
+//! use lineup::doc_support::CounterTarget;
+//! use lineup_monitor::{Monitor, ReplayOracle, run_stress, StressOptions};
+//!
+//! let m = TestMatrix::from_columns(vec![
+//!     vec![Invocation::new("inc")],
+//!     vec![Invocation::new("get")],
+//! ]);
+//! let monitor = Monitor::new(ReplayOracle::new(Arc::new(CounterTarget), m.init.clone()));
+//! let report = run_stress(&CounterTarget, &m, &monitor, &StressOptions {
+//!     runs: 10,
+//!     ..StressOptions::default()
+//! });
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod linearize;
+pub mod oracle;
+pub mod stress;
+
+pub use linearize::{Monitor, MonitorStats, PartitionFn};
+pub use oracle::{FnOracle, ReplayOracle, SeqOracle, StepResult};
+pub use stress::{run_stress, StressOptions, StressReport, StressViolation};
+
+use std::sync::Arc;
+
+use lineup::{ErasedTarget, MonitorHandle, TestMatrix};
+
+/// Builds the automatic monitor backend for a test: a [`Monitor`] over a
+/// [`ReplayOracle`] that replays `target` with the matrix's init sequence,
+/// wrapped for [`lineup::CheckOptions::with_monitor_backend`].
+pub fn monitor_backend(
+    target: Arc<dyn ErasedTarget + Send + Sync>,
+    matrix: &TestMatrix,
+) -> Arc<Monitor<ReplayOracle>> {
+    Arc::new(Monitor::new(ReplayOracle::new(target, matrix.init.clone())))
+}
+
+/// Convenience: the same backend as [`monitor_backend`], pre-wrapped in a
+/// [`MonitorHandle`] (useful when constructing `CheckOptions` manually).
+pub fn monitor_handle(
+    target: Arc<dyn ErasedTarget + Send + Sync>,
+    matrix: &TestMatrix,
+) -> MonitorHandle {
+    MonitorHandle(monitor_backend(target, matrix))
+}

@@ -1,0 +1,377 @@
+//! Executable sequential oracles: the specification side of the monitor.
+//!
+//! The witness search of `lineup` consults the *pre-enumerated*
+//! observation set; a monitor instead steps a specification on demand — an
+//! abstract state machine whose transitions are invocations. For Line-Up's
+//! automatic setting the state machine is the component itself, replayed
+//! serially: [`ReplayOracle`] runs any [`ErasedTarget`] one invocation
+//! sequence at a time (with memoization), so the monitor needs no manual
+//! specification either.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use lineup::{ErasedTarget, Invocation, Outcome, TestMatrix, Value, Violation};
+
+/// The result of stepping an oracle with one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult<S> {
+    /// The operation returns this value, moving the oracle to a new state.
+    Returns(Value, S),
+    /// The operation blocks in this state (the serial execution is stuck —
+    /// the `#` of the paper's stuck histories).
+    Blocks,
+    /// The operation panics — never a valid specification step.
+    Panics(String),
+}
+
+/// An executable deterministic sequential specification.
+///
+/// States are compared and hashed for memoization, so two histories (or
+/// two branches of one search) reaching the same abstract state share
+/// their continuations. Determinism is a *precondition*: for a given state
+/// and invocation, `step` must always produce the same result (Line-Up's
+/// phase-1 determinism check establishes exactly this before any monitor
+/// runs).
+pub trait SeqOracle: Send + Sync {
+    /// The abstract state type.
+    type State: Clone + Eq + Hash;
+
+    /// The state of a freshly created component (after any init sequence).
+    fn initial(&self) -> Self::State;
+
+    /// Performs one operation in the given state.
+    fn step(&self, state: &Self::State, invocation: &Invocation) -> StepResult<Self::State>;
+
+    /// Performs one operation *on behalf of a specific test thread*.
+    ///
+    /// Most sequential specifications are thread-agnostic and the default
+    /// simply forwards to [`step`](SeqOracle::step). Override it for
+    /// components whose serial behavior depends on the performing thread —
+    /// `ConcurrentBag` with its per-thread work-stealing pools is the
+    /// classic case — matching Line-Up's phase 1, which also preserves the
+    /// matrix's thread placement when enumerating serial executions.
+    fn step_on(
+        &self,
+        state: &Self::State,
+        thread: usize,
+        invocation: &Invocation,
+    ) -> StepResult<Self::State> {
+        let _ = thread;
+        self.step(state, invocation)
+    }
+}
+
+/// A [`SeqOracle`] defined by an initial state and a step closure — handy
+/// for hand-written specifications and tests.
+pub struct FnOracle<S, F> {
+    initial: S,
+    step: F,
+}
+
+impl<S, F> FnOracle<S, F>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    F: Fn(&S, &Invocation) -> StepResult<S> + Send + Sync,
+{
+    /// Creates the oracle from an initial state and a transition function.
+    pub fn new(initial: S, step: F) -> Self {
+        FnOracle { initial, step }
+    }
+}
+
+impl<S, F> std::fmt::Debug for FnOracle<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnOracle(..)")
+    }
+}
+
+impl<S, F> SeqOracle for FnOracle<S, F>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    F: Fn(&S, &Invocation) -> StepResult<S> + Send + Sync,
+{
+    type State = S;
+
+    fn initial(&self) -> S {
+        self.initial.clone()
+    }
+
+    fn step(&self, state: &S, invocation: &Invocation) -> StepResult<S> {
+        (self.step)(state, invocation)
+    }
+}
+
+/// A traced operation: the performing test thread and its invocation.
+type TracedOp = (usize, Invocation);
+
+/// The memoized outcome of one invocation sequence.
+#[derive(Debug, Clone)]
+enum CachedStep {
+    Returns(Value),
+    Blocks,
+    Panics(String),
+}
+
+/// The automatic oracle: replays the component itself, serially.
+///
+/// The abstract state is the `(thread, invocation)` trace performed so
+/// far. A step appends one operation and re-runs the whole trace as a
+/// serial test whose matrix preserves the original thread placement: the
+/// trace's threads become columns, and among the serial executions of
+/// that matrix (enumerated with the same phase-1 machinery the witness
+/// search consults) the one realizing exactly the trace order determines
+/// the outcome — the last operation either returns one specific value,
+/// blocks, or panics. Keeping the placement matters for components whose
+/// behavior depends on the performing thread (e.g. `ConcurrentBag`'s
+/// per-thread pools); Line-Up's phase 1 preserves it the same way.
+///
+/// Step results are memoized per trace, shared across threads. The state
+/// is "just" the trace, so two traces only share oracle work when they are
+/// equal — the memoized linearization search in [`Monitor`](crate::Monitor)
+/// does exactly that, and the P-compositional partitioning multiplies the
+/// sharing by shrinking the traces. Each probe enumerates the serial
+/// schedules of its trace matrix, so the per-step cost grows with the
+/// trace's interleaving count — fine for the small matrices Line-Up tests
+/// are made of, and amortized by the cache.
+pub struct ReplayOracle {
+    target: Arc<dyn ErasedTarget + Send + Sync>,
+    init: Vec<Invocation>,
+    cache: Mutex<HashMap<Vec<TracedOp>, CachedStep>>,
+}
+
+impl std::fmt::Debug for ReplayOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayOracle")
+            .field("target", &self.target.name())
+            .field("init", &self.init)
+            .finish()
+    }
+}
+
+impl ReplayOracle {
+    /// Creates an oracle replaying `target`, running `init` (the test
+    /// matrix's init sequence) before every sequence — unrecorded, exactly
+    /// like the model-checking harness does.
+    pub fn new(target: Arc<dyn ErasedTarget + Send + Sync>, init: Vec<Invocation>) -> Self {
+        ReplayOracle {
+            target,
+            init,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized invocation sequences.
+    pub fn cached_sequences(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    fn probe(&self, sequence: &[TracedOp]) -> CachedStep {
+        // Rebuild a test matrix with the trace's thread placement. The
+        // placement is *absolute*: thread `t` becomes column `t`, with
+        // empty columns for threads absent from the trace, so the harness
+        // spawns the performing threads in the same positions as the
+        // original run — components that key behavior on thread identity
+        // (ConcurrentBag's per-slot lists and slot-order stealing) then
+        // see the exact same layout.
+        let width = 1 + sequence.iter().map(|(t, _)| *t).max().unwrap_or(0);
+        let mut columns: Vec<Vec<Invocation>> = vec![Vec::new(); width];
+        for (t, inv) in sequence {
+            columns[*t].push(inv.clone());
+        }
+        let matrix = TestMatrix::from_columns(columns).with_init(self.init.clone());
+        let (set, _, violation) = self.target.synthesize_spec(&matrix);
+        // Among the serial executions, the one following exactly the trace
+        // order (ops not yet invoked cannot affect earlier outcomes, so
+        // its results equal those of any larger test realizing the same
+        // serial prefix). Determinism — checked in phase 1 before any
+        // monitor runs — makes the outcome unique.
+        let mut result: Option<CachedStep> = None;
+        for h in set.iter() {
+            if h.ops.len() != sequence.len() {
+                continue;
+            }
+            let realizes = h
+                .ops
+                .iter()
+                .zip(sequence.iter())
+                .all(|(op, (t, inv))| op.thread == *t && op.invocation == *inv);
+            if !realizes {
+                continue;
+            }
+            let step = match &h.ops[sequence.len() - 1].outcome {
+                Outcome::Returned(v) => CachedStep::Returns(v.clone()),
+                Outcome::Pending => CachedStep::Blocks,
+            };
+            match &result {
+                None => result = Some(step),
+                Some(prev) => assert!(
+                    matches!(
+                        (prev, &step),
+                        (CachedStep::Returns(a), CachedStep::Returns(b)) if a == b
+                    ) || matches!((prev, &step), (CachedStep::Blocks, CachedStep::Blocks)),
+                    "replay oracle: sequential behavior of {:?} is nondeterministic",
+                    sequence
+                ),
+            }
+        }
+        match result {
+            Some(step) => step,
+            // The trace order was not realized. With a serial panic the
+            // exploration may have ended before reaching it — and a panic
+            // is never a valid specification step anyway.
+            None => match violation {
+                Some(Violation::Panic { message, .. }) => CachedStep::Panics(message),
+                _ => panic!(
+                    "replay oracle: serial replay never realized its own trace \
+                     (is the target nondeterministic?): {sequence:?}"
+                ),
+            },
+        }
+    }
+
+    fn step_traced(&self, state: &[TracedOp], op: TracedOp) -> StepResult<Vec<TracedOp>> {
+        let mut sequence = state.to_vec();
+        sequence.push(op);
+        let cached = {
+            let cache = self.cache.lock().unwrap();
+            cache.get(&sequence).cloned()
+        };
+        let step = match cached {
+            Some(s) => s,
+            None => {
+                // Probe outside the lock: replays are the expensive part,
+                // and concurrent probes of the same sequence agree anyway.
+                let s = self.probe(&sequence);
+                self.cache
+                    .lock()
+                    .unwrap()
+                    .entry(sequence.clone())
+                    .or_insert(s)
+                    .clone()
+            }
+        };
+        match step {
+            CachedStep::Returns(v) => StepResult::Returns(v, sequence),
+            CachedStep::Blocks => StepResult::Blocks,
+            CachedStep::Panics(m) => StepResult::Panics(m),
+        }
+    }
+}
+
+impl SeqOracle for ReplayOracle {
+    /// The `(thread, invocation)` trace performed so far.
+    type State = Vec<TracedOp>;
+
+    fn initial(&self) -> Vec<TracedOp> {
+        Vec::new()
+    }
+
+    /// Thread-agnostic stepping: performs the operation on thread 0. Use
+    /// [`step_on`](SeqOracle::step_on) (as [`Monitor`](crate::Monitor)
+    /// does) to preserve thread placement.
+    fn step(&self, state: &Vec<TracedOp>, invocation: &Invocation) -> StepResult<Vec<TracedOp>> {
+        self.step_traced(state, (0, invocation.clone()))
+    }
+
+    fn step_on(
+        &self,
+        state: &Vec<TracedOp>,
+        thread: usize,
+        invocation: &Invocation,
+    ) -> StepResult<Vec<TracedOp>> {
+        self.step_traced(state, (thread, invocation.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::doc_support::CounterTarget;
+
+    fn counter_oracle() -> ReplayOracle {
+        ReplayOracle::new(Arc::new(CounterTarget), Vec::new())
+    }
+
+    #[test]
+    fn replay_oracle_steps_the_counter() {
+        let o = counter_oracle();
+        let s0 = o.initial();
+        let StepResult::Returns(v, s1) = o.step(&s0, &Invocation::new("inc")) else {
+            panic!("inc returns");
+        };
+        assert_eq!(v, Value::Unit);
+        let StepResult::Returns(v, _) = o.step(&s1, &Invocation::new("get")) else {
+            panic!("get returns");
+        };
+        assert_eq!(v, Value::Int(1));
+        // From the initial state, get sees 0.
+        let StepResult::Returns(v, _) = o.step(&s0, &Invocation::new("get")) else {
+            panic!("get returns");
+        };
+        assert_eq!(v, Value::Int(0));
+    }
+
+    #[test]
+    fn replay_preserves_thread_placement() {
+        // For a thread-agnostic counter the placement does not change the
+        // outcome, but it is part of the oracle state (distinct traces).
+        let o = counter_oracle();
+        let s0 = o.initial();
+        let StepResult::Returns(_, s1) = o.step_on(&s0, 3, &Invocation::new("inc")) else {
+            panic!("inc returns");
+        };
+        assert_eq!(s1, vec![(3, Invocation::new("inc"))]);
+        let StepResult::Returns(v, _) = o.step_on(&s1, 1, &Invocation::new("get")) else {
+            panic!("get returns");
+        };
+        assert_eq!(v, Value::Int(1));
+    }
+
+    #[test]
+    fn replay_oracle_memoizes() {
+        let o = counter_oracle();
+        let s0 = o.initial();
+        let _ = o.step(&s0, &Invocation::new("inc"));
+        let before = o.cached_sequences();
+        let _ = o.step(&s0, &Invocation::new("inc"));
+        assert_eq!(o.cached_sequences(), before, "second step hits the cache");
+    }
+
+    #[test]
+    fn replay_oracle_respects_init() {
+        let o = ReplayOracle::new(
+            Arc::new(CounterTarget),
+            vec![Invocation::new("inc"), Invocation::new("inc")],
+        );
+        let StepResult::Returns(v, _) = o.step(&o.initial(), &Invocation::new("get")) else {
+            panic!("get returns");
+        };
+        assert_eq!(v, Value::Int(2), "init sequence ran before the trace");
+    }
+
+    #[test]
+    fn fn_oracle_works() {
+        let o = FnOracle::new(0i64, |s: &i64, inv: &Invocation| match inv.name.as_str() {
+            "inc" => StepResult::Returns(Value::Unit, s + 1),
+            "get" => StepResult::Returns(Value::Int(*s), *s),
+            "block" => StepResult::Blocks,
+            other => StepResult::Panics(format!("unknown {other}")),
+        });
+        let s = o.initial();
+        assert!(matches!(
+            o.step(&s, &Invocation::new("block")),
+            StepResult::Blocks
+        ));
+        assert!(matches!(
+            o.step(&s, &Invocation::new("nope")),
+            StepResult::Panics(_)
+        ));
+        // step_on defaults to the thread-agnostic step.
+        assert!(matches!(
+            o.step_on(&s, 7, &Invocation::new("block")),
+            StepResult::Blocks
+        ));
+    }
+}

@@ -1,0 +1,487 @@
+//! Native stress testing: real threads, recorded histories, online
+//! monitoring.
+//!
+//! Where `lineup::check` *enumerates* the schedules of a test under the
+//! virtual scheduler, the stress runner executes the same test matrix on
+//! real OS threads — the instrumented primitives of `lineup-sync` compile
+//! down to plain `std::sync` operations in passthrough mode (see
+//! `lineup_sched::register_native_thread`) — records each run's
+//! call/return history with timestamps implied by recording order, and
+//! checks every *distinct* history against a [`Monitor`] as it appears.
+//! Seeded yield injection at the instrumented schedule points perturbs the
+//! OS scheduler enough to surface races even on few cores.
+//!
+//! A run that does not finish within the watchdog timeout is snapshotted
+//! as a *stuck* history (its unreturned calls pending) and its threads are
+//! leaked — they may be deadlocked on real primitives that nothing will
+//! ever signal, which is precisely the bug class the stuck check catches.
+//! A generous timeout keeps merely-slow runs from being misreported; a
+//! worker that panics also surfaces as a stuck run (its operation never
+//! returns), which the monitor then rejects unless blocking there is
+//! serially justified.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use lineup::{History, ObservationSet, OpIndex, TestInstance, TestMatrix, TestTarget};
+use lineup_sched::{register_native_thread, NativeOptions};
+
+use crate::linearize::Monitor;
+use crate::oracle::SeqOracle;
+
+/// Configuration of a stress campaign.
+#[derive(Debug, Clone)]
+pub struct StressOptions {
+    /// Number of test executions.
+    pub runs: usize,
+    /// Master seed; each run and thread derives its own yield-injection
+    /// stream from it.
+    pub seed: u64,
+    /// Yield with probability `1/yield_chance` at every instrumented
+    /// schedule point (0 disables injection). Injection is what surfaces
+    /// interleavings on machines with few cores.
+    pub yield_chance: u32,
+    /// Watchdog: a run not finishing within this bound is recorded as
+    /// stuck and its threads are leaked.
+    pub run_timeout: Duration,
+    /// Methods checked under the asynchronous relaxation (paper §2.4).
+    pub async_methods: Vec<String>,
+    /// Stop the campaign at the first monitor rejection.
+    pub stop_at_first_violation: bool,
+    /// Collect the serial witnesses of accepted complete histories into
+    /// [`StressReport::witnesses`] (an extra unpartitioned search per
+    /// distinct history).
+    pub collect_witnesses: bool,
+}
+
+impl Default for StressOptions {
+    fn default() -> Self {
+        StressOptions {
+            runs: 100,
+            seed: NativeOptions::default().seed,
+            yield_chance: 2,
+            run_timeout: Duration::from_secs(2),
+            async_methods: Vec::new(),
+            stop_at_first_violation: true,
+            collect_witnesses: false,
+        }
+    }
+}
+
+/// A monitor rejection observed during stress testing.
+#[derive(Debug, Clone)]
+pub struct StressViolation {
+    /// Index of the first run exhibiting the history.
+    pub run: usize,
+    /// The rejected history.
+    pub history: History,
+    /// For stuck histories, the pending operation that has no stuck
+    /// witness; `None` for complete histories.
+    pub pending: Option<OpIndex>,
+}
+
+/// The outcome of a stress campaign.
+#[derive(Debug, Clone)]
+pub struct StressReport {
+    /// Runs executed (may be fewer than requested when stopping early).
+    pub runs: usize,
+    /// Operations completed across all runs.
+    pub ops: u64,
+    /// Distinct histories observed (each checked once).
+    pub distinct_histories: usize,
+    /// Runs snapshotted as stuck by the watchdog.
+    pub stuck_runs: usize,
+    /// Monitor checks performed (distinct complete histories plus one per
+    /// pending operation of distinct stuck histories).
+    pub monitor_checks: u64,
+    /// The rejections, in order of first occurrence.
+    pub violations: Vec<StressViolation>,
+    /// Total wall-clock time of the campaign.
+    pub wall: Duration,
+    /// Wall-clock time spent inside the monitor.
+    pub monitor_wall: Duration,
+    /// Serial witnesses of accepted complete histories (empty unless
+    /// [`StressOptions::collect_witnesses`]).
+    pub witnesses: ObservationSet,
+}
+
+impl StressReport {
+    /// Whether every observed history was accepted by the monitor.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// SplitMix64: derives independent per-run / per-thread seed streams.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Locks ignoring poisoning: a panicked worker must not take the history
+/// down with it — its half-recorded run is still a (stuck) observation.
+fn lock_history(h: &Mutex<History>) -> MutexGuard<'_, History> {
+    h.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `matrix` against `target` on real OS threads `options.runs` times,
+/// checking every distinct recorded history against `monitor`.
+///
+/// The history shape matches the model checker's: columns record on thread
+/// indexes `0..columns`, the final sequence (if any) on thread index
+/// `columns`, init operations are unrecorded. Verdicts are memoized per
+/// history, so the monitor runs once per *distinct* history no matter how
+/// often the OS scheduler reproduces it.
+pub fn run_stress<T, O>(
+    target: &T,
+    matrix: &TestMatrix,
+    monitor: &Monitor<O>,
+    options: &StressOptions,
+) -> StressReport
+where
+    T: TestTarget,
+    T::Instance: Send + Sync + 'static,
+    O: SeqOracle,
+{
+    let ncols = matrix.columns.len();
+    let thread_count = ncols + usize::from(!matrix.finally.is_empty());
+    let start = Instant::now();
+    let mut verdicts: HashMap<History, bool> = HashMap::new();
+    let mut report = StressReport {
+        runs: 0,
+        ops: 0,
+        distinct_histories: 0,
+        stuck_runs: 0,
+        monitor_checks: 0,
+        violations: Vec::new(),
+        wall: Duration::ZERO,
+        monitor_wall: Duration::ZERO,
+        witnesses: ObservationSet::new(),
+    };
+
+    for run in 0..options.runs {
+        let run_seed = mix(options.seed, run as u64 + 1);
+        let history = execute_run(target, matrix, thread_count, run_seed, options);
+        report.runs += 1;
+        report.ops += history.complete_ops().len() as u64;
+        if history.stuck {
+            report.stuck_runs += 1;
+        }
+
+        // Check each distinct history once.
+        let known = verdicts.contains_key(&history);
+        if !known {
+            report.distinct_histories += 1;
+            let t0 = Instant::now();
+            let ok = if history.is_complete() {
+                report.monitor_checks += 1;
+                let ok = monitor.check_full(&history, &options.async_methods);
+                if ok && options.collect_witnesses {
+                    if let Some(s) = monitor.find_linearization(&history, &options.async_methods) {
+                        report.witnesses.insert(s);
+                    }
+                }
+                if !ok {
+                    report.violations.push(StressViolation {
+                        run,
+                        history: history.clone(),
+                        pending: None,
+                    });
+                }
+                ok
+            } else {
+                let mut ok = true;
+                for e in history.pending_ops() {
+                    report.monitor_checks += 1;
+                    if !monitor.check_stuck(&history, e, &options.async_methods) {
+                        report.violations.push(StressViolation {
+                            run,
+                            history: history.clone(),
+                            pending: Some(e),
+                        });
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            };
+            report.monitor_wall += t0.elapsed();
+            verdicts.insert(history, ok);
+            if !ok && options.stop_at_first_violation {
+                break;
+            }
+        }
+    }
+    report.wall = start.elapsed();
+    report
+}
+
+/// One native execution of the matrix; returns the recorded history
+/// (stuck when the watchdog fired).
+fn execute_run<T>(
+    target: &T,
+    matrix: &TestMatrix,
+    thread_count: usize,
+    run_seed: u64,
+    options: &StressOptions,
+) -> History
+where
+    T: TestTarget,
+    T::Instance: Send + Sync + 'static,
+{
+    let ncols = matrix.columns.len();
+    // The coordinator registers too: init and final operations then run
+    // with the same passthrough blocking/yield machinery as column ops.
+    let guard = register_native_thread(NativeOptions {
+        seed: mix(run_seed, 0),
+        yield_chance: options.yield_chance,
+    });
+    let instance = Arc::new(target.create());
+    for inv in &matrix.init {
+        // State preparation, unrecorded (mirrors the model harness).
+        let _ = instance.invoke(inv);
+    }
+
+    let history = Arc::new(Mutex::new(History::new(thread_count)));
+    // +1: the coordinator joins the barrier so no column starts before all
+    // workers (and the watchdog clock) are in place.
+    let barrier = Arc::new(Barrier::new(ncols + 1));
+    let (tx, rx) = channel::<usize>();
+
+    let handles: Vec<_> = matrix
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(t, column)| {
+            let instance = Arc::clone(&instance);
+            let history = Arc::clone(&history);
+            let barrier = Arc::clone(&barrier);
+            let column = column.clone();
+            let tx = tx.clone();
+            let seed = mix(run_seed, t as u64 + 1);
+            let yield_chance = options.yield_chance;
+            std::thread::spawn(move || {
+                let _native = register_native_thread(NativeOptions { seed, yield_chance });
+                barrier.wait();
+                for inv in column {
+                    let op = lock_history(&history).push_call(t, inv.clone());
+                    let response = instance.invoke(&inv);
+                    lock_history(&history).push_return(op, response);
+                }
+                let _ = tx.send(t);
+            })
+        })
+        .collect();
+    drop(tx);
+    barrier.wait();
+
+    // Watchdog: wait for all columns, or give up and snapshot.
+    let deadline = Instant::now() + options.run_timeout;
+    let mut done = 0;
+    let mut timed_out = false;
+    while done < ncols {
+        match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(_) => done += 1,
+            // Disconnected means a worker died without reporting (a panic
+            // inside an operation): treat like a timeout — its operation
+            // is pending forever.
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                timed_out = true;
+                break;
+            }
+        }
+    }
+
+    if timed_out {
+        // Leak the hung threads: they may be blocked on real primitives
+        // that nothing will ever signal. The snapshot is consistent (the
+        // history mutex orders record events), later writes by leaked
+        // threads go to an Arc we no longer read.
+        drop(handles);
+        let mut snapshot = lock_history(&history).clone();
+        snapshot.stuck = true;
+        return snapshot;
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    // Final sequence: a dedicated observer thread index, totally ordered
+    // after all columns (paper §4.3) — here simply run by the coordinator.
+    if !matrix.finally.is_empty() {
+        let t = ncols;
+        for inv in &matrix.finally {
+            let op = lock_history(&history).push_call(t, inv.clone());
+            let response = instance.invoke(inv);
+            lock_history(&history).push_return(op, response);
+        }
+    }
+    drop(guard);
+    let h = lock_history(&history).clone();
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FnOracle, ReplayOracle, StepResult};
+    use lineup::doc_support::{BuggyCounterTarget, CounterTarget};
+    use lineup::{Invocation, Value};
+
+    fn counter_monitor() -> Monitor<ReplayOracle> {
+        Monitor::new(ReplayOracle::new(Arc::new(CounterTarget), Vec::new()))
+    }
+
+    fn counter_matrix() -> TestMatrix {
+        TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc")],
+            vec![Invocation::new("inc"), Invocation::new("get")],
+        ])
+        .with_finally(vec![Invocation::new("get")])
+    }
+
+    #[test]
+    fn correct_counter_stress_is_green() {
+        let m = counter_matrix();
+        let monitor = counter_monitor();
+        let report = run_stress(
+            &CounterTarget,
+            &m,
+            &monitor,
+            &StressOptions {
+                runs: 50,
+                ..StressOptions::default()
+            },
+        );
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.runs, 50);
+        assert_eq!(report.stuck_runs, 0);
+        assert!(report.ops >= 50 * 4);
+        assert!(report.distinct_histories >= 1);
+    }
+
+    #[test]
+    fn buggy_counter_is_detected() {
+        // The §2.2.1 lost update: two split read-modify-write incs can
+        // both read 0; the final get then sees 1, which no serial order
+        // explains. Yield injection makes the window likely.
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::new("inc")],
+            vec![Invocation::new("inc")],
+        ])
+        .with_finally(vec![Invocation::new("get")]);
+        let monitor = Monitor::new(ReplayOracle::new(Arc::new(BuggyCounterTarget), Vec::new()));
+        let report = run_stress(
+            &BuggyCounterTarget,
+            &m,
+            &monitor,
+            &StressOptions {
+                runs: 5000,
+                yield_chance: 2,
+                ..StressOptions::default()
+            },
+        );
+        assert!(
+            !report.passed(),
+            "expected the lost update within {} runs ({} distinct histories)",
+            report.runs,
+            report.distinct_histories
+        );
+        let v = &report.violations[0];
+        assert!(v.pending.is_none(), "complete-history violation");
+        assert!(v.history.is_complete());
+    }
+
+    #[test]
+    fn witnesses_are_collected() {
+        let m = counter_matrix();
+        let monitor = counter_monitor();
+        let report = run_stress(
+            &CounterTarget,
+            &m,
+            &monitor,
+            &StressOptions {
+                runs: 20,
+                collect_witnesses: true,
+                ..StressOptions::default()
+            },
+        );
+        assert!(report.passed());
+        assert!(!report.witnesses.is_empty());
+        for s in report.witnesses.iter() {
+            assert!(!s.is_stuck());
+            assert_eq!(s.ops.len(), 4);
+        }
+    }
+
+    /// A target whose `wait` blocks forever: every run trips the watchdog
+    /// and must be *accepted*, because waiting is serially justified.
+    #[derive(Debug)]
+    struct ForeverTarget;
+
+    #[derive(Debug)]
+    struct ForeverInstance {
+        event: lineup_sync::Monitor,
+    }
+
+    impl lineup::TestInstance for ForeverInstance {
+        fn invoke(&self, inv: &Invocation) -> Value {
+            match inv.name.as_str() {
+                "wait" => {
+                    self.event.enter();
+                    // No one ever pulses: blocks forever.
+                    self.event.wait();
+                    self.event.exit();
+                    Value::Unit
+                }
+                other => panic!("unknown operation {other}"),
+            }
+        }
+    }
+
+    impl TestTarget for ForeverTarget {
+        type Instance = ForeverInstance;
+        fn name(&self) -> &str {
+            "Forever"
+        }
+        fn create(&self) -> ForeverInstance {
+            ForeverInstance {
+                event: lineup_sync::Monitor::new(),
+            }
+        }
+        fn invocations(&self) -> Vec<Invocation> {
+            vec![Invocation::new("wait")]
+        }
+    }
+
+    #[test]
+    fn justified_blocking_is_stuck_but_green() {
+        let m = TestMatrix::from_columns(vec![vec![Invocation::new("wait")]]);
+        // Oracle agrees that wait blocks from the initial state.
+        let monitor = Monitor::new(FnOracle::new(0u8, |_: &u8, inv: &Invocation| {
+            match inv.name.as_str() {
+                "wait" => StepResult::Blocks,
+                other => StepResult::Panics(format!("unknown {other}")),
+            }
+        }));
+        let report = run_stress(
+            &ForeverTarget,
+            &m,
+            &monitor,
+            &StressOptions {
+                runs: 2,
+                run_timeout: Duration::from_millis(100),
+                ..StressOptions::default()
+            },
+        );
+        assert_eq!(report.stuck_runs, 2);
+        assert!(
+            report.passed(),
+            "blocking is justified: {:?}",
+            report.violations
+        );
+    }
+}

@@ -238,9 +238,7 @@ pub mod strategy {
                 let alphabet: Vec<char> = if c == '[' {
                     let mut set = Vec::new();
                     loop {
-                        let m = chars
-                            .next()
-                            .expect("unterminated [class] in pattern");
+                        let m = chars.next().expect("unterminated [class] in pattern");
                         if m == ']' {
                             break;
                         }
@@ -420,7 +418,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of the `prop` module alias exported by the real prelude.
     pub mod prop {
@@ -625,9 +625,7 @@ mod tests {
         fn depth(t: &Tree) -> usize {
             match t {
                 Tree::Leaf(_) => 0,
-                Tree::Node(children) => {
-                    1 + children.iter().map(depth).max().unwrap_or(0)
-                }
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
         let strat = (0i64..10)

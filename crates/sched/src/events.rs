@@ -86,7 +86,9 @@ impl AccessKind {
     pub fn is_write(self) -> bool {
         matches!(
             self,
-            AccessKind::WriteData | AccessKind::AtomicStore | AccessKind::AtomicRmw { success: true }
+            AccessKind::WriteData
+                | AccessKind::AtomicStore
+                | AccessKind::AtomicRmw { success: true }
         )
     }
 

@@ -100,30 +100,35 @@ impl ExploreStats {
     /// exploration stopped early. Used to aggregate per-subtree results of
     /// [`explore_parallel`].
     pub fn merge(&mut self, other: &ExploreStats) {
-        self.runs += other.runs;
-        self.complete += other.complete;
-        self.deadlock += other.deadlock;
-        self.livelock += other.livelock;
-        self.stuck_serial += other.stuck_serial;
-        self.panicked += other.panicked;
-        self.step_limit += other.step_limit;
-        self.total_steps += other.total_steps;
+        // Counters saturate rather than wrap: schedule counts grow
+        // factorially with test size, and a huge campaign (or a buggy
+        // caller merging in a loop) must at worst pin the statistics at
+        // u64::MAX, never panic in debug or silently wrap in release.
+        self.runs = self.runs.saturating_add(other.runs);
+        self.complete = self.complete.saturating_add(other.complete);
+        self.deadlock = self.deadlock.saturating_add(other.deadlock);
+        self.livelock = self.livelock.saturating_add(other.livelock);
+        self.stuck_serial = self.stuck_serial.saturating_add(other.stuck_serial);
+        self.panicked = self.panicked.saturating_add(other.panicked);
+        self.step_limit = self.step_limit.saturating_add(other.step_limit);
+        self.total_steps = self.total_steps.saturating_add(other.total_steps);
         self.max_schedule_len = self.max_schedule_len.max(other.max_schedule_len);
         self.stopped_early |= other.stopped_early;
     }
 
     fn record(&mut self, run: &RunResult) {
-        self.runs += 1;
-        self.total_steps += run.steps as u64;
+        self.runs = self.runs.saturating_add(1);
+        self.total_steps = self.total_steps.saturating_add(run.steps as u64);
         self.max_schedule_len = self.max_schedule_len.max(run.schedule.len());
-        match &run.outcome {
-            RunOutcome::Complete => self.complete += 1,
-            RunOutcome::Deadlock => self.deadlock += 1,
-            RunOutcome::Livelock => self.livelock += 1,
-            RunOutcome::StuckSerial => self.stuck_serial += 1,
-            RunOutcome::Panicked { .. } => self.panicked += 1,
-            RunOutcome::StepLimit => self.step_limit += 1,
-        }
+        let slot = match &run.outcome {
+            RunOutcome::Complete => &mut self.complete,
+            RunOutcome::Deadlock => &mut self.deadlock,
+            RunOutcome::Livelock => &mut self.livelock,
+            RunOutcome::StuckSerial => &mut self.stuck_serial,
+            RunOutcome::Panicked { .. } => &mut self.panicked,
+            RunOutcome::StepLimit => &mut self.step_limit,
+        };
+        *slot = slot.saturating_add(1);
     }
 }
 
@@ -387,10 +392,7 @@ pub struct SubtreeTask {
 /// The enumeration itself executes one run per subtree (taking the first
 /// alternative beyond the frontier), so its cost is proportional to the
 /// number of subtrees, not the size of the tree.
-pub fn split_frontier(
-    config: &Config,
-    setup: impl FnMut(&mut Execution),
-) -> Vec<SubtreeTask> {
+pub fn split_frontier(config: &Config, setup: impl FnMut(&mut Execution)) -> Vec<SubtreeTask> {
     let depth = config.effective_split_depth();
     let mut frontier_config = config.clone();
     frontier_config.strategy = StrategyKind::Frontier { depth };
@@ -503,9 +505,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::ThreadId;
     use crate::runtime::{block_current, op_boundary, unblock, yield_point};
     use crate::state::BlockKind;
-    use crate::ids::ThreadId;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn count_runs(config: &Config, setup: impl FnMut(&mut Execution)) -> ExploreStats {
@@ -845,11 +847,33 @@ mod tests {
         assert_eq!(a.livelock, 1);
         assert_eq!(a.total_steps, 100);
         assert_eq!(a.max_schedule_len, 14, "merge takes the max, not the sum");
-        assert!(a.stopped_early, "either side stopping early marks the merge");
+        assert!(
+            a.stopped_early,
+            "either side stopping early marks the merge"
+        );
         // Merging a default (empty) exploration changes nothing.
         let snapshot = a.clone();
         a.merge(&ExploreStats::default());
         assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = ExploreStats {
+            runs: u64::MAX - 1,
+            total_steps: u64::MAX,
+            complete: u64::MAX / 2,
+            ..Default::default()
+        };
+        a.merge(&ExploreStats {
+            runs: 5,
+            total_steps: 100,
+            complete: u64::MAX / 2 + 10,
+            ..Default::default()
+        });
+        assert_eq!(a.runs, u64::MAX);
+        assert_eq!(a.total_steps, u64::MAX);
+        assert_eq!(a.complete, u64::MAX);
     }
 
     #[test]

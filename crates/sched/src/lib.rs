@@ -62,6 +62,7 @@ pub mod config;
 pub mod events;
 pub mod explorer;
 pub mod ids;
+pub mod native;
 pub mod probe;
 pub mod runtime;
 pub mod state;
@@ -70,10 +71,11 @@ pub mod strategy;
 pub use config::{Config, Mode, StrategyKind};
 pub use events::{AccessEvent, AccessKind};
 pub use explorer::{
-    explore, explore_parallel, split_frontier, Execution, ExploreStats, ParallelCancel,
-    RunResult, SubtreeTask,
+    explore, explore_parallel, split_frontier, Execution, ExploreStats, ParallelCancel, RunResult,
+    SubtreeTask,
 };
 pub use ids::{ObjId, ThreadId};
+pub use native::{register_native_thread, NativeGuard, NativeOptions};
 pub use probe::Probe;
 pub use runtime::{
     block_current, choose_bool, current_thread, is_model_active, log_access, op_boundary,

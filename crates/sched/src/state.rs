@@ -270,7 +270,11 @@ impl RtState {
 
         // Fair-livelock detection: a full round in which every enabled
         // thread yielded without anyone making progress.
-        if after_yield && enabled.iter().all(|&t| self.threads[t].yielded_since_progress) {
+        if after_yield
+            && enabled
+                .iter()
+                .all(|&t| self.threads[t].yielded_since_progress)
+        {
             self.yield_rounds += 1;
             for &t in &enabled {
                 self.threads[t].yielded_since_progress = false;
@@ -385,7 +389,11 @@ impl RtState {
     /// Concurrent mode: all enabled threads are candidates, except that a
     /// yielding thread is descheduled when others are enabled (fairness)
     /// and the preemption bound may pin the current thread.
-    fn concurrent_candidates(&mut self, enabled: &[usize], after_yield: bool) -> Option<Vec<usize>> {
+    fn concurrent_candidates(
+        &mut self,
+        enabled: &[usize],
+        after_yield: bool,
+    ) -> Option<Vec<usize>> {
         if let Some(cur) = self.current {
             if after_yield {
                 let others: Vec<usize> = enabled.iter().copied().filter(|&t| t != cur).collect();

@@ -82,7 +82,10 @@ impl Strategy for DfsStrategy {
             self.cursor += 1;
             node.chosen
         } else {
-            self.path.push(DfsNode { num_alts, chosen: 0 });
+            self.path.push(DfsNode {
+                num_alts,
+                chosen: 0,
+            });
             self.cursor += 1;
             self.max_depth = self.max_depth.max(self.path.len());
             0
@@ -90,7 +93,11 @@ impl Strategy for DfsStrategy {
     }
 
     fn end_run(&mut self) -> bool {
-        debug_assert_eq!(self.cursor, self.path.len(), "run must consume its whole path");
+        debug_assert_eq!(
+            self.cursor,
+            self.path.len(),
+            "run must consume its whole path"
+        );
         while let Some(last) = self.path.last_mut() {
             if last.chosen + 1 < last.num_alts {
                 last.chosen += 1;
@@ -275,7 +282,10 @@ impl Strategy for FrontierStrategy {
             self.cursor += 1;
             node.chosen
         } else if self.cursor < self.limit {
-            self.path.push(DfsNode { num_alts, chosen: 0 });
+            self.path.push(DfsNode {
+                num_alts,
+                chosen: 0,
+            });
             self.cursor += 1;
             0
         } else {

@@ -287,7 +287,10 @@ mod tests {
             |_| ControlFlow::Continue(()),
         );
         assert!(stats.deadlock > 0, "some schedule deadlocks");
-        assert!(stats.complete > 0, "thread 2 first, then thread 1 completes");
+        assert!(
+            stats.complete > 0,
+            "thread 2 first, then thread 1 completes"
+        );
     }
 
     /// acquire_timed under contention can fail, and can also succeed after

@@ -17,8 +17,8 @@
 //! 3. call [`lineup::check`] / [`lineup::random_check`].
 
 use lineup::{
-    auto_check, check, random_check, AutoCheckLimits, CheckOptions, Invocation,
-    RandomCheckConfig, TestInstance, TestMatrix, TestTarget, Value,
+    auto_check, check, random_check, AutoCheckLimits, CheckOptions, Invocation, RandomCheckConfig,
+    TestInstance, TestMatrix, TestTarget, Value,
 };
 use lineup_sync::Atomic;
 
@@ -120,14 +120,23 @@ fn main() {
 
     let good = RegisterTarget { racy: false };
     let report = check(&good, &matrix, &CheckOptions::new());
-    println!("AtomicRegister: {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "AtomicRegister: {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
     assert!(report.passed());
 
     let bad = RegisterTarget { racy: true };
     let report = check(&bad, &matrix, &CheckOptions::new());
-    println!("RacyRegister:   {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "RacyRegister:   {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
     assert!(!report.passed());
-    print!("\n{}", lineup::render_violation(report.first_violation().unwrap()));
+    print!(
+        "\n{}",
+        lineup::render_violation(report.first_violation().unwrap())
+    );
 
     // Fully automatic: RandomCheck samples tests from the catalog until
     // the bug falls out (Fig. 8) — no test matrix specified at all.
@@ -155,5 +164,8 @@ fn main() {
     // has no observable bug, illustrating Theorem 6's caveat: soundness
     // holds only in the limit over all tests.
     let small = auto_check(&bad, &AutoCheckLimits::default());
-    assert!(small.is_ok(), "2x2 write-only tests cannot expose the cas bug");
+    assert!(
+        small.is_ok(),
+        "2x2 write-only tests cannot expose the cas bug"
+    );
 }

@@ -16,7 +16,9 @@
 //! The naive table (every philosopher grabs the left fork first)
 //! deadlocks; the ordered table (forks acquired in global order) passes.
 
-use lineup::{check, CheckOptions, Invocation, TestInstance, TestMatrix, TestTarget, Value, Violation};
+use lineup::{
+    check, CheckOptions, Invocation, TestInstance, TestMatrix, TestTarget, Value, Violation,
+};
 use lineup_sync::Mutex;
 
 const SEATS: usize = 2;
@@ -96,10 +98,15 @@ fn main() {
 
     let naive = TableTarget { ordered: false };
     let report = check(&naive, &m, &CheckOptions::new());
-    println!("NaiveForksTable:   {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "NaiveForksTable:   {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
     assert!(!report.passed(), "the naive table deadlocks");
     match report.first_violation().unwrap() {
-        Violation::StuckNoWitness { history, pending, .. } => {
+        Violation::StuckNoWitness {
+            history, pending, ..
+        } => {
             println!(
                 "  deadlock found: {} by {} blocked with no serial justification",
                 history.ops[*pending].invocation,
@@ -112,7 +119,10 @@ fn main() {
 
     let ordered = TableTarget { ordered: true };
     let report = check(&ordered, &m, &CheckOptions::new());
-    println!("OrderedForksTable: {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "OrderedForksTable: {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
     assert!(report.passed(), "{:?}", report.violations);
     println!(
         "\nSerial dine() never blocks, so the specification contains no stuck\n\

@@ -43,8 +43,7 @@ fn main() {
     print!("{}", render_violation(failure.first_violation().unwrap()));
 
     // Shrink it to a minimal failing test for the bug report (§5.1).
-    let (minimal, _) =
-        lineup::shrink_failing_test(&pre, &failure.matrix, &CheckOptions::new());
+    let (minimal, _) = lineup::shrink_failing_test(&pre, &failure.matrix, &CheckOptions::new());
     println!("\nMinimal failing test:\n{minimal}");
 
     // Regression check: the fixed queue passes the same test.

@@ -13,9 +13,7 @@ use lineup_collections::Variant;
 
 fn main() {
     let matrix = fig9_matrix();
-    println!(
-        "Fig. 9 test — Thread 1: Wait()   Thread 2: Set(); Reset(); Set()\n{matrix}"
-    );
+    println!("Fig. 9 test — Thread 1: Wait()   Thread 2: Set(); Reset(); Set()\n{matrix}");
 
     let pre = ManualResetEventTarget {
         variant: Variant::Pre,
@@ -31,7 +29,9 @@ fn main() {
     // would not be able to single out the bug in Figure 9 with a tool
     // that checks standard (nonblocking) linearizability only" (§5.5).
     match violation {
-        Violation::StuckNoWitness { history, pending, .. } => {
+        Violation::StuckNoWitness {
+            history, pending, ..
+        } => {
             println!(
                 "\nThe pending operation is {} by thread {} — never unblocked, with\n\
                  no serial justification for blocking there.",

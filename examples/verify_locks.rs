@@ -181,7 +181,11 @@ fn main() {
     .with_finally(vec![Invocation::new("get")]);
     println!("Checking mutual exclusion via Line-Up on:\n{m}");
 
-    for kind in [LockKind::Ticket, LockKind::Peterson, LockKind::BrokenPeterson] {
+    for kind in [
+        LockKind::Ticket,
+        LockKind::Peterson,
+        LockKind::BrokenPeterson,
+    ] {
         let target = LockTarget { kind };
         let report = check(&target, &m, &CheckOptions::new());
         println!(

@@ -147,7 +147,10 @@ fn semaphore_count_is_conserved() {
             assert_eq!(run.outcome, RunOutcome::Complete);
             let s = probe.take();
             let count = s.current_count();
-            assert!(count == 2 || count == 3, "1 + 2 released − (0|1) taken, got {count}");
+            assert!(
+                count == 2 || count == 3,
+                "1 + 2 released − (0|1) taken, got {count}"
+            );
             ControlFlow::Continue(())
         },
     );
@@ -378,5 +381,8 @@ fn barrier_add_participant_during_wait_is_consistent() {
         },
     );
     assert!(stats.complete > 0, "add-after-phase schedules complete");
-    assert!(stats.deadlock > 0, "add-before-arrival schedules strand the waiters");
+    assert!(
+        stats.deadlock > 0,
+        "add-before-arrival schedules strand the waiters"
+    );
 }

@@ -45,25 +45,22 @@ fn demo_matrix(class: &str) -> TestMatrix {
             vec![inv("Signal")],
             vec![inv("Wait")],
         ]),
-        "ConcurrentDictionary" => TestMatrix::from_columns(vec![
-            vec![inv_i("TryAdd", 10)],
-            vec![inv_i("TryAdd", 20)],
-        ])
-        .with_finally(vec![inv("Count")]),
+        "ConcurrentDictionary" => {
+            TestMatrix::from_columns(vec![vec![inv_i("TryAdd", 10)], vec![inv_i("TryAdd", 20)]])
+                .with_finally(vec![inv("Count")])
+        }
         "ConcurrentQueue" => TestMatrix::from_columns(vec![
             vec![inv_i("Enqueue", 200), inv_i("Enqueue", 400)],
             vec![inv("TryDequeue"), inv("TryDequeue")],
         ]),
-        "ConcurrentStack" => TestMatrix::from_columns(vec![
-            vec![inv("TryPopRangeTwo")],
-            vec![inv("TryPop")],
-        ])
-        .with_init(vec![inv_i("Push", 1), inv_i("Push", 2), inv_i("Push", 3)]),
-        "ConcurrentLinkedList" => TestMatrix::from_columns(vec![
-            vec![inv("RemoveFirst")],
-            vec![inv("RemoveList")],
-        ])
-        .with_init(vec![inv_i("AddLast", 10)]),
+        "ConcurrentStack" => {
+            TestMatrix::from_columns(vec![vec![inv("TryPopRangeTwo")], vec![inv("TryPop")]])
+                .with_init(vec![inv_i("Push", 1), inv_i("Push", 2), inv_i("Push", 3)])
+        }
+        "ConcurrentLinkedList" => {
+            TestMatrix::from_columns(vec![vec![inv("RemoveFirst")], vec![inv("RemoveList")]])
+                .with_init(vec![inv_i("AddLast", 10)])
+        }
         "BlockingCollection" => TestMatrix::from_columns(vec![
             vec![inv("CompleteAdding")],
             vec![inv_i("TryAdd", 10)],
@@ -82,10 +79,9 @@ fn demo_matrix(class: &str) -> TestMatrix {
             vec![inv("Increment"), inv("IsCancellationRequested")],
             vec![inv("Cancel")],
         ]),
-        "Barrier" => TestMatrix::from_columns(vec![
-            vec![inv("SignalAndWait")],
-            vec![inv("SignalAndWait")],
-        ]),
+        "Barrier" => {
+            TestMatrix::from_columns(vec![vec![inv("SignalAndWait")], vec![inv("SignalAndWait")]])
+        }
         other => panic!("no demo matrix for {other}"),
     }
 }
@@ -153,12 +149,11 @@ fn liveness_bugs_surface_as_stuck_histories() {
         ("ManualResetEvent (Pre)", RootCause::A),
         ("SemaphoreSlim (Pre)", RootCause::C),
     ] {
-        let entry = all_classes()
-            .into_iter()
-            .find(|e| e.name == class)
-            .unwrap();
+        let entry = all_classes().into_iter().find(|e| e.name == class).unwrap();
         assert!(entry.expected_root_causes.contains(&cause));
-        let report = entry.target().check(&demo_matrix(class), &CheckOptions::new());
+        let report = entry
+            .target()
+            .check(&demo_matrix(class), &CheckOptions::new());
         assert!(
             matches!(
                 report.first_violation(),
@@ -174,11 +169,10 @@ fn liveness_bugs_surface_as_stuck_histories() {
 #[test]
 fn safety_bugs_surface_as_missing_witnesses() {
     for class in ["ConcurrentQueue (Pre)", "ConcurrentDictionary (Pre)"] {
-        let entry = all_classes()
-            .into_iter()
-            .find(|e| e.name == class)
-            .unwrap();
-        let report = entry.target().check(&demo_matrix(class), &CheckOptions::new());
+        let entry = all_classes().into_iter().find(|e| e.name == class).unwrap();
+        let report = entry
+            .target()
+            .check(&demo_matrix(class), &CheckOptions::new());
         assert!(
             matches!(report.first_violation(), Some(Violation::NoWitness { .. })),
             "{class}: {:?}",

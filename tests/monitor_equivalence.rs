@@ -1,0 +1,121 @@
+//! ISSUE acceptance: on every history recorded under the model checker,
+//! the `lineup-monitor` backend returns the same accept/reject verdict as
+//! the existing `find_witness` path.
+//!
+//! The comparison runs `check` twice per class — once with the default
+//! SpecIndex witness search, once with
+//! `CheckOptions::with_monitor_backend` — collecting *all* violations.
+//! Since phase 2 checks each distinct history exactly once and reports
+//! every rejection, equal violation lists plus equal distinct-history
+//! counts mean the two backends agreed on every recorded history, full
+//! and stuck alike.
+
+use lineup::{CheckOptions, TestMatrix, Violation};
+use lineup_collections::registry::all_classes;
+use lineup_monitor::monitor_backend;
+
+/// Renders a violation without its reproducing `decisions` (the verdict
+/// is per history; the decision path may come from whichever schedule
+/// first reached it).
+fn violation_keys(violations: &[Violation]) -> Vec<String> {
+    violations
+        .iter()
+        .map(|v| match v {
+            Violation::Nondeterminism(nd) => format!("nondeterminism: {nd:?}"),
+            Violation::NoWitness { history, .. } => format!("no-witness: {history:?}"),
+            Violation::StuckNoWitness {
+                history, pending, ..
+            } => format!("stuck-no-witness: {pending:?} {history:?}"),
+            Violation::Panic {
+                message, history, ..
+            } => format!("panic: {message} {history:?}"),
+        })
+        .collect()
+}
+
+/// The matrices to compare a class on: its own regression matrices, or —
+/// for fixed variants, which have no expected root causes — the matrices
+/// of the seeded "(Pre)" sibling, exercised against the fixed code.
+fn matrices_for(entry: &lineup_collections::registry::ClassEntry) -> Vec<TestMatrix> {
+    let own = entry.regression_matrices();
+    if !own.is_empty() {
+        return own;
+    }
+    all_classes()
+        .iter()
+        .find(|e| e.name.trim_end_matches(" (Pre)") == entry.name && e.name != entry.name)
+        .map(|sibling| sibling.regression_matrices())
+        .unwrap_or_default()
+}
+
+#[test]
+fn monitor_backend_matches_find_witness_on_all_classes() {
+    let mut fixed_checked = 0;
+    let mut pre_checked = 0;
+    for entry in all_classes() {
+        let matrices = matrices_for(&entry);
+        if matrices.is_empty() {
+            continue;
+        }
+        for matrix in matrices {
+            let opts = CheckOptions::new().collect_all_violations();
+            let base = entry.target().check(&matrix, &opts);
+            let mon_opts = opts
+                .clone()
+                .with_monitor_backend(monitor_backend(entry.target_arc(), &matrix));
+            let mon = entry.target().check(&matrix, &mon_opts);
+            assert_eq!(
+                base.passed(),
+                mon.passed(),
+                "{}: verdict differs on\n{matrix}",
+                entry.name
+            );
+            assert_eq!(
+                violation_keys(&base.violations),
+                violation_keys(&mon.violations),
+                "{}: violation set differs on\n{matrix}",
+                entry.name
+            );
+            assert_eq!(
+                base.phase2.full_histories, mon.phase2.full_histories,
+                "{}: distinct full histories differ",
+                entry.name
+            );
+            assert_eq!(
+                base.phase2.stuck_histories, mon.phase2.stuck_histories,
+                "{}: distinct stuck histories differ",
+                entry.name
+            );
+        }
+        if entry.name.ends_with("(Pre)") {
+            pre_checked += 1;
+        } else {
+            fixed_checked += 1;
+        }
+    }
+    assert!(
+        fixed_checked >= 3 && pre_checked >= 3,
+        "expected fixed and Pre coverage, got {fixed_checked} fixed / {pre_checked} Pre"
+    );
+}
+
+#[test]
+fn monitor_backend_agrees_with_parallel_exploration() {
+    // The backend plugs into the worker-parallel phase 2 the same way as
+    // the serial one (both paths go through the shared verdict helpers).
+    let entry = all_classes()
+        .into_iter()
+        .find(|e| e.name == "ConcurrentDictionary (Pre)")
+        .expect("registry has the seeded dictionary");
+    let matrix = entry.regression_matrix().expect("regression matrix");
+    let opts = CheckOptions::new()
+        .collect_all_violations()
+        .with_monitor_backend(monitor_backend(entry.target_arc(), &matrix));
+    let serial = entry.target().check(&matrix, &opts);
+    let par = entry.target().check(&matrix, &opts.clone().with_workers(4));
+    assert!(!serial.passed());
+    assert_eq!(
+        violation_keys(&serial.violations),
+        violation_keys(&par.violations)
+    );
+}

@@ -4,17 +4,18 @@
 //! process can drive phase-2 checks in another (differential checking).
 
 use lineup::{
-    check_against_spec, parse_observation_file, write_observation_file,
-    CheckOptions, Invocation, TestMatrix,
+    check_against_spec, parse_observation_file, write_observation_file, CheckOptions, Invocation,
+    TestMatrix,
 };
 use lineup_collections::{all_classes, Variant};
 
 fn small_matrix(entry_name: &str, invocations: &[Invocation]) -> TestMatrix {
     // Two threads, first two catalog invocations each — enough to produce
     // groups, blocking (for some classes) and non-trivial interleavings.
-    let a = invocations.first().cloned().unwrap_or_else(|| {
-        panic!("{entry_name} has an empty catalog")
-    });
+    let a = invocations
+        .first()
+        .cloned()
+        .unwrap_or_else(|| panic!("{entry_name} has an empty catalog"));
     let b = invocations.get(1).cloned().unwrap_or_else(|| a.clone());
     TestMatrix::from_columns(vec![vec![a], vec![b]])
 }
@@ -26,8 +27,8 @@ fn all_class_specs_roundtrip_through_the_file_format() {
         let (spec, _, panic) = entry.target().synthesize_spec(&m);
         assert!(panic.is_none(), "{}: phase 1 must not panic", entry.name);
         let text = write_observation_file(&spec);
-        let parsed = parse_observation_file(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{text}", entry.name));
+        let parsed =
+            parse_observation_file(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", entry.name));
         assert_eq!(parsed, spec, "{} round-trips", entry.name);
     }
 }
@@ -92,7 +93,10 @@ fn saved_spec_drives_differential_checking() {
         variant: Variant::Pre,
     };
     let (violations, _) = check_against_spec(&pre_target, &m, &reloaded, &CheckOptions::new());
-    assert!(!violations.is_empty(), "Fig. 1 bug found against saved spec");
+    assert!(
+        !violations.is_empty(),
+        "Fig. 1 bug found against saved spec"
+    );
     let _ = pre;
 }
 

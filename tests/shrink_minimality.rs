@@ -1,0 +1,61 @@
+//! `shrink_failing_test` produces a *locally minimal* failing test on a
+//! seeded bug: the shrunk matrix still fails, and removing any single
+//! remaining operation makes the check pass (the paper's "failing test of
+//! minimal dimension", §5.1, automated).
+
+use lineup::{CheckOptions, Invocation, TestMatrix};
+use lineup_collections::registry::all_classes;
+
+#[test]
+fn shrink_is_locally_minimal_on_the_seeded_queue() {
+    let entry = all_classes()
+        .into_iter()
+        .find(|e| e.name == "ConcurrentQueue (Pre)")
+        .expect("registry has the seeded queue");
+    // The regression matrix padded with a redundant dequeue: shrink must
+    // strip the padding (at least) and land on a locally minimal test.
+    let big = TestMatrix::from_columns(vec![
+        vec![
+            Invocation::with_int("Enqueue", 200),
+            Invocation::with_int("Enqueue", 400),
+        ],
+        vec![
+            Invocation::new("TryDequeue"),
+            Invocation::new("TryDequeue"),
+            Invocation::new("TryDequeue"),
+        ],
+    ]);
+    let opts = CheckOptions::new();
+    assert!(
+        !entry.target().check(&big, &opts).passed(),
+        "padded matrix still exposes the seeded bug"
+    );
+
+    let (small, checks) = entry.target().shrink_failing_test(&big, &opts);
+    assert!(checks > 1, "shrinking performed candidate checks");
+    assert!(
+        small.operation_count() < big.operation_count(),
+        "the redundant padding is removed:\n{small}"
+    );
+    assert!(
+        !entry.target().check(&small, &opts).passed(),
+        "the shrunk test is a genuine failing test:\n{small}"
+    );
+
+    // Local minimality: no single operation can be removed without the
+    // check passing.
+    for c in 0..small.columns.len() {
+        for r in 0..small.columns[c].len() {
+            let mut candidate = small.clone();
+            candidate.columns[c].remove(r);
+            candidate.columns.retain(|col| !col.is_empty());
+            if candidate.operation_count() == 0 {
+                continue;
+            }
+            assert!(
+                entry.target().check(&candidate, &opts).passed(),
+                "removing op ({c},{r}) still fails — not minimal:\n{candidate}"
+            );
+        }
+    }
+}

@@ -71,7 +71,9 @@ fn bag_take_order_nondeterminism_is_beyond_the_extension() {
         lineup::Violation::NoWitness { history, .. } => {
             assert!(history.ops.iter().any(|o| {
                 o.invocation.name == "TryTake"
-                    && o.response.as_ref().is_some_and(|r| *r != lineup::Value::Fail)
+                    && o.response
+                        .as_ref()
+                        .is_some_and(|r| *r != lineup::Value::Fail)
             }));
         }
         other => panic!("unexpected violation {other:?}"),

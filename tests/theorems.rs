@@ -95,7 +95,11 @@ fn phase1_synthesizes_the_full_deterministic_spec() {
     assert_eq!(spec.stuck_count(), 0);
     // get returns the number of incs that precede it in each history.
     for h in spec.iter() {
-        let pos = h.ops.iter().position(|o| o.invocation.name == "get").unwrap();
+        let pos = h
+            .ops
+            .iter()
+            .position(|o| o.invocation.name == "get")
+            .unwrap();
         let expected = pos as i64; // both incs precede iff pos == 2, etc.
         match &h.ops[pos].outcome {
             lineup::Outcome::Returned(lineup::Value::Int(v)) => assert_eq!(*v, expected),
