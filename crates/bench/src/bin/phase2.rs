@@ -1,15 +1,17 @@
 //! Phase-2 parallel-scaling benchmark: serial depth-first exploration
 //! versus the prefix-partitioned parallel mode
-//! ([`CheckOptions::with_workers`]) on exhaustive 2-thread matrices.
+//! ([`CheckOptions::with_workers`]) on exhaustive 2-thread matrices, with
+//! partial-order reduction ([`CheckOptions::with_por`]) on and off.
 //!
 //! ```text
 //! cargo run --release -p lineup-bench --bin phase2 [--json] [--out PATH]
-//!     [--workers 1,2,4] [--repeat N] [--depth D]
+//!     [--workers 1,2,4] [--repeat N] [--depth D] [--por on|off|both]
 //! ```
 //!
-//! Reports, per workload and worker count, the number of executions
-//! explored, the wall time (best of `--repeat` attempts), the throughput
-//! in runs/second, and the speedup over the 1-worker (serial) baseline.
+//! Reports, per workload, POR mode, and worker count, the number of
+//! executions explored, how many of those were sleep-set prunes, the wall
+//! time (best of `--repeat` attempts), the throughput in runs/second, and
+//! the speedup over the 1-worker (serial) baseline *of the same POR mode*.
 //! `--json` additionally writes the measurements to `BENCH_phase2.json`
 //! (or `--out PATH`). The JSON records `cpu_cores`: the speedup is bounded
 //! by the physical parallelism of the machine — on a single-core host the
@@ -28,8 +30,10 @@ use lineup_collections::Variant;
 
 struct Sample {
     workload: &'static str,
+    por: bool,
     workers: usize,
     runs: u64,
+    sleep_prunes: u64,
     wall_seconds: f64,
     runs_per_sec: f64,
     speedup: f64,
@@ -41,27 +45,65 @@ fn measure<T: TestTarget>(
     target: &T,
     matrix: &TestMatrix,
     spec: &ObservationSet,
+    por: bool,
     workers: usize,
     split_depth: usize,
     repeat: usize,
-) -> (u64, f64) {
+) -> (u64, u64, f64) {
     let mut opts = CheckOptions::new()
         .with_preemption_bound(None)
+        .with_por(por)
         .collect_all_violations();
     if workers > 1 {
         opts = opts.with_workers(workers).with_split_depth(split_depth);
     }
     let mut best = f64::INFINITY;
     let mut runs = 0;
+    let mut prunes = 0;
     for _ in 0..repeat.max(1) {
         let t0 = Instant::now();
         let (violations, stats) = check_against_spec(target, matrix, spec, &opts);
         let wall = t0.elapsed().as_secs_f64();
         assert!(violations.is_empty(), "benchmark workloads pass");
         runs = stats.runs;
+        prunes = stats.sleep_prunes;
         best = best.min(wall);
     }
-    (runs, best)
+    (runs, prunes, best)
+}
+
+/// Runs one workload over every (POR mode, worker count) combination,
+/// appending a sample per combination with the speedup computed against
+/// the first worker count of the same POR mode.
+#[allow(clippy::too_many_arguments)]
+fn run_workload<T: TestTarget>(
+    samples: &mut Vec<Sample>,
+    workload: &'static str,
+    target: &T,
+    matrix: &TestMatrix,
+    por_modes: &[bool],
+    workers_list: &[usize],
+    split_depth: usize,
+    repeat: usize,
+) {
+    let (spec, _, _) = synthesize_spec(target, matrix);
+    for &por in por_modes {
+        let mut baseline = None;
+        for &w in workers_list {
+            let (runs, prunes, wall) = measure(target, matrix, &spec, por, w, split_depth, repeat);
+            let base = *baseline.get_or_insert(wall);
+            samples.push(Sample {
+                workload,
+                por,
+                workers: w,
+                runs,
+                sleep_prunes: prunes,
+                wall_seconds: wall,
+                runs_per_sec: runs as f64 / wall,
+                speedup: base / wall,
+            });
+        }
+    }
 }
 
 fn main() {
@@ -72,6 +114,15 @@ fn main() {
     let workers_list: Vec<usize> = arg_value("--workers")
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![1, 2, 4]);
+    let por_modes: Vec<bool> = match arg_value("--por").as_deref() {
+        Some("on") => vec![true],
+        Some("off") => vec![false],
+        None | Some("both") => vec![false, true],
+        Some(other) => {
+            eprintln!("--por must be on, off, or both (got {other})");
+            std::process::exit(2);
+        }
+    };
 
     let counter_matrix = TestMatrix::from_columns(vec![
         vec![Invocation::new("inc"), Invocation::new("get")],
@@ -92,56 +143,41 @@ fn main() {
     };
 
     let mut samples: Vec<Sample> = Vec::new();
-    {
-        let (spec, _, _) = synthesize_spec(&CounterTarget, &counter_matrix);
-        let mut baseline = None;
-        for &w in &workers_list {
-            let (runs, wall) = measure(
-                &CounterTarget,
-                &counter_matrix,
-                &spec,
-                w,
-                split_depth,
-                repeat,
-            );
-            let base = *baseline.get_or_insert(wall);
-            samples.push(Sample {
-                workload: "counter_2x2_exhaustive",
-                workers: w,
-                runs,
-                wall_seconds: wall,
-                runs_per_sec: runs as f64 / wall,
-                speedup: base / wall,
-            });
-        }
-    }
-    {
-        let (spec, _, _) = synthesize_spec(&queue, &queue_matrix);
-        let mut baseline = None;
-        for &w in &workers_list {
-            let (runs, wall) = measure(&queue, &queue_matrix, &spec, w, split_depth, repeat);
-            let base = *baseline.get_or_insert(wall);
-            samples.push(Sample {
-                workload: "queue_2x2_exhaustive",
-                workers: w,
-                runs,
-                wall_seconds: wall,
-                runs_per_sec: runs as f64 / wall,
-                speedup: base / wall,
-            });
-        }
-    }
+    run_workload(
+        &mut samples,
+        "counter_2x2_exhaustive",
+        &CounterTarget,
+        &counter_matrix,
+        &por_modes,
+        &workers_list,
+        split_depth,
+        repeat,
+    );
+    run_workload(
+        &mut samples,
+        "queue_2x2_exhaustive",
+        &queue,
+        &queue_matrix,
+        &por_modes,
+        &workers_list,
+        split_depth,
+        repeat,
+    );
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let mut table = TextTable::new(&["workload", "workers", "runs", "wall", "runs/sec", "speedup"]);
+    let mut table = TextTable::new(&[
+        "workload", "por", "workers", "runs", "prunes", "wall", "runs/sec", "speedup",
+    ]);
     for s in &samples {
         table.row(vec![
             s.workload.to_string(),
+            if s.por { "on" } else { "off" }.to_string(),
             s.workers.to_string(),
             s.runs.to_string(),
+            s.sleep_prunes.to_string(),
             fmt_duration(std::time::Duration::from_secs_f64(s.wall_seconds)),
             format!("{:.0}", s.runs_per_sec),
             format!("{:.2}x", s.speedup),
@@ -161,12 +197,14 @@ fn main() {
         out.push_str("  \"results\": [\n");
         for (i, s) in samples.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"workers\": {}, \"runs\": {}, \
-                 \"wall_seconds\": {:.6}, \"runs_per_sec\": {:.1}, \
+                "    {{\"workload\": \"{}\", \"por\": {}, \"workers\": {}, \"runs\": {}, \
+                 \"sleep_prunes\": {}, \"wall_seconds\": {:.6}, \"runs_per_sec\": {:.1}, \
                  \"speedup_vs_1_worker\": {:.3}}}{}\n",
                 s.workload,
+                s.por,
                 s.workers,
                 s.runs,
+                s.sleep_prunes,
                 s.wall_seconds,
                 s.runs_per_sec,
                 s.speedup,

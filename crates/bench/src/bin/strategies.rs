@@ -1,13 +1,15 @@
 //! Search-strategy ablation: how many phase-2 executions each strategy
 //! needs to find a known violation.
 //!
-//! Compares exhaustive DFS (the paper's configuration), a uniform random
-//! walk, and PCT (probabilistic concurrency testing — the Line-Up
-//! authors' follow-up, ASPLOS 2010) on the Fig. 1 queue bug and the
-//! Fig. 9 ManualResetEvent bug.
+//! Compares exhaustive DFS (the paper's configuration), unbounded DFS
+//! with partial-order reduction on and off, a uniform random walk, and
+//! PCT (probabilistic concurrency testing — the Line-Up authors'
+//! follow-up, ASPLOS 2010) on the Fig. 1 queue bug and the Fig. 9
+//! ManualResetEvent bug.
 //!
 //! ```text
 //! cargo run --release -p lineup-bench --bin strategies [--trials N]
+//!     [--budget N] [--workers N] [--por on|off|both]
 //! ```
 
 use std::ops::ControlFlow;
@@ -16,7 +18,7 @@ use lineup::{
     check_against_spec, explore_matrix, find_witness, synthesize_spec, CheckOptions, TestMatrix,
     WitnessQuery,
 };
-use lineup_bench::{arg_num, TextTable};
+use lineup_bench::{arg_num, arg_value, TextTable};
 use lineup_collections::concurrent_queue::{fig1_matrix, ConcurrentQueueTarget};
 use lineup_collections::manual_reset_event::{fig9_matrix, ManualResetEventTarget};
 use lineup_collections::Variant;
@@ -32,7 +34,9 @@ fn runs_to_violation<T: lineup::TestTarget>(
 ) -> Option<u64> {
     let (spec, _, _) = synthesize_spec(target, matrix);
     let index = spec.index();
-    let mut found_at = None;
+    // Tracked by the visitor, not `stats.stopped_early`: the latter is
+    // also set when the run budget is exhausted without a violation.
+    let mut found = false;
     let stats = explore_matrix(target, matrix, config, |run| {
         let violated = match run.outcome {
             RunOutcome::Complete => {
@@ -45,18 +49,18 @@ fn runs_to_violation<T: lineup::TestTarget>(
                     find_witness(&index, &q).is_none()
                 })
             }
+            // A sleep-set prune is a redundant schedule, never a violation.
+            RunOutcome::Pruned => false,
             _ => true,
         };
         if violated {
+            found = true;
             ControlFlow::Break(())
         } else {
             ControlFlow::Continue(())
         }
     });
-    if stats.stopped_early {
-        found_at = Some(stats.runs);
-    }
-    found_at
+    found.then_some(stats.runs)
 }
 
 /// Runs until the first violation with the prefix-partitioned parallel
@@ -93,6 +97,15 @@ fn main() {
     let trials: u64 = arg_num("--trials", 5);
     let budget: u64 = arg_num("--budget", 200_000);
     let workers: usize = arg_num("--workers", 4);
+    let por_modes: Vec<bool> = match arg_value("--por").as_deref() {
+        Some("on") => vec![true],
+        Some("off") => vec![false],
+        None | Some("both") => vec![false, true],
+        Some(other) => {
+            eprintln!("--por must be on, off, or both (got {other})");
+            std::process::exit(2);
+        }
+    };
 
     let cases: Vec<Case> = vec![
         (
@@ -131,13 +144,18 @@ fn main() {
         "Runs until the violation is found (median of {trials} trials, budget {budget} runs):\n"
     );
     let parallel_header = format!("DFS x{workers} workers");
-    let mut table = TextTable::new(&[
-        "Bug",
-        "DFS (PB=2)",
-        &parallel_header,
-        "Random walk",
-        "PCT d=5",
-    ]);
+    let mut headers = vec!["Bug".to_string(), "DFS (PB=2)".to_string()];
+    for &por in &por_modes {
+        headers.push(format!(
+            "DFS unbounded (POR {})",
+            if por { "on" } else { "off" }
+        ));
+    }
+    headers.push(parallel_header);
+    headers.push("Random walk".to_string());
+    headers.push("PCT d=5".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
     let fmt_runs = |r: Option<u64>| match r {
         Some(n) => n.to_string(),
         None => format!(">{budget}"),
@@ -148,6 +166,13 @@ fn main() {
         let mut cfg = Config::preemption_bounded(2);
         cfg.max_runs = Some(budget);
         cells.push(fmt_runs(run_case(&cfg)));
+        // Unbounded DFS is where partial-order reduction engages: the
+        // POR-on count includes the sleep-set-pruned runs it skips past.
+        for &por in &por_modes {
+            let mut cfg = Config::exhaustive().with_por(por);
+            cfg.max_runs = Some(budget);
+            cells.push(fmt_runs(run_case(&cfg)));
+        }
         cells.push(fmt_runs(run_parallel(workers, budget)));
         for strat in 1..3 {
             let mut results = Vec::new();

@@ -10,40 +10,10 @@ use std::collections::HashMap;
 
 use lineup_sched::{AccessEvent, AccessKind, ObjId, ThreadId};
 
-/// A vector clock over the (dense) thread ids of one execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct VectorClock(Vec<u64>);
-
-impl VectorClock {
-    fn ensure(&mut self, n: usize) {
-        if self.0.len() <= n {
-            self.0.resize(n + 1, 0);
-        }
-    }
-
-    fn tick(&mut self, t: usize) {
-        self.ensure(t);
-        self.0[t] += 1;
-    }
-
-    fn get(&self, t: usize) -> u64 {
-        self.0.get(t).copied().unwrap_or(0)
-    }
-
-    fn join(&mut self, other: &VectorClock) {
-        self.ensure(other.0.len().saturating_sub(1));
-        for (i, &v) in other.0.iter().enumerate() {
-            if self.0[i] < v {
-                self.0[i] = v;
-            }
-        }
-    }
-
-    /// Whether the epoch `(thread, time)` is ordered before this clock.
-    fn covers(&self, thread: usize, time: u64) -> bool {
-        self.get(thread) >= time
-    }
-}
+// The scheduler's DPOR machinery and this detector share one vector-clock
+// implementation (re-exported so existing `lineup_checkers::race::
+// VectorClock` users keep compiling).
+pub use lineup_sched::VectorClock;
 
 /// A detected data race.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -113,6 +113,14 @@ pub struct CheckOptions {
     /// [`Config::DEFAULT_SPLIT_DEPTH`]). Only read when
     /// [`workers`](CheckOptions::workers) `> 1`.
     pub split_depth: Option<usize>,
+    /// Dynamic partial-order reduction for phase 2 (default `true`):
+    /// sleep sets plus happens-before-guided backtracking prune schedules
+    /// that only reorder independent transitions, which cannot change the
+    /// recorded history. Only engages for exhaustive (unbounded)
+    /// exploration — preemption-bounded search keeps its full enumeration,
+    /// because sleep sets are unsound under preemption bounding. Phase 1
+    /// (serial mode) is never reduced.
+    pub por: bool,
     /// Alternative witness backend (see [`HistoryMonitor`]). When set,
     /// phase 2 asks the monitor for every history verdict instead of
     /// searching the enumerated observation set; spuriously-failed
@@ -135,6 +143,7 @@ impl CheckOptions {
             spurious_failures: Vec::new(),
             workers: 1,
             split_depth: None,
+            por: true,
             witness_monitor: None,
         }
     }
@@ -198,6 +207,13 @@ impl CheckOptions {
     /// [`CheckOptions::split_depth`]), builder style.
     pub fn with_split_depth(mut self, depth: usize) -> Self {
         self.split_depth = Some(depth);
+        self
+    }
+
+    /// Enables or disables partial-order reduction for phase 2 (see
+    /// [`CheckOptions::por`]), builder style.
+    pub fn with_por(mut self, enabled: bool) -> Self {
+        self.por = enabled;
         self
     }
 
@@ -269,6 +285,11 @@ pub struct PhaseStats {
     pub full_histories: usize,
     /// Distinct stuck histories observed.
     pub stuck_histories: usize,
+    /// Runs cut short by partial-order reduction (sleep sets): schedules
+    /// proven Mazurkiewicz-equivalent to an already-explored one. Included
+    /// in [`runs`](Self::runs); always zero in phase 1 and when
+    /// [`CheckOptions::with_por`] is off or disengaged.
+    pub sleep_prunes: u64,
     /// Wall-clock time spent.
     pub duration: Duration,
 }
@@ -330,8 +351,8 @@ pub fn synthesize_spec<T: TestTarget>(
                 });
                 ControlFlow::Break(())
             }
-            RunOutcome::Deadlock | RunOutcome::Livelock => {
-                unreachable!("serial mode reports blocking as StuckSerial")
+            RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::Pruned => {
+                unreachable!("serial mode reports blocking as StuckSerial and never prunes")
             }
             RunOutcome::StepLimit => {
                 panic_violation = Some(Violation::Panic {
@@ -348,6 +369,7 @@ pub fn synthesize_spec<T: TestTarget>(
         runs: stats.runs,
         full_histories: spec.full_count(),
         stuck_histories: spec.stuck_count(),
+        sleep_prunes: stats.sleep_prunes,
         duration: start.elapsed(),
     };
     (spec, phase, panic_violation)
@@ -452,6 +474,7 @@ pub fn check_against_spec<T: TestTarget>(
         total.runs = total.runs.saturating_add(stats.runs);
         total.full_histories = total.full_histories.saturating_add(stats.full_histories);
         total.stuck_histories = total.stuck_histories.saturating_add(stats.stuck_histories);
+        total.sleep_prunes = total.sleep_prunes.saturating_add(stats.sleep_prunes);
         total.duration += stats.duration;
         if !vs.is_empty() {
             violations = vs;
@@ -487,13 +510,18 @@ fn check_against_spec_at<T: TestTarget>(
     let mut full = 0usize;
     let mut stuck = 0usize;
 
-    let mut config = Config::exhaustive();
+    let mut config = Config::exhaustive().with_por(options.por);
     config.preemption_bound = preemption_bound;
     config.max_runs = options.max_phase2_runs;
 
     let stats = explore_matrix(target, matrix, &config, |run| {
         let mut ok = true;
         match &run.outcome {
+            RunOutcome::Pruned => {
+                // Sleep-set pruned: every continuation reorders only
+                // independent transitions of an explored schedule, so its
+                // history was already checked. Not a stuck run.
+            }
             RunOutcome::Panicked { message, .. } => {
                 violations.push(Violation::Panic {
                     message: message.clone(),
@@ -571,6 +599,7 @@ fn check_against_spec_at<T: TestTarget>(
         runs: stats.runs,
         full_histories: full,
         stuck_histories: stuck,
+        sleep_prunes: stats.sleep_prunes,
         duration: start.elapsed(),
     };
     (violations, phase)
@@ -756,7 +785,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     let start = std::time::Instant::now();
     let index = spec.index();
 
-    let mut config = Config::exhaustive();
+    let mut config = Config::exhaustive().with_por(options.por);
     config.preemption_bound = preemption_bound;
     config.workers = options.workers;
     config.split_depth = options.split_depth;
@@ -789,7 +818,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     let mut fconfig = config.clone();
     fconfig.strategy = StrategyKind::Frontier { depth };
     fconfig.max_runs = None;
-    explore_matrix(target, matrix, &fconfig, |run| {
+    let frontier_stats = explore_matrix(target, matrix, &fconfig, |run| {
         if !process_run(&runs_done) {
             return ControlFlow::Break(());
         }
@@ -797,6 +826,11 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         tasks.push(SubtreeTask {
             index: tasks.len(),
             prefix: run.decisions[..cut].to_vec(),
+            sleep: run
+                .slept
+                .get(..cut)
+                .map(<[u64]>::to_vec)
+                .unwrap_or_default(),
         });
         ControlFlow::Continue(())
     });
@@ -810,6 +844,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         let mut sub_config = config.clone();
         sub_config.strategy = StrategyKind::PrefixDfs {
             prefix: task.prefix.clone(),
+            sleep: task.sleep.clone(),
         };
         sub_config.max_runs = None;
         let mut seq: u64 = 0;
@@ -834,6 +869,10 @@ fn check_against_spec_at_parallel<T: TestTarget>(
             seq += 1;
             let mut violating = false;
             match &run.outcome {
+                RunOutcome::Pruned => {
+                    // Redundant by partial-order reduction (see the serial
+                    // path); counts toward the run budget like any run.
+                }
                 RunOutcome::Panicked { message, .. } => {
                     claims.lock().unwrap().push(Claim {
                         subtree: task.index,
@@ -940,7 +979,6 @@ fn check_against_spec_at_parallel<T: TestTarget>(
             ControlFlow::Continue(())
         })
     });
-    let _ = sched_stats;
 
     // Deterministic merge: order claims by serial exploration order,
     // deduplicate violating histories across subtrees (the serial path's
@@ -966,6 +1004,11 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         runs: runs_done.load(Ordering::SeqCst),
         full_histories: full_count.load(Ordering::SeqCst),
         stuck_histories: stuck_count.load(Ordering::SeqCst),
+        // Prunes happen both in the frontier enumeration (a prefix whose
+        // candidates are all asleep) and inside the subtree workers.
+        sleep_prunes: frontier_stats
+            .sleep_prunes
+            .saturating_add(sched_stats.sleep_prunes),
         duration: start.elapsed(),
     };
     (violations, phase)

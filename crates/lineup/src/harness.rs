@@ -32,10 +32,15 @@ impl Recorder {
     }
 
     fn record_call(&self, thread: usize, invocation: Invocation) -> usize {
+        // History appends are model-visible observations: tell the
+        // partial-order reducer so transitions that append are never
+        // treated as independent (their order is the history).
+        lineup_sched::mark_history_event();
         self.history.lock().unwrap().push_call(thread, invocation)
     }
 
     fn record_return(&self, op: usize, response: crate::value::Value) {
+        lineup_sched::mark_history_event();
         self.history.lock().unwrap().push_return(op, response);
     }
 
@@ -114,6 +119,10 @@ pub struct MatrixRun {
     /// The access log (empty unless the configuration records accesses);
     /// consumed by the `lineup-checkers` comparison checkers.
     pub access_log: Vec<lineup_sched::AccessEvent>,
+    /// Per-decision sleep-set additions under partial-order reduction
+    /// (empty without POR), parallel to `decisions`; propagated into
+    /// frontier prefixes for parallel phase-2 exploration.
+    pub slept: Vec<u64>,
 }
 
 /// Explores the schedules of `matrix` against `target` under the given
@@ -206,6 +215,7 @@ pub fn explore_matrix<T: TestTarget>(
                 preemptions: run.preemptions,
                 decisions: run.decisions,
                 access_log: run.access_log,
+                slept: run.slept,
             })
         },
     )
@@ -351,6 +361,10 @@ mod tests {
         let m = TestMatrix::from_columns(vec![vec![inv("inc")], vec![inv("inc")]])
             .with_finally(vec![inv("get")]);
         let stats = explore_matrix(&CounterTarget, &m, &Config::exhaustive(), |run| {
+            if run.outcome == RunOutcome::Pruned {
+                // Sleep-set pruned prefix: its history is partial.
+                return ControlFlow::Continue(());
+            }
             assert_eq!(run.outcome, RunOutcome::Complete);
             let h = &run.history;
             let get = h

@@ -53,6 +53,13 @@ pub enum StrategyKind {
     PrefixDfs {
         /// The decision prefix identifying the subtree.
         prefix: Vec<usize>,
+        /// Per-decision sleep-set masks accumulated along the prefix by
+        /// the frontier enumeration (see
+        /// [`RunResult::slept`](crate::RunResult)); empty when
+        /// partial-order reduction is off. Workers replaying the prefix
+        /// re-install these masks so they do not re-explore subtrees a
+        /// sibling's sleep set already pruned.
+        sleep: Vec<u64>,
     },
     /// Enumerates the disjoint subtree roots at decision depth `depth`
     /// (see [`FrontierStrategy`](crate::strategy::FrontierStrategy)): one
@@ -103,6 +110,12 @@ pub struct Config {
     /// [`Config::DEFAULT_SPLIT_DEPTH`]. Deeper splits produce more,
     /// smaller subtrees (better load balance, more frontier overhead).
     pub split_depth: Option<usize>,
+    /// Whether partial-order reduction (sleep sets + happens-before
+    /// backtracking, see the [`por`](crate::por) module) prunes
+    /// Mazurkiewicz-equivalent schedules. Defaults to `true`, but only
+    /// takes effect for exhaustive concurrent strategies — see
+    /// [`Config::effective_por`].
+    pub por: bool,
 }
 
 impl Config {
@@ -125,6 +138,7 @@ impl Config {
             record_accesses: false,
             workers: 1,
             split_depth: None,
+            por: true,
         }
     }
 
@@ -193,7 +207,10 @@ impl Config {
     /// (see [`StrategyKind::PrefixDfs`]).
     pub fn prefix_dfs(prefix: Vec<usize>) -> Self {
         Config {
-            strategy: StrategyKind::PrefixDfs { prefix },
+            strategy: StrategyKind::PrefixDfs {
+                prefix,
+                sleep: Vec::new(),
+            },
             ..Config::exhaustive()
         }
     }
@@ -214,6 +231,34 @@ impl Config {
     /// The frontier split depth in effect (see [`Config::split_depth`]).
     pub fn effective_split_depth(&self) -> usize {
         self.split_depth.unwrap_or(Self::DEFAULT_SPLIT_DEPTH)
+    }
+
+    /// Sets [`Config::por`], builder style.
+    pub fn with_por(mut self, por: bool) -> Self {
+        self.por = por;
+        self
+    }
+
+    /// Whether partial-order reduction is actually applied: it requires
+    /// [`Config::por`], concurrent mode, *no* preemption bound, and an
+    /// exhaustive strategy (DFS, prefix DFS, or frontier enumeration).
+    ///
+    /// Preemption-bounded exploration keeps POR off because sleep sets are
+    /// unsound under a preemption bound: the representative schedule of an
+    /// equivalence class may need more preemptions than the class members
+    /// the sleep set pruned, so a bounded search could lose the class
+    /// entirely (cf. bounded partial-order reduction, Coons, Musuvathi &
+    /// McKinley, OOPSLA 2013). Replay ignores pruning by construction
+    /// ([`StrategyKind::Replay`] is excluded here), and serial phase-1
+    /// mode is untouched.
+    pub fn effective_por(&self) -> bool {
+        self.por
+            && self.mode == Mode::Concurrent
+            && self.preemption_bound.is_none()
+            && matches!(
+                self.strategy,
+                StrategyKind::Dfs | StrategyKind::PrefixDfs { .. } | StrategyKind::Frontier { .. }
+            )
     }
 }
 
@@ -279,7 +324,34 @@ mod tests {
         let c = Config::prefix_dfs(vec![1, 0, 2]);
         assert!(matches!(
             c.strategy,
-            StrategyKind::PrefixDfs { ref prefix } if prefix == &[1, 0, 2]
+            StrategyKind::PrefixDfs { ref prefix, .. } if prefix == &[1, 0, 2]
         ));
+    }
+
+    #[test]
+    fn por_defaults_on_for_exhaustive_strategies() {
+        assert!(Config::exhaustive().effective_por());
+        assert!(Config::prefix_dfs(vec![0]).effective_por());
+        let frontier = Config {
+            strategy: StrategyKind::Frontier { depth: 3 },
+            ..Config::exhaustive()
+        };
+        assert!(frontier.effective_por());
+    }
+
+    #[test]
+    fn por_gated_off_where_unsound_or_meaningless() {
+        assert!(!Config::exhaustive().with_por(false).effective_por());
+        assert!(
+            !Config::preemption_bounded(2).effective_por(),
+            "sleep sets are unsound under a preemption bound"
+        );
+        assert!(!Config::serial().effective_por(), "phase 1 is untouched");
+        assert!(
+            !Config::replay(vec![0, 1]).effective_por(),
+            "replay must ignore pruning"
+        );
+        assert!(!Config::random(1, 10).effective_por());
+        assert!(!Config::pct(1, 3, 10).effective_por());
     }
 }

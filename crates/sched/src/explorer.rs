@@ -62,6 +62,12 @@ pub struct RunResult {
     /// The decision indexes (strategy-consulted choices only); feed them
     /// to [`Config::replay`](crate::Config::replay) to reproduce this run.
     pub decisions: Vec<usize>,
+    /// Per-decision sleep-set masks, parallel to
+    /// [`decisions`](RunResult::decisions) (empty when partial-order
+    /// reduction is off; all-zero for boolean decisions). Used by
+    /// [`split_frontier`] to hand parallel workers the sleep sets a serial
+    /// DFS would have at their subtree root.
+    pub slept: Vec<u64>,
     /// The access log (empty unless [`Config::record_accesses`] is set).
     pub access_log: Vec<AccessEvent>,
 }
@@ -83,6 +89,11 @@ pub struct ExploreStats {
     pub panicked: u64,
     /// Runs that exceeded the step limit.
     pub step_limit: u64,
+    /// Runs pruned by partial-order reduction (every schedulable thread
+    /// was asleep); counted in [`runs`](ExploreStats::runs) as well.
+    pub sleep_prunes: u64,
+    /// Backtrack points inserted by DPOR happens-before analysis.
+    pub backtrack_points: u64,
     /// Total schedule points across all runs.
     pub total_steps: u64,
     /// Longest schedule observed.
@@ -111,6 +122,8 @@ impl ExploreStats {
         self.stuck_serial = self.stuck_serial.saturating_add(other.stuck_serial);
         self.panicked = self.panicked.saturating_add(other.panicked);
         self.step_limit = self.step_limit.saturating_add(other.step_limit);
+        self.sleep_prunes = self.sleep_prunes.saturating_add(other.sleep_prunes);
+        self.backtrack_points = self.backtrack_points.saturating_add(other.backtrack_points);
         self.total_steps = self.total_steps.saturating_add(other.total_steps);
         self.max_schedule_len = self.max_schedule_len.max(other.max_schedule_len);
         self.stopped_early |= other.stopped_early;
@@ -127,6 +140,7 @@ impl ExploreStats {
             RunOutcome::StuckSerial => &mut self.stuck_serial,
             RunOutcome::Panicked { .. } => &mut self.panicked,
             RunOutcome::StepLimit => &mut self.step_limit,
+            RunOutcome::Pruned => &mut self.sleep_prunes,
         };
         *slot = slot.saturating_add(1);
     }
@@ -275,7 +289,9 @@ pub fn explore(
     mut setup: impl FnMut(&mut Execution),
     mut on_run: impl FnMut(RunResult) -> ControlFlow<()>,
 ) -> ExploreStats {
+    let por = config.effective_por();
     let mut strategy: Box<dyn Strategy + Send> = match &config.strategy {
+        StrategyKind::Dfs if por => Box::new(DfsStrategy::new_por()),
         StrategyKind::Dfs => Box::new(DfsStrategy::new()),
         StrategyKind::Random { seed } => Box::new(RandomStrategy::new(
             *seed,
@@ -289,7 +305,11 @@ pub fn explore(
         StrategyKind::Replay { decisions } => {
             Box::new(ReplayStrategy::from_indexes(decisions.clone()))
         }
-        StrategyKind::PrefixDfs { prefix } => Box::new(PrefixDfsStrategy::new(prefix.clone())),
+        StrategyKind::PrefixDfs { prefix, sleep } if por => {
+            Box::new(PrefixDfsStrategy::new_por(prefix.clone(), sleep.clone()))
+        }
+        StrategyKind::PrefixDfs { prefix, .. } => Box::new(PrefixDfsStrategy::new(prefix.clone())),
+        StrategyKind::Frontier { depth } if por => Box::new(FrontierStrategy::new_por(*depth)),
         StrategyKind::Frontier { depth } => Box::new(FrontierStrategy::new(*depth)),
     };
     install_quiet_panic_hook();
@@ -346,6 +366,11 @@ pub fn explore(
             preemptions: state.preemptions,
             schedule: std::mem::take(&mut state.schedule),
             decisions: std::mem::take(&mut state.decisions),
+            slept: state
+                .por
+                .as_mut()
+                .map(|p| std::mem::take(&mut p.slept_log))
+                .unwrap_or_default(),
             access_log: std::mem::take(&mut state.access_log),
         };
         stats.record(&run);
@@ -366,6 +391,7 @@ pub fn explore(
             }
         }
     }
+    stats.backtrack_points = strategy.backtrack_points();
     stats
 }
 
@@ -380,6 +406,13 @@ pub struct SubtreeTask {
     pub index: usize,
     /// The decision prefix rooting the subtree.
     pub prefix: Vec<usize>,
+    /// Sleep-set masks accumulated along the prefix (parallel to
+    /// [`prefix`](SubtreeTask::prefix); empty when partial-order reduction
+    /// is off). Handing these to the subtree's
+    /// [`StrategyKind::PrefixDfs`] keeps sibling subtrees disjoint under
+    /// reduction: a worker starts with the sleep set a serial explorer
+    /// would have at the subtree root.
+    pub sleep: Vec<u64>,
 }
 
 /// Partitions the schedule tree of a program into disjoint subtrees by
@@ -403,6 +436,11 @@ pub fn split_frontier(config: &Config, setup: impl FnMut(&mut Execution)) -> Vec
         tasks.push(SubtreeTask {
             index: tasks.len(),
             prefix: run.decisions[..cut].to_vec(),
+            sleep: run
+                .slept
+                .get(..cut)
+                .map(<[u64]>::to_vec)
+                .unwrap_or_default(),
         });
         ControlFlow::Continue(())
     });
@@ -535,10 +573,10 @@ mod tests {
 
     /// Two threads with two boundaries each: each thread is three segments
     /// (start..b1, b1..b2, b2..finish), so the number of interleavings is
-    /// C(6,3) = 20.
+    /// C(6,3) = 20. (POR off: this asserts the *full* enumeration.)
     #[test]
     fn two_threads_enumerate_all_interleavings() {
-        let stats = count_runs(&Config::exhaustive(), |ex| {
+        let stats = count_runs(&Config::exhaustive().with_por(false), |ex| {
             for _ in 0..2 {
                 ex.spawn(|| {
                     op_boundary();
@@ -548,6 +586,80 @@ mod tests {
         });
         assert_eq!(stats.runs, 20);
         assert_eq!(stats.complete, 20);
+    }
+
+    /// The same program under partial-order reduction: every transition is
+    /// independent (boundaries touch no object), so one representative
+    /// schedule suffices.
+    #[test]
+    fn por_collapses_independent_interleavings() {
+        let stats = count_runs(&Config::exhaustive(), |ex| {
+            for _ in 0..2 {
+                ex.spawn(|| {
+                    op_boundary();
+                    op_boundary();
+                });
+            }
+        });
+        assert!(
+            stats.runs < 20,
+            "POR must prune commuting interleavings, got {} runs",
+            stats.runs
+        );
+        assert!(stats.complete >= 1);
+        assert_eq!(
+            stats.complete + stats.sleep_prunes,
+            stats.runs,
+            "every run either completes or is pruned"
+        );
+    }
+
+    /// Under POR, conflicting writes to one object still get both orders
+    /// explored (a DPOR backtrack point), while the independent schedule
+    /// interleavings around them are pruned.
+    #[test]
+    fn por_explores_both_orders_of_a_conflict() {
+        use crate::ids::ObjId;
+        let orders = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+        let trace = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let t2 = Arc::clone(&trace);
+        let stats = explore(
+            &Config::exhaustive(),
+            move |ex| {
+                t2.lock().unwrap().clear();
+                for me in 0..2usize {
+                    let t = Arc::clone(&t2);
+                    ex.spawn(move || {
+                        crate::runtime::schedule(ObjId(7));
+                        t.lock().unwrap().push(me);
+                    });
+                }
+            },
+            |run| {
+                if run.outcome == RunOutcome::Complete {
+                    orders.lock().unwrap().insert(trace.lock().unwrap().clone());
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        let orders = Arc::try_unwrap(orders).unwrap().into_inner().unwrap();
+        assert!(orders.contains(&vec![0, 1]), "write order 0<1 explored");
+        assert!(orders.contains(&vec![1, 0]), "write order 1<0 explored");
+        assert!(
+            stats.backtrack_points >= 1,
+            "the conflict demands a backtrack"
+        );
+        let full = count_runs(&Config::exhaustive().with_por(false), |ex| {
+            for _ in 0..2 {
+                ex.spawn(|| crate::runtime::schedule(ObjId(7)));
+            }
+        });
+        assert!(
+            stats.runs < full.runs,
+            "POR ({} runs) must beat full enumeration ({} runs)",
+            stats.runs,
+            full.runs
+        );
     }
 
     /// Serial mode must see exactly the same interleavings here, because
@@ -578,7 +690,8 @@ mod tests {
         });
         assert!(stats.runs >= 1);
         assert_eq!(stats.complete, 0);
-        assert_eq!(stats.deadlock, stats.runs);
+        assert!(stats.deadlock >= 1);
+        assert_eq!(stats.deadlock + stats.sleep_prunes, stats.runs);
     }
 
     /// An unbounded spin loop whose condition is never satisfied is a fair
@@ -614,7 +727,10 @@ mod tests {
                 op_boundary();
             });
         });
-        assert_eq!(stats.livelock + stats.complete, stats.runs);
+        assert_eq!(
+            stats.livelock + stats.complete + stats.sleep_prunes,
+            stats.runs
+        );
         assert!(stats.complete > 0, "some schedules must complete");
     }
 
@@ -636,7 +752,10 @@ mod tests {
         // Schedules where thread 1 unblocks before thread 0 blocks cannot
         // exist (unblock of a runnable thread is a no-op and thread 0
         // blocks afterwards with nobody left): those deadlock.
-        assert_eq!(stats.complete + stats.deadlock, stats.runs);
+        assert_eq!(
+            stats.complete + stats.deadlock + stats.sleep_prunes,
+            stats.runs
+        );
     }
 
     /// A timed block can be resumed by the scheduler (modelling a timeout).
@@ -794,7 +913,8 @@ mod tests {
     fn object_registration_is_deterministic() {
         let ids = std::sync::Mutex::new(Vec::new());
         explore(
-            &Config::exhaustive(),
+            // POR off: the comparison needs more than one run.
+            &Config::exhaustive().with_por(false),
             |ex| {
                 let a = crate::runtime::register_object();
                 let b = crate::runtime::register_object();
@@ -824,6 +944,8 @@ mod tests {
             stuck_serial: 0,
             panicked: 0,
             step_limit: 0,
+            sleep_prunes: 2,
+            backtrack_points: 1,
             total_steps: 40,
             max_schedule_len: 9,
             stopped_early: false,
@@ -836,6 +958,8 @@ mod tests {
             stuck_serial: 0,
             panicked: 0,
             step_limit: 0,
+            sleep_prunes: 3,
+            backtrack_points: 4,
             total_steps: 60,
             max_schedule_len: 14,
             stopped_early: true,
@@ -845,6 +969,8 @@ mod tests {
         assert_eq!(a.complete, 6);
         assert_eq!(a.deadlock, 1);
         assert_eq!(a.livelock, 1);
+        assert_eq!(a.sleep_prunes, 5);
+        assert_eq!(a.backtrack_points, 5);
         assert_eq!(a.total_steps, 100);
         assert_eq!(a.max_schedule_len, 14, "merge takes the max, not the sum");
         assert!(
@@ -908,7 +1034,7 @@ mod tests {
     /// index order reproduces the serial schedule sequence.
     #[test]
     fn split_frontier_partitions_runs() {
-        let config = Config::exhaustive().with_split_depth(3);
+        let config = Config::exhaustive().with_por(false).with_split_depth(3);
         let serial_schedules = {
             let mut v = Vec::new();
             explore(&config, boundary_setup(2, 2), |run| {
@@ -924,6 +1050,7 @@ mod tests {
             let mut sub_config = config.clone();
             sub_config.strategy = StrategyKind::PrefixDfs {
                 prefix: task.prefix.clone(),
+                sleep: task.sleep.clone(),
             };
             explore(&sub_config, boundary_setup(2, 2), |run| {
                 combined.push(run.schedule.clone());
@@ -937,7 +1064,7 @@ mod tests {
     /// serial totals, for any worker count.
     #[test]
     fn explore_parallel_matches_serial_stats() {
-        let config = Config::exhaustive().with_split_depth(3);
+        let config = Config::exhaustive().with_por(false).with_split_depth(3);
         let serial = count_runs(&config, boundary_setup(2, 2));
         let tasks = split_frontier(&config, boundary_setup(2, 2));
         for workers in [1, 2, 4] {
@@ -945,6 +1072,7 @@ mod tests {
                 let mut sub_config = config.clone();
                 sub_config.strategy = StrategyKind::PrefixDfs {
                     prefix: task.prefix.clone(),
+                    sleep: task.sleep.clone(),
                 };
                 explore(&sub_config, boundary_setup(2, 2), |_| {
                     ControlFlow::Continue(())
@@ -955,6 +1083,48 @@ mod tests {
             assert_eq!(stats.total_steps, serial.total_steps);
             assert_eq!(stats.max_schedule_len, serial.max_schedule_len);
         }
+    }
+
+    /// POR composes with the frontier split: workers inherit the frontier
+    /// sleep sets through [`SubtreeTask::sleep`], the parallel exploration
+    /// still covers both orders of a conflict, and it never explores more
+    /// schedules than the full (POR-off) enumeration.
+    #[test]
+    fn split_frontier_with_por_covers_conflicts() {
+        use crate::ids::ObjId;
+        fn conflict_setup() -> impl FnMut(&mut Execution) {
+            |ex: &mut Execution| {
+                for _ in 0..2 {
+                    ex.spawn(|| {
+                        crate::runtime::schedule(ObjId(3));
+                        crate::runtime::schedule(ObjId(3));
+                    });
+                }
+            }
+        }
+        let config = Config::exhaustive().with_split_depth(2);
+        let serial = count_runs(&config, conflict_setup());
+        let tasks = split_frontier(&config, conflict_setup());
+        let stats = explore_parallel(2, &tasks, |task, _cancel| {
+            let mut sub = config.clone();
+            sub.strategy = StrategyKind::PrefixDfs {
+                prefix: task.prefix.clone(),
+                sleep: task.sleep.clone(),
+            };
+            explore(&sub, conflict_setup(), |_| ControlFlow::Continue(()))
+        });
+        let full = count_runs(&config.clone().with_por(false), conflict_setup());
+        // The frontier region is fully expanded (sleep-only POR), so the
+        // parallel exploration is a superset of the serial SDPOR one —
+        // but still a reduction of the full enumeration.
+        assert!(stats.complete >= serial.complete, "parallel covers serial");
+        assert!(
+            stats.runs <= full.runs,
+            "parallel POR ({}) must not exceed full enumeration ({})",
+            stats.runs,
+            full.runs
+        );
+        assert!(serial.runs < full.runs, "POR must reduce this workload");
     }
 
     /// Cancellation: reporting a violation in subtree k skips every task
@@ -980,6 +1150,7 @@ mod tests {
             .map(|i| SubtreeTask {
                 index: i,
                 prefix: vec![i],
+                sleep: vec![0],
             })
             .collect();
         let visited = std::sync::Mutex::new(Vec::new());

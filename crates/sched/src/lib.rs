@@ -63,6 +63,7 @@ pub mod events;
 pub mod explorer;
 pub mod ids;
 pub mod native;
+pub mod por;
 pub mod probe;
 pub mod runtime;
 pub mod state;
@@ -76,10 +77,11 @@ pub use explorer::{
 };
 pub use ids::{ObjId, ThreadId};
 pub use native::{register_native_thread, NativeGuard, NativeOptions};
+pub use por::{AccessIntent, VectorClock, MAX_POR_THREADS};
 pub use probe::Probe;
 pub use runtime::{
-    block_current, choose_bool, current_thread, is_model_active, log_access, op_boundary,
-    register_object, schedule, unblock, yield_point, BlockResult,
+    block_current, choose_bool, current_thread, is_model_active, log_access, mark_history_event,
+    op_boundary, register_object, schedule, schedule_access, unblock, yield_point, BlockResult,
 };
 pub use state::{BlockKind, RunOutcome};
 pub use strategy::Choice;

@@ -15,6 +15,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crate::events::AccessKind;
 use crate::ids::{ObjId, ThreadId};
+use crate::por::{AccessIntent, Pending};
 use crate::state::{BlockKind, RtState, RunOutcome, Status};
 
 /// The state shared between the controller and the virtual threads.
@@ -138,9 +139,10 @@ fn wait_for_turn(shared: &Arc<Shared>, tid: usize, mut guard: std::sync::MutexGu
     }
 }
 
-fn schedule_point(kind: Option<AccessKind>) {
+fn schedule_point(kind: Option<AccessKind>, pending: Pending) {
     let modelled = with_virtual_ctx(|shared, tid| {
         let mut st = shared.state.lock().unwrap();
+        st.set_pending(tid, pending);
         st.note_point(tid, kind);
         let after_yield = kind == Some(AccessKind::Yield);
         let cont = st.pick_next(after_yield);
@@ -167,14 +169,46 @@ fn schedule_point(kind: Option<AccessKind>) {
 /// Called by every instrumented primitive operation in `lineup-sync`
 /// *before* the operation's effect, so the enumeration of schedules covers
 /// every interleaving of instrumented actions. The effect itself is
-/// recorded afterwards with [`log_access`]. The `_obj` parameter is kept
-/// for symmetry and debugging hooks.
+/// recorded afterwards with [`log_access`].
+///
+/// Equivalent to [`schedule_access`] with [`AccessIntent::Write`] — the
+/// conservative default for partial-order reduction. Primitives whose
+/// upcoming effect is read-only should call [`schedule_access`] with
+/// [`AccessIntent::Read`] instead so POR can commute them.
 ///
 /// Outside a virtual thread (in the setup closure, or in plain unmodelled
 /// code) this is a no-op, so instrumented primitives work transparently
 /// everywhere.
-pub fn schedule(_obj: ObjId) {
-    schedule_point(None);
+pub fn schedule(obj: ObjId) {
+    schedule_access(obj, AccessIntent::Write);
+}
+
+/// A schedule point that declares the *intent* of the upcoming effect on
+/// `obj`, so partial-order reduction knows (before the effect runs and is
+/// logged) whether the pending transition can conflict with others.
+/// Read intents commute with each other; anything the declaration
+/// understates is caught conservatively by the access log afterwards.
+pub fn schedule_access(obj: ObjId, intent: AccessIntent) {
+    schedule_point(
+        None,
+        Pending::Obj {
+            obj: obj.0,
+            write: intent == AccessIntent::Write,
+        },
+    );
+}
+
+/// Marks a history event (an operation call or return observed by the
+/// Line-Up harness) on the current transition. History events order the
+/// observation itself, so partial-order reduction treats the marking
+/// transition as conflicting with every other pending transition — two
+/// schedules that swap history events are *not* equivalent. A no-op
+/// outside a virtual thread.
+pub fn mark_history_event() {
+    with_virtual_ctx(|shared, _| {
+        let mut st = shared.state.lock().unwrap();
+        st.note_mark();
+    });
 }
 
 /// Records the effect of an instrumented action in the access log (no
@@ -195,14 +229,14 @@ pub fn log_access(obj: ObjId, kind: AccessKind) {
 /// fairness is important because many of the concurrent data types use
 /// spin-loops for synchronization").
 pub fn yield_point() {
-    schedule_point(Some(AccessKind::Yield));
+    schedule_point(Some(AccessKind::Yield), Pending::NoObj);
 }
 
 /// An operation boundary, emitted by the Line-Up harness between the
 /// operations of a test. Serial mode only switches threads here; in
 /// concurrent mode switching here is free (it costs no preemption).
 pub fn op_boundary() {
-    schedule_point(Some(AccessKind::OpBoundary));
+    schedule_point(Some(AccessKind::OpBoundary), Pending::NoObj);
 }
 
 /// How a blocked thread was resumed.
@@ -237,6 +271,17 @@ pub fn block_current(kind: BlockKind) -> BlockResult {
     with_virtual_ctx(|shared, tid| {
         let mut st = shared.state.lock().unwrap();
         st.threads[tid].timed_fired = false;
+        // A plain block parks without touching shared data once resumed
+        // (the resumer re-checks the wait condition); a timed block may
+        // mutate a wait set on the timeout path without logging, so its
+        // pending effect is unknown to POR.
+        st.set_pending(
+            tid,
+            match kind {
+                BlockKind::Untimed => Pending::NoObj,
+                BlockKind::Timed => Pending::Unknown,
+            },
+        );
         st.set_status(tid, Status::Blocked(kind));
         let cont = st.pick_next(false);
         shared.cv.notify_all();
@@ -273,6 +318,9 @@ pub fn unblock(thread: ThreadId) {
         if matches!(st.status(thread.0), Status::Blocked(_)) {
             st.threads[thread.0].timed_fired = false;
             st.set_status(thread.0, Status::Runnable);
+            // POR: the wake orders the woken thread after the waker and
+            // removes it from the sleep set (its enabledness changed).
+            st.note_wake(thread.0);
             // Unblocking is progress: reset fair-livelock tracking.
             st.yield_rounds = 0;
             for t in &mut st.threads {

@@ -4,6 +4,7 @@
 use crate::config::{Config, Mode};
 use crate::events::{AccessEvent, AccessKind};
 use crate::ids::{ObjId, ThreadId};
+use crate::por::{Pending, PorRun, MAX_POR_THREADS};
 use crate::strategy::{Choice, Strategy};
 
 /// Why a virtual thread is blocked.
@@ -46,6 +47,12 @@ pub enum RunOutcome {
     /// The per-run step limit was exceeded (an unbounded loop that the
     /// livelock detector did not catch; usually a harness bug).
     StepLimit,
+    /// Partial-order reduction ended the run early: every schedulable
+    /// thread was in the sleep set, so every continuation of this run is
+    /// Mazurkiewicz-equivalent to an already-explored schedule. The run's
+    /// partial history must be discarded — the full observation was (or
+    /// will be) produced by the equivalent schedule.
+    Pruned,
 }
 
 impl RunOutcome {
@@ -136,6 +143,9 @@ pub(crate) struct RtState {
     pub next_obj: u32,
     /// The search strategy, temporarily moved in for the duration of a run.
     pub strategy: Option<Box<dyn Strategy + Send>>,
+    /// Partial-order-reduction state, present when
+    /// [`Config::effective_por`](crate::Config::effective_por) holds.
+    pub por: Option<PorRun>,
 }
 
 impl std::fmt::Debug for RtState {
@@ -150,8 +160,10 @@ impl std::fmt::Debug for RtState {
 
 impl RtState {
     pub fn new(config: Config, nthreads: usize, strategy: Box<dyn Strategy + Send>) -> Self {
+        let por = config.effective_por().then(PorRun::new);
         RtState {
             config,
+            por,
             threads: (0..nthreads).map(|_| ThreadState::new()).collect(),
             current: None,
             step: 0,
@@ -172,6 +184,12 @@ impl RtState {
     /// before the thread table exists).
     pub fn init_threads(&mut self, n: usize) {
         debug_assert!(self.threads.is_empty());
+        assert!(
+            self.por.is_none() || n <= MAX_POR_THREADS,
+            "partial-order reduction supports at most {MAX_POR_THREADS} \
+             threads (sleep sets are u64 bitmasks); disable it with \
+             Config::with_por(false)"
+        );
         self.threads = (0..n).map(|_| ThreadState::new()).collect();
     }
 
@@ -197,6 +215,9 @@ impl RtState {
                 kind,
                 op_index: self.threads[me].op_index,
             });
+        }
+        if let Some(por) = &mut self.por {
+            por.note_access(obj, kind);
         }
         if kind.is_progress() {
             self.yield_rounds = 0;
@@ -250,6 +271,22 @@ impl RtState {
         if self.step > self.config.max_steps {
             self.end_run(RunOutcome::StepLimit);
             return false;
+        }
+
+        // POR: the transition of the current thread just ended — settle
+        // its footprint (happens-before joins, DPOR backtrack demands,
+        // sleep-set wake-ups) before the next scheduling decision.
+        if let Some(mut por) = self.por.take() {
+            if let Some(cur) = self.current {
+                let demands = por.finish_transition(cur);
+                if !demands.is_empty() {
+                    let strategy = self.strategy.as_mut().expect("strategy present during run");
+                    for d in demands {
+                        strategy.add_backtrack(d.node, d.thread);
+                    }
+                }
+            }
+            self.por = Some(por);
         }
 
         let enabled = self.enabled_threads();
@@ -320,13 +357,43 @@ impl RtState {
             }
         }
 
+        // POR pruning: when every candidate is asleep, each continuation
+        // of this run reorders only independent transitions of an
+        // already-explored schedule — abandon it.
+        if let Some(por) = &self.por {
+            if por.all_asleep(&candidates) {
+                self.end_run(RunOutcome::Pruned);
+                return false;
+            }
+        }
+
         let idx = if candidates.len() == 1 {
+            if let Some(por) = &mut self.por {
+                por.cur_node = None;
+            }
             0
         } else {
             let step = self.step;
-            let strategy = self.strategy.as_mut().expect("strategy present during run");
-            let idx = strategy.choose_thread(&candidates, step);
-            debug_assert!(idx < candidates.len());
+            let mut strategy = self.strategy.take().expect("strategy present during run");
+            let idx = if let Some(por) = &mut self.por {
+                let choice = strategy.choose_thread_por(&candidates, por.sleep, step);
+                debug_assert!(choice.index < candidates.len());
+                debug_assert_eq!(
+                    por.sleep & (1u64 << candidates[choice.index]),
+                    0,
+                    "the strategy must choose an awake candidate"
+                );
+                por.slept_log.push(choice.slept);
+                por.sleep |= choice.slept;
+                por.sleep &= !(1u64 << candidates[choice.index]);
+                por.cur_node = choice.node;
+                choice.index
+            } else {
+                let idx = strategy.choose_thread(&candidates, step);
+                debug_assert!(idx < candidates.len());
+                idx
+            };
+            self.strategy = Some(strategy);
             self.decisions.push(idx);
             idx
         };
@@ -351,6 +418,12 @@ impl RtState {
         if self.threads[next].status == Status::Blocked(BlockKind::Timed) {
             self.threads[next].timed_fired = true;
             self.threads[next].status = Status::Runnable;
+        }
+        if let Some(por) = &mut self.por {
+            // The next transition's footprint starts from the declared
+            // intent of the thread about to run (its fallback when the
+            // primitive logs nothing).
+            por.foot.declared = por.pending.get(next).copied().unwrap_or_default();
         }
         self.current = Some(next);
         true
@@ -420,6 +493,11 @@ impl RtState {
         let strategy = self.strategy.as_mut().expect("strategy present during run");
         let idx = strategy.choose(2);
         self.decisions.push(idx);
+        if let Some(por) = &mut self.por {
+            // Keep the slept log parallel to `decisions` (boolean choices
+            // never add sleepers).
+            por.slept_log.push(0);
+        }
         let value = idx == 1;
         self.schedule.push(Choice::Bool(value));
         if self.config.record_accesses {
@@ -432,6 +510,29 @@ impl RtState {
             });
         }
         value
+    }
+
+    /// Declares what thread `t` will do when next scheduled (POR only).
+    pub fn set_pending(&mut self, t: usize, pending: Pending) {
+        if let Some(por) = &mut self.por {
+            por.set_pending(t, pending);
+        }
+    }
+
+    /// Records a Line-Up history append by the current transition
+    /// (POR only): history order is observable, so appends conflict.
+    pub fn note_mark(&mut self) {
+        if let Some(por) = &mut self.por {
+            por.note_mark();
+        }
+    }
+
+    /// Records that the current transition unblocked thread `t` (POR
+    /// only): an enabling happens-before edge and a sleep wake-up.
+    pub fn note_wake(&mut self, t: usize) {
+        if let Some(por) = &mut self.por {
+            por.note_wake(t);
+        }
     }
 
     pub fn set_status(&mut self, t: usize, status: Status) {

@@ -1,5 +1,6 @@
-//! Search strategies: exhaustive DFS with replay, random walk, and fixed
-//! replay of a recorded schedule.
+//! Search strategies: exhaustive DFS with replay (optionally with
+//! partial-order reduction), random walk, and fixed replay of a recorded
+//! schedule.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -13,6 +14,21 @@ pub enum Choice {
     Thread(ThreadId),
     /// A nondeterministic boolean choice.
     Bool(bool),
+}
+
+/// The result of a POR-aware thread choice (see
+/// [`Strategy::choose_thread_por`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PorChoice {
+    /// Index of the chosen thread within the candidate list.
+    pub index: usize,
+    /// Thread-id bitmask to *add* to the sleep set at this point: the
+    /// candidates whose subtrees this node has already fully explored.
+    pub slept: u64,
+    /// Identifier of the strategy-tree node that made the choice, for
+    /// later [`Strategy::add_backtrack`] demands; `None` when the choice
+    /// came from a replayed prefix (no backtracking there).
+    pub node: Option<usize>,
 }
 
 /// A search strategy enumerates the choice tree of the program: at every
@@ -33,6 +49,33 @@ pub trait Strategy {
     fn choose_thread(&mut self, candidates: &[usize], _step: usize) -> usize {
         self.choose(candidates.len())
     }
+    /// Picks among candidate threads under partial-order reduction:
+    /// `cur_sleep` is the runtime's sleep set (thread-id bitmask) at this
+    /// point, and the caller guarantees at least one candidate is awake.
+    /// POR-aware strategies choose an awake candidate and report the
+    /// sleep additions of this node; the default ignores POR entirely.
+    fn choose_thread_por(
+        &mut self,
+        candidates: &[usize],
+        _cur_sleep: u64,
+        step: usize,
+    ) -> PorChoice {
+        PorChoice {
+            index: self.choose_thread(candidates, step),
+            slept: 0,
+            node: None,
+        }
+    }
+    /// Demands that `thread` also be explored at strategy-tree node
+    /// `node` (a DPOR backtrack point: the run observed a conflict
+    /// between `thread`'s current transition and the transition chosen at
+    /// `node`). Default: ignored.
+    fn add_backtrack(&mut self, _node: usize, _thread: usize) {}
+    /// Total number of DPOR backtrack points inserted over the whole
+    /// exploration (for [`ExploreStats`](crate::ExploreStats)).
+    fn backtrack_points(&self) -> u64 {
+        0
+    }
     /// Called after each run; returns `true` if another run should be
     /// executed (i.e. unexplored choices remain).
     fn end_run(&mut self) -> bool;
@@ -43,25 +86,94 @@ pub trait Strategy {
 /// The strategy keeps the path of decisions of the previous run; each new
 /// run replays the prefix and diverges at the deepest decision that still
 /// has unexplored alternatives. This is the classic stateless
-/// model-checking search of CHESS (without reduction).
+/// model-checking search of CHESS. With [`DfsStrategy::new_por`] the
+/// thread-choice nodes additionally carry DPOR backtrack sets and sleep
+/// sets (see the [`por`](crate::por) module): a node only expands
+/// candidates demanded by a backtrack point, skips candidates asleep at
+/// node entry, and reports its already-explored candidates as sleep
+/// additions when replayed.
 #[derive(Debug, Default)]
 pub struct DfsStrategy {
     path: Vec<DfsNode>,
     cursor: usize,
+    por: bool,
+    /// With POR: expand every awake candidate instead of only the
+    /// backtrack-demanded ones. Used by the frontier region of a parallel
+    /// exploration, where demands discovered by workers below the
+    /// frontier cannot flow back (sleep sets alone are a complete
+    /// reduction; backtrack sets are a further restriction).
+    full_expansion: bool,
+    backtracks: u64,
     /// Largest decision depth seen, for statistics.
     pub max_depth: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct DfsNode {
-    num_alts: usize,
+#[derive(Debug, Clone)]
+enum DfsNode {
+    /// A non-thread (boolean) choice: plain exhaustive enumeration.
+    Plain { num_alts: usize, chosen: usize },
+    /// A thread choice under POR.
+    Thread(ThreadNode),
+}
+
+#[derive(Debug, Clone)]
+struct ThreadNode {
+    /// The candidate thread ids, in runtime order.
+    candidates: Vec<usize>,
+    /// Index into `candidates` of the branch being explored.
     chosen: usize,
+    /// Thread-id bitmask of candidates whose subtrees are fully explored;
+    /// they sleep while the remaining branches run.
+    done: u64,
+    /// Thread-id bitmask of candidates demanded by DPOR backtrack points
+    /// (seeded with the first choice).
+    backtrack: u64,
+    /// The runtime's sleep set when this node was first reached; those
+    /// candidates are never expanded here (their interleavings are covered
+    /// where they were put to sleep).
+    sleep_entry: u64,
+    /// Expand all awake candidates, ignoring `backtrack`.
+    full: bool,
+}
+
+fn bit(t: usize) -> u64 {
+    1u64 << t
+}
+
+impl ThreadNode {
+    /// Advances to the next branch to explore, or `None` to pop: a
+    /// candidate not yet done, not asleep at entry, and (unless `full`)
+    /// demanded by a backtrack point.
+    fn advance(&mut self) -> bool {
+        self.done |= bit(self.candidates[self.chosen]);
+        let next = self.candidates.iter().position(|&t| {
+            self.done & bit(t) == 0
+                && self.sleep_entry & bit(t) == 0
+                && (self.full || self.backtrack & bit(t) != 0)
+        });
+        match next {
+            Some(i) => {
+                self.chosen = i;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl DfsStrategy {
-    /// Creates a fresh DFS over an unexplored tree.
+    /// Creates a fresh DFS over an unexplored tree, without reduction.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a DFS with partial-order reduction (sleep sets + DPOR
+    /// backtracking) on its thread-choice nodes.
+    pub fn new_por() -> Self {
+        DfsStrategy {
+            por: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -73,16 +185,25 @@ impl Strategy for DfsStrategy {
     fn choose(&mut self, num_alts: usize) -> usize {
         debug_assert!(num_alts >= 2);
         if self.cursor < self.path.len() {
-            let node = self.path[self.cursor];
+            let DfsNode::Plain {
+                num_alts: n,
+                chosen,
+            } = self.path[self.cursor]
+            else {
+                panic!(
+                    "nondeterministic replay: a thread choice became a \
+                     boolean choice given the same schedule prefix"
+                );
+            };
             assert_eq!(
-                node.num_alts, num_alts,
+                n, num_alts,
                 "nondeterministic replay: the program must make the same \
                  choices given the same schedule prefix"
             );
             self.cursor += 1;
-            node.chosen
+            chosen
         } else {
-            self.path.push(DfsNode {
+            self.path.push(DfsNode::Plain {
                 num_alts,
                 chosen: 0,
             });
@@ -92,6 +213,88 @@ impl Strategy for DfsStrategy {
         }
     }
 
+    fn choose_thread_por(
+        &mut self,
+        candidates: &[usize],
+        cur_sleep: u64,
+        step: usize,
+    ) -> PorChoice {
+        if !self.por {
+            return PorChoice {
+                index: self.choose_thread(candidates, step),
+                slept: 0,
+                node: None,
+            };
+        }
+        if self.cursor < self.path.len() {
+            let node_id = self.cursor;
+            let DfsNode::Thread(tn) = &self.path[node_id] else {
+                panic!(
+                    "nondeterministic replay: a boolean choice became a \
+                     thread choice given the same schedule prefix"
+                );
+            };
+            assert_eq!(
+                tn.candidates, candidates,
+                "nondeterministic replay: the candidate threads must match \
+                 given the same schedule prefix"
+            );
+            debug_assert_eq!(
+                tn.sleep_entry, cur_sleep,
+                "sleep sets must replay deterministically"
+            );
+            self.cursor += 1;
+            PorChoice {
+                index: tn.chosen,
+                slept: tn.done,
+                node: Some(node_id),
+            }
+        } else {
+            let chosen = candidates
+                .iter()
+                .position(|&t| cur_sleep & bit(t) == 0)
+                .expect("caller guarantees an awake candidate");
+            self.path.push(DfsNode::Thread(ThreadNode {
+                candidates: candidates.to_vec(),
+                chosen,
+                done: 0,
+                backtrack: bit(candidates[chosen]),
+                sleep_entry: cur_sleep,
+                full: self.full_expansion,
+            }));
+            self.cursor += 1;
+            self.max_depth = self.max_depth.max(self.path.len());
+            PorChoice {
+                index: chosen,
+                slept: 0,
+                node: Some(self.path.len() - 1),
+            }
+        }
+    }
+
+    fn add_backtrack(&mut self, node: usize, thread: usize) {
+        let DfsNode::Thread(tn) = &mut self.path[node] else {
+            return;
+        };
+        // FG-DPOR: demand `thread` where it was a candidate; otherwise
+        // (it was excluded, e.g. right after its own yield) demand every
+        // candidate so no reordering is lost.
+        let wanted = if tn.candidates.contains(&thread) {
+            bit(thread)
+        } else {
+            tn.candidates.iter().fold(0u64, |m, &t| m | bit(t))
+        };
+        let added = wanted & !tn.backtrack;
+        if added != 0 {
+            tn.backtrack |= added;
+            self.backtracks += u64::from(added.count_ones());
+        }
+    }
+
+    fn backtrack_points(&self) -> u64 {
+        self.backtracks
+    }
+
     fn end_run(&mut self) -> bool {
         debug_assert_eq!(
             self.cursor,
@@ -99,9 +302,18 @@ impl Strategy for DfsStrategy {
             "run must consume its whole path"
         );
         while let Some(last) = self.path.last_mut() {
-            if last.chosen + 1 < last.num_alts {
-                last.chosen += 1;
-                return true;
+            match last {
+                DfsNode::Plain { num_alts, chosen } => {
+                    if *chosen + 1 < *num_alts {
+                        *chosen += 1;
+                        return true;
+                    }
+                }
+                DfsNode::Thread(tn) => {
+                    if tn.advance() {
+                        return true;
+                    }
+                }
             }
             self.path.pop();
         }
@@ -190,6 +402,11 @@ impl Strategy for ReplayStrategy {
 #[derive(Debug)]
 pub struct PrefixDfsStrategy {
     prefix: Vec<usize>,
+    /// Sleep-set masks to re-install along the prefix (parallel to
+    /// `prefix`; missing entries mean no sleep additions). Recorded by the
+    /// frontier enumeration so the worker's subtree inherits exactly the
+    /// sleep set a serial exploration would have at the subtree root.
+    sleep: Vec<u64>,
     cursor: usize,
     dfs: DfsStrategy,
 }
@@ -201,8 +418,21 @@ impl PrefixDfsStrategy {
     pub fn new(prefix: Vec<usize>) -> Self {
         PrefixDfsStrategy {
             prefix,
+            sleep: Vec::new(),
             cursor: 0,
             dfs: DfsStrategy::new(),
+        }
+    }
+
+    /// Creates a POR-enabled subtree DFS: the prefix re-installs the given
+    /// per-decision sleep masks, and the DFS beyond it uses sleep sets and
+    /// DPOR backtracking.
+    pub fn new_por(prefix: Vec<usize>, sleep: Vec<u64>) -> Self {
+        PrefixDfsStrategy {
+            prefix,
+            sleep,
+            cursor: 0,
+            dfs: DfsStrategy::new_por(),
         }
     }
 
@@ -233,6 +463,42 @@ impl Strategy for PrefixDfsStrategy {
         }
     }
 
+    fn choose_thread_por(
+        &mut self,
+        candidates: &[usize],
+        cur_sleep: u64,
+        step: usize,
+    ) -> PorChoice {
+        if self.cursor < self.prefix.len() {
+            let idx = self.prefix[self.cursor];
+            let slept = self.sleep.get(self.cursor).copied().unwrap_or(0);
+            self.cursor += 1;
+            debug_assert!(
+                idx < candidates.len(),
+                "prefix decision out of range: the prefix must come from a \
+                 frontier run of the same deterministic program"
+            );
+            PorChoice {
+                index: idx.min(candidates.len() - 1),
+                slept,
+                node: None,
+            }
+        } else {
+            self.dfs.choose_thread_por(candidates, cur_sleep, step)
+        }
+    }
+
+    fn add_backtrack(&mut self, node: usize, thread: usize) {
+        // Demands targeting the prefix region carry `node: None` and never
+        // reach here; the frontier enumeration expands every awake
+        // candidate there, so nothing is lost.
+        self.dfs.add_backtrack(node, thread);
+    }
+
+    fn backtrack_points(&self) -> u64 {
+        self.dfs.backtrack_points()
+    }
+
     fn end_run(&mut self) -> bool {
         self.dfs.end_run()
     }
@@ -250,6 +516,7 @@ impl Strategy for PrefixDfsStrategy {
 #[derive(Debug)]
 pub struct FrontierStrategy {
     limit: usize,
+    por: bool,
     path: Vec<DfsNode>,
     cursor: usize,
 }
@@ -259,6 +526,23 @@ impl FrontierStrategy {
     pub fn new(limit: usize) -> Self {
         FrontierStrategy {
             limit,
+            por: false,
+            path: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Creates a POR-enabled frontier enumeration: within the frontier,
+    /// thread-choice nodes carry sleep sets and expand every *awake*
+    /// candidate (no backtrack-set restriction — demands from workers
+    /// exploring below the frontier cannot flow back, and sleep sets
+    /// alone are a complete reduction); beyond it, the first awake
+    /// candidate is taken. The per-decision sleep additions end up in
+    /// [`RunResult::slept`](crate::RunResult) for the workers to inherit.
+    pub fn new_por(limit: usize) -> Self {
+        FrontierStrategy {
+            limit,
+            por: true,
             path: Vec::new(),
             cursor: 0,
         }
@@ -273,16 +557,25 @@ impl Strategy for FrontierStrategy {
     fn choose(&mut self, num_alts: usize) -> usize {
         debug_assert!(num_alts >= 2);
         if self.cursor < self.path.len() {
-            let node = self.path[self.cursor];
+            let DfsNode::Plain {
+                num_alts: n,
+                chosen,
+            } = self.path[self.cursor]
+            else {
+                panic!(
+                    "nondeterministic replay: a thread choice became a \
+                     boolean choice given the same schedule prefix"
+                );
+            };
             assert_eq!(
-                node.num_alts, num_alts,
+                n, num_alts,
                 "nondeterministic replay: the program must make the same \
                  choices given the same schedule prefix"
             );
             self.cursor += 1;
-            node.chosen
+            chosen
         } else if self.cursor < self.limit {
-            self.path.push(DfsNode {
+            self.path.push(DfsNode::Plain {
                 num_alts,
                 chosen: 0,
             });
@@ -296,11 +589,76 @@ impl Strategy for FrontierStrategy {
         }
     }
 
+    fn choose_thread_por(
+        &mut self,
+        candidates: &[usize],
+        cur_sleep: u64,
+        step: usize,
+    ) -> PorChoice {
+        if !self.por {
+            return PorChoice {
+                index: self.choose_thread(candidates, step),
+                slept: 0,
+                node: None,
+            };
+        }
+        if self.cursor < self.path.len() {
+            let node_id = self.cursor;
+            let DfsNode::Thread(tn) = &self.path[node_id] else {
+                panic!(
+                    "nondeterministic replay: a boolean choice became a \
+                     thread choice given the same schedule prefix"
+                );
+            };
+            assert_eq!(
+                tn.candidates, candidates,
+                "nondeterministic replay: the candidate threads must match \
+                 given the same schedule prefix"
+            );
+            self.cursor += 1;
+            PorChoice {
+                index: tn.chosen,
+                slept: tn.done,
+                node: None,
+            }
+        } else {
+            let chosen = candidates
+                .iter()
+                .position(|&t| cur_sleep & bit(t) == 0)
+                .expect("caller guarantees an awake candidate");
+            if self.cursor < self.limit {
+                self.path.push(DfsNode::Thread(ThreadNode {
+                    candidates: candidates.to_vec(),
+                    chosen,
+                    done: 0,
+                    backtrack: bit(candidates[chosen]),
+                    sleep_entry: cur_sleep,
+                    full: true,
+                }));
+            }
+            self.cursor += 1;
+            PorChoice {
+                index: chosen,
+                slept: 0,
+                node: None,
+            }
+        }
+    }
+
     fn end_run(&mut self) -> bool {
         while let Some(last) = self.path.last_mut() {
-            if last.chosen + 1 < last.num_alts {
-                last.chosen += 1;
-                return true;
+            match last {
+                DfsNode::Plain { num_alts, chosen } => {
+                    if *chosen + 1 < *num_alts {
+                        *chosen += 1;
+                        return true;
+                    }
+                }
+                DfsNode::Thread(tn) => {
+                    if tn.advance() {
+                        return true;
+                    }
+                }
             }
             self.path.pop();
         }

@@ -51,8 +51,10 @@ proptest! {
         let expected = multinomial(&parts);
         prop_assume!(expected <= 5_000); // keep the exploration small
         let segs2 = segs.clone();
+        // POR off: the count below is the full interleaving count; POR
+        // would (correctly) collapse these independent boundary programs.
         let stats = explore(
-            &Config::exhaustive(),
+            &Config::exhaustive().with_por(false),
             move |ex| {
                 for &boundaries in &segs2 {
                     ex.spawn(move || {
@@ -179,7 +181,9 @@ proptest! {
         );
         if same_order {
             prop_assert_eq!(stats.deadlock, 0);
-            prop_assert_eq!(stats.complete, stats.runs);
+            // Under POR some runs end as sleep-set prunes instead of
+            // completing; none may deadlock or get stuck.
+            prop_assert_eq!(stats.complete + stats.sleep_prunes, stats.runs);
         } else {
             prop_assert!(stats.deadlock > 0, "ABBA deadlock must be found");
             prop_assert!(stats.complete > 0, "non-overlapping schedules pass");
@@ -237,7 +241,9 @@ proptest! {
     #[test]
     fn preemption_bound_is_monotone(ops in 1usize..3) {
         let run_with = |bound: Option<usize>| {
-            let mut cfg = Config::exhaustive();
+            // POR off: it only engages when the bound is `None`, which
+            // would break the raw run-count comparison across bounds.
+            let mut cfg = Config::exhaustive().with_por(false);
             cfg.preemption_bound = bound;
             explore(
                 &cfg,

@@ -1,6 +1,8 @@
 //! Interlocked (atomic) cells.
 
-use lineup_sched::{log_access, register_object, schedule, AccessKind, ObjId};
+use lineup_sched::{
+    log_access, register_object, schedule, schedule_access, AccessIntent, AccessKind, ObjId,
+};
 
 /// An atomic cell supporting interlocked operations, the model counterpart
 /// of .NET's `Interlocked` family (and of `std::sync::atomic`).
@@ -38,7 +40,9 @@ impl<T: Copy + PartialEq> Atomic<T> {
 
     /// Atomically reads the value.
     pub fn load(&self) -> T {
-        schedule(self.id);
+        // Declared a read: two loads commute, so partial-order reduction
+        // never needs to explore both orders.
+        schedule_access(self.id, AccessIntent::Read);
         let v = *self.value.lock().unwrap();
         log_access(self.id, AccessKind::AtomicLoad);
         v

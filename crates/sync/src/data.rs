@@ -1,6 +1,8 @@
 //! Plain (non-volatile) shared fields.
 
-use lineup_sched::{log_access, register_object, schedule, AccessKind, ObjId};
+use lineup_sched::{
+    log_access, register_object, schedule, schedule_access, AccessIntent, AccessKind, ObjId,
+};
 
 /// A plain shared field: reads and writes are schedule points and are
 /// logged as *data* accesses, so conflicting unordered accesses show up in
@@ -37,7 +39,8 @@ impl<T> DataCell<T> {
 
     /// Reads through a closure (a data read).
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
-        schedule(self.id);
+        // Declared a read for partial-order reduction: reads commute.
+        schedule_access(self.id, AccessIntent::Read);
         let g = self.value.lock().unwrap();
         let r = f(&g);
         drop(g);

@@ -1,6 +1,8 @@
 //! Volatile fields.
 
-use lineup_sched::{log_access, register_object, schedule, AccessKind, ObjId};
+use lineup_sched::{
+    log_access, register_object, schedule, schedule_access, AccessIntent, AccessKind, ObjId,
+};
 
 /// A volatile field: reads and writes are individually atomic and
 /// synchronizing (they never constitute data races), but — unlike
@@ -38,7 +40,8 @@ impl<T: Copy> VolatileCell<T> {
 
     /// A volatile read.
     pub fn read(&self) -> T {
-        schedule(self.id);
+        // Declared a read for partial-order reduction: reads commute.
+        schedule_access(self.id, AccessIntent::Read);
         let v = *self.value.lock().unwrap();
         log_access(self.id, AccessKind::AtomicLoad);
         v
