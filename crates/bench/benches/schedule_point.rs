@@ -1,0 +1,93 @@
+//! Criterion microbench for the scheduler's schedule-point hot path: a
+//! single run of a boundary-only program measures the per-step cost of
+//! the baton machinery in isolation (no witness search, no history
+//! checking). Comparing the `fast` and `forced_slow` variants isolates
+//! the saving of the same-thread continuation fast path — `forced_slow`
+//! pays a park/unpark slot handoff at every one of the same schedule
+//! points. The `por` variants add the footprint/vector-clock bookkeeping
+//! that every step pays when partial-order reduction is engaged.
+
+use std::ops::ControlFlow;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lineup_sched::{explore, op_boundary, Config};
+
+/// Schedule points per virtual thread and run — large enough that the
+/// per-run setup (thread spawn, arena reset) is noise.
+const STEPS: usize = 1000;
+
+/// Runs one schedule of `threads` boundary-looping virtual threads and
+/// returns the step count (so the work cannot be optimized away).
+fn one_run(cfg: &Config, threads: usize) -> u64 {
+    let stats = explore(
+        cfg,
+        move |ex| {
+            for _ in 0..threads {
+                ex.spawn(|| {
+                    for _ in 0..STEPS {
+                        op_boundary();
+                    }
+                });
+            }
+        },
+        |_| ControlFlow::Break(()),
+    );
+    stats.total_steps
+}
+
+fn bench_schedule_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_point");
+    group.sample_size(10);
+
+    for (label, fast_path) in [("fast", true), ("forced_slow", false)] {
+        // Single thread, POR off: every step after the first keeps the
+        // baton, so `fast` takes the same-thread continuation at ~every
+        // schedule point while `forced_slow` round-trips the wakeup slot.
+        group.bench_with_input(
+            BenchmarkId::new("single_thread", label),
+            &fast_path,
+            |b, &fp| {
+                let cfg = Config::exhaustive().with_por(false).with_fast_path(fp);
+                b.iter(|| black_box(one_run(&cfg, 1)));
+            },
+        );
+        // Single thread, POR on: adds footprint settlement and sleep-set
+        // bookkeeping to every step of both variants.
+        group.bench_with_input(
+            BenchmarkId::new("single_thread_por", label),
+            &fast_path,
+            |b, &fp| {
+                let cfg = Config::exhaustive().with_por(true).with_fast_path(fp);
+                b.iter(|| black_box(one_run(&cfg, 1)));
+            },
+        );
+        // Two threads under DFS: one genuine cross-thread handoff at the
+        // first thread's finish; the rest is same-thread continuation.
+        group.bench_with_input(
+            BenchmarkId::new("two_threads_dfs", label),
+            &fast_path,
+            |b, &fp| {
+                let cfg = Config::exhaustive().with_por(false).with_fast_path(fp);
+                b.iter(|| black_box(one_run(&cfg, 2)));
+            },
+        );
+        // Two threads under a seeded random scheduler: cross-thread
+        // switches throughout, bounding what the fast path can save.
+        group.bench_with_input(
+            BenchmarkId::new("two_threads_random", label),
+            &fast_path,
+            |b, &fp| {
+                let cfg = Config::random(42, 1).with_fast_path(fp);
+                b.iter(|| black_box(one_run(&cfg, 2)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schedule_point
+}
+criterion_main!(benches);

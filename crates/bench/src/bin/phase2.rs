@@ -21,8 +21,8 @@ use std::time::Instant;
 
 use lineup::doc_support::CounterTarget;
 use lineup::{
-    check_against_spec, synthesize_spec, CheckOptions, Invocation, ObservationSet, TestMatrix,
-    TestTarget,
+    check_against_spec, synthesize_spec, CheckOptions, Invocation, ObservationSet, PhaseStats,
+    TestMatrix, TestTarget,
 };
 use lineup_bench::{arg_flag, arg_num, arg_value, fmt_duration, TextTable};
 use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
@@ -34,8 +34,13 @@ struct Sample {
     workers: usize,
     runs: u64,
     sleep_prunes: u64,
+    steps: u64,
+    fast_path_steps: u64,
+    handoffs: u64,
+    frontier_replays: u64,
     wall_seconds: f64,
     runs_per_sec: f64,
+    steps_per_sec: f64,
     speedup: f64,
 }
 
@@ -49,7 +54,7 @@ fn measure<T: TestTarget>(
     workers: usize,
     split_depth: usize,
     repeat: usize,
-) -> (u64, u64, f64) {
+) -> (PhaseStats, f64) {
     let mut opts = CheckOptions::new()
         .with_preemption_bound(None)
         .with_por(por)
@@ -58,18 +63,16 @@ fn measure<T: TestTarget>(
         opts = opts.with_workers(workers).with_split_depth(split_depth);
     }
     let mut best = f64::INFINITY;
-    let mut runs = 0;
-    let mut prunes = 0;
+    let mut kept = PhaseStats::default();
     for _ in 0..repeat.max(1) {
         let t0 = Instant::now();
         let (violations, stats) = check_against_spec(target, matrix, spec, &opts);
         let wall = t0.elapsed().as_secs_f64();
         assert!(violations.is_empty(), "benchmark workloads pass");
-        runs = stats.runs;
-        prunes = stats.sleep_prunes;
+        kept = stats;
         best = best.min(wall);
     }
-    (runs, prunes, best)
+    (kept, best)
 }
 
 /// Runs one workload over every (POR mode, worker count) combination,
@@ -90,16 +93,21 @@ fn run_workload<T: TestTarget>(
     for &por in por_modes {
         let mut baseline = None;
         for &w in workers_list {
-            let (runs, prunes, wall) = measure(target, matrix, &spec, por, w, split_depth, repeat);
+            let (stats, wall) = measure(target, matrix, &spec, por, w, split_depth, repeat);
             let base = *baseline.get_or_insert(wall);
             samples.push(Sample {
                 workload,
                 por,
                 workers: w,
-                runs,
-                sleep_prunes: prunes,
+                runs: stats.runs,
+                sleep_prunes: stats.sleep_prunes,
+                steps: stats.total_steps,
+                fast_path_steps: stats.fast_path_steps,
+                handoffs: stats.handoffs,
+                frontier_replays: stats.frontier_replays,
                 wall_seconds: wall,
-                runs_per_sec: runs as f64 / wall,
+                runs_per_sec: stats.runs as f64 / wall,
+                steps_per_sec: stats.total_steps as f64 / wall,
                 speedup: base / wall,
             });
         }
@@ -169,7 +177,19 @@ fn main() {
         .unwrap_or(1);
 
     let mut table = TextTable::new(&[
-        "workload", "por", "workers", "runs", "prunes", "wall", "runs/sec", "speedup",
+        "workload",
+        "por",
+        "workers",
+        "runs",
+        "frontier",
+        "prunes",
+        "steps",
+        "fast",
+        "handoffs",
+        "wall",
+        "runs/sec",
+        "steps/sec",
+        "speedup",
     ]);
     for s in &samples {
         table.row(vec![
@@ -177,9 +197,14 @@ fn main() {
             if s.por { "on" } else { "off" }.to_string(),
             s.workers.to_string(),
             s.runs.to_string(),
+            s.frontier_replays.to_string(),
             s.sleep_prunes.to_string(),
+            s.steps.to_string(),
+            s.fast_path_steps.to_string(),
+            s.handoffs.to_string(),
             fmt_duration(std::time::Duration::from_secs_f64(s.wall_seconds)),
             format!("{:.0}", s.runs_per_sec),
+            format!("{:.0}", s.steps_per_sec),
             format!("{:.2}x", s.speedup),
         ]);
     }
@@ -198,15 +223,22 @@ fn main() {
         for (i, s) in samples.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"por\": {}, \"workers\": {}, \"runs\": {}, \
-                 \"sleep_prunes\": {}, \"wall_seconds\": {:.6}, \"runs_per_sec\": {:.1}, \
+                 \"frontier_replays\": {}, \"sleep_prunes\": {}, \"steps\": {}, \
+                 \"fast_path_steps\": {}, \"handoffs\": {}, \"wall_seconds\": {:.6}, \
+                 \"runs_per_sec\": {:.1}, \"steps_per_sec\": {:.1}, \
                  \"speedup_vs_1_worker\": {:.3}}}{}\n",
                 s.workload,
                 s.por,
                 s.workers,
                 s.runs,
+                s.frontier_replays,
                 s.sleep_prunes,
+                s.steps,
+                s.fast_path_steps,
+                s.handoffs,
                 s.wall_seconds,
                 s.runs_per_sec,
+                s.steps_per_sec,
                 s.speedup,
                 if i + 1 < samples.len() { "," } else { "" }
             ));

@@ -121,6 +121,14 @@ pub struct CheckOptions {
     /// because sleep sets are unsound under preemption bounding. Phase 1
     /// (serial mode) is never reduced.
     pub por: bool,
+    /// Same-thread continuation fast path in the scheduler (default
+    /// `true`): when the strategy keeps the baton on the running thread,
+    /// the schedule point is recorded inline without a park/unpark pair.
+    /// Purely a debug knob — the explored schedules, histories, and
+    /// verdicts are identical either way (`tests/handoff_equivalence.rs`
+    /// asserts this); disabling it only forces every step through a slot
+    /// handoff.
+    pub fast_path: bool,
     /// Alternative witness backend (see [`HistoryMonitor`]). When set,
     /// phase 2 asks the monitor for every history verdict instead of
     /// searching the enumerated observation set; spuriously-failed
@@ -144,6 +152,7 @@ impl CheckOptions {
             workers: 1,
             split_depth: None,
             por: true,
+            fast_path: true,
             witness_monitor: None,
         }
     }
@@ -214,6 +223,13 @@ impl CheckOptions {
     /// [`CheckOptions::por`]), builder style.
     pub fn with_por(mut self, enabled: bool) -> Self {
         self.por = enabled;
+        self
+    }
+
+    /// Enables or disables the scheduler's same-thread continuation fast
+    /// path (see [`CheckOptions::fast_path`]), builder style.
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
         self
     }
 
@@ -290,6 +306,21 @@ pub struct PhaseStats {
     /// in [`runs`](Self::runs); always zero in phase 1 and when
     /// [`CheckOptions::with_por`] is off or disengaged.
     pub sleep_prunes: u64,
+    /// Total schedule points across all runs of the phase.
+    pub total_steps: u64,
+    /// Schedule points that took the scheduler's same-thread continuation
+    /// fast path (no park/unpark — see [`CheckOptions::fast_path`]).
+    /// Included in [`total_steps`](Self::total_steps).
+    pub fast_path_steps: u64,
+    /// Baton handoffs performed through a wakeup slot (cross-thread
+    /// switches, plus every step when the fast path is disabled).
+    pub handoffs: u64,
+    /// Runs spent re-executing decision prefixes during the frontier
+    /// enumeration of a parallel exploration. These duplicate schedules
+    /// the subtree workers also explore, so they are *not* counted in
+    /// [`runs`](Self::runs) — keeping `runs` comparable across
+    /// [`CheckOptions::workers`] settings. Always zero for serial checks.
+    pub frontier_replays: u64,
     /// Wall-clock time spent.
     pub duration: Duration,
 }
@@ -370,6 +401,10 @@ pub fn synthesize_spec<T: TestTarget>(
         full_histories: spec.full_count(),
         stuck_histories: spec.stuck_count(),
         sleep_prunes: stats.sleep_prunes,
+        total_steps: stats.total_steps,
+        fast_path_steps: stats.fast_path_steps,
+        handoffs: stats.handoffs,
+        frontier_replays: 0,
         duration: start.elapsed(),
     };
     (spec, phase, panic_violation)
@@ -475,6 +510,12 @@ pub fn check_against_spec<T: TestTarget>(
         total.full_histories = total.full_histories.saturating_add(stats.full_histories);
         total.stuck_histories = total.stuck_histories.saturating_add(stats.stuck_histories);
         total.sleep_prunes = total.sleep_prunes.saturating_add(stats.sleep_prunes);
+        total.total_steps = total.total_steps.saturating_add(stats.total_steps);
+        total.fast_path_steps = total.fast_path_steps.saturating_add(stats.fast_path_steps);
+        total.handoffs = total.handoffs.saturating_add(stats.handoffs);
+        total.frontier_replays = total
+            .frontier_replays
+            .saturating_add(stats.frontier_replays);
         total.duration += stats.duration;
         if !vs.is_empty() {
             violations = vs;
@@ -510,7 +551,9 @@ fn check_against_spec_at<T: TestTarget>(
     let mut full = 0usize;
     let mut stuck = 0usize;
 
-    let mut config = Config::exhaustive().with_por(options.por);
+    let mut config = Config::exhaustive()
+        .with_por(options.por)
+        .with_fast_path(options.fast_path);
     config.preemption_bound = preemption_bound;
     config.max_runs = options.max_phase2_runs;
 
@@ -600,6 +643,10 @@ fn check_against_spec_at<T: TestTarget>(
         full_histories: full,
         stuck_histories: stuck,
         sleep_prunes: stats.sleep_prunes,
+        total_steps: stats.total_steps,
+        fast_path_steps: stats.fast_path_steps,
+        handoffs: stats.handoffs,
+        frontier_replays: 0,
         duration: start.elapsed(),
     };
     (violations, phase)
@@ -785,14 +832,18 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     let start = std::time::Instant::now();
     let index = spec.index();
 
-    let mut config = Config::exhaustive().with_por(options.por);
+    let mut config = Config::exhaustive()
+        .with_por(options.por)
+        .with_fast_path(options.fast_path);
     config.preemption_bound = preemption_bound;
     config.workers = options.workers;
     config.split_depth = options.split_depth;
     let depth = config.effective_split_depth();
 
-    // Counts every run processed (frontier enumeration + workers) and
-    // enforces the run budget across all workers.
+    // Counts every run executed (frontier enumeration + workers) and
+    // enforces the run budget across all workers. The frontier portion is
+    // tracked separately below and reported as `frontier_replays`, so the
+    // published `runs` covers worker runs only.
     let runs_done = AtomicU64::new(0);
     let process_run = |runs_done: &AtomicU64| -> bool {
         match options.max_phase2_runs {
@@ -818,10 +869,12 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     let mut fconfig = config.clone();
     fconfig.strategy = StrategyKind::Frontier { depth };
     fconfig.max_runs = None;
+    let mut frontier_replays: u64 = 0;
     let frontier_stats = explore_matrix(target, matrix, &fconfig, |run| {
         if !process_run(&runs_done) {
             return ControlFlow::Break(());
         }
+        frontier_replays += 1;
         let cut = run.decisions.len().min(depth);
         tasks.push(SubtreeTask {
             index: tasks.len(),
@@ -1001,14 +1054,29 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     }
 
     let phase = PhaseStats {
-        runs: runs_done.load(Ordering::SeqCst),
+        // Worker runs only: the frontier's prefix re-executions duplicate
+        // schedules the subtree workers also explore, so they are split
+        // out as `frontier_replays` — `runs` matches what a serial
+        // exploration of the same tree would report.
+        runs: runs_done
+            .load(Ordering::SeqCst)
+            .saturating_sub(frontier_replays),
         full_histories: full_count.load(Ordering::SeqCst),
         stuck_histories: stuck_count.load(Ordering::SeqCst),
-        // Prunes happen both in the frontier enumeration (a prefix whose
-        // candidates are all asleep) and inside the subtree workers.
-        sleep_prunes: frontier_stats
-            .sleep_prunes
-            .saturating_add(sched_stats.sleep_prunes),
+        // Worker prunes only, mirroring `runs`: a frontier prefix whose
+        // candidates are all asleep is re-encountered (and re-counted) by
+        // the worker that owns the subtree.
+        sleep_prunes: sched_stats.sleep_prunes,
+        // Step counters cover all executed work, frontier included — they
+        // measure scheduler throughput, not tree size.
+        total_steps: frontier_stats
+            .total_steps
+            .saturating_add(sched_stats.total_steps),
+        fast_path_steps: frontier_stats
+            .fast_path_steps
+            .saturating_add(sched_stats.fast_path_steps),
+        handoffs: frontier_stats.handoffs.saturating_add(sched_stats.handoffs),
+        frontier_replays,
         duration: start.elapsed(),
     };
     (violations, phase)
@@ -1229,9 +1297,35 @@ mod tests {
         assert!(serial.passed() && par.passed());
         assert_eq!(serial.phase2.full_histories, par.phase2.full_histories);
         assert_eq!(serial.phase2.stuck_histories, par.phase2.stuck_histories);
-        // The parallel run count includes the frontier enumeration, so it
-        // is at least the serial count.
-        assert!(par.phase2.runs >= serial.phase2.runs);
+        // Frontier re-executions are split out of `runs`, so the run
+        // count is identical to the serial exploration's.
+        assert_eq!(par.phase2.runs, serial.phase2.runs);
+        assert!(par.phase2.frontier_replays > 0, "frontier was enumerated");
+        assert_eq!(serial.phase2.frontier_replays, 0);
+    }
+
+    #[test]
+    fn forced_slow_path_agrees_with_fast_path() {
+        let m = buggy_matrix();
+        let fast = check(&BuggyCounterTarget, &m, &CheckOptions::new());
+        let slow = check(
+            &BuggyCounterTarget,
+            &m,
+            &CheckOptions::new().with_fast_path(false),
+        );
+        assert_eq!(fast.passed(), slow.passed());
+        assert_eq!(fast.phase2.runs, slow.phase2.runs);
+        assert_eq!(fast.phase2.total_steps, slow.phase2.total_steps);
+        assert_eq!(slow.phase2.fast_path_steps, 0, "knob forces every handoff");
+        assert!(
+            fast.phase2.fast_path_steps > 0,
+            "fast path engages by default"
+        );
+        assert_eq!(
+            slow.phase2.handoffs,
+            fast.phase2.handoffs + fast.phase2.fast_path_steps,
+            "every skipped handoff reappears when the knob is off"
+        );
     }
 
     #[test]

@@ -211,11 +211,11 @@ pub fn explore_matrix<T: TestTarget>(
             let history = recorder.take(run.outcome.is_stuck());
             visit(MatrixRun {
                 history,
-                outcome: run.outcome,
+                outcome: run.outcome.clone(),
                 preemptions: run.preemptions,
-                decisions: run.decisions,
-                access_log: run.access_log,
-                slept: run.slept,
+                decisions: run.decisions.clone(),
+                access_log: run.access_log.clone(),
+                slept: run.slept.clone(),
             })
         },
     )

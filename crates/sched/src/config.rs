@@ -116,6 +116,16 @@ pub struct Config {
     /// takes effect for exhaustive concurrent strategies — see
     /// [`Config::effective_por`].
     pub por: bool,
+    /// Whether the same-thread continuation fast path is taken at schedule
+    /// points: when the scheduler picks the thread that is already running,
+    /// it continues inline instead of parking and immediately waking
+    /// itself through its wakeup slot. Defaults to `true`; setting it to
+    /// `false` forces every schedule point through the full slot-based
+    /// handoff. A debug knob: the scheduling *decisions* are identical
+    /// either way (only the OS-level handoff is skipped), which
+    /// `tests/handoff_equivalence.rs` asserts by comparing explorations
+    /// with the knob on and off.
+    pub fast_path: bool,
 }
 
 impl Config {
@@ -139,6 +149,7 @@ impl Config {
             workers: 1,
             split_depth: None,
             por: true,
+            fast_path: true,
         }
     }
 
@@ -239,6 +250,15 @@ impl Config {
         self
     }
 
+    /// Sets [`Config::fast_path`], builder style. Passing `false` forces
+    /// the slow slot-based handoff at every schedule point (a debug knob
+    /// for equivalence testing and for isolating the fast path's
+    /// contribution in benchmarks).
+    pub fn with_fast_path(mut self, fast_path: bool) -> Self {
+        self.fast_path = fast_path;
+        self
+    }
+
     /// Whether partial-order reduction is actually applied: it requires
     /// [`Config::por`], concurrent mode, *no* preemption bound, and an
     /// exhaustive strategy (DFS, prefix DFS, or frontier enumeration).
@@ -311,6 +331,13 @@ mod tests {
             Config::exhaustive().effective_split_depth(),
             Config::DEFAULT_SPLIT_DEPTH
         );
+    }
+
+    #[test]
+    fn fast_path_defaults_on_and_can_be_forced_off() {
+        assert!(Config::exhaustive().fast_path);
+        assert!(Config::serial().fast_path);
+        assert!(!Config::exhaustive().with_fast_path(false).fast_path);
     }
 
     #[test]

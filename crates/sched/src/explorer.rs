@@ -5,13 +5,18 @@
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::config::{Config, StrategyKind};
 use crate::events::AccessEvent;
-use crate::runtime::{clear_tls, handle_user_panic, run_virtual_thread, set_tls, Abort, Shared};
+use crate::ids::ThreadId;
+use crate::runtime::{
+    clear_tls, finish_run_wakeups, handle_user_panic, run_virtual_thread, set_tls, take_handoff,
+    Abort, Shared, Wake, WakeSlot,
+};
 use crate::state::{RtState, RunOutcome};
 use crate::strategy::{
     Choice, DfsStrategy, FrontierStrategy, PctStrategy, PrefixDfsStrategy, RandomStrategy,
@@ -96,6 +101,21 @@ pub struct ExploreStats {
     pub backtrack_points: u64,
     /// Total schedule points across all runs.
     pub total_steps: u64,
+    /// Schedule points that took the same-thread continuation fast path
+    /// (the strategy chose the running thread, which continued inline
+    /// without a park/unpark — see [`Config::fast_path`]).
+    pub fast_path_steps: u64,
+    /// Baton handoffs performed through a wakeup slot (cross-thread
+    /// switches, plus every step when the fast path is disabled).
+    pub handoffs: u64,
+    /// Runs executed by a frontier enumeration
+    /// ([`split_frontier`]) solely to discover subtree prefixes for
+    /// parallel exploration. These re-execute schedules the subtree
+    /// workers also explore, so they are reported separately and *not*
+    /// counted in [`runs`](ExploreStats::runs) — keeping `runs` comparable
+    /// across worker counts. Always 0 for a plain [`explore`]; consumers
+    /// aggregating a parallel exploration fill it in.
+    pub frontier_replays: u64,
     /// Longest schedule observed.
     pub max_schedule_len: usize,
     /// True when the visitor stopped the exploration before the strategy
@@ -125,6 +145,9 @@ impl ExploreStats {
         self.sleep_prunes = self.sleep_prunes.saturating_add(other.sleep_prunes);
         self.backtrack_points = self.backtrack_points.saturating_add(other.backtrack_points);
         self.total_steps = self.total_steps.saturating_add(other.total_steps);
+        self.fast_path_steps = self.fast_path_steps.saturating_add(other.fast_path_steps);
+        self.handoffs = self.handoffs.saturating_add(other.handoffs);
+        self.frontier_replays = self.frontier_replays.saturating_add(other.frontier_replays);
         self.max_schedule_len = self.max_schedule_len.max(other.max_schedule_len);
         self.stopped_early |= other.stopped_early;
     }
@@ -150,6 +173,11 @@ enum Task {
     Run {
         shared: Arc<Shared>,
         tid: usize,
+        /// The virtual thread's own wakeup slot, passed along so the
+        /// worker can park for its first wake without touching the state
+        /// lock (the controller holds it while making the initial
+        /// decision).
+        slot: Arc<WakeSlot>,
         body: Box<dyn FnOnce() + Send>,
     },
     Shutdown,
@@ -193,21 +221,59 @@ impl Pool {
         }
     }
 
-    fn dispatch(&self, shared: &Arc<Shared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    fn dispatch(
+        &self,
+        shared: &Arc<Shared>,
+        tid: usize,
+        slot: Arc<WakeSlot>,
+        body: Box<dyn FnOnce() + Send>,
+    ) {
         self.workers[tid]
             .tx
             .send(Task::Run {
                 shared: Arc::clone(shared),
                 tid,
+                slot,
                 body,
             })
             .expect("worker alive");
     }
 
-    fn wait_acks(&self, n: usize) {
-        for _ in 0..n {
-            self.ack_rx.recv().expect("worker alive");
+    /// The index of a worker whose OS thread has terminated, if any.
+    /// A worker thread never exits on its own (aborted runs unwind into
+    /// its `catch_unwind`), so a dead worker means its thread was killed
+    /// in a way the runtime cannot recover from.
+    fn dead_worker(&self) -> Option<usize> {
+        self.workers
+            .iter()
+            .position(|w| w.handle.as_ref().is_some_and(JoinHandle::is_finished))
+    }
+
+    /// Waits for `n` workers to finish their current task. A worker thread
+    /// dying mid-run would leave its ack unsent forever, so the wait
+    /// periodically re-checks worker liveness and reports the death as an
+    /// error (after absorbing the acks of the surviving workers) instead
+    /// of hanging or panicking without diagnostics.
+    fn wait_acks(&self, n: usize) -> Result<(), String> {
+        let mut pending = n;
+        while pending > 0 {
+            match self.ack_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(_) => pending -= 1,
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(i) = self.dead_worker() {
+                        return Err(format!(
+                            "lineup worker thread {i} died without completing its run"
+                        ));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable (the pool holds its own sender), but a
+                    // diagnostic beats a panic if that ever changes.
+                    return Err("worker ack channel disconnected".to_string());
+                }
+            }
         }
+        Ok(())
     }
 }
 
@@ -250,10 +316,15 @@ fn worker_loop(rx: Receiver<Task>, ack: Sender<usize>) {
     while let Ok(task) = rx.recv() {
         match task {
             Task::Shutdown => break,
-            Task::Run { shared, tid, body } => {
-                set_tls(Arc::clone(&shared), tid);
+            Task::Run {
+                shared,
+                tid,
+                slot,
+                body,
+            } => {
+                set_tls(Arc::clone(&shared), tid, Some(Arc::clone(&slot)));
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    run_virtual_thread(&shared, tid, body);
+                    run_virtual_thread(&shared, tid, &slot, body);
                 }));
                 clear_tls();
                 if let Err(payload) = result {
@@ -268,13 +339,33 @@ fn worker_loop(rx: Receiver<Task>, ack: Sender<usize>) {
     }
 }
 
+/// Waits for the current run to end: the thread ending the run signals
+/// the controller's wakeup slot exactly once. Periodically re-checks
+/// worker liveness so a dying worker surfaces as an error instead of a
+/// silent hang.
+fn wait_run_over(shared: &Shared, pool: &Pool) -> Result<(), String> {
+    loop {
+        match shared.controller.wait_timeout(Duration::from_millis(50)) {
+            Some(Wake::Run | Wake::Abort) => return Ok(()),
+            None => {
+                if let Some(i) = pool.dead_worker() {
+                    return Err(format!(
+                        "lineup worker thread {i} died without completing its run"
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Explores the schedules of a concurrent program.
 ///
 /// `setup` is called once per run to (re)construct the program: it creates
 /// the shared state of the test and spawns the virtual threads. `on_run`
-/// receives every run's [`RunResult`]; return
-/// [`ControlFlow::Break`] to stop the exploration early (e.g. once Line-Up
-/// has found a violation).
+/// receives every run's [`RunResult`] by reference (the result's buffers
+/// are recycled across runs — clone whatever must outlive the callback);
+/// return [`ControlFlow::Break`] to stop the exploration early (e.g. once
+/// Line-Up has found a violation).
 ///
 /// Returns aggregate statistics. See the crate-level documentation for an
 /// example.
@@ -287,10 +378,10 @@ fn worker_loop(rx: Receiver<Task>, ack: Sender<usize>) {
 pub fn explore(
     config: &Config,
     mut setup: impl FnMut(&mut Execution),
-    mut on_run: impl FnMut(RunResult) -> ControlFlow<()>,
+    mut on_run: impl FnMut(&RunResult) -> ControlFlow<()>,
 ) -> ExploreStats {
     let por = config.effective_por();
-    let mut strategy: Box<dyn Strategy + Send> = match &config.strategy {
+    let strategy: Box<dyn Strategy + Send> = match &config.strategy {
         StrategyKind::Dfs if por => Box::new(DfsStrategy::new_por()),
         StrategyKind::Dfs => Box::new(DfsStrategy::new()),
         StrategyKind::Random { seed } => Box::new(RandomStrategy::new(
@@ -316,15 +407,32 @@ pub fn explore(
     let mut pool = Pool::new();
     let mut stats = ExploreStats::default();
 
+    // One shared state for the whole exploration: runs recycle it (and
+    // its schedule/decision/POR buffers and wakeup slots) via
+    // `RtState::reset` instead of reallocating per run.
+    let shared = Arc::new(Shared::new(RtState::new(config.clone(), 0, strategy)));
+    let mut buf = RunResult {
+        run_index: 0,
+        outcome: RunOutcome::Complete,
+        steps: 0,
+        preemptions: 0,
+        schedule: Vec::new(),
+        decisions: Vec::new(),
+        slept: Vec::new(),
+        access_log: Vec::new(),
+    };
+
     loop {
-        strategy.begin_run();
-        let state = RtState::new(config.clone(), 0, strategy);
-        let shared = Arc::new(Shared::new(state));
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.reset();
+            st.strategy.as_mut().expect("strategy present").begin_run();
+        }
 
         // Run the setup closure under the setup context, so that primitive
         // constructors can register model objects (deterministically, since
         // setup itself is deterministic).
-        set_tls(Arc::clone(&shared), crate::runtime::SETUP_TID);
+        set_tls(Arc::clone(&shared), crate::runtime::SETUP_TID, None);
         let mut ex = Execution::default();
         let setup_result = catch_unwind(AssertUnwindSafe(|| setup(&mut ex)));
         clear_tls();
@@ -334,49 +442,86 @@ pub fn explore(
 
         let n = ex.bodies.len();
         pool.ensure(n);
-        shared.state.lock().unwrap().init_threads(n);
+        let slots: Vec<Arc<WakeSlot>> = {
+            let mut st = shared.state.lock().unwrap();
+            st.init_threads(n);
+            st.slots[..n].iter().map(Arc::clone).collect()
+        };
         for (tid, body) in ex.bodies.into_iter().enumerate() {
-            pool.dispatch(&shared, tid, body);
+            pool.dispatch(&shared, tid, Arc::clone(&slots[tid]), body);
         }
-        // The initial scheduling decision (also detects the 0-thread case).
+        // The initial scheduling decision (also detects the 0-thread
+        // case), fired after the state lock is released so the first
+        // thread cannot be woken into the lock the controller holds.
         {
             let mut st = shared.state.lock().unwrap();
-            st.pick_next(false);
-            shared.cv.notify_all();
-        }
-        // Wait for the run to end, then for every worker to go idle.
-        {
-            let mut st = shared.state.lock().unwrap();
-            while st.run_over.is_none() {
-                st = shared.cv.wait(st).unwrap();
+            if st.pick_next(false) {
+                let first = take_handoff(&mut st);
+                drop(st);
+                first.signal(Wake::Run);
+            } else {
+                let teardown = finish_run_wakeups(&mut st, None);
+                drop(st);
+                teardown.fire(&shared);
             }
         }
-        pool.wait_acks(n);
+        // Wait for the run to end, then for every worker to go idle.
+        let waited = wait_run_over(&shared, &pool).and_then(|()| pool.wait_acks(n));
+        if let Err(message) = waited {
+            // A worker thread died mid-run: record the wreck as a panicked
+            // run, unwind every survivor, and stop the exploration (the
+            // schedule tree cannot be resumed from an unfinished run).
+            let dead = pool.dead_worker().unwrap_or(0);
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.run_over.is_none() {
+                st.run_over = Some(RunOutcome::Panicked {
+                    thread: ThreadId(dead),
+                    message,
+                });
+            }
+            st.abort = true;
+            st.current = None;
+            for slot in &st.slots {
+                slot.force_signal(Wake::Abort);
+            }
+            buf.run_index = stats.runs;
+            buf.outcome = st.run_over.clone().expect("just set");
+            buf.steps = st.step;
+            buf.preemptions = st.preemptions;
+            buf.schedule.clear();
+            buf.decisions.clear();
+            buf.slept.clear();
+            buf.access_log.clear();
+            drop(st);
+            stats.record(&buf);
+            let _ = on_run(&buf);
+            stats.stopped_early = true;
+            break;
+        }
 
-        let shared = Arc::try_unwrap(shared)
-            .unwrap_or_else(|_| panic!("workers must release the run state"));
-        let mut state = shared.state.into_inner().unwrap();
-        strategy = state.strategy.take().expect("strategy returned");
-        let outcome = state.run_over.take().expect("run ended");
+        let mut st = shared.state.lock().unwrap();
+        let outcome = st.run_over.take().expect("run ended");
+        buf.run_index = stats.runs;
+        buf.outcome = outcome;
+        buf.steps = st.step;
+        buf.preemptions = st.preemptions;
+        // Swap the run's buffers out instead of reallocating: the stale
+        // contents swapped back in are cleared by the next `reset`.
+        std::mem::swap(&mut buf.schedule, &mut st.schedule);
+        std::mem::swap(&mut buf.decisions, &mut st.decisions);
+        std::mem::swap(&mut buf.access_log, &mut st.access_log);
+        match st.por.as_mut() {
+            Some(p) => std::mem::swap(&mut buf.slept, &mut p.slept_log),
+            None => buf.slept.clear(),
+        }
+        stats.fast_path_steps = stats.fast_path_steps.saturating_add(st.fast_path_steps);
+        stats.handoffs = stats.handoffs.saturating_add(st.handoffs);
+        let more = st.strategy.as_mut().expect("strategy present").end_run();
+        drop(st);
 
-        let run = RunResult {
-            run_index: stats.runs,
-            outcome,
-            steps: state.step,
-            preemptions: state.preemptions,
-            schedule: std::mem::take(&mut state.schedule),
-            decisions: std::mem::take(&mut state.decisions),
-            slept: state
-                .por
-                .as_mut()
-                .map(|p| std::mem::take(&mut p.slept_log))
-                .unwrap_or_default(),
-            access_log: std::mem::take(&mut state.access_log),
-        };
-        stats.record(&run);
-        let flow = on_run(run);
+        stats.record(&buf);
+        let flow = on_run(&buf);
 
-        let more = strategy.end_run();
         if flow == ControlFlow::Break(()) {
             stats.stopped_early = true;
             break;
@@ -391,7 +536,14 @@ pub fn explore(
             }
         }
     }
-    stats.backtrack_points = strategy.backtrack_points();
+    stats.backtrack_points = shared
+        .state
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .strategy
+        .as_ref()
+        .expect("strategy present")
+        .backtrack_points();
     stats
 }
 
@@ -947,6 +1099,9 @@ mod tests {
             sleep_prunes: 2,
             backtrack_points: 1,
             total_steps: 40,
+            fast_path_steps: 30,
+            handoffs: 10,
+            frontier_replays: 2,
             max_schedule_len: 9,
             stopped_early: false,
         };
@@ -961,6 +1116,9 @@ mod tests {
             sleep_prunes: 3,
             backtrack_points: 4,
             total_steps: 60,
+            fast_path_steps: 45,
+            handoffs: 15,
+            frontier_replays: 1,
             max_schedule_len: 14,
             stopped_early: true,
         };
@@ -972,6 +1130,9 @@ mod tests {
         assert_eq!(a.sleep_prunes, 5);
         assert_eq!(a.backtrack_points, 5);
         assert_eq!(a.total_steps, 100);
+        assert_eq!(a.fast_path_steps, 75);
+        assert_eq!(a.handoffs, 25);
+        assert_eq!(a.frontier_replays, 3);
         assert_eq!(a.max_schedule_len, 14, "merge takes the max, not the sum");
         assert!(
             a.stopped_early,
@@ -1164,6 +1325,42 @@ mod tests {
             ExploreStats::default()
         });
         assert_eq!(*visited.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    /// Every schedule point is accounted as either a fast-path inline
+    /// continuation or a slot handoff, and forcing the fast path off moves
+    /// all of them to handoffs without changing the exploration.
+    #[test]
+    fn fast_path_accounting_and_forced_slow_path() {
+        let fast = count_runs(&Config::exhaustive().with_por(false), boundary_setup(2, 2));
+        assert!(fast.fast_path_steps > 0, "DFS must hit the fast path");
+        assert!(fast.handoffs > 0, "cross-thread switches remain handoffs");
+        let slow = count_runs(
+            &Config::exhaustive().with_por(false).with_fast_path(false),
+            boundary_setup(2, 2),
+        );
+        assert_eq!(slow.fast_path_steps, 0, "forced off takes no fast path");
+        assert_eq!(
+            slow.handoffs,
+            fast.fast_path_steps + fast.handoffs,
+            "every skipped handoff reappears as a slot handoff"
+        );
+        assert_eq!(slow.runs, fast.runs);
+        assert_eq!(slow.total_steps, fast.total_steps);
+        assert_eq!(slow.complete, fast.complete);
+    }
+
+    /// A worker thread death surfaces as an error from `wait_acks` (with
+    /// the worker named), not as a controller panic or a hang.
+    #[test]
+    fn wait_acks_reports_a_dead_worker() {
+        let mut pool = Pool::new();
+        pool.ensure(2);
+        // Simulate a dying worker: shutdown makes worker 0's thread exit
+        // without ever sending the ack the controller is waiting for.
+        pool.workers[0].tx.send(Task::Shutdown).unwrap();
+        let err = pool.wait_acks(1).unwrap_err();
+        assert!(err.contains("worker thread 0 died"), "got: {err}");
     }
 
     /// Object registration outside any model context yields the pseudo id.

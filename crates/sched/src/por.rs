@@ -90,6 +90,12 @@ impl VectorClock {
     pub fn covers(&self, thread: usize, time: u64) -> bool {
         self.get(thread) >= time
     }
+
+    /// Resets every component to zero, keeping the allocation (clear-and-
+    /// reuse across runs).
+    pub fn clear(&mut self) {
+        self.0.fill(0);
+    }
 }
 
 /// Declared intent of the access behind a schedule point: whether the
@@ -147,6 +153,16 @@ pub(crate) struct Footprint {
 }
 
 impl Footprint {
+    /// Empties the footprint in place, retaining its buffers for the next
+    /// transition.
+    fn clear(&mut self) {
+        self.accesses.clear();
+        self.marks = 0;
+        self.woke.clear();
+        self.wildcard = false;
+        self.declared = Pending::NoObj;
+    }
+
     fn is_pure(&self) -> bool {
         self.accesses.is_empty() && self.marks == 0 && self.woke.is_empty() && !self.wildcard
     }
@@ -242,6 +258,22 @@ fn mutates(kind: AccessKind) -> bool {
 impl PorRun {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the per-run reduction state for reuse, keeping the clock,
+    /// pending, and slept-log allocations (the thread count is constant
+    /// across the runs of one exploration).
+    pub fn reset(&mut self) {
+        self.sleep = 0;
+        for clock in &mut self.clocks {
+            clock.clear();
+        }
+        self.objects.clear();
+        self.last_wildcard = None;
+        self.cur_node = None;
+        self.foot.clear();
+        self.pending.fill(Pending::NoObj);
+        self.slept_log.clear();
     }
 
     fn clock_mut(&mut self, t: usize) -> &mut VectorClock {
@@ -392,6 +424,11 @@ impl PorRun {
         }
         self.sleep = sleep;
         self.cur_node = None;
+        // Recycle the footprint's buffers for the next transition instead
+        // of dropping them: finish_transition runs at every schedule
+        // point, so this keeps the hot path allocation-free.
+        foot.clear();
+        self.foot = foot;
         demands
     }
 }

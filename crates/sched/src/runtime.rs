@@ -3,32 +3,179 @@
 //!
 //! Exactly one virtual thread holds the *baton* at any time. Every
 //! instrumented action calls [`schedule`], which records the access, asks
-//! the scheduling strategy for the next thread, passes the baton, and parks
-//! the caller until it is scheduled again. Because all shared-memory
-//! accesses of the component under test happen between schedule points
-//! while holding the baton, executions are serializable and fully
-//! deterministic given the sequence of scheduling choices — the property
-//! stateless model checking relies on for replay.
+//! the scheduling strategy for the next thread, and hands the baton over.
+//! Because all shared-memory accesses of the component under test happen
+//! between schedule points while holding the baton, executions are
+//! serializable and fully deterministic given the sequence of scheduling
+//! choices — the property stateless model checking relies on for replay.
+//!
+//! # Baton mechanics
+//!
+//! The handoff is *targeted*: every virtual thread (and the controller)
+//! owns a [`WakeSlot`], a one-token parker. The thread releasing the baton
+//! signals exactly the chosen successor's slot — no shared condition
+//! variable, no broadcast waking every parked thread just so one can
+//! proceed. A token can be deposited before the receiver parks (the run's
+//! first decision may land before a pool worker reaches its slot), so the
+//! slot stores the token rather than an edge-triggered notification.
+//!
+//! When the strategy's next choice is the thread *already running* — the
+//! common case while depth-first search extends the current branch — the
+//! thread takes the same-thread continuation fast path: the schedule
+//! *point* still happens in full (pending declaration, strategy decision,
+//! schedule/decision recording, POR footprint settlement), but the
+//! *handoff* is skipped — no park, no unpark, no OS context switch. Only
+//! the handoff is skippable: skipping the point itself would change which
+//! interleavings exist and break replay. [`Config::fast_path`] forces the
+//! slow slot-based handoff for equivalence testing.
 
 use std::cell::RefCell;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::events::AccessKind;
 use crate::ids::{ObjId, ThreadId};
 use crate::por::{AccessIntent, Pending};
 use crate::state::{BlockKind, RtState, RunOutcome, Status};
 
+/// A wakeup token deposited in a [`WakeSlot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// Proceed: the receiver holds the baton (or, for the controller, the
+    /// run is over).
+    Run,
+    /// The run ended while the receiver was parked: unwind via [`Abort`].
+    Abort,
+}
+
+/// A one-token parker: the targeted replacement for the old shared
+/// `Condvar` + `notify_all`. `signal` deposits a token and wakes (at most)
+/// the one owner; `wait` parks until a token is present and consumes it.
+/// Storing the token makes the protocol immune to signal-before-park
+/// races. The scheduling protocol guarantees at most one token is ever
+/// outstanding per slot (only the baton holder makes decisions, and a run
+/// ends exactly once); `signal` asserts it in debug builds.
+///
+/// The implementation deliberately avoids a `Condvar`: on a single core,
+/// depositing the token wakes the receiver *preemptively*, and with a
+/// condvar the preempted signaler still holds the condvar's internal
+/// glibc lock — the receiver immediately blocks on it, turning one
+/// context switch per handoff into nearly three (measured ~2.8 on a
+/// one-core host). Instead the slot parks through `std::thread::park`,
+/// whose `unpark` is called with no lock held, so a preempted signaler
+/// never stands between the receiver and its token.
+///
+/// Each slot is owned by exactly one parking thread for its whole life
+/// (the worker pool binds virtual-thread ids to pool threads; the
+/// controller slot is owned by the exploring thread). The owner registers
+/// its handle on first `wait`; a `signal` racing with that first wait is
+/// safe because both sides take the token mutex — if the signaler's
+/// critical section comes second it observes the registered owner and
+/// unparks it, and if it comes first the waiter observes the token.
+pub(crate) struct WakeSlot {
+    token: Mutex<Option<Wake>>,
+    /// The one thread that parks on this slot, registered at its first
+    /// `wait`. Written before the waiter's first token check and read
+    /// inside the signaler's token critical section (see above).
+    owner: std::sync::OnceLock<std::thread::Thread>,
+}
+
+impl WakeSlot {
+    pub fn new() -> Self {
+        WakeSlot {
+            token: Mutex::new(None),
+            owner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Deposits a token and wakes the owner if parked. The unpark happens
+    /// after the token lock is released: waking the receiver while
+    /// holding any lock it needs invites wakeup preemption to stall both
+    /// threads (see the type-level docs).
+    pub fn signal(&self, w: Wake) {
+        {
+            let mut t = self.token.lock().unwrap();
+            debug_assert!(t.is_none(), "wakeup slot already holds {t:?}");
+            *t = Some(w);
+        }
+        if let Some(owner) = self.owner.get() {
+            owner.unpark();
+        }
+    }
+
+    /// Like [`signal`](WakeSlot::signal), but overwrites any token already
+    /// present and tolerates a poisoned slot. Only used when tearing down
+    /// a run after a worker thread died, where the single-token invariant
+    /// may no longer hold.
+    pub fn force_signal(&self, w: Wake) {
+        {
+            let mut t = self.token.lock().unwrap_or_else(|e| e.into_inner());
+            *t = Some(w);
+        }
+        if let Some(owner) = self.owner.get() {
+            owner.unpark();
+        }
+    }
+
+    /// Parks until a token is deposited, then consumes and returns it.
+    /// Must only ever be called from the slot's owning thread.
+    pub fn wait(&self) -> Wake {
+        self.register_owner();
+        loop {
+            if let Some(w) = self.token.lock().unwrap().take() {
+                return w;
+            }
+            // A stale park token (e.g. an unpark that raced a previous
+            // consumed wait, or channel internals unparking this thread)
+            // only makes the loop re-check; a missing one cannot occur —
+            // the signaler either saw our registration and unparks, or
+            // ran before it and its token is already visible above.
+            std::thread::park();
+        }
+    }
+
+    /// Like [`wait`](WakeSlot::wait) but gives up after `dur`, returning
+    /// `None`. Used by the controller so a dying worker thread cannot hang
+    /// the exploration (it periodically re-checks worker liveness).
+    pub fn wait_timeout(&self, dur: Duration) -> Option<Wake> {
+        self.register_owner();
+        let deadline = std::time::Instant::now() + dur;
+        loop {
+            if let Some(w) = self.token.lock().unwrap().take() {
+                return Some(w);
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return self.token.lock().unwrap().take();
+            };
+            std::thread::park_timeout(remaining);
+        }
+    }
+
+    fn register_owner(&self) {
+        if self.owner.get().is_none() {
+            let _ = self.owner.set(std::thread::current());
+            debug_assert_eq!(
+                self.owner.get().map(std::thread::Thread::id),
+                Some(std::thread::current().id()),
+                "a wakeup slot has exactly one parking owner"
+            );
+        }
+    }
+}
+
 /// The state shared between the controller and the virtual threads.
 pub(crate) struct Shared {
     pub state: Mutex<RtState>,
-    pub cv: Condvar,
+    /// The controller's own wakeup slot, signaled exactly once per run by
+    /// whichever thread ends it (see [`finish_run_wakeups`]).
+    pub controller: WakeSlot,
 }
 
 impl Shared {
     pub fn new(state: RtState) -> Self {
         Shared {
             state: Mutex::new(state),
-            cv: Condvar::new(),
+            controller: WakeSlot::new(),
         }
     }
 }
@@ -47,14 +194,19 @@ const OUTSIDE_TID: usize = usize::MAX - 1;
 struct TlsCtx {
     shared: Arc<Shared>,
     tid: usize,
+    /// The calling virtual thread's own wakeup slot (`None` for the setup
+    /// closure). Cached here so the baton handoff needs no state-lock
+    /// access — and no per-handoff `Arc` refcount traffic — to find where
+    /// to park.
+    slot: Option<Arc<WakeSlot>>,
 }
 
 thread_local! {
     static CURRENT: RefCell<Option<TlsCtx>> = const { RefCell::new(None) };
 }
 
-pub(crate) fn set_tls(shared: Arc<Shared>, tid: usize) {
-    CURRENT.with(|c| *c.borrow_mut() = Some(TlsCtx { shared, tid }));
+pub(crate) fn set_tls(shared: Arc<Shared>, tid: usize, slot: Option<Arc<WakeSlot>>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(TlsCtx { shared, tid, slot }));
 }
 
 pub(crate) fn clear_tls() {
@@ -68,6 +220,21 @@ fn with_virtual_ctx<R>(f: impl FnOnce(&Arc<Shared>, usize) -> R) -> Option<R> {
         let borrow = c.borrow();
         match borrow.as_ref() {
             Some(ctx) if ctx.tid != SETUP_TID => Some(f(&ctx.shared, ctx.tid)),
+            _ => None,
+        }
+    })
+}
+
+/// Like [`with_virtual_ctx`] but also hands `f` the thread's own wakeup
+/// slot, for the paths that park.
+fn with_parking_ctx<R>(f: impl FnOnce(&Arc<Shared>, usize, &WakeSlot) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some(ctx) if ctx.tid != SETUP_TID => {
+                let slot = ctx.slot.as_ref().expect("virtual threads own a slot");
+                Some(f(&ctx.shared, ctx.tid, slot))
+            }
             _ => None,
         }
     })
@@ -124,36 +291,88 @@ pub fn register_object() -> ObjId {
     .unwrap_or(crate::events::AccessEvent::NO_OBJ)
 }
 
-/// Parks the calling thread until it is scheduled again. Must be called
-/// with the state lock held; returns with the lock released.
-fn wait_for_turn(shared: &Arc<Shared>, tid: usize, mut guard: std::sync::MutexGuard<'_, RtState>) {
-    loop {
-        if guard.abort {
-            drop(guard);
-            std::panic::panic_any(Abort);
+/// Claims the baton handoff to the thread just chosen by
+/// [`pick_next`](RtState::pick_next): counts it and returns the
+/// successor's slot. The caller must **release the state lock before
+/// signaling** the returned slot — waking the successor while still
+/// holding the lock invites the kernel's wakeup preemption to run it
+/// straight into the lock we hold, turning one context switch per handoff
+/// into three (wake, block on the state mutex, wake again). Counted in
+/// [`handoffs`](crate::ExploreStats::handoffs) — including self-handoffs
+/// on the forced slow path, which go through the slot machinery too.
+pub(crate) fn take_handoff(st: &mut RtState) -> Arc<WakeSlot> {
+    let next = st
+        .current
+        .expect("take_handoff requires a scheduled thread");
+    st.handoffs += 1;
+    Arc::clone(&st.slots[next])
+}
+
+/// The wakeups ending one run, gathered under the state lock by
+/// [`finish_run_wakeups`] and fired by [`RunTeardown::fire`] *after* the
+/// lock is released (same wakeup-preemption hazard as [`take_handoff`]:
+/// every thread woken under the lock would immediately block on it).
+pub(crate) struct RunTeardown {
+    abort: Vec<Arc<WakeSlot>>,
+}
+
+impl RunTeardown {
+    /// Deposits `Abort` in every gathered slot and wakes the controller.
+    /// Must be called with the state lock released.
+    pub fn fire(self, shared: &Shared) {
+        for slot in &self.abort {
+            slot.signal(Wake::Abort);
         }
-        if guard.current == Some(tid) {
-            return;
-        }
-        guard = shared.cv.wait(guard).unwrap();
+        shared.controller.signal(Wake::Run);
     }
 }
 
+/// Ends the run on the wakeup-slot level: gathers the slot of every
+/// unfinished thread other than `me` (they are all parked — only the
+/// baton holder executes) for an `Abort` token, plus the controller wake.
+/// Called exactly once per run by whichever context ends it: the thread
+/// whose schedule point saw the run end, the finishing/panicking thread,
+/// or the controller when the initial decision already ends the run (zero
+/// threads). The caller drops the state lock, then fires the teardown.
+pub(crate) fn finish_run_wakeups(st: &mut RtState, me: Option<usize>) -> RunTeardown {
+    let mut abort = Vec::new();
+    for t in 0..st.threads.len() {
+        if Some(t) != me && st.threads[t].status != Status::Finished {
+            abort.push(Arc::clone(&st.slots[t]));
+        }
+    }
+    RunTeardown { abort }
+}
+
 fn schedule_point(kind: Option<AccessKind>, pending: Pending) {
-    let modelled = with_virtual_ctx(|shared, tid| {
+    let modelled = with_parking_ctx(|shared, tid, slot| {
         let mut st = shared.state.lock().unwrap();
         st.set_pending(tid, pending);
         st.note_point(tid, kind);
         let after_yield = kind == Some(AccessKind::Yield);
         let cont = st.pick_next(after_yield);
-        shared.cv.notify_all();
         if !cont {
             // Run ended (possibly because of this very thread blocking
-            // serially or exhausting the step budget): unwind.
+            // serially or exhausting the step budget): wake everyone for
+            // teardown, then unwind.
+            let teardown = finish_run_wakeups(&mut st, Some(tid));
             drop(st);
+            teardown.fire(shared);
             std::panic::panic_any(Abort);
         }
-        wait_for_turn(shared, tid, st);
+        if st.current == Some(tid) && st.config.fast_path {
+            // Same-thread continuation: the scheduling decision is made
+            // and recorded; only the baton handoff is skipped.
+            st.fast_path_steps += 1;
+            return;
+        }
+        let next = take_handoff(&mut st);
+        drop(st);
+        next.signal(Wake::Run);
+        match slot.wait() {
+            Wake::Run => {}
+            Wake::Abort => std::panic::panic_any(Abort),
+        }
     });
     if modelled.is_none() {
         // Outside the model the same points feed native-mode yield
@@ -268,7 +487,7 @@ pub enum BlockResult {
 /// thread — is not supported; use the model checker or a native-mode
 /// stress run to explore blocking behavior.)
 pub fn block_current(kind: BlockKind) -> BlockResult {
-    with_virtual_ctx(|shared, tid| {
+    with_parking_ctx(|shared, tid, slot| {
         let mut st = shared.state.lock().unwrap();
         st.threads[tid].timed_fired = false;
         // A plain block parks without touching shared data once resumed
@@ -284,12 +503,32 @@ pub fn block_current(kind: BlockKind) -> BlockResult {
         );
         st.set_status(tid, Status::Blocked(kind));
         let cont = st.pick_next(false);
-        shared.cv.notify_all();
         if !cont {
+            let teardown = finish_run_wakeups(&mut st, Some(tid));
             drop(st);
+            teardown.fire(shared);
             std::panic::panic_any(Abort);
         }
-        wait_for_turn(shared, tid, st);
+        if st.current == Some(tid) && st.config.fast_path {
+            // Only reachable for timed waits (an untimed-blocked thread is
+            // not schedulable): the scheduler chose this thread, firing
+            // its modelled timeout — continue inline without parking.
+            st.fast_path_steps += 1;
+            let fired = st.threads[tid].timed_fired;
+            st.threads[tid].timed_fired = false;
+            return if fired {
+                BlockResult::TimedOut
+            } else {
+                BlockResult::Resumed
+            };
+        }
+        let next = take_handoff(&mut st);
+        drop(st);
+        next.signal(Wake::Run);
+        match slot.wait() {
+            Wake::Run => {}
+            Wake::Abort => std::panic::panic_any(Abort),
+        }
         let mut st = shared.state.lock().unwrap();
         if st.threads[tid].timed_fired {
             st.threads[tid].timed_fired = false;
@@ -347,23 +586,27 @@ pub fn choose_bool() -> bool {
     .unwrap_or(false)
 }
 
-/// Runs `body` as the virtual thread `tid`: waits to be scheduled, marks
-/// the thread runnable, executes the closure, then marks it finished and
-/// passes the baton. Used by the explorer's worker pool.
-pub(crate) fn run_virtual_thread(shared: &Arc<Shared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+/// Runs `body` as the virtual thread `tid`: parks on the thread's wakeup
+/// slot until the first decision schedules it, marks the thread runnable,
+/// executes the closure, then marks it finished and passes the baton.
+/// Used by the explorer's worker pool, which hands the thread its own
+/// slot so the initial park touches no shared lock (the controller may
+/// still hold the state lock for the initial decision at that moment).
+pub(crate) fn run_virtual_thread(
+    shared: &Arc<Shared>,
+    tid: usize,
+    slot: &WakeSlot,
+    body: Box<dyn FnOnce() + Send>,
+) {
+    // Park until the first decision schedules us (the token may already be
+    // there: the controller makes the initial decision right after
+    // dispatching, possibly before this worker reaches its slot).
+    match slot.wait() {
+        Wake::Run => {}
+        Wake::Abort => std::panic::panic_any(Abort),
+    }
     {
         let mut st = shared.state.lock().unwrap();
-        // Park until the first decision schedules us.
-        loop {
-            if st.abort {
-                drop(st);
-                std::panic::panic_any(Abort);
-            }
-            if st.current == Some(tid) {
-                break;
-            }
-            st = shared.cv.wait(st).unwrap();
-        }
         st.set_status(tid, Status::Runnable);
         st.note_point(tid, Some(AccessKind::ThreadStart));
         // Keep the baton: the thread proceeds into its closure.
@@ -372,8 +615,15 @@ pub(crate) fn run_virtual_thread(shared: &Arc<Shared>, tid: usize, body: Box<dyn
     let mut st = shared.state.lock().unwrap();
     st.set_status(tid, Status::Finished);
     st.note_point(tid, Some(AccessKind::ThreadFinish));
-    st.pick_next(false);
-    shared.cv.notify_all();
+    if st.pick_next(false) {
+        let next = take_handoff(&mut st);
+        drop(st);
+        next.signal(Wake::Run);
+    } else {
+        let teardown = finish_run_wakeups(&mut st, Some(tid));
+        drop(st);
+        teardown.fire(shared);
+    }
     // Whether or not the run ended, this thread simply returns.
 }
 
@@ -396,5 +646,7 @@ pub(crate) fn handle_user_panic(shared: &Arc<Shared>, tid: usize, payload: &dyn 
     }
     st.abort = true;
     st.current = None;
-    shared.cv.notify_all();
+    let teardown = finish_run_wakeups(&mut st, Some(tid));
+    drop(st);
+    teardown.fire(shared);
 }

@@ -1,10 +1,13 @@
 //! Shared mutable state of one execution: the virtual thread table, the
 //! scheduling decision logic, and end-of-run detection.
 
+use std::sync::Arc;
+
 use crate::config::{Config, Mode};
 use crate::events::{AccessEvent, AccessKind};
 use crate::ids::{ObjId, ThreadId};
 use crate::por::{Pending, PorRun, MAX_POR_THREADS};
+use crate::runtime::WakeSlot;
 use crate::strategy::{Choice, Strategy};
 
 /// Why a virtual thread is blocked.
@@ -141,11 +144,29 @@ pub(crate) struct RtState {
     pub decisions: Vec<usize>,
     pub access_log: Vec<AccessEvent>,
     pub next_obj: u32,
-    /// The search strategy, temporarily moved in for the duration of a run.
+    /// The search strategy. Lives here across the whole exploration (the
+    /// explorer calls `begin_run`/`end_run` through the state lock);
+    /// `pick_next` moves it out temporarily to appease the borrow checker.
     pub strategy: Option<Box<dyn Strategy + Send>>,
     /// Partial-order-reduction state, present when
     /// [`Config::effective_por`](crate::Config::effective_por) holds.
     pub por: Option<PorRun>,
+    /// One wakeup slot per virtual thread (indexed by thread id), grown in
+    /// [`init_threads`](RtState::init_threads) and reused across runs.
+    /// `Arc` so a thread can park on its own slot after releasing the
+    /// state lock.
+    pub slots: Vec<Arc<WakeSlot>>,
+    /// Schedule points that took the same-thread continuation fast path
+    /// this run (no park/unpark — see [`Config::fast_path`]).
+    pub fast_path_steps: u64,
+    /// Baton handoffs through a wakeup slot this run (including the
+    /// forced self-handoffs when the fast path is disabled).
+    pub handoffs: u64,
+    /// Scratch buffers for [`pick_next`](RtState::pick_next), moved out
+    /// for the duration of each decision so the hot path allocates
+    /// nothing after warm-up.
+    enabled_buf: Vec<usize>,
+    cand_buf: Vec<usize>,
 }
 
 impl std::fmt::Debug for RtState {
@@ -176,6 +197,34 @@ impl RtState {
             access_log: Vec::new(),
             next_obj: 0,
             strategy: Some(strategy),
+            slots: Vec::new(),
+            fast_path_steps: 0,
+            handoffs: 0,
+            enabled_buf: Vec::new(),
+            cand_buf: Vec::new(),
+        }
+    }
+
+    /// Clears the per-run state for reuse, retaining every allocation
+    /// (thread table, schedule/decision/access-log buffers, POR arenas,
+    /// wakeup slots) so a million-run exploration stops hammering the
+    /// allocator. The config, strategy, and slots survive across runs.
+    pub fn reset(&mut self) {
+        self.threads.clear();
+        self.current = None;
+        self.step = 0;
+        self.preemptions = 0;
+        self.yield_rounds = 0;
+        self.run_over = None;
+        self.abort = false;
+        self.schedule.clear();
+        self.decisions.clear();
+        self.access_log.clear();
+        self.next_obj = 0;
+        self.fast_path_steps = 0;
+        self.handoffs = 0;
+        if let Some(por) = &mut self.por {
+            por.reset();
         }
     }
 
@@ -190,13 +239,10 @@ impl RtState {
              threads (sleep sets are u64 bitmasks); disable it with \
              Config::with_por(false)"
         );
-        self.threads = (0..n).map(|_| ThreadState::new()).collect();
-    }
-
-    pub fn enabled_threads(&self) -> Vec<usize> {
-        (0..self.threads.len())
-            .filter(|&t| self.threads[t].is_enabled())
-            .collect()
+        self.threads.extend((0..n).map(|_| ThreadState::new()));
+        while self.slots.len() < n {
+            self.slots.push(Arc::new(WakeSlot::new()));
+        }
     }
 
     fn all_finished(&self) -> bool {
@@ -264,6 +310,23 @@ impl RtState {
     ///
     /// Returns `true` if the run continues (a thread was scheduled).
     pub fn pick_next(&mut self, after_yield: bool) -> bool {
+        // Move the scratch buffers out so the inner body can fill them
+        // while still calling `&mut self` methods; restored on every exit
+        // path. This keeps the per-decision hot path allocation-free.
+        let mut enabled = std::mem::take(&mut self.enabled_buf);
+        let mut candidates = std::mem::take(&mut self.cand_buf);
+        let scheduled = self.pick_next_inner(after_yield, &mut enabled, &mut candidates);
+        self.enabled_buf = enabled;
+        self.cand_buf = candidates;
+        scheduled
+    }
+
+    fn pick_next_inner(
+        &mut self,
+        after_yield: bool,
+        enabled: &mut Vec<usize>,
+        candidates: &mut Vec<usize>,
+    ) -> bool {
         if self.run_over.is_some() {
             return false;
         }
@@ -289,7 +352,8 @@ impl RtState {
             self.por = Some(por);
         }
 
-        let enabled = self.enabled_threads();
+        enabled.clear();
+        enabled.extend((0..self.threads.len()).filter(|&t| self.threads[t].is_enabled()));
         if enabled.is_empty() {
             let outcome = if self.all_finished() {
                 RunOutcome::Complete
@@ -313,7 +377,7 @@ impl RtState {
                 .all(|&t| self.threads[t].yielded_since_progress)
         {
             self.yield_rounds += 1;
-            for &t in &enabled {
+            for &t in enabled.iter() {
                 self.threads[t].yielded_since_progress = false;
             }
             if self.yield_rounds >= self.config.livelock_rounds {
@@ -337,14 +401,13 @@ impl RtState {
             }
         }
 
-        let candidates = match self.config.mode {
-            Mode::Serial => self.serial_candidates(&enabled),
-            Mode::Concurrent => self.concurrent_candidates(&enabled, after_yield),
+        let filled = match self.config.mode {
+            Mode::Serial => self.serial_candidates(enabled, candidates),
+            Mode::Concurrent => self.concurrent_candidates(enabled, after_yield, candidates),
         };
-        let mut candidates = match candidates {
-            Some(c) => c,
-            None => return false, // run was ended inside
-        };
+        if !filled {
+            return false; // run was ended inside
+        }
         debug_assert!(!candidates.is_empty());
         // Explore "continue the current thread" first: DFS then visits
         // mostly-sequential schedules before heavily-preempted ones, which
@@ -352,8 +415,7 @@ impl RtState {
         // ordering).
         if let Some(cur) = self.current {
             if let Some(pos) = candidates.iter().position(|&t| t == cur) {
-                candidates.remove(pos);
-                candidates.insert(0, cur);
+                candidates[..=pos].rotate_right(1);
             }
         }
 
@@ -361,7 +423,7 @@ impl RtState {
         // of this run reorders only independent transitions of an
         // already-explored schedule — abandon it.
         if let Some(por) = &self.por {
-            if por.all_asleep(&candidates) {
+            if por.all_asleep(candidates) {
                 self.end_run(RunOutcome::Pruned);
                 return false;
             }
@@ -376,7 +438,7 @@ impl RtState {
             let step = self.step;
             let mut strategy = self.strategy.take().expect("strategy present during run");
             let idx = if let Some(por) = &mut self.por {
-                let choice = strategy.choose_thread_por(&candidates, por.sleep, step);
+                let choice = strategy.choose_thread_por(candidates, por.sleep, step);
                 debug_assert!(choice.index < candidates.len());
                 debug_assert_eq!(
                     por.sleep & (1u64 << candidates[choice.index]),
@@ -389,7 +451,7 @@ impl RtState {
                 por.cur_node = choice.node;
                 choice.index
             } else {
-                let idx = strategy.choose_thread(&candidates, step);
+                let idx = strategy.choose_thread(candidates, step);
                 debug_assert!(idx < candidates.len());
                 idx
             };
@@ -431,60 +493,72 @@ impl RtState {
 
     /// Serial mode: context switches happen only at operation boundaries;
     /// a thread that blocks mid-operation ends the run as stuck-serial.
-    fn serial_candidates(&mut self, enabled: &[usize]) -> Option<Vec<usize>> {
+    /// Fills `out` and returns `true`, or returns `false` when the run
+    /// ended (stuck serial).
+    fn serial_candidates(&mut self, enabled: &[usize], out: &mut Vec<usize>) -> bool {
+        out.clear();
         if let Some(cur) = self.current {
             let th = &self.threads[cur];
             match th.status {
                 Status::Runnable if !th.at_boundary => {
                     // Mid-operation: must continue the current thread.
-                    return Some(vec![cur]);
+                    out.push(cur);
+                    return true;
                 }
                 Status::Blocked(BlockKind::Timed) => {
                     // A timed wait with no other thread allowed to
                     // intervene always times out in a serial execution:
                     // scheduling the thread fires the modelled timeout,
                     // keeping serial behavior deterministic.
-                    return Some(vec![cur]);
+                    out.push(cur);
+                    return true;
                 }
                 Status::Blocked(BlockKind::Untimed) if !th.at_boundary => {
                     // Blocked mid-operation: the serial execution is stuck
                     // (paper §2.3: the history `H (o i t) #`).
                     self.end_run(RunOutcome::StuckSerial);
-                    return None;
+                    return false;
                 }
                 _ => {}
             }
         }
         // At a boundary (or start/finish): any enabled thread may run next.
-        Some(enabled.to_vec())
+        out.extend_from_slice(enabled);
+        true
     }
 
     /// Concurrent mode: all enabled threads are candidates, except that a
     /// yielding thread is descheduled when others are enabled (fairness)
-    /// and the preemption bound may pin the current thread.
+    /// and the preemption bound may pin the current thread. Fills `out`;
+    /// always returns `true` (concurrent candidate selection never ends
+    /// the run — the signature matches `serial_candidates`).
     fn concurrent_candidates(
         &mut self,
         enabled: &[usize],
         after_yield: bool,
-    ) -> Option<Vec<usize>> {
+        out: &mut Vec<usize>,
+    ) -> bool {
+        out.clear();
         if let Some(cur) = self.current {
             if after_yield {
-                let others: Vec<usize> = enabled.iter().copied().filter(|&t| t != cur).collect();
-                if !others.is_empty() {
-                    return Some(others);
+                out.extend(enabled.iter().copied().filter(|&t| t != cur));
+                if out.is_empty() {
+                    out.push(cur);
                 }
-                return Some(vec![cur]);
+                return true;
             }
             // Preemption bound: once the budget is used up, keep running
             // the current thread as long as it is enabled and mid-stream.
             if let Some(bound) = self.config.preemption_bound {
                 let th = &self.threads[cur];
                 if self.preemptions >= bound && th.status == Status::Runnable && !th.at_boundary {
-                    return Some(vec![cur]);
+                    out.push(cur);
+                    return true;
                 }
             }
         }
-        Some(enabled.to_vec())
+        out.extend_from_slice(enabled);
+        true
     }
 
     /// Makes a nondeterministic boolean choice (e.g. for modelled

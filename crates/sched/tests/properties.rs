@@ -120,7 +120,7 @@ proptest! {
         let mut count = 0usize;
         explore(&Config::exhaustive(), build(segs.clone()), |run| {
             if count == pick {
-                recorded = Some(run);
+                recorded = Some(run.clone());
                 ControlFlow::Break(())
             } else {
                 count += 1;
@@ -137,7 +137,7 @@ proptest! {
             &Config::replay(recorded.decisions.clone()),
             build(segs),
             |run| {
-                replayed = Some(run);
+                replayed = Some(run.clone());
                 ControlFlow::Break(())
             },
         );

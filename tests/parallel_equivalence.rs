@@ -97,6 +97,42 @@ fn parallel_collect_all_matches_serial_violation_set() {
 }
 
 #[test]
+fn run_counts_match_across_worker_counts() {
+    // The frontier enumeration re-executes one run per subtree prefix;
+    // those replays are reported as `frontier_replays`, never as `runs`,
+    // so the run count of an exhaustive exploration is identical at any
+    // worker count (historically counter_2x2 reported 70 runs serially
+    // but 86 at 2+ workers).
+    use lineup::doc_support::CounterTarget;
+    let matrix = lineup::TestMatrix::from_columns(vec![
+        vec![
+            lineup::Invocation::new("inc"),
+            lineup::Invocation::new("get"),
+        ],
+        vec![
+            lineup::Invocation::new("inc"),
+            lineup::Invocation::new("get"),
+        ],
+    ]);
+    let opts = CheckOptions::new()
+        .with_preemption_bound(None)
+        .collect_all_violations();
+    let serial = lineup::check(&CounterTarget, &matrix, &opts);
+    assert_eq!(serial.phase2.frontier_replays, 0);
+    for workers in [2, 4] {
+        let par = lineup::check(&CounterTarget, &matrix, &opts.clone().with_workers(workers));
+        assert_eq!(
+            serial.phase2.runs, par.phase2.runs,
+            "run counts are comparable at {workers} workers"
+        );
+        assert!(
+            par.phase2.frontier_replays > 0,
+            "the frontier enumeration is accounted separately"
+        );
+    }
+}
+
+#[test]
 fn parallel_passes_on_a_fixed_variant() {
     // A fixed (non-Pre) class must still pass under parallel exploration.
     let entry = all_classes()
