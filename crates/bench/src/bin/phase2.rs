@@ -6,23 +6,26 @@
 //! ```text
 //! cargo run --release -p lineup-bench --bin phase2 [--json] [--out PATH]
 //!     [--workers 1,2,4] [--repeat N] [--depth D] [--por on|off|both]
+//!     [--backend fibers|os|both]
 //! ```
 //!
-//! Reports, per workload, POR mode, and worker count, the number of
-//! executions explored, how many of those were sleep-set prunes, the wall
-//! time (best of `--repeat` attempts), the throughput in runs/second, and
-//! the speedup over the 1-worker (serial) baseline *of the same POR mode*.
-//! `--json` additionally writes the measurements to `BENCH_phase2.json`
-//! (or `--out PATH`). The JSON records `cpu_cores`: the speedup is bounded
-//! by the physical parallelism of the machine — on a single-core host the
-//! partitioned exploration can only break even.
+//! Reports, per workload, POR mode, execution backend, and worker count,
+//! the number of executions explored, how many of those were sleep-set
+//! prunes, the wall time (best of `--repeat` attempts), the throughput in
+//! runs/second, and the speedup over the 1-worker (serial) baseline *of
+//! the same POR mode and backend*. `--json` additionally writes the
+//! measurements to `BENCH_phase2.json` (or `--out PATH`). The JSON records
+//! `cpu_cores`: the speedup is bounded by the physical parallelism of the
+//! machine — on a single-core host the partitioned exploration can only
+//! break even. On targets without fiber support the `fibers` rows degrade
+//! to OS threads (see [`Backend::effective`]).
 
 use std::time::Instant;
 
 use lineup::doc_support::CounterTarget;
 use lineup::{
-    check_against_spec, synthesize_spec, CheckOptions, Invocation, ObservationSet, PhaseStats,
-    TestMatrix, TestTarget,
+    check_against_spec, synthesize_spec, Backend, CheckOptions, Invocation, ObservationSet,
+    PhaseStats, TestMatrix, TestTarget,
 };
 use lineup_bench::{arg_flag, arg_num, arg_value, fmt_duration, TextTable};
 use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
@@ -31,6 +34,7 @@ use lineup_collections::Variant;
 struct Sample {
     workload: &'static str,
     por: bool,
+    backend: Backend,
     workers: usize,
     runs: u64,
     sleep_prunes: u64,
@@ -46,11 +50,13 @@ struct Sample {
 
 /// One timed phase-2 exploration; exhaustive (no preemption bound, no
 /// stop-at-first) so every worker count explores the same schedule tree.
+#[allow(clippy::too_many_arguments)]
 fn measure<T: TestTarget>(
     target: &T,
     matrix: &TestMatrix,
     spec: &ObservationSet,
     por: bool,
+    backend: Backend,
     workers: usize,
     split_depth: usize,
     repeat: usize,
@@ -58,9 +64,16 @@ fn measure<T: TestTarget>(
     let mut opts = CheckOptions::new()
         .with_preemption_bound(None)
         .with_por(por)
+        .with_backend(backend)
         .collect_all_violations();
     if workers > 1 {
-        opts = opts.with_workers(workers).with_split_depth(split_depth);
+        // Probe disabled: the multi-worker rows measure the frontier
+        // machinery itself, so the tiny-state-space auto-serial fallback
+        // must not quietly turn them into serial runs.
+        opts = opts
+            .with_workers(workers)
+            .with_split_depth(split_depth)
+            .with_parallel_probe_runs(0);
     }
     let mut best = f64::INFINITY;
     let mut kept = PhaseStats::default();
@@ -85,32 +98,45 @@ fn run_workload<T: TestTarget>(
     target: &T,
     matrix: &TestMatrix,
     por_modes: &[bool],
+    backends: &[Backend],
     workers_list: &[usize],
     split_depth: usize,
     repeat: usize,
 ) {
     let (spec, _, _) = synthesize_spec(target, matrix);
     for &por in por_modes {
-        let mut baseline = None;
-        for &w in workers_list {
-            let (stats, wall) = measure(target, matrix, &spec, por, w, split_depth, repeat);
-            let base = *baseline.get_or_insert(wall);
-            samples.push(Sample {
-                workload,
-                por,
-                workers: w,
-                runs: stats.runs,
-                sleep_prunes: stats.sleep_prunes,
-                steps: stats.total_steps,
-                fast_path_steps: stats.fast_path_steps,
-                handoffs: stats.handoffs,
-                frontier_replays: stats.frontier_replays,
-                wall_seconds: wall,
-                runs_per_sec: stats.runs as f64 / wall,
-                steps_per_sec: stats.total_steps as f64 / wall,
-                speedup: base / wall,
-            });
+        for &backend in backends {
+            let mut baseline = None;
+            for &w in workers_list {
+                let (stats, wall) =
+                    measure(target, matrix, &spec, por, backend, w, split_depth, repeat);
+                let base = *baseline.get_or_insert(wall);
+                samples.push(Sample {
+                    workload,
+                    por,
+                    backend,
+                    workers: w,
+                    runs: stats.runs,
+                    sleep_prunes: stats.sleep_prunes,
+                    steps: stats.total_steps,
+                    fast_path_steps: stats.fast_path_steps,
+                    handoffs: stats.handoffs,
+                    frontier_replays: stats.frontier_replays,
+                    wall_seconds: wall,
+                    runs_per_sec: stats.runs as f64 / wall,
+                    steps_per_sec: stats.total_steps as f64 / wall,
+                    speedup: base / wall,
+                });
+            }
         }
+    }
+}
+
+/// Short stable name for a backend, used in the table and the JSON.
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Fibers => "fibers",
+        Backend::OsThreads => "os",
     }
 }
 
@@ -128,6 +154,15 @@ fn main() {
         None | Some("both") => vec![false, true],
         Some(other) => {
             eprintln!("--por must be on, off, or both (got {other})");
+            std::process::exit(2);
+        }
+    };
+    let backends: Vec<Backend> = match arg_value("--backend").as_deref() {
+        Some("fibers") => vec![Backend::Fibers],
+        Some("os") => vec![Backend::OsThreads],
+        None | Some("both") => vec![Backend::Fibers, Backend::OsThreads],
+        Some(other) => {
+            eprintln!("--backend must be fibers, os, or both (got {other})");
             std::process::exit(2);
         }
     };
@@ -157,6 +192,7 @@ fn main() {
         &CounterTarget,
         &counter_matrix,
         &por_modes,
+        &backends,
         &workers_list,
         split_depth,
         repeat,
@@ -167,6 +203,7 @@ fn main() {
         &queue,
         &queue_matrix,
         &por_modes,
+        &backends,
         &workers_list,
         split_depth,
         repeat,
@@ -179,6 +216,7 @@ fn main() {
     let mut table = TextTable::new(&[
         "workload",
         "por",
+        "backend",
         "workers",
         "runs",
         "frontier",
@@ -195,6 +233,7 @@ fn main() {
         table.row(vec![
             s.workload.to_string(),
             if s.por { "on" } else { "off" }.to_string(),
+            backend_name(s.backend).to_string(),
             s.workers.to_string(),
             s.runs.to_string(),
             s.frontier_replays.to_string(),
@@ -222,13 +261,15 @@ fn main() {
         out.push_str("  \"results\": [\n");
         for (i, s) in samples.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"por\": {}, \"workers\": {}, \"runs\": {}, \
+                "    {{\"workload\": \"{}\", \"por\": {}, \"backend\": \"{}\", \"workers\": {}, \
+                 \"runs\": {}, \
                  \"frontier_replays\": {}, \"sleep_prunes\": {}, \"steps\": {}, \
                  \"fast_path_steps\": {}, \"handoffs\": {}, \"wall_seconds\": {:.6}, \
                  \"runs_per_sec\": {:.1}, \"steps_per_sec\": {:.1}, \
                  \"speedup_vs_1_worker\": {:.3}}}{}\n",
                 s.workload,
                 s.por,
+                backend_name(s.backend),
                 s.workers,
                 s.runs,
                 s.frontier_replays,

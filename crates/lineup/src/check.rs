@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use lineup_sched::{explore_parallel, Config, RunOutcome, StrategyKind, SubtreeTask};
+use lineup_sched::{explore_parallel, Backend, Config, RunOutcome, StrategyKind, SubtreeTask};
 
 use crate::harness::explore_matrix;
 use crate::history::{History, OpIndex};
@@ -129,6 +129,22 @@ pub struct CheckOptions {
     /// asserts this); disabling it only forces every step through a slot
     /// handoff.
     pub fast_path: bool,
+    /// Execution backend for phase-2 exploration (default
+    /// [`Backend::default_backend`]: fibers where supported, OS threads
+    /// elsewhere). Under [`Backend::Fibers`] every virtual thread runs on
+    /// a recycled userspace stack and a baton handoff is a direct stack
+    /// switch; the explored schedules, histories, and verdicts are
+    /// byte-identical across backends (`tests/backend_equivalence.rs`
+    /// asserts this).
+    pub backend: Backend,
+    /// Run estimate below which parallel exploration skips frontier
+    /// splitting and runs serially (default 256): a tiny schedule tree is
+    /// explored faster by one worker than by replaying prefixes into
+    /// every subtree. Measured by probing the serial exploration up to
+    /// this many runs before committing to a split; `runs` is identical
+    /// either way. `0` disables the probe and always splits. Only read
+    /// when [`workers`](CheckOptions::workers) `> 1`.
+    pub parallel_probe_runs: u64,
     /// Alternative witness backend (see [`HistoryMonitor`]). When set,
     /// phase 2 asks the monitor for every history verdict instead of
     /// searching the enumerated observation set; spuriously-failed
@@ -153,6 +169,8 @@ impl CheckOptions {
             split_depth: None,
             por: true,
             fast_path: true,
+            backend: Backend::default_backend(),
+            parallel_probe_runs: 256,
             witness_monitor: None,
         }
     }
@@ -230,6 +248,20 @@ impl CheckOptions {
     /// path (see [`CheckOptions::fast_path`]), builder style.
     pub fn with_fast_path(mut self, enabled: bool) -> Self {
         self.fast_path = enabled;
+        self
+    }
+
+    /// Selects the execution backend (see [`CheckOptions::backend`]),
+    /// builder style.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the run estimate below which parallel exploration stays
+    /// serial (see [`CheckOptions::parallel_probe_runs`]), builder style.
+    pub fn with_parallel_probe_runs(mut self, runs: u64) -> Self {
+        self.parallel_probe_runs = runs;
         self
     }
 
@@ -553,7 +585,8 @@ fn check_against_spec_at<T: TestTarget>(
 
     let mut config = Config::exhaustive()
         .with_por(options.por)
-        .with_fast_path(options.fast_path);
+        .with_fast_path(options.fast_path)
+        .with_backend(options.backend);
     config.preemption_bound = preemption_bound;
     config.max_runs = options.max_phase2_runs;
 
@@ -829,12 +862,39 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     options: &CheckOptions,
     preemption_bound: Option<usize>,
 ) -> (Vec<Violation>, PhaseStats) {
+    // Tiny state spaces are explored faster by one worker than by
+    // splitting: the frontier's prefix replays dominate a tree of a few
+    // dozen runs. Probe the serial exploration with a budget one past
+    // [`CheckOptions::parallel_probe_runs`]; if the space (or the overall
+    // run cap) fits within the threshold, the probe's answer *is* the
+    // serial answer — same runs, same violations, no frontier. Otherwise
+    // the probe is discarded as unaccounted overhead (at most
+    // `parallel_probe_runs + 1` runs, negligible against a tree that
+    // large) and the split proceeds.
+    if options.parallel_probe_runs > 0 {
+        let budget = options
+            .parallel_probe_runs
+            .saturating_add(1)
+            .min(options.max_phase2_runs.unwrap_or(u64::MAX));
+        let probe_options = CheckOptions {
+            workers: 1,
+            max_phase2_runs: Some(budget),
+            ..options.clone()
+        };
+        let (violations, stats) =
+            check_against_spec_at(target, matrix, spec, &probe_options, preemption_bound);
+        if stats.runs <= options.parallel_probe_runs {
+            return (violations, stats);
+        }
+    }
+
     let start = std::time::Instant::now();
     let index = spec.index();
 
     let mut config = Config::exhaustive()
         .with_por(options.por)
-        .with_fast_path(options.fast_path);
+        .with_fast_path(options.fast_path)
+        .with_backend(options.backend);
     config.preemption_bound = preemption_bound;
     config.workers = options.workers;
     config.split_depth = options.split_depth;
@@ -1244,7 +1304,9 @@ mod tests {
         let parallel = check(
             &BuggyCounterTarget,
             &m,
-            &CheckOptions::new().with_workers(4),
+            &CheckOptions::new()
+                .with_workers(4)
+                .with_parallel_probe_runs(0),
         );
         assert_eq!(serial.violations.len(), 1);
         assert_eq!(parallel.violations.len(), 1);
@@ -1277,7 +1339,10 @@ mod tests {
             let par = check(
                 &BuggyCounterTarget,
                 &m,
-                &serial_opts.clone().with_workers(workers),
+                &serial_opts
+                    .clone()
+                    .with_workers(workers)
+                    .with_parallel_probe_runs(0),
             );
             assert_eq!(
                 rendered(&serial.violations),
@@ -1293,7 +1358,15 @@ mod tests {
     fn parallel_passing_target_still_passes() {
         let m = buggy_matrix();
         let serial = check(&CounterTarget, &m, &CheckOptions::new());
-        let par = check(&CounterTarget, &m, &CheckOptions::new().with_workers(4));
+        // Probe disabled: exercise the actual frontier split even though
+        // this state space is below the auto-serial threshold.
+        let par = check(
+            &CounterTarget,
+            &m,
+            &CheckOptions::new()
+                .with_workers(4)
+                .with_parallel_probe_runs(0),
+        );
         assert!(serial.passed() && par.passed());
         assert_eq!(serial.phase2.full_histories, par.phase2.full_histories);
         assert_eq!(serial.phase2.stuck_histories, par.phase2.stuck_histories);
@@ -1302,6 +1375,35 @@ mod tests {
         assert_eq!(par.phase2.runs, serial.phase2.runs);
         assert!(par.phase2.frontier_replays > 0, "frontier was enumerated");
         assert_eq!(serial.phase2.frontier_replays, 0);
+    }
+
+    #[test]
+    fn tiny_spaces_skip_frontier_splitting() {
+        // The counter's exhaustive tree is a few dozen runs — far below
+        // the default probe threshold — so a multi-worker check takes the
+        // serial path: same runs, same verdict, and no frontier replays.
+        let m = buggy_matrix();
+        let opts = CheckOptions::new().with_preemption_bound(None);
+        let serial = check(&CounterTarget, &m, &opts);
+        let par = check(&CounterTarget, &m, &opts.clone().with_workers(4));
+        assert!(serial.passed() && par.passed());
+        assert!(
+            serial.phase2.runs <= CheckOptions::new().parallel_probe_runs,
+            "workload chosen below the probe threshold"
+        );
+        assert_eq!(par.phase2.runs, serial.phase2.runs);
+        assert_eq!(par.phase2.total_steps, serial.phase2.total_steps);
+        assert_eq!(
+            par.phase2.frontier_replays, 0,
+            "no split below the threshold"
+        );
+        // The same check on a buggy target reports the serial violation.
+        let sbug = check(&BuggyCounterTarget, &m, &opts);
+        let pbug = check(&BuggyCounterTarget, &m, &opts.clone().with_workers(4));
+        assert_eq!(
+            format!("{:?}", sbug.violations),
+            format!("{:?}", pbug.violations)
+        );
     }
 
     #[test]
@@ -1330,13 +1432,16 @@ mod tests {
 
     #[test]
     fn parallel_respects_run_cap() {
-        let opts = CheckOptions::new()
-            .with_preemption_bound(None)
-            .with_max_phase2_runs(10)
-            .with_workers(4);
-        let report = check(&CounterTarget, &buggy_matrix(), &opts);
-        assert!(report.phase2.runs <= 10);
-        assert!(report.passed(), "a cap cannot introduce violations");
+        for probe in [0, CheckOptions::new().parallel_probe_runs] {
+            let opts = CheckOptions::new()
+                .with_preemption_bound(None)
+                .with_max_phase2_runs(10)
+                .with_workers(4)
+                .with_parallel_probe_runs(probe);
+            let report = check(&CounterTarget, &buggy_matrix(), &opts);
+            assert!(report.phase2.runs <= 10);
+            assert!(report.passed(), "a cap cannot introduce violations");
+        }
     }
 
     #[test]

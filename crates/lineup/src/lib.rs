@@ -74,6 +74,7 @@ pub use check::{
 pub use erased::ErasedTarget;
 pub use harness::{explore_matrix, replay_matrix, MatrixRun};
 pub use history::{Event, History, OpIndex, Operation};
+pub use lineup_sched::Backend;
 pub use matrix::TestMatrix;
 pub use observation::{parse_observation_file, write_observation_file};
 pub use report::render_violation;

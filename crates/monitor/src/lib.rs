@@ -65,7 +65,7 @@ pub mod oracle;
 pub mod stress;
 
 pub use linearize::{Monitor, MonitorStats, PartitionFn};
-pub use oracle::{FnOracle, ReplayOracle, SeqOracle, StepResult};
+pub use oracle::{FnOracle, ReplayOracle, SeqOracle, StepResult, TracedOp};
 pub use stress::{run_stress, StressOptions, StressReport, StressViolation};
 
 use std::sync::Arc;

@@ -17,7 +17,11 @@
 //!   configuration is the set of linearized operations *plus the oracle
 //!   state*; configurations that failed once are never re-explored. The
 //!   oracle state is part of the key because the oracle is a black box —
-//!   two linearizations of the same set may reach different states.
+//!   two linearizations of the same set may reach different states. An
+//!   oracle whose state equality *over*-distinguishes (a
+//!   [`ReplayOracle`](crate::ReplayOracle)'s state is the whole trace, so
+//!   no two orders ever compare equal) supplies a coarser
+//!   [`SeqOracle::canonical_key`] and the memo keys on that instead.
 //! * **P-compositionality** (Horn & Kroening): when a partition function
 //!   maps every operation to an independent sub-object (e.g. a dictionary
 //!   key), each partition is checked on its own — the monitor then runs
@@ -30,7 +34,7 @@ use std::sync::{Arc, Mutex};
 
 use lineup::{History, HistoryMonitor, Invocation, OpIndex, Outcome, SerialHistory, SpecOp, Value};
 
-use crate::oracle::{SeqOracle, StepResult};
+use crate::oracle::{SeqOracle, StepResult, TracedOp};
 
 /// Maps an invocation to the independent sub-object it operates on —
 /// `None` when the operation spans sub-objects (disables partitioning for
@@ -259,6 +263,18 @@ impl<O: SeqOracle> Monitor<O> {
             })
             .collect();
 
+        // The operations this search may step, in thread-major program
+        // order (so searches over different interleavings of one matrix
+        // share the oracle's per-universe canonicalization work). The
+        // pending operation is part of the universe: a canonical key must
+        // also predict whether it blocks at the end.
+        let mut universe: Vec<TracedOp> = ops
+            .iter()
+            .map(|&i| (h.ops[i].thread, h.ops[i].invocation.clone()))
+            .chain(pending.map(|e| (h.ops[e].thread, h.ops[e].invocation.clone())))
+            .collect();
+        universe.sort_by_key(|(t, _)| *t);
+
         let mut search = Search {
             h,
             oracle: &self.oracle,
@@ -266,6 +282,7 @@ impl<O: SeqOracle> Monitor<O> {
             pending,
             thread_seq: &thread_seq,
             blockers: &blockers,
+            universe: &universe,
             memo: HashSet::new(),
             oracle_steps: 0,
             memo_hits: 0,
@@ -311,6 +328,15 @@ fn serialize_order(h: &History, order: &[OpIndex], pending: Option<OpIndex>) -> 
     }
 }
 
+/// The state component of a memo-table entry: the canonical key the
+/// oracle derived for the state, or the state itself when the oracle
+/// declined ([`SeqOracle::canonical_key`] returned `None`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum MemoKey<S> {
+    State(S),
+    Canon(Vec<u32>),
+}
+
 /// One in-flight search (borrowed context plus the memo table).
 struct Search<'a, O: SeqOracle> {
     h: &'a History,
@@ -319,8 +345,11 @@ struct Search<'a, O: SeqOracle> {
     pending: Option<OpIndex>,
     thread_seq: &'a [Vec<usize>],
     blockers: &'a [Vec<usize>],
-    /// Failed configurations: (linearized set, oracle state).
-    memo: HashSet<(Bits, O::State)>,
+    /// Every operation the search may step, in thread-major program order
+    /// (the `universe` of [`SeqOracle::canonical_key`]).
+    universe: &'a [TracedOp],
+    /// Failed configurations: (linearized set, oracle state key).
+    memo: HashSet<(Bits, MemoKey<O::State>)>,
     oracle_steps: u64,
     memo_hits: u64,
 }
@@ -342,7 +371,11 @@ impl<O: SeqOracle> Search<'_, O> {
                 }
             };
         }
-        if !self.memo.insert((mask.clone(), state.clone())) {
+        let key = match self.oracle.canonical_key(state, self.universe) {
+            Some(canon) => MemoKey::Canon(canon),
+            None => MemoKey::State(state.clone()),
+        };
+        if !self.memo.insert((mask.clone(), key)) {
             self.memo_hits += 1;
             return false;
         }
@@ -668,6 +701,57 @@ mod tests {
         bad.push_return(g, Value::Int(99));
         assert!(!m.check_full(&bad, &[]));
         assert!(m.stats().memo_hits > 0, "{:?}", m.stats());
+    }
+
+    #[test]
+    fn replay_oracle_memo_fires_on_commuting_operations() {
+        // Regression: the memo key used the oracle state directly, and a
+        // ReplayOracle state is the whole trace — no two linearization
+        // orders ever compared equal, so `BENCH_monitorcmp.json` reported
+        // `memo_hits: 0` for every class. With the canonical suffix-
+        // signature key, the three inc orders collapse and the exhaustive
+        // rejection below must register hits.
+        use crate::oracle::ReplayOracle;
+        use lineup::doc_support::CounterTarget;
+        let m = Monitor::new(ReplayOracle::new(Arc::new(CounterTarget), Vec::new()));
+        let mut h = History::new(3);
+        let ops: Vec<_> = (0..3).map(|t| h.push_call(t, inv("inc"))).collect();
+        for o in ops {
+            h.push_return(o, Value::Unit);
+        }
+        let g = h.push_call(0, inv("get"));
+        h.push_return(g, Value::Int(99));
+        assert!(!m.check_full(&h, &[]), "get -> 99 is serially impossible");
+        assert!(m.stats().memo_hits > 0, "{:?}", m.stats());
+    }
+
+    #[test]
+    fn canonical_memo_keeps_order_sensitive_linearizations_apart() {
+        // Soundness guard for the canonical key: concurrent Enqueue(10)
+        // and Enqueue(20) followed by dequeues observing 20 first. Only
+        // the enq(20)-before-enq(10) linearization matches, and the
+        // search tries the failing enq(10)-first order before it — a key
+        // that collapsed the two enqueue orders would memo the failure
+        // and wrongly reject the history.
+        use crate::oracle::ReplayOracle;
+        use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+        use lineup_collections::registry::Variant;
+        let m = Monitor::new(ReplayOracle::new(
+            Arc::new(ConcurrentQueueTarget {
+                variant: Variant::Fixed,
+            }),
+            Vec::new(),
+        ));
+        let mut h = History::new(2);
+        let e10 = h.push_call(0, Invocation::with_int("Enqueue", 10));
+        let e20 = h.push_call(1, Invocation::with_int("Enqueue", 20));
+        h.push_return(e10, Value::Unit);
+        h.push_return(e20, Value::Unit);
+        let d1 = h.push_call(0, inv("TryDequeue"));
+        h.push_return(d1, Value::some(Value::Int(20)));
+        let d2 = h.push_call(0, inv("TryDequeue"));
+        h.push_return(d2, Value::some(Value::Int(10)));
+        assert!(m.check_full(&h, &[]), "20-first is a valid linearization");
     }
 
     #[test]

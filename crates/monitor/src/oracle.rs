@@ -61,6 +61,29 @@ pub trait SeqOracle: Send + Sync {
         let _ = thread;
         self.step(state, invocation)
     }
+
+    /// Derives a *canonical* memo key for `state`, given the `universe` of
+    /// operations the current search draws from, or `None` to memoize on
+    /// the state itself (the default).
+    ///
+    /// The linearization search in [`Monitor`](crate::Monitor) memoizes
+    /// failed configurations by `(linearized set, oracle state)`, which is
+    /// only as coarse as the state's equality. A [`ReplayOracle`] state is
+    /// the whole trace performed so far, so two different orders of the
+    /// same operations never compare equal and the memo never fires.
+    /// Overriding this hook lets such an oracle collapse states that are
+    /// *behaviorally* equivalent for the remainder of the search.
+    ///
+    /// Soundness contract: two states may map to equal keys only if they
+    /// step identically (same [`StepResult`], with successor states again
+    /// mapping to equal keys) on every operation sequence drawn from
+    /// `universe` that extends them in per-thread program order. `universe`
+    /// lists every operation the search may perform, in thread-major
+    /// program order; `state` must be a subsequence of it.
+    fn canonical_key(&self, state: &Self::State, universe: &[TracedOp]) -> Option<Vec<u32>> {
+        let _ = (state, universe);
+        None
+    }
 }
 
 /// A [`SeqOracle`] defined by an initial state and a step closure — handy
@@ -103,8 +126,10 @@ where
     }
 }
 
-/// A traced operation: the performing test thread and its invocation.
-type TracedOp = (usize, Invocation);
+/// A traced operation: the performing test thread and its invocation —
+/// the alphabet of [`ReplayOracle`] states and of the `universe` handed to
+/// [`SeqOracle::canonical_key`].
+pub type TracedOp = (usize, Invocation);
 
 /// The memoized outcome of one invocation sequence.
 #[derive(Debug, Clone)]
@@ -128,18 +153,36 @@ enum CachedStep {
 /// per-thread pools); Line-Up's phase 1 preserves it the same way.
 ///
 /// Step results are memoized per trace, shared across threads. The state
-/// is "just" the trace, so two traces only share oracle work when they are
-/// equal — the memoized linearization search in [`Monitor`](crate::Monitor)
-/// does exactly that, and the P-compositional partitioning multiplies the
-/// sharing by shrinking the traces. Each probe enumerates the serial
-/// schedules of its trace matrix, so the per-step cost grows with the
-/// trace's interleaving count — fine for the small matrices Line-Up tests
-/// are made of, and amortized by the cache.
+/// is "just" the trace, so trace equality alone would make the
+/// linearization memo in [`Monitor`](crate::Monitor) useless (two orders
+/// of the same operations never compare equal); the oracle therefore
+/// implements [`SeqOracle::canonical_key`] with a *suffix signature* that
+/// collapses traces the universe's serial executions cannot tell apart.
+/// Each probe enumerates the serial schedules of its trace matrix, so the
+/// per-step cost grows with the trace's interleaving count — fine for the
+/// small matrices Line-Up tests are made of, and amortized by the cache.
 pub struct ReplayOracle {
     target: Arc<dyn ErasedTarget + Send + Sync>,
     init: Vec<Invocation>,
     cache: Mutex<HashMap<Vec<TracedOp>, CachedStep>>,
+    universes: Mutex<HashMap<Vec<TracedOp>, Option<Arc<UniverseSpec>>>>,
 }
+
+/// The pre-enumerated serial behavior of one search universe: every serial
+/// execution of the universe's matrix, stored as the per-position
+/// performing thread and outcome (`None` marks the pending operation a
+/// stuck execution ends with). The suffixes of these rows below a trace
+/// are its behavioral signature — see [`ReplayOracle::canonical_key`] —
+/// and the interner gives each distinct suffix a stable small id.
+struct UniverseSpec {
+    rows: Vec<(Vec<usize>, Vec<Option<Value>>)>,
+    interner: Mutex<HashMap<RowSuffix, u32>>,
+}
+
+/// One row suffix: the (thread, outcome) tail of a serial execution below
+/// some trace prefix. `None` outcomes mark the pending final operation of
+/// a stuck execution.
+type RowSuffix = Vec<(usize, Option<Value>)>;
 
 impl std::fmt::Debug for ReplayOracle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -159,6 +202,7 @@ impl ReplayOracle {
             target,
             init,
             cache: Mutex::new(HashMap::new()),
+            universes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -231,6 +275,53 @@ impl ReplayOracle {
         }
     }
 
+    /// The serial executions of the universe's matrix, synthesized once
+    /// per distinct universe and shared by every signature computation.
+    /// `None` when the serial enumeration was truncated by a panic — an
+    /// incomplete row set would under-approximate the signatures, so
+    /// canonicalization is declined outright for that universe.
+    fn universe_spec(&self, universe: &[TracedOp]) -> Option<Arc<UniverseSpec>> {
+        if let Some(cached) = self.universes.lock().unwrap().get(universe) {
+            return cached.clone();
+        }
+        let width = 1 + universe.iter().map(|(t, _)| *t).max().unwrap_or(0);
+        let mut columns: Vec<Vec<Invocation>> = vec![Vec::new(); width];
+        for (t, inv) in universe {
+            columns[*t].push(inv.clone());
+        }
+        let matrix = TestMatrix::from_columns(columns).with_init(self.init.clone());
+        let (set, _, violation) = self.target.synthesize_spec(&matrix);
+        let spec = if violation.is_some() {
+            None
+        } else {
+            let rows = set
+                .iter()
+                .map(|h| {
+                    (
+                        h.ops.iter().map(|op| op.thread).collect::<Vec<_>>(),
+                        h.ops
+                            .iter()
+                            .map(|op| match &op.outcome {
+                                Outcome::Returned(v) => Some(v.clone()),
+                                Outcome::Pending => None,
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            Some(Arc::new(UniverseSpec {
+                rows,
+                interner: Mutex::new(HashMap::new()),
+            }))
+        };
+        self.universes
+            .lock()
+            .unwrap()
+            .entry(universe.to_vec())
+            .or_insert(spec)
+            .clone()
+    }
+
     fn step_traced(&self, state: &[TracedOp], op: TracedOp) -> StepResult<Vec<TracedOp>> {
         let mut sequence = state.to_vec();
         sequence.push(op);
@@ -282,6 +373,39 @@ impl SeqOracle for ReplayOracle {
         invocation: &Invocation,
     ) -> StepResult<Vec<TracedOp>> {
         self.step_traced(state, (thread, invocation.clone()))
+    }
+
+    /// The *suffix signature* of the trace: the set of ways the universe's
+    /// serial executions continue below it. Two traces over the same
+    /// operation set with equal signatures step identically on every
+    /// remaining operation — the outcome of appending `op` is read off the
+    /// rows extending the trace (operations not yet invoked cannot affect
+    /// earlier outcomes, the same argument [`probe`](ReplayOracle) rests
+    /// on) — so collapsing them in the memo is sound, while traces whose
+    /// operation *order* matters (say, two enqueues observed by a later
+    /// dequeue) keep distinct signatures. Suffixes record `(thread,
+    /// outcome)` only: under a fixed linearized set, per-thread program
+    /// order pins which invocation each entry denotes.
+    fn canonical_key(&self, state: &Vec<TracedOp>, universe: &[TracedOp]) -> Option<Vec<u32>> {
+        let spec = self.universe_spec(universe)?;
+        let threads: Vec<usize> = state.iter().map(|(t, _)| *t).collect();
+        let mut ids: Vec<u32> = Vec::new();
+        for (row_threads, row_outcomes) in &spec.rows {
+            if row_threads.len() < threads.len() || row_threads[..threads.len()] != threads[..] {
+                continue;
+            }
+            let suffix: RowSuffix = row_threads[threads.len()..]
+                .iter()
+                .copied()
+                .zip(row_outcomes[threads.len()..].iter().cloned())
+                .collect();
+            let mut interner = spec.interner.lock().unwrap();
+            let next = interner.len() as u32;
+            ids.push(*interner.entry(suffix).or_insert(next));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
     }
 }
 
@@ -349,6 +473,47 @@ mod tests {
             panic!("get returns");
         };
         assert_eq!(v, Value::Int(2), "init sequence ran before the trace");
+    }
+
+    #[test]
+    fn canonical_key_collapses_commuting_orders() {
+        // Two incs on different threads: either order leaves the counter
+        // in the same abstract state, so the suffix signatures (and hence
+        // the memo keys) must coincide.
+        let o = counter_oracle();
+        let universe: Vec<TracedOp> = vec![
+            (0, Invocation::new("inc")),
+            (0, Invocation::new("get")),
+            (1, Invocation::new("inc")),
+        ];
+        let t1 = vec![(0, Invocation::new("inc")), (1, Invocation::new("inc"))];
+        let t2 = vec![(1, Invocation::new("inc")), (0, Invocation::new("inc"))];
+        let k1 = o.canonical_key(&t1, &universe).expect("spec synthesized");
+        let k2 = o.canonical_key(&t2, &universe).expect("spec synthesized");
+        assert_eq!(k1, k2, "inc orders are behaviorally equivalent");
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_order_sensitive_states() {
+        use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
+        use lineup_collections::registry::Variant;
+        let o = ReplayOracle::new(
+            Arc::new(ConcurrentQueueTarget {
+                variant: Variant::Fixed,
+            }),
+            Vec::new(),
+        );
+        let enq = |v| Invocation::with_int("Enqueue", v);
+        let universe: Vec<TracedOp> = vec![
+            (0, enq(10)),
+            (0, Invocation::new("TryDequeue")),
+            (1, enq(20)),
+        ];
+        let t1 = vec![(0, enq(10)), (1, enq(20))];
+        let t2 = vec![(1, enq(20)), (0, enq(10))];
+        let k1 = o.canonical_key(&t1, &universe).expect("spec synthesized");
+        let k2 = o.canonical_key(&t2, &universe).expect("spec synthesized");
+        assert_ne!(k1, k2, "the later dequeue observes the enqueue order");
     }
 
     #[test]

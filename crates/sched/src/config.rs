@@ -1,5 +1,57 @@
 //! Exploration configuration.
 
+/// How virtual threads are executed by [`explore`](crate::explore).
+///
+/// The backend decides what a baton *handoff* physically is; the schedule
+/// *point* (step accounting, POR footprint settlement, enabled-set and
+/// livelock checks, strategy consultation, decision recording) is backend-
+/// independent, so schedules, histories, sleep sets, and frontier
+/// partitions are byte-identical across backends
+/// (`tests/backend_equivalence.rs` asserts this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One pooled OS thread per virtual thread; handoffs park/unpark
+    /// through a [`WakeSlot`](crate::runtime) one-token parker. Works on
+    /// every platform and is mandatory for [native](crate::native)
+    /// passthrough mode, where blocking must block a real thread.
+    OsThreads,
+    /// Stackful coroutines on the exploring OS thread (see the
+    /// [`fiber`](crate::fiber) module): a handoff is a direct userspace
+    /// stack switch — no park/unpark, no kernel transition. Falls back to
+    /// [`Backend::OsThreads`] on unsupported targets (anything other than
+    /// x86_64 Linux, or when the `fibers` cargo feature is disabled).
+    Fibers,
+}
+
+impl Backend {
+    /// The preferred backend for this build: [`Backend::Fibers`] where the
+    /// fiber context switch is implemented (x86_64 Linux with the `fibers`
+    /// feature, the default), else [`Backend::OsThreads`].
+    pub fn default_backend() -> Backend {
+        if crate::fiber::supported() {
+            Backend::Fibers
+        } else {
+            Backend::OsThreads
+        }
+    }
+
+    /// The backend actually used: a [`Backend::Fibers`] request degrades
+    /// to [`Backend::OsThreads`] on targets without fiber support, so a
+    /// `Config` serialized on one machine stays valid on another.
+    pub fn effective(self) -> Backend {
+        match self {
+            Backend::Fibers if crate::fiber::supported() => Backend::Fibers,
+            _ => Backend::OsThreads,
+        }
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::default_backend()
+    }
+}
+
 /// How context switches are constrained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -126,6 +178,19 @@ pub struct Config {
     /// `tests/handoff_equivalence.rs` asserts by comparing explorations
     /// with the knob on and off.
     pub fast_path: bool,
+    /// Execution backend for the virtual threads (see [`Backend`]).
+    /// Defaults to [`Backend::default_backend`]: fibers where supported,
+    /// OS threads elsewhere. Purely a mechanism choice — explorations are
+    /// byte-identical across backends.
+    pub backend: Backend,
+    /// Usable stack size (bytes) of each fiber when
+    /// [`backend`](Config::backend) is [`Backend::Fibers`]; rounded up to
+    /// a page, with one guard page added below on targets with mmap.
+    /// `None` uses [`Config::DEFAULT_FIBER_STACK`]. Exceeding the limit at
+    /// a schedule point aborts the run with a clear diagnostic (reported
+    /// as a panicked run); blowing past it *between* schedule points hits
+    /// the guard page.
+    pub fiber_stack_size: Option<usize>,
 }
 
 impl Config {
@@ -135,6 +200,12 @@ impl Config {
     /// serial frontier enumeration stays a negligible fraction of the
     /// exploration.
     pub const DEFAULT_SPLIT_DEPTH: usize = 4;
+
+    /// Default usable fiber stack size (see [`Config::fiber_stack_size`]):
+    /// 1 MiB, comfortably above what instrumented collection operations
+    /// need even in debug builds, while a few fibers per exploration keep
+    /// total reservation negligible.
+    pub const DEFAULT_FIBER_STACK: usize = 1 << 20;
 
     /// Exhaustive, unbounded concurrent exploration.
     pub fn exhaustive() -> Self {
@@ -150,6 +221,8 @@ impl Config {
             split_depth: None,
             por: true,
             fast_path: true,
+            backend: Backend::default_backend(),
+            fiber_stack_size: None,
         }
     }
 
@@ -257,6 +330,27 @@ impl Config {
     pub fn with_fast_path(mut self, fast_path: bool) -> Self {
         self.fast_path = fast_path;
         self
+    }
+
+    /// Sets [`Config::backend`], builder style. A [`Backend::Fibers`]
+    /// request degrades to OS threads on unsupported targets (see
+    /// [`Backend::effective`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets [`Config::fiber_stack_size`], builder style (bytes of usable
+    /// stack per fiber; only read by the fiber backend).
+    pub fn with_fiber_stack_size(mut self, bytes: usize) -> Self {
+        self.fiber_stack_size = Some(bytes);
+        self
+    }
+
+    /// The usable fiber stack size in effect (see
+    /// [`Config::fiber_stack_size`]).
+    pub fn effective_fiber_stack(&self) -> usize {
+        self.fiber_stack_size.unwrap_or(Self::DEFAULT_FIBER_STACK)
     }
 
     /// Whether partial-order reduction is actually applied: it requires
@@ -380,5 +474,27 @@ mod tests {
         );
         assert!(!Config::random(1, 10).effective_por());
         assert!(!Config::pct(1, 3, 10).effective_por());
+    }
+
+    #[test]
+    fn backend_defaults_and_builders() {
+        let c = Config::exhaustive();
+        assert_eq!(c.backend, Backend::default_backend());
+        assert_eq!(c.effective_fiber_stack(), Config::DEFAULT_FIBER_STACK);
+        let c = c
+            .with_backend(Backend::OsThreads)
+            .with_fiber_stack_size(64 * 1024);
+        assert_eq!(c.backend, Backend::OsThreads);
+        assert_eq!(c.effective_fiber_stack(), 64 * 1024);
+        // OS threads are always effective; a fiber request degrades to OS
+        // threads exactly when the target lacks support.
+        assert_eq!(Backend::OsThreads.effective(), Backend::OsThreads);
+        if crate::fiber::supported() {
+            assert_eq!(Backend::Fibers.effective(), Backend::Fibers);
+            assert_eq!(Backend::default_backend(), Backend::Fibers);
+        } else {
+            assert_eq!(Backend::Fibers.effective(), Backend::OsThreads);
+            assert_eq!(Backend::default_backend(), Backend::OsThreads);
+        }
     }
 }

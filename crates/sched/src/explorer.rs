@@ -10,8 +10,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::config::{Config, StrategyKind};
+use crate::config::{Backend, Config, StrategyKind};
 use crate::events::AccessEvent;
+use crate::fiber::FiberRt;
 use crate::ids::ThreadId;
 use crate::runtime::{
     clear_tls, finish_run_wakeups, handle_user_panic, run_virtual_thread, set_tls, take_handoff,
@@ -411,6 +412,17 @@ pub fn explore(
     // its schedule/decision/POR buffers and wakeup slots) via
     // `RtState::reset` instead of reallocating per run.
     let shared = Arc::new(Shared::new(RtState::new(config.clone(), 0, strategy)));
+    // Execution backend: under `Backend::Fibers` every run executes
+    // entirely on this OS thread, each virtual thread on its own recycled
+    // fiber stack; the worker pool stays empty. Each (parallel) explorer
+    // owns its own fiber runtime, so `explore_parallel` composes.
+    let mut fiber_rt = match config.backend.effective() {
+        Backend::Fibers => Some(FiberRt::new(
+            Arc::clone(&shared),
+            config.effective_fiber_stack(),
+        )),
+        Backend::OsThreads => None,
+    };
     let mut buf = RunResult {
         run_index: 0,
         outcome: RunOutcome::Complete,
@@ -441,62 +453,96 @@ pub fn explore(
         }
 
         let n = ex.bodies.len();
-        pool.ensure(n);
-        let slots: Vec<Arc<WakeSlot>> = {
-            let mut st = shared.state.lock().unwrap();
-            st.init_threads(n);
-            st.slots[..n].iter().map(Arc::clone).collect()
-        };
-        for (tid, body) in ex.bodies.into_iter().enumerate() {
-            pool.dispatch(&shared, tid, Arc::clone(&slots[tid]), body);
-        }
-        // The initial scheduling decision (also detects the 0-thread
-        // case), fired after the state lock is released so the first
-        // thread cannot be woken into the lock the controller holds.
-        {
-            let mut st = shared.state.lock().unwrap();
-            if st.pick_next(false) {
-                let first = take_handoff(&mut st);
+        if let Some(rt) = fiber_rt.as_mut() {
+            {
+                let mut st = shared.state.lock().unwrap();
+                st.init_threads(n);
+            }
+            rt.begin_run(ex.bodies);
+            // The initial scheduling decision (also detects the 0-thread
+            // case). The controller keeps its own stack and switches
+            // straight into the first scheduled fiber — counted as a
+            // handoff exactly like the OS backend's initial signal.
+            let first = {
+                let mut st = shared.state.lock().unwrap();
+                if st.pick_next(false) {
+                    st.handoffs += 1;
+                    Some(st.current.expect("a thread was scheduled"))
+                } else {
+                    None
+                }
+            };
+            if let Some(first) = first {
+                // The whole run executes on this OS thread: install the
+                // runtime context the switches retarget in place, and
+                // silence the panic hook for the duration (aborted runs
+                // unwind by design, user panics are captured).
+                set_tls(Arc::clone(&shared), first, None);
+                let was_worker = IS_WORKER.with(|w| w.replace(true));
+                rt.run(first);
+                IS_WORKER.with(|w| w.set(was_worker));
+                clear_tls();
+            }
+            rt.end_run();
+        } else {
+            pool.ensure(n);
+            let slots: Vec<Arc<WakeSlot>> = {
+                let mut st = shared.state.lock().unwrap();
+                st.init_threads(n);
+                st.slots[..n].iter().map(Arc::clone).collect()
+            };
+            for (tid, body) in ex.bodies.into_iter().enumerate() {
+                pool.dispatch(&shared, tid, Arc::clone(&slots[tid]), body);
+            }
+            // The initial scheduling decision (also detects the 0-thread
+            // case), fired after the state lock is released so the first
+            // thread cannot be woken into the lock the controller holds.
+            {
+                let mut st = shared.state.lock().unwrap();
+                if st.pick_next(false) {
+                    let first = take_handoff(&mut st);
+                    drop(st);
+                    first.signal(Wake::Run);
+                } else {
+                    let teardown = finish_run_wakeups(&mut st, None);
+                    drop(st);
+                    teardown.fire(&shared);
+                }
+            }
+            // Wait for the run to end, then for every worker to go idle.
+            let waited = wait_run_over(&shared, &pool).and_then(|()| pool.wait_acks(n));
+            if let Err(message) = waited {
+                // A worker thread died mid-run: record the wreck as a
+                // panicked run, unwind every survivor, and stop the
+                // exploration (the schedule tree cannot be resumed from an
+                // unfinished run).
+                let dead = pool.dead_worker().unwrap_or(0);
+                let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                if st.run_over.is_none() {
+                    st.run_over = Some(RunOutcome::Panicked {
+                        thread: ThreadId(dead),
+                        message,
+                    });
+                }
+                st.abort = true;
+                st.current = None;
+                for slot in &st.slots {
+                    slot.force_signal(Wake::Abort);
+                }
+                buf.run_index = stats.runs;
+                buf.outcome = st.run_over.clone().expect("just set");
+                buf.steps = st.step;
+                buf.preemptions = st.preemptions;
+                buf.schedule.clear();
+                buf.decisions.clear();
+                buf.slept.clear();
+                buf.access_log.clear();
                 drop(st);
-                first.signal(Wake::Run);
-            } else {
-                let teardown = finish_run_wakeups(&mut st, None);
-                drop(st);
-                teardown.fire(&shared);
+                stats.record(&buf);
+                let _ = on_run(&buf);
+                stats.stopped_early = true;
+                break;
             }
-        }
-        // Wait for the run to end, then for every worker to go idle.
-        let waited = wait_run_over(&shared, &pool).and_then(|()| pool.wait_acks(n));
-        if let Err(message) = waited {
-            // A worker thread died mid-run: record the wreck as a panicked
-            // run, unwind every survivor, and stop the exploration (the
-            // schedule tree cannot be resumed from an unfinished run).
-            let dead = pool.dead_worker().unwrap_or(0);
-            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
-            if st.run_over.is_none() {
-                st.run_over = Some(RunOutcome::Panicked {
-                    thread: ThreadId(dead),
-                    message,
-                });
-            }
-            st.abort = true;
-            st.current = None;
-            for slot in &st.slots {
-                slot.force_signal(Wake::Abort);
-            }
-            buf.run_index = stats.runs;
-            buf.outcome = st.run_over.clone().expect("just set");
-            buf.steps = st.step;
-            buf.preemptions = st.preemptions;
-            buf.schedule.clear();
-            buf.decisions.clear();
-            buf.slept.clear();
-            buf.access_log.clear();
-            drop(st);
-            stats.record(&buf);
-            let _ = on_run(&buf);
-            stats.stopped_early = true;
-            break;
         }
 
         let mut st = shared.state.lock().unwrap();

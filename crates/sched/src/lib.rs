@@ -61,6 +61,7 @@
 pub mod config;
 pub mod events;
 pub mod explorer;
+pub mod fiber;
 pub mod ids;
 pub mod native;
 pub mod por;
@@ -69,7 +70,7 @@ pub mod runtime;
 pub mod state;
 pub mod strategy;
 
-pub use config::{Config, Mode, StrategyKind};
+pub use config::{Backend, Config, Mode, StrategyKind};
 pub use events::{AccessEvent, AccessKind};
 pub use explorer::{
     explore, explore_parallel, split_frontier, Execution, ExploreStats, ParallelCancel, RunResult,

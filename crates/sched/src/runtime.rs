@@ -209,6 +209,21 @@ pub(crate) fn set_tls(shared: Arc<Shared>, tid: usize, slot: Option<Arc<WakeSlot
     CURRENT.with(|c| *c.borrow_mut() = Some(TlsCtx { shared, tid, slot }));
 }
 
+/// Retargets the current-thread id of an existing context. Used by the
+/// fiber backend, where every virtual thread runs on the same OS thread
+/// and each stack switch must move the TLS identity with the baton (the
+/// non-switching instrumentation — [`log_access`], [`current_thread`],
+/// [`register_object`], [`unblock`] — reads it).
+#[cfg(all(feature = "fibers", target_arch = "x86_64", target_os = "linux"))]
+pub(crate) fn set_tls_tid(tid: usize) {
+    CURRENT.with(|c| {
+        c.borrow_mut()
+            .as_mut()
+            .expect("fiber runs install a context before switching")
+            .tid = tid;
+    });
+}
+
 pub(crate) fn clear_tls() {
     CURRENT.with(|c| *c.borrow_mut() = None);
 }
@@ -344,7 +359,94 @@ pub(crate) fn finish_run_wakeups(st: &mut RtState, me: Option<usize>) -> RunTear
     RunTeardown { abort }
 }
 
+/// The schedule point under the fiber backend. The *point* is the same
+/// code path as the OS-thread version below — pending declaration,
+/// point/step accounting, `pick_next` with all its POR and livelock
+/// bookkeeping, fast-path check, handoff counting — only the handoff
+/// itself differs: a userspace stack switch instead of a slot
+/// signal/park pair. Holding no `RefCell` borrow and no state-lock guard
+/// across the switch is load-bearing: the resumed fiber runs on the same
+/// OS thread and takes both again.
+fn fiber_schedule_point(
+    rt: *mut crate::fiber::FiberRt,
+    tid: usize,
+    kind: Option<AccessKind>,
+    pending: Pending,
+) {
+    crate::fiber::check_stack(rt, tid);
+    let shared = unsafe { crate::fiber::shared_of(rt) };
+    let mut st = shared.state.lock().unwrap();
+    st.set_pending(tid, pending);
+    st.note_point(tid, kind);
+    let after_yield = kind == Some(AccessKind::Yield);
+    if !st.pick_next(after_yield) {
+        // Run ended. No slots to tear down — no OS thread is parked; the
+        // started fibers are unwound by the controller, which the abort
+        // unwind below switches back to (see `fiber_entry`).
+        drop(st);
+        std::panic::panic_any(Abort);
+    }
+    if st.current == Some(tid) && st.config.fast_path {
+        st.fast_path_steps += 1;
+        return;
+    }
+    st.handoffs += 1;
+    let next = st.current.expect("a thread was scheduled");
+    drop(st);
+    match unsafe { crate::fiber::fiber_handoff(rt, tid, next) } {
+        Wake::Run => {}
+        Wake::Abort => std::panic::panic_any(Abort),
+    }
+}
+
+/// [`block_current`] under the fiber backend; see [`fiber_schedule_point`].
+fn fiber_block_current(rt: *mut crate::fiber::FiberRt, tid: usize, kind: BlockKind) -> BlockResult {
+    crate::fiber::check_stack(rt, tid);
+    let shared = unsafe { crate::fiber::shared_of(rt) };
+    let mut st = shared.state.lock().unwrap();
+    st.threads[tid].timed_fired = false;
+    st.set_pending(
+        tid,
+        match kind {
+            BlockKind::Untimed => Pending::NoObj,
+            BlockKind::Timed => Pending::Unknown,
+        },
+    );
+    st.set_status(tid, Status::Blocked(kind));
+    if !st.pick_next(false) {
+        drop(st);
+        std::panic::panic_any(Abort);
+    }
+    if st.current == Some(tid) && st.config.fast_path {
+        st.fast_path_steps += 1;
+        let fired = st.threads[tid].timed_fired;
+        st.threads[tid].timed_fired = false;
+        return if fired {
+            BlockResult::TimedOut
+        } else {
+            BlockResult::Resumed
+        };
+    }
+    st.handoffs += 1;
+    let next = st.current.expect("a thread was scheduled");
+    drop(st);
+    match unsafe { crate::fiber::fiber_handoff(rt, tid, next) } {
+        Wake::Run => {}
+        Wake::Abort => std::panic::panic_any(Abort),
+    }
+    let mut st = shared.state.lock().unwrap();
+    if st.threads[tid].timed_fired {
+        st.threads[tid].timed_fired = false;
+        BlockResult::TimedOut
+    } else {
+        BlockResult::Resumed
+    }
+}
+
 fn schedule_point(kind: Option<AccessKind>, pending: Pending) {
+    if let Some((rt, tid)) = crate::fiber::fiber_ctx() {
+        return fiber_schedule_point(rt, tid, kind, pending);
+    }
     let modelled = with_parking_ctx(|shared, tid, slot| {
         let mut st = shared.state.lock().unwrap();
         st.set_pending(tid, pending);
@@ -487,6 +589,9 @@ pub enum BlockResult {
 /// thread — is not supported; use the model checker or a native-mode
 /// stress run to explore blocking behavior.)
 pub fn block_current(kind: BlockKind) -> BlockResult {
+    if let Some((rt, tid)) = crate::fiber::fiber_ctx() {
+        return fiber_block_current(rt, tid, kind);
+    }
     with_parking_ctx(|shared, tid, slot| {
         let mut st = shared.state.lock().unwrap();
         st.threads[tid].timed_fired = false;
@@ -627,15 +732,21 @@ pub(crate) fn run_virtual_thread(
     // Whether or not the run ended, this thread simply returns.
 }
 
-/// Handles a user panic on a virtual thread: records it and aborts the run.
-pub(crate) fn handle_user_panic(shared: &Arc<Shared>, tid: usize, payload: &dyn std::any::Any) {
-    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+/// Extracts the human-readable message of a user panic payload. Shared
+/// between the worker pool's panic handling and the fiber backend's.
+pub(crate) fn panic_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
         "<non-string panic payload>".to_string()
-    };
+    }
+}
+
+/// Handles a user panic on a virtual thread: records it and aborts the run.
+pub(crate) fn handle_user_panic(shared: &Arc<Shared>, tid: usize, payload: &dyn std::any::Any) {
+    let message = panic_message(payload);
     let mut st = shared.state.lock().unwrap();
     st.set_status(tid, Status::Finished);
     if st.run_over.is_none() {

@@ -1,0 +1,123 @@
+//! Fiber stack safety (ISSUE acceptance): a virtual thread that recurses
+//! past its fiber stack is stopped *by the checker* with an actionable
+//! diagnostic — at a schedule point, long before the guard page — and the
+//! stack size is configurable through [`Config::with_fiber_stack_size`],
+//! so the same program completes on a larger stack.
+
+use std::ops::ControlFlow;
+
+use lineup_sched::{explore, fiber, op_boundary, Backend, Config, RunOutcome};
+
+/// Burns ~`PAD` bytes of fiber stack per level, touching a schedule point
+/// at every step so the red-zone check sees the depth grow.
+#[inline(never)]
+fn recurse(depth: usize) -> u8 {
+    const PAD: usize = 4096;
+    let pad = [depth as u8; PAD];
+    let pad = std::hint::black_box(pad);
+    op_boundary();
+    if depth == 0 {
+        return pad[0];
+    }
+    recurse(depth - 1).wrapping_add(std::hint::black_box(pad[PAD - 1]))
+}
+
+#[test]
+fn deep_recursion_hits_the_stack_limit_with_a_clear_diagnostic() {
+    if !fiber::supported() {
+        return; // no fiber backend on this target; nothing to overflow
+    }
+    // 16 levels × ~4 KiB ≫ what a 64 KiB stack can hold once the 32 KiB
+    // red zone is reserved.
+    let config = Config::exhaustive()
+        .with_max_runs(1)
+        .with_backend(Backend::Fibers)
+        .with_fiber_stack_size(64 * 1024);
+    let mut outcomes = Vec::new();
+    explore(
+        &config,
+        |ex| {
+            ex.spawn(|| {
+                recurse(16);
+            });
+        },
+        |run| {
+            outcomes.push(run.outcome.clone());
+            ControlFlow::Continue(())
+        },
+    );
+    assert_eq!(outcomes.len(), 1);
+    let RunOutcome::Panicked { message, .. } = &outcomes[0] else {
+        panic!("expected a stack-overflow panic, got {:?}", outcomes[0]);
+    };
+    assert!(
+        message.contains("fiber stack overflow"),
+        "diagnostic names the failure: {message}"
+    );
+    assert!(
+        message.contains("Config::fiber_stack_size"),
+        "diagnostic names the remedy: {message}"
+    );
+}
+
+#[test]
+fn larger_configured_stack_lets_the_same_recursion_complete() {
+    if !fiber::supported() {
+        return;
+    }
+    let config = Config::exhaustive()
+        .with_max_runs(1)
+        .with_backend(Backend::Fibers)
+        .with_fiber_stack_size(4 * 1024 * 1024);
+    let stats = explore(
+        &config,
+        |ex| {
+            ex.spawn(|| {
+                recurse(16);
+            });
+        },
+        |run| {
+            assert_eq!(run.outcome, RunOutcome::Complete, "fits in 4 MiB");
+            ControlFlow::Continue(())
+        },
+    );
+    assert_eq!(stats.runs, 1);
+    assert_eq!(stats.panicked, 0);
+}
+
+#[test]
+fn overflow_on_one_run_does_not_poison_the_next() {
+    if !fiber::supported() {
+        return;
+    }
+    // Two threads, one of which overflows: the exploration keeps going —
+    // the overflowing run is reported as panicked, the fiber and its
+    // recycled stack stay usable, and every schedule is still visited.
+    // (POR off: these boundary-only threads are independent, so POR would
+    // correctly collapse the exploration to a single schedule.)
+    let config = Config::exhaustive()
+        .with_por(false)
+        .with_backend(Backend::Fibers)
+        .with_fiber_stack_size(64 * 1024);
+    let mut panicked = 0u64;
+    let stats = explore(
+        &config,
+        |ex| {
+            ex.spawn(|| {
+                recurse(16);
+            });
+            ex.spawn(|| {
+                op_boundary();
+            });
+        },
+        |run| {
+            if matches!(run.outcome, RunOutcome::Panicked { .. }) {
+                panicked += 1;
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    assert!(stats.runs > 1, "the panicking runs do not end exploration");
+    assert_eq!(stats.panicked, panicked);
+    assert!(panicked > 0, "every schedule overflows the deep thread");
+}

@@ -1,20 +1,21 @@
-//! The same-thread continuation fast path is unobservable (ISSUE
-//! acceptance): a schedule point that keeps the baton on the running
-//! thread skips only the park/unpark pair, never the decision, the
-//! recording, or the POR bookkeeping. Exploring any class with the fast
-//! path forced off ([`CheckOptions::with_fast_path`]) must therefore be
-//! *byte-identical* — same verdicts, same violation list in the same
-//! order with the same reproducing decisions, same distinct-history
-//! counts, same run and step counts — with POR on or off and under
-//! parallel exploration. The only permitted difference is the split of
-//! steps between `fast_path_steps` and `handoffs`.
+//! The fiber execution backend is unobservable (ISSUE acceptance): a
+//! handoff under [`Backend::Fibers`] is a direct userspace stack switch
+//! instead of a park/unpark pair of OS threads, but the schedule point —
+//! the decision, the recording, the POR bookkeeping — executes unchanged.
+//! Checking any class under fibers must therefore be *byte-identical* to
+//! checking it under [`Backend::OsThreads`]: same verdicts, same violation
+//! list in the same order with the same reproducing decisions, same
+//! distinct-history counts, same run, step, handoff, and fast-path
+//! counters — with POR on or off and under parallel exploration.
+//!
+//! On targets without fiber support `Backend::Fibers` degrades to OS
+//! threads and the comparisons hold trivially.
 
-use lineup::{replay_matrix, CheckOptions, TestMatrix, Violation};
+use lineup::{replay_matrix, Backend, CheckOptions, TestMatrix, Violation};
 use lineup_collections::registry::{all_classes, ClassEntry};
 
-/// Renders the full violation list, decisions included: the fast path
-/// must not change the exploration order, so unlike the POR equivalence
-/// tests no sorting or deduplication is allowed here.
+/// Renders the full violation list, decisions included: the backend must
+/// not change the exploration order, so no sorting or deduplication.
 fn rendered(violations: &[Violation]) -> Vec<String> {
     violations.iter().map(|v| format!("{v:?}")).collect()
 }
@@ -62,118 +63,126 @@ fn small(mut m: TestMatrix) -> TestMatrix {
     m
 }
 
-fn exhaustive(por: bool, fast_path: bool) -> CheckOptions {
+fn exhaustive(por: bool, backend: Backend) -> CheckOptions {
     CheckOptions::new()
         .with_preemption_bound(None)
         .with_por(por)
-        .with_fast_path(fast_path)
+        .with_backend(backend)
         .collect_all_violations()
 }
 
-/// Asserts the byte-identity contract between a fast-path and a
-/// forced-slow-path report of the same check.
-fn assert_identical(name: &str, fast: &lineup::CheckReport, slow: &lineup::CheckReport) {
+/// Asserts the byte-identity contract between a fiber-backed and an
+/// OS-thread-backed report of the same check. Unlike the fast-path
+/// equivalence suite, *every* counter must match — the fiber backend
+/// changes how a handoff is performed, never whether one happens.
+fn assert_identical(name: &str, fib: &lineup::CheckReport, os: &lineup::CheckReport) {
     assert_eq!(
-        fast.passed(),
-        slow.passed(),
-        "{name}: verdict must not change with the fast path off"
+        fib.passed(),
+        os.passed(),
+        "{name}: verdict must not depend on the backend"
     );
     assert_eq!(
-        rendered(&fast.violations),
-        rendered(&slow.violations),
+        rendered(&fib.violations),
+        rendered(&os.violations),
         "{name}: violation lists (order and decisions included) must be byte-identical"
     );
     assert_eq!(
-        fast.phase2.full_histories, slow.phase2.full_histories,
+        fib.phase2.full_histories, os.phase2.full_histories,
         "{name}: distinct full histories must match"
     );
     assert_eq!(
-        fast.phase2.stuck_histories, slow.phase2.stuck_histories,
+        fib.phase2.stuck_histories, os.phase2.stuck_histories,
         "{name}: distinct stuck histories must match"
     );
     assert_eq!(
-        fast.phase2.runs, slow.phase2.runs,
+        fib.phase2.runs, os.phase2.runs,
         "{name}: run counts must match"
     );
     assert_eq!(
-        fast.phase2.sleep_prunes, slow.phase2.sleep_prunes,
+        fib.phase2.sleep_prunes, os.phase2.sleep_prunes,
         "{name}: sleep-set prunes must match"
     );
     assert_eq!(
-        fast.phase2.total_steps, slow.phase2.total_steps,
-        "{name}: the fast path skips handoffs, never schedule points"
+        fib.phase2.total_steps, os.phase2.total_steps,
+        "{name}: step counts must match"
     );
     assert_eq!(
-        slow.phase2.fast_path_steps, 0,
-        "{name}: the knob must force every step through a handoff"
+        fib.phase2.handoffs, os.phase2.handoffs,
+        "{name}: a fiber handoff is counted exactly like an OS one"
     );
     assert_eq!(
-        slow.phase2.handoffs,
-        fast.phase2.handoffs + fast.phase2.fast_path_steps,
-        "{name}: every skipped handoff reappears when the knob is off"
+        fib.phase2.fast_path_steps, os.phase2.fast_path_steps,
+        "{name}: the same-thread fast path fires at the same points"
     );
 }
 
 #[test]
-fn fast_path_off_is_byte_identical_on_every_class() {
+fn fiber_backend_is_byte_identical_on_every_class() {
     let all = all_classes();
     for entry in &all {
         let matrix = small(matrix_for(entry, &all));
-        eprintln!("checking {} (fast path on)...", entry.name);
-        let fast = entry.target().check(&matrix, &exhaustive(false, true));
+        eprintln!("checking {} (fibers)...", entry.name);
+        let fib = entry
+            .target()
+            .check(&matrix, &exhaustive(false, Backend::Fibers));
         eprintln!(
-            "  runs={} fast_path_steps={} handoffs={}",
-            fast.phase2.runs, fast.phase2.fast_path_steps, fast.phase2.handoffs
+            "  runs={} handoffs={} fast={}",
+            fib.phase2.runs, fib.phase2.handoffs, fib.phase2.fast_path_steps
         );
-        let slow = entry.target().check(&matrix, &exhaustive(false, false));
-        assert_identical(entry.name, &fast, &slow);
+        let os = entry
+            .target()
+            .check(&matrix, &exhaustive(false, Backend::OsThreads));
+        assert_identical(entry.name, &fib, &os);
     }
 }
 
 #[test]
-fn fast_path_equivalence_holds_under_por() {
+fn backend_equivalence_holds_under_por() {
     // POR settles footprints and consults sleep sets at every schedule
-    // point; the fast path must leave all of that in place, so the
-    // reduced explorations must also be byte-identical.
+    // point; the fiber switch must leave all of that in place.
     let all = all_classes();
     let mut checked = 0;
     for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
         let matrix = small(matrix_for(entry, &all));
-        let fast = entry.target().check(&matrix, &exhaustive(true, true));
-        let slow = entry.target().check(&matrix, &exhaustive(true, false));
-        assert_identical(entry.name, &fast, &slow);
+        let fib = entry
+            .target()
+            .check(&matrix, &exhaustive(true, Backend::Fibers));
+        let os = entry
+            .target()
+            .check(&matrix, &exhaustive(true, Backend::OsThreads));
+        assert_identical(entry.name, &fib, &os);
         checked += 1;
     }
     assert!(checked >= 5, "expected the seeded variants, got {checked}");
 }
 
 #[test]
-fn fast_path_equivalence_holds_under_two_workers() {
-    // Parallel exploration adds the frontier enumeration and the
-    // per-subtree prefix replays; both must partition the tree the same
-    // way regardless of the fast path.
+fn backend_equivalence_holds_under_two_workers() {
+    // Each parallel worker owns a fiber pool; the frontier enumeration
+    // and the per-subtree prefix replays must partition the tree the same
+    // way on either backend.
     let all = all_classes();
     let mut checked = 0;
     for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
         let matrix = small(matrix_for(entry, &all));
         // Probe disabled so the frontier machinery is exercised even on
         // matrices below the auto-serial threshold.
-        let fast = entry.target().check(
+        let fib = entry.target().check(
             &matrix,
-            &exhaustive(true, true)
+            &exhaustive(true, Backend::Fibers)
                 .with_workers(2)
                 .with_parallel_probe_runs(0),
         );
-        let slow = entry.target().check(
+        let os = entry.target().check(
             &matrix,
-            &exhaustive(true, false)
+            &exhaustive(true, Backend::OsThreads)
                 .with_workers(2)
                 .with_parallel_probe_runs(0),
         );
-        assert_identical(entry.name, &fast, &slow);
+        assert_identical(entry.name, &fib, &os);
         assert_eq!(
-            fast.phase2.frontier_replays, slow.phase2.frontier_replays,
-            "{}: frontier partitioning must not depend on the fast path",
+            fib.phase2.frontier_replays, os.phase2.frontier_replays,
+            "{}: frontier partitioning must not depend on the backend",
             entry.name
         );
         checked += 1;
@@ -182,11 +191,10 @@ fn fast_path_equivalence_holds_under_two_workers() {
 }
 
 #[test]
-fn recorded_violations_replay_identically_under_either_mode() {
-    // A schedule recorded with the fast path on must replay to the same
-    // history whether or not the replaying exploration uses the fast
-    // path — the decision indexes refer to schedule points, which the
-    // fast path never elides.
+fn violations_recorded_on_one_backend_replay_on_the_other() {
+    // The recorded decision indexes refer to schedule points, which both
+    // backends visit identically — so a schedule recorded under fibers
+    // replays under OS threads and vice versa.
     use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
     use lineup_collections::registry::Variant;
 
@@ -200,16 +208,24 @@ fn recorded_violations_replay_identically_under_either_mode() {
         .expect("registry has the seeded queue");
     let matrix = entry.regression_matrix().expect("regression matrix");
     let opts = CheckOptions::new().with_preemption_bound(None);
-    let fast = lineup::check(&target, &matrix, &opts);
-    let slow = lineup::check(&target, &matrix, &opts.clone().with_fast_path(false));
-    assert!(!fast.passed() && !slow.passed(), "the seeded bug is found");
+    let fib = lineup::check(
+        &target,
+        &matrix,
+        &opts.clone().with_backend(Backend::Fibers),
+    );
+    let os = lineup::check(
+        &target,
+        &matrix,
+        &opts.clone().with_backend(Backend::OsThreads),
+    );
+    assert!(!fib.passed() && !os.passed(), "the seeded bug is found");
     let (
         Some(Violation::NoWitness { history, decisions }),
         Some(Violation::NoWitness {
             history: h2,
             decisions: d2,
         }),
-    ) = (fast.first_violation(), slow.first_violation())
+    ) = (fib.first_violation(), os.first_violation())
     else {
         panic!("expected no-witness violations");
     };

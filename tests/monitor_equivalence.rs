@@ -112,7 +112,10 @@ fn monitor_backend_agrees_with_parallel_exploration() {
         .collect_all_violations()
         .with_monitor_backend(monitor_backend(entry.target_arc(), &matrix));
     let serial = entry.target().check(&matrix, &opts);
-    let par = entry.target().check(&matrix, &opts.clone().with_workers(4));
+    let par = entry.target().check(
+        &matrix,
+        &opts.clone().with_workers(4).with_parallel_probe_runs(0),
+    );
     assert!(!serial.passed());
     assert_eq!(
         violation_keys(&serial.violations),

@@ -46,9 +46,12 @@ fn parallel_first_violation_matches_serial_on_pre_variants() {
             entry.name
         );
         for workers in [2, 4] {
-            let par = entry
-                .target()
-                .check(&matrix, &CheckOptions::new().with_workers(workers));
+            let par = entry.target().check(
+                &matrix,
+                &CheckOptions::new()
+                    .with_workers(workers)
+                    .with_parallel_probe_runs(0),
+            );
             assert_eq!(
                 violation_keys(&serial.violations),
                 violation_keys(&par.violations),
@@ -77,9 +80,13 @@ fn parallel_collect_all_matches_serial_violation_set() {
     let serial = entry.target().check(&matrix, &opts);
     assert!(!serial.passed());
     for workers in [2, 4] {
-        let par = entry
-            .target()
-            .check(&matrix, &opts.clone().with_workers(workers));
+        let par = entry.target().check(
+            &matrix,
+            &opts
+                .clone()
+                .with_workers(workers)
+                .with_parallel_probe_runs(0),
+        );
         assert_eq!(
             violation_keys(&serial.violations),
             violation_keys(&par.violations),
@@ -120,7 +127,16 @@ fn run_counts_match_across_worker_counts() {
     let serial = lineup::check(&CounterTarget, &matrix, &opts);
     assert_eq!(serial.phase2.frontier_replays, 0);
     for workers in [2, 4] {
-        let par = lineup::check(&CounterTarget, &matrix, &opts.clone().with_workers(workers));
+        // Probe disabled: this 70-run space is below the auto-serial
+        // threshold, and the point here is the frontier accounting.
+        let par = lineup::check(
+            &CounterTarget,
+            &matrix,
+            &opts
+                .clone()
+                .with_workers(workers)
+                .with_parallel_probe_runs(0),
+        );
         assert_eq!(
             serial.phase2.runs, par.phase2.runs,
             "run counts are comparable at {workers} workers"
@@ -149,8 +165,11 @@ fn parallel_passes_on_a_fixed_variant() {
             lineup::Invocation::new("TryDequeue"),
         ],
     ]);
-    let report = entry
-        .target()
-        .check(&matrix, &CheckOptions::new().with_workers(4));
+    let report = entry.target().check(
+        &matrix,
+        &CheckOptions::new()
+            .with_workers(4)
+            .with_parallel_probe_runs(0),
+    );
     assert!(report.passed(), "{:?}", report.violations);
 }

@@ -174,9 +174,10 @@ fn por_matches_unreduced_under_two_workers() {
     for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
         let matrix = small(matrix_for(entry, &all));
         let plain = entry.target().check(&matrix, &exhaustive(false));
-        let reduced = entry
-            .target()
-            .check(&matrix, &exhaustive(true).with_workers(2));
+        let reduced = entry.target().check(
+            &matrix,
+            &exhaustive(true).with_workers(2).with_parallel_probe_runs(0),
+        );
         assert_eq!(plain.passed(), reduced.passed(), "{}", entry.name);
         assert_eq!(
             violation_keys(&plain.violations),
