@@ -2,11 +2,22 @@
 //! twice per regression matrix — once with the default pre-enumerated
 //! witness search, once with the `lineup-monitor` backend
 //! ([`CheckOptions::with_monitor_backend`]) — and reports verdict
-//! agreement, wall time, and the monitor's oracle statistics.
+//! agreement, wall time, and the monitor's oracle statistics. The
+//! monitor backend carries the registry's ADT-kind annotation, so its
+//! per-path counters show how many checks the specialized log-linear
+//! checkers decided versus how many fell back to Wing–Gong.
 //!
 //! ```text
-//! cargo run --release -p lineup-bench --bin monitorcmp [--json] [--out PATH]
+//! cargo run --release -p lineup-bench --bin monitorcmp \
+//!     [--json] [--out PATH] [--large] [--smoke]
 //! ```
+//!
+//! `--large` adds the scaling comparison: on unambiguous generated
+//! histories of 1k–8k operations per ADT kind, the specialized path is
+//! timed against a forced Wing–Gong monitor on the same history, with a
+//! speedup column; ambiguous and violating variants double-check that
+//! fallback and rejection agree. `--smoke` shrinks the sweep to its
+//! smallest size (for CI).
 //!
 //! Fixed classes (no regression matrix of their own) are exercised on
 //! their seeded "(Pre)" sibling's matrices, exactly like the
@@ -14,10 +25,13 @@
 
 use std::time::Instant;
 
-use lineup::{CheckOptions, TestMatrix};
+use lineup::{AdtKind, CheckOptions, FallbackReason, TestMatrix};
+use lineup_bench::histories::{
+    ambiguous_history, ideal_oracle, unambiguous_history, violating_history,
+};
 use lineup_bench::{arg_flag, arg_value, fmt_duration, TextTable};
 use lineup_collections::registry::{all_classes, ClassEntry};
-use lineup_monitor::monitor_backend;
+use lineup_monitor::{adt_monitor_backend, Monitor};
 
 struct Sample {
     class: String,
@@ -29,6 +43,24 @@ struct Sample {
     oracle_steps: u64,
     memo_hits: u64,
     cached_sequences: usize,
+    specialized_checks: u64,
+    fallback_checks: u64,
+}
+
+struct LargeSample {
+    kind: AdtKind,
+    ops: usize,
+    specialized_seconds: f64,
+    wing_gong_seconds: f64,
+    agree: bool,
+    specialized_decided: bool,
+}
+
+struct AmbiguousSample {
+    kind: AdtKind,
+    ops: usize,
+    agree: bool,
+    fell_back: bool,
 }
 
 /// The matrices to compare a class on (own regression matrices, or the
@@ -45,8 +77,117 @@ fn matrices_for(entry: &ClassEntry) -> Vec<TestMatrix> {
         .unwrap_or_default()
 }
 
+const KINDS: [AdtKind; 4] = [
+    AdtKind::Queue,
+    AdtKind::Stack,
+    AdtKind::Set,
+    AdtKind::PriorityQueue,
+];
+
+fn kind_name(kind: AdtKind) -> &'static str {
+    match kind {
+        AdtKind::Queue => "queue",
+        AdtKind::Stack => "stack",
+        AdtKind::Set => "set",
+        AdtKind::PriorityQueue => "pqueue",
+    }
+}
+
+/// Times the kind-annotated monitor against a forced Wing–Gong monitor
+/// on generated histories; returns `(large, ambiguous, ok)`.
+fn run_large(smoke: bool) -> (Vec<LargeSample>, Vec<AmbiguousSample>, bool) {
+    let sizes: &[usize] = if smoke {
+        &[1000]
+    } else {
+        &[1000, 2000, 4000, 8000]
+    };
+    let mut ok = true;
+    let mut large = Vec::new();
+    for &kind in &KINDS {
+        for (i, &n) in sizes.iter().enumerate() {
+            let h = unambiguous_history(kind, n, 41 + i as u64);
+            let spec = Monitor::new(ideal_oracle(kind)).with_adt_kind(kind);
+            let t0 = Instant::now();
+            let sv = spec.check_full(&h, &[]);
+            let specialized_seconds = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "{} n={n}: specialized {}",
+                kind_name(kind),
+                fmt_duration(std::time::Duration::from_secs_f64(specialized_seconds))
+            );
+
+            let wg = Monitor::new(ideal_oracle(kind));
+            let t0 = Instant::now();
+            let gv = wg.check_full(&h, &[]);
+            let wing_gong_seconds = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "{} n={n}: wing-gong {}",
+                kind_name(kind),
+                fmt_duration(std::time::Duration::from_secs_f64(wing_gong_seconds))
+            );
+
+            let paths = spec.stats().paths;
+            let specialized_decided = paths.specialized_checks == 1 && paths.fallback_checks == 0;
+            let agree = sv == gv && sv;
+            ok &= agree && specialized_decided;
+            large.push(LargeSample {
+                kind,
+                ops: n,
+                specialized_seconds,
+                wing_gong_seconds,
+                agree,
+                specialized_decided,
+            });
+        }
+    }
+
+    // Ambiguous variants: a provably repeated value must route the check
+    // to the Wing–Gong fallback without changing the verdict. Violating
+    // variants must reject on both paths. Both stay small — rejection
+    // and duplicate values make the reference search exhaustive.
+    let mut ambiguous = Vec::new();
+    for &kind in &KINDS {
+        let n = 200;
+        let h = ambiguous_history(kind, n, 7);
+        let spec = Monitor::new(ideal_oracle(kind)).with_adt_kind(kind);
+        let sv = spec.check_full(&h, &[]);
+        let gv = Monitor::new(ideal_oracle(kind)).check_full(&h, &[]);
+        let paths = spec.stats().paths;
+        let fell_back = paths.specialized_checks == 0
+            && paths.fallbacks_for(FallbackReason::DuplicateValue) == 1;
+        let agree = sv == gv;
+        ok &= agree && fell_back;
+        ambiguous.push(AmbiguousSample {
+            kind,
+            ops: n,
+            agree,
+            fell_back,
+        });
+
+        let vh = violating_history(kind, 1000, 11);
+        let spec = Monitor::new(ideal_oracle(kind)).with_adt_kind(kind);
+        if spec.check_full(&vh, &[]) {
+            eprintln!(
+                "{}: violating history accepted by annotated monitor",
+                kind_name(kind)
+            );
+            ok = false;
+        }
+        if Monitor::new(ideal_oracle(kind)).check_full(&vh, &[]) {
+            eprintln!(
+                "{}: violating history accepted by Wing\u{2013}Gong",
+                kind_name(kind)
+            );
+            ok = false;
+        }
+    }
+    (large, ambiguous, ok)
+}
+
 fn main() {
     let json = arg_flag("--json");
+    let do_large = arg_flag("--large");
+    let smoke = arg_flag("--smoke");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_monitorcmp.json".into());
 
     let mut samples: Vec<Sample> = Vec::new();
@@ -62,13 +203,15 @@ fn main() {
         let mut oracle_steps = 0;
         let mut memo_hits = 0;
         let mut cached_sequences = 0;
+        let mut specialized_checks = 0;
+        let mut fallback_checks = 0;
         for matrix in &matrices {
             let opts = CheckOptions::new().collect_all_violations();
             let t0 = Instant::now();
             let base = entry.target().check(matrix, &opts);
             spec_seconds += t0.elapsed().as_secs_f64();
 
-            let backend = monitor_backend(entry.target_arc(), matrix);
+            let backend = adt_monitor_backend(entry.target_arc(), matrix, entry.adt_kind);
             let mon_opts = opts.with_monitor_backend(backend.clone());
             let t0 = Instant::now();
             let mon = entry.target().check(matrix, &mon_opts);
@@ -80,6 +223,8 @@ fn main() {
             oracle_steps += stats.oracle_steps;
             memo_hits += stats.memo_hits;
             cached_sequences += backend.oracle().cached_sequences();
+            specialized_checks += stats.paths.specialized_checks;
+            fallback_checks += stats.paths.fallback_checks;
         }
         samples.push(Sample {
             class: entry.name.to_string(),
@@ -91,6 +236,8 @@ fn main() {
             oracle_steps,
             memo_hits,
             cached_sequences,
+            specialized_checks,
+            fallback_checks,
         });
     }
 
@@ -104,6 +251,8 @@ fn main() {
         "oracle steps",
         "memo hits",
         "replays",
+        "fast path",
+        "fallback",
     ]);
     let mut disagreements = 0;
     for s in &samples {
@@ -120,10 +269,57 @@ fn main() {
             s.oracle_steps.to_string(),
             s.memo_hits.to_string(),
             s.cached_sequences.to_string(),
+            s.specialized_checks.to_string(),
+            s.fallback_checks.to_string(),
         ]);
     }
     println!("Monitor backend vs SpecIndex witness search (regression matrices)");
     println!("{}", table.render());
+
+    let (large, ambiguous, large_ok) = if do_large {
+        run_large(smoke)
+    } else {
+        (Vec::new(), Vec::new(), true)
+    };
+    if do_large {
+        let mut table = TextTable::new(&[
+            "kind",
+            "ops",
+            "specialized",
+            "wing-gong",
+            "speedup",
+            "agree",
+            "fast path",
+        ]);
+        for s in &large {
+            table.row(vec![
+                kind_name(s.kind).to_string(),
+                s.ops.to_string(),
+                fmt_duration(std::time::Duration::from_secs_f64(s.specialized_seconds)),
+                fmt_duration(std::time::Duration::from_secs_f64(s.wing_gong_seconds)),
+                format!(
+                    "{:.1}x",
+                    s.wing_gong_seconds / s.specialized_seconds.max(1e-9)
+                ),
+                if s.agree { "yes" } else { "NO" }.to_string(),
+                if s.specialized_decided { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        println!("Specialized monitors vs forced Wing–Gong (unambiguous histories)");
+        println!("{}", table.render());
+
+        let mut table = TextTable::new(&["kind", "ops", "agree", "fell back"]);
+        for s in &ambiguous {
+            table.row(vec![
+                kind_name(s.kind).to_string(),
+                s.ops.to_string(),
+                if s.agree { "yes" } else { "NO" }.to_string(),
+                if s.fell_back { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        println!("Ambiguous histories (repeated values force the fallback)");
+        println!("{}", table.render());
+    }
 
     if json {
         let mut out = String::from("{\n");
@@ -134,7 +330,8 @@ fn main() {
                 "    {{\"class\": \"{}\", \"tests\": {}, \"verdict\": \"{}\", \
                  \"agree\": {}, \"specindex_seconds\": {:.6}, \
                  \"monitor_seconds\": {:.6}, \"oracle_steps\": {}, \
-                 \"memo_hits\": {}, \"cached_sequences\": {}}}{}\n",
+                 \"memo_hits\": {}, \"cached_sequences\": {}, \
+                 \"specialized_checks\": {}, \"fallback_checks\": {}}}{}\n",
                 s.class,
                 s.matrices,
                 s.verdict,
@@ -144,7 +341,38 @@ fn main() {
                 s.oracle_steps,
                 s.memo_hits,
                 s.cached_sequences,
+                s.specialized_checks,
+                s.fallback_checks,
                 if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"large\": [\n");
+        for (i, s) in large.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"ops\": {}, \
+                 \"specialized_seconds\": {:.6}, \"wing_gong_seconds\": {:.6}, \
+                 \"speedup\": {:.2}, \"agree\": {}, \"specialized_decided\": {}}}{}\n",
+                kind_name(s.kind),
+                s.ops,
+                s.specialized_seconds,
+                s.wing_gong_seconds,
+                s.wing_gong_seconds / s.specialized_seconds.max(1e-9),
+                s.agree,
+                s.specialized_decided,
+                if i + 1 < large.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"ambiguous\": [\n");
+        for (i, s) in ambiguous.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"ops\": {}, \"agree\": {}, \"fell_back\": {}}}{}\n",
+                kind_name(s.kind),
+                s.ops,
+                s.agree,
+                s.fell_back,
+                if i + 1 < ambiguous.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -159,6 +387,10 @@ fn main() {
 
     if disagreements > 0 {
         eprintln!("{disagreements} class(es) disagreed between the backends");
+        std::process::exit(1);
+    }
+    if !large_ok {
+        eprintln!("scaling comparison found a disagreement or a missed fast path");
         std::process::exit(1);
     }
 }

@@ -10,15 +10,20 @@
 //! Unlike the model-checking benchmarks this samples *real* OS-thread
 //! interleavings (with seeded yield injection): fixed classes must stay
 //! green across every run, and the seeded "(Pre)" dictionary should
-//! trip the monitor within the run budget. Reports, per workload, the
-//! execution rate (runs/second) and the monitor throughput (history
-//! checks/second); `--json` additionally writes `BENCH_stress.json`
-//! (or `--out PATH`).
+//! trip the monitor within the run budget. Monitors are annotated with
+//! each workload's ADT kind, so checks of unambiguous histories take
+//! the specialized log-linear path and the rest fall back to Wing–Gong.
+//! Reports, per workload, the execution rate (runs/second), the monitor
+//! throughput (history checks/second), the duplicate-history cache
+//! hit-rate (runs whose verdict was served without monitor work), the
+//! memo hit-rate of the fallback search, and the specialized/fallback
+//! split; `--json` additionally writes `BENCH_stress.json` (or
+//! `--out PATH`).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use lineup::{Invocation, TestMatrix, TestTarget};
+use lineup::{AdtKind, Invocation, TestMatrix, TestTarget};
 use lineup_bench::{arg_flag, arg_num, arg_value, fmt_duration, TextTable};
 use lineup_collections::concurrent_dictionary::ConcurrentDictionaryTarget;
 use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
@@ -38,6 +43,13 @@ struct Sample {
     monitor_checks: u64,
     monitor_wall_seconds: f64,
     checks_per_sec: f64,
+    history_cache_hits: u64,
+    cache_hit_rate: f64,
+    oracle_steps: u64,
+    memo_hits: u64,
+    memo_hit_rate: f64,
+    specialized_checks: u64,
+    fallback_checks: u64,
 }
 
 /// `threads` columns of TryAdds on distinct keys, Count at the end: the
@@ -74,6 +86,7 @@ fn measure<T>(
     workload: &str,
     seeded: bool,
     target: T,
+    kind: AdtKind,
     matrix: &TestMatrix,
     runs: usize,
     seed: u64,
@@ -85,7 +98,9 @@ where
     let monitor = Monitor::new(ReplayOracle::new(
         Arc::new(target.clone()),
         matrix.init.clone(),
-    ));
+    ))
+    .with_adt_init(matrix.init.clone())
+    .with_adt_kind(kind);
     let report = run_stress(
         &target,
         matrix,
@@ -102,6 +117,8 @@ where
     );
     let wall = report.wall.as_secs_f64();
     let monitor_wall = report.monitor_wall.as_secs_f64();
+    let stats = &report.monitor_stats;
+    let memo_lookups = stats.memo_hits + stats.oracle_steps;
     Sample {
         workload: workload.to_string(),
         seeded,
@@ -115,6 +132,13 @@ where
         monitor_checks: report.monitor_checks,
         monitor_wall_seconds: monitor_wall,
         checks_per_sec: report.monitor_checks as f64 / monitor_wall.max(1e-9),
+        history_cache_hits: report.history_cache_hits,
+        cache_hit_rate: report.history_cache_hits as f64 / (report.runs as f64).max(1.0),
+        oracle_steps: stats.oracle_steps,
+        memo_hits: stats.memo_hits,
+        memo_hit_rate: stats.memo_hits as f64 / (memo_lookups as f64).max(1.0),
+        specialized_checks: stats.paths.specialized_checks,
+        fallback_checks: stats.paths.fallback_checks,
     }
 }
 
@@ -133,6 +157,7 @@ fn main() {
             ConcurrentDictionaryTarget {
                 variant: Variant::Fixed,
             },
+            AdtKind::Set,
             &dictionary_matrix(threads),
             runs,
             seed,
@@ -143,6 +168,7 @@ fn main() {
             ConcurrentQueueTarget {
                 variant: Variant::Fixed,
             },
+            AdtKind::Queue,
             &queue_matrix(threads),
             runs,
             seed,
@@ -153,6 +179,7 @@ fn main() {
             ConcurrentDictionaryTarget {
                 variant: Variant::Pre,
             },
+            AdtKind::Set,
             &dictionary_matrix(threads.max(2)),
             // The lost-update window needs luck; give the seeded hunt a
             // larger budget (it stops at the first detection anyway).
@@ -173,6 +200,10 @@ fn main() {
         "wall",
         "runs/sec",
         "checks/sec",
+        "cache hits",
+        "memo rate",
+        "fast path",
+        "fallback",
         "verdict",
     ]);
     let mut failed = false;
@@ -198,6 +229,14 @@ fn main() {
             fmt_duration(Duration::from_secs_f64(s.wall_seconds)),
             format!("{:.0}", s.runs_per_sec),
             format!("{:.0}", s.checks_per_sec),
+            format!(
+                "{} ({:.0}%)",
+                s.history_cache_hits,
+                100.0 * s.cache_hit_rate
+            ),
+            format!("{:.0}%", 100.0 * s.memo_hit_rate),
+            s.specialized_checks.to_string(),
+            s.fallback_checks.to_string(),
             verdict.to_string(),
         ]);
     }
@@ -219,7 +258,10 @@ fn main() {
                  \"ops\": {}, \"distinct_histories\": {}, \"stuck_runs\": {}, \
                  \"violations\": {}, \"wall_seconds\": {:.6}, \
                  \"runs_per_sec\": {:.1}, \"monitor_checks\": {}, \
-                 \"monitor_wall_seconds\": {:.6}, \"monitor_checks_per_sec\": {:.1}}}{}\n",
+                 \"monitor_wall_seconds\": {:.6}, \"monitor_checks_per_sec\": {:.1}, \
+                 \"history_cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"oracle_steps\": {}, \"memo_hits\": {}, \"memo_hit_rate\": {:.4}, \
+                 \"specialized_checks\": {}, \"fallback_checks\": {}}}{}\n",
                 s.workload,
                 s.seeded,
                 s.runs,
@@ -232,6 +274,13 @@ fn main() {
                 s.monitor_checks,
                 s.monitor_wall_seconds,
                 s.checks_per_sec,
+                s.history_cache_hits,
+                s.cache_hit_rate,
+                s.oracle_steps,
+                s.memo_hits,
+                s.memo_hit_rate,
+                s.specialized_checks,
+                s.fallback_checks,
                 if i + 1 < samples.len() { "," } else { "" }
             ));
         }

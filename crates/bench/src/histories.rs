@@ -1,0 +1,418 @@
+//! Synthetic concurrent-history generators for the specialized-monitor
+//! benchmarks and differential tests.
+//!
+//! Histories are generated *linearization-first*: a serial simulation of
+//! the ideal ADT fixes the operation order and every response, then each
+//! operation `i` is widened into a call/return window around its
+//! linearization point (`10·i`) with random jitter, and windows are
+//! packed greedily onto threads. The result is a well-formed, complete,
+//! linearizable history whose concurrency is controlled by the jitter
+//! `spread` — and whose expected verdict is known by construction, which
+//! is what both the `monitorcmp --large` benchmark and the differential
+//! proptest suite need.
+//!
+//! Four variants per [`AdtKind`]:
+//!
+//! * [`unambiguous_history`] — fresh values throughout; the specialized
+//!   log-linear checkers decide it without falling back.
+//! * [`ambiguous_history`] — pooled values plus a forced duplicate-insert
+//!   prefix, guaranteeing the specialized path falls back
+//!   (`DuplicateValue`) and the Wing–Gong search decides it.
+//! * [`violating_history`] — unambiguous, except the final operation is
+//!   rewritten to remove a value that was never inserted: both paths
+//!   must reject.
+//! * [`pending_history`] — unambiguous, with the last return dropped so
+//!   one call is left pending (specialized path falls back with
+//!   `PendingOps`).
+
+use lineup::{AdtKind, History, Invocation, Value};
+use lineup_monitor::{FnOracle, StepResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Jitter half-width in linearization slots: each call/return may move up
+/// to `SPREAD × 10` time units from its linearization point, so roughly
+/// `2 × SPREAD` operations can overlap at once.
+const SPREAD: i64 = 3;
+
+/// Step-function type of the ideal oracles ([`ideal_step`]).
+pub type IdealStep = fn(&Vec<i64>, &Invocation) -> StepResult<Vec<i64>>;
+
+/// An executable ideal sequential specification for `kind`, usable as a
+/// [`lineup_monitor::Monitor`] oracle. State is the element sequence
+/// (queue front-first, stack bottom-first, set/priority-queue sorted).
+pub fn ideal_oracle(kind: AdtKind) -> FnOracle<Vec<i64>, IdealStep> {
+    FnOracle::new(Vec::new(), ideal_step(kind))
+}
+
+/// The raw step function behind [`ideal_oracle`] — also used to drive
+/// the serial simulation in the generators.
+pub fn ideal_step(kind: AdtKind) -> IdealStep {
+    match kind {
+        AdtKind::Queue => queue_step,
+        AdtKind::Stack => stack_step,
+        AdtKind::Set => set_step,
+        AdtKind::PriorityQueue => pqueue_step,
+    }
+}
+
+fn int_arg(inv: &Invocation) -> i64 {
+    match inv.args.first() {
+        Some(Value::Int(v)) => *v,
+        other => panic!("ideal oracle: expected one int argument, got {other:?}"),
+    }
+}
+
+#[allow(clippy::ptr_arg)]
+fn queue_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
+    match inv.name.as_str() {
+        "Enqueue" => {
+            let mut next = s.clone();
+            next.push(int_arg(inv));
+            StepResult::Returns(Value::Unit, next)
+        }
+        "TryDequeue" => match s.first() {
+            Some(&v) => StepResult::Returns(Value::some(Value::int(v)), s[1..].to_vec()),
+            None => StepResult::Returns(Value::Fail, s.clone()),
+        },
+        other => StepResult::Panics(format!("queue oracle: unknown op {other}")),
+    }
+}
+
+#[allow(clippy::ptr_arg)]
+fn stack_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
+    match inv.name.as_str() {
+        "Push" => {
+            let mut next = s.clone();
+            next.push(int_arg(inv));
+            StepResult::Returns(Value::Unit, next)
+        }
+        "TryPop" => match s.last() {
+            Some(&v) => StepResult::Returns(Value::some(Value::int(v)), s[..s.len() - 1].to_vec()),
+            None => StepResult::Returns(Value::Fail, s.clone()),
+        },
+        other => StepResult::Panics(format!("stack oracle: unknown op {other}")),
+    }
+}
+
+#[allow(clippy::ptr_arg)]
+fn set_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
+    let k = int_arg(inv);
+    let found = s.binary_search(&k);
+    match inv.name.as_str() {
+        "TryAdd" => match found {
+            Ok(_) => StepResult::Returns(Value::Bool(false), s.clone()),
+            Err(pos) => {
+                let mut next = s.clone();
+                next.insert(pos, k);
+                StepResult::Returns(Value::Bool(true), next)
+            }
+        },
+        // The payload of a successful remove is the key itself — a pure
+        // function of the key, as the specialized set checker assumes.
+        "TryRemove" => match found {
+            Ok(pos) => {
+                let mut next = s.clone();
+                next.remove(pos);
+                StepResult::Returns(Value::some(Value::int(k)), next)
+            }
+            Err(_) => StepResult::Returns(Value::Fail, s.clone()),
+        },
+        "ContainsKey" => StepResult::Returns(Value::Bool(found.is_ok()), s.clone()),
+        other => StepResult::Panics(format!("set oracle: unknown op {other}")),
+    }
+}
+
+#[allow(clippy::ptr_arg)]
+fn pqueue_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
+    match inv.name.as_str() {
+        "Insert" => {
+            let p = int_arg(inv);
+            let mut next = s.clone();
+            let pos = next.partition_point(|&q| q <= p);
+            next.insert(pos, p);
+            StepResult::Returns(Value::Unit, next)
+        }
+        "ExtractMin" => match s.first() {
+            Some(&v) => StepResult::Returns(Value::some(Value::int(v)), s[1..].to_vec()),
+            None => StepResult::Returns(Value::Fail, s.clone()),
+        },
+        other => StepResult::Panics(format!("pqueue oracle: unknown op {other}")),
+    }
+}
+
+/// One simulated operation: invocation plus its serial response.
+type ScriptOp = (Invocation, Value);
+
+/// Simulates `n` operations of the ideal ADT serially. `pool` of `None`
+/// draws fresh values from a counter (unambiguous); `Some(p)` draws from
+/// `0..p` and prepends a duplicate-insert prefix (ambiguous).
+fn generate_script(kind: AdtKind, n: usize, seed: u64, pool: Option<i64>) -> Vec<ScriptOp> {
+    let step = ideal_step(kind);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state: Vec<i64> = Vec::new();
+    let mut fresh: i64 = 0;
+    let mut out: Vec<ScriptOp> = Vec::with_capacity(n);
+
+    let apply =
+        |inv: Invocation, state: &mut Vec<i64>, out: &mut Vec<ScriptOp>| match step(state, &inv) {
+            StepResult::Returns(v, next) => {
+                *state = next;
+                out.push((inv, v));
+            }
+            _ => unreachable!("ideal oracles always return"),
+        };
+
+    if let Some(p) = pool {
+        // Forced prefix guaranteeing a repeated successful insert of the
+        // out-of-pool value `p`, so the specialized checkers *provably*
+        // fall back with `DuplicateValue` (not just with high probability).
+        let prefix: Vec<Invocation> = match kind {
+            AdtKind::Queue => vec![
+                Invocation::with_int("Enqueue", p),
+                Invocation::with_int("Enqueue", p),
+            ],
+            AdtKind::Stack => vec![
+                Invocation::with_int("Push", p),
+                Invocation::with_int("Push", p),
+            ],
+            AdtKind::PriorityQueue => vec![
+                Invocation::with_int("Insert", p),
+                Invocation::with_int("Insert", p),
+            ],
+            AdtKind::Set => vec![
+                Invocation::with_int("TryAdd", p),
+                Invocation::with_int("TryRemove", p),
+                Invocation::with_int("TryAdd", p),
+            ],
+        };
+        for inv in prefix {
+            apply(inv, &mut state, &mut out);
+        }
+    }
+
+    while out.len() < n {
+        let inv = match kind {
+            AdtKind::Queue | AdtKind::Stack | AdtKind::PriorityQueue => {
+                let (ins, rem) = match kind {
+                    AdtKind::Queue => ("Enqueue", "TryDequeue"),
+                    AdtKind::Stack => ("Push", "TryPop"),
+                    _ => ("Insert", "ExtractMin"),
+                };
+                // Mean-reverting size: for queues and stacks the
+                // reference Wing–Gong memo keys the container contents,
+                // so every wrong ordering of in-flight inserts is a
+                // distinct state until removed. Short residency keeps
+                // that search polynomial at multi-thousand-op sizes.
+                let p_ins = if state.len() >= 6 { 0.35 } else { 0.65 };
+                if rng.gen_bool(p_ins) {
+                    let v = match pool {
+                        Some(p) => rng.gen_range(0..p),
+                        None => {
+                            fresh += 1;
+                            fresh
+                        }
+                    };
+                    Invocation::with_int(ins, v)
+                } else {
+                    Invocation::new(rem)
+                }
+            }
+            AdtKind::Set => {
+                let key_present = |state: &Vec<i64>, rng: &mut SmallRng| -> Option<i64> {
+                    if state.is_empty() {
+                        None
+                    } else {
+                        Some(state[rng.gen_range(0..state.len())])
+                    }
+                };
+                let roll = rng.gen_range(0u32..100);
+                match pool {
+                    // Ambiguous mode: hammer a small key pool with all
+                    // three methods; responses stay serially consistent.
+                    Some(p) => {
+                        let k = rng.gen_range(0..p);
+                        let name = match roll % 3 {
+                            0 => "TryAdd",
+                            1 => "TryRemove",
+                            _ => "ContainsKey",
+                        };
+                        Invocation::with_int(name, k)
+                    }
+                    // Unambiguous mode: each key is added at most once
+                    // (fresh counter); absent observations use negative
+                    // keys that are never added.
+                    None => {
+                        if roll < 40 {
+                            fresh += 1;
+                            Invocation::with_int("TryAdd", fresh)
+                        } else if roll < 80 {
+                            match key_present(&state, &mut rng) {
+                                Some(k) if roll < 60 => Invocation::with_int("ContainsKey", k),
+                                Some(k) => Invocation::with_int("TryRemove", k),
+                                None => Invocation::with_int("ContainsKey", -1),
+                            }
+                        } else {
+                            let k = -1 - rng.gen_range(0..50);
+                            if roll < 90 {
+                                Invocation::with_int("ContainsKey", k)
+                            } else {
+                                Invocation::with_int("TryRemove", k)
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        apply(inv, &mut state, &mut out);
+    }
+    out
+}
+
+/// Widens a serial script into a concurrent [`History`]: operation `i`
+/// linearizes at time `10·i`, its call/return jitter backwards/forwards
+/// by up to `SPREAD × 10`, and operations pack greedily onto the fewest
+/// threads that keep each thread's operations disjoint.
+fn weave(script: &[ScriptOp], seed: u64, drop_last_return: bool) -> History {
+    let n = script.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let jitter = SPREAD * 10;
+    let mut calls: Vec<i64> = Vec::with_capacity(n);
+    let mut rets: Vec<i64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let base = 10 * i as i64;
+        calls.push(base - rng.gen_range(0..jitter + 1));
+        rets.push(base + 1 + rng.gen_range(0..jitter + 1));
+    }
+
+    // Greedy thread assignment, in call order: a thread is free for op i
+    // iff its previous operation returned strictly before calls[i].
+    let mut by_call: Vec<usize> = (0..n).collect();
+    by_call.sort_by_key(|&i| (calls[i], i));
+    let mut thread_of = vec![0usize; n];
+    let mut last_ret: Vec<i64> = Vec::new();
+    for &i in &by_call {
+        match last_ret.iter().position(|&r| r < calls[i]) {
+            Some(t) => thread_of[i] = t,
+            None => {
+                thread_of[i] = last_ret.len();
+                last_ret.push(i64::MIN);
+            }
+        }
+        last_ret[thread_of[i]] = rets[i];
+    }
+
+    // Event order: by time, returns before calls on ties (an op's own
+    // call still precedes its return — rets[i] > calls[i] always).
+    let mut events: Vec<(i64, u8, usize)> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        events.push((calls[i], 1, i));
+        if !(drop_last_return && i == n - 1) {
+            events.push((rets[i], 0, i));
+        }
+    }
+    events.sort_unstable();
+
+    let mut h = History::new(last_ret.len());
+    let mut ids = vec![usize::MAX; n];
+    for &(_, kind, i) in &events {
+        if kind == 1 {
+            ids[i] = h.push_call(thread_of[i], script[i].0.clone());
+        } else {
+            h.push_return(ids[i], script[i].1.clone());
+        }
+    }
+    h
+}
+
+/// A linearizable history over fresh values: the specialized checkers
+/// decide it on the log-linear path, no fallback.
+pub fn unambiguous_history(kind: AdtKind, ops: usize, seed: u64) -> History {
+    weave(
+        &generate_script(kind, ops, seed, None),
+        seed ^ 0x9E3779B9,
+        false,
+    )
+}
+
+/// A linearizable history over a small value pool with a forced repeated
+/// insert: the specialized checkers provably fall back
+/// (`DuplicateValue`) and Wing–Gong decides it.
+pub fn ambiguous_history(kind: AdtKind, ops: usize, seed: u64) -> History {
+    weave(
+        &generate_script(kind, ops, seed, Some(5)),
+        seed ^ 0x9E3779B9,
+        false,
+    )
+}
+
+/// An unambiguous history whose final operation removes a value that was
+/// never inserted: every backend must reject it.
+pub fn violating_history(kind: AdtKind, ops: usize, seed: u64) -> History {
+    let mut script = generate_script(kind, ops, seed, None);
+    let never = i64::MAX / 2;
+    *script.last_mut().expect("ops >= 1") = match kind {
+        AdtKind::Queue => (
+            Invocation::new("TryDequeue"),
+            Value::some(Value::int(never)),
+        ),
+        AdtKind::Stack => (Invocation::new("TryPop"), Value::some(Value::int(never))),
+        AdtKind::Set => (
+            Invocation::with_int("TryRemove", never),
+            Value::some(Value::int(never)),
+        ),
+        AdtKind::PriorityQueue => (
+            Invocation::new("ExtractMin"),
+            Value::some(Value::int(never)),
+        ),
+    };
+    weave(&script, seed ^ 0x9E3779B9, false)
+}
+
+/// An unambiguous history with its last return dropped: one operation
+/// stays pending, so the specialized path falls back (`PendingOps`).
+pub fn pending_history(kind: AdtKind, ops: usize, seed: u64) -> History {
+    weave(
+        &generate_script(kind, ops, seed, None),
+        seed ^ 0x9E3779B9,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_histories_are_well_formed_and_complete() {
+        for kind in AdtKind::ALL {
+            let h = unambiguous_history(kind, 200, 7);
+            assert!(h.is_well_formed(), "{kind}: not well-formed");
+            assert!(h.is_complete(), "{kind}: not complete");
+            assert_eq!(h.ops.len(), 200);
+        }
+    }
+
+    #[test]
+    fn pending_history_has_exactly_one_pending_op() {
+        for kind in AdtKind::ALL {
+            let h = pending_history(kind, 50, 3);
+            assert_eq!(h.pending_ops().len(), 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn weave_is_deterministic_per_seed() {
+        let a = unambiguous_history(AdtKind::Queue, 100, 42);
+        let b = unambiguous_history(AdtKind::Queue, 100, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histories_are_actually_concurrent() {
+        let h = unambiguous_history(AdtKind::Stack, 300, 11);
+        assert!(h.thread_count > 1, "spread produced a serial history");
+        let overlapping = (0..h.ops.len() - 1).any(|i| h.overlapping(i, i + 1));
+        assert!(overlapping, "no overlapping adjacent ops");
+    }
+}

@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod histories;
+
 use std::time::Duration;
 
 /// Reads a `--flag value` style option from the command line.

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use lineup::{ErasedTarget, Invocation, TestMatrix};
+use lineup::{AdtKind, ErasedTarget, Invocation, TestMatrix};
 
 pub use crate::support::Variant;
 
@@ -107,6 +107,12 @@ pub struct ClassEntry {
     pub loc: usize,
     /// Root causes Line-Up is expected to expose on this entry.
     pub expected_root_causes: &'static [RootCause],
+    /// The abstract data type this class implements, for the specialized
+    /// monitor fast path (`None` for classes outside the four supported
+    /// kinds — they always take the general search). The annotation
+    /// claims ideal-ADT behavior *serially*, which holds for the Pre
+    /// variants too: their seeded defects are concurrency races.
+    pub adt_kind: Option<AdtKind>,
     target: Arc<dyn ErasedTarget + Send + Sync>,
 }
 
@@ -234,11 +240,15 @@ impl ClassEntry {
 
 macro_rules! entry {
     ($name:expr, $variant:expr, $file:expr, $causes:expr, $target:expr) => {
+        entry!($name, $variant, $file, $causes, $target, None)
+    };
+    ($name:expr, $variant:expr, $file:expr, $causes:expr, $target:expr, $kind:expr) => {
         ClassEntry {
             name: $name,
             variant: $variant,
             loc: include_str!($file).lines().count(),
             expected_root_causes: $causes,
+            adt_kind: $kind,
             target: Arc::new($target),
         }
     };
@@ -323,7 +333,8 @@ pub fn all_classes() -> Vec<ClassEntry> {
             &[],
             ConcurrentDictionaryTarget {
                 variant: Variant::Fixed
-            }
+            },
+            Some(AdtKind::Set)
         ),
         entry!(
             "ConcurrentDictionary (Pre)",
@@ -332,7 +343,8 @@ pub fn all_classes() -> Vec<ClassEntry> {
             &[RC::F],
             ConcurrentDictionaryTarget {
                 variant: Variant::Pre
-            }
+            },
+            Some(AdtKind::Set)
         ),
         entry!(
             "ConcurrentQueue",
@@ -341,7 +353,8 @@ pub fn all_classes() -> Vec<ClassEntry> {
             &[],
             ConcurrentQueueTarget {
                 variant: Variant::Fixed
-            }
+            },
+            Some(AdtKind::Queue)
         ),
         entry!(
             "ConcurrentQueue (Pre)",
@@ -350,7 +363,8 @@ pub fn all_classes() -> Vec<ClassEntry> {
             &[RC::B],
             ConcurrentQueueTarget {
                 variant: Variant::Pre
-            }
+            },
+            Some(AdtKind::Queue)
         ),
         entry!(
             "ConcurrentStack",
@@ -359,7 +373,8 @@ pub fn all_classes() -> Vec<ClassEntry> {
             &[],
             ConcurrentStackTarget {
                 variant: Variant::Fixed
-            }
+            },
+            Some(AdtKind::Stack)
         ),
         entry!(
             "ConcurrentStack (Pre)",
@@ -368,7 +383,8 @@ pub fn all_classes() -> Vec<ClassEntry> {
             &[RC::D],
             ConcurrentStackTarget {
                 variant: Variant::Pre
-            }
+            },
+            Some(AdtKind::Stack)
         ),
         entry!(
             "ConcurrentLinkedList",

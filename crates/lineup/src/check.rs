@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use lineup_sched::{explore_parallel, Backend, Config, RunOutcome, StrategyKind, SubtreeTask};
 
+use crate::adt::MonitorPathStats;
 use crate::harness::explore_matrix;
 use crate::history::{History, OpIndex};
 use crate::matrix::TestMatrix;
@@ -42,6 +43,15 @@ pub trait HistoryMonitor: Send + Sync {
     /// as in [`check_full`](HistoryMonitor::check_full) and the oracle
     /// then *blocks* on `e`'s invocation (Definition 2).
     fn check_stuck(&self, history: &History, pending: OpIndex, async_methods: &[String]) -> bool;
+
+    /// Cumulative counters describing which path the monitor's checks
+    /// took (specialized log-linear checker vs general search) since the
+    /// monitor was created. `None` (the default) when the monitor has no
+    /// notion of paths; checkers use this to fill
+    /// [`PhaseStats::monitor_paths`].
+    fn path_stats(&self) -> Option<MonitorPathStats> {
+        None
+    }
 }
 
 /// A cloneable handle to a [`HistoryMonitor`], carried inside
@@ -353,6 +363,11 @@ pub struct PhaseStats {
     /// [`runs`](Self::runs) — keeping `runs` comparable across
     /// [`CheckOptions::workers`] settings. Always zero for serial checks.
     pub frontier_replays: u64,
+    /// Which path the monitor backend's checks took during this phase
+    /// (specialized log-linear checker vs Wing–Gong fallback, with a
+    /// fallback-reason histogram). All-zero when the phase ran without a
+    /// monitor backend, or with one that does not report paths.
+    pub monitor_paths: MonitorPathStats,
     /// Wall-clock time spent.
     pub duration: Duration,
 }
@@ -437,6 +452,7 @@ pub fn synthesize_spec<T: TestTarget>(
         fast_path_steps: stats.fast_path_steps,
         handoffs: stats.handoffs,
         frontier_replays: 0,
+        monitor_paths: MonitorPathStats::default(),
         duration: start.elapsed(),
     };
     (spec, phase, panic_violation)
@@ -548,6 +564,7 @@ pub fn check_against_spec<T: TestTarget>(
         total.frontier_replays = total
             .frontier_replays
             .saturating_add(stats.frontier_replays);
+        total.monitor_paths.merge(&stats.monitor_paths);
         total.duration += stats.duration;
         if !vs.is_empty() {
             violations = vs;
@@ -570,6 +587,7 @@ fn check_against_spec_at<T: TestTarget>(
         return check_against_spec_at_parallel(target, matrix, spec, options, preemption_bound);
     }
     let start = std::time::Instant::now();
+    let paths_before = monitor_path_snapshot(options);
     let index = spec.index();
     let mut violations = Vec::new();
     // Verdict cache: phase 2 visits the same history through many
@@ -680,9 +698,21 @@ fn check_against_spec_at<T: TestTarget>(
         fast_path_steps: stats.fast_path_steps,
         handoffs: stats.handoffs,
         frontier_replays: 0,
+        monitor_paths: monitor_path_snapshot(options).diff_since(&paths_before),
         duration: start.elapsed(),
     };
     (violations, phase)
+}
+
+/// The monitor backend's cumulative path counters right now (zeroes when
+/// no backend is configured, or it does not report paths). Phases report
+/// the difference between two snapshots.
+fn monitor_path_snapshot(options: &CheckOptions) -> MonitorPathStats {
+    options
+        .witness_monitor
+        .as_ref()
+        .and_then(|m| m.0.path_stats())
+        .unwrap_or_default()
 }
 
 /// Verdict of one witness search, cached per distinct history and shared
@@ -889,6 +919,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     }
 
     let start = std::time::Instant::now();
+    let paths_before = monitor_path_snapshot(options);
     let index = spec.index();
 
     let mut config = Config::exhaustive()
@@ -1137,6 +1168,11 @@ fn check_against_spec_at_parallel<T: TestTarget>(
             .saturating_add(sched_stats.fast_path_steps),
         handoffs: frontier_stats.handoffs.saturating_add(sched_stats.handoffs),
         frontier_replays,
+        // Parallel workers can race to check the same history before the
+        // shared verdict cache publishes it, so these counters may exceed
+        // a serial run's — they measure monitor work done, not distinct
+        // histories.
+        monitor_paths: monitor_path_snapshot(options).diff_since(&paths_before),
         duration: start.elapsed(),
     };
     (violations, phase)

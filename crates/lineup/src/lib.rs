@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adt;
 pub mod auto;
 pub mod check;
 pub mod erased;
@@ -63,6 +64,7 @@ pub mod target;
 pub mod value;
 pub mod witness;
 
+pub use adt::{AdtKind, FallbackReason, MonitorPathStats};
 pub use auto::{
     auto_check, random_check, random_check_parallel, AutoCheckLimits, RandomCheckConfig,
     RandomCheckResult,

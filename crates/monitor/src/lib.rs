@@ -62,6 +62,7 @@
 
 pub mod linearize;
 pub mod oracle;
+pub(crate) mod specialized;
 pub mod stress;
 
 pub use linearize::{Monitor, MonitorStats, PartitionFn};
@@ -70,7 +71,7 @@ pub use stress::{run_stress, StressOptions, StressReport, StressViolation};
 
 use std::sync::Arc;
 
-use lineup::{ErasedTarget, MonitorHandle, TestMatrix};
+use lineup::{AdtKind, ErasedTarget, MonitorHandle, TestMatrix};
 
 /// Builds the automatic monitor backend for a test: a [`Monitor`] over a
 /// [`ReplayOracle`] that replays `target` with the matrix's init sequence,
@@ -80,6 +81,24 @@ pub fn monitor_backend(
     matrix: &TestMatrix,
 ) -> Arc<Monitor<ReplayOracle>> {
     Arc::new(Monitor::new(ReplayOracle::new(target, matrix.init.clone())))
+}
+
+/// Like [`monitor_backend`], additionally annotating the monitor with the
+/// target's [`AdtKind`] (when known): checks then take the specialized
+/// log-linear path for unambiguous histories and fall back to the
+/// Wing–Gong search otherwise. `None` behaves exactly like
+/// [`monitor_backend`].
+pub fn adt_monitor_backend(
+    target: Arc<dyn ErasedTarget + Send + Sync>,
+    matrix: &TestMatrix,
+    kind: Option<AdtKind>,
+) -> Arc<Monitor<ReplayOracle>> {
+    let mut monitor = Monitor::new(ReplayOracle::new(target, matrix.init.clone()))
+        .with_adt_init(matrix.init.clone());
+    if let Some(kind) = kind {
+        monitor = monitor.with_adt_kind(kind);
+    }
+    Arc::new(monitor)
 }
 
 /// Convenience: the same backend as [`monitor_backend`], pre-wrapped in a

@@ -32,9 +32,13 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, Mutex};
 
-use lineup::{History, HistoryMonitor, Invocation, OpIndex, Outcome, SerialHistory, SpecOp, Value};
+use lineup::{
+    AdtKind, FallbackReason, History, HistoryMonitor, Invocation, MonitorPathStats, OpIndex,
+    Outcome, SerialHistory, SpecOp, Value,
+};
 
 use crate::oracle::{SeqOracle, StepResult, TracedOp};
+use crate::specialized::{check_specialized, SpecialVerdict};
 
 /// Maps an invocation to the independent sub-object it operates on —
 /// `None` when the operation spans sub-objects (disables partitioning for
@@ -52,6 +56,25 @@ pub struct MonitorStats {
     pub memo_hits: u64,
     /// Checks that ran partitioned (P-compositionality applied).
     pub partitioned_checks: u64,
+    /// Which path each check took: the specialized log-linear checker
+    /// (for monitors annotated with an [`AdtKind`]) or the general
+    /// Wing–Gong search, with a histogram of fallback reasons.
+    pub paths: MonitorPathStats,
+}
+
+impl MonitorStats {
+    /// Counters accumulated since an earlier snapshot (saturating).
+    pub fn diff_since(&self, earlier: &MonitorStats) -> MonitorStats {
+        MonitorStats {
+            checks: self.checks.saturating_sub(earlier.checks),
+            oracle_steps: self.oracle_steps.saturating_sub(earlier.oracle_steps),
+            memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
+            partitioned_checks: self
+                .partitioned_checks
+                .saturating_sub(earlier.partitioned_checks),
+            paths: self.paths.diff_since(&earlier.paths),
+        }
+    }
 }
 
 /// A linearizability monitor over an executable sequential oracle.
@@ -63,6 +86,8 @@ pub struct MonitorStats {
 pub struct Monitor<O: SeqOracle> {
     oracle: O,
     partition: Option<PartitionFn>,
+    adt: Option<AdtKind>,
+    adt_init: Vec<Invocation>,
     stats: Mutex<MonitorStats>,
 }
 
@@ -80,8 +105,30 @@ impl<O: SeqOracle> Monitor<O> {
         Monitor {
             oracle,
             partition: None,
+            adt: None,
+            adt_init: Vec::new(),
             stats: Mutex::new(MonitorStats::default()),
         }
+    }
+
+    /// Annotates the target as implementing `kind`, builder style: checks
+    /// route through the specialized log-linear checker first and fall
+    /// back to the general search when the history is ambiguous (see
+    /// [`crate::specialized`]). The annotation claims that the target,
+    /// executed *serially*, behaves as the ideal ADT; with that claim the
+    /// fast path agrees with the oracle search on every verdict.
+    pub fn with_adt_kind(mut self, kind: AdtKind) -> Self {
+        self.adt = Some(kind);
+        self
+    }
+
+    /// Supplies the test's init sequence (operations executed before the
+    /// recorded history begins), builder style. The specialized checkers
+    /// prepend them as already-completed insertions; required whenever
+    /// the oracle's start state is non-empty.
+    pub fn with_adt_init(mut self, init: Vec<Invocation>) -> Self {
+        self.adt_init = init;
+        self
     }
 
     /// Enables P-compositional checking with the given partition function,
@@ -193,6 +240,13 @@ impl<O: SeqOracle> Monitor<O> {
         async_methods: &[String],
     ) -> bool {
         self.stats.lock().unwrap().checks += 1;
+        match self.try_specialized(h, pending, async_methods) {
+            Ok(verdict) => {
+                self.stats.lock().unwrap().paths.record_specialized();
+                return verdict;
+            }
+            Err(reason) => self.stats.lock().unwrap().paths.record_fallback(reason),
+        }
         if let Some(groups) = self.partition_groups(h, complete, pending) {
             self.stats.lock().unwrap().partitioned_checks += 1;
             return groups
@@ -200,6 +254,31 @@ impl<O: SeqOracle> Monitor<O> {
                 .all(|(ops, e)| self.search(h, &ops, e, async_methods).is_some());
         }
         self.search(h, complete, pending, async_methods).is_some()
+    }
+
+    /// Attempts the specialized log-linear path: `Ok(verdict)` when the
+    /// ADT-kind checker decided the history, `Err(reason)` when the check
+    /// must fall back to the general search. The specialized algorithms
+    /// handle neither stuck linearizations nor the asynchronous
+    /// relaxation, so those route straight to the fallback.
+    fn try_specialized(
+        &self,
+        h: &History,
+        pending: Option<OpIndex>,
+        async_methods: &[String],
+    ) -> Result<bool, FallbackReason> {
+        let kind = self.adt.ok_or(FallbackReason::Unregistered)?;
+        if pending.is_some() {
+            return Err(FallbackReason::PendingOps);
+        }
+        if !async_methods.is_empty() {
+            return Err(FallbackReason::AsyncRelaxation);
+        }
+        match check_specialized(kind, &self.adt_init, h) {
+            SpecialVerdict::Linearizable => Ok(true),
+            SpecialVerdict::NotLinearizable => Ok(false),
+            SpecialVerdict::Fallback(reason) => Err(reason),
+        }
     }
 
     /// Groups target operations by partition key. `None` when partitioning
@@ -442,6 +521,10 @@ impl<O: SeqOracle> HistoryMonitor for Monitor<O> {
 
     fn check_stuck(&self, history: &History, pending: OpIndex, async_methods: &[String]) -> bool {
         Monitor::check_stuck(self, history, pending, async_methods)
+    }
+
+    fn path_stats(&self) -> Option<MonitorPathStats> {
+        Some(self.stats().paths)
     }
 }
 

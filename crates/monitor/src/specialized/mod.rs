@@ -1,0 +1,244 @@
+//! Specialized log-linear linearizability checkers for unambiguous
+//! histories over known ADTs.
+//!
+//! The general Wing–Gong search is complete but worst-case exponential.
+//! When the target is annotated with an [`AdtKind`] and the recorded
+//! history is *unambiguous* — every value inserted at most once, all
+//! operations within the ADT's alphabet, no pending calls — the
+//! decrease-and-conquer algorithms of Lee & Mathur and the
+//! interval-pattern characterizations of Abdulla et al. (see PAPERS.md)
+//! decide linearizability directly from the call/return intervals, in
+//! O(n log n) for queue and set and near-linear for stack and
+//! priority-queue on the common path.
+//!
+//! Every checker is *conservative*: it returns
+//! [`SpecialVerdict::Linearizable`] only when it can construct or imply a
+//! witness, [`SpecialVerdict::NotLinearizable`] only for certain
+//! violation patterns, and otherwise [`SpecialVerdict::Fallback`] so the
+//! caller re-runs the general search. Fallback therefore preserves the
+//! monitor's completeness; the specialized path is purely a fast path.
+//!
+//! # Slot semantics
+//!
+//! Linearization points are discretized into *slots*: slot `k` is the
+//! gap between event positions `k` and `k+1` of the history. An
+//! operation with call position `c` and return position `r` may
+//! linearize in any slot of `[c, r-1]`, and the relative order of
+//! operations placed in the *same* slot is free. All interval conditions
+//! below are derived under exactly this discretization, which matches
+//! the precedence order `<H` the general search uses. Init-sequence
+//! operations (executed before the threads start and not recorded in the
+//! history) are prepended as synthetic sequential operations at negative
+//! positions.
+
+pub(crate) mod pqueue;
+pub(crate) mod queue;
+pub(crate) mod set;
+pub(crate) mod stack;
+
+use lineup::{AdtKind, FallbackReason, History, Invocation, Value};
+
+/// Outcome of a specialized check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpecialVerdict {
+    /// A linearization certainly exists.
+    Linearizable,
+    /// No linearization exists (a certain violation pattern was found).
+    NotLinearizable,
+    /// The specialized checker cannot decide; run the general search.
+    Fallback(FallbackReason),
+}
+
+/// A classified operation with its call/return event positions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Timed<T> {
+    pub op: T,
+    pub call: i64,
+    pub ret: i64,
+}
+
+/// Entry point: classify the history's operations for `kind` and run the
+/// matching checker. `init` is the matrix's init sequence (replayed into
+/// the oracle's start state but absent from recorded histories).
+pub(crate) fn check_specialized(
+    kind: AdtKind,
+    init: &[Invocation],
+    history: &History,
+) -> SpecialVerdict {
+    let verdict = match kind {
+        AdtKind::Queue => collect(history, init, queue::classify_init, queue::classify)
+            .map(|ops| queue::check(&ops)),
+        AdtKind::Stack => collect(history, init, stack::classify_init, stack::classify)
+            .map(|ops| stack::check(&ops)),
+        AdtKind::Set => {
+            collect(history, init, set::classify_init, set::classify).map(|ops| set::check(&ops))
+        }
+        AdtKind::PriorityQueue => collect(history, init, pqueue::classify_init, pqueue::classify)
+            .map(|ops| pqueue::check(&ops)),
+    };
+    match verdict {
+        Ok(v) => v,
+        Err(reason) => SpecialVerdict::Fallback(reason),
+    }
+}
+
+/// Classifies every operation of a complete history (plus the synthetic
+/// init prefix) into the ADT's typed alphabet. Any operation outside the
+/// alphabet aborts classification with the fallback reason.
+fn collect<T>(
+    history: &History,
+    init: &[Invocation],
+    classify_init: impl Fn(&Invocation) -> Option<T>,
+    classify: impl Fn(&Invocation, &Value) -> Result<T, FallbackReason>,
+) -> Result<Vec<Timed<T>>, FallbackReason> {
+    let mut out = Vec::with_capacity(init.len() + history.ops.len());
+    // Init ops ran serially before all recorded events: give them
+    // non-overlapping negative positions, preserving their order.
+    let m = init.len() as i64;
+    for (j, inv) in init.iter().enumerate() {
+        let op = classify_init(inv).ok_or(FallbackReason::UnknownOp)?;
+        let call = 2 * (j as i64 - m);
+        out.push(Timed {
+            op,
+            call,
+            ret: call + 1,
+        });
+    }
+    for o in &history.ops {
+        let ret = match o.return_pos {
+            Some(r) => r as i64,
+            None => return Err(FallbackReason::PendingOps),
+        };
+        let resp = o.response.as_ref().ok_or(FallbackReason::PendingOps)?;
+        let op = classify(&o.invocation, resp)?;
+        out.push(Timed {
+            op,
+            call: o.call_pos as i64,
+            ret,
+        });
+    }
+    Ok(out)
+}
+
+/// The single integer argument of an invocation, if that is its exact
+/// shape.
+pub(crate) fn single_int_arg(inv: &Invocation) -> Option<i64> {
+    match inv.args.as_slice() {
+        [Value::Int(v)] => Some(*v),
+        _ => None,
+    }
+}
+
+/// The integer payload of a successful `Opt(Some(Int))` response.
+pub(crate) fn opt_int(resp: &Value) -> Option<i64> {
+    match resp {
+        Value::Opt(Some(inner)) => match inner.as_ref() {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Sorts and merges closed integer intervals, joining adjacent ones
+/// (slots are integers, so `[1,3]` and `[4,6]` cover `[1,6]` gaplessly).
+pub(crate) fn merge_intervals(mut intervals: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+    intervals.sort_unstable();
+    let mut merged: Vec<(i64, i64)> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        match merged.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
+/// Whether `[lo, hi]` is fully covered by the merged (sorted, disjoint,
+/// non-adjacent) union — i.e. contained in a single merged interval.
+pub(crate) fn covers(merged: &[(i64, i64)], lo: i64, hi: i64) -> bool {
+    match merged.binary_search_by(|&(a, _)| a.cmp(&lo)) {
+        Ok(i) => merged[i].1 >= hi,
+        Err(0) => false,
+        Err(i) => merged[i - 1].1 >= hi,
+    }
+}
+
+/// Incrementally builds a candidate serial witness, with support for
+/// *relocating* an already-placed operation to the current end of the
+/// order (the old slot becomes a tombstone). Used by the stack and
+/// priority-queue greedy constructors, whose heuristics may revise an
+/// earlier placement; any order they produce is validated afterwards by
+/// an exact replay + precedence check, so the heuristics themselves
+/// carry no soundness burden.
+pub(crate) struct WitnessBuilder {
+    slots: Vec<Option<usize>>,
+    placed_at: Vec<usize>,
+    /// Whether each operation is currently placed in the witness.
+    pub linearized: Vec<bool>,
+}
+
+impl WitnessBuilder {
+    pub fn new(n: usize) -> Self {
+        WitnessBuilder {
+            slots: Vec::with_capacity(n + n / 4),
+            placed_at: vec![usize::MAX; n],
+            linearized: vec![false; n],
+        }
+    }
+
+    /// Appends operation `i` to the witness order.
+    pub fn place(&mut self, i: usize) {
+        self.linearized[i] = true;
+        self.placed_at[i] = self.slots.len();
+        self.slots.push(Some(i));
+    }
+
+    /// Moves the already-placed operation `i` to the current end.
+    pub fn relocate(&mut self, i: usize) {
+        self.slots[self.placed_at[i]] = None;
+        self.place(i);
+    }
+
+    /// The final order (tombstones dropped).
+    pub fn order(self) -> Vec<usize> {
+        self.slots.into_iter().flatten().collect()
+    }
+}
+
+/// Whether `order` respects real-time precedence: whenever
+/// `ret(a) < call(b)`, `a` must come before `b`. Scanning in order, an
+/// operation violates iff its return lies strictly before the call of
+/// some operation already placed.
+pub(crate) fn respects_precedence<T>(ops: &[Timed<T>], order: &[usize]) -> bool {
+    let mut max_call = i64::MIN;
+    for &i in order {
+        if ops[i].ret < max_call {
+            return false;
+        }
+        max_call = max_call.max(ops[i].call);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_joins_overlapping_and_adjacent() {
+        let merged = merge_intervals(vec![(5, 9), (1, 3), (4, 6), (20, i64::MAX)]);
+        assert_eq!(merged, vec![(1, 9), (20, i64::MAX)]);
+    }
+
+    #[test]
+    fn covers_requires_single_interval_containment() {
+        let merged = vec![(1, 9), (20, i64::MAX)];
+        assert!(covers(&merged, 1, 9));
+        assert!(covers(&merged, 3, 3));
+        assert!(covers(&merged, 25, 1_000_000));
+        assert!(!covers(&merged, 0, 2));
+        assert!(!covers(&merged, 9, 20));
+        assert!(!covers(&merged, 10, 12));
+    }
+}

@@ -1,0 +1,370 @@
+//! Specialized checker for unambiguous min-priority-queue histories.
+//!
+//! Same architecture as the stack checker: a sound greedy constructive
+//! accept, a set of certain-reject patterns, and a conservative
+//! fallback.
+//!
+//! * **Verified greedy accept** — process operations in return order
+//!   with a sorted present-set, forcing unlinearized operations in the
+//!   slot just before their return; a forced `ExtractMin = p` first
+//!   linearizes `Insert p` if needed, then per smaller present priority
+//!   either cascades its callable extract or relocates its insert past
+//!   the extract (overlapping inserts linearized later instead). The
+//!   candidate order is validated exactly afterwards — permutation,
+//!   real-time precedence, min-queue replay — so accepts are sound
+//!   regardless of which heuristics fired.
+//! * **Certain rejects** — matching (extract of a value never inserted,
+//!   duplicate extracts), causality (`extract` completes before `insert`
+//!   begins), the empty-report covering argument, and *priority
+//!   domination*: priorities `v < w` where the forced-presence interval
+//!   of `v` — `[ret(insert v), call(extract v) − 1]`, unbounded if `v`
+//!   is never extracted — covers every candidate slot of `extract(w)`,
+//!   so the smaller `v` is present wherever `extract(w)` linearizes and
+//!   `ExtractMin` could not have returned `w`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use lineup::{FallbackReason, Invocation, Value};
+
+use super::{
+    covers, merge_intervals, opt_int, respects_precedence, single_int_arg, SpecialVerdict, Timed,
+    WitnessBuilder,
+};
+
+/// Priority-queue alphabet. Priorities double as values, so unambiguity
+/// means every priority is inserted at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PqOp {
+    /// `Insert p` returning `Unit`.
+    Insert(i64),
+    /// `ExtractMin` returning `Some(p)`.
+    ExtractSome(i64),
+    /// `ExtractMin` reporting empty (`Fail`).
+    ExtractEmpty,
+}
+
+/// Classifies an init-sequence invocation (must be an insert).
+pub(crate) fn classify_init(inv: &Invocation) -> Option<PqOp> {
+    match inv.name.as_str() {
+        "Insert" => single_int_arg(inv).map(PqOp::Insert),
+        _ => None,
+    }
+}
+
+/// Classifies a recorded operation, or reports why it falls outside the
+/// priority-queue alphabet.
+pub(crate) fn classify(inv: &Invocation, resp: &Value) -> Result<PqOp, FallbackReason> {
+    match (inv.name.as_str(), resp) {
+        ("Insert", Value::Unit) => single_int_arg(inv)
+            .map(PqOp::Insert)
+            .ok_or(FallbackReason::UnknownOp),
+        ("ExtractMin", Value::Fail) if inv.args.is_empty() => Ok(PqOp::ExtractEmpty),
+        ("ExtractMin", _) if inv.args.is_empty() => opt_int(resp)
+            .map(PqOp::ExtractSome)
+            .ok_or(FallbackReason::UnknownOp),
+        _ => Err(FallbackReason::UnknownOp),
+    }
+}
+
+/// Decides (or declines) linearizability of a classified, complete
+/// priority-queue history.
+pub(crate) fn check(ops: &[Timed<PqOp>]) -> SpecialVerdict {
+    let mut insert_of: HashMap<i64, usize> = HashMap::new();
+    for (i, t) in ops.iter().enumerate() {
+        if let PqOp::Insert(p) = t.op {
+            if insert_of.insert(p, i).is_some() {
+                return SpecialVerdict::Fallback(FallbackReason::DuplicateValue);
+            }
+        }
+    }
+    let mut extract_of: HashMap<i64, usize> = HashMap::new();
+    let mut empties: Vec<(i64, i64)> = Vec::new();
+    for (i, t) in ops.iter().enumerate() {
+        match t.op {
+            PqOp::Insert(_) => {}
+            PqOp::ExtractSome(p) => {
+                if extract_of.insert(p, i).is_some() {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+            PqOp::ExtractEmpty => empties.push((t.call, t.ret)),
+        }
+    }
+    for (p, &xi) in &extract_of {
+        match insert_of.get(p) {
+            None => return SpecialVerdict::NotLinearizable,
+            Some(&ii) => {
+                if ops[xi].ret <= ops[ii].call {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+        }
+    }
+
+    // Empty-report covering.
+    if !empties.is_empty() {
+        let mut blocked: Vec<(i64, i64)> = Vec::new();
+        for (p, &ii) in &insert_of {
+            let hi = match extract_of.get(p) {
+                Some(&xi) => ops[xi].call - 1,
+                None => i64::MAX,
+            };
+            if ops[ii].ret <= hi {
+                blocked.push((ops[ii].ret, hi));
+            }
+        }
+        let merged = merge_intervals(blocked);
+        for &(c, r) in &empties {
+            if covers(&merged, c, r - 1) {
+                return SpecialVerdict::NotLinearizable;
+            }
+        }
+    }
+
+    if greedy_accept(ops, &insert_of, &extract_of) {
+        return SpecialVerdict::Linearizable;
+    }
+
+    // Priority domination: a smaller priority provably present across
+    // the whole window of a larger priority's extract.
+    let mut prios: Vec<i64> = insert_of.keys().copied().collect();
+    prios.sort_unstable();
+    for (vi, &v) in prios.iter().enumerate() {
+        let iv = insert_of[&v];
+        let v_hi = match extract_of.get(&v) {
+            Some(&xv) => ops[xv].call - 1,
+            None => i64::MAX,
+        };
+        for &w in &prios[vi + 1..] {
+            if let Some(&xw) = extract_of.get(&w) {
+                if ops[iv].ret <= ops[xw].call && ops[xw].ret - 1 <= v_hi {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+        }
+    }
+    SpecialVerdict::Fallback(FallbackReason::Inconclusive)
+}
+
+/// Attempts to build an explicit linearization greedily (see module
+/// docs), then validates it exactly. Returns `true` on success; `false`
+/// means "don't know".
+fn greedy_accept(
+    ops: &[Timed<PqOp>],
+    insert_of: &HashMap<i64, usize>,
+    extract_of: &HashMap<i64, usize>,
+) -> bool {
+    let order = greedy_witness(ops, insert_of, extract_of);
+    verify_witness(ops, &order)
+}
+
+/// Builds a candidate witness order. Heuristics (soundness-free —
+/// [`verify_witness`] is the authority): operations are processed in
+/// return order, each linearized by its own return at the latest; a
+/// forced `extract(p)` first linearizes `insert(p)` if needed, then for
+/// every smaller present priority either cascades its callable extract
+/// (each is the minimum at its turn) or *relocates* its insert to just
+/// after this extract — the overlapping insert linearizes later instead;
+/// a forced empty-report extracts what it can and relocates the
+/// remaining inserts past itself.
+fn greedy_witness(
+    ops: &[Timed<PqOp>],
+    insert_of: &HashMap<i64, usize>,
+    extract_of: &HashMap<i64, usize>,
+) -> Vec<usize> {
+    let n = ops.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| ops[i].ret);
+    let mut b = WitnessBuilder::new(n);
+    let mut present: BTreeSet<i64> = BTreeSet::new();
+    for &x in &order {
+        if b.linearized[x] {
+            continue;
+        }
+        let deadline = ops[x].ret;
+        match ops[x].op {
+            PqOp::Insert(p) => {
+                b.place(x);
+                present.insert(p);
+            }
+            PqOp::ExtractSome(p) => {
+                if !present.contains(&p) {
+                    if let Some(&ip) = insert_of.get(&p) {
+                        if !b.linearized[ip] {
+                            b.place(ip);
+                            present.insert(p);
+                        }
+                    }
+                }
+                // Smaller present priorities must go before this extract
+                // (cascade) or have their inserts deferred past it.
+                let smaller: Vec<i64> = present.range(..p).copied().collect();
+                let mut deferred: Vec<i64> = Vec::new();
+                for u in smaller {
+                    match extract_of.get(&u) {
+                        Some(&xu) if !b.linearized[xu] && ops[xu].call < deadline => {
+                            b.place(xu);
+                            present.remove(&u);
+                        }
+                        _ => {
+                            present.remove(&u);
+                            deferred.push(u);
+                        }
+                    }
+                }
+                present.remove(&p);
+                b.place(x);
+                for &u in &deferred {
+                    b.relocate(insert_of[&u]);
+                    present.insert(u);
+                }
+            }
+            PqOp::ExtractEmpty => {
+                let all: Vec<i64> = present.iter().copied().collect();
+                let mut deferred: Vec<i64> = Vec::new();
+                for u in all {
+                    match extract_of.get(&u) {
+                        Some(&xu) if !b.linearized[xu] && ops[xu].call < deadline => {
+                            b.place(xu);
+                            present.remove(&u);
+                        }
+                        _ => {
+                            present.remove(&u);
+                            deferred.push(u);
+                        }
+                    }
+                }
+                b.place(x);
+                for &u in &deferred {
+                    b.relocate(insert_of[&u]);
+                    present.insert(u);
+                }
+            }
+        }
+    }
+    b.order()
+}
+
+/// Exact witness validation: full permutation, real-time precedence,
+/// and a min-priority-queue replay (every extract takes the minimum,
+/// every empty-report sees an empty queue). Any `true` is a sound
+/// accept.
+fn verify_witness(ops: &[Timed<PqOp>], order: &[usize]) -> bool {
+    if order.len() != ops.len() || !respects_precedence(ops, order) {
+        return false;
+    }
+    let mut present: BTreeSet<i64> = BTreeSet::new();
+    for &i in order {
+        match ops[i].op {
+            PqOp::Insert(p) => {
+                if !present.insert(p) {
+                    return false;
+                }
+            }
+            PqOp::ExtractSome(p) => {
+                if present.iter().next() != Some(&p) {
+                    return false;
+                }
+                present.remove(&p);
+            }
+            PqOp::ExtractEmpty => {
+                if !present.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(op: PqOp, call: i64, ret: i64) -> Timed<PqOp> {
+        Timed { op, call, ret }
+    }
+
+    #[test]
+    fn sequential_min_order_accepts() {
+        let ops = vec![
+            t(PqOp::Insert(5), 0, 1),
+            t(PqOp::Insert(3), 2, 3),
+            t(PqOp::ExtractSome(3), 4, 5),
+            t(PqOp::ExtractSome(5), 6, 7),
+            t(PqOp::ExtractEmpty, 8, 9),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn extracting_larger_while_smaller_forced_present_rejects() {
+        // 3 is inserted (done by pos 1) and never extracted, yet
+        // ExtractMin later returns 5.
+        let ops = vec![
+            t(PqOp::Insert(3), 0, 1),
+            t(PqOp::Insert(5), 2, 3),
+            t(PqOp::ExtractSome(5), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_insert_excuses_larger_extract() {
+        // insert(3) overlaps extract(5): extract first, insert after.
+        let ops = vec![
+            t(PqOp::Insert(5), 0, 1),
+            t(PqOp::Insert(3), 2, 6),
+            t(PqOp::ExtractSome(5), 3, 4),
+            t(PqOp::ExtractSome(3), 7, 8),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn forced_cascade_of_smaller_priorities_accepts() {
+        // extract(7) forces extracting 1 and 3 first; both callable.
+        let ops = vec![
+            t(PqOp::Insert(1), 0, 1),
+            t(PqOp::Insert(3), 2, 3),
+            t(PqOp::Insert(7), 4, 5),
+            t(PqOp::ExtractSome(7), 6, 11),
+            t(PqOp::ExtractSome(1), 7, 12),
+            t(PqOp::ExtractSome(3), 8, 13),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn extract_before_insert_rejects() {
+        let ops = vec![t(PqOp::ExtractSome(1), 0, 1), t(PqOp::Insert(1), 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn unmatched_extract_rejects() {
+        assert_eq!(
+            check(&[t(PqOp::ExtractSome(9), 0, 1)]),
+            SpecialVerdict::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn empty_report_on_provably_nonempty_pq_rejects() {
+        let ops = vec![t(PqOp::Insert(1), 0, 1), t(PqOp::ExtractEmpty, 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn duplicate_insert_falls_back() {
+        let ops = vec![
+            t(PqOp::Insert(1), 0, 1),
+            t(PqOp::Insert(1), 2, 3),
+            t(PqOp::ExtractSome(1), 4, 5),
+        ];
+        assert_eq!(
+            check(&ops),
+            SpecialVerdict::Fallback(FallbackReason::DuplicateValue)
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Specialized checker for unambiguous FIFO-queue histories.
+//!
+//! For a complete history in which every value is enqueued at most once,
+//! linearizability is equivalent to the absence of four interval
+//! patterns (the queue violation characterization of Bouajjani, Emmi,
+//! Enea & Hamza; cf. Abdulla et al. in PAPERS.md):
+//!
+//! * **Q0 (matching)** — a dequeue returns a value never enqueued, or
+//!   two dequeues return the same (uniquely-enqueued) value.
+//! * **Q1 (causality)** — a dequeue of `v` completes before the enqueue
+//!   of `v` begins.
+//! * **Q2 (FIFO)** — `enq(v) <H enq(w)`, `w` is dequeued, and either `v`
+//!   is never dequeued or `deq(w) <H deq(v)`: `w` overtook `v`.
+//! * **Q3 (empty)** — a `TryDequeue` that reported *empty* has every
+//!   candidate slot covered by some value's forced-presence interval
+//!   `[ret(enq v), call(deq v) − 1]` (unbounded if `v` is never
+//!   dequeued), so no linearization point can see an empty queue.
+//!
+//! All four are decided in O(n log n): hash-join for Q0/Q1, a sort +
+//! prefix-maximum + binary search for Q2, and interval merging for Q3.
+//! Duplicate *enqueues* make matching ambiguous and fall back to the
+//! general search.
+
+use std::collections::HashMap;
+
+use lineup::{FallbackReason, Invocation, Value};
+
+use super::{covers, merge_intervals, opt_int, single_int_arg, SpecialVerdict, Timed};
+
+/// Queue alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueueOp {
+    /// `Enqueue v` / `Add v` returning `Unit`.
+    Enq(i64),
+    /// `TryDequeue` / `TryTake` returning `Some(v)`.
+    DeqSome(i64),
+    /// `TryDequeue` / `TryTake` reporting empty (`Fail`).
+    DeqEmpty,
+}
+
+/// Classifies an init-sequence invocation (must be an enqueue).
+pub(crate) fn classify_init(inv: &Invocation) -> Option<QueueOp> {
+    match inv.name.as_str() {
+        "Enqueue" | "Add" => single_int_arg(inv).map(QueueOp::Enq),
+        _ => None,
+    }
+}
+
+/// Classifies a recorded operation, or reports why it falls outside the
+/// queue alphabet.
+pub(crate) fn classify(inv: &Invocation, resp: &Value) -> Result<QueueOp, FallbackReason> {
+    match (inv.name.as_str(), resp) {
+        ("Enqueue" | "Add", Value::Unit) => single_int_arg(inv)
+            .map(QueueOp::Enq)
+            .ok_or(FallbackReason::UnknownOp),
+        ("TryDequeue" | "TryTake", Value::Fail) if inv.args.is_empty() => Ok(QueueOp::DeqEmpty),
+        ("TryDequeue" | "TryTake", _) if inv.args.is_empty() => opt_int(resp)
+            .map(QueueOp::DeqSome)
+            .ok_or(FallbackReason::UnknownOp),
+        _ => Err(FallbackReason::UnknownOp),
+    }
+}
+
+/// Decides linearizability of a classified, complete queue history.
+pub(crate) fn check(ops: &[Timed<QueueOp>]) -> SpecialVerdict {
+    // Pass 1: index enqueues. A duplicate enqueue value breaks the
+    // unambiguity precondition of every pattern below.
+    let mut enq: HashMap<i64, (i64, i64)> = HashMap::new();
+    for t in ops {
+        if let QueueOp::Enq(v) = t.op {
+            if enq.insert(v, (t.call, t.ret)).is_some() {
+                return SpecialVerdict::Fallback(FallbackReason::DuplicateValue);
+            }
+        }
+    }
+
+    // Pass 2: index dequeues; Q0 duplicates are certain violations
+    // because the matching enqueue is unique.
+    let mut deq: HashMap<i64, (i64, i64)> = HashMap::new();
+    let mut empties: Vec<(i64, i64)> = Vec::new();
+    for t in ops {
+        match t.op {
+            QueueOp::Enq(_) => {}
+            QueueOp::DeqSome(v) => {
+                if deq.insert(v, (t.call, t.ret)).is_some() {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+            QueueOp::DeqEmpty => empties.push((t.call, t.ret)),
+        }
+    }
+
+    // Q0 + Q1.
+    for (v, &(_c_d, r_d)) in &deq {
+        match enq.get(v) {
+            None => return SpecialVerdict::NotLinearizable,
+            Some(&(c_e, _r_e)) => {
+                if r_d <= c_e {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+        }
+    }
+
+    // Q2 (FIFO overtaking): violation iff some enqueued value v has
+    // ret(enq v) < call(enq w) for a dequeued w with
+    // call(deq v) > ret(deq w) (call(deq v) = +inf when v is never
+    // dequeued). Sorting by ret(enq) and keeping a prefix maximum of
+    // call(deq) turns the existential into a binary search.
+    let mut by_enq_ret: Vec<(i64, i64)> = enq
+        .iter()
+        .map(|(v, &(_c_e, r_e))| {
+            let c_d = deq.get(v).map(|&(c, _)| c).unwrap_or(i64::MAX);
+            (r_e, c_d)
+        })
+        .collect();
+    by_enq_ret.sort_unstable();
+    let mut prefix_max: Vec<i64> = Vec::with_capacity(by_enq_ret.len() + 1);
+    prefix_max.push(i64::MIN);
+    for &(_, c_d) in &by_enq_ret {
+        prefix_max.push((*prefix_max.last().unwrap()).max(c_d));
+    }
+    for (w, &(c_ew, _r_ew)) in &enq {
+        if let Some(&(_c_dw, r_dw)) = deq.get(w) {
+            let earlier = by_enq_ret.partition_point(|&(r_e, _)| r_e < c_ew);
+            if prefix_max[earlier] > r_dw {
+                return SpecialVerdict::NotLinearizable;
+            }
+        }
+    }
+
+    // Q3 (empty dequeues): value v forcibly occupies slots
+    // [ret(enq v), call(deq v) - 1]; an empty-report whose candidate
+    // slots [call, ret-1] are fully covered by the union of those
+    // intervals is a certain violation — and an uncovered slot always
+    // admits a witness (place enqueues late, dequeues early).
+    if !empties.is_empty() {
+        let mut blocked: Vec<(i64, i64)> = Vec::new();
+        for (v, &(_c_e, r_e)) in &enq {
+            let hi = match deq.get(v) {
+                Some(&(c_d, _r_d)) => c_d - 1,
+                None => i64::MAX,
+            };
+            if r_e <= hi {
+                blocked.push((r_e, hi));
+            }
+        }
+        let merged = merge_intervals(blocked);
+        for &(c, r) in &empties {
+            if covers(&merged, c, r - 1) {
+                return SpecialVerdict::NotLinearizable;
+            }
+        }
+    }
+
+    SpecialVerdict::Linearizable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(op: QueueOp, call: i64, ret: i64) -> Timed<QueueOp> {
+        Timed { op, call, ret }
+    }
+
+    #[test]
+    fn sequential_fifo_accepts() {
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::Enq(2), 2, 3),
+            t(QueueOp::DeqSome(1), 4, 5),
+            t(QueueOp::DeqSome(2), 6, 7),
+            t(QueueOp::DeqEmpty, 8, 9),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn overlapping_enqueues_may_commute() {
+        // enq(1) and enq(2) overlap: dequeuing 2 first is linearizable.
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 3),
+            t(QueueOp::Enq(2), 1, 2),
+            t(QueueOp::DeqSome(2), 4, 5),
+            t(QueueOp::DeqSome(1), 6, 7),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn fifo_overtaking_rejects() {
+        // enq(1) strictly precedes enq(2), but 2 is dequeued first.
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::Enq(2), 2, 3),
+            t(QueueOp::DeqSome(2), 4, 5),
+            t(QueueOp::DeqSome(1), 6, 7),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn lost_value_rejects() {
+        // enq(1) strictly precedes enq(2); 2 is dequeued, 1 never is.
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::Enq(2), 2, 3),
+            t(QueueOp::DeqSome(2), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn dequeue_before_enqueue_rejects() {
+        let ops = vec![t(QueueOp::DeqSome(1), 0, 1), t(QueueOp::Enq(1), 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn unmatched_and_duplicate_dequeues_reject() {
+        assert_eq!(
+            check(&[t(QueueOp::DeqSome(7), 0, 1)]),
+            SpecialVerdict::NotLinearizable
+        );
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::DeqSome(1), 2, 3),
+            t(QueueOp::DeqSome(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn duplicate_enqueue_falls_back() {
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::Enq(1), 2, 3),
+            t(QueueOp::DeqSome(1), 4, 5),
+        ];
+        assert_eq!(
+            check(&ops),
+            SpecialVerdict::Fallback(FallbackReason::DuplicateValue)
+        );
+    }
+
+    #[test]
+    fn empty_report_on_provably_nonempty_queue_rejects() {
+        // 1 is enqueued (done by pos 1) and never dequeued: every later
+        // empty-report is impossible.
+        let ops = vec![t(QueueOp::Enq(1), 0, 1), t(QueueOp::DeqEmpty, 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_report_overlapping_enqueue_accepts() {
+        // The empty-report overlaps the enqueue: report first, then enq.
+        let ops = vec![t(QueueOp::Enq(1), 0, 3), t(QueueOp::DeqEmpty, 1, 2)];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn empty_report_covered_jointly_by_two_values_rejects() {
+        // Neither value alone covers the report's window, but their
+        // forced-presence intervals tile it: slots [1,4] (v=1, dequeued
+        // at call 5) and [4,8] (v=2). Report candidates are slots [2,6].
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::DeqSome(1), 5, 6),
+            t(QueueOp::Enq(2), 3, 4),
+            t(QueueOp::DeqSome(2), 9, 10),
+            t(QueueOp::DeqEmpty, 2, 7),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_report_with_gap_between_values_accepts() {
+        // v=1 is gone by slot 2 (deq call 3); v=2 arrives at slot 5:
+        // slot in between is empty.
+        let ops = vec![
+            t(QueueOp::Enq(1), 0, 1),
+            t(QueueOp::DeqSome(1), 3, 4),
+            t(QueueOp::Enq(2), 5, 6),
+            t(QueueOp::DeqSome(2), 7, 8),
+            t(QueueOp::DeqEmpty, 2, 7),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+}

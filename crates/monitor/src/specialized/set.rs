@@ -1,0 +1,303 @@
+//! Specialized checker for set / integer-keyed dictionary histories.
+//!
+//! Keys are independent: a linearization exists iff one exists per key
+//! (P-compositionality in its purest form), so the history is split by
+//! key and each key is decided in O(k) after classification. A key's
+//! lifetime has at most one successful add (more are ambiguous — which
+//! observer saw which insertion? — and fall back) and then at most one
+//! successful remove, so the key's membership is a single interval
+//! `[slot(add), slot(remove))` and every observation constrains those
+//! two slots:
+//!
+//! * *present* observers (`TryAdd = false`, `ContainsKey = true`) must
+//!   overlap the interval: they force `slot(add) ≤ ret − 1` and
+//!   `slot(remove) ≥ call`;
+//! * *absent* observers (`TryRemove = Fail`, `ContainsKey = false`)
+//!   must linearize before the add or after the remove — a disjunction,
+//!   but on the frontier where `slot(remove)` is chosen minimal it
+//!   simplifies: only observers that *cannot* fit after the remove
+//!   (their last slot lies before every feasible `slot(remove)`) matter,
+//!   and each just forces `slot(add) ≥ call`.
+//!
+//! What remains is interval non-emptiness checks — exact, not
+//! conservative, for the unambiguous case. Remove payloads are ignored:
+//! the annotation's claim includes "a successful remove's payload is a
+//! pure function of the key", which holds for every registry dictionary
+//! (values are derived from keys) — membership, not payload identity,
+//! is what the specialized path decides.
+
+use std::collections::BTreeMap;
+
+use lineup::{FallbackReason, Invocation, Value};
+
+use super::{single_int_arg, SpecialVerdict, Timed};
+
+/// Set alphabet. Every variant carries the key it concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SetOp {
+    /// `TryAdd k` returning `true`.
+    AddOk(i64),
+    /// `TryAdd k` returning `false` (key already present).
+    AddFail(i64),
+    /// `TryRemove k` returning `Some(_)` (payload ignored, see module
+    /// docs).
+    RemoveOk(i64),
+    /// `TryRemove k` returning `Fail` (key absent).
+    RemoveFail(i64),
+    /// `ContainsKey k` returning `true`.
+    ContainsTrue(i64),
+    /// `ContainsKey k` returning `false`.
+    ContainsFalse(i64),
+}
+
+/// Classifies an init-sequence invocation (must be a `TryAdd`, which on
+/// the fresh structure necessarily succeeds).
+pub(crate) fn classify_init(inv: &Invocation) -> Option<SetOp> {
+    match inv.name.as_str() {
+        "TryAdd" => single_int_arg(inv).map(SetOp::AddOk),
+        _ => None,
+    }
+}
+
+/// Classifies a recorded operation, or reports why it falls outside the
+/// set alphabet.
+pub(crate) fn classify(inv: &Invocation, resp: &Value) -> Result<SetOp, FallbackReason> {
+    let key = single_int_arg(inv).ok_or(FallbackReason::UnknownOp)?;
+    match (inv.name.as_str(), resp) {
+        ("TryAdd", Value::Bool(true)) => Ok(SetOp::AddOk(key)),
+        ("TryAdd", Value::Bool(false)) => Ok(SetOp::AddFail(key)),
+        ("TryRemove", Value::Opt(Some(_))) => Ok(SetOp::RemoveOk(key)),
+        ("TryRemove", Value::Fail) => Ok(SetOp::RemoveFail(key)),
+        ("ContainsKey", Value::Bool(true)) => Ok(SetOp::ContainsTrue(key)),
+        ("ContainsKey", Value::Bool(false)) => Ok(SetOp::ContainsFalse(key)),
+        _ => Err(FallbackReason::UnknownOp),
+    }
+}
+
+/// Call/return intervals of one key's operations.
+#[derive(Debug, Default)]
+struct KeyOps {
+    adds: Vec<(i64, i64)>,
+    removes: Vec<(i64, i64)>,
+    present: Vec<(i64, i64)>,
+    absent: Vec<(i64, i64)>,
+}
+
+/// Selects the `KeyOps` interval list an operation belongs to.
+type Bucket = fn(&mut KeyOps) -> &mut Vec<(i64, i64)>;
+
+/// Decides linearizability of a classified, complete set history.
+pub(crate) fn check(ops: &[Timed<SetOp>]) -> SpecialVerdict {
+    let mut keys: BTreeMap<i64, KeyOps> = BTreeMap::new();
+    for t in ops {
+        let iv = (t.call, t.ret);
+        let (key, bucket): (i64, Bucket) = match t.op {
+            SetOp::AddOk(k) => (k, |ko| &mut ko.adds),
+            SetOp::RemoveOk(k) => (k, |ko| &mut ko.removes),
+            SetOp::AddFail(k) | SetOp::ContainsTrue(k) => (k, |ko| &mut ko.present),
+            SetOp::RemoveFail(k) | SetOp::ContainsFalse(k) => (k, |ko| &mut ko.absent),
+        };
+        bucket(keys.entry(key).or_default()).push(iv);
+    }
+
+    let mut fallback: Option<FallbackReason> = None;
+    for ko in keys.values() {
+        match check_key(ko) {
+            SpecialVerdict::Linearizable => {}
+            SpecialVerdict::NotLinearizable => return SpecialVerdict::NotLinearizable,
+            SpecialVerdict::Fallback(reason) => {
+                // Keep scanning: a later key may still certainly reject,
+                // which beats falling back.
+                fallback.get_or_insert(reason);
+            }
+        }
+    }
+    match fallback {
+        Some(reason) => SpecialVerdict::Fallback(reason),
+        None => SpecialVerdict::Linearizable,
+    }
+}
+
+/// Decides one key (see module docs for the derivation).
+fn check_key(ko: &KeyOps) -> SpecialVerdict {
+    if ko.adds.len() >= 2 {
+        return SpecialVerdict::Fallback(FallbackReason::DuplicateValue);
+    }
+    if ko.removes.len() >= 2 {
+        // At most one add means at most one membership episode: a second
+        // successful remove has nothing to remove.
+        return SpecialVerdict::NotLinearizable;
+    }
+    let Some(&(c_i, r_i)) = ko.adds.first() else {
+        // Never added: any successful remove or present-observation is
+        // impossible; absent-observations are trivially fine.
+        if !ko.removes.is_empty() || !ko.present.is_empty() {
+            return SpecialVerdict::NotLinearizable;
+        }
+        return SpecialVerdict::Linearizable;
+    };
+
+    // slot(add) upper bound: own window, and every present observer must
+    // still be able to end at or after it.
+    let add_hi = ko
+        .present
+        .iter()
+        .map(|&(_c, r)| r - 1)
+        .fold(r_i - 1, i64::min);
+
+    let Some(&(c_r, r_r)) = ko.removes.first() else {
+        // No remove: membership never ends, so absent observers must all
+        // fit before the add.
+        let add_lo = ko.absent.iter().map(|&(c, _r)| c).fold(c_i, i64::max);
+        if add_lo > add_hi {
+            return SpecialVerdict::NotLinearizable;
+        }
+        return SpecialVerdict::Linearizable;
+    };
+
+    // slot(remove) bounds: own window, pulled up by present observers
+    // (each must start before the removal).
+    let rem_lo = ko.present.iter().map(|&(c, _r)| c).fold(c_r, i64::max);
+    let rem_hi = r_r - 1;
+    if rem_lo > rem_hi {
+        return SpecialVerdict::NotLinearizable;
+    }
+    // Absent observers that cannot linearize after any feasible removal
+    // slot must go before the add instead, forcing slot(add) upward;
+    // the rest always fit (before the add if slot(add) passes them,
+    // after the removal otherwise).
+    let add_lo = ko
+        .absent
+        .iter()
+        .filter(|&&(_c, r)| r - 1 < rem_lo)
+        .map(|&(c, _r)| c)
+        .fold(c_i, i64::max);
+    // slot(add) must also leave room for the removal after it.
+    if add_lo > add_hi.min(rem_hi) {
+        return SpecialVerdict::NotLinearizable;
+    }
+    SpecialVerdict::Linearizable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(op: SetOp, call: i64, ret: i64) -> Timed<SetOp> {
+        Timed { op, call, ret }
+    }
+
+    #[test]
+    fn sequential_lifecycle_accepts() {
+        let ops = vec![
+            t(SetOp::ContainsFalse(1), 0, 1),
+            t(SetOp::AddOk(1), 2, 3),
+            t(SetOp::ContainsTrue(1), 4, 5),
+            t(SetOp::AddFail(1), 6, 7),
+            t(SetOp::RemoveOk(1), 8, 9),
+            t(SetOp::RemoveFail(1), 10, 11),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn observation_before_any_add_rejects() {
+        let ops = vec![t(SetOp::ContainsTrue(1), 0, 1), t(SetOp::AddOk(1), 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn remove_without_add_rejects() {
+        assert_eq!(
+            check(&[t(SetOp::RemoveOk(1), 0, 1)]),
+            SpecialVerdict::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn absent_observation_between_add_and_remove_rejects() {
+        // ContainsKey=false strictly inside the forced-present window.
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 1),
+            t(SetOp::ContainsFalse(1), 2, 3),
+            t(SetOp::RemoveOk(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn absent_observation_overlapping_add_accepts() {
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 3),
+            t(SetOp::ContainsFalse(1), 1, 2),
+            t(SetOp::RemoveOk(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn present_observation_after_remove_rejects() {
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 1),
+            t(SetOp::RemoveOk(1), 2, 3),
+            t(SetOp::ContainsTrue(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_observers_squeeze_but_fit() {
+        // Present observer forces remove >= 4; absent observer (ret 4)
+        // cannot fit after it, so it forces add >= 3 — still <= add_hi.
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 7),
+            t(SetOp::ContainsFalse(1), 3, 4),
+            t(SetOp::ContainsTrue(1), 4, 6),
+            t(SetOp::RemoveOk(1), 5, 9),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn double_add_falls_back_but_other_keys_still_reject() {
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 1),
+            t(SetOp::AddOk(1), 2, 3),
+            t(SetOp::ContainsTrue(2), 4, 5),
+        ];
+        // Key 2 is observed present but never added: certain violation
+        // wins over key 1's ambiguity.
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn double_add_alone_falls_back() {
+        let ops = vec![t(SetOp::AddOk(1), 0, 1), t(SetOp::AddOk(1), 2, 3)];
+        assert_eq!(
+            check(&ops),
+            SpecialVerdict::Fallback(FallbackReason::DuplicateValue)
+        );
+    }
+
+    #[test]
+    fn double_remove_with_single_add_rejects() {
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 1),
+            t(SetOp::RemoveOk(1), 2, 3),
+            t(SetOp::RemoveOk(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn independent_keys_compose() {
+        let ops = vec![
+            t(SetOp::AddOk(1), 0, 3),
+            t(SetOp::AddOk(2), 1, 2),
+            t(SetOp::RemoveOk(2), 4, 7),
+            t(SetOp::ContainsTrue(1), 5, 6),
+            t(SetOp::ContainsFalse(2), 8, 9),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+}

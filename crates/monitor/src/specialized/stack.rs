@@ -1,0 +1,520 @@
+//! Specialized checker for unambiguous LIFO-stack histories.
+//!
+//! Two sound procedures compose into a near-complete decision:
+//!
+//! 1. **Verified greedy accept.** Process operations in return order,
+//!    maintaining a simulated stack, building an explicit candidate
+//!    witness order; heuristic *relocation* repairs (re-ordering
+//!    overlapping pushes, deferring pushes past an empty-report) handle
+//!    the common jitter inversions. The candidate is then validated
+//!    exactly — permutation, real-time precedence, LIFO replay — so an
+//!    accept is always backed by a checked witness regardless of which
+//!    heuristics fired. Sound, though not complete.
+//! 2. **Certain-reject patterns.** Matching violations (pop of a value
+//!    never pushed, duplicate pops), causality (`pop` completes before
+//!    `push` begins), the empty-report covering argument (same interval
+//!    union as the queue checker), and the two LIFO order patterns:
+//!    `push(v) <H push(w) <H pop(v) <H pop(w)` (with `w` below the
+//!    forced-present `v`... symmetric witness with both popped), and
+//!    `push(w) <H push(v)`, `v` never popped, `push(v) <H pop(w)` —
+//!    `v` sits above `w` forever, so `pop(w)` cannot return `w`.
+//!
+//! When greedy fails and no reject pattern fires the history goes to the
+//! general search ([`FallbackReason::Inconclusive`]); the pattern scan is
+//! O(n²) but only runs on that rare path.
+
+use std::collections::HashMap;
+
+use lineup::{FallbackReason, Invocation, Value};
+
+use super::{
+    covers, merge_intervals, opt_int, respects_precedence, single_int_arg, SpecialVerdict, Timed,
+    WitnessBuilder,
+};
+
+/// Stack alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StackOp {
+    /// `Push v` returning `Unit`.
+    Push(i64),
+    /// `TryPop` returning `Some(v)`.
+    PopSome(i64),
+    /// `TryPop` reporting empty (`Fail`).
+    PopEmpty,
+}
+
+/// Classifies an init-sequence invocation (must be a push).
+pub(crate) fn classify_init(inv: &Invocation) -> Option<StackOp> {
+    match inv.name.as_str() {
+        "Push" => single_int_arg(inv).map(StackOp::Push),
+        _ => None,
+    }
+}
+
+/// Classifies a recorded operation, or reports why it falls outside the
+/// stack alphabet.
+pub(crate) fn classify(inv: &Invocation, resp: &Value) -> Result<StackOp, FallbackReason> {
+    match (inv.name.as_str(), resp) {
+        ("Push", Value::Unit) => single_int_arg(inv)
+            .map(StackOp::Push)
+            .ok_or(FallbackReason::UnknownOp),
+        ("TryPop", Value::Fail) if inv.args.is_empty() => Ok(StackOp::PopEmpty),
+        ("TryPop", _) if inv.args.is_empty() => opt_int(resp)
+            .map(StackOp::PopSome)
+            .ok_or(FallbackReason::UnknownOp),
+        _ => Err(FallbackReason::UnknownOp),
+    }
+}
+
+/// Decides (or declines) linearizability of a classified, complete stack
+/// history.
+pub(crate) fn check(ops: &[Timed<StackOp>]) -> SpecialVerdict {
+    // Matching: unique pushes (else ambiguous), unique matched pops.
+    let mut push_of: HashMap<i64, usize> = HashMap::new();
+    for (i, t) in ops.iter().enumerate() {
+        if let StackOp::Push(v) = t.op {
+            if push_of.insert(v, i).is_some() {
+                return SpecialVerdict::Fallback(FallbackReason::DuplicateValue);
+            }
+        }
+    }
+    let mut pop_of: HashMap<i64, usize> = HashMap::new();
+    let mut empties: Vec<(i64, i64)> = Vec::new();
+    for (i, t) in ops.iter().enumerate() {
+        match t.op {
+            StackOp::Push(_) => {}
+            StackOp::PopSome(v) => {
+                if pop_of.insert(v, i).is_some() {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+            StackOp::PopEmpty => empties.push((t.call, t.ret)),
+        }
+    }
+    for (v, &pi) in &pop_of {
+        match push_of.get(v) {
+            None => return SpecialVerdict::NotLinearizable,
+            Some(&qi) => {
+                if ops[pi].ret <= ops[qi].call {
+                    return SpecialVerdict::NotLinearizable;
+                }
+            }
+        }
+    }
+
+    // Empty-report covering (identical argument to the queue's Q3: a
+    // value forcibly on the stack blocks the emptiness of every slot in
+    // [ret(push), call(pop) - 1]).
+    if !empties.is_empty() {
+        let mut blocked: Vec<(i64, i64)> = Vec::new();
+        for (v, &qi) in &push_of {
+            let hi = match pop_of.get(v) {
+                Some(&pi) => ops[pi].call - 1,
+                None => i64::MAX,
+            };
+            if ops[qi].ret <= hi {
+                blocked.push((ops[qi].ret, hi));
+            }
+        }
+        let merged = merge_intervals(blocked);
+        for &(c, r) in &empties {
+            if covers(&merged, c, r - 1) {
+                return SpecialVerdict::NotLinearizable;
+            }
+        }
+    }
+
+    if greedy_accept(ops, &push_of, &pop_of) {
+        return SpecialVerdict::Linearizable;
+    }
+
+    // Greedy got stuck: look for a certain LIFO violation pattern.
+    let mut pushed: Vec<i64> = push_of.keys().copied().collect();
+    pushed.sort_unstable(); // determinism of the scan order
+    for &v in &pushed {
+        let qv = push_of[&v];
+        for &w in &pushed {
+            if v == w {
+                continue;
+            }
+            let qw = push_of[&w];
+            match (pop_of.get(&v), pop_of.get(&w)) {
+                // push(v) <H push(w) <H pop(v) <H pop(w): at pop(v)'s
+                // point w is forcibly above v and not yet popped.
+                (Some(&pv), Some(&pw))
+                    if ops[qv].ret < ops[qw].call
+                        && ops[qw].ret < ops[pv].call
+                        && ops[pv].ret < ops[pw].call =>
+                {
+                    return SpecialVerdict::NotLinearizable;
+                }
+                // push(w) <H push(v), v never popped, push(v) <H
+                // pop(w): v buries w forever before pop(w) can run.
+                (None, Some(&pw)) if ops[qw].ret < ops[qv].call && ops[qv].ret <= ops[pw].call => {
+                    return SpecialVerdict::NotLinearizable;
+                }
+                _ => {}
+            }
+        }
+    }
+    SpecialVerdict::Fallback(FallbackReason::Inconclusive)
+}
+
+/// Attempts to build an explicit linearization greedily (see module
+/// docs), then validates it exactly. Returns `true` on success; `false`
+/// means "don't know".
+fn greedy_accept(
+    ops: &[Timed<StackOp>],
+    push_of: &HashMap<i64, usize>,
+    pop_of: &HashMap<i64, usize>,
+) -> bool {
+    let order = greedy_witness(ops, push_of, pop_of);
+    verify_witness(ops, &order)
+}
+
+/// Builds a candidate witness order. Heuristics (all soundness-free —
+/// [`verify_witness`] is the authority):
+///
+/// * Operations are processed in return order, but pushes are *lazy*:
+///   a push linearizes only when real-time precedence forces it before
+///   the operation about to be placed (just-in-time flush), when its
+///   own pop needs the value, or at the very end. Within a flushed
+///   batch, pushes go latest-popped-first (subject to their mutual
+///   precedence), matching LIFO nesting.
+/// * A forced `pop(v)` with `v` buried cascade-pops the burying values
+///   if all their pops are callable; otherwise it *relocates* `push(v)`
+///   to the current slot — overlapping pushes linearized in the other
+///   order — which hoists `v` to the top.
+/// * A forced empty-report pops what it can and relocates the remaining
+///   pushes to just after itself (unflushed pending pushes simply stay
+///   lazy and linearize later).
+fn greedy_witness(
+    ops: &[Timed<StackOp>],
+    push_of: &HashMap<i64, usize>,
+    pop_of: &HashMap<i64, usize>,
+) -> Vec<usize> {
+    let n = ops.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| ops[i].ret);
+    let mut b = WitnessBuilder::new(n);
+    let mut stack: Vec<i64> = Vec::new();
+    // Pushes seen by the return-order scan but not yet linearized.
+    let mut pending: Vec<usize> = Vec::new();
+    // The slot a value must leave the stack by: its pop's call (values
+    // popped later — or never — sit deeper under LIFO).
+    let dealloc = |q: usize| -> i64 {
+        let StackOp::Push(v) = ops[q].op else {
+            return i64::MAX;
+        };
+        pop_of.get(&v).map_or(i64::MAX, |&p| ops[p].call)
+    };
+    // Places every pending push that must precede an op calling at
+    // `threshold` (ret < call ⇒ ordered), latest-dealloc-first subject
+    // to the batch's own precedence constraints.
+    let flush =
+        |threshold: i64, b: &mut WitnessBuilder, stack: &mut Vec<i64>, pending: &mut Vec<usize>| {
+            pending.retain(|&q| !b.linearized[q]);
+            let mut batch: Vec<usize> = Vec::new();
+            pending.retain(|&q| {
+                if ops[q].ret < threshold {
+                    batch.push(q);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Pull in callable pushes that LIFO-nest *below* a forced one:
+            // w must go under f when w is popped later (or never) than f yet
+            // w's push is forced before f's pop. Fixpoint, since a pulled
+            // push can force further pulls beneath itself.
+            while !batch.is_empty() {
+                let mut pulled: Vec<usize> = Vec::new();
+                pending.retain(|&q| {
+                    let needed = ops[q].call < threshold
+                        && batch.iter().any(|&f| {
+                            let df = dealloc(f);
+                            dealloc(q) > df && ops[q].ret < df
+                        });
+                    if needed {
+                        pulled.push(q);
+                    }
+                    !needed
+                });
+                if pulled.is_empty() {
+                    break;
+                }
+                batch.extend(pulled);
+            }
+            while !batch.is_empty() {
+                let mut best: Option<usize> = None;
+                for (k, &q) in batch.iter().enumerate() {
+                    let ready = batch.iter().all(|&w| w == q || ops[w].ret >= ops[q].call);
+                    if ready && best.is_none_or(|bk| dealloc(q) > dealloc(batch[bk])) {
+                        best = Some(k);
+                    }
+                }
+                // Precedence is a partial order, so a ready push exists.
+                let q = batch.swap_remove(best.expect("acyclic batch"));
+                // Values on top that must leave before q's value does (and
+                // whose pops are callable this early) get popped first, so
+                // the flushed push doesn't bury them — unless some still
+                // unplaced push is precedence-forced before that pop.
+                while let Some(&u) = stack.last() {
+                    match pop_of.get(&u) {
+                        Some(&pu)
+                            if !b.linearized[pu]
+                                && ops[pu].call < ops[q].ret
+                                && ops[pu].call < dealloc(q)
+                                && !batch
+                                    .iter()
+                                    .chain(pending.iter())
+                                    .any(|&w| ops[w].ret < ops[pu].call) =>
+                        {
+                            stack.pop();
+                            b.place(pu);
+                        }
+                        _ => break,
+                    }
+                }
+                b.place(q);
+                if let StackOp::Push(v) = ops[q].op {
+                    stack.push(v);
+                }
+            }
+        };
+    for &x in &order {
+        if b.linearized[x] {
+            continue;
+        }
+        let deadline = ops[x].ret;
+        match ops[x].op {
+            StackOp::Push(_) => pending.push(x),
+            StackOp::PopSome(v) => {
+                // Any flush below can linearize x itself (its cascade
+                // pops stack tops, placing their pops), so re-check
+                // after each one.
+                flush(ops[x].call, &mut b, &mut stack, &mut pending);
+                if b.linearized[x] {
+                    continue;
+                }
+                if !stack.contains(&v) {
+                    // v not yet pushed: push(v) right here (the push's
+                    // call may postdate the pop's, so flush what must
+                    // precede the push first).
+                    if let Some(&qv) = push_of.get(&v) {
+                        if !b.linearized[qv] {
+                            flush(ops[qv].call, &mut b, &mut stack, &mut pending);
+                            if !b.linearized[qv] {
+                                b.place(qv);
+                                stack.push(v);
+                            }
+                        }
+                    }
+                }
+                // Pop the buriers above v, flushing pushes forced before
+                // each burier's pop (a flush can land new values on top,
+                // so re-examine the top each round); an unpoppable
+                // burier means v must instead be hoisted by relocating
+                // its push to the current end.
+                while let Some(&u) = stack.last() {
+                    if b.linearized[x] {
+                        break;
+                    }
+                    if u == v {
+                        stack.pop();
+                        break;
+                    }
+                    match pop_of.get(&u) {
+                        Some(&pu) if !b.linearized[pu] && ops[pu].call < deadline => {
+                            flush(ops[pu].call, &mut b, &mut stack, &mut pending);
+                            if stack.last() == Some(&u) {
+                                stack.pop();
+                                b.place(pu);
+                            }
+                        }
+                        _ => {
+                            if let Some(d) = stack.iter().rposition(|&w| w == v) {
+                                stack.remove(d);
+                                b.relocate(push_of[&v]);
+                            }
+                            break;
+                        }
+                    }
+                }
+                if !b.linearized[x] {
+                    b.place(x);
+                }
+            }
+            StackOp::PopEmpty => {
+                flush(ops[x].call, &mut b, &mut stack, &mut pending);
+                let mut kept: Vec<i64> = Vec::new();
+                while let Some(&u) = stack.last() {
+                    match pop_of.get(&u) {
+                        Some(&pu) if !b.linearized[pu] && ops[pu].call < deadline => {
+                            flush(ops[pu].call, &mut b, &mut stack, &mut pending);
+                            if stack.last() == Some(&u) {
+                                stack.pop();
+                                b.place(pu);
+                            }
+                        }
+                        _ => {
+                            stack.pop();
+                            kept.push(u);
+                        }
+                    }
+                }
+                b.place(x);
+                for &u in kept.iter().rev() {
+                    b.relocate(push_of[&u]);
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    flush(i64::MAX, &mut b, &mut stack, &mut pending);
+    b.order()
+}
+
+/// Exact witness validation: the order must be a full permutation,
+/// respect real-time precedence, and replay correctly through LIFO
+/// semantics. Any `true` here is a sound accept.
+fn verify_witness(ops: &[Timed<StackOp>], order: &[usize]) -> bool {
+    if order.len() != ops.len() || !respects_precedence(ops, order) {
+        return false;
+    }
+    let mut stack: Vec<i64> = Vec::new();
+    for &i in order {
+        match ops[i].op {
+            StackOp::Push(v) => stack.push(v),
+            StackOp::PopSome(v) => {
+                if stack.pop() != Some(v) {
+                    return false;
+                }
+            }
+            StackOp::PopEmpty => {
+                if !stack.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(op: StackOp, call: i64, ret: i64) -> Timed<StackOp> {
+        Timed { op, call, ret }
+    }
+
+    #[test]
+    fn sequential_lifo_accepts() {
+        let ops = vec![
+            t(StackOp::Push(1), 0, 1),
+            t(StackOp::Push(2), 2, 3),
+            t(StackOp::PopSome(2), 4, 5),
+            t(StackOp::PopSome(1), 6, 7),
+            t(StackOp::PopEmpty, 8, 9),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn fifo_order_on_stack_rejects() {
+        // push(1) <H push(2) <H pop(1) <H pop(2): FIFO behavior.
+        let ops = vec![
+            t(StackOp::Push(1), 0, 1),
+            t(StackOp::Push(2), 2, 3),
+            t(StackOp::PopSome(1), 4, 5),
+            t(StackOp::PopSome(2), 6, 7),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_pushes_commute() {
+        // Pushes overlap, so popping in either order is fine.
+        let ops = vec![
+            t(StackOp::Push(1), 0, 3),
+            t(StackOp::Push(2), 1, 2),
+            t(StackOp::PopSome(1), 4, 5),
+            t(StackOp::PopSome(2), 6, 7),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn pop_overlapping_push_accepts() {
+        // pop(2) overlaps push(2): push can linearize first.
+        let ops = vec![
+            t(StackOp::Push(1), 0, 1),
+            t(StackOp::Push(2), 3, 6),
+            t(StackOp::PopSome(2), 4, 5),
+            t(StackOp::PopSome(1), 7, 8),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn unpopped_value_burying_popped_one_rejects() {
+        // push(1) <H push(2); 2 stays forever; pop(1) called after
+        // push(2) completes: 2 buries 1.
+        let ops = vec![
+            t(StackOp::Push(1), 0, 1),
+            t(StackOp::Push(2), 2, 3),
+            t(StackOp::PopSome(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn pop_before_push_rejects() {
+        let ops = vec![t(StackOp::PopSome(1), 0, 1), t(StackOp::Push(1), 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_report_on_provably_nonempty_stack_rejects() {
+        let ops = vec![t(StackOp::Push(1), 0, 1), t(StackOp::PopEmpty, 2, 3)];
+        assert_eq!(check(&ops), SpecialVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_report_before_everything_accepts() {
+        let ops = vec![
+            t(StackOp::PopEmpty, 0, 2),
+            t(StackOp::Push(1), 1, 3),
+            t(StackOp::PopSome(1), 4, 5),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+
+    #[test]
+    fn duplicate_push_falls_back() {
+        let ops = vec![
+            t(StackOp::Push(1), 0, 1),
+            t(StackOp::Push(1), 2, 3),
+            t(StackOp::PopSome(1), 4, 5),
+        ];
+        assert_eq!(
+            check(&ops),
+            SpecialVerdict::Fallback(FallbackReason::DuplicateValue)
+        );
+    }
+
+    #[test]
+    fn interleaved_cascade_accepts() {
+        // pop(1) forces the cascade pop of 3 and 2, both callable.
+        let ops = vec![
+            t(StackOp::Push(1), 0, 1),
+            t(StackOp::Push(2), 2, 3),
+            t(StackOp::Push(3), 4, 5),
+            t(StackOp::PopSome(1), 6, 11),
+            t(StackOp::PopSome(3), 7, 12),
+            t(StackOp::PopSome(2), 8, 13),
+        ];
+        assert_eq!(check(&ops), SpecialVerdict::Linearizable);
+    }
+}

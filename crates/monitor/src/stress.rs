@@ -96,6 +96,15 @@ pub struct StressReport {
     /// Monitor checks performed (distinct complete histories plus one per
     /// pending operation of distinct stuck histories).
     pub monitor_checks: u64,
+    /// Runs whose history was already checked (verdict served from the
+    /// per-history cache — no monitor work done). `runs` =
+    /// `distinct_histories + history_cache_hits` when no run is cut off
+    /// early, so throughput derived from `monitor_checks` measures fresh
+    /// monitor work only.
+    pub history_cache_hits: u64,
+    /// The monitor's own counters accumulated over this campaign (oracle
+    /// steps, memo hits, specialized-vs-fallback paths).
+    pub monitor_stats: crate::linearize::MonitorStats,
     /// The rejections, in order of first occurrence.
     pub violations: Vec<StressViolation>,
     /// Total wall-clock time of the campaign.
@@ -150,6 +159,7 @@ where
     let ncols = matrix.columns.len();
     let thread_count = ncols + usize::from(!matrix.finally.is_empty());
     let start = Instant::now();
+    let stats_before = monitor.stats();
     let mut verdicts: HashMap<History, bool> = HashMap::new();
     let mut report = StressReport {
         runs: 0,
@@ -157,6 +167,8 @@ where
         distinct_histories: 0,
         stuck_runs: 0,
         monitor_checks: 0,
+        history_cache_hits: 0,
+        monitor_stats: Default::default(),
         violations: Vec::new(),
         wall: Duration::ZERO,
         monitor_wall: Duration::ZERO,
@@ -174,6 +186,9 @@ where
 
         // Check each distinct history once.
         let known = verdicts.contains_key(&history);
+        if known {
+            report.history_cache_hits += 1;
+        }
         if !known {
             report.distinct_histories += 1;
             let t0 = Instant::now();
@@ -217,6 +232,7 @@ where
         }
     }
     report.wall = start.elapsed();
+    report.monitor_stats = monitor.stats().diff_since(&stats_before);
     report
 }
 
@@ -361,6 +377,18 @@ mod tests {
         assert_eq!(report.stuck_runs, 0);
         assert!(report.ops >= 50 * 4);
         assert!(report.distinct_histories >= 1);
+        // Cache accounting: every run is either a fresh history or a hit.
+        assert_eq!(
+            report.distinct_histories + report.history_cache_hits as usize,
+            report.runs
+        );
+        assert_eq!(report.monitor_stats.checks, report.monitor_checks);
+        // No ADT annotation: every check is a fallback.
+        assert_eq!(report.monitor_stats.paths.specialized_checks, 0);
+        assert_eq!(
+            report.monitor_stats.paths.fallback_checks,
+            report.monitor_checks
+        );
     }
 
     #[test]

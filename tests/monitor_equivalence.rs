@@ -12,7 +12,7 @@
 
 use lineup::{CheckOptions, TestMatrix, Violation};
 use lineup_collections::registry::all_classes;
-use lineup_monitor::monitor_backend;
+use lineup_monitor::{adt_monitor_backend, monitor_backend};
 
 /// Renders a violation without its reproducing `decisions` (the verdict
 /// is per history; the decision path may come from whichever schedule
@@ -96,6 +96,54 @@ fn monitor_backend_matches_find_witness_on_all_classes() {
     assert!(
         fixed_checked >= 3 && pre_checked >= 3,
         "expected fixed and Pre coverage, got {fixed_checked} fixed / {pre_checked} Pre"
+    );
+}
+
+#[test]
+fn kind_annotated_backend_matches_find_witness_on_all_classes() {
+    // Same comparison as above, but the monitor carries the registry's
+    // ADT-kind annotation: checks of unambiguous histories are decided
+    // by the specialized log-linear checkers, the rest fall back to
+    // Wing–Gong — and neither path may change any verdict.
+    let mut annotated = 0;
+    for entry in all_classes() {
+        let matrices = matrices_for(&entry);
+        if matrices.is_empty() {
+            continue;
+        }
+        for matrix in matrices {
+            let opts = CheckOptions::new().collect_all_violations();
+            let base = entry.target().check(&matrix, &opts);
+            let backend = adt_monitor_backend(entry.target_arc(), &matrix, entry.adt_kind);
+            let mon_opts = opts.clone().with_monitor_backend(backend.clone());
+            let mon = entry.target().check(&matrix, &mon_opts);
+            assert_eq!(
+                base.passed(),
+                mon.passed(),
+                "{}: verdict differs on\n{matrix}",
+                entry.name
+            );
+            assert_eq!(
+                violation_keys(&base.violations),
+                violation_keys(&mon.violations),
+                "{}: violation set differs on\n{matrix}",
+                entry.name
+            );
+            let paths = backend.stats().paths;
+            if entry.adt_kind.is_none() {
+                assert_eq!(
+                    paths.specialized_checks, 0,
+                    "{}: unannotated monitor took a specialized path",
+                    entry.name
+                );
+            } else {
+                annotated += 1;
+            }
+        }
+    }
+    assert!(
+        annotated >= 3,
+        "expected annotated coverage, got {annotated}"
     );
 }
 

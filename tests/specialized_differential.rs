@@ -1,0 +1,315 @@
+//! Differential suite for the specialized log-linear monitors: on the
+//! same history and the same ideal oracle, a kind-annotated
+//! [`Monitor`] (specialized path with automatic Wing–Gong fallback)
+//! must return exactly the verdict of a plain monitor (Wing–Gong
+//! always), and its per-path counters must show which path ran.
+//!
+//! Three history families (see `lineup_bench::histories`):
+//! unambiguous (specialized path must decide, no fallback), ambiguous
+//! (must provably fall back — `DuplicateValue` — with no verdict
+//! change), and response-mutated (verdicts must still agree, whichever
+//! path decides). Plus targeted regressions: empty-dequeue on empty vs
+//! non-empty queues, and duplicate values forcing fallback.
+
+use proptest::prelude::*;
+
+use lineup::{AdtKind, FallbackReason, History, Invocation, Value};
+use lineup_bench::histories::{
+    ambiguous_history, ideal_oracle, pending_history, unambiguous_history, violating_history,
+    IdealStep,
+};
+use lineup_monitor::{FnOracle, Monitor};
+
+type IdealMonitor = Monitor<FnOracle<Vec<i64>, IdealStep>>;
+
+fn specialized_monitor(kind: AdtKind) -> IdealMonitor {
+    Monitor::new(ideal_oracle(kind)).with_adt_kind(kind)
+}
+
+fn general_monitor(kind: AdtKind) -> IdealMonitor {
+    Monitor::new(ideal_oracle(kind))
+}
+
+/// Names of the insert/remove methods of each kind's alphabet.
+fn method_names(kind: AdtKind) -> (&'static str, &'static str) {
+    match kind {
+        AdtKind::Queue => ("Enqueue", "TryDequeue"),
+        AdtKind::Stack => ("Push", "TryPop"),
+        AdtKind::PriorityQueue => ("Insert", "ExtractMin"),
+        AdtKind::Set => ("TryAdd", "TryRemove"),
+    }
+}
+
+/// Corrupts one response in-place, staying inside each kind's alphabet
+/// (for sets, successful-remove payloads stay the pure function of the
+/// key that the specialized checker assumes). Picks deterministically
+/// from `pick`/`alt` so proptest can shrink.
+fn mutate_response(h: &mut History, kind: AdtKind, pick: usize, alt: usize, to_fail: bool) {
+    if kind == AdtKind::Set {
+        let i = pick % h.ops.len();
+        let op = &h.ops[i];
+        let Some(&Value::Int(k)) = op.invocation.args.first() else {
+            return;
+        };
+        let new = match (op.invocation.name.as_str(), op.response.as_ref()) {
+            ("TryAdd" | "ContainsKey", Some(Value::Bool(b))) => Value::Bool(!b),
+            ("TryRemove", Some(Value::Opt(Some(_)))) => Value::Fail,
+            ("TryRemove", Some(Value::Fail)) => Value::some(Value::int(k)),
+            _ => return,
+        };
+        h.ops[i].response = Some(new);
+        return;
+    }
+    let (ins, rem) = method_names(kind);
+    let removals: Vec<usize> = (0..h.ops.len())
+        .filter(|&i| h.ops[i].invocation.name == rem)
+        .collect();
+    if removals.is_empty() {
+        return;
+    }
+    let i = removals[pick % removals.len()];
+    let inserted: Vec<i64> = h
+        .ops
+        .iter()
+        .filter(|o| o.invocation.name == ins)
+        .filter_map(|o| match o.invocation.args.first() {
+            Some(Value::Int(v)) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    let new = if to_fail || inserted.is_empty() {
+        Value::Fail
+    } else {
+        Value::some(Value::int(inserted[alt % inserted.len()]))
+    };
+    h.ops[i].response = Some(new);
+}
+
+fn kind_strategy() -> impl Strategy<Value = AdtKind> {
+    (0usize..AdtKind::ALL.len()).prop_map(|i| AdtKind::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unambiguous histories: the specialized path decides (no fallback)
+    /// and agrees with the full Wing–Gong search.
+    #[test]
+    fn specialized_agrees_on_unambiguous_histories(
+        kind in kind_strategy(),
+        ops in 20usize..120,
+        seed in 0u64..1 << 32,
+    ) {
+        let h = unambiguous_history(kind, ops, seed);
+        let spec = specialized_monitor(kind);
+        let gen = general_monitor(kind);
+        let sv = spec.check_full(&h, &[]);
+        let gv = gen.check_full(&h, &[]);
+        prop_assert!(gv, "generated history must be linearizable");
+        prop_assert_eq!(sv, gv);
+        let paths = spec.stats().paths;
+        prop_assert_eq!(paths.specialized_checks, 1);
+        prop_assert_eq!(paths.fallback_checks, 0);
+    }
+
+    /// Randomly corrupted responses: whichever path decides, the verdict
+    /// matches Wing–Gong's.
+    #[test]
+    fn specialized_agrees_on_mutated_histories(
+        kind in kind_strategy(),
+        // Kept small: a corrupted history usually rejects, and the
+        // reference Wing–Gong search is exhaustive on rejection.
+        ops in 12usize..40,
+        seed in 0u64..1 << 32,
+        mutations in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<bool>()), 1..4),
+    ) {
+        let mut h = unambiguous_history(kind, ops, seed);
+        for (pick, alt, to_fail) in mutations {
+            mutate_response(&mut h, kind, pick, alt, to_fail);
+        }
+        let spec = specialized_monitor(kind);
+        let gen = general_monitor(kind);
+        prop_assert_eq!(spec.check_full(&h, &[]), gen.check_full(&h, &[]));
+    }
+
+    /// Ambiguous histories (repeated values): the specialized path
+    /// provably falls back with `DuplicateValue`, and the Wing–Gong
+    /// fallback still accepts, so annotation changes no verdict.
+    #[test]
+    fn ambiguous_histories_take_the_fallback(
+        kind in kind_strategy(),
+        ops in 20usize..80,
+        seed in 0u64..1 << 32,
+    ) {
+        let h = ambiguous_history(kind, ops, seed);
+        let spec = specialized_monitor(kind);
+        let gen = general_monitor(kind);
+        let sv = spec.check_full(&h, &[]);
+        prop_assert!(sv, "generated ambiguous history must be linearizable");
+        prop_assert_eq!(sv, gen.check_full(&h, &[]));
+        let paths = spec.stats().paths;
+        prop_assert_eq!(paths.specialized_checks, 0);
+        prop_assert_eq!(paths.fallback_checks, 1);
+        prop_assert_eq!(paths.fallbacks_for(FallbackReason::DuplicateValue), 1);
+    }
+
+    /// A removal of a never-inserted value: both paths reject.
+    #[test]
+    fn violating_histories_reject_on_both_paths(
+        kind in kind_strategy(),
+        // Kept small: rejection makes the reference search exhaustive.
+        ops in 10usize..28,
+        seed in 0u64..1 << 32,
+    ) {
+        let h = violating_history(kind, ops, seed);
+        let spec = specialized_monitor(kind);
+        let gen = general_monitor(kind);
+        prop_assert!(!spec.check_full(&h, &[]));
+        prop_assert!(!gen.check_full(&h, &[]));
+    }
+
+    /// Histories with a pending call go through `check_stuck`: the
+    /// specialized path falls back (`PendingOps`) and agrees. The ideal
+    /// oracles never block, so neither monitor finds a stuck witness.
+    #[test]
+    fn pending_histories_agree_and_fall_back(
+        kind in kind_strategy(),
+        // Kept small: stuck checks enumerate every reachable
+        // configuration of the reference search.
+        ops in 8usize..24,
+        seed in 0u64..1 << 32,
+    ) {
+        let h = pending_history(kind, ops, seed);
+        let pending = *h.pending_ops().first().expect("one pending op");
+        let spec = specialized_monitor(kind);
+        let gen = general_monitor(kind);
+        prop_assert_eq!(
+            spec.check_stuck(&h, pending, &[]),
+            gen.check_stuck(&h, pending, &[])
+        );
+        let paths = spec.stats().paths;
+        prop_assert_eq!(paths.specialized_checks, 0);
+        prop_assert_eq!(paths.fallbacks_for(FallbackReason::PendingOps), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Targeted regressions
+// ---------------------------------------------------------------------
+
+/// Builds a complete history from `(thread, name, arg, response)` rows,
+/// one op at a time (serial unless threads interleave via `pending`
+/// rows; here all ops are serial, ordered as given).
+fn serial(rows: &[(&str, Option<i64>, Value)]) -> History {
+    let mut h = History::new(1);
+    for (name, arg, resp) in rows {
+        let inv = match arg {
+            Some(v) => Invocation::with_int(*name, *v),
+            None => Invocation::new(*name),
+        };
+        let id = h.push_call(0, inv);
+        h.push_return(id, resp.clone());
+    }
+    h
+}
+
+#[test]
+fn empty_dequeue_on_empty_queue_accepts() {
+    let h = serial(&[
+        ("TryDequeue", None, Value::Fail),
+        ("Enqueue", Some(1), Value::Unit),
+        ("TryDequeue", None, Value::some(Value::int(1))),
+        ("TryDequeue", None, Value::Fail),
+    ]);
+    let spec = specialized_monitor(AdtKind::Queue);
+    assert!(spec.check_full(&h, &[]));
+    assert_eq!(spec.stats().paths.specialized_checks, 1);
+    assert!(general_monitor(AdtKind::Queue).check_full(&h, &[]));
+}
+
+#[test]
+fn empty_dequeue_on_nonempty_queue_rejects() {
+    // The failed dequeue runs strictly inside value 1's presence window.
+    let h = serial(&[
+        ("Enqueue", Some(1), Value::Unit),
+        ("TryDequeue", None, Value::Fail),
+        ("TryDequeue", None, Value::some(Value::int(1))),
+    ]);
+    let spec = specialized_monitor(AdtKind::Queue);
+    assert!(!spec.check_full(&h, &[]));
+    assert_eq!(spec.stats().paths.specialized_checks, 1);
+    assert!(!general_monitor(AdtKind::Queue).check_full(&h, &[]));
+}
+
+#[test]
+fn duplicate_enqueue_forces_fallback_without_verdict_change() {
+    let h = serial(&[
+        ("Enqueue", Some(7), Value::Unit),
+        ("Enqueue", Some(7), Value::Unit),
+        ("TryDequeue", None, Value::some(Value::int(7))),
+        ("TryDequeue", None, Value::some(Value::int(7))),
+    ]);
+    let spec = specialized_monitor(AdtKind::Queue);
+    assert!(spec.check_full(&h, &[]));
+    let paths = spec.stats().paths;
+    assert_eq!(paths.specialized_checks, 0);
+    assert_eq!(paths.fallbacks_for(FallbackReason::DuplicateValue), 1);
+    assert!(general_monitor(AdtKind::Queue).check_full(&h, &[]));
+}
+
+#[test]
+fn unknown_method_forces_fallback() {
+    let h = serial(&[
+        ("Enqueue", Some(1), Value::Unit),
+        ("Count", None, Value::int(1)),
+        ("TryDequeue", None, Value::some(Value::int(1))),
+    ]);
+    // The ideal queue oracle panics on `Count`, so give the fallback
+    // (Wing–Gong) an oracle that knows `Count` too; only the dispatch
+    // decision is under test here.
+    let oracle = FnOracle::new(Vec::<i64>::new(), |s: &Vec<i64>, inv: &Invocation| {
+        if inv.name == "Count" {
+            lineup_monitor::StepResult::Returns(Value::int(s.len() as i64), s.clone())
+        } else {
+            lineup_bench::histories::ideal_step(AdtKind::Queue)(s, inv)
+        }
+    });
+    let spec = Monitor::new(oracle).with_adt_kind(AdtKind::Queue);
+    assert!(spec.check_full(&h, &[]));
+    let paths = spec.stats().paths;
+    assert_eq!(paths.specialized_checks, 0);
+    assert_eq!(paths.fallbacks_for(FallbackReason::UnknownOp), 1);
+}
+
+#[test]
+fn unregistered_kind_always_falls_back() {
+    let h = serial(&[
+        ("Enqueue", Some(1), Value::Unit),
+        ("TryDequeue", None, Value::some(Value::int(1))),
+    ]);
+    let gen = general_monitor(AdtKind::Queue);
+    assert!(gen.check_full(&h, &[]));
+    let paths = gen.stats().paths;
+    assert_eq!(paths.specialized_checks, 0);
+    assert_eq!(paths.fallbacks_for(FallbackReason::Unregistered), 1);
+}
+
+#[test]
+fn fifo_overtaking_rejects_through_dispatch() {
+    // enq 1 completes before enq 2 starts, yet 2 is dequeued first by an
+    // op that finishes before 1's dequeue begins.
+    let mut h = History::new(2);
+    let e1 = h.push_call(0, Invocation::with_int("Enqueue", 1));
+    h.push_return(e1, Value::Unit);
+    let e2 = h.push_call(0, Invocation::with_int("Enqueue", 2));
+    h.push_return(e2, Value::Unit);
+    let d2 = h.push_call(1, Invocation::new("TryDequeue"));
+    h.push_return(d2, Value::some(Value::int(2)));
+    let d1 = h.push_call(1, Invocation::new("TryDequeue"));
+    h.push_return(d1, Value::some(Value::int(1)));
+    let spec = specialized_monitor(AdtKind::Queue);
+    assert!(!spec.check_full(&h, &[]));
+    assert_eq!(spec.stats().paths.specialized_checks, 1);
+    assert!(!general_monitor(AdtKind::Queue).check_full(&h, &[]));
+}
