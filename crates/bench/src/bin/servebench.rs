@@ -1,0 +1,282 @@
+//! Online-monitoring service throughput benchmark: N loopback TCP
+//! clients stream pre-encoded histories into an in-process
+//! `lineup-server` engine, which checks every object shard while the
+//! windowed GC keeps memory bounded.
+//!
+//! ```text
+//! cargo run --release -p lineup-bench --bin servebench
+//!     [--clients N] [--ops N] [--block N] [--window N] [--smoke]
+//!     [--out PATH]
+//! ```
+//!
+//! Each client owns one object id and replays a pre-encoded block —
+//! register, `--block` serial enqueue/dequeue op pairs with distinct
+//! values, object end — until its `--ops` quota is met; re-registering
+//! the same id starts a fresh shard generation and folds the finished
+//! counters. Values alternate insert/remove, so every return is a
+//! quiescent point and windows close (and are freed) as soon as they
+//! reach the target size. Reports ingested ops/second across the whole
+//! service (goal: >= 1M/s on 4 clients) plus the GC evidence — windows
+//! closed, peak buffered window, buffered ops after drain — and writes
+//! `BENCH_server.json` (or `--out PATH`).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use lineup::{AdtKind, Value};
+use lineup_bench::{arg_flag, arg_num, arg_value, fmt_duration};
+use lineup_server::{EngineConfig, Server, ServerConfig, ShardConfig};
+use lineup_wire::{encode_record, Record, VERSION};
+
+/// The ingest-rate goal from the issue: one million ops per second
+/// sustained across at least four loopback clients.
+const GOAL_OPS_PER_SEC: f64 = 1_000_000.0;
+
+/// Pre-encodes the per-connection handshake.
+fn hello_bytes() -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_record(&Record::Hello { version: VERSION }, &mut out);
+    out
+}
+
+/// Pre-encodes one replayable block for `object`: register, `ops`
+/// alternating `Enqueue(v)` / `TryDequeue -> Some(v)` pairs on one
+/// thread (values distinct within the block, state empty at the end,
+/// so every window is closable), object end.
+fn block_bytes(object: u64, ops: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_record(
+        &Record::ObjectRegister {
+            object,
+            kind: Some(AdtKind::Queue),
+            threads: 1,
+        },
+        &mut out,
+    );
+    for v in 0..ops as i64 / 2 {
+        encode_record(
+            &Record::Call {
+                object,
+                thread: 0,
+                ts: 0,
+                name: "Enqueue",
+                args: vec![Value::Int(v)],
+            },
+            &mut out,
+        );
+        encode_record(
+            &Record::Return {
+                object,
+                thread: 0,
+                ts: 0,
+                value: Value::Unit,
+            },
+            &mut out,
+        );
+        encode_record(
+            &Record::Call {
+                object,
+                thread: 0,
+                ts: 0,
+                name: "TryDequeue",
+                args: vec![],
+            },
+            &mut out,
+        );
+        encode_record(
+            &Record::Return {
+                object,
+                thread: 0,
+                ts: 0,
+                value: Value::some(Value::int(v)),
+            },
+            &mut out,
+        );
+    }
+    encode_record(
+        &Record::ObjectEnd {
+            object,
+            stuck: false,
+        },
+        &mut out,
+    );
+    out
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let clients: usize = arg_num("--clients", 4);
+    let block_ops: u64 = arg_num("--block", 8192);
+    let ops_per_client: u64 = arg_num("--ops", if smoke { 40_000 } else { 2_000_000 });
+    let window: usize = arg_num("--window", 1024);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_server.json".into());
+    assert!(clients >= 1, "--clients must be at least 1");
+    assert!(block_ops >= 2, "--block must be at least 2");
+
+    let server = Server::spawn(ServerConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        engine: EngineConfig {
+            shard: ShardConfig {
+                window_target: window,
+            },
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback listener");
+    let addr = server.tcp_addr().expect("tcp address");
+    let engine = Arc::clone(server.engine());
+
+    let hello = Arc::new(hello_bytes());
+    let blocks = ops_per_client.div_ceil(block_ops);
+
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for client in 0..clients {
+        let hello = Arc::clone(&hello);
+        // Object ids are per-client, so shards never contend across
+        // connections (P-compositional partitioning).
+        let block = Arc::new(block_bytes(client as u64 + 1, block_ops));
+        workers.push(
+            thread::Builder::new()
+                .name(format!("servebench-{client}"))
+                .spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect loopback");
+                    stream.set_nodelay(true).expect("nodelay");
+                    stream.write_all(&hello).expect("write hello");
+                    for _ in 0..blocks {
+                        stream.write_all(&block).expect("write block");
+                    }
+                })
+                .expect("spawn client"),
+        );
+    }
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    // Clients have closed, but the loopback socket buffers may still
+    // hold data and late connections may not even be accepted yet: the
+    // stream is only fully ingested once every object has been retired.
+    // (Shutting down earlier would stop the accept loop mid-drain.)
+    let expect_objects = clients as u64 * blocks;
+    let deadline = Instant::now() + std::time::Duration::from_secs(600);
+    while engine.snapshot().objects_finished < expect_objects {
+        if Instant::now() > deadline {
+            eprintln!("FAIL: drain timed out");
+            std::process::exit(1);
+        }
+        thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let wall = t0.elapsed();
+    engine.request_shutdown();
+    server.join();
+
+    let snap = engine.snapshot();
+    let secs = wall.as_secs_f64().max(1e-9);
+    let ops_per_sec = snap.counters.ops as f64 / secs;
+    let goal_met = ops_per_sec >= GOAL_OPS_PER_SEC && clients >= 4;
+
+    println!(
+        "servebench: {clients} client(s) x {ops_per_client} ops \
+         (block {block_ops}, window {window})"
+    );
+    println!(
+        "  ingested {} ops ({} events) in {} -> {:.0} ops/sec{}",
+        snap.counters.ops,
+        snap.counters.events,
+        fmt_duration(wall),
+        ops_per_sec,
+        if goal_met { "  [>= 1M goal]" } else { "" }
+    );
+    println!(
+        "  gc: windows closed {} (peak buffered window {} ops), \
+         buffered after drain {}",
+        snap.counters.windows_closed, snap.counters.peak_window_ops, snap.buffered_ops
+    );
+    println!(
+        "  checks {} (specialized {}, fallback {}), violations {}",
+        snap.counters.checks,
+        snap.counters.paths.specialized_checks,
+        snap.counters.paths.fallback_checks,
+        snap.counters.violations
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"servebench\",\n  \"clients\": {},\n  \
+         \"ops_per_client\": {},\n  \"block_ops\": {},\n  \"window\": {},\n  \
+         \"ops\": {},\n  \"events\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"ops_per_sec\": {:.1},\n  \"goal_ops_per_sec\": {:.0},\n  \
+         \"goal_met\": {},\n  \"windows_closed\": {},\n  \
+         \"windows_held\": {},\n  \"peak_window_ops\": {},\n  \
+         \"buffered_ops_after_drain\": {},\n  \"checks\": {},\n  \
+         \"specialized_checks\": {},\n  \"fallback_checks\": {},\n  \
+         \"violations\": {},\n  \"objects_finished\": {},\n  \
+         \"protocol_errors\": {}\n}}\n",
+        clients,
+        ops_per_client,
+        block_ops,
+        window,
+        snap.counters.ops,
+        snap.counters.events,
+        secs,
+        ops_per_sec,
+        GOAL_OPS_PER_SEC,
+        goal_met,
+        snap.counters.windows_closed,
+        snap.counters.windows_held,
+        snap.counters.peak_window_ops,
+        snap.buffered_ops,
+        snap.counters.checks,
+        snap.counters.paths.specialized_checks,
+        snap.counters.paths.fallback_checks,
+        snap.counters.violations,
+        snap.objects_finished,
+        snap.protocol_errors,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Correctness gates: every streamed history is linearizable, every
+    // object must have been checked and retired, and the GC must have
+    // freed everything once the streams drained.
+    let mut failed = false;
+    if snap.counters.violations > 0 {
+        eprintln!("FAIL: {} false violations", snap.counters.violations);
+        failed = true;
+    }
+    if snap.protocol_errors > 0 {
+        eprintln!("FAIL: {} protocol errors", snap.protocol_errors);
+        failed = true;
+    }
+    if snap.objects_finished != expect_objects {
+        eprintln!(
+            "FAIL: {} objects finished, expected {expect_objects}",
+            snap.objects_finished
+        );
+        failed = true;
+    }
+    if snap.buffered_ops != 0 {
+        eprintln!("FAIL: {} ops still buffered after drain", snap.buffered_ops);
+        failed = true;
+    }
+    // Bounded memory: the peak buffered window must stay near the
+    // target, not scale with the stream length.
+    let bound = (window as u64).saturating_mul(4).max(block_ops.min(64));
+    if snap.counters.peak_window_ops as u64 > bound {
+        eprintln!(
+            "FAIL: peak buffered window {} ops exceeds bound {bound}",
+            snap.counters.peak_window_ops
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

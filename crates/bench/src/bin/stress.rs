@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p lineup-bench --bin stress [--json] [--out PATH]
-//!     [--runs N] [--threads T] [--seed S]
+//!     [--runs N] [--threads T] [--seed S] [--emit PATH]
 //! ```
+//!
+//! `--emit PATH` additionally streams every run as wire-format events
+//! into a capture file (one stream, one object per run), replayable
+//! through the online monitoring service:
+//! `lineup-server --replay PATH`.
 //!
 //! Unlike the model-checking benchmarks this samples *real* OS-thread
 //! interleavings (with seeded yield injection): fixed classes must stay
@@ -29,6 +34,7 @@ use lineup_collections::concurrent_dictionary::ConcurrentDictionaryTarget;
 use lineup_collections::concurrent_queue::ConcurrentQueueTarget;
 use lineup_collections::Variant;
 use lineup_monitor::{run_stress, Monitor, ReplayOracle, StressOptions};
+use lineup_wire::StreamRecorder;
 
 struct Sample {
     workload: String,
@@ -82,6 +88,7 @@ fn queue_matrix(threads: usize) -> TestMatrix {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure<T>(
     workload: &str,
     seeded: bool,
@@ -90,6 +97,7 @@ fn measure<T>(
     matrix: &TestMatrix,
     runs: usize,
     seed: u64,
+    recorder: Option<Arc<StreamRecorder>>,
 ) -> Sample
 where
     T: TestTarget + Clone + Send + Sync + 'static,
@@ -112,6 +120,7 @@ where
             // first detection instead of burning the whole budget.
             stop_at_first_violation: seeded,
             run_timeout: Duration::from_secs(5),
+            recorder,
             ..StressOptions::default()
         },
     );
@@ -149,6 +158,12 @@ fn main() {
     let threads: usize = arg_num("--threads", 2);
     let seed: u64 = arg_num("--seed", 1);
     assert!(threads >= 1, "--threads must be at least 1");
+    let recorder = arg_value("--emit").map(|path| {
+        Arc::new(StreamRecorder::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create capture file {path}: {e}");
+            std::process::exit(1);
+        }))
+    });
 
     let samples = vec![
         measure(
@@ -161,6 +176,7 @@ fn main() {
             &dictionary_matrix(threads),
             runs,
             seed,
+            recorder.clone(),
         ),
         measure(
             "queue_fixed",
@@ -172,6 +188,7 @@ fn main() {
             &queue_matrix(threads),
             runs,
             seed,
+            recorder.clone(),
         ),
         measure(
             "dictionary_pre_seeded",
@@ -185,8 +202,15 @@ fn main() {
             // larger budget (it stops at the first detection anyway).
             runs.saturating_mul(25),
             seed,
+            recorder.clone(),
         ),
     ];
+    if let Some(rec) = &recorder {
+        if let Err(e) = rec.shutdown() {
+            eprintln!("capture file flush failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())

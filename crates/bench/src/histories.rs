@@ -26,120 +26,19 @@
 //!   `PendingOps`).
 
 use lineup::{AdtKind, History, Invocation, Value};
-use lineup_monitor::{FnOracle, StepResult};
+use lineup_monitor::StepResult;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+// The ideal sequential specifications live in `lineup_monitor::ideal`
+// (shared with the online monitoring service); re-exported here because
+// the generators and the differential tests are written against them.
+pub use lineup_monitor::{ideal_oracle, ideal_step, IdealStep};
 
 /// Jitter half-width in linearization slots: each call/return may move up
 /// to `SPREAD × 10` time units from its linearization point, so roughly
 /// `2 × SPREAD` operations can overlap at once.
 const SPREAD: i64 = 3;
-
-/// Step-function type of the ideal oracles ([`ideal_step`]).
-pub type IdealStep = fn(&Vec<i64>, &Invocation) -> StepResult<Vec<i64>>;
-
-/// An executable ideal sequential specification for `kind`, usable as a
-/// [`lineup_monitor::Monitor`] oracle. State is the element sequence
-/// (queue front-first, stack bottom-first, set/priority-queue sorted).
-pub fn ideal_oracle(kind: AdtKind) -> FnOracle<Vec<i64>, IdealStep> {
-    FnOracle::new(Vec::new(), ideal_step(kind))
-}
-
-/// The raw step function behind [`ideal_oracle`] — also used to drive
-/// the serial simulation in the generators.
-pub fn ideal_step(kind: AdtKind) -> IdealStep {
-    match kind {
-        AdtKind::Queue => queue_step,
-        AdtKind::Stack => stack_step,
-        AdtKind::Set => set_step,
-        AdtKind::PriorityQueue => pqueue_step,
-    }
-}
-
-fn int_arg(inv: &Invocation) -> i64 {
-    match inv.args.first() {
-        Some(Value::Int(v)) => *v,
-        other => panic!("ideal oracle: expected one int argument, got {other:?}"),
-    }
-}
-
-#[allow(clippy::ptr_arg)]
-fn queue_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
-    match inv.name.as_str() {
-        "Enqueue" => {
-            let mut next = s.clone();
-            next.push(int_arg(inv));
-            StepResult::Returns(Value::Unit, next)
-        }
-        "TryDequeue" => match s.first() {
-            Some(&v) => StepResult::Returns(Value::some(Value::int(v)), s[1..].to_vec()),
-            None => StepResult::Returns(Value::Fail, s.clone()),
-        },
-        other => StepResult::Panics(format!("queue oracle: unknown op {other}")),
-    }
-}
-
-#[allow(clippy::ptr_arg)]
-fn stack_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
-    match inv.name.as_str() {
-        "Push" => {
-            let mut next = s.clone();
-            next.push(int_arg(inv));
-            StepResult::Returns(Value::Unit, next)
-        }
-        "TryPop" => match s.last() {
-            Some(&v) => StepResult::Returns(Value::some(Value::int(v)), s[..s.len() - 1].to_vec()),
-            None => StepResult::Returns(Value::Fail, s.clone()),
-        },
-        other => StepResult::Panics(format!("stack oracle: unknown op {other}")),
-    }
-}
-
-#[allow(clippy::ptr_arg)]
-fn set_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
-    let k = int_arg(inv);
-    let found = s.binary_search(&k);
-    match inv.name.as_str() {
-        "TryAdd" => match found {
-            Ok(_) => StepResult::Returns(Value::Bool(false), s.clone()),
-            Err(pos) => {
-                let mut next = s.clone();
-                next.insert(pos, k);
-                StepResult::Returns(Value::Bool(true), next)
-            }
-        },
-        // The payload of a successful remove is the key itself — a pure
-        // function of the key, as the specialized set checker assumes.
-        "TryRemove" => match found {
-            Ok(pos) => {
-                let mut next = s.clone();
-                next.remove(pos);
-                StepResult::Returns(Value::some(Value::int(k)), next)
-            }
-            Err(_) => StepResult::Returns(Value::Fail, s.clone()),
-        },
-        "ContainsKey" => StepResult::Returns(Value::Bool(found.is_ok()), s.clone()),
-        other => StepResult::Panics(format!("set oracle: unknown op {other}")),
-    }
-}
-
-#[allow(clippy::ptr_arg)]
-fn pqueue_step(s: &Vec<i64>, inv: &Invocation) -> StepResult<Vec<i64>> {
-    match inv.name.as_str() {
-        "Insert" => {
-            let p = int_arg(inv);
-            let mut next = s.clone();
-            let pos = next.partition_point(|&q| q <= p);
-            next.insert(pos, p);
-            StepResult::Returns(Value::Unit, next)
-        }
-        "ExtractMin" => match s.first() {
-            Some(&v) => StepResult::Returns(Value::some(Value::int(v)), s[1..].to_vec()),
-            None => StepResult::Returns(Value::Fail, s.clone()),
-        },
-        other => StepResult::Panics(format!("pqueue oracle: unknown op {other}")),
-    }
-}
 
 /// One simulated operation: invocation plus its serial response.
 type ScriptOp = (Invocation, Value);

@@ -158,13 +158,16 @@ pub struct MonitorPathStats {
 impl MonitorPathStats {
     /// Records one check that fell back to the general search.
     pub fn record_fallback(&mut self, reason: FallbackReason) {
-        self.fallback_checks += 1;
-        self.fallback_reasons[reason.index()] += 1;
+        // Saturating: a long-running online monitor accumulates counters
+        // indefinitely, and a pegged statistic beats an overflow panic.
+        self.fallback_checks = self.fallback_checks.saturating_add(1);
+        let slot = &mut self.fallback_reasons[reason.index()];
+        *slot = slot.saturating_add(1);
     }
 
     /// Records one check decided by a specialized checker.
     pub fn record_specialized(&mut self) {
-        self.specialized_checks += 1;
+        self.specialized_checks = self.specialized_checks.saturating_add(1);
     }
 
     /// Count for a single fallback reason.
@@ -201,7 +204,7 @@ impl MonitorPathStats {
 
     /// Total checks recorded, across both paths.
     pub fn total_checks(&self) -> u64 {
-        self.specialized_checks + self.fallback_checks
+        self.specialized_checks.saturating_add(self.fallback_checks)
     }
 }
 

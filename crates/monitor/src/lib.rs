@@ -60,11 +60,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ideal;
 pub mod linearize;
 pub mod oracle;
 pub(crate) mod specialized;
 pub mod stress;
 
+pub use ideal::{ideal_oracle, ideal_oracle_from, ideal_step, state_invocations, IdealStep};
 pub use linearize::{Monitor, MonitorStats, PartitionFn};
 pub use oracle::{FnOracle, ReplayOracle, SeqOracle, StepResult, TracedOp};
 pub use stress::{run_stress, StressOptions, StressReport, StressViolation};

@@ -150,6 +150,12 @@ impl<O: SeqOracle> Monitor<O> {
         self.stats.lock().unwrap().clone()
     }
 
+    /// The [`AdtKind`] annotation set via [`with_adt_kind`](Self::with_adt_kind),
+    /// if any.
+    pub fn adt_kind(&self) -> Option<AdtKind> {
+        self.adt
+    }
+
     /// Whether the *complete* history is linearizable with respect to the
     /// oracle (Definition 1 with the executable spec).
     ///
@@ -239,7 +245,10 @@ impl<O: SeqOracle> Monitor<O> {
         pending: Option<OpIndex>,
         async_methods: &[String],
     ) -> bool {
-        self.stats.lock().unwrap().checks += 1;
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.checks = stats.checks.saturating_add(1);
+        }
         match self.try_specialized(h, pending, async_methods) {
             Ok(verdict) => {
                 self.stats.lock().unwrap().paths.record_specialized();
@@ -248,7 +257,10 @@ impl<O: SeqOracle> Monitor<O> {
             Err(reason) => self.stats.lock().unwrap().paths.record_fallback(reason),
         }
         if let Some(groups) = self.partition_groups(h, complete, pending) {
-            self.stats.lock().unwrap().partitioned_checks += 1;
+            {
+                let mut stats = self.stats.lock().unwrap();
+                stats.partitioned_checks = stats.partitioned_checks.saturating_add(1);
+            }
             return groups
                 .into_iter()
                 .all(|(ops, e)| self.search(h, &ops, e, async_methods).is_some());

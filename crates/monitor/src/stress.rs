@@ -21,15 +21,21 @@
 //! serially justified.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use lineup::{History, ObservationSet, OpIndex, TestInstance, TestMatrix, TestTarget};
+use lineup::{
+    AdtKind, History, Invocation, ObservationSet, OpIndex, TestInstance, TestMatrix, TestTarget,
+    Value,
+};
 use lineup_sched::{register_native_thread, NativeOptions};
+use lineup_wire::StreamRecorder;
 
+use crate::ideal::ideal_step;
 use crate::linearize::Monitor;
-use crate::oracle::SeqOracle;
+use crate::oracle::{SeqOracle, StepResult};
 
 /// Configuration of a stress campaign.
 #[derive(Debug, Clone)]
@@ -54,6 +60,13 @@ pub struct StressOptions {
     /// [`StressReport::witnesses`] (an extra unpartitioned search per
     /// distinct history).
     pub collect_witnesses: bool,
+    /// Stream every run as wire-format events (one object per run) —
+    /// e.g. into a capture file replayable by `lineup-server --replay`,
+    /// or a live socket. Events are recorded inside the same critical
+    /// sections that build the in-memory history, so the stream is
+    /// byte-for-byte consistent with what the in-process monitor saw,
+    /// including watchdog-stuck snapshots.
+    pub recorder: Option<Arc<StreamRecorder>>,
 }
 
 impl Default for StressOptions {
@@ -66,7 +79,87 @@ impl Default for StressOptions {
             async_methods: Vec::new(),
             stop_at_first_violation: true,
             collect_witnesses: false,
+            recorder: None,
         }
+    }
+}
+
+/// Wire recording for one run: one stream object, disarmable under the
+/// history lock so a watchdog snapshot and the emitted stream agree on
+/// exactly which events exist.
+struct RunRecorder {
+    rec: Arc<StreamRecorder>,
+    object: u64,
+    armed: AtomicBool,
+}
+
+impl RunRecorder {
+    /// Registers a fresh object and replays the (unrecorded) init
+    /// sequence as serial call/return pairs on thread 0, with responses
+    /// from the ideal oracle — so a consumer checking from the empty
+    /// state reaches the same start state the monitor was primed with.
+    /// Kind-less objects skip init emission (consumers treat them as
+    /// accounting-only and never check).
+    fn begin(
+        rec: &Arc<StreamRecorder>,
+        kind: Option<AdtKind>,
+        matrix: &TestMatrix,
+        threads: usize,
+    ) -> RunRecorder {
+        let object = rec.alloc_object();
+        let _ = rec.register(object, kind, threads as u32);
+        if let Some(kind) = kind {
+            let step = ideal_step(kind);
+            let mut state: Vec<i64> = Vec::new();
+            for inv in &matrix.init {
+                let _ = rec.call(object, 0, &inv.name, &inv.args);
+                let response = match step(&state, inv) {
+                    StepResult::Returns(v, next) => {
+                        state = next;
+                        v
+                    }
+                    // Init that the ideal spec rejects cannot be given a
+                    // faithful response; the consumer's check will flag
+                    // the mismatch rather than us guessing here.
+                    _ => Value::Fail,
+                };
+                let _ = rec.ret(object, 0, &response);
+            }
+        }
+        RunRecorder {
+            rec: Arc::clone(rec),
+            object,
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// Call-site hook; must run inside the history-lock critical section
+    /// so stream order matches history order.
+    fn call(&self, thread: usize, inv: &Invocation) {
+        if self.armed.load(Ordering::Relaxed) {
+            let _ = self
+                .rec
+                .call(self.object, thread as u32, &inv.name, &inv.args);
+        }
+    }
+
+    /// Return-site hook; same locking requirement as [`Self::call`].
+    fn ret(&self, thread: usize, response: &Value) {
+        if self.armed.load(Ordering::Relaxed) {
+            let _ = self.rec.ret(self.object, thread as u32, response);
+        }
+    }
+
+    /// Stops recording; called under the history lock right before a
+    /// watchdog snapshot so leaked threads cannot append events the
+    /// snapshot does not contain.
+    fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    fn finish(&self, stuck: bool) {
+        self.disarm();
+        let _ = self.rec.end(self.object, stuck);
     }
 }
 
@@ -175,9 +268,10 @@ where
         witnesses: ObservationSet::new(),
     };
 
+    let adt_kind = monitor.adt_kind();
     for run in 0..options.runs {
         let run_seed = mix(options.seed, run as u64 + 1);
-        let history = execute_run(target, matrix, thread_count, run_seed, options);
+        let history = execute_run(target, matrix, thread_count, run_seed, options, adt_kind);
         report.runs += 1;
         report.ops += history.complete_ops().len() as u64;
         if history.stuck {
@@ -244,12 +338,17 @@ fn execute_run<T>(
     thread_count: usize,
     run_seed: u64,
     options: &StressOptions,
+    adt_kind: Option<AdtKind>,
 ) -> History
 where
     T: TestTarget,
     T::Instance: Send + Sync + 'static,
 {
     let ncols = matrix.columns.len();
+    let wire: Option<Arc<RunRecorder>> = options
+        .recorder
+        .as_ref()
+        .map(|rec| Arc::new(RunRecorder::begin(rec, adt_kind, matrix, thread_count)));
     // The coordinator registers too: init and final operations then run
     // with the same passthrough blocking/yield machinery as column ops.
     let guard = register_native_thread(NativeOptions {
@@ -280,13 +379,25 @@ where
             let tx = tx.clone();
             let seed = mix(run_seed, t as u64 + 1);
             let yield_chance = options.yield_chance;
+            let wire = wire.clone();
             std::thread::spawn(move || {
                 let _native = register_native_thread(NativeOptions { seed, yield_chance });
                 barrier.wait();
                 for inv in column {
-                    let op = lock_history(&history).push_call(t, inv.clone());
+                    let op = {
+                        let mut h = lock_history(&history);
+                        let op = h.push_call(t, inv.clone());
+                        if let Some(w) = &wire {
+                            w.call(t, &inv);
+                        }
+                        op
+                    };
                     let response = instance.invoke(&inv);
-                    lock_history(&history).push_return(op, response);
+                    let mut h = lock_history(&history);
+                    if let Some(w) = &wire {
+                        w.ret(t, &response);
+                    }
+                    h.push_return(op, response);
                 }
                 let _ = tx.send(t);
             })
@@ -316,10 +427,21 @@ where
         // Leak the hung threads: they may be blocked on real primitives
         // that nothing will ever signal. The snapshot is consistent (the
         // history mutex orders record events), later writes by leaked
-        // threads go to an Arc we no longer read.
+        // threads go to an Arc we no longer read. Disarming the wire
+        // recorder inside the same critical section pins the emitted
+        // stream to exactly the snapshot's events.
         drop(handles);
-        let mut snapshot = lock_history(&history).clone();
+        let mut snapshot = {
+            let h = lock_history(&history);
+            if let Some(w) = &wire {
+                w.disarm();
+            }
+            h.clone()
+        };
         snapshot.stuck = true;
+        if let Some(w) = &wire {
+            w.finish(true);
+        }
         return snapshot;
     }
     for h in handles {
@@ -330,12 +452,26 @@ where
     if !matrix.finally.is_empty() {
         let t = ncols;
         for inv in &matrix.finally {
-            let op = lock_history(&history).push_call(t, inv.clone());
+            let op = {
+                let mut h = lock_history(&history);
+                let op = h.push_call(t, inv.clone());
+                if let Some(w) = &wire {
+                    w.call(t, inv);
+                }
+                op
+            };
             let response = instance.invoke(inv);
-            lock_history(&history).push_return(op, response);
+            let mut h = lock_history(&history);
+            if let Some(w) = &wire {
+                w.ret(t, &response);
+            }
+            h.push_return(op, response);
         }
     }
     drop(guard);
+    if let Some(w) = &wire {
+        w.finish(false);
+    }
     let h = lock_history(&history).clone();
     h
 }
@@ -483,6 +619,72 @@ mod tests {
         fn invocations(&self) -> Vec<Invocation> {
             vec![Invocation::new("wait")]
         }
+    }
+
+    #[test]
+    fn recorder_streams_every_run() {
+        use std::io::Write;
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let rec = Arc::new(StreamRecorder::to_writer(Box::new(Shared(Arc::clone(&buf)))).unwrap());
+        let m = counter_matrix();
+        let monitor = counter_monitor();
+        let report = run_stress(
+            &CounterTarget,
+            &m,
+            &monitor,
+            &StressOptions {
+                runs: 5,
+                recorder: Some(Arc::clone(&rec)),
+                ..StressOptions::default()
+            },
+        );
+        assert!(report.passed());
+        rec.flush().unwrap();
+        // Every completed op produced a call + return event.
+        assert_eq!(rec.events(), 2 * report.ops);
+
+        // The emitted bytes parse as one valid stream: 5 registered
+        // objects, each register → events → end, properly bracketed.
+        let bytes = buf.lock().unwrap().clone();
+        let mut reader = lineup_wire::FrameReader::new(&bytes[..]);
+        assert_eq!(reader.expect_hello().unwrap(), lineup_wire::VERSION);
+        let mut registered = 0;
+        let mut ended = 0;
+        let mut open: Option<u64> = None;
+        while let Some(record) = reader.next_record().unwrap() {
+            match record {
+                lineup_wire::Record::ObjectRegister { object, kind, .. } => {
+                    assert_eq!(kind, None, "counter target has no ADT kind");
+                    assert!(open.is_none());
+                    open = Some(object);
+                    registered += 1;
+                }
+                lineup_wire::Record::Call { object, .. }
+                | lineup_wire::Record::Return { object, .. } => {
+                    assert_eq!(Some(object), open);
+                }
+                lineup_wire::Record::ObjectEnd { object, stuck } => {
+                    assert_eq!(Some(object), open.take());
+                    assert!(!stuck);
+                    ended += 1;
+                }
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        assert_eq!(registered, 5);
+        assert_eq!(ended, 5);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! **lineup-server**: an online linearizability monitoring service.
+//!
+//! Live applications instrument their concurrent objects with
+//! [`lineup-wire`](lineup_wire) recorders and stream call/return events
+//! to this service over TCP or a Unix socket. The service demultiplexes
+//! each stream into per-object [`Shard`]s (linearizability is
+//! compositional over objects, so shards check independently), runs a
+//! kind-dispatched monitor per shard — the specialized log-linear
+//! checkers for unambiguous windows, the Wing–Gong search otherwise —
+//! and garbage-collects checked history *windows* so memory stays
+//! bounded on unbounded streams.
+//!
+//! Windows close only at points where the verdict and the carried state
+//! are provably identical to what one offline check of the entire
+//! stream would produce; see the [`shard`] module docs for the
+//! exactness argument, and `tests/server_differential.rs` for the
+//! machine-checked version of the claim.
+//!
+//! # In-process example
+//!
+//! ```
+//! use lineup::{AdtKind, Value};
+//! use lineup_server::{Engine, EngineConfig, ingest_stream};
+//! use lineup_wire::StreamRecorder;
+//! use std::io::Write;
+//! use std::sync::{Arc, Mutex};
+//!
+//! // A producer records a short queue session...
+//! let buf = Arc::new(Mutex::new(Vec::new()));
+//! struct Sink(Arc<Mutex<Vec<u8>>>);
+//! impl Write for Sink {
+//!     fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+//!         self.0.lock().unwrap().extend_from_slice(b);
+//!         Ok(b.len())
+//!     }
+//!     fn flush(&mut self) -> std::io::Result<()> { Ok(()) }
+//! }
+//! let rec = StreamRecorder::to_writer(Box::new(Sink(Arc::clone(&buf)))).unwrap();
+//! let q = rec.alloc_object();
+//! rec.register(q, Some(AdtKind::Queue), 1).unwrap();
+//! rec.call(q, 0, "Enqueue", &[Value::Int(1)]).unwrap();
+//! rec.ret(q, 0, &Value::Unit).unwrap();
+//! rec.call(q, 0, "TryDequeue", &[]).unwrap();
+//! rec.ret(q, 0, &Value::some(Value::int(1))).unwrap();
+//! rec.end(q, false).unwrap();
+//! rec.flush().unwrap();
+//!
+//! // ...and the service checks it.
+//! let engine = Engine::new(EngineConfig::default());
+//! let bytes = buf.lock().unwrap().clone();
+//! ingest_stream(&engine, &bytes[..]).unwrap();
+//! let snapshot = engine.snapshot();
+//! assert_eq!(snapshot.counters.violations, 0);
+//! assert_eq!(snapshot.counters.ops, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod net;
+pub mod shard;
+pub mod stats;
+
+pub use engine::{Engine, EngineConfig};
+pub use net::{ingest_stream, serve_connection, Server, ServerConfig};
+pub use shard::{Shard, ShardConfig, ShardCounters, ShardError};
+pub use stats::StatsSnapshot;

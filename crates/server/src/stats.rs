@@ -1,0 +1,117 @@
+//! Aggregated service statistics: a periodic one-line form for logs and
+//! a JSON form for scraping.
+
+use lineup::FallbackReason;
+
+use crate::shard::ShardCounters;
+
+/// A point-in-time aggregate over all finished and live objects.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Seconds since the engine started.
+    pub uptime_secs: f64,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Objects currently live (registered, not ended).
+    pub objects_live: usize,
+    /// Object generations ended and folded into the totals.
+    pub objects_finished: u64,
+    /// Malformed records/events dropped.
+    pub protocol_errors: u64,
+    /// Operations currently buffered across all open windows — the
+    /// number GC keeps bounded.
+    pub buffered_ops: usize,
+    /// Live objects currently flagged as violated.
+    pub live_violations: u64,
+    /// Monotonic counters summed over every object generation.
+    pub counters: ShardCounters,
+}
+
+impl StatsSnapshot {
+    /// Ingest rate in events per second since start.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.uptime_secs > 0.0 {
+            self.counters.events as f64 / self.uptime_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The compact one-line form logged periodically.
+    pub fn one_line(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "t={:.1}s events={} ({:.0}/s) ops={} objects={}+{} windows={} held={} retired={} \
+             checks={} (spec={} fb={}) violations={} buffered={} peak={} errors={}",
+            self.uptime_secs,
+            c.events,
+            self.events_per_sec(),
+            c.ops,
+            self.objects_live,
+            self.objects_finished,
+            c.windows_closed,
+            c.windows_held,
+            c.windows_retired,
+            c.checks,
+            c.paths.specialized_checks,
+            c.paths.fallback_checks,
+            c.violations,
+            self.buffered_ops,
+            c.peak_window_ops,
+            self.protocol_errors,
+        )
+    }
+
+    /// The full snapshot as a JSON object (hand-rolled: no serde in the
+    /// offline build).
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        let mut reasons = String::from("{");
+        for (i, reason) in FallbackReason::ALL.iter().enumerate() {
+            if i > 0 {
+                reasons.push(',');
+            }
+            reasons.push_str(&format!(
+                "\"{}\":{}",
+                reason.label(),
+                c.paths.fallback_reasons[reason.index()]
+            ));
+        }
+        reasons.push('}');
+        format!(
+            concat!(
+                "{{\"uptime_secs\":{:.3},\"connections\":{},\"objects_live\":{},",
+                "\"objects_finished\":{},\"protocol_errors\":{},\"buffered_ops\":{},",
+                "\"live_violations\":{},\"events\":{},\"events_per_sec\":{:.1},",
+                "\"ops\":{},\"windows_closed\":{},\"windows_retired\":{},",
+                "\"windows_held\":{},\"checks\":{},\"stuck_checks\":{},",
+                "\"violations\":{},\"incomplete\":{},\"peak_window_ops\":{},",
+                "\"specialized_checks\":{},\"fallback_checks\":{},",
+                "\"fallback_reasons\":{},\"oracle_steps\":{},\"memo_hits\":{}}}"
+            ),
+            self.uptime_secs,
+            self.connections,
+            self.objects_live,
+            self.objects_finished,
+            self.protocol_errors,
+            self.buffered_ops,
+            self.live_violations,
+            c.events,
+            self.events_per_sec(),
+            c.ops,
+            c.windows_closed,
+            c.windows_retired,
+            c.windows_held,
+            c.checks,
+            c.stuck_checks,
+            c.violations,
+            c.incomplete,
+            c.peak_window_ops,
+            c.paths.specialized_checks,
+            c.paths.fallback_checks,
+            reasons,
+            c.oracle_steps,
+            c.memo_hits,
+        )
+    }
+}

@@ -1,0 +1,369 @@
+//! Varint primitives and the framed stream reader/writer.
+//!
+//! A frame is `varint(payload_len) ++ payload`; payloads are decoded by
+//! [`crate::record`]. Varints are LEB128 over `u64` (signed values are
+//! zigzag-folded first), so small ids, thread indexes, and timestamps
+//! cost one or two bytes each.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::record::{decode_payload, encode_payload, Record, VERSION};
+
+/// Upper bound on a single frame's payload, protecting the reader from
+/// mis-framed or adversarial input that decodes into a huge length.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Everything that can go wrong while decoding a wire stream.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The stream ended in the middle of a frame (truncated input).
+    Truncated,
+    /// A frame's declared length exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// A varint ran past 10 bytes (not a valid LEB128 `u64`).
+    BadVarint,
+    /// An unknown record tag.
+    BadTag(u8),
+    /// An unknown value tag inside a record.
+    BadValueTag(u8),
+    /// An unknown ADT-kind byte in an `ObjectRegister` record.
+    BadKind(u8),
+    /// The stream did not start with a `Hello` frame carrying the
+    /// expected magic (garbage prefix, or not a lineup-wire stream).
+    BadMagic,
+    /// The stream's format version is newer than this decoder.
+    BadVersion(u32),
+    /// An operation name was not valid UTF-8.
+    BadUtf8,
+    /// A frame's payload was longer than the record it encodes.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Truncated => write!(f, "stream truncated inside a frame"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN} limit")
+            }
+            WireError::BadVarint => write!(f, "varint longer than 10 bytes"),
+            WireError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            WireError::BadValueTag(t) => write!(f, "unknown value tag {t}"),
+            WireError::BadKind(k) => write!(f, "unknown ADT kind byte {k}"),
+            WireError::BadMagic => write!(f, "stream does not begin with a lineup-wire Hello"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadUtf8 => write!(f, "operation name is not valid UTF-8"),
+            WireError::TrailingBytes => write!(f, "frame payload has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Appends a LEB128-encoded `u64` to `out`.
+pub fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-folds an `i64` so small magnitudes stay small varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A byte cursor over one frame's payload; every read is bounds-checked
+/// and a short read surfaces as [`WireError::Truncated`].
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in 0..10 {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::BadVarint)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.varint()? as usize;
+        let bytes = self.bytes(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+/// Writes length-prefixed frames to any [`Write`], reusing one scratch
+/// buffer so encoding a record allocates nothing in steady state.
+///
+/// The writer does not flush on its own; callers decide when buffered
+/// bytes must reach the peer (e.g. once per recorded run).
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+    scratch: Vec<u8>,
+    prefix: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a writer. Wrap sockets and files in a
+    /// [`BufWriter`](std::io::BufWriter) first: frames are small and the
+    /// writer issues two `write_all` calls per record.
+    pub fn new(inner: W) -> Self {
+        FrameWriter {
+            inner,
+            scratch: Vec::with_capacity(256),
+            prefix: Vec::with_capacity(10),
+        }
+    }
+
+    /// Encodes `record` as one frame and writes it.
+    pub fn write_record(&mut self, record: &Record<'_>) -> io::Result<()> {
+        self.scratch.clear();
+        encode_payload(record, &mut self.scratch);
+        self.prefix.clear();
+        put_varint(self.scratch.len() as u64, &mut self.prefix);
+        self.inner.write_all(&self.prefix)?;
+        self.inner.write_all(&self.scratch)
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Reads length-prefixed frames from any [`Read`] and decodes them into
+/// [`Record`]s borrowing the reader's internal frame buffer.
+///
+/// Wrap sockets in a [`BufReader`](std::io::BufReader): the reader
+/// issues one small `read_exact` for the length prefix and one for the
+/// payload.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a reader.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::with_capacity(256),
+        }
+    }
+
+    /// Reads the next record, or `Ok(None)` on a clean end of stream (EOF
+    /// exactly at a frame boundary). EOF anywhere else is
+    /// [`WireError::Truncated`].
+    pub fn next_record(&mut self) -> Result<Option<Record<'_>>, WireError> {
+        let len = match self.read_varint()? {
+            Some(len) => len as usize,
+            None => return Ok(None),
+        };
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        self.buf.resize(len, 0);
+        self.inner.read_exact(&mut self.buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        decode_payload(&self.buf).map(Some)
+    }
+
+    /// Reads the stream's opening frame, which must be a
+    /// [`Record::Hello`] with the expected magic and a version this
+    /// decoder understands; returns the version. Everything else —
+    /// including a clean EOF — is rejected, so a garbage prefix never
+    /// masquerades as an empty stream.
+    pub fn expect_hello(&mut self) -> Result<u32, WireError> {
+        match self.next_record() {
+            Ok(Some(Record::Hello { version })) => {
+                if version > VERSION {
+                    Err(WireError::BadVersion(version))
+                } else {
+                    Ok(version)
+                }
+            }
+            Ok(_) => Err(WireError::BadMagic),
+            // The Hello frame is magic-checked during decode; any decode
+            // error on the first frame means "not one of our streams".
+            Err(WireError::Io(e)) => Err(WireError::Io(e)),
+            Err(_) => Err(WireError::BadMagic),
+        }
+    }
+
+    /// Reads one length varint byte-by-byte; `Ok(None)` when the stream
+    /// ends before the first byte.
+    fn read_varint(&mut self) -> Result<Option<u64>, WireError> {
+        let mut v: u64 = 0;
+        for shift in 0..10 {
+            let mut byte = [0u8; 1];
+            match self.inner.read(&mut byte) {
+                Ok(0) if shift == 0 => return Ok(None),
+                Ok(0) => return Err(WireError::Truncated),
+                Ok(_) => {
+                    v |= u64::from(byte[0] & 0x7f) << (7 * shift);
+                    if byte[0] & 0x80 == 0 {
+                        return Ok(Some(v));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    // Retry the same varint byte.
+                    return self.read_varint_resume(v, shift);
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        Err(WireError::BadVarint)
+    }
+
+    /// Cold path: continue a varint after `ErrorKind::Interrupted`.
+    fn read_varint_resume(&mut self, mut v: u64, mut shift: u32) -> Result<Option<u64>, WireError> {
+        loop {
+            if shift >= 10 {
+                return Err(WireError::BadVarint);
+            }
+            let mut byte = [0u8; 1];
+            match self.inner.read(&mut byte) {
+                Ok(0) if shift == 0 => return Ok(None),
+                Ok(0) => return Err(WireError::Truncated),
+                Ok(_) => {
+                    v |= u64::from(byte[0] & 0x7f) << (7 * shift);
+                    if byte[0] & 0x80 == 0 {
+                        return Ok(Some(v));
+                    }
+                    shift += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Returns the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(v, &mut buf);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.varint().unwrap(), v);
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes encode small.
+        assert!(zigzag(-1) < 256);
+        assert!(zigzag(1) < 256);
+    }
+
+    #[test]
+    fn truncated_varint_is_rejected() {
+        let mut c = Cursor::new(&[0x80]);
+        assert!(matches!(c.varint(), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0x80u8; 11];
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(c.varint(), Err(WireError::BadVarint)));
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut r = FrameReader::new(&[][..]);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut bytes = Vec::new();
+        put_varint((MAX_FRAME_LEN + 1) as u64, &mut bytes);
+        let mut r = FrameReader::new(&bytes[..]);
+        assert!(matches!(r.next_record(), Err(WireError::FrameTooLarge(_))));
+    }
+}

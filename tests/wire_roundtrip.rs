@@ -1,0 +1,311 @@
+//! Property tests for the `lineup-wire` stream format: random record
+//! sequences survive an encode → frame → decode round trip unchanged,
+//! truncating a stream at any byte is detected (never a panic, never a
+//! fabricated record), and streams that do not open with a well-formed
+//! `Hello` are rejected by the handshake.
+
+// The vendored `proptest!` macro recurses once per body token.
+#![recursion_limit = "1024"]
+
+use proptest::prelude::*;
+
+use lineup::{AdtKind, Value};
+use lineup_wire::{
+    decode_payload, encode_record, FrameReader, FrameWriter, Record, WireError, VERSION,
+};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        Just(Value::Fail),
+        Just(Value::Opt(None)),
+        any::<bool>().prop_map(Value::Bool),
+        (i64::MIN..i64::MAX).prop_map(Value::Int),
+        "[a-zA-Z0-9 \"\\\\]{0,10}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Seq),
+            inner.prop_map(Value::some),
+        ]
+    })
+}
+
+fn kind_strategy() -> impl Strategy<Value = Option<AdtKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(AdtKind::Queue)),
+        Just(Some(AdtKind::Stack)),
+        Just(Some(AdtKind::Set)),
+        Just(Some(AdtKind::PriorityQueue)),
+    ]
+}
+
+/// Owned mirror of [`Record`] (whose `Call` borrows its name), so
+/// strategies can produce and shrink records by value.
+#[derive(Debug, Clone)]
+enum OwnedRecord {
+    Hello {
+        version: u32,
+    },
+    Register {
+        object: u64,
+        kind: Option<AdtKind>,
+        threads: u32,
+    },
+    Call {
+        object: u64,
+        thread: u32,
+        ts: u64,
+        name: String,
+        args: Vec<Value>,
+    },
+    Return {
+        object: u64,
+        thread: u32,
+        ts: u64,
+        value: Value,
+    },
+    End {
+        object: u64,
+        stuck: bool,
+    },
+    Shutdown,
+}
+
+impl OwnedRecord {
+    fn as_record(&self) -> Record<'_> {
+        match self {
+            OwnedRecord::Hello { version } => Record::Hello { version: *version },
+            OwnedRecord::Register {
+                object,
+                kind,
+                threads,
+            } => Record::ObjectRegister {
+                object: *object,
+                kind: *kind,
+                threads: *threads,
+            },
+            OwnedRecord::Call {
+                object,
+                thread,
+                ts,
+                name,
+                args,
+            } => Record::Call {
+                object: *object,
+                thread: *thread,
+                ts: *ts,
+                name,
+                args: args.clone(),
+            },
+            OwnedRecord::Return {
+                object,
+                thread,
+                ts,
+                value,
+            } => Record::Return {
+                object: *object,
+                thread: *thread,
+                ts: *ts,
+                value: value.clone(),
+            },
+            OwnedRecord::End { object, stuck } => Record::ObjectEnd {
+                object: *object,
+                stuck: *stuck,
+            },
+            OwnedRecord::Shutdown => Record::Shutdown,
+        }
+    }
+}
+
+fn record_strategy() -> impl Strategy<Value = OwnedRecord> {
+    prop_oneof![
+        (0u32..2).prop_map(|version| OwnedRecord::Hello { version }),
+        ((0u64..u64::MAX), kind_strategy(), 0u32..64).prop_map(|(object, kind, threads)| {
+            OwnedRecord::Register {
+                object,
+                kind,
+                threads,
+            }
+        }),
+        (
+            (0u64..1 << 40),
+            0u32..64,
+            (0u64..u64::MAX),
+            "[a-zA-Z][a-zA-Z0-9]{0,11}",
+            prop::collection::vec(value_strategy(), 0..3),
+        )
+            .prop_map(|(object, thread, ts, name, args)| OwnedRecord::Call {
+                object,
+                thread,
+                ts,
+                name,
+                args,
+            }),
+        (
+            (0u64..1 << 40),
+            0u32..64,
+            (0u64..u64::MAX),
+            value_strategy()
+        )
+            .prop_map(|(object, thread, ts, value)| OwnedRecord::Return {
+                object,
+                thread,
+                ts,
+                value,
+            }),
+        ((0u64..u64::MAX), any::<bool>())
+            .prop_map(|(object, stuck)| OwnedRecord::End { object, stuck }),
+        Just(OwnedRecord::Shutdown),
+    ]
+}
+
+/// Frames an arbitrary payload by hand: varint length prefix + bytes.
+fn frame_raw(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut len = payload.len();
+    loop {
+        let mut b = (len & 0x7f) as u8;
+        len >>= 7;
+        if len != 0 {
+            b |= 0x80;
+        }
+        bytes.push(b);
+        if len == 0 {
+            break;
+        }
+    }
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+fn encode_all(records: &[OwnedRecord]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut w = FrameWriter::new(&mut bytes);
+    for r in records {
+        w.write_record(&r.as_record()).unwrap();
+    }
+    drop(w);
+    bytes
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Encode → frame → decode is the identity on any record sequence,
+    /// including deeply nested argument and response values.
+    #[test]
+    fn stream_round_trip_is_identity(records in prop::collection::vec(record_strategy(), 0..12)) {
+        let bytes = encode_all(&records);
+        let mut reader = FrameReader::new(&bytes[..]);
+        let mut seen = 0usize;
+        while let Some(decoded) = reader.next_record().unwrap() {
+            prop_assert!(seen < records.len(), "decoded more records than written");
+            let expect = records[seen].as_record();
+            prop_assert_eq!(format!("{decoded:?}"), format!("{:?}", expect));
+            seen += 1;
+        }
+        prop_assert_eq!(seen, records.len());
+    }
+
+}
+
+proptest! {
+    /// Any strict byte prefix of a valid stream either yields fewer
+    /// records cleanly (cut on a frame boundary) or fails with
+    /// `Truncated` — it never panics and never fabricates a record not
+    /// in the original sequence.
+    #[test]
+    fn truncated_streams_are_detected(
+        records in prop::collection::vec(record_strategy(), 1..8),
+        cut_sel in 0usize..10_000,
+    ) {
+        let bytes = encode_all(&records);
+        let cut = cut_sel % bytes.len();
+        let mut reader = FrameReader::new(&bytes[..cut]);
+        let mut seen = 0usize;
+        loop {
+            match reader.next_record() {
+                Ok(Some(decoded)) => {
+                    prop_assert!(seen < records.len());
+                    let expect = records[seen].as_record();
+                    prop_assert_eq!(format!("{decoded:?}"), format!("{:?}", expect));
+                    seen += 1;
+                }
+                Ok(None) | Err(WireError::Truncated) => break,
+                Err(other) => prop_assert!(false, "unexpected error on prefix: {other}"),
+            }
+        }
+        prop_assert!(seen < records.len(), "a strict prefix cannot hold every record");
+    }
+
+}
+
+proptest! {
+    /// A stream whose first frame carries a non-`Hello` payload — any
+    /// leading byte that is not the `Hello` tag — fails the handshake,
+    /// even when a perfectly valid stream follows it.
+    #[test]
+    fn garbage_prefix_fails_the_handshake(
+        payload in prop::collection::vec((0u32..256).prop_map(|b| b as u8), 1..24),
+        first in (6u32..256).prop_map(|b| b as u8),
+        records in prop::collection::vec(record_strategy(), 0..3),
+    ) {
+        // Tag 0x00 is Hello; 0x01..=0x05 are other (rejected) records;
+        // anything >= 0x06 cannot decode at all.
+        let mut payload = payload;
+        payload[0] = first;
+        let mut bytes = frame_raw(&payload);
+        bytes.extend_from_slice(&encode_all(&records));
+        let mut reader = FrameReader::new(&bytes[..]);
+        prop_assert!(reader.expect_hello().is_err());
+    }
+
+}
+
+proptest! {
+    /// Raw garbage never panics the reader: every outcome is a clean
+    /// record, a clean end of stream, or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec((0u32..256).prop_map(|b| b as u8), 0..64)) {
+        let mut reader = FrameReader::new(&bytes[..]);
+        for _ in 0..=bytes.len() {
+            match reader.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic spot checks
+// ---------------------------------------------------------------------
+
+#[test]
+fn current_version_handshake_is_accepted() {
+    let mut bytes = Vec::new();
+    encode_record(&Record::Hello { version: VERSION }, &mut bytes);
+    let mut reader = FrameReader::new(&bytes[..]);
+    assert_eq!(reader.expect_hello().unwrap(), VERSION);
+}
+
+#[test]
+fn payload_with_trailing_bytes_is_rejected() {
+    let mut payload = Vec::new();
+    let mut framed = Vec::new();
+    encode_record(&Record::Shutdown, &mut framed);
+    payload.extend_from_slice(&framed[1..]); // strip the length prefix
+    payload.push(0x00);
+    assert!(matches!(
+        decode_payload(&payload),
+        Err(WireError::TrailingBytes)
+    ));
+}
