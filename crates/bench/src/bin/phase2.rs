@@ -1,24 +1,49 @@
 //! Phase-2 parallel-scaling benchmark: serial depth-first exploration
-//! versus the prefix-partitioned parallel mode
-//! ([`CheckOptions::with_workers`]) on exhaustive 2-thread matrices, with
-//! partial-order reduction ([`CheckOptions::with_por`]) on and off.
+//! versus the work-stealing parallel mode ([`CheckOptions::with_workers`])
+//! on exhaustive 2-thread matrices, with partial-order reduction
+//! ([`CheckOptions::with_por`]) on and off.
 //!
 //! ```text
 //! cargo run --release -p lineup-bench --bin phase2 [--json] [--out PATH]
-//!     [--workers 1,2,4] [--repeat N] [--depth D] [--por on|off|both]
-//!     [--backend fibers|os|both]
+//!     [--workers 1,2,4] [--repeat N] [--probe N] [--por on|off|both]
+//!     [--backend fibers|os|both] [--smoke]
 //! ```
 //!
 //! Reports, per workload, POR mode, execution backend, and worker count,
 //! the number of executions explored, how many of those were sleep-set
-//! prunes, the wall time (best of `--repeat` attempts), the throughput in
-//! runs/second, and the speedup over the 1-worker (serial) baseline *of
-//! the same POR mode and backend*. `--json` additionally writes the
-//! measurements to `BENCH_phase2.json` (or `--out PATH`). The JSON records
-//! `cpu_cores`: the speedup is bounded by the physical parallelism of the
-//! machine — on a single-core host the partitioned exploration can only
-//! break even. On targets without fiber support the `fibers` rows degrade
-//! to OS threads (see [`Backend::effective`]).
+//! prunes, the steal accounting (subtrees split off, steals claimed, lazy
+//! prefix replays, idle parks), the wall time (best of `--repeat`
+//! attempts), the throughput in runs/second, and the speedup over the
+//! 1-worker (serial) baseline *of the same POR mode and backend*.
+//!
+//! `--probe` sets [`CheckOptions::parallel_probe_runs`] for the
+//! multi-worker rows. The default is 4096, larger than the library
+//! default of 256: on a small host, spaces of a few thousand runs are
+//! still dominated by worker startup and steal coordination, and the
+//! bench's job is to show the machinery breaking even where it actually
+//! engages. Rows the probe answered serially report `probe_skips = 1`;
+//! pass `--probe 0` to disable the probe and measure the machinery on
+//! every row regardless of size.
+//!
+//! `--smoke` is the CI guard: it forces `--repeat 1`, prepends the
+//! 1-worker baseline to `--workers` when missing, and exits nonzero if
+//! any multi-worker row's `speedup_vs_1_worker` falls below 0.9 — the
+//! work-stealing machinery must never cost more than ~10% over serial,
+//! even on a single-core host where it cannot win.
+//!
+//! `--json` additionally writes the measurements to `BENCH_phase2.json`
+//! (or `--out PATH`). The JSON records `cpu_cores`: the speedup is
+//! bounded by the physical parallelism of the machine — on a single-core
+//! host the partitioned exploration can only break even. On targets
+//! without fiber support the `fibers` rows degrade to OS threads (see
+//! [`Backend::effective`]).
+//!
+//! Every multi-worker sample is checked against the steal-accounting
+//! invariants (`steal_replays <= steals <= splits`, zero frontier
+//! replays), and POR-off rows are checked for repeatability: work
+//! stealing partitions the schedule tree exactly, so the deterministic
+//! counters (runs, prunes, steps) must agree across every repeat
+//! regardless of steal timing.
 
 use std::time::Instant;
 
@@ -41,7 +66,11 @@ struct Sample {
     steps: u64,
     fast_path_steps: u64,
     handoffs: u64,
-    frontier_replays: u64,
+    splits: u64,
+    steals: u64,
+    steal_replays: u64,
+    idle_parks: u64,
+    probe_skips: u64,
     wall_seconds: f64,
     runs_per_sec: f64,
     steps_per_sec: f64,
@@ -50,6 +79,8 @@ struct Sample {
 
 /// One timed phase-2 exploration; exhaustive (no preemption bound, no
 /// stop-at-first) so every worker count explores the same schedule tree.
+/// Asserts the steal-accounting invariants on every attempt and, with POR
+/// off, that the deterministic counters repeat exactly across attempts.
 #[allow(clippy::too_many_arguments)]
 fn measure<T: TestTarget>(
     target: &T,
@@ -58,7 +89,7 @@ fn measure<T: TestTarget>(
     por: bool,
     backend: Backend,
     workers: usize,
-    split_depth: usize,
+    probe: u64,
     repeat: usize,
 ) -> (PhaseStats, f64) {
     let mut opts = CheckOptions::new()
@@ -67,30 +98,54 @@ fn measure<T: TestTarget>(
         .with_backend(backend)
         .collect_all_violations();
     if workers > 1 {
-        // Probe disabled: the multi-worker rows measure the frontier
-        // machinery itself, so the tiny-state-space auto-serial fallback
-        // must not quietly turn them into serial runs.
-        opts = opts
-            .with_workers(workers)
-            .with_split_depth(split_depth)
-            .with_parallel_probe_runs(0);
+        opts = opts.with_workers(workers).with_parallel_probe_runs(probe);
     }
     let mut best = f64::INFINITY;
-    let mut kept = PhaseStats::default();
+    let mut kept: Option<PhaseStats> = None;
     for _ in 0..repeat.max(1) {
         let t0 = Instant::now();
         let (violations, stats) = check_against_spec(target, matrix, spec, &opts);
         let wall = t0.elapsed().as_secs_f64();
         assert!(violations.is_empty(), "benchmark workloads pass");
-        kept = stats;
+        assert_eq!(
+            stats.frontier_replays, 0,
+            "work stealing never replays prefixes eagerly"
+        );
+        assert!(
+            stats.steal_replays <= stats.steals,
+            "lazy replays only for claimed steals ({} <= {})",
+            stats.steal_replays,
+            stats.steals
+        );
+        assert!(
+            stats.steals <= stats.splits,
+            "every claimed steal was split off first ({} <= {})",
+            stats.steals,
+            stats.splits
+        );
+        if let Some(prev) = &kept {
+            if !por {
+                // POR off, the steal partition is exact: whatever the
+                // steal timing, every schedule runs exactly once, so the
+                // exploration counters must repeat bit for bit.
+                assert_eq!(prev.runs, stats.runs, "repeatability: runs");
+                assert_eq!(prev.total_steps, stats.total_steps, "repeatability: steps");
+                assert_eq!(
+                    prev.sleep_prunes, stats.sleep_prunes,
+                    "repeatability: prunes"
+                );
+            }
+        }
+        kept = Some(stats);
         best = best.min(wall);
     }
-    (kept, best)
+    (kept.expect("at least one attempt"), best)
 }
 
-/// Runs one workload over every (POR mode, worker count) combination,
-/// appending a sample per combination with the speedup computed against
-/// the first worker count of the same POR mode.
+/// Runs one workload over every (POR mode, backend, worker count)
+/// combination, appending a sample per combination with the speedup
+/// computed against the first worker count of the same POR mode and
+/// backend.
 #[allow(clippy::too_many_arguments)]
 fn run_workload<T: TestTarget>(
     samples: &mut Vec<Sample>,
@@ -100,7 +155,7 @@ fn run_workload<T: TestTarget>(
     por_modes: &[bool],
     backends: &[Backend],
     workers_list: &[usize],
-    split_depth: usize,
+    probe: u64,
     repeat: usize,
 ) {
     let (spec, _, _) = synthesize_spec(target, matrix);
@@ -108,8 +163,7 @@ fn run_workload<T: TestTarget>(
         for &backend in backends {
             let mut baseline = None;
             for &w in workers_list {
-                let (stats, wall) =
-                    measure(target, matrix, &spec, por, backend, w, split_depth, repeat);
+                let (stats, wall) = measure(target, matrix, &spec, por, backend, w, probe, repeat);
                 let base = *baseline.get_or_insert(wall);
                 samples.push(Sample {
                     workload,
@@ -121,7 +175,11 @@ fn run_workload<T: TestTarget>(
                     steps: stats.total_steps,
                     fast_path_steps: stats.fast_path_steps,
                     handoffs: stats.handoffs,
-                    frontier_replays: stats.frontier_replays,
+                    splits: stats.splits,
+                    steals: stats.steals,
+                    steal_replays: stats.steal_replays,
+                    idle_parks: stats.idle_parks,
+                    probe_skips: stats.probe_skips,
                     wall_seconds: wall,
                     runs_per_sec: stats.runs as f64 / wall,
                     steps_per_sec: stats.total_steps as f64 / wall,
@@ -142,12 +200,18 @@ fn backend_name(b: Backend) -> &'static str {
 
 fn main() {
     let json = arg_flag("--json");
+    let smoke = arg_flag("--smoke");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_phase2.json".into());
-    let repeat: usize = arg_num("--repeat", 3);
-    let split_depth: usize = arg_num("--depth", 4);
-    let workers_list: Vec<usize> = arg_value("--workers")
+    let repeat: usize = if smoke { 1 } else { arg_num("--repeat", 3) };
+    let probe: u64 = arg_num("--probe", 4096);
+    let mut workers_list: Vec<usize> = arg_value("--workers")
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![1, 2, 4]);
+    if smoke && workers_list.first() != Some(&1) {
+        // The smoke guard compares against the serial baseline, so make
+        // sure there is one even when invoked as `--workers 4 --smoke`.
+        workers_list.insert(0, 1);
+    }
     let por_modes: Vec<bool> = match arg_value("--por").as_deref() {
         Some("on") => vec![true],
         Some("off") => vec![false],
@@ -194,7 +258,7 @@ fn main() {
         &por_modes,
         &backends,
         &workers_list,
-        split_depth,
+        probe,
         repeat,
     );
     run_workload(
@@ -205,7 +269,7 @@ fn main() {
         &por_modes,
         &backends,
         &workers_list,
-        split_depth,
+        probe,
         repeat,
     );
 
@@ -214,20 +278,8 @@ fn main() {
         .unwrap_or(1);
 
     let mut table = TextTable::new(&[
-        "workload",
-        "por",
-        "backend",
-        "workers",
-        "runs",
-        "frontier",
-        "prunes",
-        "steps",
-        "fast",
-        "handoffs",
-        "wall",
-        "runs/sec",
-        "steps/sec",
-        "speedup",
+        "workload", "por", "backend", "workers", "runs", "prunes", "steps", "splits", "steals",
+        "replays", "parks", "probe", "wall", "runs/sec", "speedup",
     ]);
     for s in &samples {
         table.row(vec![
@@ -236,20 +288,19 @@ fn main() {
             backend_name(s.backend).to_string(),
             s.workers.to_string(),
             s.runs.to_string(),
-            s.frontier_replays.to_string(),
             s.sleep_prunes.to_string(),
             s.steps.to_string(),
-            s.fast_path_steps.to_string(),
-            s.handoffs.to_string(),
+            s.splits.to_string(),
+            s.steals.to_string(),
+            s.steal_replays.to_string(),
+            s.idle_parks.to_string(),
+            s.probe_skips.to_string(),
             fmt_duration(std::time::Duration::from_secs_f64(s.wall_seconds)),
             format!("{:.0}", s.runs_per_sec),
-            format!("{:.0}", s.steps_per_sec),
             format!("{:.2}x", s.speedup),
         ]);
     }
-    println!(
-        "Phase-2 parallel scaling (best of {repeat}, split depth {split_depth}, {cores} core(s))"
-    );
+    println!("Phase-2 parallel scaling (best of {repeat}, probe {probe}, {cores} core(s))");
     println!("{}", table.render());
 
     if json {
@@ -257,14 +308,17 @@ fn main() {
         out.push_str("  \"benchmark\": \"phase2-parallel-scaling\",\n");
         out.push_str(&format!("  \"cpu_cores\": {cores},\n"));
         out.push_str(&format!("  \"repeat\": {repeat},\n"));
-        out.push_str(&format!("  \"split_depth\": {split_depth},\n"));
+        out.push_str(&format!("  \"parallel_probe_runs\": {probe},\n"));
         out.push_str("  \"results\": [\n");
         for (i, s) in samples.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"por\": {}, \"backend\": \"{}\", \"workers\": {}, \
                  \"runs\": {}, \
-                 \"frontier_replays\": {}, \"sleep_prunes\": {}, \"steps\": {}, \
-                 \"fast_path_steps\": {}, \"handoffs\": {}, \"wall_seconds\": {:.6}, \
+                 \"sleep_prunes\": {}, \"steps\": {}, \
+                 \"fast_path_steps\": {}, \"handoffs\": {}, \
+                 \"splits\": {}, \"steals\": {}, \"steal_replays\": {}, \
+                 \"idle_parks\": {}, \"probe_skips\": {}, \
+                 \"frontier_replays\": 0, \"wall_seconds\": {:.6}, \
                  \"runs_per_sec\": {:.1}, \"steps_per_sec\": {:.1}, \
                  \"speedup_vs_1_worker\": {:.3}}}{}\n",
                 s.workload,
@@ -272,11 +326,15 @@ fn main() {
                 backend_name(s.backend),
                 s.workers,
                 s.runs,
-                s.frontier_replays,
                 s.sleep_prunes,
                 s.steps,
                 s.fast_path_steps,
                 s.handoffs,
+                s.splits,
+                s.steals,
+                s.steal_replays,
+                s.idle_parks,
+                s.probe_skips,
                 s.wall_seconds,
                 s.runs_per_sec,
                 s.steps_per_sec,
@@ -292,5 +350,27 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if smoke {
+        let mut failed = false;
+        for s in samples.iter().filter(|s| s.workers > 1) {
+            if s.speedup < 0.9 {
+                eprintln!(
+                    "smoke: {} por={} backend={} workers={} speedup {:.3} < 0.9",
+                    s.workload,
+                    if s.por { "on" } else { "off" },
+                    backend_name(s.backend),
+                    s.workers,
+                    s.speedup
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("smoke: work-stealing overhead exceeded the 10% budget");
+            std::process::exit(1);
+        }
+        println!("smoke: all multi-worker rows within the 10% overhead budget");
     }
 }

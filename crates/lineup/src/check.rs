@@ -6,14 +6,17 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use lineup_sched::{explore_parallel, Backend, Config, RunOutcome, StrategyKind, SubtreeTask};
+use lineup_sched::{
+    AbandonConfirm, Backend, Config, ExploreStats, LexCancel, RunOutcome, StealPool, StealSkip,
+    StealTask, StealingStrategy,
+};
 
 use crate::adt::MonitorPathStats;
-use crate::harness::explore_matrix;
+use crate::harness::{explore_matrix, explore_matrix_with_strategy};
 use crate::history::{History, OpIndex};
 use crate::matrix::TestMatrix;
 use crate::spec::{Nondeterminism, ObservationSet, SerialHistory, SpecIndex};
@@ -107,21 +110,27 @@ pub struct CheckOptions {
     /// weakens the check for the listed methods.
     pub spurious_failures: Vec<String>,
     /// Number of OS worker threads for phase-2 exploration. `1` (the
-    /// default) runs the classic serial depth-first search; `n > 1`
-    /// partitions the schedule tree at a decision-prefix frontier and
-    /// explores the disjoint subtrees concurrently, each worker replaying
-    /// its prefix against a freshly-constructed target. The set of
-    /// violation histories is identical to the serial one, and with
+    /// default) runs the classic serial depth-first search; `n > 1` runs a
+    /// work-stealing exploration: one worker starts on the whole schedule
+    /// tree, and an idle worker flags a victim (chosen by deterministic
+    /// round-robin) which splits its *deepest unexplored branch point* —
+    /// shipping the decision prefix plus accumulated sleep sets so
+    /// partial-order reduction stays sound across the steal. Prefix
+    /// replays happen only on actual steals, lazily on the thief's side.
+    /// The set of violation histories is identical to the serial one, and
+    /// with
     /// [`stop_at_first_violation`](CheckOptions::stop_at_first_violation)
-    /// the reported violation is the serial one too (the violation in the
-    /// lowest-indexed subtree wins deterministically). Phase 1 always runs
-    /// serially: its observation-set insertion order feeds the determinism
-    /// check and must match the paper's sequential enumeration.
+    /// the reported violation is the serial one too (the lexicographically
+    /// least violating decision vector wins deterministically). Phase 1
+    /// always runs serially: its observation-set insertion order feeds the
+    /// determinism check and must match the paper's sequential
+    /// enumeration.
     pub workers: usize,
-    /// Decision depth of the frontier at which the schedule tree is split
-    /// for parallel exploration (`None` uses
-    /// [`Config::DEFAULT_SPLIT_DEPTH`]). Only read when
-    /// [`workers`](CheckOptions::workers) `> 1`.
+    /// Decision depth of the legacy static-frontier split
+    /// ([`lineup_sched::split_frontier`]; `None` uses
+    /// [`Config::DEFAULT_SPLIT_DEPTH`]). The work-stealing checker splits
+    /// dynamically and ignores this; it is kept for callers driving the
+    /// frontier API directly.
     pub split_depth: Option<usize>,
     /// Dynamic partial-order reduction for phase 2 (default `true`):
     /// sleep sets plus happens-before-guided backtracking prune schedules
@@ -357,12 +366,34 @@ pub struct PhaseStats {
     /// Baton handoffs performed through a wakeup slot (cross-thread
     /// switches, plus every step when the fast path is disabled).
     pub handoffs: u64,
-    /// Runs spent re-executing decision prefixes during the frontier
-    /// enumeration of a parallel exploration. These duplicate schedules
-    /// the subtree workers also explore, so they are *not* counted in
-    /// [`runs`](Self::runs) — keeping `runs` comparable across
-    /// [`CheckOptions::workers`] settings. Always zero for serial checks.
+    /// Runs spent re-executing decision prefixes during the legacy static
+    /// frontier enumeration. The work-stealing checker never enumerates a
+    /// frontier, so this is always zero for both serial and parallel
+    /// checks; it is kept so reports remain comparable with historical
+    /// data from the frontier era.
     pub frontier_replays: u64,
+    /// Subtrees split off by victims servicing steal requests during a
+    /// parallel (work-stealing) exploration. Always zero for serial
+    /// checks. At least [`steals`](Self::steals): every claimed stolen
+    /// task was split off first, but a split task may go unclaimed when
+    /// the exploration is cancelled early.
+    pub splits: u64,
+    /// Stolen subtree tasks actually claimed by a thief worker. Always
+    /// zero for serial checks.
+    pub steals: u64,
+    /// Times a worker parked waiting for work during a parallel
+    /// exploration (one per wait, so a long idle period counts many
+    /// parks). Always zero for serial checks.
+    pub idle_parks: u64,
+    /// Prefix replays begun for claimed stolen tasks — the lazy,
+    /// thief-side re-execution of the shipped decision prefix. At most
+    /// [`steals`](Self::steals) (a cancelled thief may skip its replay);
+    /// always zero for serial checks.
+    pub steal_replays: u64,
+    /// `1` when the serial probe answered the whole check (the space fit
+    /// within [`CheckOptions::parallel_probe_runs`] runs, so no workers
+    /// were spawned), `0` otherwise. Always zero for serial checks.
+    pub probe_skips: u64,
     /// Which path the monitor backend's checks took during this phase
     /// (specialized log-linear checker vs Wing–Gong fallback, with a
     /// fallback-reason histogram). All-zero when the phase ran without a
@@ -451,9 +482,9 @@ pub fn synthesize_spec<T: TestTarget>(
         total_steps: stats.total_steps,
         fast_path_steps: stats.fast_path_steps,
         handoffs: stats.handoffs,
-        frontier_replays: 0,
         monitor_paths: MonitorPathStats::default(),
         duration: start.elapsed(),
+        ..Default::default()
     };
     (spec, phase, panic_violation)
 }
@@ -564,6 +595,11 @@ pub fn check_against_spec<T: TestTarget>(
         total.frontier_replays = total
             .frontier_replays
             .saturating_add(stats.frontier_replays);
+        total.splits = total.splits.saturating_add(stats.splits);
+        total.steals = total.steals.saturating_add(stats.steals);
+        total.idle_parks = total.idle_parks.saturating_add(stats.idle_parks);
+        total.steal_replays = total.steal_replays.saturating_add(stats.steal_replays);
+        total.probe_skips = total.probe_skips.saturating_add(stats.probe_skips);
         total.monitor_paths.merge(&stats.monitor_paths);
         total.duration += stats.duration;
         if !vs.is_empty() {
@@ -697,9 +733,9 @@ fn check_against_spec_at<T: TestTarget>(
         total_steps: stats.total_steps,
         fast_path_steps: stats.fast_path_steps,
         handoffs: stats.handoffs,
-        frontier_replays: 0,
         monitor_paths: monitor_path_snapshot(options).diff_since(&paths_before),
         duration: start.elapsed(),
+        ..Default::default()
     };
     (violations, phase)
 }
@@ -861,14 +897,17 @@ fn stuck_verdict<T: TestTarget>(
     CachedVerdict::Pass
 }
 
-/// A violation claim from one worker, ordered by the position of the
-/// claiming run in the *serial* exploration order: subtrees are numbered
-/// in frontier (= serial DFS) order and `seq` numbers the runs within a
-/// subtree, so sorting claims by `(subtree, seq)` recovers the order in
-/// which a serial exploration would have encountered them.
+/// A violation claim from one worker, ordered by the claiming run's
+/// scheduler decision vector: the depth-first search visits runs in
+/// lexicographic decision order, so sorting claims by `decisions`
+/// recovers the order in which a serial exploration would have
+/// encountered them — regardless of which worker found each one, or when.
+/// Workers claim *every* violating occurrence (no local deduplication):
+/// the merge keeps the lexicographically least claim per history, which
+/// is exactly the occurrence the serial path's first-encounter `seen` map
+/// would have reported.
 struct Claim {
-    subtree: usize,
-    seq: u64,
+    decisions: Vec<usize>,
     /// History key for deduplication (the raw, unreduced history, matching
     /// the serial path's `seen` map); `None` for panics, which are
     /// reported per occurrence like the serial path does.
@@ -876,15 +915,21 @@ struct Claim {
     violation: Violation,
 }
 
-/// Parallel phase 2: partitions the schedule tree at a decision-prefix
-/// frontier and fans the disjoint subtrees out to
-/// [`CheckOptions::workers`] OS threads. Every subtree exploration replays
-/// its prefix and then runs the same depth-first search the serial
-/// checker would, against a freshly-constructed target per run, so the
-/// union of the subtree runs (in subtree order) is exactly the serial run
-/// sequence. Verdicts are shared through a [`VerdictCache`]; violations
-/// are claimed with their serial-order position and merged
-/// deterministically at the end.
+/// Parallel phase 2: a work-stealing exploration across
+/// [`CheckOptions::workers`] OS threads. One worker starts on the whole
+/// schedule tree (the [`StealPool`] seeds a single root task); an idle
+/// worker flags a victim chosen by deterministic round-robin, and the
+/// victim splits off its *deepest unexplored branch point*, shipping the
+/// decision prefix plus the accumulated sleep sets so partial-order
+/// reduction stays sound across the steal. Shipped prefixes replay
+/// lazily — only when a thief actually claims the task; no schedule is
+/// ever executed twice. Every worker runs the same depth-first search
+/// the serial checker would, against a freshly-constructed target per
+/// run; verdicts are shared through a [`VerdictCache`]; violations are
+/// claimed with their decision vector and merged in lexicographic
+/// (= serial DFS) order at the end, so verdicts, violation order, and
+/// witness histories are byte-identical to the serial checker's for any
+/// worker count.
 fn check_against_spec_at_parallel<T: TestTarget>(
     target: &T,
     matrix: &TestMatrix,
@@ -893,14 +938,14 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     preemption_bound: Option<usize>,
 ) -> (Vec<Violation>, PhaseStats) {
     // Tiny state spaces are explored faster by one worker than by
-    // splitting: the frontier's prefix replays dominate a tree of a few
-    // dozen runs. Probe the serial exploration with a budget one past
+    // splitting: pool bookkeeping and steal handoffs dominate a tree of a
+    // few dozen runs. Probe the serial exploration with a budget one past
     // [`CheckOptions::parallel_probe_runs`]; if the space (or the overall
     // run cap) fits within the threshold, the probe's answer *is* the
-    // serial answer — same runs, same violations, no frontier. Otherwise
-    // the probe is discarded as unaccounted overhead (at most
+    // serial answer — same runs, same violations, no workers spawned.
+    // Otherwise the probe is discarded as unaccounted overhead (at most
     // `parallel_probe_runs + 1` runs, negligible against a tree that
-    // large) and the split proceeds.
+    // large) and the work-stealing exploration proceeds.
     if options.parallel_probe_runs > 0 {
         let budget = options
             .parallel_probe_runs
@@ -911,9 +956,10 @@ fn check_against_spec_at_parallel<T: TestTarget>(
             max_phase2_runs: Some(budget),
             ..options.clone()
         };
-        let (violations, stats) =
+        let (violations, mut stats) =
             check_against_spec_at(target, matrix, spec, &probe_options, preemption_bound);
         if stats.runs <= options.parallel_probe_runs {
+            stats.probe_skips = 1;
             return (violations, stats);
         }
     }
@@ -927,14 +973,17 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         .with_fast_path(options.fast_path)
         .with_backend(options.backend);
     config.preemption_bound = preemption_bound;
-    config.workers = options.workers;
-    config.split_depth = options.split_depth;
-    let depth = config.effective_split_depth();
+    // Each worker runs ONE exploration that streams subtree tasks from
+    // the shared pool; the run budget is enforced globally through
+    // `runs_done`, so the per-exploration cap stays off.
+    config.max_runs = None;
+    // Workers must agree with the serial checker (and with each other) on
+    // whether sleep sets are in play: shipped sleep masks are only
+    // meaningful to a thief that applies them.
+    let por = config.effective_por();
 
-    // Counts every run executed (frontier enumeration + workers) and
-    // enforces the run budget across all workers. The frontier portion is
-    // tracked separately below and reported as `frontier_replays`, so the
-    // published `runs` covers worker runs only.
+    // Counts every run a worker's visitor accepted and enforces the run
+    // budget across all workers.
     let runs_done = AtomicU64::new(0);
     let process_run = |runs_done: &AtomicU64| -> bool {
         match options.max_phase2_runs {
@@ -953,183 +1002,238 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         }
     };
 
-    // Serial frontier enumeration: one run per depth-`depth` decision
-    // prefix, in DFS order, so subtree indexes order the subtrees exactly
-    // as a serial exploration would visit them.
-    let mut tasks: Vec<SubtreeTask> = Vec::new();
-    let mut fconfig = config.clone();
-    fconfig.strategy = StrategyKind::Frontier { depth };
-    fconfig.max_runs = None;
-    let mut frontier_replays: u64 = 0;
-    let frontier_stats = explore_matrix(target, matrix, &fconfig, |run| {
-        if !process_run(&runs_done) {
-            return ControlFlow::Break(());
-        }
-        frontier_replays += 1;
-        let cut = run.decisions.len().min(depth);
-        tasks.push(SubtreeTask {
-            index: tasks.len(),
-            prefix: run.decisions[..cut].to_vec(),
-            sleep: run
-                .slept
-                .get(..cut)
-                .map(<[u64]>::to_vec)
-                .unwrap_or_default(),
-        });
-        ControlFlow::Continue(())
-    });
-
     let cache = VerdictCache::new((options.workers * 8).next_power_of_two());
     let full_count = AtomicUsize::new(0);
     let stuck_count = AtomicUsize::new(0);
     let claims: Mutex<Vec<Claim>> = Mutex::new(Vec::new());
+    // The pool seeds one task covering the whole schedule tree; every
+    // further task exists only because an idle worker asked for work.
+    let pool = Arc::new(StealPool::new(options.workers));
+    // Behind an `Arc` because the claim-time skip closure is owned by the
+    // strategy (`'static`), outliving this function's borrows.
+    let cancel = Arc::new(LexCancel::new());
+    let budget_exhausted = AtomicBool::new(false);
+    let worker_stats: Mutex<ExploreStats> = Mutex::new(ExploreStats::default());
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
-    let sched_stats = explore_parallel(options.workers, &tasks, |task, cancel| {
-        let mut sub_config = config.clone();
-        sub_config.strategy = StrategyKind::PrefixDfs {
-            prefix: task.prefix.clone(),
-            sleep: task.sleep.clone(),
-        };
-        sub_config.max_runs = None;
-        let mut seq: u64 = 0;
-        // Per-subtree dedup of claims: within one subtree the run order is
-        // the serial order, so claiming only the first occurrence of a
-        // violating history mirrors the serial `seen` map. Cross-subtree
-        // duplicates are removed in the deterministic merge below.
-        let mut local_claimed: HashSet<History> = HashSet::new();
-        // Sub-test specifications are cheap to synthesize (phase 1, §5.4),
-        // so each worker task keeps its own cache rather than sharing.
-        let mut sub_specs: BTreeMap<Vec<(usize, usize)>, ObservationSet> = BTreeMap::new();
-        explore_matrix(target, matrix, &sub_config, |run| {
-            // A violation in an earlier subtree supersedes anything this
-            // subtree could find; stop promptly at the run boundary.
-            if cancel.should_skip(task.index) {
-                return ControlFlow::Break(());
-            }
-            if !process_run(&runs_done) {
-                return ControlFlow::Break(());
-            }
-            let this_seq = seq;
-            seq += 1;
-            let mut violating = false;
-            match &run.outcome {
-                RunOutcome::Pruned => {
-                    // Redundant by partial-order reduction (see the serial
-                    // path); counts toward the run budget like any run.
-                }
-                RunOutcome::Panicked { message, .. } => {
-                    claims.lock().unwrap().push(Claim {
-                        subtree: task.index,
-                        seq: this_seq,
-                        key: None,
-                        violation: Violation::Panic {
-                            message: message.clone(),
-                            history: run.history.clone(),
-                            serial: false,
-                            decisions: run.decisions.clone(),
-                        },
-                    });
-                    violating = true;
-                }
-                RunOutcome::StepLimit => {
-                    claims.lock().unwrap().push(Claim {
-                        subtree: task.index,
-                        seq: this_seq,
-                        key: None,
-                        violation: Violation::Panic {
-                            message: "step limit exceeded in concurrent execution".into(),
-                            history: run.history.clone(),
-                            serial: false,
-                            decisions: run.decisions.clone(),
-                        },
-                    });
-                    violating = true;
-                }
-                RunOutcome::Complete
-                | RunOutcome::Deadlock
-                | RunOutcome::Livelock
-                | RunOutcome::StuckSerial => {
-                    let verdict = match cache.get(&run.history) {
-                        Some(v) => v,
-                        None => {
-                            // Witness search runs outside any cache lock;
-                            // `insert_if_absent` resolves the (rare) race
-                            // where two workers compute the same history,
-                            // counting it once.
-                            let computed = if run.outcome == RunOutcome::Complete {
-                                full_verdict(
-                                    target,
-                                    matrix,
-                                    &index,
-                                    options,
-                                    &mut sub_specs,
-                                    &run.history,
-                                )
-                            } else {
-                                stuck_verdict(
-                                    target,
-                                    matrix,
-                                    &index,
-                                    options,
-                                    &mut sub_specs,
-                                    &run.history,
-                                )
-                            };
-                            let (v, inserted) = cache.insert_if_absent(&run.history, computed);
-                            if inserted {
-                                if run.outcome == RunOutcome::Complete {
-                                    full_count.fetch_add(1, Ordering::SeqCst);
-                                } else {
-                                    stuck_count.fetch_add(1, Ordering::SeqCst);
-                                }
+    std::thread::scope(|scope| {
+        for w in 0..options.workers {
+            let (pool, cancel, cache, claims) = (&pool, &cancel, &cache, &claims);
+            let (runs_done, process_run) = (&runs_done, &process_run);
+            let (full_count, stuck_count, index) = (&full_count, &stuck_count, &index);
+            let (budget_exhausted, worker_stats) = (&budget_exhausted, &worker_stats);
+            let (config, panic_payload) = (&config, &panic_payload);
+            scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Subtrees wholly at-or-after a known violation cannot
+                    // contain the lexicographic winner; skip them at claim
+                    // time, before their prefix is ever replayed.
+                    let skip_cancel = Arc::clone(cancel);
+                    let skip: StealSkip =
+                        Box::new(move |t: &StealTask| skip_cancel.should_skip_subtree(&t.prefix));
+                    // The visitor below raises `abandon` *after* the
+                    // strategy has already advanced past the triggering
+                    // run (the explorer calls `end_run` first), so a flag
+                    // raised against the final run of a task would land on
+                    // a fresh, unrelated task. The confirm closure keeps
+                    // such stale requests from cancelling it: abandon only
+                    // when the known winner is at or before the strategy's
+                    // current position.
+                    let confirm_cancel = Arc::clone(cancel);
+                    let confirm: AbandonConfirm =
+                        Box::new(move |d: &[usize]| confirm_cancel.should_skip_subtree(d));
+                    let strategy = StealingStrategy::claim_first(
+                        Arc::clone(pool),
+                        w,
+                        por,
+                        Some(skip),
+                        Some(confirm),
+                    )?;
+                    let abandon = strategy.abandon_flag();
+                    // Sub-test specifications are cheap to synthesize
+                    // (phase 1, §5.4), so each worker keeps its own cache
+                    // rather than sharing.
+                    let mut sub_specs: BTreeMap<Vec<(usize, usize)>, ObservationSet> =
+                        BTreeMap::new();
+                    let stats = explore_matrix_with_strategy(
+                        target,
+                        matrix,
+                        config,
+                        Box::new(strategy),
+                        |run| {
+                            // A lexicographically smaller violation is
+                            // already known; every remaining run of the
+                            // current subtree is at or after this one, so
+                            // drop the subtree (uncounted) and let the
+                            // strategy move on to the next task.
+                            if cancel.should_skip(&run.decisions) {
+                                abandon.store(true, Ordering::SeqCst);
+                                return ControlFlow::Continue(());
                             }
-                            v
-                        }
-                    };
-                    if verdict.is_violation() {
-                        violating = true;
-                        if local_claimed.insert(run.history.clone()) {
-                            let violation = match verdict {
-                                CachedVerdict::NoWitness => Violation::NoWitness {
-                                    history: run.history.clone(),
-                                    decisions: run.decisions.clone(),
-                                },
-                                CachedVerdict::StuckNoWitness { reduced, pending } => {
-                                    Violation::StuckNoWitness {
-                                        history: reduced,
-                                        pending,
+                            if !process_run(runs_done) {
+                                budget_exhausted.store(true, Ordering::SeqCst);
+                                return ControlFlow::Break(());
+                            }
+                            let mut violating = false;
+                            match &run.outcome {
+                                RunOutcome::Pruned => {
+                                    // Redundant by partial-order reduction
+                                    // (see the serial path); counts toward
+                                    // the run budget like any run.
+                                }
+                                RunOutcome::Panicked { message, .. } => {
+                                    claims.lock().unwrap().push(Claim {
                                         decisions: run.decisions.clone(),
+                                        key: None,
+                                        violation: Violation::Panic {
+                                            message: message.clone(),
+                                            history: run.history.clone(),
+                                            serial: false,
+                                            decisions: run.decisions.clone(),
+                                        },
+                                    });
+                                    violating = true;
+                                }
+                                RunOutcome::StepLimit => {
+                                    claims.lock().unwrap().push(Claim {
+                                        decisions: run.decisions.clone(),
+                                        key: None,
+                                        violation: Violation::Panic {
+                                            message: "step limit exceeded in concurrent execution"
+                                                .into(),
+                                            history: run.history.clone(),
+                                            serial: false,
+                                            decisions: run.decisions.clone(),
+                                        },
+                                    });
+                                    violating = true;
+                                }
+                                RunOutcome::Complete
+                                | RunOutcome::Deadlock
+                                | RunOutcome::Livelock
+                                | RunOutcome::StuckSerial => {
+                                    let verdict = match cache.get(&run.history) {
+                                        Some(v) => v,
+                                        None => {
+                                            // Witness search runs outside any
+                                            // cache lock; `insert_if_absent`
+                                            // resolves the (rare) race where
+                                            // two workers compute the same
+                                            // history, counting it once.
+                                            let computed = if run.outcome == RunOutcome::Complete {
+                                                full_verdict(
+                                                    target,
+                                                    matrix,
+                                                    index,
+                                                    options,
+                                                    &mut sub_specs,
+                                                    &run.history,
+                                                )
+                                            } else {
+                                                stuck_verdict(
+                                                    target,
+                                                    matrix,
+                                                    index,
+                                                    options,
+                                                    &mut sub_specs,
+                                                    &run.history,
+                                                )
+                                            };
+                                            let (v, inserted) =
+                                                cache.insert_if_absent(&run.history, computed);
+                                            if inserted {
+                                                if run.outcome == RunOutcome::Complete {
+                                                    full_count.fetch_add(1, Ordering::SeqCst);
+                                                } else {
+                                                    stuck_count.fetch_add(1, Ordering::SeqCst);
+                                                }
+                                            }
+                                            v
+                                        }
+                                    };
+                                    if verdict.is_violation() {
+                                        violating = true;
+                                        let violation = match verdict {
+                                            CachedVerdict::NoWitness => Violation::NoWitness {
+                                                history: run.history.clone(),
+                                                decisions: run.decisions.clone(),
+                                            },
+                                            CachedVerdict::StuckNoWitness { reduced, pending } => {
+                                                Violation::StuckNoWitness {
+                                                    history: reduced,
+                                                    pending,
+                                                    decisions: run.decisions.clone(),
+                                                }
+                                            }
+                                            CachedVerdict::Pass => unreachable!(),
+                                        };
+                                        claims.lock().unwrap().push(Claim {
+                                            decisions: run.decisions.clone(),
+                                            key: Some(run.history.clone()),
+                                            violation,
+                                        });
                                     }
                                 }
-                                CachedVerdict::Pass => unreachable!(),
-                            };
-                            claims.lock().unwrap().push(Claim {
-                                subtree: task.index,
-                                seq: this_seq,
-                                key: Some(run.history.clone()),
-                                violation,
-                            });
+                            }
+                            if violating && options.stop_at_first_violation {
+                                // Every later run of the current subtree is
+                                // lexicographically greater and cannot win;
+                                // later-claimed subtrees are filtered by the
+                                // claim-time skip. The worker itself stays
+                                // alive: a lexicographically *smaller*
+                                // subtree may still be queued.
+                                cancel.report(&run.decisions);
+                                abandon.store(true, Ordering::SeqCst);
+                            }
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    // Idempotent: releases the task a budget Break left
+                    // held, so the pool's active count drains to zero.
+                    pool.finish_task(w);
+                    if budget_exhausted.load(Ordering::SeqCst) {
+                        pool.stop();
+                    }
+                    Some(stats)
+                }));
+                match result {
+                    Ok(Some(stats)) => worker_stats
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .merge(&stats),
+                    Ok(None) => {}
+                    Err(payload) => {
+                        // A worker panicking mid-steal must not strand its
+                        // parked peers: poison the pool so they drain and
+                        // exit, then re-raise on the caller's thread.
+                        pool.poison();
+                        let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
                         }
                     }
                 }
-            }
-            if violating && options.stop_at_first_violation {
-                // Cancel subtrees *after* this one; earlier subtrees keep
-                // exploring, because a violation they find precedes ours
-                // in serial order and must win instead.
-                cancel.report(task.index);
-                return ControlFlow::Break(());
-            }
-            ControlFlow::Continue(())
-        })
+            });
+        }
     });
 
-    // Deterministic merge: order claims by serial exploration order,
-    // deduplicate violating histories across subtrees (the serial path's
-    // global `seen` map), and honor stop-at-first by keeping only the
-    // claim the serial exploration would have stopped at.
-    let mut claims = claims.into_inner().unwrap();
-    claims.sort_by_key(|c| (c.subtree, c.seq));
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
+        std::panic::resume_unwind(payload);
+    }
+
+    let mut sched_stats = worker_stats.into_inner().unwrap_or_else(|e| e.into_inner());
+    pool.export_stats(&mut sched_stats);
+
+    // Deterministic merge: sort claims lexicographically by decision
+    // vector (the serial visit order), deduplicate violating histories
+    // (the serial path's global `seen` map reports only the first
+    // occurrence), and honor stop-at-first by keeping only the claim the
+    // serial exploration would have stopped at.
+    let mut claims = claims.into_inner().unwrap_or_else(|e| e.into_inner());
+    claims.sort_by(|a, b| a.decisions.cmp(&b.decisions));
     let mut violations = Vec::new();
     let mut reported: HashSet<History> = HashSet::new();
     for claim in claims {
@@ -1145,29 +1249,24 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     }
 
     let phase = PhaseStats {
-        // Worker runs only: the frontier's prefix re-executions duplicate
-        // schedules the subtree workers also explore, so they are split
-        // out as `frontier_replays` — `runs` matches what a serial
-        // exploration of the same tree would report.
-        runs: runs_done
-            .load(Ordering::SeqCst)
-            .saturating_sub(frontier_replays),
+        // Every schedule executes exactly once — a stolen task's prefix
+        // replay happens *inside* its first (new) run, never as an extra
+        // one — so `runs` matches a serial exploration of the same tree.
+        // (Under stop-at-first, runs a known winner superseded are
+        // abandoned uncounted.)
+        runs: runs_done.load(Ordering::SeqCst),
         full_histories: full_count.load(Ordering::SeqCst),
         stuck_histories: stuck_count.load(Ordering::SeqCst),
-        // Worker prunes only, mirroring `runs`: a frontier prefix whose
-        // candidates are all asleep is re-encountered (and re-counted) by
-        // the worker that owns the subtree.
         sleep_prunes: sched_stats.sleep_prunes,
-        // Step counters cover all executed work, frontier included — they
-        // measure scheduler throughput, not tree size.
-        total_steps: frontier_stats
-            .total_steps
-            .saturating_add(sched_stats.total_steps),
-        fast_path_steps: frontier_stats
-            .fast_path_steps
-            .saturating_add(sched_stats.fast_path_steps),
-        handoffs: frontier_stats.handoffs.saturating_add(sched_stats.handoffs),
-        frontier_replays,
+        total_steps: sched_stats.total_steps,
+        fast_path_steps: sched_stats.fast_path_steps,
+        handoffs: sched_stats.handoffs,
+        frontier_replays: 0,
+        splits: sched_stats.splits,
+        steals: sched_stats.steals,
+        idle_parks: sched_stats.idle_parks,
+        steal_replays: sched_stats.steal_replays,
+        probe_skips: 0,
         // Parallel workers can race to check the same history before the
         // shared verdict cache publishes it, so these counters may exceed
         // a serial run's — they measure monitor work done, not distinct
@@ -1394,8 +1493,8 @@ mod tests {
     fn parallel_passing_target_still_passes() {
         let m = buggy_matrix();
         let serial = check(&CounterTarget, &m, &CheckOptions::new());
-        // Probe disabled: exercise the actual frontier split even though
-        // this state space is below the auto-serial threshold.
+        // Probe disabled: exercise the actual work-stealing pool even
+        // though this state space is below the auto-serial threshold.
         let par = check(
             &CounterTarget,
             &m,
@@ -1406,18 +1505,34 @@ mod tests {
         assert!(serial.passed() && par.passed());
         assert_eq!(serial.phase2.full_histories, par.phase2.full_histories);
         assert_eq!(serial.phase2.stuck_histories, par.phase2.stuck_histories);
-        // Frontier re-executions are split out of `runs`, so the run
-        // count is identical to the serial exploration's.
+        // A stolen task's prefix replays inside its first run, never as an
+        // extra one, so the run count is identical to the serial
+        // exploration's — and no eager frontier enumeration ever happens.
         assert_eq!(par.phase2.runs, serial.phase2.runs);
-        assert!(par.phase2.frontier_replays > 0, "frontier was enumerated");
+        assert_eq!(par.phase2.frontier_replays, 0, "no eager prefix runs");
+        assert!(
+            par.phase2.steal_replays <= par.phase2.steals,
+            "replays only for claimed steals: {} <= {}",
+            par.phase2.steal_replays,
+            par.phase2.steals,
+        );
+        assert!(
+            par.phase2.steals <= par.phase2.splits,
+            "every claimed steal was split off first: {} <= {}",
+            par.phase2.steals,
+            par.phase2.splits,
+        );
         assert_eq!(serial.phase2.frontier_replays, 0);
+        assert_eq!(serial.phase2.splits, 0);
+        assert_eq!(serial.phase2.steals, 0);
+        assert_eq!(serial.phase2.idle_parks, 0);
     }
 
     #[test]
-    fn tiny_spaces_skip_frontier_splitting() {
+    fn tiny_spaces_skip_parallel_splitting() {
         // The counter's exhaustive tree is a few dozen runs — far below
         // the default probe threshold — so a multi-worker check takes the
-        // serial path: same runs, same verdict, and no frontier replays.
+        // serial path: same runs, same verdict, and no pool activity.
         let m = buggy_matrix();
         let opts = CheckOptions::new().with_preemption_bound(None);
         let serial = check(&CounterTarget, &m, &opts);
@@ -1429,10 +1544,11 @@ mod tests {
         );
         assert_eq!(par.phase2.runs, serial.phase2.runs);
         assert_eq!(par.phase2.total_steps, serial.phase2.total_steps);
-        assert_eq!(
-            par.phase2.frontier_replays, 0,
-            "no split below the threshold"
-        );
+        assert_eq!(par.phase2.probe_skips, 1, "the probe answered the check");
+        assert_eq!(serial.phase2.probe_skips, 0, "serial checks never probe");
+        assert_eq!(par.phase2.splits, 0, "no split below the threshold");
+        assert_eq!(par.phase2.steals, 0);
+        assert_eq!(par.phase2.steal_replays, 0);
         // The same check on a buggy target reports the serial violation.
         let sbug = check(&BuggyCounterTarget, &m, &opts);
         let pbug = check(&BuggyCounterTarget, &m, &opts.clone().with_workers(4));

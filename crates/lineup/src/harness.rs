@@ -8,8 +8,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use lineup_sched::{
-    block_current, current_thread, explore, op_boundary, unblock, BlockKind, Config, ExploreStats,
-    RunOutcome, ThreadId,
+    block_current, current_thread, explore, explore_with_strategy, op_boundary, unblock, BlockKind,
+    Config, Execution, ExploreStats, RunOutcome, Strategy, ThreadId,
 };
 
 use crate::history::History;
@@ -120,8 +120,8 @@ pub struct MatrixRun {
     /// consumed by the `lineup-checkers` comparison checkers.
     pub access_log: Vec<lineup_sched::AccessEvent>,
     /// Per-decision sleep-set additions under partial-order reduction
-    /// (empty without POR), parallel to `decisions`; propagated into
-    /// frontier prefixes for parallel phase-2 exploration.
+    /// (empty without POR), parallel to `decisions`; shipped with stolen
+    /// subtree prefixes during parallel phase-2 exploration.
     pub slept: Vec<u64>,
 }
 
@@ -139,6 +139,31 @@ pub fn explore_matrix<T: TestTarget>(
     target: &T,
     matrix: &TestMatrix,
     config: &Config,
+    visit: impl FnMut(MatrixRun) -> ControlFlow<()>,
+) -> ExploreStats {
+    explore_matrix_impl(target, matrix, config, None, visit)
+}
+
+/// [`explore_matrix`] with a caller-supplied scheduling strategy instead of
+/// one built from [`Config::strategy`]: the entry point for work-stealing
+/// phase-2 workers, whose [`StealingStrategy`](lineup_sched::StealingStrategy)
+/// streams subtree tasks from a shared pool across a single exploration
+/// call.
+pub fn explore_matrix_with_strategy<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    config: &Config,
+    strategy: Box<dyn Strategy + Send>,
+    visit: impl FnMut(MatrixRun) -> ControlFlow<()>,
+) -> ExploreStats {
+    explore_matrix_impl(target, matrix, config, Some(strategy), visit)
+}
+
+fn explore_matrix_impl<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    config: &Config,
+    strategy: Option<Box<dyn Strategy + Send>>,
     mut visit: impl FnMut(MatrixRun) -> ControlFlow<()>,
 ) -> ExploreStats {
     let columns = matrix.columns.clone();
@@ -147,78 +172,79 @@ pub fn explore_matrix<T: TestTarget>(
     let slot: Rc<RefCell<Option<Arc<Recorder>>>> = Rc::new(RefCell::new(None));
     let slot_setup = Rc::clone(&slot);
 
-    explore(
-        config,
-        move |ex| {
-            let instance = Arc::new(target.create());
-            for inv in &matrix.init {
-                // State preparation: performed before the concurrent part,
-                // not recorded. Setup runs outside the scheduler, so these
-                // operations must not block.
-                let _ = instance.invoke(inv);
-            }
-            let recorder = Arc::new(Recorder::new(thread_count));
-            *slot_setup.borrow_mut() = Some(Arc::clone(&recorder));
-            let gate = Arc::new(Gate::new(columns.len()));
+    let setup = move |ex: &mut Execution| {
+        let instance = Arc::new(target.create());
+        for inv in &matrix.init {
+            // State preparation: performed before the concurrent part,
+            // not recorded. Setup runs outside the scheduler, so these
+            // operations must not block.
+            let _ = instance.invoke(inv);
+        }
+        let recorder = Arc::new(Recorder::new(thread_count));
+        *slot_setup.borrow_mut() = Some(Arc::clone(&recorder));
+        let gate = Arc::new(Gate::new(columns.len()));
 
-            for (t, column) in columns.iter().enumerate() {
-                let instance = Arc::clone(&instance);
-                let recorder = Arc::clone(&recorder);
-                let gate = Arc::clone(&gate);
-                let column = column.clone();
-                ex.spawn(move || {
-                    for (i, inv) in column.into_iter().enumerate() {
-                        // Boundaries separate operations (thread start acts
-                        // as the initial boundary): each scheduling decision
-                        // in serial mode then corresponds exactly to "whose
-                        // operation runs next", so serial schedules map
-                        // one-to-one onto serial histories (9!/(3!)³ = 1680
-                        // full histories for a 3×3 test, §5.5).
-                        if i > 0 {
-                            op_boundary();
-                        }
-                        let op = recorder.record_call(t, inv.clone());
-                        let response = instance.invoke(&inv);
-                        recorder.record_return(op, response);
+        for (t, column) in columns.iter().enumerate() {
+            let instance = Arc::clone(&instance);
+            let recorder = Arc::clone(&recorder);
+            let gate = Arc::clone(&gate);
+            let column = column.clone();
+            ex.spawn(move || {
+                for (i, inv) in column.into_iter().enumerate() {
+                    // Boundaries separate operations (thread start acts
+                    // as the initial boundary): each scheduling decision
+                    // in serial mode then corresponds exactly to "whose
+                    // operation runs next", so serial schedules map
+                    // one-to-one onto serial histories (9!/(3!)³ = 1680
+                    // full histories for a 3×3 test, §5.5).
+                    if i > 0 {
+                        op_boundary();
                     }
-                    gate.arrive();
-                });
-            }
-            if !finals.is_empty() {
-                let t = columns.len();
-                let instance = Arc::clone(&instance);
-                let recorder = Arc::clone(&recorder);
-                let finals = finals.clone();
-                let gate = Arc::clone(&gate);
-                ex.spawn(move || {
-                    gate.wait();
-                    for (i, inv) in finals.into_iter().enumerate() {
-                        if i > 0 {
-                            op_boundary();
-                        }
-                        let op = recorder.record_call(t, inv.clone());
-                        let response = instance.invoke(&inv);
-                        recorder.record_return(op, response);
+                    let op = recorder.record_call(t, inv.clone());
+                    let response = instance.invoke(&inv);
+                    recorder.record_return(op, response);
+                }
+                gate.arrive();
+            });
+        }
+        if !finals.is_empty() {
+            let t = columns.len();
+            let instance = Arc::clone(&instance);
+            let recorder = Arc::clone(&recorder);
+            let finals = finals.clone();
+            let gate = Arc::clone(&gate);
+            ex.spawn(move || {
+                gate.wait();
+                for (i, inv) in finals.into_iter().enumerate() {
+                    if i > 0 {
+                        op_boundary();
                     }
-                });
-            }
-        },
-        |run| {
-            let recorder = slot
-                .borrow_mut()
-                .take()
-                .expect("recorder installed by setup");
-            let history = recorder.take(run.outcome.is_stuck());
-            visit(MatrixRun {
-                history,
-                outcome: run.outcome.clone(),
-                preemptions: run.preemptions,
-                decisions: run.decisions.clone(),
-                access_log: run.access_log.clone(),
-                slept: run.slept.clone(),
-            })
-        },
-    )
+                    let op = recorder.record_call(t, inv.clone());
+                    let response = instance.invoke(&inv);
+                    recorder.record_return(op, response);
+                }
+            });
+        }
+    };
+    let on_run = |run: &lineup_sched::RunResult| {
+        let recorder = slot
+            .borrow_mut()
+            .take()
+            .expect("recorder installed by setup");
+        let history = recorder.take(run.outcome.is_stuck());
+        visit(MatrixRun {
+            history,
+            outcome: run.outcome.clone(),
+            preemptions: run.preemptions,
+            decisions: run.decisions.clone(),
+            access_log: run.access_log.clone(),
+            slept: run.slept.clone(),
+        })
+    };
+    match strategy {
+        Some(s) => explore_with_strategy(config, s, setup, on_run),
+        None => explore(config, setup, on_run),
+    }
 }
 
 /// Re-executes one recorded schedule of `matrix` against `target` and

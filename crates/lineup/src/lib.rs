@@ -74,7 +74,7 @@ pub use check::{
     MonitorHandle, PhaseStats, Violation,
 };
 pub use erased::ErasedTarget;
-pub use harness::{explore_matrix, replay_matrix, MatrixRun};
+pub use harness::{explore_matrix, explore_matrix_with_strategy, replay_matrix, MatrixRun};
 pub use history::{Event, History, OpIndex, Operation};
 pub use lineup_sched::Backend;
 pub use matrix::TestMatrix;

@@ -5,8 +5,8 @@
 /// The backend decides what a baton *handoff* physically is; the schedule
 /// *point* (step accounting, POR footprint settlement, enabled-set and
 /// livelock checks, strategy consultation, decision recording) is backend-
-/// independent, so schedules, histories, sleep sets, and frontier
-/// partitions are byte-identical across backends
+/// independent, so schedules, histories, sleep sets, and work-stealing
+/// subtree partitions are byte-identical across backends
 /// (`tests/backend_equivalence.rs` asserts this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -100,25 +100,29 @@ pub enum StrategyKind {
     /// decision prefix (see
     /// [`PrefixDfsStrategy`](crate::strategy::PrefixDfsStrategy)): the
     /// prefix is replayed at the start of every run and the DFS backtracks
-    /// only beyond it. The unit of work of
-    /// [`explore_parallel`](crate::explorer::explore_parallel).
+    /// only beyond it. The unit of work of parallel exploration: every
+    /// task claimed from a [`StealPool`](crate::explorer::StealPool) —
+    /// whether the seed task or a stolen subtree — is explored as a
+    /// prefix DFS.
     PrefixDfs {
         /// The decision prefix identifying the subtree.
         prefix: Vec<usize>,
         /// Per-decision sleep-set masks accumulated along the prefix by
-        /// the frontier enumeration (see
-        /// [`RunResult::slept`](crate::RunResult)); empty when
-        /// partial-order reduction is off. Workers replaying the prefix
-        /// re-install these masks so they do not re-explore subtrees a
-        /// sibling's sleep set already pruned.
+        /// the victim at the moment of the split (see
+        /// [`DfsStrategy::split_deepest`](crate::strategy::DfsStrategy));
+        /// empty when partial-order reduction is off. Thieves replaying
+        /// the prefix re-install these masks so they do not re-explore
+        /// subtrees the victim's sleep set already covers.
         sleep: Vec<u64>,
     },
     /// Enumerates the disjoint subtree roots at decision depth `depth`
     /// (see [`FrontierStrategy`](crate::strategy::FrontierStrategy)): one
     /// run per depth-`depth` decision prefix, always taking the first
-    /// alternative beyond the frontier. Used by
-    /// [`split_frontier`](crate::explorer::split_frontier) to partition
-    /// the schedule tree for parallel exploration.
+    /// alternative beyond the frontier. Legacy partitioner used by
+    /// [`split_frontier`](crate::explorer::split_frontier); the checker's
+    /// parallel mode now splits subtrees dynamically via
+    /// [`StealingStrategy`](crate::explorer::StealingStrategy) instead,
+    /// which replays prefixes only when a steal actually happens.
     Frontier {
         /// The split depth (number of leading decisions to enumerate).
         depth: usize,
@@ -150,17 +154,17 @@ pub struct Config {
     /// Whether to record the full access log (needed by the §5.6
     /// comparison checkers; Line-Up itself does not need it).
     pub record_accesses: bool,
-    /// Number of OS worker threads used by
-    /// [`explore_parallel`](crate::explorer::explore_parallel) to explore
-    /// disjoint schedule subtrees concurrently. `1` (the default) means
+    /// Number of OS worker threads exploring disjoint schedule subtrees
+    /// concurrently, coordinated by a work-stealing
+    /// [`StealPool`](crate::explorer::StealPool). `1` (the default) means
     /// serial exploration; [`explore`](crate::explore) itself always runs
     /// serially regardless of this setting.
     pub workers: usize,
-    /// Decision depth at which [`split_frontier`]
-    /// (crate::explorer::split_frontier) partitions the schedule tree for
-    /// parallel exploration. `None` uses
-    /// [`Config::DEFAULT_SPLIT_DEPTH`]. Deeper splits produce more,
-    /// smaller subtrees (better load balance, more frontier overhead).
+    /// Decision depth at which the *legacy* static partitioner
+    /// [`split_frontier`](crate::explorer::split_frontier) cuts the
+    /// schedule tree. `None` uses [`Config::DEFAULT_SPLIT_DEPTH`]. The
+    /// work-stealing scheduler ignores this: it splits at the victim's
+    /// deepest unexplored branch point, wherever that happens to be.
     pub split_depth: Option<usize>,
     /// Whether partial-order reduction (sleep sets + happens-before
     /// backtracking, see the [`por`](crate::por) module) prunes
@@ -194,11 +198,11 @@ pub struct Config {
 }
 
 impl Config {
-    /// Default frontier split depth for parallel exploration (see
-    /// [`Config::split_depth`]): deep enough to yield many more subtrees
-    /// than workers on typical 2–3-thread tests, shallow enough that the
-    /// serial frontier enumeration stays a negligible fraction of the
-    /// exploration.
+    /// Default split depth for the legacy static frontier partitioner
+    /// (see [`Config::split_depth`]): deep enough to yield many more
+    /// subtrees than workers on typical 2–3-thread tests, shallow enough
+    /// that the serial frontier enumeration stays a negligible fraction
+    /// of the exploration.
     pub const DEFAULT_SPLIT_DEPTH: usize = 4;
 
     /// Default usable fiber stack size (see [`Config::fiber_stack_size`]):
@@ -312,7 +316,9 @@ impl Config {
         self
     }
 
-    /// The frontier split depth in effect (see [`Config::split_depth`]).
+    /// The legacy frontier split depth in effect (see
+    /// [`Config::split_depth`]); the work-stealing scheduler does not
+    /// consult it.
     pub fn effective_split_depth(&self) -> usize {
         self.split_depth.unwrap_or(Self::DEFAULT_SPLIT_DEPTH)
     }

@@ -2,11 +2,12 @@
 //! test, following a search strategy through the tree of scheduling
 //! choices, and report every run to the caller.
 
+use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -20,8 +21,8 @@ use crate::runtime::{
 };
 use crate::state::{RtState, RunOutcome};
 use crate::strategy::{
-    Choice, DfsStrategy, FrontierStrategy, PctStrategy, PrefixDfsStrategy, RandomStrategy,
-    ReplayStrategy, Strategy,
+    Choice, DfsStrategy, FrontierStrategy, PctStrategy, PorChoice, PrefixDfsStrategy,
+    RandomStrategy, ReplayStrategy, Strategy,
 };
 
 /// Builder passed to the setup closure of [`explore`]: spawns the virtual
@@ -117,6 +118,20 @@ pub struct ExploreStats {
     /// across worker counts. Always 0 for a plain [`explore`]; consumers
     /// aggregating a parallel exploration fill it in.
     pub frontier_replays: u64,
+    /// Subtrees carved off live explorations for work-stealing thieves
+    /// ([`StealPool`]); incremented by the victim at split time.
+    pub splits: u64,
+    /// Stolen subtrees claimed by thieves from a [`StealPool`]. At most
+    /// [`splits`](ExploreStats::splits): a split subtree that the pool
+    /// never hands out (e.g. the exploration ends first) is not a steal.
+    pub steals: u64,
+    /// Times a worker parked idle waiting for stealable work.
+    pub idle_parks: u64,
+    /// Stolen subtrees whose exploration actually began (the thief's
+    /// first run replays the stolen prefix). At most
+    /// [`steals`](ExploreStats::steals): claims skipped by cancellation
+    /// are not replayed.
+    pub steal_replays: u64,
     /// Longest schedule observed.
     pub max_schedule_len: usize,
     /// True when the visitor stopped the exploration before the strategy
@@ -149,6 +164,10 @@ impl ExploreStats {
         self.fast_path_steps = self.fast_path_steps.saturating_add(other.fast_path_steps);
         self.handoffs = self.handoffs.saturating_add(other.handoffs);
         self.frontier_replays = self.frontier_replays.saturating_add(other.frontier_replays);
+        self.splits = self.splits.saturating_add(other.splits);
+        self.steals = self.steals.saturating_add(other.steals);
+        self.idle_parks = self.idle_parks.saturating_add(other.idle_parks);
+        self.steal_replays = self.steal_replays.saturating_add(other.steal_replays);
         self.max_schedule_len = self.max_schedule_len.max(other.max_schedule_len);
         self.stopped_early |= other.stopped_early;
     }
@@ -378,8 +397,8 @@ fn wait_run_over(shared: &Shared, pool: &Pool) -> Result<(), String> {
 /// than through scheduling (stateless replay then diverges).
 pub fn explore(
     config: &Config,
-    mut setup: impl FnMut(&mut Execution),
-    mut on_run: impl FnMut(&RunResult) -> ControlFlow<()>,
+    setup: impl FnMut(&mut Execution),
+    on_run: impl FnMut(&RunResult) -> ControlFlow<()>,
 ) -> ExploreStats {
     let por = config.effective_por();
     let strategy: Box<dyn Strategy + Send> = match &config.strategy {
@@ -404,6 +423,20 @@ pub fn explore(
         StrategyKind::Frontier { depth } if por => Box::new(FrontierStrategy::new_por(*depth)),
         StrategyKind::Frontier { depth } => Box::new(FrontierStrategy::new(*depth)),
     };
+    explore_with_strategy(config, strategy, setup, on_run)
+}
+
+/// [`explore`] with a caller-supplied strategy instead of one built from
+/// [`Config::strategy`]. This is how the work-stealing engine injects a
+/// [`StealingStrategy`] that streams subtree tasks from a shared
+/// [`StealPool`]; everything else (backends, buffers, statistics) is
+/// identical to [`explore`].
+pub fn explore_with_strategy(
+    config: &Config,
+    strategy: Box<dyn Strategy + Send>,
+    mut setup: impl FnMut(&mut Execution),
+    mut on_run: impl FnMut(&RunResult) -> ControlFlow<()>,
+) -> ExploreStats {
     install_quiet_panic_hook();
     let mut pool = Pool::new();
     let mut stats = ExploreStats::default();
@@ -736,6 +769,475 @@ where
         }
     });
     merged.into_inner().unwrap()
+}
+
+/// One unit of work-stealing exploration: a schedule subtree addressed by
+/// its decision prefix, with the sleep masks a serial DFS would have
+/// accumulated along it (see
+/// [`StolenSubtree`](crate::strategy::StolenSubtree)).
+#[derive(Debug, Clone)]
+pub struct StealTask {
+    /// Decision prefix rooting the subtree (empty for the whole tree).
+    pub prefix: Vec<usize>,
+    /// Per-decision sleep masks along the prefix (zeros when partial-order
+    /// reduction is off).
+    pub sleep: Vec<u64>,
+    /// True when this subtree was split off a live victim (as opposed to
+    /// the root task the pool is seeded with).
+    pub stolen: bool,
+}
+
+#[derive(Debug)]
+struct StealQueue {
+    queue: VecDeque<StealTask>,
+    /// Tasks currently being explored by a worker.
+    active: usize,
+    /// Which workers currently hold a task (so an abandoned exploration
+    /// can be released even when the strategy that held it is gone).
+    holding: Vec<bool>,
+    /// A worker panicked: everyone unparks and bails out.
+    poisoned: bool,
+    /// The exploration was cut short (budget exhausted): remaining tasks
+    /// are dropped and parked workers exit.
+    stopped: bool,
+}
+
+/// Shared coordinator of a work-stealing exploration.
+///
+/// The pool starts with one root task (the whole schedule tree). Workers
+/// [`claim`](StealPool::claim) tasks and explore them depth-first; a worker
+/// finding the queue empty flags a victim — chosen by deterministic
+/// round-robin from its own id and retry epoch — and parks. The victim
+/// services the flag at its next run boundary by splitting its deepest
+/// unexplored branch point ([`DfsStrategy::split_deepest`]) and pushing the
+/// stolen subtree, which wakes the thief. Prefix replays happen only when a
+/// stolen task is actually explored, never eagerly.
+#[derive(Debug)]
+pub struct StealPool {
+    workers: usize,
+    state: Mutex<StealQueue>,
+    idle: Condvar,
+    /// Per-worker steal-request flags, set by idle thieves on their chosen
+    /// victim and serviced by the victim between runs. A flag stays set
+    /// until the victim manages to split (deeper branch points appear as
+    /// its exploration proceeds), so a thief never needs to re-request
+    /// from the same victim.
+    requests: Vec<AtomicBool>,
+    splits: AtomicU64,
+    steals: AtomicU64,
+    idle_parks: AtomicU64,
+    steal_replays: AtomicU64,
+}
+
+/// How many subtrees a victim gives away per serviced steal request.
+/// Deepest-first splits are near-leaf-sized, so a batch amortizes the
+/// park/unpark handshake; later splits in a batch climb toward the root
+/// and carry progressively larger subtrees.
+const STEAL_BATCH: usize = 16;
+
+impl StealPool {
+    /// Creates a pool for `workers` workers, seeded with the root task
+    /// covering the whole schedule tree.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "workers must be at least 1");
+        let mut queue = VecDeque::new();
+        queue.push_back(StealTask {
+            prefix: Vec::new(),
+            sleep: Vec::new(),
+            stolen: false,
+        });
+        StealPool {
+            workers,
+            state: Mutex::new(StealQueue {
+                queue,
+                active: 0,
+                holding: vec![false; workers],
+                poisoned: false,
+                stopped: false,
+            }),
+            idle: Condvar::new(),
+            requests: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            splits: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            idle_parks: AtomicU64::new(0),
+            steal_replays: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the next task for `worker`, parking (with steal requests
+    /// out) while the queue is empty but other workers still hold
+    /// splittable work. Returns `None` when the exploration is over: no
+    /// queued or active tasks remain, the pool was poisoned by a panicking
+    /// worker, or it was stopped.
+    pub fn claim(&self, worker: usize) -> Option<StealTask> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(!st.holding[worker], "claim while already holding a task");
+        let mut epoch = 0usize;
+        loop {
+            if st.poisoned || st.stopped {
+                return None;
+            }
+            if let Some(task) = st.queue.pop_front() {
+                st.active += 1;
+                st.holding[worker] = true;
+                if task.stolen {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(task);
+            }
+            if st.active == 0 {
+                // Wake any other parked thieves so they observe the end.
+                self.idle.notify_all();
+                return None;
+            }
+            // Deterministic round-robin victim selection: worker `w`
+            // cycles through (w+1, …, w+workers−1) mod workers as its
+            // retry epoch advances.
+            if self.workers > 1 {
+                let victim = (worker + 1 + epoch % (self.workers - 1)) % self.workers;
+                self.requests[victim].store(true, Ordering::Release);
+                epoch += 1;
+            }
+            self.idle_parks.fetch_add(1, Ordering::Relaxed);
+            // The timeout is a backstop: it re-issues requests when the
+            // flagged victim finished (or died) without splitting.
+            let (guard, _) = self
+                .idle
+                .wait_timeout(st, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Marks `worker`'s current task finished (fully explored, abandoned
+    /// to cancellation, or given up on early exit). Idempotent per claim.
+    pub fn finish_task(&self, worker: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.holding[worker] {
+            st.holding[worker] = false;
+            st.active -= 1;
+            self.idle.notify_all();
+        }
+    }
+
+    /// Queues a subtree split off a victim's live exploration and wakes
+    /// parked thieves.
+    pub fn push_stolen(&self, prefix: Vec<usize>, sleep: Vec<u64>) {
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.queue.push_back(StealTask {
+            prefix,
+            sleep,
+            stolen: true,
+        });
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    /// Whether an idle worker has flagged `worker` as a steal victim.
+    pub fn steal_requested(&self, worker: usize) -> bool {
+        self.requests[worker].load(Ordering::Acquire)
+    }
+
+    /// Clears `worker`'s steal-request flag (after a successful split).
+    pub fn clear_request(&self, worker: usize) {
+        self.requests[worker].store(false, Ordering::Release);
+    }
+
+    /// Records that a stolen task's exploration actually began (its prefix
+    /// is being replayed by the thief).
+    pub fn note_steal_replay(&self) {
+        self.steal_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Poisons the pool: a worker panicked. Every parked worker wakes and
+    /// [`claim`](StealPool::claim) returns `None` from then on, so peers
+    /// exit instead of waiting forever for work that will never come.
+    pub fn poison(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.poisoned = true;
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    /// Stops the pool: remaining tasks are dropped and parked workers
+    /// exit. Used when a global run budget is exhausted.
+    pub fn stop(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.stopped = true;
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    /// Writes the pool's steal counters into `stats`.
+    pub fn export_stats(&self, stats: &mut ExploreStats) {
+        stats.splits = self.splits.load(Ordering::Relaxed);
+        stats.steals = self.steals.load(Ordering::Relaxed);
+        stats.idle_parks = self.idle_parks.load(Ordering::Relaxed);
+        stats.steal_replays = self.steal_replays.load(Ordering::Relaxed);
+    }
+}
+
+/// Claim-time filter for a [`StealingStrategy`]: decides whether a task
+/// from the pool should be skipped outright (marked finished without
+/// exploring), e.g. because the whole subtree lies after an already-found
+/// violation in serial order.
+pub type StealSkip = Box<dyn Fn(&StealTask) -> bool + Send>;
+
+/// Abandon confirmation for a [`StealingStrategy`]: given the decision
+/// vector of the run the strategy just finished, decides whether a
+/// pending abandon request still applies there (see
+/// [`StealingStrategy::claim_first`]).
+pub type AbandonConfirm = Box<dyn Fn(&[usize]) -> bool + Send>;
+
+/// The strategy driving one worker of a work-stealing exploration: a
+/// [`PrefixDfsStrategy`] over the current task, streaming new tasks from
+/// the shared [`StealPool`] whenever the current subtree is exhausted (or
+/// abandoned via [`StealingStrategy::abandon_flag`]), and servicing steal
+/// requests from idle peers between runs by splitting its deepest
+/// unexplored branch point.
+///
+/// Each worker runs **one** [`explore_with_strategy`] call for the whole
+/// exploration, so runtime setup (fiber pools, wakeup slots, buffers) is
+/// paid once per worker instead of once per subtree.
+pub struct StealingStrategy {
+    pool: Arc<StealPool>,
+    worker: usize,
+    por: bool,
+    /// Skip predicate consulted before starting a claimed task (e.g. the
+    /// task lies after an already-found violation in serial order).
+    skip: Option<StealSkip>,
+    /// Set by the run visitor to abandon the current subtree at the next
+    /// run boundary (everything left in it is irrelevant).
+    abandon: Arc<AtomicBool>,
+    /// Confirms a pending abandon request against the current decision
+    /// vector before it is honored. The explorer calls `end_run` *before*
+    /// the visitor sees the finished run, so a flag raised against the
+    /// final run of a task is only observed after the strategy has moved
+    /// on to a fresh task — cancelling that one would skip work the
+    /// request never covered. `None` honors every request unconditionally.
+    confirm: Option<AbandonConfirm>,
+    inner: Option<PrefixDfsStrategy>,
+    /// Backtrack points accumulated over finished tasks.
+    backtracks: u64,
+}
+
+impl std::fmt::Debug for StealingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealingStrategy")
+            .field("worker", &self.worker)
+            .field("por", &self.por)
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StealingStrategy {
+    /// Creates the strategy for `worker` and claims its first task;
+    /// returns `None` when the pool has no work for it (so the caller
+    /// skips its exploration entirely). `confirm`, when given, is asked —
+    /// with the decision vector of the run the strategy just finished —
+    /// whether a pending abandon request still applies there; a stale
+    /// request (raised against a task already retired) is discarded
+    /// instead of cancelling the current task.
+    pub fn claim_first(
+        pool: Arc<StealPool>,
+        worker: usize,
+        por: bool,
+        skip: Option<StealSkip>,
+        confirm: Option<AbandonConfirm>,
+    ) -> Option<Self> {
+        let mut s = StealingStrategy {
+            pool,
+            worker,
+            por,
+            skip,
+            abandon: Arc::new(AtomicBool::new(false)),
+            confirm,
+            inner: None,
+            backtracks: 0,
+        };
+        if s.acquire() {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// The flag a run visitor sets to abandon the current subtree: the
+    /// strategy consumes it at the next run boundary, drops the rest of
+    /// the subtree, and moves on to the next task.
+    pub fn abandon_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.abandon)
+    }
+
+    fn acquire(&mut self) -> bool {
+        while let Some(task) = self.pool.claim(self.worker) {
+            if self.skip.as_ref().is_some_and(|f| f(&task)) {
+                self.pool.finish_task(self.worker);
+                continue;
+            }
+            if task.stolen {
+                self.pool.note_steal_replay();
+            }
+            self.inner = Some(if self.por {
+                PrefixDfsStrategy::new_por(task.prefix, task.sleep)
+            } else {
+                PrefixDfsStrategy::new(task.prefix)
+            });
+            return true;
+        }
+        false
+    }
+
+    fn inner(&mut self) -> &mut PrefixDfsStrategy {
+        self.inner.as_mut().expect("a task is being explored")
+    }
+
+    fn retire_inner(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            self.backtracks += inner.backtrack_points();
+        }
+        self.pool.finish_task(self.worker);
+    }
+
+    /// Whether a pending abandon request applies to the task currently
+    /// being explored. Sound to honor whenever `confirm` accepts the
+    /// decision vector of the run that just finished: every remaining run
+    /// of the task is lexicographically greater than that one.
+    fn confirmed_abandon(&self) -> bool {
+        match (&self.confirm, &self.inner) {
+            (Some(confirm), Some(inner)) => confirm(&inner.current_decisions()),
+            _ => true,
+        }
+    }
+}
+
+impl Strategy for StealingStrategy {
+    fn begin_run(&mut self) {
+        self.inner().begin_run();
+    }
+
+    fn choose(&mut self, num_alts: usize) -> usize {
+        self.inner().choose(num_alts)
+    }
+
+    fn choose_thread(&mut self, candidates: &[usize], step: usize) -> usize {
+        self.inner().choose_thread(candidates, step)
+    }
+
+    fn choose_thread_por(
+        &mut self,
+        candidates: &[usize],
+        cur_sleep: u64,
+        step: usize,
+    ) -> PorChoice {
+        self.inner().choose_thread_por(candidates, cur_sleep, step)
+    }
+
+    fn add_backtrack(&mut self, node: usize, thread: usize) {
+        self.inner().add_backtrack(node, thread);
+    }
+
+    fn backtrack_points(&self) -> u64 {
+        self.backtracks
+            + self
+                .inner
+                .as_ref()
+                .map_or(0, PrefixDfsStrategy::backtrack_points)
+    }
+
+    fn end_run(&mut self) -> bool {
+        let more = if self.abandon.swap(false, Ordering::AcqRel) && self.confirmed_abandon() {
+            false
+        } else {
+            let inner = self.inner.as_mut().expect("a task is being explored");
+            let more = inner.end_run();
+            if more && self.pool.steal_requested(self.worker) {
+                let mut served = 0;
+                while served < STEAL_BATCH {
+                    match inner.split_deepest() {
+                        Some(sub) => {
+                            self.pool.push_stolen(sub.prefix, sub.sleep);
+                            served += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if served > 0 {
+                    self.pool.clear_request(self.worker);
+                }
+            }
+            more
+        };
+        if more {
+            return true;
+        }
+        self.retire_inner();
+        self.acquire()
+    }
+}
+
+/// Cross-worker cancellation for a work-stealing exploration that stops at
+/// the first violation, keyed by the run's *decision vector*: the serial
+/// DFS visits runs in lexicographic decision order, so the lex-least
+/// violating decision vector is exactly the violation a serial exploration
+/// reports first, independent of worker timing.
+#[derive(Debug, Default)]
+pub struct LexCancel {
+    reported: AtomicBool,
+    winner: Mutex<Option<Vec<usize>>>,
+}
+
+impl LexCancel {
+    /// Creates a token with no reported violation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violating run; keeps the lexicographically least decision
+    /// vector reported so far.
+    pub fn report(&self, decisions: &[usize]) {
+        let mut w = self.winner.lock().unwrap_or_else(|e| e.into_inner());
+        match &*w {
+            Some(best) if best.as_slice() <= decisions => {}
+            _ => *w = Some(decisions.to_vec()),
+        }
+        drop(w);
+        self.reported.store(true, Ordering::Release);
+    }
+
+    /// Whether a run with this decision vector is irrelevant: a violation
+    /// strictly before it in serial order has been reported. The winner
+    /// itself (and anything before it) keeps running.
+    pub fn should_skip(&self, decisions: &[usize]) -> bool {
+        if !self.reported.load(Ordering::Acquire) {
+            return false;
+        }
+        let w = self.winner.lock().unwrap_or_else(|e| e.into_inner());
+        w.as_ref().is_some_and(|best| best.as_slice() < decisions)
+    }
+
+    /// Whether a whole subtree rooted at `prefix` is irrelevant: every run
+    /// in it extends `prefix`, so all of them come after the winner
+    /// whenever the winner is ≤ the prefix (the winner being a strict
+    /// extension of `prefix` means the subtree still contains earlier
+    /// runs, and it keeps running).
+    pub fn should_skip_subtree(&self, prefix: &[usize]) -> bool {
+        if !self.reported.load(Ordering::Acquire) {
+            return false;
+        }
+        let w = self.winner.lock().unwrap_or_else(|e| e.into_inner());
+        w.as_ref().is_some_and(|best| best.as_slice() <= prefix)
+    }
+
+    /// The winning (lex-least) violating decision vector, if any.
+    pub fn winner(&self) -> Option<Vec<usize>> {
+        self.winner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
 }
 
 #[cfg(test)]
@@ -1148,6 +1650,10 @@ mod tests {
             fast_path_steps: 30,
             handoffs: 10,
             frontier_replays: 2,
+            splits: 4,
+            steals: 3,
+            idle_parks: 6,
+            steal_replays: 2,
             max_schedule_len: 9,
             stopped_early: false,
         };
@@ -1165,6 +1671,10 @@ mod tests {
             fast_path_steps: 45,
             handoffs: 15,
             frontier_replays: 1,
+            splits: 1,
+            steals: 1,
+            idle_parks: 2,
+            steal_replays: 1,
             max_schedule_len: 14,
             stopped_early: true,
         };
@@ -1179,6 +1689,10 @@ mod tests {
         assert_eq!(a.fast_path_steps, 75);
         assert_eq!(a.handoffs, 25);
         assert_eq!(a.frontier_replays, 3);
+        assert_eq!(a.splits, 5);
+        assert_eq!(a.steals, 4);
+        assert_eq!(a.idle_parks, 8);
+        assert_eq!(a.steal_replays, 3);
         assert_eq!(a.max_schedule_len, 14, "merge takes the max, not the sum");
         assert!(
             a.stopped_early,
@@ -1449,5 +1963,214 @@ mod tests {
         assert_eq!(boundaries.len(), 2);
         assert_eq!(boundaries[0].op_index, 0);
         assert_eq!(boundaries[1].op_index, 1);
+    }
+
+    /// Drives a full work-stealing exploration: one [`StealPool`],
+    /// `workers` scoped threads, each running a single
+    /// [`explore_with_strategy`] call with a task-streaming
+    /// [`StealingStrategy`]. Returns the merged stats plus every run's
+    /// (decisions, schedule), sorted into serial (lexicographic) order.
+    #[allow(clippy::type_complexity)]
+    fn explore_stealing<S>(
+        config: &Config,
+        workers: usize,
+        setup_for: impl Fn() -> S + Sync,
+    ) -> (ExploreStats, Vec<(Vec<usize>, Vec<Choice>)>)
+    where
+        S: FnMut(&mut Execution),
+    {
+        let pool = Arc::new(StealPool::new(workers));
+        let merged = Mutex::new(ExploreStats::default());
+        let runs = Mutex::new(Vec::new());
+        let por = config.effective_por();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let pool = Arc::clone(&pool);
+                let (merged, runs, setup_for) = (&merged, &runs, &setup_for);
+                scope.spawn(move || {
+                    let Some(strategy) =
+                        StealingStrategy::claim_first(Arc::clone(&pool), w, por, None, None)
+                    else {
+                        return;
+                    };
+                    let mut local = Vec::new();
+                    let stats =
+                        explore_with_strategy(config, Box::new(strategy), setup_for(), |run| {
+                            local.push((run.decisions.clone(), run.schedule.clone()));
+                            ControlFlow::Continue(())
+                        });
+                    pool.finish_task(w);
+                    merged.lock().unwrap().merge(&stats);
+                    runs.lock().unwrap().append(&mut local);
+                });
+            }
+        });
+        let mut stats = merged.into_inner().unwrap();
+        pool.export_stats(&mut stats);
+        let mut runs = runs.into_inner().unwrap();
+        runs.sort_by(|a, b| a.0.cmp(&b.0));
+        (stats, runs)
+    }
+
+    /// Work stealing visits exactly the serial runs (POR off): same
+    /// counts, same schedules, zero duplicated work, zero eager frontier
+    /// replays — for any worker count.
+    #[test]
+    fn stealing_matches_serial_runs_por_off() {
+        let config = Config::exhaustive().with_por(false);
+        let mut serial = Vec::new();
+        let serial_stats = explore(&config, boundary_setup(2, 3), |run| {
+            serial.push((run.decisions.clone(), run.schedule.clone()));
+            ControlFlow::Continue(())
+        });
+        for workers in [1, 2, 4] {
+            let (stats, runs) = explore_stealing(&config, workers, || boundary_setup(2, 3));
+            assert_eq!(stats.runs, serial_stats.runs, "workers = {workers}");
+            assert_eq!(stats.complete, serial_stats.complete);
+            assert_eq!(stats.total_steps, serial_stats.total_steps);
+            assert_eq!(stats.frontier_replays, 0, "stealing never replays eagerly");
+            assert!(
+                stats.steal_replays <= stats.steals,
+                "replays ({}) must not exceed steals ({})",
+                stats.steal_replays,
+                stats.steals
+            );
+            assert!(
+                stats.steals <= stats.splits,
+                "steals ({}) must not exceed splits ({})",
+                stats.steals,
+                stats.splits
+            );
+            assert_eq!(runs, serial, "workers = {workers}");
+        }
+    }
+
+    /// With more workers than tasks-at-start, idle workers flag a victim
+    /// and actual steals happen; the partition stays exact. Whether a
+    /// steal occurs depends on OS scheduling (on one core the first
+    /// worker can drain the whole tree before the second is scheduled),
+    /// so the run retries until one is observed — the partition
+    /// invariants must hold on every attempt.
+    #[test]
+    fn stealing_actually_steals_on_a_big_tree() {
+        let config = Config::exhaustive().with_por(false);
+        let serial = count_runs(&config, boundary_setup(2, 4));
+        let mut stole = false;
+        for _ in 0..50 {
+            let (stats, runs) = explore_stealing(&config, 2, || boundary_setup(2, 4));
+            assert_eq!(stats.runs, serial.runs);
+            assert!(stats.splits >= stats.steals);
+            let mut decisions: Vec<_> = runs.into_iter().map(|(d, _)| d).collect();
+            let before = decisions.len();
+            decisions.dedup();
+            assert_eq!(decisions.len(), before, "no run explored twice");
+            if stats.steals > 0 {
+                stole = true;
+                break;
+            }
+        }
+        assert!(stole, "a 252-run tree must get split within 50 attempts");
+    }
+
+    /// POR composes with stealing: split points are promoted to full
+    /// expansion, so the parallel exploration covers at least the serial
+    /// SDPOR schedules while staying a reduction of the full enumeration.
+    #[test]
+    fn stealing_with_por_covers_conflicts() {
+        use crate::ids::ObjId;
+        fn conflict_setup() -> impl FnMut(&mut Execution) {
+            |ex: &mut Execution| {
+                for _ in 0..2 {
+                    ex.spawn(|| {
+                        crate::runtime::schedule(ObjId(3));
+                        crate::runtime::schedule(ObjId(3));
+                    });
+                }
+            }
+        }
+        let config = Config::exhaustive();
+        let serial = count_runs(&config, conflict_setup());
+        let full = count_runs(&config.clone().with_por(false), conflict_setup());
+        for workers in [2, 4] {
+            let (stats, runs) = explore_stealing(&config, workers, conflict_setup);
+            assert!(
+                stats.complete >= serial.complete,
+                "parallel covers serial (workers = {workers})"
+            );
+            assert!(
+                stats.runs <= full.runs,
+                "parallel POR ({}) must not exceed full enumeration ({})",
+                stats.runs,
+                full.runs
+            );
+            let mut decisions: Vec<_> = runs.into_iter().map(|(d, _)| d).collect();
+            let before = decisions.len();
+            decisions.dedup();
+            assert_eq!(decisions.len(), before, "no run explored twice");
+        }
+    }
+
+    /// A poisoned pool releases a worker parked waiting for work instead
+    /// of leaving it waiting forever (the shutdown-hardening regression).
+    #[test]
+    fn poisoned_pool_releases_parked_workers() {
+        let pool = Arc::new(StealPool::new(2));
+        let root = pool.claim(0).expect("root task");
+        assert!(!root.stolen);
+        let parked = std::thread::spawn({
+            let pool = Arc::clone(&pool);
+            // Worker 1 parks: the queue is empty but worker 0 is active.
+            move || pool.claim(1)
+        });
+        // Give the peer a moment to actually park, then poison.
+        std::thread::sleep(Duration::from_millis(5));
+        pool.poison();
+        assert!(parked.join().unwrap().is_none(), "poison unparks the peer");
+    }
+
+    /// A worker panicking mid-exploration poisons the pool on the way
+    /// out, so peers exit rather than deadlock on its never-finished task.
+    #[test]
+    fn panicking_worker_poisons_instead_of_deadlocking() {
+        let pool = Arc::new(StealPool::new(2));
+        std::thread::scope(|scope| {
+            let crasher = scope.spawn(|| {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let _task = pool.claim(0).expect("root task");
+                    panic!("worker crashed mid-steal");
+                }));
+                if result.is_err() {
+                    pool.poison();
+                }
+            });
+            let peer = scope.spawn(|| pool.claim(1));
+            assert!(peer.join().unwrap().is_none(), "peer exits, not deadlocks");
+            crasher.join().unwrap();
+        });
+    }
+
+    /// LexCancel keeps the lexicographically least violation and skips
+    /// exactly the runs and subtrees after it in serial order.
+    #[test]
+    fn lex_cancel_orders_by_decision_vector() {
+        let cancel = LexCancel::new();
+        assert!(!cancel.should_skip(&[9, 9]));
+        cancel.report(&[1, 0]);
+        assert!(cancel.should_skip(&[1, 1]));
+        assert!(!cancel.should_skip(&[1, 0]), "the winner itself runs");
+        assert!(!cancel.should_skip(&[0, 9]), "earlier runs keep running");
+        assert!(cancel.should_skip(&[1, 0, 0]), "extensions come after");
+        // A better (earlier) violation replaces the winner …
+        cancel.report(&[0, 5]);
+        assert_eq!(cancel.winner(), Some(vec![0, 5]));
+        // … and a worse one does not.
+        cancel.report(&[2, 0]);
+        assert_eq!(cancel.winner(), Some(vec![0, 5]));
+        // Subtrees: skipped only when every run in them is after the
+        // winner.
+        assert!(!cancel.should_skip_subtree(&[0]), "contains the winner");
+        assert!(cancel.should_skip_subtree(&[0, 5]), "only later runs left");
+        assert!(cancel.should_skip_subtree(&[1]));
+        assert!(!cancel.should_skip_subtree(&[]), "the root always runs");
     }
 }

@@ -73,8 +73,9 @@ pub mod strategy;
 pub use config::{Backend, Config, Mode, StrategyKind};
 pub use events::{AccessEvent, AccessKind};
 pub use explorer::{
-    explore, explore_parallel, split_frontier, Execution, ExploreStats, ParallelCancel, RunResult,
-    SubtreeTask,
+    explore, explore_parallel, explore_with_strategy, split_frontier, AbandonConfirm, Execution,
+    ExploreStats, LexCancel, ParallelCancel, RunResult, StealPool, StealSkip, StealTask,
+    StealingStrategy, SubtreeTask,
 };
 pub use ids::{ObjId, ThreadId};
 pub use native::{register_native_thread, NativeGuard, NativeOptions};
@@ -85,4 +86,4 @@ pub use runtime::{
     op_boundary, register_object, schedule, schedule_access, unblock, yield_point, BlockResult,
 };
 pub use state::{BlockKind, RunOutcome};
-pub use strategy::Choice;
+pub use strategy::{Choice, StolenSubtree, Strategy};

@@ -230,8 +230,8 @@ pub(crate) struct PorRun {
     /// Declared pending transition per thread.
     pub pending: Vec<Pending>,
     /// Per-decision sleep additions, parallel to the run's `decisions`;
-    /// propagated into frontier prefixes so parallel workers inherit the
-    /// sleep sets a serial DFS would have at the subtree root.
+    /// shipped with stolen subtree prefixes so parallel workers inherit
+    /// the sleep sets a serial DFS would have at the subtree root.
     pub slept_log: Vec<u64>,
 }
 

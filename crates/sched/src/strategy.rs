@@ -111,7 +111,15 @@ pub struct DfsStrategy {
 #[derive(Debug, Clone)]
 enum DfsNode {
     /// A non-thread (boolean) choice: plain exhaustive enumeration.
-    Plain { num_alts: usize, chosen: usize },
+    /// `stolen` counts the top alternatives handed to work-stealing
+    /// thieves ([`DfsStrategy::split_deepest`]); the owner never explores
+    /// them. `num_alts` stays untouched so replay still asserts the
+    /// program's arity.
+    Plain {
+        num_alts: usize,
+        chosen: usize,
+        stolen: usize,
+    },
     /// A thread choice under POR.
     Thread(ThreadNode),
 }
@@ -134,6 +142,9 @@ struct ThreadNode {
     sleep_entry: u64,
     /// Expand all awake candidates, ignoring `backtrack`.
     full: bool,
+    /// Thread-id bitmask of candidates handed to work-stealing thieves
+    /// ([`DfsStrategy::split_deepest`]); the owner never expands them.
+    stolen: u64,
 }
 
 fn bit(t: usize) -> u64 {
@@ -149,6 +160,7 @@ impl ThreadNode {
         let next = self.candidates.iter().position(|&t| {
             self.done & bit(t) == 0
                 && self.sleep_entry & bit(t) == 0
+                && self.stolen & bit(t) == 0
                 && (self.full || self.backtrack & bit(t) != 0)
         });
         match next {
@@ -159,6 +171,42 @@ impl ThreadNode {
             None => false,
         }
     }
+
+    /// Whether candidate thread `t` still has an unexplored branch here
+    /// under full expansion. Split points are promoted to `full` before
+    /// this is consulted, so the backtrack set is deliberately ignored:
+    /// once a subtree is given away, demands discovered by the thief can
+    /// no longer flow back to the victim, and expanding every awake
+    /// candidate (sleep sets alone are a complete reduction) keeps the
+    /// partition sound.
+    fn splittable(&self, t: usize) -> bool {
+        self.done & bit(t) == 0 && self.sleep_entry & bit(t) == 0 && self.stolen & bit(t) == 0
+    }
+
+    /// The candidate position a thief would take: the branch the serial
+    /// DFS would explore *last*. The currently running branch finishes
+    /// first, then the remaining awake candidates in candidate order, so
+    /// the last is the highest-position splittable candidate other than
+    /// `chosen`.
+    fn steal_position(&self) -> Option<usize> {
+        (0..self.candidates.len())
+            .rev()
+            .find(|&p| p != self.chosen && self.splittable(self.candidates[p]))
+    }
+}
+
+/// A subtree carved off a live DFS by [`DfsStrategy::split_deepest`]: the
+/// decision prefix addressing it plus the per-decision sleep masks a serial
+/// DFS would have accumulated on entry, so a thief exploring it with
+/// [`PrefixDfsStrategy::new_por`] reproduces exactly the serial reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StolenSubtree {
+    /// Decision indexes from the root down to (and including) the stolen
+    /// branch.
+    pub prefix: Vec<usize>,
+    /// Sleep mask to re-install at each prefix decision (0 for non-thread
+    /// choices).
+    pub sleep: Vec<u64>,
 }
 
 impl DfsStrategy {
@@ -175,6 +223,94 @@ impl DfsStrategy {
             ..Self::default()
         }
     }
+
+    /// Splits off the subtree at the *deepest* unexplored branch point of
+    /// the committed path, for a work-stealing thief. Call only between
+    /// runs (after [`Strategy::end_run`] returned `true`); returns `None`
+    /// when no node on the path has a branch to give away.
+    ///
+    /// The stolen branch is the one the serial DFS would have explored
+    /// *last* at that node, so the thief's sleep mask there is the mask
+    /// the serial DFS would have had: everything already done, plus the
+    /// branch currently being explored, plus every other still-awake
+    /// branch the victim will explore first. Thread nodes on the path down
+    /// to the split point are promoted to full expansion (see
+    /// [`ThreadNode::splittable`]) *before* the stolen branch is chosen,
+    /// so the candidate set can only shrink afterwards and the
+    /// stolen-branch-is-last invariant holds for the rest of the victim's
+    /// exploration.
+    pub fn split_deepest(&mut self) -> Option<StolenSubtree> {
+        let split = (0..self.path.len()).rev().find(|&i| match &self.path[i] {
+            DfsNode::Plain {
+                num_alts,
+                chosen,
+                stolen,
+            } => chosen + 1 < num_alts - stolen,
+            DfsNode::Thread(tn) => tn.steal_position().is_some(),
+        })?;
+        let mut prefix = Vec::with_capacity(split + 1);
+        let mut sleep = Vec::with_capacity(split + 1);
+        for node in &mut self.path[..split] {
+            match node {
+                DfsNode::Plain { chosen, .. } => {
+                    prefix.push(*chosen);
+                    sleep.push(0);
+                }
+                DfsNode::Thread(tn) => {
+                    tn.full = true;
+                    prefix.push(tn.chosen);
+                    sleep.push(tn.done);
+                }
+            }
+        }
+        match &mut self.path[split] {
+            DfsNode::Plain {
+                num_alts, stolen, ..
+            } => {
+                // Give away the highest not-yet-stolen alternative: the
+                // serial DFS explores alternatives in increasing order, so
+                // it is the last one.
+                let idx = *num_alts - 1 - *stolen;
+                *stolen += 1;
+                prefix.push(idx);
+                sleep.push(0);
+            }
+            DfsNode::Thread(tn) => {
+                tn.full = true;
+                let pos = tn.steal_position().expect("checked splittable above");
+                let thief_thread = tn.candidates[pos];
+                // Everything the victim explores before the stolen branch
+                // sleeps inside it, exactly as in the serial order.
+                let mut mask = tn.done;
+                for &t in &tn.candidates {
+                    if tn.splittable(t) && t != thief_thread {
+                        mask |= bit(t);
+                    }
+                }
+                mask |= bit(tn.candidates[tn.chosen]);
+                tn.stolen |= bit(thief_thread);
+                prefix.push(pos);
+                sleep.push(mask);
+            }
+        }
+        Some(StolenSubtree { prefix, sleep })
+    }
+
+    /// The decision vector of the run that just finished: the chosen
+    /// alternative index at every node on the current path, in the same
+    /// encoding the explorer records per run. Cancellation protocols use
+    /// it to decide whether an asynchronous abandon request still applies
+    /// to the position the strategy has advanced to (the request may have
+    /// been raised against a run the strategy already moved past).
+    pub fn current_decisions(&self) -> Vec<usize> {
+        self.path
+            .iter()
+            .map(|node| match node {
+                DfsNode::Plain { chosen, .. } => *chosen,
+                DfsNode::Thread(tn) => tn.chosen,
+            })
+            .collect()
+    }
 }
 
 impl Strategy for DfsStrategy {
@@ -188,6 +324,7 @@ impl Strategy for DfsStrategy {
             let DfsNode::Plain {
                 num_alts: n,
                 chosen,
+                ..
             } = self.path[self.cursor]
             else {
                 panic!(
@@ -206,6 +343,7 @@ impl Strategy for DfsStrategy {
             self.path.push(DfsNode::Plain {
                 num_alts,
                 chosen: 0,
+                stolen: 0,
             });
             self.cursor += 1;
             self.max_depth = self.max_depth.max(self.path.len());
@@ -261,6 +399,7 @@ impl Strategy for DfsStrategy {
                 backtrack: bit(candidates[chosen]),
                 sleep_entry: cur_sleep,
                 full: self.full_expansion,
+                stolen: 0,
             }));
             self.cursor += 1;
             self.max_depth = self.max_depth.max(self.path.len());
@@ -303,8 +442,12 @@ impl Strategy for DfsStrategy {
         );
         while let Some(last) = self.path.last_mut() {
             match last {
-                DfsNode::Plain { num_alts, chosen } => {
-                    if *chosen + 1 < *num_alts {
+                DfsNode::Plain {
+                    num_alts,
+                    chosen,
+                    stolen,
+                } => {
+                    if *chosen + 1 < *num_alts - *stolen {
                         *chosen += 1;
                         return true;
                     }
@@ -440,6 +583,29 @@ impl PrefixDfsStrategy {
     pub fn prefix(&self) -> &[usize] {
         &self.prefix
     }
+
+    /// Splits off the deepest unexplored branch point of the inner DFS
+    /// (see [`DfsStrategy::split_deepest`]), re-rooting the stolen subtree
+    /// at the tree root by prepending this strategy's own prefix and sleep
+    /// masks. Call only between runs.
+    pub fn split_deepest(&mut self) -> Option<StolenSubtree> {
+        let sub = self.dfs.split_deepest()?;
+        let mut prefix = self.prefix.clone();
+        let mut sleep = self.sleep.clone();
+        sleep.resize(prefix.len(), 0);
+        prefix.extend(sub.prefix);
+        sleep.extend(sub.sleep);
+        Some(StolenSubtree { prefix, sleep })
+    }
+
+    /// The full decision vector of the run that just finished: the fixed
+    /// prefix followed by the inner DFS's current path (see
+    /// [`DfsStrategy::current_decisions`]).
+    pub fn current_decisions(&self) -> Vec<usize> {
+        let mut decisions = self.prefix.clone();
+        decisions.extend(self.dfs.current_decisions());
+        decisions
+    }
 }
 
 impl Strategy for PrefixDfsStrategy {
@@ -560,6 +726,7 @@ impl Strategy for FrontierStrategy {
             let DfsNode::Plain {
                 num_alts: n,
                 chosen,
+                ..
             } = self.path[self.cursor]
             else {
                 panic!(
@@ -578,6 +745,7 @@ impl Strategy for FrontierStrategy {
             self.path.push(DfsNode::Plain {
                 num_alts,
                 chosen: 0,
+                stolen: 0,
             });
             self.cursor += 1;
             0
@@ -634,6 +802,7 @@ impl Strategy for FrontierStrategy {
                     backtrack: bit(candidates[chosen]),
                     sleep_entry: cur_sleep,
                     full: true,
+                    stolen: 0,
                 }));
             }
             self.cursor += 1;
@@ -648,8 +817,12 @@ impl Strategy for FrontierStrategy {
     fn end_run(&mut self) -> bool {
         while let Some(last) = self.path.last_mut() {
             match last {
-                DfsNode::Plain { num_alts, chosen } => {
-                    if *chosen + 1 < *num_alts {
+                DfsNode::Plain {
+                    num_alts,
+                    chosen,
+                    stolen,
+                } => {
+                    if *chosen + 1 < *num_alts - *stolen {
                         *chosen += 1;
                         return true;
                     }
@@ -1043,5 +1216,172 @@ mod tests {
             combined.extend(collect(&mut PrefixDfsStrategy::new(prefix)));
         }
         assert_eq!(combined, serial);
+    }
+
+    /// The dependent-arity tree used by the split tests: later arities
+    /// depend on earlier choices, like a real schedule tree.
+    fn dependent_run(strategy: &mut dyn Strategy) -> Vec<usize> {
+        let mut path = Vec::new();
+        let first = strategy.choose(3);
+        path.push(first);
+        if first == 0 {
+            path.push(strategy.choose(2));
+            path.push(strategy.choose(2));
+        } else {
+            path.push(strategy.choose(4));
+            if path[1] >= 2 {
+                path.push(strategy.choose(3));
+            }
+        }
+        path
+    }
+
+    fn collect_dependent(strategy: &mut dyn Strategy) -> Vec<Vec<usize>> {
+        let mut leaves = Vec::new();
+        loop {
+            strategy.begin_run();
+            leaves.push(dependent_run(strategy));
+            if !strategy.end_run() {
+                break;
+            }
+        }
+        leaves
+    }
+
+    /// The partition property work stealing relies on: a victim that gives
+    /// away its deepest unexplored branch after every run, plus thieves
+    /// exploring the stolen subtrees, together visit exactly the serial
+    /// DFS leaves, each exactly once.
+    #[test]
+    fn split_deepest_partitions_a_dependent_tree() {
+        let serial = collect_dependent(&mut DfsStrategy::new());
+
+        let mut victim = DfsStrategy::new();
+        let mut stolen = Vec::new();
+        let mut combined = Vec::new();
+        loop {
+            victim.begin_run();
+            combined.push(dependent_run(&mut victim));
+            if !victim.end_run() {
+                break;
+            }
+            if let Some(sub) = victim.split_deepest() {
+                stolen.push(sub);
+            }
+        }
+        for sub in stolen {
+            combined.extend(collect_dependent(&mut PrefixDfsStrategy::new(sub.prefix)));
+        }
+
+        let mut seen = combined.clone();
+        seen.sort();
+        let deduped = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), deduped, "no leaf visited twice");
+        let mut expected = serial;
+        expected.sort();
+        assert_eq!(seen, expected);
+    }
+
+    /// Stealing until the victim has nothing left to give still partitions
+    /// the tree: the victim keeps only the branch it is currently on.
+    #[test]
+    fn split_until_dry_partitions_the_tree() {
+        let serial = collect_dependent(&mut DfsStrategy::new());
+
+        let mut victim = DfsStrategy::new();
+        let mut combined = Vec::new();
+        let mut stolen = Vec::new();
+        loop {
+            victim.begin_run();
+            combined.push(dependent_run(&mut victim));
+            if !victim.end_run() {
+                break;
+            }
+            while let Some(sub) = victim.split_deepest() {
+                stolen.push(sub);
+            }
+        }
+        // Thieves may themselves be split mid-exploration.
+        while let Some(sub) = stolen.pop() {
+            let mut thief = PrefixDfsStrategy::new(sub.prefix);
+            loop {
+                thief.begin_run();
+                combined.push(dependent_run(&mut thief));
+                if !thief.end_run() {
+                    break;
+                }
+                if let Some(sub) = thief.split_deepest() {
+                    stolen.push(sub);
+                }
+            }
+        }
+
+        let mut seen = combined.clone();
+        seen.sort();
+        let len = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), len, "no leaf visited twice");
+        let mut expected = serial;
+        expected.sort();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn split_with_nothing_left_returns_none() {
+        let mut dfs = DfsStrategy::new();
+        dfs.begin_run();
+        dfs.choose(2);
+        assert!(dfs.end_run());
+        // end_run committed the last alternative; nothing left to give.
+        assert_eq!(dfs.split_deepest(), None);
+    }
+
+    /// A POR split ships the sleep mask the serial DFS would have had at
+    /// the stolen branch: everything already explored, plus the branch the
+    /// victim is on, plus every other awake branch the victim explores
+    /// first.
+    #[test]
+    fn split_por_node_ships_serial_sleep_mask() {
+        let mut victim = DfsStrategy::new_por();
+        victim.begin_run();
+        let c = victim.choose_thread_por(&[0, 1, 2], 0, 0);
+        assert_eq!((c.index, c.slept), (0, 0));
+        // Conflicts demand the other two branches.
+        victim.add_backtrack(c.node.unwrap(), 1);
+        victim.add_backtrack(c.node.unwrap(), 2);
+        assert!(victim.end_run());
+
+        // Victim is now on branch 1; the serial DFS would explore branch 2
+        // last, so that is what a thief gets, sleeping {0, 1}.
+        let sub = victim.split_deepest().expect("branch 2 is stealable");
+        assert_eq!(sub.prefix, vec![2]);
+        assert_eq!(sub.sleep, vec![bit(0) | bit(1)]);
+        // Nothing else to steal at this node.
+        assert_eq!(victim.split_deepest(), None);
+
+        // The victim replays branch 1 with branch 0 asleep, then stops:
+        // branch 2 now belongs to the thief.
+        victim.begin_run();
+        let c = victim.choose_thread_por(&[0, 1, 2], 0, 0);
+        assert_eq!((c.index, c.slept), (1, bit(0)));
+        assert!(!victim.end_run());
+    }
+
+    #[test]
+    fn prefix_dfs_split_reroots_at_the_tree_root() {
+        let mut victim = PrefixDfsStrategy::new_por(vec![1], vec![bit(7)]);
+        victim.begin_run();
+        assert_eq!(victim.choose(2), 1);
+        assert_eq!(victim.choose(3), 0);
+        assert!(victim.end_run());
+        let sub = victim.split_deepest().expect("alternative 2 is stealable");
+        assert_eq!(sub.prefix, vec![1, 2]);
+        assert_eq!(sub.sleep, vec![bit(7), 0]);
+        // Victim explores the remaining middle alternative, then stops.
+        victim.begin_run();
+        assert_eq!(victim.choose(2), 1);
+        assert_eq!(victim.choose(3), 1);
+        assert!(!victim.end_run());
     }
 }

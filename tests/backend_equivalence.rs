@@ -158,33 +158,37 @@ fn backend_equivalence_holds_under_por() {
 
 #[test]
 fn backend_equivalence_holds_under_two_workers() {
-    // Each parallel worker owns a fiber pool; the frontier enumeration
-    // and the per-subtree prefix replays must partition the tree the same
-    // way on either backend.
+    // Each parallel worker owns a fiber pool; the work-stealing pool's
+    // subtree handoffs must behave the same on either backend. POR stays
+    // off here: with it on, steal-timing decides which sleep-set nodes get
+    // promoted, so run counts are not comparable across two executions —
+    // POR-off work stealing partitions the tree exactly, making every
+    // counter deterministic.
     let all = all_classes();
     let mut checked = 0;
     for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
         let matrix = small(matrix_for(entry, &all));
-        // Probe disabled so the frontier machinery is exercised even on
+        // Probe disabled so the stealing machinery is exercised even on
         // matrices below the auto-serial threshold.
         let fib = entry.target().check(
             &matrix,
-            &exhaustive(true, Backend::Fibers)
+            &exhaustive(false, Backend::Fibers)
                 .with_workers(2)
                 .with_parallel_probe_runs(0),
         );
         let os = entry.target().check(
             &matrix,
-            &exhaustive(true, Backend::OsThreads)
+            &exhaustive(false, Backend::OsThreads)
                 .with_workers(2)
                 .with_parallel_probe_runs(0),
         );
         assert_identical(entry.name, &fib, &os);
         assert_eq!(
-            fib.phase2.frontier_replays, os.phase2.frontier_replays,
-            "{}: frontier partitioning must not depend on the backend",
+            fib.phase2.frontier_replays, 0,
+            "{}: no eager prefix re-execution under work stealing",
             entry.name
         );
+        assert_eq!(os.phase2.frontier_replays, 0);
         checked += 1;
     }
     assert!(checked >= 5, "expected the seeded variants, got {checked}");

@@ -149,33 +149,38 @@ fn fast_path_equivalence_holds_under_por() {
 
 #[test]
 fn fast_path_equivalence_holds_under_two_workers() {
-    // Parallel exploration adds the frontier enumeration and the
-    // per-subtree prefix replays; both must partition the tree the same
-    // way regardless of the fast path.
+    // Parallel exploration adds the work-stealing pool's lazy prefix
+    // replays; stolen subtrees must cover the tree the same way
+    // regardless of the fast path. POR stays off here: with it on,
+    // steal-timing decides which sleep-set nodes get promoted, so run
+    // counts are not comparable across two executions — POR-off work
+    // stealing partitions the tree exactly, making every counter
+    // deterministic.
     let all = all_classes();
     let mut checked = 0;
     for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
         let matrix = small(matrix_for(entry, &all));
-        // Probe disabled so the frontier machinery is exercised even on
+        // Probe disabled so the stealing machinery is exercised even on
         // matrices below the auto-serial threshold.
         let fast = entry.target().check(
             &matrix,
-            &exhaustive(true, true)
+            &exhaustive(false, true)
                 .with_workers(2)
                 .with_parallel_probe_runs(0),
         );
         let slow = entry.target().check(
             &matrix,
-            &exhaustive(true, false)
+            &exhaustive(false, false)
                 .with_workers(2)
                 .with_parallel_probe_runs(0),
         );
         assert_identical(entry.name, &fast, &slow);
         assert_eq!(
-            fast.phase2.frontier_replays, slow.phase2.frontier_replays,
-            "{}: frontier partitioning must not depend on the fast path",
+            fast.phase2.frontier_replays, 0,
+            "{}: no eager prefix re-execution under work stealing",
             entry.name
         );
+        assert_eq!(slow.phase2.frontier_replays, 0);
         checked += 1;
     }
     assert!(checked >= 5, "expected the seeded variants, got {checked}");

@@ -1,0 +1,318 @@
+//! Work-stealing phase 2 is observationally equivalent to the serial
+//! checker (ISSUE acceptance): across 1, 2, and 4 workers, with POR on or
+//! off, on either execution backend, and under preemption bounds, the
+//! verdicts, the violation lists, and the distinct-history counts must
+//! match the serial exploration — with *zero* eager frontier replays and
+//! lazy steal replays bounded by the number of claimed steals.
+//!
+//! Determinism tiers:
+//!
+//! * **POR off** — work stealing partitions the schedule tree exactly
+//!   (every schedule runs exactly once, whatever the steal timing), so
+//!   the comparison is byte-identical: violation order *and* reproducing
+//!   decisions, run counts, step counts.
+//! * **POR on** — a split promotes the victim's sleep-set nodes to full
+//!   exploration so the shipped sleep masks stay sound; which nodes get
+//!   promoted depends on steal timing, so run counts may exceed the
+//!   serial reduced count (never the unreduced one). The *distinct
+//!   history sets* — and with them verdicts and the set of violating
+//!   histories — are still exactly the serial ones.
+
+use lineup::{Backend, CheckOptions, TestMatrix, Violation};
+use lineup_collections::registry::{all_classes, ClassEntry};
+
+/// Renders the full violation list, decisions included, for the
+/// byte-identical (POR-off) comparisons.
+fn rendered(violations: &[Violation]) -> Vec<String> {
+    violations.iter().map(|v| format!("{v:?}")).collect()
+}
+
+/// Renders a violation without its reproducing `decisions` and sorts, for
+/// the POR-on comparisons where encounter order may legitimately differ.
+fn sorted_keys(violations: &[Violation]) -> Vec<String> {
+    let mut keys: Vec<String> = violations
+        .iter()
+        .map(|v| match v {
+            Violation::Nondeterminism(nd) => format!("nondeterminism: {nd:?}"),
+            Violation::NoWitness { history, .. } => format!("no-witness: {history:?}"),
+            Violation::StuckNoWitness {
+                history, pending, ..
+            } => format!("stuck-no-witness: {pending:?} {history:?}"),
+            Violation::Panic {
+                message, history, ..
+            } => format!("panic: {message} {history:?}"),
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// A small matrix exercising `entry`: its own regression matrix when it
+/// has one, else the seeded sibling's (same component, same methods),
+/// else a minimal two-column test from the target's catalog.
+fn matrix_for(entry: &ClassEntry, all: &[ClassEntry]) -> TestMatrix {
+    if entry.name == "ConcurrentBag" {
+        // The bag's `TryTake` scans every per-thread list; keep the
+        // POR-off baseline finite by comparing on concurrent `Add`s.
+        return TestMatrix::from_columns(vec![
+            vec![lineup::Invocation::with_int("Add", 10)],
+            vec![lineup::Invocation::with_int("Add", 20)],
+        ]);
+    }
+    if let Some(m) = entry.regression_matrix() {
+        return m;
+    }
+    let pre = format!("{} (Pre)", entry.name);
+    if let Some(m) = all
+        .iter()
+        .find(|e| e.name == pre)
+        .and_then(|e| e.regression_matrix())
+    {
+        return m;
+    }
+    let invs = entry.target().invocations();
+    let a = invs[0].clone();
+    let b = invs.get(1).cloned().unwrap_or_else(|| invs[0].clone());
+    TestMatrix::from_columns(vec![vec![a.clone(), b.clone()], vec![b, a]])
+}
+
+/// Shrinks a matrix so the exhaustive exploration stays feasible in a
+/// debug-build test: at most two columns of at most two operations.
+fn small(mut m: TestMatrix) -> TestMatrix {
+    m.columns.truncate(2);
+    if let Some(c) = m.columns.first_mut() {
+        c.truncate(2);
+    }
+    if let Some(c) = m.columns.get_mut(1) {
+        c.truncate(1);
+    }
+    m.finally.truncate(1);
+    m
+}
+
+fn exhaustive(por: bool, backend: Backend) -> CheckOptions {
+    CheckOptions::new()
+        .with_preemption_bound(None)
+        .with_por(por)
+        .with_backend(backend)
+        .collect_all_violations()
+}
+
+/// Asserts the steal-accounting invariants every parallel report must
+/// satisfy: no eager frontier replays, lazy replays bounded by claimed
+/// steals, claimed steals bounded by split subtrees.
+fn assert_steal_invariants(name: &str, report: &lineup::CheckReport) {
+    assert_eq!(
+        report.phase2.frontier_replays, 0,
+        "{name}: no eager prefix re-execution under work stealing"
+    );
+    assert!(
+        report.phase2.steal_replays <= report.phase2.steals,
+        "{name}: replays only for claimed steals ({} <= {})",
+        report.phase2.steal_replays,
+        report.phase2.steals,
+    );
+    assert!(
+        report.phase2.steals <= report.phase2.splits,
+        "{name}: every claimed steal was split off first ({} <= {})",
+        report.phase2.steals,
+        report.phase2.splits,
+    );
+}
+
+#[test]
+fn por_off_is_byte_identical_across_worker_counts_on_every_class() {
+    let all = all_classes();
+    for entry in &all {
+        let matrix = small(matrix_for(entry, &all));
+        let opts = exhaustive(false, Backend::OsThreads);
+        let serial = entry.target().check(&matrix, &opts);
+        for workers in [2, 4] {
+            let par = entry.target().check(
+                &matrix,
+                // Probe disabled so the stealing machinery is exercised
+                // even on matrices below the auto-serial threshold.
+                &opts
+                    .clone()
+                    .with_workers(workers)
+                    .with_parallel_probe_runs(0),
+            );
+            let name = format!("{} at {workers} workers", entry.name);
+            assert_eq!(serial.passed(), par.passed(), "{name}: verdict");
+            assert_eq!(
+                rendered(&serial.violations),
+                rendered(&par.violations),
+                "{name}: violation lists (order and decisions included)"
+            );
+            assert_eq!(
+                serial.phase2.runs, par.phase2.runs,
+                "{name}: every schedule runs exactly once"
+            );
+            assert_eq!(
+                serial.phase2.total_steps, par.phase2.total_steps,
+                "{name}: step counts"
+            );
+            assert_eq!(
+                serial.phase2.full_histories, par.phase2.full_histories,
+                "{name}: distinct full histories"
+            );
+            assert_eq!(
+                serial.phase2.stuck_histories, par.phase2.stuck_histories,
+                "{name}: distinct stuck histories"
+            );
+            assert_steal_invariants(&name, &par);
+        }
+    }
+}
+
+#[test]
+fn por_off_is_byte_identical_on_the_fiber_backend() {
+    let all = all_classes();
+    let mut checked = 0;
+    for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
+        let matrix = small(matrix_for(entry, &all));
+        let opts = exhaustive(false, Backend::Fibers);
+        let serial = entry.target().check(&matrix, &opts);
+        for workers in [2, 4] {
+            let par = entry.target().check(
+                &matrix,
+                &opts
+                    .clone()
+                    .with_workers(workers)
+                    .with_parallel_probe_runs(0),
+            );
+            let name = format!("{} (fibers) at {workers} workers", entry.name);
+            assert_eq!(
+                rendered(&serial.violations),
+                rendered(&par.violations),
+                "{name}: violation lists"
+            );
+            assert_eq!(serial.phase2.runs, par.phase2.runs, "{name}: runs");
+            assert_steal_invariants(&name, &par);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the seeded variants, got {checked}");
+}
+
+#[test]
+fn por_on_matches_serial_history_sets_across_worker_counts() {
+    let all = all_classes();
+    let mut checked = 0;
+    for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
+        let matrix = small(matrix_for(entry, &all));
+        let reduced = entry
+            .target()
+            .check(&matrix, &exhaustive(true, Backend::OsThreads));
+        let unreduced = entry
+            .target()
+            .check(&matrix, &exhaustive(false, Backend::OsThreads));
+        for workers in [2, 4] {
+            let par = entry.target().check(
+                &matrix,
+                &exhaustive(true, Backend::OsThreads)
+                    .with_workers(workers)
+                    .with_parallel_probe_runs(0),
+            );
+            let name = format!("{} (POR) at {workers} workers", entry.name);
+            assert_eq!(reduced.passed(), par.passed(), "{name}: verdict");
+            assert_eq!(
+                sorted_keys(&reduced.violations),
+                sorted_keys(&par.violations),
+                "{name}: violating histories"
+            );
+            assert_eq!(
+                reduced.phase2.full_histories, par.phase2.full_histories,
+                "{name}: distinct full histories"
+            );
+            assert_eq!(
+                reduced.phase2.stuck_histories, par.phase2.stuck_histories,
+                "{name}: distinct stuck histories"
+            );
+            // Split promotion can only widen the exploration, and never
+            // past the unreduced enumeration.
+            assert!(
+                par.phase2.runs <= unreduced.phase2.runs,
+                "{name}: {} <= {}",
+                par.phase2.runs,
+                unreduced.phase2.runs,
+            );
+            assert_steal_invariants(&name, &par);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the seeded variants, got {checked}");
+}
+
+#[test]
+fn preemption_bounded_stealing_is_byte_identical() {
+    // A preemption bound disengages POR (sleep sets are unsound under
+    // it), so bounded parallel exploration is in the byte-identical tier
+    // at any bound.
+    let all = all_classes();
+    let mut checked = 0;
+    for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
+        let matrix = small(matrix_for(entry, &all));
+        for bound in [1, 2] {
+            let opts = CheckOptions::new()
+                .with_preemption_bound(Some(bound))
+                .collect_all_violations();
+            let serial = entry.target().check(&matrix, &opts);
+            let par = entry.target().check(
+                &matrix,
+                &opts.clone().with_workers(4).with_parallel_probe_runs(0),
+            );
+            let name = format!("{} at bound {bound}", entry.name);
+            assert_eq!(
+                rendered(&serial.violations),
+                rendered(&par.violations),
+                "{name}: violation lists"
+            );
+            assert_eq!(serial.phase2.runs, par.phase2.runs, "{name}: runs");
+            assert_steal_invariants(&name, &par);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the seeded variants, got {checked}");
+}
+
+#[test]
+fn stop_at_first_reports_the_serial_winner() {
+    // Stop-at-first under work stealing: whichever worker finds a
+    // violation first in wall-clock time, the *reported* one must be the
+    // lexicographically least violating schedule — the one the serial
+    // DFS stops at — because lex-smaller subtrees are never cancelled.
+    let all = all_classes();
+    let mut checked = 0;
+    for entry in all.iter().filter(|e| e.name.ends_with("(Pre)")) {
+        let Some(matrix) = entry.regression_matrix() else {
+            continue;
+        };
+        let opts = CheckOptions::new()
+            .with_preemption_bound(None)
+            .with_por(false);
+        let serial = entry.target().check(&matrix, &opts);
+        assert!(
+            !serial.passed(),
+            "{}: seeded bug found serially",
+            entry.name
+        );
+        for workers in [2, 4] {
+            let par = entry.target().check(
+                &matrix,
+                &opts
+                    .clone()
+                    .with_workers(workers)
+                    .with_parallel_probe_runs(0),
+            );
+            assert_eq!(
+                rendered(&serial.violations),
+                rendered(&par.violations),
+                "{} at {workers} workers: the serial winner (decisions included)",
+                entry.name
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected seeded variants, got {checked}");
+}
