@@ -328,6 +328,47 @@ pub fn fig1_matrix() -> lineup::TestMatrix {
     ])
 }
 
+/// A contended take-heavy test: one adder thread performing `ops` `Add`s
+/// of *distinct* values, plus `takers` threads each performing `ops`
+/// `TryTake`s.
+///
+/// Against the Pre queue this matrix hides the Fig. 1 timeout bug deep in
+/// a schedule space far too large for exhaustive search: depth-first
+/// exploration runs the adder column to completion first and backtracks
+/// the deepest decisions first, so every violating schedule — which must
+/// preempt the adder *mid-`Add`* (a shallow decision) while a taker's
+/// timed acquire fires with no overlapping successful take — sits behind
+/// an astronomically large linearizable tail of taker/taker contention
+/// (by the time the tail reorders, the queue is legitimately empty, so a
+/// failed `TryTake` has a witness). Randomized and coverage-guided
+/// strategies sample shallow preemptions immediately. The distinct `Add`
+/// values keep the histories unambiguous so the specialized log-linear
+/// queue monitor can decide verdicts.
+pub fn contended_matrix(takers: usize, ops: usize) -> lineup::TestMatrix {
+    let mut columns = Vec::with_capacity(takers + 1);
+    columns.push(
+        (0..ops)
+            .map(|i| Invocation::with_int("Add", 100 * (i as i64 + 1)))
+            .collect(),
+    );
+    for _ in 0..takers {
+        columns.push((0..ops).map(|_| Invocation::new("TryTake")).collect());
+    }
+    lineup::TestMatrix::from_columns(columns)
+}
+
+/// The 4×4 fuzzing benchmark matrix: one adder and three takers, four
+/// operations each (see [`contended_matrix`]).
+pub fn fuzz4x4_matrix() -> lineup::TestMatrix {
+    contended_matrix(3, 4)
+}
+
+/// The 5×4 fuzzing benchmark matrix: one adder and four takers, four
+/// operations each (see [`contended_matrix`]).
+pub fn fuzz5x4_matrix() -> lineup::TestMatrix {
+    contended_matrix(4, 4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +457,51 @@ mod tests {
         ]);
         let report = check(&target, &m, &CheckOptions::new());
         assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn contended_matrix_shape() {
+        let m = contended_matrix(3, 4);
+        assert_eq!(m.columns.len(), 4, "one adder plus three takers");
+        assert!(m.columns.iter().all(|c| c.len() == 4));
+        assert_eq!(m.columns[0][0], Invocation::with_int("Add", 100));
+        assert_eq!(m.columns[0][3], Invocation::with_int("Add", 400));
+        let values: std::collections::HashSet<_> = m.columns[0]
+            .iter()
+            .map(|inv| format!("{:?}", inv.args))
+            .collect();
+        assert_eq!(
+            values.len(),
+            4,
+            "adds must be distinct for the specialized monitor"
+        );
+        for taker in &m.columns[1..] {
+            assert!(taker.iter().all(|inv| inv.name == "TryTake"));
+        }
+        assert_eq!(fuzz4x4_matrix().columns.len(), 4);
+        assert_eq!(fuzz5x4_matrix().columns.len(), 5);
+    }
+
+    #[test]
+    fn fixed_passes_small_contended_matrix() {
+        // The fixed queue is linearizable on a (small, exhaustively
+        // checkable) instance of the contended shape.
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Fixed,
+        };
+        let report = check(&target, &contended_matrix(1, 2), &CheckOptions::new());
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_fails_small_contended_matrix() {
+        // The seeded bug is present in every instance of the shape; the
+        // big 4x4/5x4 instances merely hide it from exhaustive search.
+        let target = ConcurrentQueueTarget {
+            variant: Variant::Pre,
+        };
+        let report = check(&target, &contended_matrix(1, 2), &CheckOptions::new());
+        assert!(!report.passed(), "root cause B must be detected");
     }
 
     #[test]

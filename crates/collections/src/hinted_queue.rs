@@ -1,0 +1,283 @@
+//! `HintedQueue`: a coarse-lock FIFO queue with a lock-free *size hint*
+//! fast path — and a deliberately deep seeded defect for the
+//! coverage-guided schedule fuzzer benchmark (`lineup-bench --bin
+//! strategies`).
+//!
+//! Both variants guard the queue itself with a plain (untimed) mutex, so
+//! the Fig. 1 timeout defect is absent. The difference is the *hint*: an
+//! approximate element count consulted by `TryTake` before taking the
+//! lock, so that takes on an (apparently) empty queue return without
+//! contending — the shape of the real-world "check the count outside the
+//! lock" optimization behind the paper's root cause F.
+//!
+//! * **fixed** — the hint is updated inside the critical section. The
+//!   hint then never underestimates the element count by more than the
+//!   sentinel slack, the fast path never fires spuriously, and the queue
+//!   is linearizable.
+//! * **pre** — `Add` updates the hint *after* releasing the lock, with a
+//!   plain load/store read-modify-write. Concurrent `Add`s can interleave
+//!   their RMWs and lose increments. One lost increment is still harmless
+//!   — the hint starts with one element of sentinel slack, so phantom
+//!   emptiness (`hint <= 0` while the queue holds an element) provably
+//!   requires **at least two** lost increments, followed by enough
+//!   successful takes to drain the corrupted hint, followed by a take
+//!   that trusts it. No single preemption exposes the bug; a *chain* of
+//!   independent races does. That is exactly the regime where exhaustive
+//!   DFS drowns (the races hide behind shallow decisions in an enormous
+//!   schedule tree) and where coverage-guided fuzzing outruns blind
+//!   sampling: each partial corruption is a new scheduler state, enters
+//!   the corpus, and is extended instead of being rediscovered from
+//!   scratch.
+//!
+//! Successful takes decrement the hint with an atomic `fetch_sub`, and a
+//! failed locked pop does not touch it, so takers can never corrupt the
+//! hint themselves — the *only* route to a violation is the adder-adder
+//! increment race, twice.
+
+use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup_sync::{Atomic, DataCell, Mutex};
+
+use crate::support::{int_arg, try_result, Variant};
+
+/// Extra elements the hint over-reports from the start: the fast path
+/// claims emptiness only when `hint <= 0`, so a fresh queue (hint =
+/// `HINT_SLACK`, no elements) still routes the first takes through the
+/// (correct) locked pop. One lost increment erodes the slack; only the
+/// second can produce phantom emptiness.
+pub const HINT_SLACK: i64 = 1;
+
+/// The hinted queue (see the module docs).
+#[derive(Debug)]
+pub struct HintedQueue {
+    lock: Mutex,
+    items: DataCell<std::collections::VecDeque<i64>>,
+    hint: Atomic<i64>,
+    variant: Variant,
+}
+
+impl HintedQueue {
+    /// Creates an empty queue of the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        HintedQueue {
+            lock: Mutex::new(),
+            items: DataCell::new(std::collections::VecDeque::new()),
+            hint: Atomic::new(HINT_SLACK),
+            variant,
+        }
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, value: i64) {
+        self.lock.acquire();
+        self.items.with_mut(|q| q.push_back(value));
+        match self.variant {
+            Variant::Fixed => {
+                // Inside the critical section the RMW is serialized with
+                // every other hint increment.
+                let h = self.hint.load();
+                self.hint.store(h + 1);
+                self.lock.release();
+            }
+            Variant::Pre => {
+                self.lock.release();
+                // The seeded defect: a plain read-modify-write outside
+                // the lock. Two concurrent enqueues can both read the
+                // same hint and lose an increment.
+                let h = self.hint.load();
+                self.hint.store(h + 1);
+            }
+        }
+    }
+
+    /// Removes and returns the head element, or `None` when the queue is
+    /// (observed as) empty.
+    pub fn try_dequeue(&self) -> Option<i64> {
+        // Fast path: trust the hint and skip the lock entirely when the
+        // queue looks empty. Sound as long as the hint never undercounts
+        // past its slack — which the pre variant's increment race breaks.
+        if self.hint.load() <= 0 {
+            return None;
+        }
+        self.lock.acquire();
+        let v = self.items.with_mut(|q| q.pop_front());
+        self.lock.release();
+        if v.is_some() {
+            // Atomic decrement: takers cannot lose each other's updates,
+            // and a stale interleaving can only leave the hint too high
+            // (routing takes through the correct locked pop), never too
+            // low.
+            self.hint.fetch_sub(1);
+        }
+        v
+    }
+
+    /// Snapshot of the contents, head first.
+    pub fn to_vec(&self) -> Vec<i64> {
+        self.lock.acquire();
+        let v = self.items.with(|q| q.iter().copied().collect());
+        self.lock.release();
+        v
+    }
+}
+
+/// Line-Up target for [`HintedQueue`]: `Add`/`Enqueue` and
+/// `TryTake`/`TryDequeue` only, keeping histories on the specialized
+/// log-linear queue checker's fast path.
+#[derive(Debug, Clone, Copy)]
+pub struct HintedQueueTarget {
+    /// Fixed or pre (lost hint increments).
+    pub variant: Variant,
+}
+
+impl TestInstance for HintedQueue {
+    fn invoke(&self, inv: &Invocation) -> Value {
+        match inv.name.as_str() {
+            "Enqueue" | "Add" => {
+                self.enqueue(int_arg(inv));
+                Value::Unit
+            }
+            "TryDequeue" | "TryTake" => try_result(self.try_dequeue()),
+            other => panic!("HintedQueue: unknown operation {other}"),
+        }
+    }
+}
+
+impl TestTarget for HintedQueueTarget {
+    type Instance = HintedQueue;
+
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Fixed => "HintedQueue",
+            Variant::Pre => "HintedQueue (Pre)",
+        }
+    }
+
+    fn create(&self) -> HintedQueue {
+        HintedQueue::with_variant(self.variant)
+    }
+
+    fn invocations(&self) -> Vec<Invocation> {
+        vec![
+            Invocation::with_int("Add", 100),
+            Invocation::with_int("Add", 200),
+            Invocation::new("TryTake"),
+        ]
+    }
+}
+
+/// The fuzzing benchmark matrix: two adder threads (two `Add`s each, all
+/// values globally distinct so histories stay unambiguous for the
+/// specialized queue checker) plus `takers` threads of four `TryTake`s.
+/// `takers = 2` gives the 4×4 benchmark, `takers = 3` the 5×4 one.
+///
+/// A violation needs two lost hint increments — two separately-scheduled
+/// adder-adder RMW races — before the takers drain the corrupted hint and
+/// one of them trusts it on a non-empty queue. Exhaustive DFS runs the
+/// first adder to completion before ever interleaving it and backtracks
+/// deepest-first, so every violating schedule sits behind shallow
+/// decisions it reaches only after exhausting an astronomical
+/// linearizable tail.
+pub fn fuzz_matrix(takers: usize) -> lineup::TestMatrix {
+    let mut columns = Vec::with_capacity(takers + 2);
+    for adder in 0..2i64 {
+        columns.push(vec![
+            Invocation::with_int("Add", 100 * (2 * adder + 1)),
+            Invocation::with_int("Add", 100 * (2 * adder + 2)),
+        ]);
+    }
+    for _ in 0..takers {
+        columns.push((0..4).map(|_| Invocation::new("TryTake")).collect());
+    }
+    lineup::TestMatrix::from_columns(columns)
+}
+
+/// The 4×4 fuzzing benchmark matrix (see [`fuzz_matrix`]).
+pub fn fuzz4x4_matrix() -> lineup::TestMatrix {
+    fuzz_matrix(2)
+}
+
+/// The 5×4 fuzzing benchmark matrix (see [`fuzz_matrix`]).
+pub fn fuzz5x4_matrix() -> lineup::TestMatrix {
+    fuzz_matrix(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineup::{check, CheckOptions, TestMatrix};
+
+    #[test]
+    fn unmodelled_fifo_order() {
+        for variant in [Variant::Fixed, Variant::Pre] {
+            let q = HintedQueue::with_variant(variant);
+            assert_eq!(q.try_dequeue(), None);
+            q.enqueue(1);
+            q.enqueue(2);
+            q.enqueue(3);
+            assert_eq!(q.to_vec(), vec![1, 2, 3]);
+            assert_eq!(q.try_dequeue(), Some(1));
+            assert_eq!(q.try_dequeue(), Some(2));
+            assert_eq!(q.try_dequeue(), Some(3));
+            assert_eq!(q.try_dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn fuzz_matrix_shape() {
+        let m = fuzz4x4_matrix();
+        assert_eq!(m.columns.len(), 4);
+        assert!(m.columns.iter().all(|c| c.len() <= 4));
+        assert_eq!(m.columns.iter().map(Vec::len).sum::<usize>(), 12);
+        let adds: Vec<String> = m.columns[..2]
+            .iter()
+            .flatten()
+            .map(|inv| format!("{:?}", inv.args))
+            .collect();
+        let distinct: std::collections::HashSet<_> = adds.iter().collect();
+        assert_eq!(distinct.len(), 4, "Add values must be globally distinct");
+        assert_eq!(fuzz5x4_matrix().columns.len(), 5);
+    }
+
+    #[test]
+    fn fixed_passes_concurrent_adds_and_takes() {
+        let target = HintedQueueTarget {
+            variant: Variant::Fixed,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("Add", 100), Invocation::new("TryTake")],
+            vec![Invocation::with_int("Add", 200), Invocation::new("TryTake")],
+        ]);
+        let report = check(
+            &target,
+            &m,
+            &CheckOptions::new().with_preemption_bound(None),
+        );
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pre_survives_a_single_increment_race() {
+        // The sentinel slack absorbs one lost increment: with only two
+        // Adds in the whole test at most one increment race can happen,
+        // so the pre variant is exhaustively linearizable here. The bug
+        // needs a *chain* of two races — that depth is the point of the
+        // workload.
+        let target = HintedQueueTarget {
+            variant: Variant::Pre,
+        };
+        let m = TestMatrix::from_columns(vec![
+            vec![Invocation::with_int("Add", 100), Invocation::new("TryTake")],
+            vec![Invocation::with_int("Add", 200), Invocation::new("TryTake")],
+        ]);
+        let report = check(
+            &target,
+            &m,
+            &CheckOptions::new().with_preemption_bound(None),
+        );
+        assert!(
+            report.passed(),
+            "one lost increment must stay inside the slack: {:?}",
+            report.violations
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`blocking_collection`] | **I, J** — *intentional*: `Count`/`TryTake` may observe an inconsistent snapshot; **K** — *intentional*: `CompleteAdding` takes effect late |
 //! | [`barrier`] | **L** — *intentional*: `SignalAndWait` is inherently nonlinearizable |
 //! | [`lazy`], [`task_completion_source`], [`cancellation_token_source`] | — (no seeded defect) |
+//! | [`hinted_queue`] | *synthetic* — unsynchronized size-hint RMW; phantom emptiness needs a **chain** of two lost increments (the coverage-fuzzing benchmark workload, not a Table 2 root cause) |
 //!
 //! Every class module exposes the data structure itself plus a
 //! [`lineup::TestTarget`] adapter; the [`registry`] enumerates all class/
@@ -39,6 +40,7 @@ pub mod concurrent_queue;
 pub mod concurrent_stack;
 pub mod countdown_event;
 pub mod counter;
+pub mod hinted_queue;
 pub mod lazy;
 pub mod manual_reset_event;
 pub mod registry;

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use lineup_sched::{
     AbandonConfirm, Backend, Config, ExploreStats, LexCancel, RunOutcome, StealPool, StealSkip,
-    StealTask, StealingStrategy,
+    StealTask, StealingStrategy, StrategyKind,
 };
 
 use crate::adt::MonitorPathStats;
@@ -172,6 +172,21 @@ pub struct CheckOptions {
     /// still runs: the observation set feeds the determinism check, which
     /// the monitor's oracle-replay model relies on.
     pub witness_monitor: Option<MonitorHandle>,
+    /// Exploration strategy for phase 2 (default
+    /// [`StrategyKind::Dfs`]: the exhaustive depth-first search the paper
+    /// builds on). Randomized strategies ([`StrategyKind::Random`],
+    /// [`StrategyKind::Pct`], [`StrategyKind::Coverage`]) sample schedules
+    /// instead of enumerating them — they need
+    /// [`max_phase2_runs`](CheckOptions::max_phase2_runs) set or they run
+    /// until their own budget expires, and they trade the exhaustiveness
+    /// guarantee for fast bug-finding on schedule spaces too large to
+    /// enumerate. Violations found remain conclusive (Theorem 5 needs only
+    /// the violating execution, not coverage). Phase 1 always enumerates
+    /// serially regardless of this setting, and parallel work-stealing
+    /// ([`workers`](CheckOptions::workers) `> 1`) only engages for
+    /// [`StrategyKind::Dfs`] — the stealing engine partitions the DFS
+    /// tree, which sampling strategies do not have.
+    pub strategy: StrategyKind,
 }
 
 impl CheckOptions {
@@ -191,6 +206,7 @@ impl CheckOptions {
             backend: Backend::default_backend(),
             parallel_probe_runs: 256,
             witness_monitor: None,
+            strategy: StrategyKind::Dfs,
         }
     }
 
@@ -288,6 +304,15 @@ impl CheckOptions {
     /// [`CheckOptions::witness_monitor`]), builder style.
     pub fn with_monitor_backend(mut self, monitor: Arc<dyn HistoryMonitor>) -> Self {
         self.witness_monitor = Some(MonitorHandle(monitor));
+        self
+    }
+
+    /// Selects the phase-2 exploration strategy (see
+    /// [`CheckOptions::strategy`]), builder style. Randomized strategies
+    /// should be paired with
+    /// [`with_max_phase2_runs`](CheckOptions::with_max_phase2_runs).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -399,6 +424,17 @@ pub struct PhaseStats {
     /// fallback-reason histogram). All-zero when the phase ran without a
     /// monitor backend, or with one that does not report paths.
     pub monitor_paths: MonitorPathStats,
+    /// Corpus entries held by the coverage-guided strategy at the end of
+    /// the phase (see [`StrategyKind::Coverage`]). Zero for every other
+    /// strategy.
+    pub corpus_size: u64,
+    /// Bits set in the coverage strategy's schedule-signature bitmap at
+    /// the end of the phase. Zero for every other strategy.
+    pub coverage_bits: u64,
+    /// Mutated schedules executed by the coverage strategy during the
+    /// phase (runs that replayed a corpus parent before diverging, as
+    /// opposed to fresh random runs). Zero for every other strategy.
+    pub mutations: u64,
     /// Wall-clock time spent.
     pub duration: Duration,
 }
@@ -601,6 +637,11 @@ pub fn check_against_spec<T: TestTarget>(
         total.steal_replays = total.steal_replays.saturating_add(stats.steal_replays);
         total.probe_skips = total.probe_skips.saturating_add(stats.probe_skips);
         total.monitor_paths.merge(&stats.monitor_paths);
+        // Coverage gauges describe shared strategy state, not per-iteration
+        // events: take the high-water mark rather than double-counting.
+        total.corpus_size = total.corpus_size.max(stats.corpus_size);
+        total.coverage_bits = total.coverage_bits.max(stats.coverage_bits);
+        total.mutations = total.mutations.saturating_add(stats.mutations);
         total.duration += stats.duration;
         if !vs.is_empty() {
             violations = vs;
@@ -619,7 +660,9 @@ fn check_against_spec_at<T: TestTarget>(
     options: &CheckOptions,
     preemption_bound: Option<usize>,
 ) -> (Vec<Violation>, PhaseStats) {
-    if options.workers > 1 {
+    // The work-stealing engine partitions the DFS schedule tree; sampling
+    // strategies have no tree to partition and run serially.
+    if options.workers > 1 && matches!(options.strategy, StrategyKind::Dfs) {
         return check_against_spec_at_parallel(target, matrix, spec, options, preemption_bound);
     }
     let start = std::time::Instant::now();
@@ -643,6 +686,7 @@ fn check_against_spec_at<T: TestTarget>(
         .with_backend(options.backend);
     config.preemption_bound = preemption_bound;
     config.max_runs = options.max_phase2_runs;
+    config.strategy = options.strategy.clone();
 
     let stats = explore_matrix(target, matrix, &config, |run| {
         let mut ok = true;
@@ -734,6 +778,9 @@ fn check_against_spec_at<T: TestTarget>(
         fast_path_steps: stats.fast_path_steps,
         handoffs: stats.handoffs,
         monitor_paths: monitor_path_snapshot(options).diff_since(&paths_before),
+        corpus_size: stats.corpus_size,
+        coverage_bits: stats.coverage_bits,
+        mutations: stats.mutations,
         duration: start.elapsed(),
         ..Default::default()
     };
@@ -1272,6 +1319,11 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         // a serial run's — they measure monitor work done, not distinct
         // histories.
         monitor_paths: monitor_path_snapshot(options).diff_since(&paths_before),
+        // The parallel path only runs under StrategyKind::Dfs, which
+        // carries no coverage feedback.
+        corpus_size: 0,
+        coverage_bits: 0,
+        mutations: 0,
         duration: start.elapsed(),
     };
     (violations, phase)

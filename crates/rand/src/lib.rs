@@ -16,6 +16,102 @@ pub mod rngs {
     pub use crate::{SmallRng, StdRng};
 }
 
+/// Sequence helpers mirroring `rand::seq`.
+pub mod seq {
+    use crate::Rng;
+
+    /// Slice extensions mirroring `rand::seq::SliceRandom` (the subset
+    /// the corpus scheduler needs: `shuffle` and `choose`).
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, seeded through
+        /// `rng`, so a fixed seed gives a fixed permutation).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if the slice is
+        /// empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, high to low, matching the real crate's
+            // element-equally-likely guarantee.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Distribution helpers mirroring `rand::distributions`.
+pub mod distributions {
+    use crate::Rng;
+
+    /// Error from [`WeightedIndex::new`] (mirrors
+    /// `rand::distributions::WeightedError`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// The weight list was empty.
+        NoItem,
+        /// All weights were zero (or the total overflowed).
+        AllWeightsZero,
+    }
+
+    /// Samples indexes in proportion to a list of `u64` weights (the
+    /// integer-weight subset of `rand::distributions::WeightedIndex`).
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        /// Cumulative weight at the *end* of each item: item `i` owns the
+        /// half-open value range `[cumulative[i-1], cumulative[i])`.
+        cumulative: Vec<u64>,
+        total: u64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the sampler. Zero-weight items are kept (and never
+        /// drawn), matching the real crate.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator<Item = u64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total: u64 = 0;
+            for w in weights {
+                total = total.checked_add(w).ok_or(WeightedError::AllWeightsZero)?;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total == 0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+
+        /// Draws one index, item `i` with probability `weights[i] / total`.
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = rng.gen_range(0..self.total);
+            // First item whose cumulative weight exceeds x.
+            self.cumulative.partition_point(|&c| c <= x)
+        }
+    }
+}
+
 /// A seedable random number generator (mirrors `rand::SeedableRng`).
 pub trait SeedableRng: Sized {
     /// Creates a generator from a `u64` seed.
@@ -228,5 +324,105 @@ mod tests {
         let _: bool = r.gen();
         let _: u16 = r.gen();
         let _: i64 = r.gen();
+    }
+
+    mod seq {
+        use super::super::seq::SliceRandom;
+        use super::super::*;
+
+        #[test]
+        fn shuffle_is_a_permutation() {
+            let mut r = SmallRng::seed_from_u64(11);
+            let mut v: Vec<u32> = (0..20).collect();
+            v.shuffle(&mut r);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+        }
+
+        #[test]
+        fn shuffle_deterministic_per_seed() {
+            let mut a: Vec<u32> = (0..16).collect();
+            let mut b = a.clone();
+            a.shuffle(&mut SmallRng::seed_from_u64(5));
+            b.shuffle(&mut SmallRng::seed_from_u64(5));
+            assert_eq!(a, b);
+            let mut c: Vec<u32> = (0..16).collect();
+            c.shuffle(&mut SmallRng::seed_from_u64(6));
+            assert_ne!(a, c, "different seeds should permute differently");
+        }
+
+        #[test]
+        fn shuffle_reaches_every_position() {
+            // Element 0 must be able to land anywhere (Fisher–Yates is
+            // unbiased; here we only smoke-test reachability).
+            let mut r = SmallRng::seed_from_u64(2);
+            let mut landed = [false; 4];
+            for _ in 0..200 {
+                let mut v = [0u8, 1, 2, 3];
+                v.shuffle(&mut r);
+                landed[v.iter().position(|&x| x == 0).unwrap()] = true;
+            }
+            assert!(landed.iter().all(|&l| l));
+        }
+
+        #[test]
+        fn choose_empty_and_nonempty() {
+            let mut r = SmallRng::seed_from_u64(8);
+            let empty: [u8; 0] = [];
+            assert_eq!(empty.choose(&mut r), None);
+            let v = [10u8, 20, 30];
+            let mut seen = [false; 3];
+            for _ in 0..100 {
+                let &x = v.choose(&mut r).unwrap();
+                seen[(x / 10 - 1) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    mod distributions {
+        use super::super::distributions::{WeightedError, WeightedIndex};
+        use super::super::*;
+
+        #[test]
+        fn rejects_degenerate_weights() {
+            assert_eq!(
+                WeightedIndex::new(std::iter::empty()).unwrap_err(),
+                WeightedError::NoItem
+            );
+            assert_eq!(
+                WeightedIndex::new([0, 0, 0]).unwrap_err(),
+                WeightedError::AllWeightsZero
+            );
+        }
+
+        #[test]
+        fn zero_weight_items_never_drawn() {
+            let w = WeightedIndex::new([3, 0, 5]).unwrap();
+            let mut r = SmallRng::seed_from_u64(4);
+            for _ in 0..500 {
+                assert_ne!(w.sample(&mut r), 1);
+            }
+        }
+
+        #[test]
+        fn samples_roughly_in_proportion() {
+            let w = WeightedIndex::new([1, 9]).unwrap();
+            let mut r = SmallRng::seed_from_u64(7);
+            let heavy = (0..2000).filter(|_| w.sample(&mut r) == 1).count();
+            // Expected 1800; a generous band keeps the test robust.
+            assert!((1600..=1950).contains(&heavy), "heavy = {heavy}");
+        }
+
+        #[test]
+        fn deterministic_per_seed() {
+            let w = WeightedIndex::new([2, 3, 5]).unwrap();
+            let mut a = SmallRng::seed_from_u64(9);
+            let mut b = SmallRng::seed_from_u64(9);
+            for _ in 0..100 {
+                assert_eq!(w.sample(&mut a), w.sample(&mut b));
+            }
+        }
     }
 }

@@ -115,6 +115,21 @@ pub enum StrategyKind {
         /// subtrees the victim's sleep set already covers.
         sleep: Vec<u64>,
     },
+    /// Coverage-guided schedule fuzzing (see the
+    /// [`coverage`](crate::coverage) module): runs fold per-decision
+    /// coverage signatures into a shared bitmap, novel runs enter a
+    /// corpus of decision vectors, and later runs replay + mutate corpus
+    /// parents (flip a choice, splice two parents, extend a truncated
+    /// prefix randomly, inject a preemption). Non-exhaustive like
+    /// [`Random`](StrategyKind::Random) — `max_runs` bounds the campaign
+    /// — but spends its budget near schedules that keep discovering new
+    /// scheduler states, which is what cracks seeded bugs on matrices
+    /// exhaustive search cannot finish.
+    Coverage {
+        /// Seed for mutation planning and random tails: a fixed seed
+        /// reproduces the exact run sequence.
+        seed: u64,
+    },
     /// Enumerates the disjoint subtree roots at decision depth `depth`
     /// (see [`FrontierStrategy`](crate::strategy::FrontierStrategy)): one
     /// run per depth-`depth` decision prefix, always taking the first
@@ -268,6 +283,16 @@ impl Config {
         }
     }
 
+    /// Coverage-guided schedule fuzzing (see [`StrategyKind::Coverage`])
+    /// with the given seed and run budget.
+    pub fn coverage(seed: u64, runs: u64) -> Self {
+        Config {
+            strategy: StrategyKind::Coverage { seed },
+            max_runs: Some(runs),
+            ..Config::exhaustive()
+        }
+    }
+
     /// Replays one previously-recorded run (see
     /// [`StrategyKind::Replay`]). The mode and preemption bound must match
     /// the original exploration for the decision points to line up.
@@ -370,7 +395,11 @@ impl Config {
     /// entirely (cf. bounded partial-order reduction, Coons, Musuvathi &
     /// McKinley, OOPSLA 2013). Replay ignores pruning by construction
     /// ([`StrategyKind::Replay`] is excluded here), and serial phase-1
-    /// mode is untouched.
+    /// mode is untouched. Sampling strategies (random walk, PCT,
+    /// coverage-guided fuzzing) also stay unreduced: sleep sets encode
+    /// "this subtree was exhaustively covered elsewhere", a statement a
+    /// guided sample never earns — pruning there would be unsound, so
+    /// coverage feedback only *orders* exploration and never prunes it.
     pub fn effective_por(&self) -> bool {
         self.por
             && self.mode == Mode::Concurrent
@@ -480,6 +509,10 @@ mod tests {
         );
         assert!(!Config::random(1, 10).effective_por());
         assert!(!Config::pct(1, 3, 10).effective_por());
+        assert!(
+            !Config::coverage(1, 10).effective_por(),
+            "coverage feedback orders exploration; it must never prune"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::config::{Backend, Config, StrategyKind};
+use crate::coverage::CoverageStrategy;
 use crate::events::AccessEvent;
 use crate::fiber::FiberRt;
 use crate::ids::ThreadId;
@@ -134,6 +135,16 @@ pub struct ExploreStats {
     pub steal_replays: u64,
     /// Longest schedule observed.
     pub max_schedule_len: usize,
+    /// Decision vectors in the coverage corpus when the exploration ended
+    /// (see [`CoverageStrategy`](crate::coverage::CoverageStrategy));
+    /// zero for non-coverage strategies.
+    pub corpus_size: u64,
+    /// Distinct bits set in the coverage bitmap when the exploration
+    /// ended; zero for non-coverage strategies.
+    pub coverage_bits: u64,
+    /// Runs that diverged from a coverage-corpus parent (as opposed to
+    /// fresh random walks); zero for non-coverage strategies.
+    pub mutations: u64,
     /// True when the visitor stopped the exploration before the strategy
     /// was exhausted.
     pub stopped_early: bool,
@@ -169,6 +180,14 @@ impl ExploreStats {
         self.idle_parks = self.idle_parks.saturating_add(other.idle_parks);
         self.steal_replays = self.steal_replays.saturating_add(other.steal_replays);
         self.max_schedule_len = self.max_schedule_len.max(other.max_schedule_len);
+        // Coverage gauges describe the (potentially shared) bitmap and
+        // corpus at exploration end, not per-exploration work: merging
+        // explorations that pooled one `CoverageShared` must not double-
+        // count, so take the maximum. Mutations are per-run events and
+        // sum like the other counters.
+        self.corpus_size = self.corpus_size.max(other.corpus_size);
+        self.coverage_bits = self.coverage_bits.max(other.coverage_bits);
+        self.mutations = self.mutations.saturating_add(other.mutations);
         self.stopped_early |= other.stopped_early;
     }
 
@@ -413,6 +432,10 @@ pub fn explore(
             *depth,
             config.max_runs.unwrap_or(u64::MAX),
         )),
+        StrategyKind::Coverage { seed } => Box::new(CoverageStrategy::new(
+            *seed,
+            config.max_runs.unwrap_or(u64::MAX),
+        )),
         StrategyKind::Replay { decisions } => {
             Box::new(ReplayStrategy::from_indexes(decisions.clone()))
         }
@@ -615,14 +638,16 @@ pub fn explore_with_strategy(
             }
         }
     }
-    stats.backtrack_points = shared
-        .state
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .strategy
-        .as_ref()
-        .expect("strategy present")
-        .backtrack_points();
+    {
+        let st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let strategy = st.strategy.as_ref().expect("strategy present");
+        stats.backtrack_points = strategy.backtrack_points();
+        if let Some(coverage) = strategy.coverage_counters() {
+            stats.corpus_size = coverage.corpus_size;
+            stats.coverage_bits = coverage.coverage_bits;
+            stats.mutations = coverage.mutations;
+        }
+    }
     stats
 }
 
@@ -1362,6 +1387,32 @@ mod tests {
         );
     }
 
+    /// Coverage-guided exploration honors the run budget and reports its
+    /// feedback state (corpus, bitmap population, mutation count) through
+    /// [`ExploreStats`].
+    #[test]
+    fn coverage_strategy_reports_feedback_stats() {
+        let setup = |ex: &mut Execution| {
+            for _ in 0..3 {
+                ex.spawn(|| {
+                    yield_point();
+                    yield_point();
+                });
+            }
+        };
+        let stats = count_runs(&Config::coverage(42, 50), setup);
+        assert_eq!(stats.runs, 50);
+        assert!(stats.coverage_bits > 0, "decisions must light bitmap bits");
+        assert!(stats.corpus_size > 0, "novel runs must enter the corpus");
+        assert!(stats.mutations > 0, "corpus parents must get mutated");
+        // Fixed seed ⇒ identical campaign, including the feedback state.
+        let again = count_runs(&Config::coverage(42, 50), setup);
+        assert_eq!(stats, again);
+        // POR must stay disengaged: feedback only orders exploration.
+        assert_eq!(stats.sleep_prunes, 0);
+        assert_eq!(stats.backtrack_points, 0);
+    }
+
     /// Serial mode must see exactly the same interleavings here, because
     /// all schedule points are boundaries.
     #[test]
@@ -1655,6 +1706,9 @@ mod tests {
             idle_parks: 6,
             steal_replays: 2,
             max_schedule_len: 9,
+            corpus_size: 3,
+            coverage_bits: 100,
+            mutations: 2,
             stopped_early: false,
         };
         let b = ExploreStats {
@@ -1676,6 +1730,9 @@ mod tests {
             idle_parks: 2,
             steal_replays: 1,
             max_schedule_len: 14,
+            corpus_size: 2,
+            coverage_bits: 140,
+            mutations: 3,
             stopped_early: true,
         };
         a.merge(&b);
@@ -1694,6 +1751,9 @@ mod tests {
         assert_eq!(a.idle_parks, 8);
         assert_eq!(a.steal_replays, 3);
         assert_eq!(a.max_schedule_len, 14, "merge takes the max, not the sum");
+        assert_eq!(a.corpus_size, 3, "shared-bitmap gauges merge by max");
+        assert_eq!(a.coverage_bits, 140, "shared-bitmap gauges merge by max");
+        assert_eq!(a.mutations, 5, "mutated runs are per-run work and sum");
         assert!(
             a.stopped_early,
             "either side stopping early marks the merge"

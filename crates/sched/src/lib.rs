@@ -59,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod coverage;
 pub mod events;
 pub mod explorer;
 pub mod fiber;
@@ -71,6 +72,7 @@ pub mod state;
 pub mod strategy;
 
 pub use config::{Backend, Config, Mode, StrategyKind};
+pub use coverage::{CoverageCounters, CoverageShared, CoverageStrategy, COVERAGE_MAP_BITS};
 pub use events::{AccessEvent, AccessKind};
 pub use explorer::{
     explore, explore_parallel, explore_with_strategy, split_frontier, AbandonConfirm, Execution,

@@ -76,6 +76,14 @@ pub trait Strategy {
     fn backtrack_points(&self) -> u64 {
         0
     }
+    /// Feedback counters of a coverage-guided exploration (see
+    /// [`CoverageStrategy`](crate::coverage::CoverageStrategy)), harvested
+    /// into [`ExploreStats`](crate::ExploreStats) like
+    /// [`backtrack_points`](Strategy::backtrack_points). `None` (the
+    /// default) for strategies without coverage feedback.
+    fn coverage_counters(&self) -> Option<crate::coverage::CoverageCounters> {
+        None
+    }
     /// Called after each run; returns `true` if another run should be
     /// executed (i.e. unexplored choices remain).
     fn end_run(&mut self) -> bool;
