@@ -6,15 +6,19 @@
 //! ```text
 //! cargo run --release -p lineup-bench --bin phase2 [--json] [--out PATH]
 //!     [--workers 1,2,4] [--repeat N] [--probe N] [--por on|off|both]
-//!     [--backend fibers|os|both] [--smoke]
+//!     [--symmetry on|off|both] [--backend fibers|os|both] [--smoke]
 //! ```
 //!
-//! Reports, per workload, POR mode, execution backend, and worker count,
-//! the number of executions explored, how many of those were sleep-set
-//! prunes, the steal accounting (subtrees split off, steals claimed, lazy
-//! prefix replays, idle parks), the wall time (best of `--repeat`
-//! attempts), the throughput in runs/second, and the speedup over the
-//! 1-worker (serial) baseline *of the same POR mode and backend*.
+//! Reports, per workload, POR mode, symmetry mode, execution backend,
+//! and worker count, the number of executions explored, how many
+//! schedules were pruned by sleep sets and by thread-symmetry sibling
+//! pruning, the phase-2 canonical verdict-cache hits, the steal
+//! accounting (subtrees split off, steals claimed, lazy prefix replays,
+//! idle parks), the wall time (best of `--repeat` attempts), the
+//! throughput in runs/second, and the speedup over the 1-worker
+//! (serial) baseline *of the same POR mode, symmetry mode, and
+//! backend*. Both benchmark matrices are thread-symmetric, so the
+//! symmetry-on rows show the reduction stacking on top of POR.
 //!
 //! `--probe` sets [`CheckOptions::parallel_probe_runs`] for the
 //! multi-worker rows. The default is 4096, larger than the library
@@ -59,10 +63,13 @@ use lineup_collections::Variant;
 struct Sample {
     workload: &'static str,
     por: bool,
+    symmetry: bool,
     backend: Backend,
     workers: usize,
     runs: u64,
     sleep_prunes: u64,
+    symmetry_prunes: u64,
+    cache_hits: u64,
     steps: u64,
     fast_path_steps: u64,
     handoffs: u64,
@@ -87,6 +94,7 @@ fn measure<T: TestTarget>(
     matrix: &TestMatrix,
     spec: &ObservationSet,
     por: bool,
+    symmetry: bool,
     backend: Backend,
     workers: usize,
     probe: u64,
@@ -95,6 +103,7 @@ fn measure<T: TestTarget>(
     let mut opts = CheckOptions::new()
         .with_preemption_bound(None)
         .with_por(por)
+        .with_symmetry(symmetry)
         .with_backend(backend)
         .collect_all_violations();
     if workers > 1 {
@@ -127,12 +136,18 @@ fn measure<T: TestTarget>(
             if !por {
                 // POR off, the steal partition is exact: whatever the
                 // steal timing, every schedule runs exactly once, so the
-                // exploration counters must repeat bit for bit.
+                // exploration counters must repeat bit for bit (symmetry
+                // masks are schedule-independent, so they don't perturb
+                // this either).
                 assert_eq!(prev.runs, stats.runs, "repeatability: runs");
                 assert_eq!(prev.total_steps, stats.total_steps, "repeatability: steps");
                 assert_eq!(
                     prev.sleep_prunes, stats.sleep_prunes,
                     "repeatability: prunes"
+                );
+                assert_eq!(
+                    prev.symmetry_prunes, stats.symmetry_prunes,
+                    "repeatability: symmetry prunes"
                 );
             }
         }
@@ -153,6 +168,7 @@ fn run_workload<T: TestTarget>(
     target: &T,
     matrix: &TestMatrix,
     por_modes: &[bool],
+    sym_modes: &[bool],
     backends: &[Backend],
     workers_list: &[usize],
     probe: u64,
@@ -160,31 +176,38 @@ fn run_workload<T: TestTarget>(
 ) {
     let (spec, _, _) = synthesize_spec(target, matrix);
     for &por in por_modes {
-        for &backend in backends {
-            let mut baseline = None;
-            for &w in workers_list {
-                let (stats, wall) = measure(target, matrix, &spec, por, backend, w, probe, repeat);
-                let base = *baseline.get_or_insert(wall);
-                samples.push(Sample {
-                    workload,
-                    por,
-                    backend,
-                    workers: w,
-                    runs: stats.runs,
-                    sleep_prunes: stats.sleep_prunes,
-                    steps: stats.total_steps,
-                    fast_path_steps: stats.fast_path_steps,
-                    handoffs: stats.handoffs,
-                    splits: stats.splits,
-                    steals: stats.steals,
-                    steal_replays: stats.steal_replays,
-                    idle_parks: stats.idle_parks,
-                    probe_skips: stats.probe_skips,
-                    wall_seconds: wall,
-                    runs_per_sec: stats.runs as f64 / wall,
-                    steps_per_sec: stats.total_steps as f64 / wall,
-                    speedup: base / wall,
-                });
+        for &symmetry in sym_modes {
+            for &backend in backends {
+                let mut baseline = None;
+                for &w in workers_list {
+                    let (stats, wall) = measure(
+                        target, matrix, &spec, por, symmetry, backend, w, probe, repeat,
+                    );
+                    let base = *baseline.get_or_insert(wall);
+                    samples.push(Sample {
+                        workload,
+                        por,
+                        symmetry,
+                        backend,
+                        workers: w,
+                        runs: stats.runs,
+                        sleep_prunes: stats.sleep_prunes,
+                        symmetry_prunes: stats.symmetry_prunes,
+                        cache_hits: stats.phase2_cache_hits,
+                        steps: stats.total_steps,
+                        fast_path_steps: stats.fast_path_steps,
+                        handoffs: stats.handoffs,
+                        splits: stats.splits,
+                        steals: stats.steals,
+                        steal_replays: stats.steal_replays,
+                        idle_parks: stats.idle_parks,
+                        probe_skips: stats.probe_skips,
+                        wall_seconds: wall,
+                        runs_per_sec: stats.runs as f64 / wall,
+                        steps_per_sec: stats.total_steps as f64 / wall,
+                        speedup: base / wall,
+                    });
+                }
             }
         }
     }
@@ -218,6 +241,15 @@ fn main() {
         None | Some("both") => vec![false, true],
         Some(other) => {
             eprintln!("--por must be on, off, or both (got {other})");
+            std::process::exit(2);
+        }
+    };
+    let sym_modes: Vec<bool> = match arg_value("--symmetry").as_deref() {
+        Some("on") => vec![true],
+        Some("off") => vec![false],
+        None | Some("both") => vec![false, true],
+        Some(other) => {
+            eprintln!("--symmetry must be on, off, or both (got {other})");
             std::process::exit(2);
         }
     };
@@ -256,6 +288,7 @@ fn main() {
         &CounterTarget,
         &counter_matrix,
         &por_modes,
+        &sym_modes,
         &backends,
         &workers_list,
         probe,
@@ -267,6 +300,7 @@ fn main() {
         &queue,
         &queue_matrix,
         &por_modes,
+        &sym_modes,
         &backends,
         &workers_list,
         probe,
@@ -278,17 +312,36 @@ fn main() {
         .unwrap_or(1);
 
     let mut table = TextTable::new(&[
-        "workload", "por", "backend", "workers", "runs", "prunes", "steps", "splits", "steals",
-        "replays", "parks", "probe", "wall", "runs/sec", "speedup",
+        "workload",
+        "por",
+        "sym",
+        "backend",
+        "workers",
+        "runs",
+        "prunes",
+        "sym prunes",
+        "cache hits",
+        "steps",
+        "splits",
+        "steals",
+        "replays",
+        "parks",
+        "probe",
+        "wall",
+        "runs/sec",
+        "speedup",
     ]);
     for s in &samples {
         table.row(vec![
             s.workload.to_string(),
             if s.por { "on" } else { "off" }.to_string(),
+            if s.symmetry { "on" } else { "off" }.to_string(),
             backend_name(s.backend).to_string(),
             s.workers.to_string(),
             s.runs.to_string(),
             s.sleep_prunes.to_string(),
+            s.symmetry_prunes.to_string(),
+            s.cache_hits.to_string(),
             s.steps.to_string(),
             s.splits.to_string(),
             s.steals.to_string(),
@@ -312,9 +365,11 @@ fn main() {
         out.push_str("  \"results\": [\n");
         for (i, s) in samples.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"por\": {}, \"backend\": \"{}\", \"workers\": {}, \
+                "    {{\"workload\": \"{}\", \"por\": {}, \"symmetry\": {}, \
+                 \"backend\": \"{}\", \"workers\": {}, \
                  \"runs\": {}, \
-                 \"sleep_prunes\": {}, \"steps\": {}, \
+                 \"sleep_prunes\": {}, \"symmetry_prunes\": {}, \
+                 \"phase2_cache_hits\": {}, \"steps\": {}, \
                  \"fast_path_steps\": {}, \"handoffs\": {}, \
                  \"splits\": {}, \"steals\": {}, \"steal_replays\": {}, \
                  \"idle_parks\": {}, \"probe_skips\": {}, \
@@ -323,10 +378,13 @@ fn main() {
                  \"speedup_vs_1_worker\": {:.3}}}{}\n",
                 s.workload,
                 s.por,
+                s.symmetry,
                 backend_name(s.backend),
                 s.workers,
                 s.runs,
                 s.sleep_prunes,
+                s.symmetry_prunes,
+                s.cache_hits,
                 s.steps,
                 s.fast_path_steps,
                 s.handoffs,
@@ -357,9 +415,10 @@ fn main() {
         for s in samples.iter().filter(|s| s.workers > 1) {
             if s.speedup < 0.9 {
                 eprintln!(
-                    "smoke: {} por={} backend={} workers={} speedup {:.3} < 0.9",
+                    "smoke: {} por={} sym={} backend={} workers={} speedup {:.3} < 0.9",
                     s.workload,
                     if s.por { "on" } else { "off" },
+                    if s.symmetry { "on" } else { "off" },
                     backend_name(s.backend),
                     s.workers,
                     s.speedup

@@ -32,6 +32,7 @@
 //! ```text
 //! cargo run --release -p lineup-bench --bin strategies [--trials N]
 //!     [--budget N] [--dfs-budget N] [--json] [--out PATH] [--smoke]
+//!     [--no-symmetry]
 //! ```
 //!
 //! `--json` writes the measurements to `BENCH_strategies.json` (or
@@ -39,12 +40,11 @@
 //! small budgets and exits nonzero unless every Coverage trial finds the
 //! seeded bug — a CI-sized regression gate for the fuzzer.
 
-use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
 use lineup::AdtKind;
-use lineup::{explore_matrix, ErasedTarget, History, TestMatrix};
+use lineup::{explore_matrix, ErasedTarget, History, HistoryCache, SymmetryGroups, TestMatrix};
 use lineup_bench::{arg_flag, arg_num, arg_value, TextTable};
 use lineup_collections::concurrent_queue::{contended_matrix, fig1_matrix, ConcurrentQueueTarget};
 use lineup_collections::hinted_queue::{fuzz4x4_matrix, fuzz5x4_matrix, HintedQueueTarget};
@@ -54,24 +54,29 @@ use lineup_monitor::{adt_monitor_backend, Monitor, ReplayOracle};
 use lineup_sched::{Config, RunOutcome};
 
 /// How a case decides whether one recorded history is a violation: ask
-/// the monitor oracle, caching one verdict per distinct history (`true` =
-/// linearizable). The monitor agrees with the paper's witness search on
-/// every history of a deterministic target, and sidesteps spec synthesis
-/// — infeasible on the contended matrices, whose serial enumeration alone
-/// would take tens of millions of runs.
+/// the monitor oracle, caching one verdict per distinct *canonical*
+/// history (`true` = linearizable) — sampled schedules that merely
+/// permute symmetric threads share a verdict instead of repeating the
+/// monitor search (pass `--no-symmetry` for literal keys). The monitor
+/// agrees with the paper's witness search on every history of a
+/// deterministic target, and sidesteps spec synthesis — infeasible on
+/// the contended matrices, whose serial enumeration alone would take
+/// tens of millions of runs.
 struct Verdicts {
     monitor: Arc<Monitor<ReplayOracle>>,
-    cache: HashMap<History, bool>,
+    groups: SymmetryGroups,
+    cache: HistoryCache<bool>,
 }
 
 impl Verdicts {
     /// Whether a *complete* history is linearizable (Definition 1).
     fn full_ok(&mut self, history: &History) -> bool {
-        match self.cache.get(history) {
-            Some(&ok) => ok,
+        let key = self.groups.canonicalize(history);
+        match self.cache.get(&key) {
+            Some(ok) => ok,
             None => {
                 let ok = self.monitor.check_full(history, &[]);
-                self.cache.insert(history.clone(), ok);
+                self.cache.insert_if_absent(&key, ok);
                 ok
             }
         }
@@ -80,14 +85,15 @@ impl Verdicts {
     /// Whether a *stuck* history is acceptable: every pending operation
     /// has a stuck witness (Definition 2).
     fn stuck_ok(&mut self, history: &History) -> bool {
-        match self.cache.get(history) {
-            Some(&ok) => ok,
+        let key = self.groups.canonicalize(history);
+        match self.cache.get(&key) {
+            Some(ok) => ok,
             None => {
                 let ok = history
                     .pending_ops()
                     .into_iter()
                     .all(|e| self.monitor.check_stuck(history, e, &[]));
-                self.cache.insert(history.clone(), ok);
+                self.cache.insert_if_absent(&key, ok);
                 ok
             }
         }
@@ -160,9 +166,15 @@ where
         run: Box::new(move |cfg, v| runs_to_violation(&target, &m, cfg, v)),
         make_verdicts: Box::new(move || {
             let erased: Arc<dyn ErasedTarget + Send + Sync> = Arc::new(target);
+            let groups = if arg_flag("--no-symmetry") {
+                SymmetryGroups::default()
+            } else {
+                m2.symmetry_groups(target.symmetry_policy())
+            };
             Verdicts {
                 monitor: adt_monitor_backend(erased, &m2, kind),
-                cache: HashMap::new(),
+                groups,
+                cache: HistoryCache::new(1),
             }
         }),
     }
@@ -336,8 +348,12 @@ fn main() {
         "Random walk",
         "PCT d=5",
         "Coverage",
+        "verdict cache",
     ]);
     let mut samples: Vec<Sample> = Vec::new();
+    // Per case: canonical verdict-cache hits and distinct keys, summed
+    // over the case's DFS search and every sampling trial.
+    let mut cache_rows: Vec<(&'static str, u64, usize)> = Vec::new();
     let mut smoke_failed = false;
 
     for case in &cases {
@@ -404,6 +420,12 @@ fn main() {
             cells.push(sample.cell());
             samples.push(sample);
         }
+        cells.push(format!(
+            "{} hits / {} keys",
+            verdicts.cache.hits(),
+            verdicts.cache.len()
+        ));
+        cache_rows.push((case.key, verdicts.cache.hits(), verdicts.cache.len()));
         table.row(cells);
     }
 
@@ -428,6 +450,19 @@ fn main() {
         out.push_str(&format!("  \"trials\": {trials},\n"));
         out.push_str(&format!("  \"sampling_budget\": {budget},\n"));
         out.push_str(&format!("  \"dfs_budget\": {dfs_budget},\n"));
+        out.push_str(&format!(
+            "  \"symmetry\": {},\n",
+            !arg_flag("--no-symmetry")
+        ));
+        out.push_str("  \"verdict_cache\": [\n");
+        for (i, (key, hits, keys)) in cache_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{key}\", \"hits\": {hits}, \
+                 \"distinct_keys\": {keys}}}{}\n",
+                if i + 1 < cache_rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"results\": [\n");
         for (i, s) in samples.iter().enumerate() {
             out.push_str("    ");

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p lineup-bench --bin stress [--json] [--out PATH]
-//!     [--runs N] [--threads T] [--seed S] [--emit PATH]
+//!     [--runs N] [--threads T] [--seed S] [--emit PATH] [--no-symmetry]
 //! ```
 //!
 //! `--emit PATH` additionally streams every run as wire-format events
@@ -121,6 +121,9 @@ where
             stop_at_first_violation: seeded,
             run_timeout: Duration::from_secs(5),
             recorder,
+            // Canonical (thread-symmetric) verdict-cache keys unless the
+            // escape hatch is set.
+            symmetry: !arg_flag("--no-symmetry"),
             ..StressOptions::default()
         },
     );

@@ -15,7 +15,7 @@
 //! intended behaviour — exactly what happened in the paper, where the
 //! developers updated the documentation instead of the code.
 
-use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup::{Invocation, SymmetryPolicy, TestInstance, TestTarget, Value};
 use lineup_sync::{DataCell, Mutex, VolatileCell};
 
 use crate::support::{int_arg, try_result, Variant};
@@ -248,6 +248,14 @@ impl TestTarget for ConcurrentBagTarget {
             Invocation::new("IsEmpty"),
             Invocation::new("ToArray"),
         ]
+    }
+
+    /// [`SymmetryPolicy::Disabled`]: the bag's per-thread work-stealing
+    /// slots make behaviour depend on
+    /// *which* thread performed an `Add`, so renaming threads changes
+    /// observable results even for identical operation sequences.
+    fn symmetry_policy(&self) -> SymmetryPolicy {
+        SymmetryPolicy::Disabled
     }
 }
 

@@ -9,7 +9,7 @@
 //! concurrent `TryAdd`/`TryRemove` lose count updates and `Count` reports
 //! values impossible under any serialization.
 
-use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup::{Invocation, SymmetryPolicy, TestInstance, TestTarget, Value};
 use lineup_sync::{DataCell, Mutex};
 
 use crate::support::{int_arg, try_result, Variant};
@@ -298,6 +298,14 @@ impl TestTarget for ConcurrentDictionaryTarget {
         invs.push(Invocation::new("IsEmpty"));
         invs.push(Invocation::new("Clear"));
         invs
+    }
+
+    /// [`SymmetryPolicy::Full`]: key/value payloads only flow through
+    /// equality on distinct fresh
+    /// values, so threads running the same operation shapes are
+    /// interchangeable up to renaming those values.
+    fn symmetry_policy(&self) -> SymmetryPolicy {
+        SymmetryPolicy::Full
     }
 }
 

@@ -13,7 +13,7 @@
 //! `TryTake` failing on a queue that provably contains elements, which is
 //! not linearizable with respect to any deterministic specification.
 
-use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup::{Invocation, SymmetryPolicy, TestInstance, TestTarget, Value};
 use lineup_sync::{Atomic, DataCell, Mutex};
 
 use crate::support::{int_arg, try_result, Variant};
@@ -313,6 +313,14 @@ impl TestTarget for ConcurrentQueueTarget {
             Invocation::new("IsEmpty"),
             Invocation::new("ToArray"),
         ]
+    }
+
+    /// [`SymmetryPolicy::Full`]: the queue's synchronization never
+    /// inspects the enqueued payloads, so threads
+    /// running the same operation shapes with distinct fresh values are
+    /// interchangeable up to renaming those values.
+    fn symmetry_policy(&self) -> SymmetryPolicy {
+        SymmetryPolicy::Full
     }
 }
 

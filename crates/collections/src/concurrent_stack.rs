@@ -9,7 +9,7 @@
 //! between two iterations, so the returned "range" is not a contiguous
 //! stack segment in any serialization.
 
-use lineup::{Invocation, TestInstance, TestTarget, Value};
+use lineup::{Invocation, SymmetryPolicy, TestInstance, TestTarget, Value};
 use lineup_sync::Atomic;
 
 use crate::support::{int_arg, try_result, Variant};
@@ -258,6 +258,14 @@ impl TestTarget for ConcurrentStackTarget {
             Invocation::new("Clear"),
             Invocation::new("ToArray"),
         ]
+    }
+
+    /// [`SymmetryPolicy::Full`]: the stack's synchronization never
+    /// inspects the pushed payloads, so threads
+    /// running the same operation shapes with distinct fresh values are
+    /// interchangeable up to renaming those values.
+    fn symmetry_policy(&self) -> SymmetryPolicy {
+        SymmetryPolicy::Full
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use lineup::{AdtKind, ErasedTarget, Invocation, TestMatrix};
+use lineup::{AdtKind, ErasedTarget, Invocation, SymmetryPolicy, TestMatrix};
 
 pub use crate::support::Variant;
 
@@ -136,6 +136,18 @@ impl ClassEntry {
     /// A shareable handle to the target (for parallel drivers).
     pub fn target_arc(&self) -> Arc<dyn ErasedTarget + Send + Sync> {
         Arc::clone(&self.target)
+    }
+
+    /// The class's thread-symmetry annotation (see [`SymmetryPolicy`]):
+    /// how far symmetric-schedule pruning and canonical history
+    /// deduplication may go when checking it. Data-independent
+    /// collections (queue, stack, dictionary) declare
+    /// [`SymmetryPolicy::Full`]; `ConcurrentBag` disables symmetry
+    /// entirely because its per-thread steal slots make behaviour depend
+    /// on thread identity; everything else keeps the literal-column
+    /// default.
+    pub fn symmetry_policy(&self) -> SymmetryPolicy {
+        self.target.symmetry_policy()
     }
 
     /// Targeted regression test matrices known to exercise this entry's
@@ -488,6 +500,22 @@ mod tests {
             .filter(|c| c.kind() == RootCauseKind::IntentionalNonlinearizability)
             .count();
         assert_eq!((bugs, nondet, nonlin), (7, 3, 2));
+    }
+
+    #[test]
+    fn symmetry_annotations_match_the_class_semantics() {
+        for e in all_classes() {
+            let expected = match e.name.trim_end_matches(" (Pre)") {
+                // Data-independent collections: payloads are opaque.
+                "ConcurrentQueue" | "ConcurrentStack" | "ConcurrentDictionary" => {
+                    SymmetryPolicy::Full
+                }
+                // Thread-identity-sensitive: per-thread steal slots.
+                "ConcurrentBag" => SymmetryPolicy::Disabled,
+                _ => SymmetryPolicy::ThreadsOnly,
+            };
+            assert_eq!(e.symmetry_policy(), expected, "{}", e.name);
+        }
     }
 
     #[test]

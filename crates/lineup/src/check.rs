@@ -2,9 +2,8 @@
 //! specification from serial executions, then verify every concurrent
 //! execution against it.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -17,8 +16,8 @@ use lineup_sched::{
 
 use crate::adt::MonitorPathStats;
 use crate::harness::{explore_matrix, explore_matrix_with_strategy};
-use crate::history::{History, OpIndex};
-use crate::matrix::TestMatrix;
+use crate::history::{History, HistoryCache, OpIndex};
+use crate::matrix::{SymmetryGroups, TestMatrix};
 use crate::spec::{Nondeterminism, ObservationSet, SerialHistory, SpecIndex};
 use crate::target::TestTarget;
 use crate::witness::{find_witness, WitnessQuery};
@@ -140,6 +139,22 @@ pub struct CheckOptions {
     /// because sleep sets are unsound under preemption bounding. Phase 1
     /// (serial mode) is never reduced.
     pub por: bool,
+    /// Thread-symmetry reduction for phase 2 (default `true`): threads
+    /// whose matrix columns are identical up to value renaming (see
+    /// [`crate::SymmetryPolicy`] and
+    /// [`TestMatrix::symmetry_groups`]) are interchangeable, so
+    /// (a) among never-started symmetric threads only the lowest-indexed
+    /// may be scheduled first — the skipped orders yield renamings of
+    /// explored histories — and (b) the phase-2 verdict cache keys on the
+    /// *canonical* form of each history
+    /// ([`SymmetryGroups::canonicalize`]), so one witness search covers a
+    /// whole renaming class and violation lists report one history per
+    /// class. Schedule pruning only engages where sleep sets would
+    /// (exhaustive DFS-family exploration, no preemption bound); the
+    /// canonical verdict cache is active whenever this flag is on. Targets
+    /// whose behaviour depends on thread identity opt out via
+    /// [`crate::SymmetryPolicy::Disabled`] regardless of this flag.
+    pub symmetry: bool,
     /// Same-thread continuation fast path in the scheduler (default
     /// `true`): when the strategy keeps the baton on the running thread,
     /// the schedule point is recorded inline without a park/unpark pair.
@@ -202,6 +217,7 @@ impl CheckOptions {
             workers: 1,
             split_depth: None,
             por: true,
+            symmetry: true,
             fast_path: true,
             backend: Backend::default_backend(),
             parallel_probe_runs: 256,
@@ -276,6 +292,13 @@ impl CheckOptions {
     /// [`CheckOptions::por`]), builder style.
     pub fn with_por(mut self, enabled: bool) -> Self {
         self.por = enabled;
+        self
+    }
+
+    /// Enables or disables thread-symmetry reduction (see
+    /// [`CheckOptions::symmetry`]), builder style.
+    pub fn with_symmetry(mut self, enabled: bool) -> Self {
+        self.symmetry = enabled;
         self
     }
 
@@ -382,6 +405,17 @@ pub struct PhaseStats {
     /// in [`runs`](Self::runs); always zero in phase 1 and when
     /// [`CheckOptions::with_por`] is off or disengaged.
     pub sleep_prunes: u64,
+    /// Candidate threads masked by thread-symmetry reduction at schedule
+    /// points: each masked thread is a sibling subtree not explored
+    /// because its schedules are value-renamings of the chosen
+    /// representative's (see [`CheckOptions::symmetry`]). Always zero in
+    /// phase 1, and whenever symmetry pruning is off or disengaged
+    /// (preemption-bounded or sampled exploration).
+    pub symmetry_prunes: u64,
+    /// Phase-2 verdict-cache hits: runs whose (canonicalized) history had
+    /// already received a witness-search verdict through another schedule
+    /// or a symmetric renaming. Always zero in phase 1.
+    pub phase2_cache_hits: u64,
     /// Total schedule points across all runs of the phase.
     pub total_steps: u64,
     /// Schedule points that took the scheduler's same-thread continuation
@@ -625,6 +659,10 @@ pub fn check_against_spec<T: TestTarget>(
         total.full_histories = total.full_histories.saturating_add(stats.full_histories);
         total.stuck_histories = total.stuck_histories.saturating_add(stats.stuck_histories);
         total.sleep_prunes = total.sleep_prunes.saturating_add(stats.sleep_prunes);
+        total.symmetry_prunes = total.symmetry_prunes.saturating_add(stats.symmetry_prunes);
+        total.phase2_cache_hits = total
+            .phase2_cache_hits
+            .saturating_add(stats.phase2_cache_hits);
         total.total_steps = total.total_steps.saturating_add(stats.total_steps);
         total.fast_path_steps = total.fast_path_steps.saturating_add(stats.fast_path_steps);
         total.handoffs = total.handoffs.saturating_add(stats.handoffs);
@@ -669,9 +707,14 @@ fn check_against_spec_at<T: TestTarget>(
     let paths_before = monitor_path_snapshot(options);
     let index = spec.index();
     let mut violations = Vec::new();
+    // Thread-symmetry structure of the test (empty when disabled): feeds
+    // both schedule pruning (masks, through the scheduler config) and the
+    // canonical verdict-cache keys below.
+    let groups = symmetry_groups_for(target, matrix, options);
     // Verdict cache: phase 2 visits the same history through many
-    // schedules; each distinct history needs only one witness search.
-    let mut seen: HashMap<History, bool> = HashMap::new();
+    // schedules — and, under symmetry, through renamings — so each
+    // canonical class needs only one witness search.
+    let cache: HistoryCache<CachedVerdict> = HistoryCache::new(1);
     // Specifications of the sub-tests obtained by dropping spuriously-
     // failed operations, synthesized on demand (phase 1 is cheap, §5.4)
     // and cached per removal set.
@@ -682,6 +725,7 @@ fn check_against_spec_at<T: TestTarget>(
 
     let mut config = Config::exhaustive()
         .with_por(options.por)
+        .with_symmetry(groups.masks())
         .with_fast_path(options.fast_path)
         .with_backend(options.backend);
     config.preemption_bound = preemption_bound;
@@ -715,9 +759,11 @@ fn check_against_spec_at<T: TestTarget>(
                 ok = false;
             }
             RunOutcome::Complete => {
-                // A history already seen (through another schedule) was
-                // already checked — and reported, if it was a violation.
-                if !seen.contains_key(&run.history) {
+                // A history already seen (through another schedule, or as
+                // a symmetric renaming) was already checked — and
+                // reported, if it was a violation.
+                let key = groups.canonicalize(&run.history);
+                if cache.get(&key).is_none() {
                     full = full.saturating_add(1);
                     let verdict = full_verdict(
                         target,
@@ -727,7 +773,6 @@ fn check_against_spec_at<T: TestTarget>(
                         &mut sub_specs,
                         &run.history,
                     );
-                    seen.insert(run.history.clone(), !verdict.is_violation());
                     if verdict.is_violation() {
                         violations.push(Violation::NoWitness {
                             history: run.history.clone(),
@@ -735,10 +780,12 @@ fn check_against_spec_at<T: TestTarget>(
                         });
                         ok = false;
                     }
+                    cache.insert_if_absent(&key, verdict);
                 }
             }
             RunOutcome::Deadlock | RunOutcome::Livelock | RunOutcome::StuckSerial => {
-                if !seen.contains_key(&run.history) {
+                let key = groups.canonicalize(&run.history);
+                if cache.get(&key).is_none() {
                     stuck = stuck.saturating_add(1);
                     let verdict = stuck_verdict(
                         target,
@@ -748,17 +795,17 @@ fn check_against_spec_at<T: TestTarget>(
                         &mut sub_specs,
                         &run.history,
                     );
-                    seen.insert(run.history.clone(), !verdict.is_violation());
-                    if let CachedVerdict::StuckNoWitness { reduced, pending } = verdict {
+                    if let CachedVerdict::StuckNoWitness { reduced, pending } = &verdict {
                         // Report the reduced history so the pending index
                         // refers to the checked history.
                         violations.push(Violation::StuckNoWitness {
-                            history: reduced,
-                            pending,
+                            history: reduced.clone(),
+                            pending: *pending,
                             decisions: run.decisions.clone(),
                         });
                         ok = false;
                     }
+                    cache.insert_if_absent(&key, verdict);
                 }
             }
         }
@@ -774,6 +821,8 @@ fn check_against_spec_at<T: TestTarget>(
         full_histories: full,
         stuck_histories: stuck,
         sleep_prunes: stats.sleep_prunes,
+        symmetry_prunes: stats.symmetry_prunes,
+        phase2_cache_hits: cache.hits(),
         total_steps: stats.total_steps,
         fast_path_steps: stats.fast_path_steps,
         handoffs: stats.handoffs,
@@ -787,6 +836,25 @@ fn check_against_spec_at<T: TestTarget>(
     (violations, phase)
 }
 
+/// The thread-symmetry structure phase 2 works with: the matrix's groups
+/// under the target's policy, or the empty structure when the check's
+/// [`symmetry`](CheckOptions::symmetry) flag is off (the `--no-symmetry`
+/// escape hatch). Empty groups make [`SymmetryGroups::canonicalize`] the
+/// identity and [`SymmetryGroups::masks`] empty, so both the schedule
+/// pruning and the canonical cache keys degrade to the unreduced
+/// behaviour.
+fn symmetry_groups_for<T: TestTarget>(
+    target: &T,
+    matrix: &TestMatrix,
+    options: &CheckOptions,
+) -> SymmetryGroups {
+    if options.symmetry {
+        matrix.symmetry_groups(target.symmetry_policy())
+    } else {
+        SymmetryGroups::default()
+    }
+}
+
 /// The monitor backend's cumulative path counters right now (zeroes when
 /// no backend is configured, or it does not report paths). Phases report
 /// the difference between two snapshots.
@@ -798,10 +866,11 @@ fn monitor_path_snapshot(options: &CheckOptions) -> MonitorPathStats {
         .unwrap_or_default()
 }
 
-/// Verdict of one witness search, cached per distinct history and shared
-/// by all phase-2 workers: the verdict of a history is a pure function of
-/// the history (and the fixed spec/options), so whichever worker computes
-/// it first can publish it for everyone.
+/// Verdict of one witness search, cached per canonical history class
+/// (in a [`HistoryCache`]) and shared by all phase-2 workers: the verdict
+/// of a history is a pure function of the history (and the fixed
+/// spec/options), invariant under symmetric renaming, so whichever worker
+/// computes it first can publish it for the whole class.
 #[derive(Clone)]
 enum CachedVerdict {
     /// A serial witness exists.
@@ -810,57 +879,18 @@ enum CachedVerdict {
     NoWitness,
     /// Some pending operation of a stuck history has no stuck witness
     /// (Definition 2). Stores the spurious-reduced history the pending
-    /// index refers to, so cache hits can report the violation without
-    /// redoing the reduction.
+    /// index refers to, so serial cache hits can report the violation
+    /// without redoing the reduction. The *pending index* is invariant
+    /// across the canonical class (canonicalization and spurious
+    /// reduction both preserve operation positions); the stored history
+    /// is whichever class member was checked first, so the parallel path
+    /// rebuilds the reported history from its local run instead.
     StuckNoWitness { reduced: History, pending: OpIndex },
 }
 
 impl CachedVerdict {
     fn is_violation(&self) -> bool {
         !matches!(self, CachedVerdict::Pass)
-    }
-}
-
-/// A sharded `History → CachedVerdict` map. Sharding by history hash keeps
-/// lock hold times short: workers computing verdicts for different
-/// histories rarely contend, and the (expensive) witness search always
-/// happens outside any lock.
-struct VerdictCache {
-    shards: Vec<Mutex<HashMap<History, CachedVerdict>>>,
-}
-
-impl VerdictCache {
-    fn new(shards: usize) -> Self {
-        VerdictCache {
-            shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
-        }
-    }
-
-    fn shard(&self, history: &History) -> &Mutex<HashMap<History, CachedVerdict>> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        history.hash(&mut hasher);
-        &self.shards[hasher.finish() as usize % self.shards.len()]
-    }
-
-    fn get(&self, history: &History) -> Option<CachedVerdict> {
-        self.shard(history).lock().unwrap().get(history).cloned()
-    }
-
-    /// Publishes `verdict` for `history` unless another worker won the
-    /// race; returns the verdict now in the cache and whether ours was the
-    /// one inserted (so each distinct history is counted exactly once).
-    fn insert_if_absent(&self, history: &History, verdict: CachedVerdict) -> (CachedVerdict, bool) {
-        use std::collections::hash_map::Entry;
-        let mut map = self.shard(history).lock().unwrap();
-        match map.entry(history.clone()) {
-            Entry::Occupied(e) => (e.get().clone(), false),
-            Entry::Vacant(e) => {
-                e.insert(verdict.clone());
-                (verdict, true)
-            }
-        }
     }
 }
 
@@ -955,9 +985,10 @@ fn stuck_verdict<T: TestTarget>(
 /// would have reported.
 struct Claim {
     decisions: Vec<usize>,
-    /// History key for deduplication (the raw, unreduced history, matching
-    /// the serial path's `seen` map); `None` for panics, which are
-    /// reported per occurrence like the serial path does.
+    /// History key for deduplication (the canonicalized, unreduced
+    /// history, matching the serial path's verdict-cache key); `None` for
+    /// panics, which are reported per occurrence like the serial path
+    /// does.
     key: Option<History>,
     violation: Violation,
 }
@@ -972,8 +1003,9 @@ struct Claim {
 /// lazily — only when a thief actually claims the task; no schedule is
 /// ever executed twice. Every worker runs the same depth-first search
 /// the serial checker would, against a freshly-constructed target per
-/// run; verdicts are shared through a [`VerdictCache`]; violations are
-/// claimed with their decision vector and merged in lexicographic
+/// run; verdicts are shared through a canonically-keyed [`HistoryCache`];
+/// violations are claimed with their decision vector and merged in
+/// lexicographic
 /// (= serial DFS) order at the end, so verdicts, violation order, and
 /// witness histories are byte-identical to the serial checker's for any
 /// worker count.
@@ -1014,9 +1046,11 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     let start = std::time::Instant::now();
     let paths_before = monitor_path_snapshot(options);
     let index = spec.index();
+    let groups = symmetry_groups_for(target, matrix, options);
 
     let mut config = Config::exhaustive()
         .with_por(options.por)
+        .with_symmetry(groups.masks())
         .with_fast_path(options.fast_path)
         .with_backend(options.backend);
     config.preemption_bound = preemption_bound;
@@ -1049,7 +1083,8 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         }
     };
 
-    let cache = VerdictCache::new((options.workers * 8).next_power_of_two());
+    let cache: HistoryCache<CachedVerdict> =
+        HistoryCache::new((options.workers * 8).next_power_of_two());
     let full_count = AtomicUsize::new(0);
     let stuck_count = AtomicUsize::new(0);
     let claims: Mutex<Vec<Claim>> = Mutex::new(Vec::new());
@@ -1066,6 +1101,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
     std::thread::scope(|scope| {
         for w in 0..options.workers {
             let (pool, cancel, cache, claims) = (&pool, &cancel, &cache, &claims);
+            let groups = &groups;
             let (runs_done, process_run) = (&runs_done, &process_run);
             let (full_count, stuck_count, index) = (&full_count, &stuck_count, &index);
             let (budget_exhausted, worker_stats) = (&budget_exhausted, &worker_stats);
@@ -1159,7 +1195,8 @@ fn check_against_spec_at_parallel<T: TestTarget>(
                                 | RunOutcome::Deadlock
                                 | RunOutcome::Livelock
                                 | RunOutcome::StuckSerial => {
-                                    let verdict = match cache.get(&run.history) {
+                                    let key = groups.canonicalize(&run.history);
+                                    let verdict = match cache.get(&key) {
                                         Some(v) => v,
                                         None => {
                                             // Witness search runs outside any
@@ -1187,7 +1224,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
                                                 )
                                             };
                                             let (v, inserted) =
-                                                cache.insert_if_absent(&run.history, computed);
+                                                cache.insert_if_absent(&key, computed);
                                             if inserted {
                                                 if run.outcome == RunOutcome::Complete {
                                                     full_count.fetch_add(1, Ordering::SeqCst);
@@ -1205,7 +1242,18 @@ fn check_against_spec_at_parallel<T: TestTarget>(
                                                 history: run.history.clone(),
                                                 decisions: run.decisions.clone(),
                                             },
-                                            CachedVerdict::StuckNoWitness { reduced, pending } => {
+                                            CachedVerdict::StuckNoWitness { pending, .. } => {
+                                                // The cached reduced history
+                                                // belongs to whichever class
+                                                // member raced in first;
+                                                // rebuild from the local run
+                                                // so the surviving lex-least
+                                                // claim reports exactly what
+                                                // the serial checker would.
+                                                let (reduced, _) = reduce_spurious(
+                                                    &run.history,
+                                                    &options.spurious_failures,
+                                                );
                                                 Violation::StuckNoWitness {
                                                     history: reduced,
                                                     pending,
@@ -1216,7 +1264,7 @@ fn check_against_spec_at_parallel<T: TestTarget>(
                                         };
                                         claims.lock().unwrap().push(Claim {
                                             decisions: run.decisions.clone(),
-                                            key: Some(run.history.clone()),
+                                            key: Some(key),
                                             violation,
                                         });
                                     }
@@ -1305,6 +1353,8 @@ fn check_against_spec_at_parallel<T: TestTarget>(
         full_histories: full_count.load(Ordering::SeqCst),
         stuck_histories: stuck_count.load(Ordering::SeqCst),
         sleep_prunes: sched_stats.sleep_prunes,
+        symmetry_prunes: sched_stats.symmetry_prunes,
+        phase2_cache_hits: cache.hits(),
         total_steps: sched_stats.total_steps,
         fast_path_steps: sched_stats.fast_path_steps,
         handoffs: sched_stats.handoffs,

@@ -11,7 +11,7 @@ use crate::check::{check, synthesize_spec, CheckOptions, CheckReport, PhaseStats
 use crate::matrix::TestMatrix;
 use crate::shrink::shrink_failing_test;
 use crate::spec::ObservationSet;
-use crate::target::{Invocation, TestTarget};
+use crate::target::{Invocation, SymmetryPolicy, TestTarget};
 
 /// An object-safe facade over [`TestTarget`] plus the crate's checking
 /// entry points. Implemented for every `TestTarget` via a blanket impl.
@@ -20,6 +20,8 @@ pub trait ErasedTarget: Sync {
     fn name(&self) -> &str;
     /// See [`TestTarget::invocations`].
     fn invocations(&self) -> Vec<Invocation>;
+    /// See [`TestTarget::symmetry_policy`].
+    fn symmetry_policy(&self) -> SymmetryPolicy;
     /// Runs [`check`] on this target.
     fn check(&self, matrix: &TestMatrix, options: &CheckOptions) -> CheckReport;
     /// Runs [`random_check`] on this target.
@@ -47,6 +49,10 @@ impl<T: TestTarget> ErasedTarget for T {
 
     fn invocations(&self) -> Vec<Invocation> {
         TestTarget::invocations(self)
+    }
+
+    fn symmetry_policy(&self) -> SymmetryPolicy {
+        TestTarget::symmetry_policy(self)
     }
 
     fn check(&self, matrix: &TestMatrix, options: &CheckOptions) -> CheckReport {

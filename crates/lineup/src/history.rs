@@ -6,7 +6,12 @@
 
 use crate::target::Invocation;
 use crate::value::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Index of an operation within a [`History`].
 pub type OpIndex = usize;
@@ -288,6 +293,98 @@ impl History {
     }
 }
 
+/// A sharded history-keyed verdict cache: the one duplicate-history cache
+/// shared by phase-2 checking (`check`), the stress runner, and the
+/// monitoring server's shards.
+///
+/// Callers key it on the *canonical* form of each history
+/// ([`SymmetryGroups::canonicalize`](crate::SymmetryGroups::canonicalize)),
+/// so a cached verdict covers the history's whole symmetry class: phase 2
+/// computes one monitor verdict per class instead of one per renaming.
+/// With empty symmetry groups canonicalization is the identity and the
+/// cache degenerates to the raw duplicate-history cache the stress bin
+/// originally grew.
+///
+/// Sharded by history hash so parallel workers rarely contend on one
+/// mutex; single-threaded consumers simply use one shard. Hits (a `get`
+/// that found an entry) are counted across all shards for the
+/// `phase2_cache_hits` statistics.
+#[derive(Debug)]
+pub struct HistoryCache<V> {
+    shards: Vec<Mutex<HashMap<History, V>>>,
+    hits: AtomicU64,
+}
+
+impl<V: Clone> HistoryCache<V> {
+    /// Shard count used by parallel consumers: comfortably more than the
+    /// worker counts in play, so two workers rarely map to one mutex.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a cache with the given number of shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        HistoryCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &History) -> &Mutex<HashMap<History, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a verdict by (canonical) history key, counting a hit when
+    /// one is found.
+    pub fn get(&self, key: &History) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts a verdict unless another consumer beat us to it; returns
+    /// the verdict now in the cache and whether this call inserted it.
+    /// The first-wins discipline keeps concurrent workers agreeing on one
+    /// verdict per class even if they raced to compute it.
+    pub fn insert_if_absent(&self, key: &History, verdict: V) -> (V, bool) {
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        match shard.get(key) {
+            Some(existing) => (existing.clone(), false),
+            None => {
+                shard.insert(key.clone(), verdict.clone());
+                (verdict, true)
+            }
+        }
+    }
+
+    /// Total `get` hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct (canonical) histories cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 impl fmt::Display for History {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for ev in &self.events {
@@ -499,6 +596,41 @@ mod tests {
         let (same, map) = h.without_ops(&std::collections::BTreeSet::new());
         assert_eq!(same, h);
         assert!(map.iter().enumerate().all(|(i, m)| *m == Some(i)));
+    }
+
+    #[test]
+    fn history_cache_counts_hits_and_first_insert_wins() {
+        let cache: HistoryCache<bool> = HistoryCache::new(4);
+        let mut h = History::new(1);
+        let a = h.push_call(0, inv("x"));
+        h.push_return(a, Value::Unit);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&h), None);
+        assert_eq!(cache.hits(), 0, "a miss is not a hit");
+        let (v, inserted) = cache.insert_if_absent(&h, true);
+        assert!(v && inserted);
+        let (v, inserted) = cache.insert_if_absent(&h, false);
+        assert!(v, "first verdict wins");
+        assert!(!inserted);
+        assert_eq!(cache.get(&h), Some(true));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn history_cache_distinguishes_histories() {
+        let cache: HistoryCache<u32> = HistoryCache::new(1);
+        let mut h1 = History::new(1);
+        let a = h1.push_call(0, inv("x"));
+        h1.push_return(a, Value::Int(1));
+        let mut h2 = History::new(1);
+        let a = h2.push_call(0, inv("x"));
+        h2.push_return(a, Value::Int(2));
+        cache.insert_if_absent(&h1, 10);
+        cache.insert_if_absent(&h2, 20);
+        assert_eq!(cache.get(&h1), Some(10));
+        assert_eq!(cache.get(&h2), Some(20));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -75,14 +75,14 @@ pub use check::{
 };
 pub use erased::ErasedTarget;
 pub use harness::{explore_matrix, explore_matrix_with_strategy, replay_matrix, MatrixRun};
-pub use history::{Event, History, OpIndex, Operation};
+pub use history::{Event, History, HistoryCache, OpIndex, Operation};
 pub use lineup_sched::Backend;
-pub use matrix::TestMatrix;
+pub use matrix::{SymmetryGroups, TestMatrix};
 pub use observation::{parse_observation_file, write_observation_file};
 pub use report::render_violation;
 pub use shrink::shrink_failing_test;
 pub use spec::{Nondeterminism, ObservationSet, Outcome, SerialHistory, SpecOp};
-pub use target::{Invocation, TestInstance, TestTarget};
+pub use target::{Invocation, SymmetryPolicy, TestInstance, TestTarget};
 pub use value::Value;
 pub use witness::{find_witness, is_witness, WitnessQuery};
 

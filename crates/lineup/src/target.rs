@@ -54,6 +54,42 @@ impl fmt::Display for Invocation {
     }
 }
 
+/// How far thread-symmetry reduction may go for a target (see
+/// [`TestMatrix::symmetry_groups`](crate::TestMatrix::symmetry_groups)).
+///
+/// Symmetry reduction treats two test threads as interchangeable when they
+/// execute the same operation sequence — scheduling them in either order
+/// yields histories that are renamings of each other, so only one order
+/// needs exploring and only one renaming needs a phase-2 verdict. How much
+/// of that is true depends on the *target*, which is why the policy lives
+/// on [`TestTarget`] rather than on the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymmetryPolicy {
+    /// Threads are interchangeable even when their operations carry
+    /// *different* argument values, as long as renaming the values along
+    /// with the threads maps the matrix onto itself (the values must be
+    /// fresh — used nowhere else in the matrix). Correct for
+    /// data-independent collections (queues, stacks, dictionaries with
+    /// distinct keys): their synchronization behaviour does not depend on
+    /// *which* payload is stored, only on the operation sequence. Wrong
+    /// for targets that branch on payload values (e.g. a priority queue
+    /// ordering elements), which must stay at
+    /// [`SymmetryPolicy::ThreadsOnly`].
+    Full,
+    /// Threads are interchangeable only when their operation sequences are
+    /// *literally* identical (same names, same argument values). This
+    /// requires nothing of the target beyond determinism, so it is the
+    /// default.
+    #[default]
+    ThreadsOnly,
+    /// No two threads are interchangeable: the target's behaviour depends
+    /// on thread identity itself. `ConcurrentBag` is the canonical case —
+    /// its per-thread work-stealing slots make `Add` from thread 1 then
+    /// `TryTake` from thread 2 observably different from the renamed
+    /// execution, even for identical operation sequences.
+    Disabled,
+}
+
 /// One live instance of the component under test, created fresh for every
 /// execution by [`TestTarget::create`] and shared by the test's threads.
 ///
@@ -133,6 +169,15 @@ pub trait TestTarget: Sync {
     /// this list as its sets `I_n`; [`random_check`](crate::auto::random_check)
     /// samples from it uniformly).
     fn invocations(&self) -> Vec<Invocation>;
+
+    /// How far thread-symmetry reduction may go for this target (see
+    /// [`SymmetryPolicy`]). Defaults to the universally safe
+    /// [`SymmetryPolicy::ThreadsOnly`]; data-independent collections
+    /// should override with [`SymmetryPolicy::Full`], thread-identity-
+    /// sensitive ones with [`SymmetryPolicy::Disabled`].
+    fn symmetry_policy(&self) -> SymmetryPolicy {
+        SymmetryPolicy::ThreadsOnly
+    }
 }
 
 #[cfg(test)]

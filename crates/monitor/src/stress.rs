@@ -20,15 +20,14 @@
 //! returns), which the monitor then rejects unless blocking there is
 //! serially justified.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use lineup::{
-    AdtKind, History, Invocation, ObservationSet, OpIndex, TestInstance, TestMatrix, TestTarget,
-    Value,
+    AdtKind, History, HistoryCache, Invocation, ObservationSet, OpIndex, SymmetryGroups,
+    TestInstance, TestMatrix, TestTarget, Value,
 };
 use lineup_sched::{register_native_thread, NativeOptions};
 use lineup_wire::StreamRecorder;
@@ -56,6 +55,13 @@ pub struct StressOptions {
     pub async_methods: Vec<String>,
     /// Stop the campaign at the first monitor rejection.
     pub stop_at_first_violation: bool,
+    /// Key the per-history verdict cache on the *canonical* form of each
+    /// history (default `true`): runs that differ only by renaming
+    /// symmetric threads (per the target's
+    /// [`lineup::SymmetryPolicy`]) share one monitor verdict, so OS
+    /// schedules that merely permute interchangeable threads cost no
+    /// monitor work. `false` falls back to literal history keys.
+    pub symmetry: bool,
     /// Collect the serial witnesses of accepted complete histories into
     /// [`StressReport::witnesses`] (an extra unpartitioned search per
     /// distinct history).
@@ -78,6 +84,7 @@ impl Default for StressOptions {
             run_timeout: Duration::from_secs(2),
             async_methods: Vec::new(),
             stop_at_first_violation: true,
+            symmetry: true,
             collect_witnesses: false,
             recorder: None,
         }
@@ -190,10 +197,11 @@ pub struct StressReport {
     /// pending operation of distinct stuck histories).
     pub monitor_checks: u64,
     /// Runs whose history was already checked (verdict served from the
-    /// per-history cache — no monitor work done). `runs` =
-    /// `distinct_histories + history_cache_hits` when no run is cut off
-    /// early, so throughput derived from `monitor_checks` measures fresh
-    /// monitor work only.
+    /// canonically-keyed [`HistoryCache`] — no monitor work done),
+    /// counting both literal repeats and symmetric renamings of checked
+    /// histories. `runs` = `distinct_histories + history_cache_hits` when
+    /// no run is cut off early, so throughput derived from
+    /// `monitor_checks` measures fresh monitor work only.
     pub history_cache_hits: u64,
     /// The monitor's own counters accumulated over this campaign (oracle
     /// steps, memo hits, specialized-vs-fallback paths).
@@ -235,9 +243,10 @@ fn lock_history(h: &Mutex<History>) -> MutexGuard<'_, History> {
 ///
 /// The history shape matches the model checker's: columns record on thread
 /// indexes `0..columns`, the final sequence (if any) on thread index
-/// `columns`, init operations are unrecorded. Verdicts are memoized per
-/// history, so the monitor runs once per *distinct* history no matter how
-/// often the OS scheduler reproduces it.
+/// `columns`, init operations are unrecorded. Verdicts are memoized in a
+/// [`HistoryCache`] keyed on each history's canonical form, so the
+/// monitor runs once per *distinct* history — up to renaming symmetric
+/// threads — no matter how often the OS scheduler reproduces one.
 pub fn run_stress<T, O>(
     target: &T,
     matrix: &TestMatrix,
@@ -253,7 +262,12 @@ where
     let thread_count = ncols + usize::from(!matrix.finally.is_empty());
     let start = Instant::now();
     let stats_before = monitor.stats();
-    let mut verdicts: HashMap<History, bool> = HashMap::new();
+    let groups = if options.symmetry {
+        matrix.symmetry_groups(target.symmetry_policy())
+    } else {
+        SymmetryGroups::default()
+    };
+    let verdicts: HistoryCache<bool> = HistoryCache::new(1);
     let mut report = StressReport {
         runs: 0,
         ops: 0,
@@ -278,8 +292,9 @@ where
             report.stuck_runs += 1;
         }
 
-        // Check each distinct history once.
-        let known = verdicts.contains_key(&history);
+        // Check each distinct (canonical) history once.
+        let key = groups.canonicalize(&history);
+        let known = verdicts.get(&key).is_some();
         if known {
             report.history_cache_hits += 1;
         }
@@ -319,7 +334,7 @@ where
                 ok
             };
             report.monitor_wall += t0.elapsed();
-            verdicts.insert(history, ok);
+            verdicts.insert_if_absent(&key, ok);
             if !ok && options.stop_at_first_violation {
                 break;
             }

@@ -197,6 +197,18 @@ pub struct Config {
     /// `tests/handoff_equivalence.rs` asserts by comparing explorations
     /// with the knob on and off.
     pub fast_path: bool,
+    /// Thread-symmetry groups of the test, one bitmask per group: each
+    /// mask names a maximal set of virtual threads that execute identical
+    /// programs up to value renaming (computed by the caller, e.g.
+    /// `TestMatrix::symmetry_groups` in `lineup`). Empty (the default)
+    /// means no symmetry reduction. When non-empty and
+    /// [`Config::effective_symmetry`] holds, the scheduler prunes
+    /// sibling orderings among *fresh* (not-yet-started) threads of the
+    /// same group: only the lowest-indexed fresh member may be scheduled
+    /// first, because any schedule starting with a higher-indexed member
+    /// is the image of an already-explored schedule under a group
+    /// permutation.
+    pub symmetry: Vec<u64>,
     /// Execution backend for the virtual threads (see [`Backend`]).
     /// Defaults to [`Backend::default_backend`]: fibers where supported,
     /// OS threads elsewhere. Purely a mechanism choice — explorations are
@@ -239,6 +251,7 @@ impl Config {
             workers: 1,
             split_depth: None,
             por: true,
+            symmetry: Vec::new(),
             fast_path: true,
             backend: Backend::default_backend(),
             fiber_stack_size: None,
@@ -354,6 +367,14 @@ impl Config {
         self
     }
 
+    /// Sets [`Config::symmetry`], builder style: one bitmask per
+    /// thread-symmetry group (see the field docs). Passing an empty
+    /// vector disables symmetry reduction.
+    pub fn with_symmetry(mut self, groups: Vec<u64>) -> Self {
+        self.symmetry = groups;
+        self
+    }
+
     /// Sets [`Config::fast_path`], builder style. Passing `false` forces
     /// the slow slot-based handoff at every schedule point (a debug knob
     /// for equivalence testing and for isolating the fast path's
@@ -402,6 +423,31 @@ impl Config {
     /// coverage feedback only *orders* exploration and never prunes it.
     pub fn effective_por(&self) -> bool {
         self.por
+            && self.mode == Mode::Concurrent
+            && self.preemption_bound.is_none()
+            && matches!(
+                self.strategy,
+                StrategyKind::Dfs | StrategyKind::PrefixDfs { .. } | StrategyKind::Frontier { .. }
+            )
+    }
+
+    /// Whether symmetry reduction is actually applied: it requires
+    /// non-empty [`Config::symmetry`] groups and the same exhaustive-
+    /// concurrent gate as [`Config::effective_por`] — concurrent mode, no
+    /// preemption bound, and a DFS / prefix-DFS / frontier strategy.
+    ///
+    /// The gating reasons mirror POR's. Under a preemption bound, pruning
+    /// a sibling ordering is unsound for the same reason sleep sets are:
+    /// the canonical (lowest-index-first) representative of a symmetry
+    /// class may cost more preemptions than the pruned member, so a
+    /// bounded search could lose the class entirely. Serial phase-1 mode
+    /// must stay unpruned because the specification is the *set* of
+    /// serial observations — dropping a renamed serial run would shrink
+    /// the synthesized spec. Sampling strategies and replay make no
+    /// coverage claim a prune could rely on, and replay in particular
+    /// must reproduce recorded decisions verbatim.
+    pub fn effective_symmetry(&self) -> bool {
+        !self.symmetry.is_empty()
             && self.mode == Mode::Concurrent
             && self.preemption_bound.is_none()
             && matches!(
@@ -513,6 +559,58 @@ mod tests {
             !Config::coverage(1, 10).effective_por(),
             "coverage feedback orders exploration; it must never prune"
         );
+    }
+
+    #[test]
+    fn symmetry_gated_like_por() {
+        let sym = Config::exhaustive().with_symmetry(vec![0b011]);
+        assert!(sym.effective_symmetry());
+        assert!(
+            !Config::exhaustive().effective_symmetry(),
+            "no groups, no reduction"
+        );
+        assert!(!sym.clone().with_symmetry(Vec::new()).effective_symmetry());
+        let bounded = Config {
+            preemption_bound: Some(2),
+            ..sym.clone()
+        };
+        assert!(
+            !bounded.effective_symmetry(),
+            "sibling pruning is unsound under a preemption bound"
+        );
+        let serial = Config {
+            mode: Mode::Serial,
+            ..sym.clone()
+        };
+        assert!(
+            !serial.effective_symmetry(),
+            "phase 1 must enumerate every serial observation"
+        );
+        for strategy in [
+            StrategyKind::Random { seed: 1 },
+            StrategyKind::Pct { seed: 1, depth: 3 },
+            StrategyKind::Coverage { seed: 1 },
+            StrategyKind::Replay { decisions: vec![0] },
+        ] {
+            let c = Config {
+                strategy,
+                ..sym.clone()
+            };
+            assert!(!c.effective_symmetry());
+        }
+        let prefix = Config {
+            strategy: StrategyKind::PrefixDfs {
+                prefix: vec![0],
+                sleep: Vec::new(),
+            },
+            ..sym.clone()
+        };
+        assert!(prefix.effective_symmetry());
+        let frontier = Config {
+            strategy: StrategyKind::Frontier { depth: 2 },
+            ..sym
+        };
+        assert!(frontier.effective_symmetry());
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub struct ExploreStats {
     pub sleep_prunes: u64,
     /// Backtrack points inserted by DPOR happens-before analysis.
     pub backtrack_points: u64,
+    /// Candidate threads masked by symmetry reduction, summed over all
+    /// decisions of all runs (see
+    /// [`Config::symmetry`](crate::Config::symmetry)): each masked sibling
+    /// is a first-move alternative the search did not have to expand.
+    /// Zero when symmetry reduction is off or never engaged.
+    pub symmetry_prunes: u64,
     /// Total schedule points across all runs.
     pub total_steps: u64,
     /// Schedule points that took the same-thread continuation fast path
@@ -171,6 +177,7 @@ impl ExploreStats {
         self.step_limit = self.step_limit.saturating_add(other.step_limit);
         self.sleep_prunes = self.sleep_prunes.saturating_add(other.sleep_prunes);
         self.backtrack_points = self.backtrack_points.saturating_add(other.backtrack_points);
+        self.symmetry_prunes = self.symmetry_prunes.saturating_add(other.symmetry_prunes);
         self.total_steps = self.total_steps.saturating_add(other.total_steps);
         self.fast_path_steps = self.fast_path_steps.saturating_add(other.fast_path_steps);
         self.handoffs = self.handoffs.saturating_add(other.handoffs);
@@ -618,6 +625,7 @@ pub fn explore_with_strategy(
         }
         stats.fast_path_steps = stats.fast_path_steps.saturating_add(st.fast_path_steps);
         stats.handoffs = stats.handoffs.saturating_add(st.handoffs);
+        stats.symmetry_prunes = stats.symmetry_prunes.saturating_add(st.symmetry_prunes);
         let more = st.strategy.as_mut().expect("strategy present").end_run();
         drop(st);
 
@@ -1697,6 +1705,7 @@ mod tests {
             step_limit: 0,
             sleep_prunes: 2,
             backtrack_points: 1,
+            symmetry_prunes: 7,
             total_steps: 40,
             fast_path_steps: 30,
             handoffs: 10,
@@ -1721,6 +1730,7 @@ mod tests {
             step_limit: 0,
             sleep_prunes: 3,
             backtrack_points: 4,
+            symmetry_prunes: 5,
             total_steps: 60,
             fast_path_steps: 45,
             handoffs: 15,
@@ -1742,6 +1752,7 @@ mod tests {
         assert_eq!(a.livelock, 1);
         assert_eq!(a.sleep_prunes, 5);
         assert_eq!(a.backtrack_points, 5);
+        assert_eq!(a.symmetry_prunes, 12);
         assert_eq!(a.total_steps, 100);
         assert_eq!(a.fast_path_steps, 75);
         assert_eq!(a.handoffs, 25);

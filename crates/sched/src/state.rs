@@ -162,6 +162,26 @@ pub(crate) struct RtState {
     /// Baton handoffs through a wakeup slot this run (including the
     /// forced self-handoffs when the fast path is disabled).
     pub handoffs: u64,
+    /// Candidate threads masked by symmetry reduction this run, summed
+    /// over the run's decisions (see [`Config::symmetry`]): each masked
+    /// sibling is a first-move alternative the DFS did not have to expand.
+    pub symmetry_prunes: u64,
+    /// Whether [`Config::effective_symmetry`] held at construction
+    /// (cached; the gate never changes during an exploration).
+    sym_enabled: bool,
+    /// Per-decision symmetry reductions of the current run, indexed by the
+    /// strategy node id the decision reported ([`PorChoice::node`]): each
+    /// entry lists `(blocked_mask, representative)` pairs, one per
+    /// symmetry group that masked siblings at that node. Used to redirect
+    /// DPOR backtrack demands that land on a masked sibling onto its
+    /// representative — dropping such a demand would be unsound (the
+    /// sibling can never be expanded at that node, so the schedule the
+    /// demand was meant to cover would be lost), while scheduling the
+    /// representative explores that schedule's symmetric image.
+    sym_nodes: Vec<Vec<(u64, usize)>>,
+    /// Scratch for the current decision's reductions; copied into
+    /// `sym_nodes` once the strategy reports the node id.
+    sym_scratch: Vec<(u64, usize)>,
     /// Scratch buffers for [`pick_next`](RtState::pick_next), moved out
     /// for the duration of each decision so the hot path allocates
     /// nothing after warm-up.
@@ -182,9 +202,11 @@ impl std::fmt::Debug for RtState {
 impl RtState {
     pub fn new(config: Config, nthreads: usize, strategy: Box<dyn Strategy + Send>) -> Self {
         let por = config.effective_por().then(PorRun::new);
+        let sym_enabled = config.effective_symmetry();
         RtState {
             config,
             por,
+            sym_enabled,
             threads: (0..nthreads).map(|_| ThreadState::new()).collect(),
             current: None,
             step: 0,
@@ -200,6 +222,9 @@ impl RtState {
             slots: Vec::new(),
             fast_path_steps: 0,
             handoffs: 0,
+            symmetry_prunes: 0,
+            sym_nodes: Vec::new(),
+            sym_scratch: Vec::new(),
             enabled_buf: Vec::new(),
             cand_buf: Vec::new(),
         }
@@ -223,6 +248,10 @@ impl RtState {
         self.next_obj = 0;
         self.fast_path_steps = 0;
         self.handoffs = 0;
+        self.symmetry_prunes = 0;
+        for node in &mut self.sym_nodes {
+            node.clear();
+        }
         if let Some(por) = &mut self.por {
             por.reset();
         }
@@ -234,10 +263,11 @@ impl RtState {
     pub fn init_threads(&mut self, n: usize) {
         debug_assert!(self.threads.is_empty());
         assert!(
-            self.por.is_none() || n <= MAX_POR_THREADS,
-            "partial-order reduction supports at most {MAX_POR_THREADS} \
-             threads (sleep sets are u64 bitmasks); disable it with \
-             Config::with_por(false)"
+            (self.por.is_none() && !self.sym_enabled) || n <= MAX_POR_THREADS,
+            "partial-order reduction and symmetry reduction support at \
+             most {MAX_POR_THREADS} threads (sleep sets and group masks \
+             are u64 bitmasks); disable them with Config::with_por(false) \
+             and Config::with_symmetry(Vec::new())"
         );
         self.threads.extend((0..n).map(|_| ThreadState::new()));
         while self.slots.len() < n {
@@ -345,7 +375,13 @@ impl RtState {
                 if !demands.is_empty() {
                     let strategy = self.strategy.as_mut().expect("strategy present during run");
                     for d in demands {
-                        strategy.add_backtrack(d.node, d.thread);
+                        // A demand landing on a symmetry-masked sibling is
+                        // redirected to the group representative: the
+                        // sibling can never be expanded at that node, so
+                        // the representative must cover the demanded
+                        // schedule's symmetric image instead.
+                        let thread = Self::redirect_demand(&self.sym_nodes, d.node, d.thread);
+                        strategy.add_backtrack(d.node, thread);
                     }
                 }
             }
@@ -429,6 +465,28 @@ impl RtState {
             }
         }
 
+        // Symmetry reduction: among fresh (never-started) candidates of
+        // the same symmetry group, only the lowest-indexed one may start
+        // first; the masked siblings get sleep-set treatment at this
+        // decision (they are folded into the sleep mask handed to the
+        // strategy, so the DFS never expands them and split/steal skips
+        // them). Any schedule starting a masked sibling here is the image
+        // of a representative-first schedule under a group permutation.
+        let sym = self.symmetry_mask(candidates);
+        if sym != 0 {
+            self.symmetry_prunes += u64::from(sym.count_ones());
+            let sleep = self.por.as_ref().map_or(0, |p| p.sleep);
+            // Combined prune: every candidate is either asleep or masked,
+            // so every continuation is equivalent (by independent-
+            // transition reordering or thread renaming) to an explored
+            // schedule. `all_asleep` above did not fire, so this prune is
+            // charged to symmetry.
+            if candidates.iter().all(|&t| (sleep | sym) & (1u64 << t) != 0) {
+                self.end_run(RunOutcome::Pruned);
+                return false;
+            }
+        }
+
         let idx = if candidates.len() == 1 {
             if let Some(por) = &mut self.por {
                 por.cur_node = None;
@@ -437,18 +495,28 @@ impl RtState {
         } else {
             let step = self.step;
             let mut strategy = self.strategy.take().expect("strategy present during run");
-            let idx = if let Some(por) = &mut self.por {
-                let choice = strategy.choose_thread_por(candidates, por.sleep, step);
+            let idx = if self.por.is_some() || sym != 0 {
+                let sleep = self.por.as_ref().map_or(0, |p| p.sleep);
+                let choice = strategy.choose_thread_por(candidates, sleep | sym, step);
                 debug_assert!(choice.index < candidates.len());
                 debug_assert_eq!(
-                    por.sleep & (1u64 << candidates[choice.index]),
+                    (sleep | sym) & (1u64 << candidates[choice.index]),
                     0,
-                    "the strategy must choose an awake candidate"
+                    "the strategy must choose an awake, unmasked candidate"
                 );
-                por.slept_log.push(choice.slept);
-                por.sleep |= choice.slept;
-                por.sleep &= !(1u64 << candidates[choice.index]);
-                por.cur_node = choice.node;
+                if let Some(por) = &mut self.por {
+                    por.slept_log.push(choice.slept);
+                    por.sleep |= choice.slept;
+                    por.sleep &= !(1u64 << candidates[choice.index]);
+                    por.cur_node = choice.node;
+                }
+                if let Some(node) = choice.node {
+                    // Record this decision's reductions (possibly none)
+                    // under the node id, overwriting any stale entry a
+                    // previous run left at the same depth, so demand
+                    // redirection always sees current-run data.
+                    self.record_sym_node(node);
+                }
                 choice.index
             } else {
                 let idx = strategy.choose_thread(candidates, step);
@@ -489,6 +557,81 @@ impl RtState {
         }
         self.current = Some(next);
         true
+    }
+
+    /// Computes the symmetry mask for the upcoming decision: bits of
+    /// candidates that are *fresh* (never scheduled, [`Status::NotStarted`])
+    /// members of a symmetry group containing at least one other fresh
+    /// candidate with a lower index. The lowest-indexed fresh member of
+    /// each group is the representative and stays unmasked. Freshness is
+    /// what makes "identical local program counter" decidable without
+    /// inspecting thread code: two fresh threads of the same group are at
+    /// the same (initial) program point by definition, and once either
+    /// runs its first step the group's threads are distinguishable and
+    /// the reduction no longer applies to them.
+    ///
+    /// Fills `sym_scratch` with one `(blocked_mask, representative)` pair
+    /// per contributing group, for [`RtState::record_sym_node`].
+    fn symmetry_mask(&mut self, candidates: &[usize]) -> u64 {
+        self.sym_scratch.clear();
+        if !self.sym_enabled || candidates.len() < 2 {
+            return 0;
+        }
+        let mut cand_mask = 0u64;
+        for &t in candidates.iter() {
+            cand_mask |= 1u64 << t;
+        }
+        let mut fresh = 0u64;
+        for (t, th) in self.threads.iter().enumerate() {
+            if th.status == Status::NotStarted {
+                fresh |= 1u64 << t;
+            }
+        }
+        let mut mask = 0u64;
+        for i in 0..self.config.symmetry.len() {
+            let live = self.config.symmetry[i] & cand_mask & fresh;
+            if live.count_ones() >= 2 {
+                let rep = live.trailing_zeros() as usize;
+                let blocked = live & (live - 1); // all but the lowest bit
+                mask |= blocked;
+                self.sym_scratch.push((blocked, rep));
+            }
+        }
+        mask
+    }
+
+    /// Stores the current decision's symmetry reductions (`sym_scratch`)
+    /// under the strategy node id, clearing whatever a previous run
+    /// recorded at the same depth: node ids are path positions, so the
+    /// same id can name a different decision prefix across runs, and
+    /// demand redirection must only ever consult current-run data. Every
+    /// node that can appear in a backtrack demand is a strategy-consulted
+    /// decision of the current run, so every such node is (re)recorded
+    /// before any demand can reference it.
+    fn record_sym_node(&mut self, node: usize) {
+        if self.sym_nodes.len() <= node {
+            self.sym_nodes.resize_with(node + 1, Vec::new);
+        }
+        let slot = &mut self.sym_nodes[node];
+        slot.clear();
+        slot.extend_from_slice(&self.sym_scratch);
+    }
+
+    /// Redirects a DPOR backtrack demand off a symmetry-masked sibling
+    /// onto its group representative (identity when the thread is not
+    /// masked at that node). See the `sym_nodes` field docs for why
+    /// dropping the demand instead would be unsound.
+    fn redirect_demand(sym_nodes: &[Vec<(u64, usize)>], node: usize, thread: usize) -> usize {
+        if thread < MAX_POR_THREADS {
+            if let Some(entries) = sym_nodes.get(node) {
+                for &(blocked, rep) in entries {
+                    if blocked & (1u64 << thread) != 0 {
+                        return rep;
+                    }
+                }
+            }
+        }
+        thread
     }
 
     /// Serial mode: context switches happen only at operation boundaries;

@@ -365,13 +365,19 @@ impl Strategy for DfsStrategy {
         cur_sleep: u64,
         step: usize,
     ) -> PorChoice {
-        if !self.por {
+        if !self.por && cur_sleep == 0 {
             return PorChoice {
                 index: self.choose_thread(candidates, step),
                 slept: 0,
                 node: None,
             };
         }
+        // POR on, or a symmetry mask on a non-POR DFS (the scheduler folds
+        // symmetry-masked siblings into `cur_sleep`): a thread node
+        // enumerates only unmasked candidates. Symmetry masks are a
+        // deterministic function of the decision prefix, so a node created
+        // with a mask is revisited with the same mask. Without POR there
+        // are no backtrack demands, so such nodes must expand fully.
         if self.cursor < self.path.len() {
             let node_id = self.cursor;
             let DfsNode::Thread(tn) = &self.path[node_id] else {
@@ -387,7 +393,7 @@ impl Strategy for DfsStrategy {
             );
             debug_assert_eq!(
                 tn.sleep_entry, cur_sleep,
-                "sleep sets must replay deterministically"
+                "sleep and symmetry masks must replay deterministically"
             );
             self.cursor += 1;
             PorChoice {
@@ -406,7 +412,7 @@ impl Strategy for DfsStrategy {
                 done: 0,
                 backtrack: bit(candidates[chosen]),
                 sleep_entry: cur_sleep,
-                full: self.full_expansion,
+                full: self.full_expansion || !self.por,
                 stolen: 0,
             }));
             self.cursor += 1;
@@ -771,7 +777,9 @@ impl Strategy for FrontierStrategy {
         cur_sleep: u64,
         step: usize,
     ) -> PorChoice {
-        if !self.por {
+        // As in `DfsStrategy`: a non-zero mask without POR means symmetry
+        // masked some siblings, which a frontier node must honor too.
+        if !self.por && cur_sleep == 0 {
             return PorChoice {
                 index: self.choose_thread(candidates, step),
                 slept: 0,

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use lineup::AdtKind;
+use lineup::{AdtKind, HistoryCache};
 use lineup_wire::Record;
 
 use crate::shard::{Shard, ShardConfig, ShardCounters, ShardError};
@@ -30,6 +30,10 @@ pub struct EngineConfig {
 pub struct Engine {
     config: EngineConfig,
     shards: Mutex<HashMap<u64, Arc<Mutex<Shard>>>>,
+    /// Cross-object window-verdict cache shared by every shard: many
+    /// objects of one kind replay the same windows, and a verdict for a
+    /// (kind, carried state, events, stuck) key is object-independent.
+    verdicts: Arc<HistoryCache<bool>>,
     /// Counters folded from ended object generations.
     finished: Mutex<ShardCounters>,
     objects_finished: AtomicU64,
@@ -45,6 +49,7 @@ impl Engine {
         Engine {
             config,
             shards: Mutex::new(HashMap::new()),
+            verdicts: Arc::new(HistoryCache::new(HistoryCache::<bool>::DEFAULT_SHARDS)),
             finished: Mutex::new(ShardCounters::default()),
             objects_finished: AtomicU64::new(0),
             connections: AtomicU64::new(0),
@@ -58,7 +63,10 @@ impl Engine {
     /// previous generation ended starts a fresh history under the same
     /// id; the old generation's counters fold into the totals.
     pub fn register(&self, object: u64, kind: Option<AdtKind>, threads: u32) -> Arc<Mutex<Shard>> {
-        let shard = Arc::new(Mutex::new(Shard::new(kind, threads, &self.config.shard)));
+        let shard = Arc::new(Mutex::new(
+            Shard::new(kind, threads, &self.config.shard)
+                .with_verdict_cache(Arc::clone(&self.verdicts)),
+        ));
         let previous = self
             .shards
             .lock()

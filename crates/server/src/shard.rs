@@ -42,8 +42,9 @@
 use std::collections::{BTreeMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use lineup::{AdtKind, History, Invocation, MonitorPathStats, Value};
+use lineup::{AdtKind, Event, History, HistoryCache, Invocation, MonitorPathStats, Value};
 use lineup_monitor::{ideal_oracle_from, state_invocations, Monitor};
 
 /// Tuning knobs for a [`Shard`].
@@ -120,6 +121,9 @@ pub struct ShardCounters {
     pub oracle_steps: u64,
     /// Memoization hits in fallback searches.
     pub memo_hits: u64,
+    /// Window verdicts served from the shared cross-object verdict
+    /// cache, skipping the monitor entirely.
+    pub verdict_cache_hits: u64,
 }
 
 impl ShardCounters {
@@ -153,6 +157,9 @@ impl ShardCounters {
         }
         self.oracle_steps = self.oracle_steps.saturating_add(other.oracle_steps);
         self.memo_hits = self.memo_hits.saturating_add(other.memo_hits);
+        self.verdict_cache_hits = self
+            .verdict_cache_hits
+            .saturating_add(other.verdict_cache_hits);
     }
 }
 
@@ -171,6 +178,9 @@ pub struct Shard {
     carried: Vec<i64>,
     violated: bool,
     done: bool,
+    /// Shared cross-object verdict cache: identical windows over
+    /// identical carried state re-use each other's monitor verdict.
+    cache: Option<Arc<HistoryCache<bool>>>,
     /// Counters for this object (current generation).
     pub counters: ShardCounters,
 }
@@ -190,8 +200,17 @@ impl Shard {
             carried: Vec::new(),
             violated: false,
             done: false,
+            cache: None,
             counters: ShardCounters::default(),
         }
+    }
+
+    /// Attaches a shared verdict cache. Windows whose (kind, carried
+    /// state, events, stuck flag) match a previously checked window —
+    /// on this object or any other — are resolved without monitor work.
+    pub fn with_verdict_cache(mut self, cache: Arc<HistoryCache<bool>>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The object's registered ADT kind.
@@ -333,17 +352,27 @@ impl Shard {
                 return;
             }
         };
-        let monitor = self.window_monitor(kind);
-        let mut ok = true;
-        for e in self.history.pending_ops() {
-            self.counters.checks += 1;
-            self.counters.stuck_checks += 1;
-            if !monitor.check_stuck(&self.history, e, &[]) {
-                ok = false;
-                break;
+        let cached = self.cache.clone().map(|c| (c, self.window_key(kind)));
+        let ok = if let Some(verdict) = cached.as_ref().and_then(|(cache, key)| cache.get(key)) {
+            self.counters.verdict_cache_hits += 1;
+            verdict
+        } else {
+            let monitor = self.window_monitor(kind);
+            let mut ok = true;
+            for e in self.history.pending_ops() {
+                self.counters.checks += 1;
+                self.counters.stuck_checks += 1;
+                if !monitor.check_stuck(&self.history, e, &[]) {
+                    ok = false;
+                    break;
+                }
             }
-        }
-        self.absorb_monitor_stats(&monitor);
+            self.absorb_monitor_stats(&monitor);
+            if let Some((cache, key)) = &cached {
+                cache.insert_if_absent(key, ok);
+            }
+            ok
+        };
         self.counters.windows_closed += 1;
         if !ok {
             self.violated = true;
@@ -361,11 +390,56 @@ impl Shard {
     }
 
     fn check_window(&mut self, kind: AdtKind) -> bool {
+        let cached = self.cache.clone().map(|c| (c, self.window_key(kind)));
+        if let Some(verdict) = cached.as_ref().and_then(|(cache, key)| cache.get(key)) {
+            self.counters.verdict_cache_hits += 1;
+            return verdict;
+        }
         let monitor = self.window_monitor(kind);
         self.counters.checks += 1;
         let ok = monitor.check_full(&self.history, &[]);
         self.absorb_monitor_stats(&monitor);
+        if let Some((cache, key)) = &cached {
+            cache.insert_if_absent(key, ok);
+        }
         ok
+    }
+
+    /// Cache key for the current window: a window verdict depends on
+    /// the ADT kind, the carried state the oracle starts from, the
+    /// window's event sequence, and the stuck flag — so all four are
+    /// folded into one synthetic [`History`]. An extra pseudo-thread
+    /// runs a single completed `__window/<kind>` operation carrying the
+    /// carried-state values as arguments, followed by a replay of the
+    /// real events (op indices shift by one).
+    fn window_key(&self, kind: AdtKind) -> History {
+        let mut key = History::new(self.threads + 1);
+        let marker = key.push_call(
+            self.threads,
+            Invocation {
+                name: format!("__window/{kind:?}"),
+                args: self.carried.iter().map(|&v| Value::Int(v)).collect(),
+            },
+        );
+        key.push_return(marker, Value::Unit);
+        for ev in &self.history.events {
+            match *ev {
+                Event::Call(i) => {
+                    let op = &self.history.ops[i];
+                    let idx = key.push_call(op.thread, op.invocation.clone());
+                    debug_assert_eq!(idx, i + 1);
+                }
+                Event::Return(i) => {
+                    let resp = self.history.ops[i]
+                        .response
+                        .clone()
+                        .expect("returned op has a response");
+                    key.push_return(i + 1, resp);
+                }
+            }
+        }
+        key.stuck = self.history.stuck;
+        key
     }
 
     fn absorb_monitor_stats(
@@ -737,6 +811,63 @@ mod tests {
         shard.end(false);
         assert!(!shard.violated());
         assert_eq!(shard.call(0, "TryAdd", vec![]), Err(ShardError::Ended));
+    }
+
+    #[test]
+    fn shared_verdict_cache_skips_repeat_windows() {
+        let cache = Arc::new(HistoryCache::new(4));
+        let mut script = Vec::new();
+        for i in 0..8 {
+            script.push(("Enqueue", i, Value::Unit));
+        }
+        for i in 0..8 {
+            script.push(("TryDequeue", 0, Value::some(Value::int(i))));
+        }
+        let h = serial_history(&script);
+        let run = |cache: Arc<HistoryCache<bool>>| {
+            let mut shard = Shard::new(Some(AdtKind::Queue), 1, &ShardConfig { window_target: 4 })
+                .with_verdict_cache(cache);
+            feed(&mut shard, &h);
+            shard.end(false);
+            assert!(!shard.violated());
+            shard.counters.clone()
+        };
+        let first = run(cache.clone());
+        assert_eq!(first.verdict_cache_hits, 0);
+        assert!(first.checks > 0);
+        // Same stream on a second object: every window verdict is
+        // served from the shared cache, no monitor work at all.
+        let second = run(cache.clone());
+        assert_eq!(second.verdict_cache_hits, first.windows_closed);
+        assert_eq!(second.checks, 0);
+        assert_eq!(second.windows_closed, first.windows_closed);
+        assert!(cache.hits() >= second.verdict_cache_hits);
+    }
+
+    #[test]
+    fn verdict_cache_key_separates_kind_and_carried_state() {
+        // A dequeue of 3 is fine after Enqueue(3) carried in, a
+        // violation on a fresh queue: the key must not collide.
+        let cache = Arc::new(HistoryCache::new(1));
+        let mut good = Shard::new(Some(AdtKind::Queue), 1, &ShardConfig { window_target: 1 })
+            .with_verdict_cache(cache.clone());
+        feed(
+            &mut good,
+            &serial_history(&[
+                ("Enqueue", 3, Value::Unit),
+                ("TryDequeue", 0, Value::some(Value::int(3))),
+            ]),
+        );
+        good.end(false);
+        assert!(!good.violated());
+        let mut bad = Shard::new(Some(AdtKind::Queue), 1, &ShardConfig { window_target: 1 })
+            .with_verdict_cache(cache.clone());
+        feed(
+            &mut bad,
+            &serial_history(&[("TryDequeue", 0, Value::some(Value::int(3)))]),
+        );
+        bad.end(false);
+        assert!(bad.violated(), "cache key collided across carried states");
     }
 
     #[test]

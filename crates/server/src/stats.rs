@@ -42,7 +42,7 @@ impl StatsSnapshot {
         let c = &self.counters;
         format!(
             "t={:.1}s events={} ({:.0}/s) ops={} objects={}+{} windows={} held={} retired={} \
-             checks={} (spec={} fb={}) violations={} buffered={} peak={} errors={}",
+             checks={} (spec={} fb={} cached={}) violations={} buffered={} peak={} errors={}",
             self.uptime_secs,
             c.events,
             self.events_per_sec(),
@@ -55,6 +55,7 @@ impl StatsSnapshot {
             c.checks,
             c.paths.specialized_checks,
             c.paths.fallback_checks,
+            c.verdict_cache_hits,
             c.violations,
             self.buffered_ops,
             c.peak_window_ops,
@@ -87,7 +88,8 @@ impl StatsSnapshot {
                 "\"windows_held\":{},\"checks\":{},\"stuck_checks\":{},",
                 "\"violations\":{},\"incomplete\":{},\"peak_window_ops\":{},",
                 "\"specialized_checks\":{},\"fallback_checks\":{},",
-                "\"fallback_reasons\":{},\"oracle_steps\":{},\"memo_hits\":{}}}"
+                "\"fallback_reasons\":{},\"oracle_steps\":{},\"memo_hits\":{},",
+                "\"verdict_cache_hits\":{}}}"
             ),
             self.uptime_secs,
             self.connections,
@@ -112,6 +114,7 @@ impl StatsSnapshot {
             reasons,
             c.oracle_steps,
             c.memo_hits,
+            c.verdict_cache_hits,
         )
     }
 }
